@@ -1,0 +1,262 @@
+(* Benchmark harness.
+
+   Default invocation reproduces every table and figure of the paper's
+   evaluation at CI scale, then runs the Bechamel micro-benchmarks (one
+   Test.make per table/figure, timing that experiment's planning
+   kernel).
+
+     dune exec bench/main.exe                 # everything, quick
+     dune exec bench/main.exe -- fig8a fig12  # selected experiments
+     dune exec bench/main.exe -- --full       # paper-scale counts
+     dune exec bench/main.exe -- --micro      # micro-benchmarks only
+     dune exec bench/main.exe -- --list       # available ids
+*)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark kernels: one per reproduced table/figure, each
+   timing the planning (or probability) kernel that experiment
+   stresses, on a small fixed instance. *)
+
+module K = struct
+  module P = Acq_core.Planner
+  module Rng = Acq_util.Rng
+
+  let lab = lazy (Acq_data.Lab_gen.generate (Rng.create 901) ~rows:4_000)
+
+  let lab_coarse =
+    lazy
+      (Acq_data.Dataset.coarsen (Lazy.force lab)
+         ~factors:Acq_workload.Figures.coarse_factors)
+
+  let garden5 =
+    lazy (Acq_data.Garden_gen.generate (Rng.create 902) ~n_motes:5 ~rows:4_000)
+
+  let garden11 =
+    lazy (Acq_data.Garden_gen.generate (Rng.create 903) ~n_motes:11 ~rows:4_000)
+
+  let synthetic =
+    lazy
+      (Acq_data.Synthetic_gen.generate (Rng.create 904)
+         { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+         ~rows:4_000)
+
+  let lab_query ds seed =
+    Acq_workload.Query_gen.lab_query (Rng.create seed) ~train:ds
+
+  let garden_query ds n seed =
+    Acq_workload.Query_gen.garden_query (Rng.create seed)
+      ~schema:(Acq_data.Dataset.schema ds) ~n_motes:n
+
+  let plan algo options q train () =
+    ignore (P.plan ~options algo q ~train : Acq_plan.Plan.t * float)
+
+  let opts = P.default_options
+
+  let cheap ds = Acq_data.Schema.cheap_indices (Acq_data.Dataset.schema ds)
+
+  let tests =
+    [
+      (* fig1: correlation statistics over the lab trace. *)
+      Test.make ~name:"fig1/mutual-information"
+        (Staged.stage (fun () ->
+             let ds = Lazy.force lab_coarse in
+             ignore
+               (Acq_prob.Mutual_info.mi ds Acq_data.Lab_gen.idx_hour
+                  Acq_data.Lab_gen.idx_light
+                 : float)));
+      (* fig2: one-split conditional plan. *)
+      Test.make ~name:"fig2/heuristic-1split"
+        (Staged.stage
+           (let ds = Lazy.force lab in
+            let q = lab_query ds 91 in
+            plan P.Heuristic { opts with max_splits = 1 } q ds));
+      (* fig3: exhaustive enumeration on 3 binary attributes. *)
+      Test.make ~name:"fig3/enumerate"
+        (Staged.stage (fun () ->
+             let schema =
+               Acq_data.Schema.create
+                 [
+                   Acq_data.Attribute.discrete ~name:"x1" ~cost:10.0 ~domain:2;
+                   Acq_data.Attribute.discrete ~name:"x2" ~cost:10.0 ~domain:2;
+                   Acq_data.Attribute.discrete ~name:"x3" ~cost:1.0 ~domain:2;
+                 ]
+             in
+             let rng = Rng.create 92 in
+             let rows =
+               Array.init 500 (fun _ ->
+                   [| Rng.int rng 2; Rng.int rng 2; Rng.int rng 2 |])
+             in
+             let ds = Acq_data.Dataset.create schema rows in
+             let q =
+               Acq_plan.Query.create schema
+                 [
+                   Acq_plan.Predicate.inside ~attr:0 ~lo:1 ~hi:1;
+                   Acq_plan.Predicate.inside ~attr:1 ~lo:1 ~hi:1;
+                 ]
+             in
+             ignore
+               (Acq_core.Enumerate.all_plans q
+                  ~costs:(Acq_data.Schema.costs schema)
+                  (Acq_prob.Estimator.empirical ds)
+                 : (Acq_plan.Plan.t * float) list)));
+      (* fig8a: exhaustive planning on the coarsened lab problem. *)
+      Test.make ~name:"fig8a/exhaustive-r2"
+        (Staged.stage
+           (let ds = Lazy.force lab_coarse in
+            let q = lab_query ds 93 in
+            plan P.Exhaustive
+              { opts with split_points_per_attr = 2; exhaustive_budget = 5_000_000 }
+              q ds));
+      (* fig8b: heuristic at a large SPSF. *)
+      Test.make ~name:"fig8b/heuristic-r8"
+        (Staged.stage
+           (let ds = Lazy.force lab_coarse in
+            let q = lab_query ds 94 in
+            plan P.Heuristic { opts with split_points_per_attr = 8 } q ds));
+      (* fig8c: heuristic-10 on the full-resolution lab data. *)
+      Test.make ~name:"fig8c/heuristic-10"
+        (Staged.stage
+           (let ds = Lazy.force lab in
+            let q = lab_query ds 95 in
+            plan P.Heuristic { opts with max_splits = 10 } q ds));
+      (* fig9: plan printing path. *)
+      Test.make ~name:"fig9/plan-and-print"
+        (Staged.stage
+           (let ds = Lazy.force lab in
+            let q = lab_query ds 96 in
+            fun () ->
+              let p, _ = P.plan ~options:opts P.Heuristic q ~train:ds in
+              ignore (Acq_plan.Printer.to_string q p : string)));
+      (* fig10/fig11: greedy conditional planning over garden schemas. *)
+      Test.make ~name:"fig10/heuristic-garden5"
+        (Staged.stage
+           (let ds = Lazy.force garden5 in
+            let q = garden_query ds 5 97 in
+            plan P.Heuristic
+              { opts with split_points_per_attr = 4;
+                candidate_attrs = Some (cheap ds) }
+              q ds));
+      Test.make ~name:"fig11/heuristic-garden11"
+        (Staged.stage
+           (let ds = Lazy.force garden11 in
+            let q = garden_query ds 11 98 in
+            plan P.Heuristic
+              { opts with split_points_per_attr = 4;
+                candidate_attrs = Some (cheap ds) }
+              q ds));
+      (* fig12: synthetic-data planning. *)
+      Test.make ~name:"fig12/heuristic-synthetic"
+        (Staged.stage
+           (let ds = Lazy.force synthetic in
+            let q =
+              Acq_workload.Query_gen.synthetic_query
+                { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+                ~schema:(Acq_data.Dataset.schema ds)
+            in
+            plan P.Heuristic
+              { opts with candidate_attrs = Some (cheap ds) }
+              q ds));
+      (* scale: the sequential planners. *)
+      Test.make ~name:"scale/optseq-m10"
+        (Staged.stage
+           (let ds = Lazy.force garden5 in
+            let q = garden_query ds 5 99 in
+            let est = Acq_prob.Estimator.empirical ds in
+            let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
+            fun () -> ignore (Acq_core.Optseq.order q ~costs est : int list * float)));
+      Test.make ~name:"scale/greedyseq-m22"
+        (Staged.stage
+           (let ds = Lazy.force garden11 in
+            let q = garden_query ds 11 100 in
+            let est = Acq_prob.Estimator.empirical ds in
+            let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
+            fun () ->
+              ignore (Acq_core.Greedyseq.order q ~costs est : int list * float)));
+      (* ablate-size: plan serialization (the bytes the radio ships). *)
+      Test.make ~name:"ablate-size/serialize"
+        (Staged.stage
+           (let ds = Lazy.force garden5 in
+            let q = garden_query ds 5 101 in
+            let p, _ =
+              P.plan
+                ~options:{ opts with max_splits = 10; split_points_per_attr = 4 }
+                P.Heuristic q ~train:ds
+            in
+            fun () ->
+              ignore (Acq_plan.Serialize.decode (Acq_plan.Serialize.encode p)
+                       : Acq_plan.Plan.t)));
+      (* ablate-model: Chow-Liu learning and inference. *)
+      Test.make ~name:"ablate-model/chow-liu-learn"
+        (Staged.stage (fun () ->
+             ignore (Acq_prob.Chow_liu.learn (Lazy.force lab_coarse)
+                      : Acq_prob.Chow_liu.t)));
+      (* ablate-spsf: greedy split search at a fine grid. *)
+      Test.make ~name:"ablate-spsf/heuristic-r16"
+        (Staged.stage
+           (let ds = Lazy.force lab in
+            let q = lab_query ds 102 in
+            plan P.Heuristic { opts with split_points_per_attr = 16 } q ds));
+    ]
+end
+
+let run_micro () =
+  print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let instances = [ Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let t = Acq_util.Tbl.create [ "kernel"; "time/run"; "r^2" ] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let time_ns =
+            match Analyze.OLS.estimates est with
+            | Some [ e ] -> e
+            | Some _ | None -> nan
+          in
+          let pretty =
+            if Float.is_nan time_ns then "n/a"
+            else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+            else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+            else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+            else Printf.sprintf "%.0f ns" time_ns
+          in
+          let r2 =
+            match Analyze.OLS.r_square est with
+            | Some r -> Printf.sprintf "%.3f" r
+            | None -> "-"
+          in
+          Acq_util.Tbl.add_row t [ Test.Elt.name elt; pretty; r2 ])
+        (Test.elements test))
+    K.tests;
+  Acq_util.Tbl.print t
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let micro_only = List.mem "--micro" args in
+  let no_micro = List.mem "--no-micro" args in
+  let list = List.mem "--list" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if list then begin
+    List.iter
+      (fun e ->
+        Printf.printf "%-14s %s\n" e.Acq_workload.Registry.id
+          e.Acq_workload.Registry.title)
+      Acq_workload.Registry.all;
+    print_endline "flags: --full --micro --no-micro --list"
+  end
+  else begin
+    if not micro_only then
+      Acq_workload.Registry.run_selected { Acq_workload.Figures.full } ids;
+    if micro_only || (ids = [] && not no_micro) then run_micro ()
+  end

@@ -1,0 +1,317 @@
+(* acqp — acquisitional query processing with correlated attributes.
+
+   Subcommands:
+     gen         generate a dataset and write it as CSV
+     plan        optimize one query and print the conditional plan
+     run         simulate the full sensor-network loop for a query
+     experiment  reproduce the paper's tables/figures (see --list)
+*)
+
+open Cmdliner
+
+type dataset_kind = Lab | Garden5 | Garden11 | Synthetic
+
+let dataset_conv =
+  let parse = function
+    | "lab" -> Ok Lab
+    | "garden5" -> Ok Garden5
+    | "garden11" -> Ok Garden11
+    | "synthetic" -> Ok Synthetic
+    | s -> Error (`Msg ("unknown dataset: " ^ s))
+  in
+  let print fmt k =
+    Format.pp_print_string fmt
+      (match k with
+      | Lab -> "lab"
+      | Garden5 -> "garden5"
+      | Garden11 -> "garden11"
+      | Synthetic -> "synthetic")
+  in
+  Arg.conv (parse, print)
+
+let make_dataset kind ~rows ~seed =
+  let rng = Acq_util.Rng.create seed in
+  match kind with
+  | Lab -> Acq_data.Lab_gen.generate rng ~rows
+  | Garden5 -> Acq_data.Garden_gen.generate rng ~n_motes:5 ~rows
+  | Garden11 -> Acq_data.Garden_gen.generate rng ~n_motes:11 ~rows
+  | Synthetic ->
+      Acq_data.Synthetic_gen.generate rng
+        { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+        ~rows
+
+let algo_conv =
+  let parse = function
+    | "naive" -> Ok Acq_core.Planner.Naive
+    | "corrseq" -> Ok Acq_core.Planner.Corr_seq
+    | "heuristic" -> Ok Acq_core.Planner.Heuristic
+    | "exhaustive" -> Ok Acq_core.Planner.Exhaustive
+    | s -> Error (`Msg ("unknown algorithm: " ^ s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt
+      (String.lowercase_ascii (Acq_core.Planner.algorithm_name a))
+  in
+  Arg.conv (parse, print)
+
+(* Common args *)
+
+let dataset_arg =
+  Arg.(
+    value
+    & opt dataset_conv Lab
+    & info [ "dataset"; "d" ] ~docv:"NAME"
+        ~doc:"Dataset: lab, garden5, garden11, or synthetic.")
+
+let rows_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "rows" ] ~docv:"N" ~doc:"Number of tuples to generate.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.")
+
+let sql_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sql"; "q" ] ~docv:"QUERY"
+        ~doc:
+          "Query, e.g. 'SELECT * WHERE light >= 300 AND temp <= 19'. \
+           Defaults to a dataset-appropriate example.")
+
+let splits_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "splits"; "k" ] ~docv:"K"
+        ~doc:"Maximum conditioning splits for the heuristic planner.")
+
+let points_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "points"; "r" ] ~docv:"R"
+        ~doc:"Candidate split points per attribute (the SPSF knob).")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Acq_core.Planner.Heuristic
+    & info [ "algo"; "a" ] ~docv:"ALGO"
+        ~doc:"Planner: naive, corrseq, heuristic, or exhaustive.")
+
+let default_sql = function
+  | Lab -> "SELECT * WHERE light >= 300 AND temp <= 19 AND humidity <= 45"
+  | Garden5 | Garden11 ->
+      "SELECT * WHERE temp0 BETWEEN 8 AND 20 AND humid0 BETWEEN 60 AND 90 \
+       AND temp1 BETWEEN 8 AND 20 AND humid1 BETWEEN 60 AND 90"
+  | Synthetic -> "SELECT * WHERE g0_x1 = 1 AND g1_x1 = 1 AND g2_x1 = 1"
+
+let compile_query kind schema sql =
+  let text = match sql with Some s -> s | None -> default_sql kind in
+  (Acq_sql.Catalog.compile schema text).Acq_sql.Catalog.query
+
+(* gen *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(
+      value & opt string "dataset.csv"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:"Write raw-unit values (bin midpoints) instead of bin ids.")
+  in
+  let run kind rows seed out raw =
+    let ds = make_dataset kind ~rows ~seed in
+    if raw then Acq_data.Csv_io.save_raw out ds else Acq_data.Csv_io.save out ds;
+    Printf.printf "wrote %d rows x %d attributes to %s\n"
+      (Acq_data.Dataset.nrows ds) (Acq_data.Dataset.ncols ds) out
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a dataset and write it as CSV.")
+    Term.(const run $ dataset_arg $ rows_arg $ seed_arg $ out_arg $ raw_arg)
+
+(* plan *)
+
+let plan_cmd =
+  let run kind rows seed sql algo splits points =
+    let ds = make_dataset kind ~rows ~seed in
+    let train, test = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
+    let schema = Acq_data.Dataset.schema ds in
+    let q = compile_query kind schema sql in
+    let costs = Acq_data.Schema.costs schema in
+    let options =
+      {
+        Acq_core.Planner.default_options with
+        max_splits = splits;
+        split_points_per_attr = points;
+      }
+    in
+    Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
+      (Acq_core.Planner.algorithm_name algo);
+    let plan, expected = Acq_core.Planner.plan ~options algo q ~train in
+    print_string (Acq_plan.Printer.to_string q plan);
+    Printf.printf "\n%s\n" (Acq_plan.Printer.summary q plan);
+    Printf.printf "plan size (zeta): %d bytes\n" (Acq_plan.Serialize.size plan);
+    Printf.printf "expected cost on training distribution: %.2f\n" expected;
+    Printf.printf "measured cost on held-out test data:    %.2f\n"
+      (Acq_plan.Executor.average_cost q ~costs plan test);
+    Printf.printf "correct on all test tuples: %b\n"
+      (Acq_plan.Executor.consistent q ~costs plan test)
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Optimize one query and print the conditional plan.")
+    Term.(
+      const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
+      $ splits_arg $ points_arg)
+
+(* run *)
+
+let run_cmd =
+  let run kind rows seed sql algo splits points =
+    let ds = make_dataset kind ~rows ~seed in
+    let history, live = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
+    let schema = Acq_data.Dataset.schema ds in
+    let q = compile_query kind schema sql in
+    let options =
+      {
+        Acq_core.Planner.default_options with
+        max_splits = splits;
+        split_points_per_attr = points;
+      }
+    in
+    Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
+      (Acq_core.Planner.algorithm_name algo);
+    let report =
+      Acq_sensor.Runtime.run ~options ~algorithm:algo ~history ~live q
+    in
+    Format.printf "%a@." Acq_sensor.Runtime.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Plan on the basestation, disseminate into the simulated network, \
+          and replay a live trace epoch by epoch.")
+    Term.(
+      const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
+      $ splits_arg $ points_arg)
+
+(* stats *)
+
+let stats_cmd =
+  let top_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"N" ~doc:"How many correlated pairs to show.")
+  in
+  let run kind rows seed top =
+    let ds = make_dataset kind ~rows ~seed in
+    let schema = Acq_data.Dataset.schema ds in
+    let n = Acq_data.Schema.arity schema in
+    let names = Acq_data.Schema.names schema in
+    let costs = Acq_data.Schema.costs schema in
+    (* Per-attribute summary. *)
+    let t = Acq_util.Tbl.create [ "attribute"; "cost"; "domain"; "entropy (bits)" ] in
+    for a = 0 to n - 1 do
+      let counts = Acq_prob.View.histogram (Acq_prob.View.of_dataset ds) ~attr:a in
+      let total = float_of_int (Acq_data.Dataset.nrows ds) in
+      let entropy =
+        Array.fold_left
+          (fun acc c ->
+            if c = 0 then acc
+            else
+              let p = float_of_int c /. total in
+              acc -. (p *. (log p /. log 2.0)))
+          0.0 counts
+      in
+      Acq_util.Tbl.add_row t
+        [
+          names.(a);
+          Printf.sprintf "%g" costs.(a);
+          string_of_int (Acq_data.Schema.domains schema).(a);
+          Printf.sprintf "%.2f" entropy;
+        ]
+    done;
+    Acq_util.Tbl.print t;
+    (* Most correlated (cheap, expensive) pairs: the raw material for
+       conditional plans. *)
+    let mi = Acq_prob.Mutual_info.matrix ds in
+    let pairs = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        pairs := (mi.(a).(b), a, b) :: !pairs
+      done
+    done;
+    let sorted = List.sort (fun (x, _, _) (y, _, _) -> compare y x) !pairs in
+    let t2 = Acq_util.Tbl.create [ "pair"; "mutual information (nats)"; "planner use" ] in
+    List.iteri
+      (fun i (v, a, b) ->
+        if i < top then
+          let use =
+            if Acq_data.Attribute.is_expensive (Acq_data.Schema.attr schema a)
+               <> Acq_data.Attribute.is_expensive (Acq_data.Schema.attr schema b)
+            then "cheap attribute predicts expensive one"
+            else "-"
+          in
+          Acq_util.Tbl.add_row t2
+            [
+              names.(a) ^ " / " ^ names.(b);
+              Printf.sprintf "%.3f" v;
+              use;
+            ])
+      sorted;
+    print_newline ();
+    Acq_util.Tbl.print t2
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Describe a dataset: per-attribute entropy and the most correlated \
+          attribute pairs (the correlations conditional plans exploit).")
+    Term.(const run $ dataset_arg $ rows_arg $ seed_arg $ top_arg)
+
+(* experiment *)
+
+let experiment_cmd =
+  let ids_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Paper-scale query counts and traces (slower).")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List experiment ids and exit.")
+  in
+  let run ids full list =
+    if list then
+      List.iter
+        (fun e ->
+          Printf.printf "%-14s %s\n" e.Acq_workload.Registry.id
+            e.Acq_workload.Registry.title)
+        Acq_workload.Registry.all
+    else
+      Acq_workload.Registry.run_selected { Acq_workload.Figures.full } ids
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Reproduce the paper's tables and figures (see --list).")
+    Term.(const run $ ids_arg $ full_arg $ list_arg)
+
+let main_cmd =
+  let doc =
+    "acquisitional query processing with correlated attributes (ICDE 2005 \
+     reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "acqp" ~version:"1.0.0" ~doc)
+    [ gen_cmd; plan_cmd; run_cmd; stats_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

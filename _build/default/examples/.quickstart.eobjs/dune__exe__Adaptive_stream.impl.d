@@ -1,0 +1,1 @@
+examples/adaptive_stream.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_sql Acq_util Array Printf

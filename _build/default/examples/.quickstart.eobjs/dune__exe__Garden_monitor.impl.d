@@ -1,0 +1,1 @@
+examples/garden_monitor.ml: Acq_core Acq_data Acq_plan Acq_util Acq_workload List Printf String

@@ -1,0 +1,1 @@
+examples/garden_monitor.mli:

@@ -1,0 +1,1 @@
+examples/lab_night_work.ml: Acq_core Acq_data Acq_plan Acq_sensor Acq_sql Acq_util Printf

@@ -1,0 +1,1 @@
+examples/lab_night_work.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acq_core Acq_data Acq_plan Acq_sql Acq_util Printf

@@ -1,0 +1,1 @@
+examples/star_join.ml: Acq_core Acq_data Acq_plan Acq_sql Acq_util Array Printf

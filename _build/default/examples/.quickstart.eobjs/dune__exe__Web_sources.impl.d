@@ -1,0 +1,1 @@
+examples/web_sources.ml: Acq_core Acq_data Acq_plan Acq_sql Acq_util Array Option Printf

@@ -1,0 +1,125 @@
+(* Continuous queries over drifting data (Section 7, "Queries over
+   data streams"): probabilities are maintained incrementally over a
+   sliding window (Acq_prob.Sliding); when the window's marginals
+   drift away from the statistics the current plan was built on, the
+   basestation re-plans from the window.
+
+   The simulated deployment drifts: for the first half of the stream
+   the lab behaves normally; then the HVAC schedule is inverted (night
+   becomes warm and dry), silently breaking the correlations the
+   original plan exploited. Both plans stay CORRECT throughout — only
+   cost degrades — and the drift trigger restores the conditional
+   advantage.
+
+     dune exec examples/adaptive_stream.exe
+*)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module P = Acq_core.Planner
+module Sl = Acq_prob.Sliding
+
+(* Drifted lab data: rotate the hour column 12 hours. Attribute
+   correlations flip while every marginal over sensor values stays
+   similar — nasty drift for a conditional plan. *)
+let drifted ds =
+  let schema = DS.schema ds in
+  let rows =
+    Array.init (DS.nrows ds) (fun r ->
+        let row = DS.row ds r in
+        row.(Acq_data.Lab_gen.idx_hour) <-
+          (row.(Acq_data.Lab_gen.idx_hour) + 12) mod 24;
+        row)
+  in
+  DS.create schema rows
+
+let () =
+  let rng = Rng.create 31 in
+  let normal = Acq_data.Lab_gen.generate rng ~rows:30_000 in
+  let history, rest = DS.split_by_time normal ~train_fraction:0.33 in
+  let phase1, phase2_src = DS.split_by_time rest ~train_fraction:0.5 in
+  let phase2 = drifted phase2_src in
+  let schema = DS.schema normal in
+  let costs = Acq_data.Schema.costs schema in
+
+  let { Acq_sql.Catalog.query; _ } =
+    Acq_sql.Catalog.compile schema
+      "SELECT * WHERE light >= 300 AND temp <= 19 AND humidity <= 45"
+  in
+  let options = { P.default_options with max_splits = 6 } in
+  Printf.printf "continuous query: %s\n\n" (Acq_plan.Query.describe query);
+
+  (* Stream driver: process epochs one by one, maintain the window,
+     check drift every [check_every] epochs, replan when it exceeds
+     the threshold. *)
+  let run_stream ~adaptive =
+    (* The window must span at least one full diurnal cycle (12 motes
+       x 720 two-minute epochs), otherwise day/night swings of the
+       marginals read as permanent drift. *)
+    let window = Sl.create schema ~capacity:8_640 in
+    let plan, expected0 = P.plan ~options P.Heuristic query ~train:history in
+    let plan = ref plan and expected = ref expected0 in
+    (* Two replanning triggers, per Section 7: marginal drift of the
+       window vs the statistics the current plan was built on, and the
+       plan's realized cost exceeding its own expectation (which also
+       catches pure correlation flips that leave marginals intact). *)
+    let reference = ref history in
+    let replans = ref 0 in
+    let total = ref 0.0 and epochs = ref 0 in
+    let recent = ref 0.0 in
+    let check_every = 1_000 and drift_threshold = 0.05 in
+    let process ds =
+      DS.iter_rows ds (fun r ->
+          let o =
+            Acq_plan.Executor.run query ~costs !plan ~lookup:(fun a ->
+                DS.get ds r a)
+          in
+          total := !total +. o.Acq_plan.Executor.cost;
+          recent := !recent +. o.Acq_plan.Executor.cost;
+          incr epochs;
+          Sl.push window (DS.row ds r);
+          if adaptive && Sl.is_full window && !epochs mod check_every = 0
+          then begin
+            let recent_avg = !recent /. float_of_int check_every in
+            recent := 0.0;
+            let drifted =
+              Sl.drift window ~reference:!reference > drift_threshold
+            in
+            let overrunning = recent_avg > 1.10 *. !expected in
+            if drifted || overrunning then begin
+              let est = Sl.estimator window in
+              let p, c =
+                P.plan_with_estimator ~options P.Heuristic query ~costs est
+              in
+              plan := p;
+              expected := c;
+              reference := Sl.to_dataset window;
+              incr replans
+            end
+          end)
+    in
+    process phase1;
+    process phase2;
+    (!total /. float_of_int !epochs, !replans)
+  in
+
+  let static_cost, _ = run_stream ~adaptive:false in
+  let adaptive_cost, replans = run_stream ~adaptive:true in
+
+  let t = Acq_util.Tbl.create [ "strategy"; "avg cost/epoch"; "replans" ] in
+  Acq_util.Tbl.add_row t
+    [ "static plan"; Printf.sprintf "%.1f" static_cost; "0" ];
+  Acq_util.Tbl.add_row t
+    [
+      "drift-triggered replanning";
+      Printf.sprintf "%.1f" adaptive_cost;
+      string_of_int replans;
+    ];
+  Acq_util.Tbl.print t;
+  Printf.printf
+    "\nAfter the HVAC inversion the old plan's realized cost overruns its\n\
+     own expectation (the drift score alone barely moves: the inversion\n\
+     flips correlations while preserving marginals), so the cost-overrun\n\
+     trigger fires and the basestation re-plans from the sliding window,\n\
+     recovering %.1f units per epoch overall.\n"
+    (static_cost -. adaptive_cost)

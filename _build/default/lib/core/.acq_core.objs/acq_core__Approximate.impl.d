@@ -1,0 +1,1 @@
+lib/core/approximate.ml: Acq_data Acq_plan Acq_prob Array List

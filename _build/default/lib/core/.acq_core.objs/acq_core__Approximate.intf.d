@@ -1,0 +1,1 @@
+lib/core/approximate.mli: Acq_data Acq_plan Acq_prob

@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Acq_data Acq_plan Array Expected_cost List Subproblem

@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Acq_plan Acq_prob

@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Acq_data Acq_plan Acq_prob Array Float Hashtbl Lazy List Seq_planner Spsf Subproblem

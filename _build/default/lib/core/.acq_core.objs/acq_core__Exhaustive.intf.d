@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Acq_plan Acq_prob Spsf

@@ -1,0 +1,1 @@
+lib/core/existential.ml: Acq_data Acq_plan Acq_prob Array List Spsf Subproblem

@@ -1,0 +1,1 @@
+lib/core/existential.mli: Acq_data Acq_plan

@@ -1,0 +1,1 @@
+lib/core/expected_cost.ml: Acq_data Acq_plan Acq_prob Acq_util Array Int Set

@@ -1,0 +1,1 @@
+lib/core/expected_cost.mli: Acq_plan Acq_prob

@@ -1,0 +1,1 @@
+lib/core/greedy_plan.ml: Acq_data Acq_plan Acq_prob Array Expected_cost Greedy_split List Priority_queue Seq_planner Subproblem

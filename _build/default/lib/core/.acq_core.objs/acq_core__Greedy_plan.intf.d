@@ -1,0 +1,1 @@
+lib/core/greedy_plan.mli: Acq_plan Acq_prob Spsf

@@ -1,0 +1,1 @@
+lib/core/greedy_split.ml: Acq_data Acq_plan Acq_prob Array List Seq_planner Spsf Subproblem

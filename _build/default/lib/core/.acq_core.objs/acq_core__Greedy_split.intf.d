@@ -1,0 +1,1 @@
+lib/core/greedy_split.mli: Acq_plan Acq_prob Spsf Subproblem

@@ -1,0 +1,1 @@
+lib/core/greedyseq.ml: Acq_plan Acq_prob Array List

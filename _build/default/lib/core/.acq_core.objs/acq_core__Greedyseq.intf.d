@@ -1,0 +1,1 @@
+lib/core/greedyseq.mli: Acq_plan Acq_prob

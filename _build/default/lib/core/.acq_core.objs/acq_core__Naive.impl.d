@@ -1,0 +1,1 @@
+lib/core/naive.ml: Acq_plan Acq_prob Array

@@ -1,0 +1,1 @@
+lib/core/naive.mli: Acq_plan Acq_prob

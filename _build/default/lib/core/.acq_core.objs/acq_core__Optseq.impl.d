@@ -1,0 +1,1 @@
+lib/core/optseq.ml: Acq_plan Acq_prob Array List

@@ -1,0 +1,1 @@
+lib/core/optseq.mli: Acq_plan Acq_prob

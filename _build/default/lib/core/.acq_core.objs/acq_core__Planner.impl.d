@@ -1,0 +1,1 @@
+lib/core/planner.ml: Acq_data Acq_plan Acq_prob Exhaustive Expected_cost Greedy_plan Naive Seq_planner Spsf

@@ -1,0 +1,1 @@
+lib/core/planner.mli: Acq_data Acq_plan Acq_prob

@@ -1,0 +1,1 @@
+lib/core/seq_planner.ml: Acq_plan Greedyseq List Optseq

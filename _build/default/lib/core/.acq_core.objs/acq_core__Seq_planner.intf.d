@@ -1,0 +1,1 @@
+lib/core/seq_planner.mli: Acq_plan Acq_prob

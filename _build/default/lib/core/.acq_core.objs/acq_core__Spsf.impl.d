@@ -1,0 +1,1 @@
+lib/core/spsf.ml: Acq_plan Array List

@@ -1,0 +1,1 @@
+lib/core/spsf.mli: Acq_plan

@@ -1,0 +1,1 @@
+lib/core/subproblem.ml: Acq_data Acq_plan Array Buffer List

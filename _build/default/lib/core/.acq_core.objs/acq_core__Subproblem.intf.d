@@ -1,0 +1,1 @@
+lib/core/subproblem.mli: Acq_data Acq_plan

@@ -1,0 +1,108 @@
+type outcome = {
+  verdict : bool;
+  cost : float;
+  acquired : int list;
+  skipped : int;
+}
+
+let run ~model ~epsilon q ~costs plan ~lookup =
+  if epsilon < 0.0 || epsilon >= 0.5 then
+    invalid_arg "Approximate.run: epsilon must be in [0, 0.5)";
+  let n = Array.length costs in
+  let acquired = Array.make n false in
+  let order = ref [] in
+  let cost = ref 0.0 in
+  let skipped = ref 0 in
+  (* Evidence = point values of every attribute acquired so far. *)
+  let evidence = ref (Acq_prob.Chow_liu.no_evidence model) in
+  let touch attr =
+    if not acquired.(attr) then begin
+      acquired.(attr) <- true;
+      cost := !cost +. costs.(attr);
+      order := attr :: !order;
+      let v = lookup attr in
+      evidence :=
+        Acq_prob.Chow_liu.and_range model !evidence attr
+          (Acq_plan.Range.make v v);
+      v
+    end
+    else lookup attr
+  in
+  let pred_confidence (p : Acq_plan.Predicate.t) =
+    let e' = Acq_prob.Chow_liu.and_pred model !evidence p true in
+    Acq_prob.Chow_liu.cond_prob model ~given:!evidence e'
+  in
+  let rec exec = function
+    | Acq_plan.Plan.Leaf (Acq_plan.Plan.Const b) -> b
+    | Acq_plan.Plan.Leaf (Acq_plan.Plan.Seq preds) ->
+        let rec eval_from i =
+          if i >= Array.length preds then true
+          else begin
+            let p = Acq_plan.Query.predicate q preds.(i) in
+            if acquired.(p.Acq_plan.Predicate.attr) || epsilon = 0.0 then
+              if Acq_plan.Predicate.eval p (touch p.Acq_plan.Predicate.attr)
+              then eval_from (i + 1)
+              else false
+            else begin
+              let conf = pred_confidence p in
+              if conf >= 1.0 -. epsilon then begin
+                incr skipped;
+                eval_from (i + 1)
+              end
+              else if conf <= epsilon then begin
+                incr skipped;
+                false
+              end
+              else if
+                Acq_plan.Predicate.eval p (touch p.Acq_plan.Predicate.attr)
+              then eval_from (i + 1)
+              else false
+            end
+          end
+        in
+        eval_from 0
+    | Acq_plan.Plan.Test { attr; threshold; low; high } ->
+        (* Conditioning observations stay exact: they are what keeps
+           the model's evidence honest. *)
+        if touch attr >= threshold then exec high else exec low
+  in
+  let verdict = exec plan in
+  { verdict; cost = !cost; acquired = List.rev !order; skipped = !skipped }
+
+type report = {
+  avg_cost : float;
+  accuracy : float;
+  false_positives : float;
+  false_negatives : float;
+  avg_skipped : float;
+}
+
+let evaluate ~model ~epsilon q ~costs plan ds =
+  let n = Acq_data.Dataset.nrows ds in
+  if n = 0 then
+    { avg_cost = 0.0; accuracy = 1.0; false_positives = 0.0;
+      false_negatives = 0.0; avg_skipped = 0.0 }
+  else begin
+    let cost = ref 0.0 and correct = ref 0 in
+    let fp = ref 0 and fn = ref 0 and skipped = ref 0 in
+    for r = 0 to n - 1 do
+      let o =
+        run ~model ~epsilon q ~costs plan ~lookup:(fun a ->
+            Acq_data.Dataset.get ds r a)
+      in
+      let truth = Acq_plan.Query.eval q (Acq_data.Dataset.row ds r) in
+      cost := !cost +. o.cost;
+      skipped := !skipped + o.skipped;
+      if o.verdict = truth then incr correct
+      else if o.verdict then incr fp
+      else incr fn
+    done;
+    let f x = float_of_int x /. float_of_int n in
+    {
+      avg_cost = !cost /. float_of_int n;
+      accuracy = f !correct;
+      false_positives = f !fp;
+      false_negatives = f !fn;
+      avg_skipped = float_of_int !skipped /. float_of_int n;
+    }
+  end

@@ -1,0 +1,52 @@
+(** Approximate query answers — the Section 7 "Approximate answers"
+    extension (model-driven acquisition in the style of the BBQ
+    system the paper cites as [9], executed over *conditional* plans
+    as the paper proposes to explore).
+
+    The executor consults a Chow-Liu model while traversing the plan:
+    before acquiring a predicate's attribute, it computes the
+    probability that the predicate holds given everything acquired on
+    this path. If that probability is at least [1 - epsilon] the
+    predicate is assumed true without acquisition; if it is at most
+    [epsilon] the tuple is rejected without acquisition. Otherwise the
+    attribute is acquired as usual.
+
+    Unlike everything else in this library, this deliberately trades
+    the paper's exact-answer guarantee for energy; {!evaluate} reports
+    the realized accuracy so the trade-off is measurable. [epsilon=0]
+    never skips and reproduces the exact executor bit for bit. *)
+
+type outcome = {
+  verdict : bool;
+  cost : float;
+  acquired : int list;
+  skipped : int;  (** predicate evaluations answered by the model *)
+}
+
+val run :
+  model:Acq_prob.Chow_liu.t ->
+  epsilon:float ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_plan.Plan.t ->
+  lookup:(int -> int) ->
+  outcome
+(** @raise Invalid_argument unless [0 <= epsilon < 0.5]. *)
+
+type report = {
+  avg_cost : float;
+  accuracy : float;  (** fraction of tuples with the correct verdict *)
+  false_positives : float;  (** fraction of all tuples wrongly accepted *)
+  false_negatives : float;
+  avg_skipped : float;
+}
+
+val evaluate :
+  model:Acq_prob.Chow_liu.t ->
+  epsilon:float ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_plan.Plan.t ->
+  Acq_data.Dataset.t ->
+  report
+(** Run over every tuple and compare against ground truth. *)

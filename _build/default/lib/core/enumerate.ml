@@ -1,0 +1,68 @@
+let rec count k = if k <= 1 then max 1 k else k * count (k - 1) * count (k - 1)
+
+(* Complete trees: acquire every remaining attribute along each path.
+   Attributes are binary, so acquiring = one split at threshold 1. *)
+let rec complete_trees remaining =
+  match remaining with
+  | [] -> [ Acq_plan.Plan.const true ]  (* placeholder leaf, replaced by pruning *)
+  | _ ->
+      List.concat_map
+        (fun i ->
+          let rest = List.filter (fun j -> j <> i) remaining in
+          let subs = complete_trees rest in
+          List.concat_map
+            (fun low ->
+              List.map
+                (fun high ->
+                  Acq_plan.Plan.Test { attr = i; threshold = 1; low; high })
+                subs)
+            subs)
+        remaining
+
+let rec prune q ranges tree =
+  match Acq_plan.Query.truth_under q ranges with
+  | Acq_plan.Predicate.True -> Acq_plan.Plan.const true
+  | Acq_plan.Predicate.False -> Acq_plan.Plan.const false
+  | Acq_plan.Predicate.Unknown -> (
+      match tree with
+      | Acq_plan.Plan.Leaf _ ->
+          (* Complete trees decide every query attribute, so an
+             undecided leaf means the query references an attribute
+             outside the schema — impossible by construction. *)
+          assert false
+      | Acq_plan.Plan.Test { attr; threshold; low; high } ->
+          let lo_range, hi_range =
+            Acq_plan.Range.split ranges.(attr) threshold
+          in
+          Acq_plan.Plan.Test
+            {
+              attr;
+              threshold;
+              low = prune q (Subproblem.with_range ranges attr lo_range) low;
+              high = prune q (Subproblem.with_range ranges attr hi_range) high;
+            })
+
+let all_plans q ~costs est =
+  let schema = Acq_plan.Query.schema q in
+  let domains = Acq_data.Schema.domains schema in
+  let n = Array.length domains in
+  if n > 4 then invalid_arg "Enumerate.all_plans: more than 4 attributes";
+  Array.iter
+    (fun k ->
+      if k <> 2 then invalid_arg "Enumerate.all_plans: attributes must be binary")
+    domains;
+  let ranges0 = Subproblem.initial schema in
+  let attrs = List.init n (fun i -> i) in
+  List.map
+    (fun tree ->
+      let plan = prune q ranges0 tree in
+      (plan, Expected_cost.of_plan q ~costs est plan))
+    (complete_trees attrs)
+
+let best q ~costs est =
+  match all_plans q ~costs est with
+  | [] -> invalid_arg "Enumerate.best: no plans"
+  | first :: rest ->
+      List.fold_left
+        (fun ((_, bc) as b) ((_, c) as x) -> if c < bc then x else b)
+        first rest

@@ -1,0 +1,30 @@
+(** Generate-and-test plan enumeration for tiny problems — the
+    Section 2.2 example (Figure 3).
+
+    For a schema of [k] binary attributes there are
+    [count k = k * count (k-1) ^ 2] complete acquisition-order trees
+    (12 for the figure's three attributes). Each tree is pruned the
+    way the figure grays out unreachable regions — a subtree is
+    replaced by a constant leaf as soon as the observed ranges decide
+    the clause — and costed exactly. Used by the Figure 3 bench and as
+    a brute-force optimality oracle for the exhaustive planner's
+    tests. *)
+
+val count : int -> int
+(** Number of complete plans over [k] binary attributes. *)
+
+val all_plans :
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  (Acq_plan.Plan.t * float) list
+(** Every pruned complete plan with its expected cost. Requires every
+    attribute to be binary and at most 4 attributes.
+    @raise Invalid_argument otherwise. *)
+
+val best :
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t * float
+(** Minimum-cost plan from {!all_plans}. *)

@@ -1,0 +1,157 @@
+exception Budget_exceeded
+
+type memo_entry =
+  | Exact of float * Acq_plan.Plan.t
+  | Lower_bound of float
+      (* a previous bounded search proved the optimum is >= this *)
+
+let last_solved = ref 0
+
+let last_hits = ref 0
+
+let stats_last_run () = (!last_solved, !last_hits)
+
+let plan ?(budget = 2_000_000) ?model q ~costs ~grid est =
+  let schema = Acq_plan.Query.schema q in
+  let domains = Acq_data.Schema.domains schema in
+  let n = Array.length domains in
+  let atomic_of ranges i =
+    match model with
+    | Some m -> Subproblem.acquisition_cost_model ranges ~domains ~model:m i
+    | None -> Subproblem.acquisition_cost ranges ~domains ~costs i
+  in
+  let sort_costs =
+    match model with
+    | Some m -> Acq_plan.Cost_model.worst_case m
+    | None -> costs
+  in
+  let memo : (string, memo_entry) Hashtbl.t = Hashtbl.create 4096 in
+  let solved = ref 0 and hits = ref 0 in
+  (* Cheap attributes first: good plans surface early, which tightens
+     the pruning bound for the rest of the search. *)
+  let attr_order =
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare (sort_costs.(a), a) (sort_costs.(b), b)) idx;
+    idx
+  in
+  let fallback_leaf ranges =
+    (* Leaf for a branch the search will not model probabilistically:
+       honor truth decided by the ranges, otherwise evaluate whatever
+       is still unknown so the plan stays correct on any tuple. *)
+    match Acq_plan.Query.truth_under q ranges with
+    | Acq_plan.Predicate.True -> Acq_plan.Plan.const true
+    | Acq_plan.Predicate.False -> Acq_plan.Plan.const false
+    | Acq_plan.Predicate.Unknown ->
+        Acq_plan.Plan.Leaf
+          (Acq_plan.Plan.Seq
+             (Array.of_list (Acq_plan.Query.unknown_predicates q ranges)))
+  in
+  (* [solve ranges lazy_est bound] returns [(cost, Some plan)] when an
+     optimum strictly below [bound] exists, [(bound, None)] otherwise.
+     The estimator is a thunk so that memo hits never pay for view
+     restriction. *)
+  let rec solve ranges lazy_est bound =
+    match Acq_plan.Query.truth_under q ranges with
+    | Acq_plan.Predicate.True -> (0.0, Some (Acq_plan.Plan.const true))
+    | Acq_plan.Predicate.False -> (0.0, Some (Acq_plan.Plan.const false))
+    | Acq_plan.Predicate.Unknown ->
+        if Subproblem.all_query_attrs_acquired ranges ~domains q then
+          (0.0, Some (fallback_leaf ranges))
+        else begin
+          let key = Subproblem.key ranges in
+          match Hashtbl.find_opt memo key with
+          | Some (Exact (cost, plan)) ->
+              incr hits;
+              if cost < bound then (cost, Some plan) else (bound, None)
+          | Some (Lower_bound lb) when bound <= lb ->
+              incr hits;
+              (bound, None)
+          | Some (Lower_bound _) | None ->
+              let est = Lazy.force lazy_est in
+              if Acq_prob.Estimator.is_empty est then
+                (0.0, Some (fallback_leaf ranges))
+              else begin
+                incr solved;
+                if !solved > budget then raise Budget_exceeded;
+                let c_min = ref bound and best = ref None in
+                Array.iter (fun i -> explore ranges est i c_min best) attr_order;
+                match !best with
+                | Some plan when !c_min < bound ->
+                    Hashtbl.replace memo key (Exact (!c_min, plan));
+                    (!c_min, Some plan)
+                | Some _ | None ->
+                    let prev =
+                      match Hashtbl.find_opt memo key with
+                      | Some (Lower_bound lb) -> lb
+                      | Some (Exact _) | None -> neg_infinity
+                    in
+                    Hashtbl.replace memo key (Lower_bound (Float.max prev bound));
+                    (bound, None)
+              end
+        end
+  and explore ranges est i c_min best =
+    let candidates = Spsf.candidates grid i ranges.(i) in
+    if candidates <> [] then begin
+      let atomic = atomic_of ranges i in
+      if atomic < !c_min then begin
+        (* One conditional histogram per attribute gives every split
+           probability in O(1) — Equation (7)'s prefix-sum rule. *)
+        let vp = est.Acq_prob.Estimator.value_probs i in
+        let prefix = Array.make (Array.length vp + 1) 0.0 in
+        Array.iteri (fun v p -> prefix.(v + 1) <- prefix.(v) +. p) vp;
+        List.iter
+          (fun x ->
+            let lo_range, hi_range = Acq_plan.Range.split ranges.(i) x in
+            let p_lo = prefix.(lo_range.hi + 1) -. prefix.(lo_range.lo) in
+            let p_hi = 1.0 -. p_lo in
+            let running = ref atomic in
+            let side range p =
+              let ranges' = Subproblem.with_range ranges i range in
+              if p <= 0.0 then Some (0.0, fallback_leaf ranges')
+              else begin
+                let child_bound = (!c_min -. !running) /. p in
+                let child_est =
+                  lazy (est.Acq_prob.Estimator.restrict_range i range)
+                in
+                match solve ranges' child_est child_bound with
+                | cost, Some plan -> Some (p *. cost, plan)
+                | _, None -> None
+              end
+            in
+            match side lo_range p_lo with
+            | None -> ()
+            | Some (w_lo, plan_lo) -> (
+                running := !running +. w_lo;
+                if !running < !c_min then
+                  match side hi_range p_hi with
+                  | None -> ()
+                  | Some (w_hi, plan_hi) ->
+                      running := !running +. w_hi;
+                      if !running < !c_min then begin
+                        c_min := !running;
+                        best :=
+                          Some
+                            (Acq_plan.Plan.Test
+                               {
+                                 attr = i;
+                                 threshold = x;
+                                 low = plan_lo;
+                                 high = plan_hi;
+                               })
+                      end))
+          candidates
+      end
+    end
+  in
+  let ranges0 = Subproblem.initial schema in
+  let seq_order, seq_cost = Seq_planner.order ?model q ~costs est in
+  let result =
+    (* Seed with the sequential optimum; only a strictly better
+       conditional plan displaces it, so ties keep the smaller plan. *)
+    match solve ranges0 (lazy est) (seq_cost -. 1e-9) with
+    | cost, Some plan -> (plan, cost)
+    | _, None -> (Acq_plan.Plan.sequential seq_order, seq_cost)
+  in
+  last_solved := !solved;
+  last_hits := !hits;
+  result

@@ -1,0 +1,39 @@
+(** The optimal conditional planner — the depth-first dynamic program
+    of Figure 5, with subproblem memoization and bound pruning.
+
+    Subproblems are range vectors; splitting attribute [i] at
+    threshold [x] divides [R_i] into [[a, x-1]] and [[x, b]] and
+    recurses with the estimator conditioned on each side, exactly
+    Equation (5). Results are cached only when the search completed
+    below its pruning bound, as in the figure's final guard, so every
+    cache entry is a true optimum.
+
+    Three leaf cases close the recursion: ranges decide the clause
+    (constant leaf); every query attribute is acquired (free residual
+    [Seq] leaf); or the subproblem has no training support, in which
+    case a sequential fallback leaf keeps the plan correct for test
+    tuples that do reach it (expected training cost 0).
+
+    Worst-case complexity is exponential in the number of attributes
+    (Theorem 3.1 makes that unavoidable), so calls carry an explicit
+    node budget. *)
+
+exception Budget_exceeded
+
+val plan :
+  ?budget:int ->
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  grid:Spsf.t ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t * float
+(** Optimal plan over the grid's split space and its expected cost
+    under the estimator. The search is seeded with the optimal
+    sequential plan as an upper bound, so the result never costs more
+    than CorrSeq. [budget] (default 2,000,000) bounds the number of
+    subproblem expansions. @raise Budget_exceeded when exceeded. *)
+
+val stats_last_run : unit -> int * int
+(** (subproblems solved, cache hits) of the most recent call —
+    exposed for the scalability bench. *)

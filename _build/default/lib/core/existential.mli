@@ -1,0 +1,70 @@
+(** Existential queries — the Section 7 generalization: "is there a
+    sensor recording high light AND high temperature?".
+
+    The query is a disjunction over groups (typically one group per
+    mote), each group a conjunction of range predicates. Execution
+    stops at the first satisfied group, so the optimizer's job flips:
+    instead of evaluating the predicate most likely to *fail* first,
+    it probes the group most likely to *succeed* per unit of expected
+    cost — and cheap correlated attributes tell it, per tuple, which
+    group that is.
+
+    Plans mirror the conjunctive planner's shape: a (depth-bounded)
+    tree of conditioning tests on cheap attributes with, at each leaf,
+    an ordering of the groups and an inner fail-fast ordering of each
+    group's predicates. Acquisitions are shared across groups: a
+    second group reading an attribute the first already acquired pays
+    nothing. *)
+
+type query = {
+  schema : Acq_data.Schema.t;
+  groups : Acq_plan.Predicate.t array array;
+}
+
+val query :
+  Acq_data.Schema.t -> Acq_plan.Predicate.t list list -> query
+(** @raise Invalid_argument on empty queries/groups or out-of-domain
+    predicates. *)
+
+val eval : query -> int array -> bool
+(** OR over groups of AND over predicates. *)
+
+type plan =
+  | Seq of { group_order : int array; inner : int array array }
+      (** probe groups in [group_order]; within group [g], evaluate
+          its predicates in the order [inner.(g)] (indices into the
+          group) *)
+  | Cond of { attr : int; threshold : int; low : plan; high : plan }
+
+type outcome = { verdict : bool; cost : float; acquired : int list }
+
+val run : query -> costs:float array -> plan -> lookup:(int -> int) -> outcome
+
+val average_cost :
+  query -> costs:float array -> plan -> Acq_data.Dataset.t -> float
+
+val consistent :
+  query -> costs:float array -> plan -> Acq_data.Dataset.t -> bool
+
+val naive_plan : query -> costs:float array -> Acq_data.Dataset.t -> plan
+(** Correlation-blind baseline: groups ranked once by marginal
+    [expected group cost / P(group succeeds)], inner orders by the
+    classic fail-fast rank. *)
+
+val greedy_seq_plan : query -> costs:float array -> Acq_data.Dataset.t -> plan
+(** Correlation-aware sequential plan: each next group is chosen
+    conditioned on every previous group having failed (the dual of
+    GreedySeq's conditioning on passes). *)
+
+val plan :
+  ?max_depth:int ->
+  ?candidate_attrs:int list ->
+  ?points_per_attr:int ->
+  query ->
+  costs:float array ->
+  Acq_data.Dataset.t ->
+  plan
+(** Conditional existential plan: top-down greedy splits on candidate
+    attributes (default: all) up to [max_depth] (default 3), with
+    {!greedy_seq_plan} leaves; a split is kept only when it lowers the
+    expected cost on the training view. *)

@@ -1,0 +1,79 @@
+module IntSet = Set.Make (Int)
+
+let atomic_of model set attr =
+  Acq_plan.Cost_model.atomic model attr ~acquired:(fun j -> IntSet.mem j set)
+
+let seq_cost ~model q est acquired order =
+  let rec go est acquired = function
+    | [] -> 0.0
+    | j :: rest ->
+        let p = Acq_plan.Query.predicate q j in
+        let atomic = atomic_of model acquired p.Acq_plan.Predicate.attr in
+        let pt = est.Acq_prob.Estimator.pred_prob p in
+        let acquired = IntSet.add p.Acq_plan.Predicate.attr acquired in
+        if pt <= 0.0 then atomic
+        else
+          atomic
+          +. (pt *. go (est.Acq_prob.Estimator.restrict_pred p true) acquired rest)
+  in
+  go est acquired order
+
+let resolve_model model costs =
+  match model with Some m -> m | None -> Acq_plan.Cost_model.uniform costs
+
+let of_order ?model q ~costs ?acquired est order =
+  let model = resolve_model model costs in
+  let init =
+    match acquired with
+    | None -> IntSet.empty
+    | Some flags ->
+        Acq_util.Array_util.fold_lefti
+          (fun s i b -> if b then IntSet.add i s else s)
+          IntSet.empty flags
+  in
+  seq_cost ~model q est init order
+
+let of_plan ?model q ~costs est plan =
+  let model = resolve_model model costs in
+  let schema = Acq_plan.Query.schema q in
+  let domains = Acq_data.Schema.domains schema in
+  let rec go est acquired = function
+    | Acq_plan.Plan.Leaf (Acq_plan.Plan.Const _) -> 0.0
+    | Acq_plan.Plan.Leaf (Acq_plan.Plan.Seq preds) ->
+        seq_cost ~model q est acquired (Array.to_list preds)
+    | Acq_plan.Plan.Test { attr; threshold; low; high } ->
+        let atomic = atomic_of model acquired attr in
+        let acquired = IntSet.add attr acquired in
+        (* Degenerate thresholds (possible in hand-built or decoded
+           plans) send every tuple down one side. *)
+        let k = domains.(attr) in
+        let p_high =
+          if threshold >= k then 0.0
+          else if threshold <= 0 then 1.0
+          else
+            est.Acq_prob.Estimator.range_prob attr
+              (Acq_plan.Range.make threshold (k - 1))
+        in
+        let high_cost =
+          if p_high <= 0.0 then 0.0
+          else
+            let hr = Acq_plan.Range.make (min threshold (k - 1)) (k - 1) in
+            let est' =
+              if threshold <= 0 then est
+              else est.Acq_prob.Estimator.restrict_range attr hr
+            in
+            p_high *. go est' acquired high
+        in
+        let low_cost =
+          if p_high >= 1.0 then 0.0
+          else
+            let lr = Acq_plan.Range.make 0 (min (k - 1) (threshold - 1)) in
+            let est' =
+              if threshold >= k then est
+              else est.Acq_prob.Estimator.restrict_range attr lr
+            in
+            (1.0 -. p_high) *. go est' acquired low
+        in
+        atomic +. high_cost +. low_cost
+  in
+  go est IntSet.empty plan

@@ -1,0 +1,31 @@
+(** Analytic expected plan cost — Equation (3).
+
+    The recursion walks the plan tree, charging each node's atomic
+    cost (an attribute's acquisition cost the first time a path
+    touches it) and weighting subtrees by conditional probabilities
+    supplied by the estimator, which is restricted as the walk
+    descends. With the empirical estimator over the training data this
+    is provably equal to the Equation (4) average of per-tuple
+    traversal costs — a property test enforces it. *)
+
+val of_plan :
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t ->
+  float
+(** [model] prices acquisitions with a history-dependent cost model
+    (Section 7 boards); defaults to the uniform [costs]. *)
+
+val of_order :
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  ?acquired:bool array ->
+  Acq_prob.Estimator.t ->
+  int list ->
+  float
+(** Expected cost of evaluating the given predicate order
+    sequentially, short-circuiting on the first failure. [acquired]
+    marks attributes already paid for (default: none). *)

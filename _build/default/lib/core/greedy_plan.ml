@@ -1,0 +1,113 @@
+type leaf_state = {
+  ranges : Subproblem.t;
+  est : Acq_prob.Estimator.t;
+  reach : float;
+  truth : Acq_plan.Predicate.truth;
+  seq_order : int list;
+  seq_cost : float;
+  split : Greedy_split.t option;
+}
+
+type node = Pending of leaf_state | Expanded of expanded
+and expanded = { attr : int; threshold : int; low : cell; high : cell }
+and cell = { mutable node : node }
+
+(* Encoded size of the plan fragments a split adds: one test node
+   (tag + attr + 2-byte threshold) plus one extra leaf header; each
+   leaf also re-lists its residual predicates, bounded by the parent's
+   list, so the net predicate-id bytes are <= m. *)
+let split_size_estimate n_unknown = 4 + 2 + n_unknown
+
+let plan ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
+    ?(size_alpha = 0.0) ?model q ~costs ~grid ~max_splits est =
+  let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
+  let make_leaf ranges est reach =
+    let truth = Acq_plan.Query.truth_under q ranges in
+    match truth with
+    | Acq_plan.Predicate.True | Acq_plan.Predicate.False ->
+        { ranges; est; reach; truth; seq_order = []; seq_cost = 0.0; split = None }
+    | Acq_plan.Predicate.Unknown ->
+        let subset = Acq_plan.Query.unknown_predicates q ranges in
+        let acquired =
+          Array.init (Array.length domains) (fun i ->
+              Subproblem.acquired ranges ~domains i)
+        in
+        let seq_order, seq_cost =
+          Seq_planner.order ?optseq_threshold ?model q ~costs ~acquired ~subset
+            est
+        in
+        let split =
+          if reach <= 0.0 || Acq_prob.Estimator.is_empty est then None
+          else
+            Greedy_split.find ?optseq_threshold ?candidate_attrs ?model q ~costs
+              ~grid ~ranges est
+        in
+        { ranges; est; reach; truth; seq_order; seq_cost; split }
+  in
+  let queue = Priority_queue.create () in
+  let enqueue cell state =
+    match state.split with
+    | Some s ->
+        (* Section 2.4's joint objective: a split must buy more
+           expected cost than its marginal plan bytes are worth. *)
+        let size_toll =
+          size_alpha *. float_of_int (split_size_estimate (List.length state.seq_order))
+        in
+        let gain = (state.reach *. (state.seq_cost -. s.cost)) -. size_toll in
+        if state.seq_cost -. s.cost > min_gain && gain > 0.0 then
+          Priority_queue.push queue gain cell
+    | None -> ()
+  in
+  let root_state =
+    make_leaf (Subproblem.initial (Acq_plan.Query.schema q)) est 1.0
+  in
+  let root = { node = Pending root_state } in
+  enqueue root root_state;
+  let splits = ref 0 in
+  let continue = ref true in
+  while !continue && !splits < max_splits do
+    match Priority_queue.pop queue with
+    | None -> continue := false
+    | Some (_, cell) -> (
+        match cell.node with
+        | Expanded _ -> () (* stale entry; cannot happen with one entry per cell *)
+        | Pending state -> (
+            match state.split with
+            | None -> ()
+            | Some { attr; threshold; _ } ->
+                incr splits;
+                let lo_range, hi_range =
+                  Acq_plan.Range.split state.ranges.(attr) threshold
+                in
+                let p_lo =
+                  state.est.Acq_prob.Estimator.range_prob attr lo_range
+                in
+                let child range p =
+                  let ranges = Subproblem.with_range state.ranges attr range in
+                  let est' =
+                    if p <= 0.0 then state.est
+                    else state.est.Acq_prob.Estimator.restrict_range attr range
+                  in
+                  let st = make_leaf ranges est' (state.reach *. p) in
+                  let c = { node = Pending st } in
+                  enqueue c st;
+                  c
+                in
+                let low = child lo_range p_lo in
+                let high = child hi_range (1.0 -. p_lo) in
+                cell.node <- Expanded { attr; threshold; low; high }))
+  done;
+  let rec freeze cell =
+    match cell.node with
+    | Pending st -> (
+        match st.truth with
+        | Acq_plan.Predicate.True -> Acq_plan.Plan.const true
+        | Acq_plan.Predicate.False -> Acq_plan.Plan.const false
+        | Acq_plan.Predicate.Unknown -> Acq_plan.Plan.sequential st.seq_order)
+    | Expanded { attr; threshold; low; high } ->
+        Acq_plan.Plan.Test
+          { attr; threshold; low = freeze low; high = freeze high }
+  in
+  let plan = freeze root in
+  let cost = Expected_cost.of_plan ?model q ~costs est plan in
+  (plan, cost)

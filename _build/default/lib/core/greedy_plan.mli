@@ -1,0 +1,37 @@
+(** The greedy conditional planning algorithm — Figure 7.
+
+    The plan starts as a single leaf holding the optimal sequential
+    plan. A priority queue over leaves orders candidate expansions by
+    expected gain
+
+    [P(reach leaf) * (C(sequential plan) - C(best greedy split))]
+
+    and the highest-gain leaf is replaced by its Figure-6 split until
+    [max_splits] conditioning nodes have been added, no expansion has
+    positive gain, or no candidate threshold remains. [Heuristic-k]
+    in the paper's evaluation is this planner with [max_splits = k];
+    [max_splits = 0] degenerates to CorrSeq. *)
+
+val plan :
+  ?optseq_threshold:int ->
+  ?candidate_attrs:int list ->
+  ?min_gain:float ->
+  ?size_alpha:float ->
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  grid:Spsf.t ->
+  max_splits:int ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t * float
+(** Plan and its expected cost under the estimator. [min_gain]
+    (default [1e-9]) is the smallest expected gain worth a split —
+    also the tie-breaking epsilon that keeps zero-benefit splits from
+    bloating plans the radio must ship.
+
+    [size_alpha] (default 0) is the Section 2.4 joint objective
+    [argmin C(P) + alpha * zeta(P)]: each candidate split's expected
+    gain is discounted by [alpha] times the bytes it adds to the
+    encoded plan, so for a short-lived continuous query (large alpha =
+    transmission cost amortized over few tuples) the planner ships a
+    smaller tree. *)

@@ -1,0 +1,70 @@
+type t = { cost : float; attr : int; threshold : int }
+
+(* Expected sequential-completion cost of a subproblem: 0 when the
+   ranges decide the clause, else the CorrSeq cost over the still
+   unknown predicates with range-acquired attributes free. *)
+let side_cost ?optseq_threshold ?model q ~costs ~domains ranges est p =
+  if p <= 0.0 then 0.0
+  else
+    match Acq_plan.Query.truth_under q ranges with
+    | Acq_plan.Predicate.True | Acq_plan.Predicate.False -> 0.0
+    | Acq_plan.Predicate.Unknown ->
+        let subset = Acq_plan.Query.unknown_predicates q ranges in
+        let acquired =
+          Array.init (Array.length domains) (fun i ->
+              Subproblem.acquired ranges ~domains i)
+        in
+        let _, cost =
+          Seq_planner.order ?optseq_threshold ?model q ~costs ~acquired ~subset
+            est
+        in
+        cost
+
+let find ?optseq_threshold ?candidate_attrs ?model q ~costs ~grid ~ranges est =
+  let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
+  let atomic_of i =
+    match model with
+    | Some m -> Subproblem.acquisition_cost_model ranges ~domains ~model:m i
+    | None -> Subproblem.acquisition_cost ranges ~domains ~costs i
+  in
+  let attrs =
+    match candidate_attrs with
+    | Some l -> l
+    | None -> List.init (Array.length domains) (fun i -> i)
+  in
+  let best = ref None in
+  let consider cost attr threshold =
+    match !best with
+    | Some b when b.cost <= cost -> ()
+    | Some _ | None -> best := Some { cost; attr; threshold }
+  in
+  List.iter
+    (fun i ->
+      let atomic = atomic_of i in
+      let skip =
+        match !best with Some b -> atomic >= b.cost | None -> false
+      in
+      if not skip then
+        List.iter
+          (fun x ->
+            let lo_range, hi_range = Acq_plan.Range.split ranges.(i) x in
+            let p_lo = est.Acq_prob.Estimator.range_prob i lo_range in
+            let p_hi = 1.0 -. p_lo in
+            let lo_ranges = Subproblem.with_range ranges i lo_range in
+            let hi_ranges = Subproblem.with_range ranges i hi_range in
+            let est_for range p =
+              if p <= 0.0 then est
+              else est.Acq_prob.Estimator.restrict_range i range
+            in
+            let c_lo =
+              side_cost ?optseq_threshold ?model q ~costs ~domains lo_ranges
+                (est_for lo_range p_lo) p_lo
+            in
+            let c_hi =
+              side_cost ?optseq_threshold ?model q ~costs ~domains hi_ranges
+                (est_for hi_range p_hi) p_hi
+            in
+            consider (atomic +. (p_lo *. c_lo) +. (p_hi *. c_hi)) i x)
+          (Spsf.candidates grid i ranges.(i)))
+    attrs;
+  !best

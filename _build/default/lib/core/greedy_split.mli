@@ -1,0 +1,31 @@
+(** Locally optimal binary splits — Figure 6 / Equation (6).
+
+    For a subproblem, evaluate every candidate conditioning predicate
+    [T(X_i >= x)] by the expected cost of taking it now and running
+    the optimal (or greedy, for wide queries) *sequential* plan in
+    each branch; return the cheapest. The split's value relative to
+    just running the sequential plan directly is what the greedy
+    planner uses as its expansion priority. *)
+
+type t = {
+  cost : float;
+      (** expected cost of the split node plus its two sequential
+          subplans, including the split attribute's acquisition cost *)
+  attr : int;
+  threshold : int;
+}
+
+val find :
+  ?optseq_threshold:int ->
+  ?candidate_attrs:int list ->
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  grid:Spsf.t ->
+  ranges:Subproblem.t ->
+  Acq_prob.Estimator.t ->
+  t option
+(** Best split of the subproblem, or [None] when no candidate
+    threshold exists. [candidate_attrs] restricts which attributes may
+    be conditioned on (default: all); the query's own predicates are
+    still fully evaluated by the sequential subplans either way. *)

@@ -1,0 +1,62 @@
+let order ?model q ~costs ?acquired ?subset est =
+  let model =
+    match model with Some m -> m | None -> Acq_plan.Cost_model.uniform costs
+  in
+  let subset =
+    match subset with
+    | Some s -> s
+    | None -> List.init (Acq_plan.Query.n_predicates q) (fun j -> j)
+  in
+  let acquired =
+    match acquired with
+    | Some a -> Array.copy a
+    | None -> Array.make (Array.length costs) false
+  in
+  let remaining = ref subset in
+  let est = ref est in
+  let chosen = ref [] in
+  let total = ref 0.0 in
+  let reach = ref 1.0 in
+  while !remaining <> [] do
+    (* Rank every remaining predicate under the current conditioning. *)
+    let scored =
+      List.map
+        (fun j ->
+          let p = Acq_plan.Query.predicate q j in
+          let pass = (!est).Acq_prob.Estimator.pred_prob p in
+          let atomic =
+            Acq_plan.Cost_model.atomic model p.attr ~acquired:(fun a ->
+                acquired.(a))
+          in
+          let rank =
+            if pass >= 1.0 then infinity else atomic /. (1.0 -. pass)
+          in
+          (rank, atomic, pass, j))
+        !remaining
+    in
+    let best =
+      List.fold_left
+        (fun acc x ->
+          match acc with
+          | None -> Some x
+          | Some ((r, _, _, _) as b) ->
+              let r', _, _, _ = x in
+              if r' < r then Some x else Some b)
+        None scored
+    in
+    let _, atomic, pass, j =
+      match best with Some b -> b | None -> assert false
+    in
+    let p = Acq_plan.Query.predicate q j in
+    total := !total +. (!reach *. atomic);
+    reach := !reach *. pass;
+    acquired.(p.attr) <- true;
+    chosen := j :: !chosen;
+    remaining := List.filter (fun k -> k <> j) !remaining;
+    (* Once the reach probability hits 0 the tail ordering no longer
+       affects expected cost, but it must still be emitted so the plan
+       stays correct on test tuples that do reach it. *)
+    if !remaining <> [] && pass > 0.0 then
+      est := (!est).Acq_prob.Estimator.restrict_pred p true
+  done;
+  (List.rev !chosen, !total)

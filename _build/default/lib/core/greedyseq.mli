@@ -1,0 +1,18 @@
+(** Greedy sequential plans (Section 4.1.3; Munagala et al., ICDT
+    2005). Repeatedly pick the unevaluated predicate minimizing
+    [C_j / (1 - p_j)] where [p_j] is its probability of passing given
+    that every previously chosen predicate passed. 4-approximate, and
+    — unlike {!Optseq} — polynomial, so it is the base sequential
+    planner for queries with many predicates (the paper uses it for
+    the Garden and Synthetic experiments). *)
+
+val order :
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  ?acquired:bool array ->
+  ?subset:int list ->
+  Acq_prob.Estimator.t ->
+  int list * float
+(** Greedy order over [subset] (default: all predicates) and its
+    expected cost under the estimator. *)

@@ -1,0 +1,19 @@
+let order ?model q ~costs est =
+  (* A traditional optimizer budgets each attribute independently, so
+     under a board model it sees the cold-board (worst-case) price. *)
+  let costs =
+    match model with
+    | Some m -> Acq_plan.Cost_model.worst_case m
+    | None -> costs
+  in
+  let m = Acq_plan.Query.n_predicates q in
+  let rank j =
+    let p = Acq_plan.Query.predicate q j in
+    let pass = est.Acq_prob.Estimator.pred_prob p in
+    if pass >= 1.0 then infinity else costs.(p.attr) /. (1.0 -. pass)
+  in
+  let ranked = Array.init m (fun j -> (rank j, j)) in
+  Array.sort compare ranked;
+  Array.to_list (Array.map snd ranked)
+
+let plan ?model q ~costs est = Acq_plan.Plan.sequential (order ?model q ~costs est)

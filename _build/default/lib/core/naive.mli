@@ -1,0 +1,22 @@
+(** The traditional optimizer baseline (Section 4.1.1): order the
+    predicates by rank [cost / (1 - p_pass)] ascending, where
+    [p_pass] is the predicate's marginal pass probability over the
+    historical data (Krishnamurthy-Boral-Zaniolo). Correlations are
+    deliberately ignored — this is the strawman every figure compares
+    against. *)
+
+val order :
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  int list
+(** Predicate indices in evaluation order. A predicate that never
+    fails ranks last (infinite rank); ties break by query position. *)
+
+val plan :
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t

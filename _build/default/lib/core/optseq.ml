@@ -1,0 +1,106 @@
+exception Too_many_predicates
+
+let max_predicates = 15
+
+(* Superset-sum: out.(s) = sum over patterns t >= s (bitwise) of
+   probs.(t), i.e. P(all predicates in s are true). *)
+let zeta_transform probs m =
+  let f = Array.copy probs in
+  for bit = 0 to m - 1 do
+    let b = 1 lsl bit in
+    for mask = (1 lsl m) - 1 downto 0 do
+      if mask land b = 0 then f.(mask) <- f.(mask) +. f.(mask lor b)
+    done
+  done;
+  f
+
+let order_of_patterns ?atomic ~pattern_probs ~pred_costs ~shared_attr () =
+  let m = Array.length pred_costs in
+  if m > max_predicates then raise Too_many_predicates;
+  if Array.length pattern_probs <> 1 lsl m then
+    invalid_arg "Optseq.order_of_patterns: pattern length mismatch";
+  if m = 0 then ([], 0.0)
+  else begin
+    let n_true = zeta_transform pattern_probs m in
+    let size = 1 lsl m in
+    let j_cost = Array.make size 0.0 in
+    let choice = Array.make size (-1) in
+    (* Default atomic cost: an attribute is free for predicate j
+       within state S if some already-evaluated predicate shares it.
+       Callers with history-dependent cost models supply [atomic]. *)
+    let default_atomic s j =
+      let attr = shared_attr.(j) in
+      let shared = ref false in
+      for k = 0 to m - 1 do
+        if k <> j && s land (1 lsl k) <> 0 && shared_attr.(k) = attr then
+          shared := true
+      done;
+      if !shared then 0.0 else pred_costs.(j)
+    in
+    let atomic = match atomic with Some f -> f | None -> default_atomic in
+    for s = size - 2 downto 0 do
+      let best = ref infinity and best_j = ref (-1) in
+      for j = 0 to m - 1 do
+        if s land (1 lsl j) = 0 then begin
+          let s' = s lor (1 lsl j) in
+          let p_cond = if n_true.(s) <= 0.0 then 0.0 else n_true.(s') /. n_true.(s) in
+          let c = atomic s j +. (p_cond *. j_cost.(s')) in
+          if c < !best then begin
+            best := c;
+            best_j := j
+          end
+        end
+      done;
+      j_cost.(s) <- !best;
+      choice.(s) <- !best_j
+    done;
+    let rec follow s acc =
+      if choice.(s) < 0 then List.rev acc
+      else
+        let j = choice.(s) in
+        follow (s lor (1 lsl j)) (j :: acc)
+    in
+    (follow 0 [], j_cost.(0))
+  end
+
+let order ?model q ~costs ?acquired ?subset est =
+  let subset =
+    match subset with
+    | Some s -> Array.of_list s
+    | None -> Array.init (Acq_plan.Query.n_predicates q) (fun j -> j)
+  in
+  let m = Array.length subset in
+  if m > max_predicates then raise Too_many_predicates;
+  let preds = Array.map (Acq_plan.Query.predicate q) subset in
+  let pattern_probs = est.Acq_prob.Estimator.pattern_probs preds in
+  let already attr =
+    match acquired with Some a -> a.(attr) | None -> false
+  in
+  let pred_costs =
+    Array.map
+      (fun (p : Acq_plan.Predicate.t) ->
+        if already p.attr then 0.0 else costs.(p.attr))
+      preds
+  in
+  let shared_attr = Array.map (fun (p : Acq_plan.Predicate.t) -> p.attr) preds in
+  let atomic =
+    match model with
+    | None -> None
+    | Some model ->
+        (* Acquired = externally acquired attrs plus attributes of the
+           predicates already evaluated in state [s]. *)
+        Some
+          (fun s j ->
+            let is_acquired a =
+              already a
+              || Array.exists
+                   (fun k -> s land (1 lsl k) <> 0 && shared_attr.(k) = a)
+                   (Array.init m (fun k -> k))
+            in
+            if is_acquired shared_attr.(j) then 0.0
+            else Acq_plan.Cost_model.atomic model shared_attr.(j) ~acquired:is_acquired)
+  in
+  let positions, cost =
+    order_of_patterns ?atomic ~pattern_probs ~pred_costs ~shared_attr ()
+  in
+  (List.map (fun pos -> subset.(pos)) positions, cost)

@@ -1,0 +1,51 @@
+(** Optimal sequential plans (Section 4.1.2).
+
+    The query is rediscretized: each remaining predicate becomes a
+    binary attribute [X'_j = 1 iff phi_j holds]. A dynamic program
+    over the subsets of confirmed-true predicates,
+
+    [J(S) = min_{j not in S} c_j(S) + P(phi_j | all of S true) J(S + j)],
+
+    yields the minimum expected cost predicate order in O(m 2^m).
+    Conditional probabilities come from the joint pattern distribution
+    of the estimator via a superset-sum (zeta) transform, so the whole
+    computation takes a single pass over the training view. *)
+
+exception Too_many_predicates
+(** Raised when asked to order more than {!max_predicates}
+    predicates; use {!Greedyseq} instead. *)
+
+val max_predicates : int
+(** 15: the subset DP allocates [2^m] floats. *)
+
+val order :
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  ?acquired:bool array ->
+  ?subset:int list ->
+  Acq_prob.Estimator.t ->
+  int list * float
+(** [order q ~costs est] returns the optimal order over [subset]
+    (default: all predicates) and its expected cost, given that
+    attributes flagged in [acquired] have already been paid for.
+    [model] prices acquisitions history-dependently (Section 7
+    boards) — the DP state (set of evaluated predicates) already
+    determines the acquired attributes, so optimality is preserved.
+    @raise Too_many_predicates when the subset exceeds the limit. *)
+
+val order_of_patterns :
+  ?atomic:(int -> int -> float) ->
+  pattern_probs:float array ->
+  pred_costs:float array ->
+  shared_attr:int array ->
+  unit ->
+  int list * float
+(** Lower-level entry: [pattern_probs] is the joint over [m]
+    predicate bits (bit [j] = predicate [j] true), [pred_costs.(j)]
+    the acquisition cost of predicate [j]'s attribute (0 if already
+    acquired), and [shared_attr.(j)] an attribute id used to charge an
+    attribute only once when several predicates read it. [atomic s j]
+    (optional) overrides the cost of evaluating predicate [j] in state
+    [s] (bitmask of already-evaluated predicates). Returns positions
+    [0..m-1] in order plus the expected cost. *)

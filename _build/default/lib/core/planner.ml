@@ -1,0 +1,54 @@
+type algorithm = Naive | Corr_seq | Heuristic | Exhaustive
+
+let algorithm_name = function
+  | Naive -> "Naive"
+  | Corr_seq -> "CorrSeq"
+  | Heuristic -> "Heuristic"
+  | Exhaustive -> "Exhaustive"
+
+type options = {
+  split_points_per_attr : int;
+  max_splits : int;
+  optseq_threshold : int;
+  candidate_attrs : int list option;
+  exhaustive_budget : int;
+  size_alpha : float;
+  cost_model : Acq_plan.Cost_model.t option;
+}
+
+let default_options =
+  {
+    split_points_per_attr = 8;
+    max_splits = 5;
+    optseq_threshold = Seq_planner.default_optseq_threshold;
+    candidate_attrs = None;
+    exhaustive_budget = 2_000_000;
+    size_alpha = 0.0;
+    cost_model = None;
+  }
+
+let plan_with_estimator ?(options = default_options) algorithm q ~costs est =
+  let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
+  let grid =
+    Spsf.for_query ~domains ~points_per_attr:options.split_points_per_attr q
+  in
+  let model = options.cost_model in
+  match algorithm with
+  | Naive ->
+      let p = Naive.plan ?model q ~costs est in
+      (p, Expected_cost.of_plan ?model q ~costs est p)
+  | Corr_seq ->
+      Seq_planner.plan ~optseq_threshold:options.optseq_threshold ?model q
+        ~costs est
+  | Heuristic ->
+      Greedy_plan.plan ~optseq_threshold:options.optseq_threshold
+        ?candidate_attrs:options.candidate_attrs ~size_alpha:options.size_alpha
+        ?model q ~costs ~grid ~max_splits:options.max_splits est
+  | Exhaustive ->
+      Exhaustive.plan ~budget:options.exhaustive_budget ?model q ~costs ~grid
+        est
+
+let plan ?options algorithm q ~train =
+  let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
+  let est = Acq_prob.Estimator.empirical train in
+  plan_with_estimator ?options algorithm q ~costs est

@@ -1,0 +1,57 @@
+(** Top-level planning facade: pick an algorithm, hand it training
+    data (or any estimator), get a conditional plan plus its expected
+    training cost. This is the API the examples, the CLI, the sensor
+    basestation, and the benchmark harness all build on. *)
+
+type algorithm =
+  | Naive  (** rank by cost/(1 - selectivity), correlation-blind *)
+  | Corr_seq  (** best sequential plan (OptSeq or GreedySeq) *)
+  | Heuristic  (** greedy conditional planner, Figure 7 *)
+  | Exhaustive  (** optimal conditional planner, Figure 5 *)
+
+val algorithm_name : algorithm -> string
+
+type options = {
+  split_points_per_attr : int;
+      (** equal-width candidate thresholds per attribute (plus each
+          query predicate's boundaries); the SPSF knob *)
+  max_splits : int;  (** Heuristic-k's k *)
+  optseq_threshold : int;
+      (** widest query OptSeq handles before falling back to
+          GreedySeq *)
+  candidate_attrs : int list option;
+      (** restrict conditioning attributes (e.g. cheap ones only);
+          [None] = all *)
+  exhaustive_budget : int;  (** subproblem budget for {!Exhaustive} *)
+  size_alpha : float;
+      (** Section 2.4's joint objective [C(P) + alpha * zeta(P)]:
+          discounts each Heuristic split by the bytes it adds; 0
+          disables. Exhaustive bounds plan size via the split grid and
+          ignores alpha (the paper's "we focus on limiting plan
+          sizes"). *)
+  cost_model : Acq_plan.Cost_model.t option;
+      (** history-dependent acquisition pricing (Section 7's sensor
+          boards); [None] uses the schema's per-attribute costs *)
+}
+
+val default_options : options
+(** 8 split points, 5 splits, OptSeq up to 12 predicates, all
+    attributes, 2M subproblems, no size penalty. *)
+
+val plan :
+  ?options:options ->
+  algorithm ->
+  Acq_plan.Query.t ->
+  train:Acq_data.Dataset.t ->
+  Acq_plan.Plan.t * float
+(** Plan with the empirical estimator over [train]; returns the plan
+    and its expected cost on the training distribution. *)
+
+val plan_with_estimator :
+  ?options:options ->
+  algorithm ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t * float
+(** Same, against an arbitrary estimator (e.g. a Chow-Liu model). *)

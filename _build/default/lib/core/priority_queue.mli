@@ -1,0 +1,15 @@
+(** Mutable binary max-heap keyed by float priority. Used by the
+    greedy conditional planner (Figure 7) to pick the leaf whose
+    expansion promises the largest expected cost reduction. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the highest-priority element. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,31 @@
+(** Dispatcher for sequential base plans: the paper's CorrSeq.
+
+    Uses {!Optseq} (optimal, O(m 2^m)) when at most
+    [optseq_threshold] predicates remain, otherwise {!Greedyseq} —
+    matching Section 6's choice of OptSeq for the Lab dataset and
+    GreedySeq for Garden/Synthetic. *)
+
+val default_optseq_threshold : int
+(** 12. *)
+
+val order :
+  ?optseq_threshold:int ->
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  ?acquired:bool array ->
+  ?subset:int list ->
+  Acq_prob.Estimator.t ->
+  int list * float
+(** Sequential order over [subset] (default: all predicates) and its
+    expected cost. *)
+
+val plan :
+  ?optseq_threshold:int ->
+  ?model:Acq_plan.Cost_model.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Estimator.t ->
+  Acq_plan.Plan.t * float
+(** Top-level CorrSeq plan (a single [Seq] leaf) and its expected
+    cost. *)

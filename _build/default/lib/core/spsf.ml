@@ -1,0 +1,56 @@
+type t = { points : int array array }
+
+let dedup_sorted l =
+  List.sort_uniq compare (List.filter (fun x -> x >= 1) l)
+
+let equal_width_points k r =
+  if k <= 1 then []
+  else begin
+    let r = min r (k - 1) in
+    (* Thresholds at j * K / (r+1), j = 1..r, clamped into [1, K-1]. *)
+    dedup_sorted
+      (List.init r (fun j ->
+           let x = (j + 1) * k / (r + 1) in
+           max 1 (min (k - 1) x)))
+  end
+
+let equal_width ~domains ~points_per_attr =
+  {
+    points =
+      Array.map
+        (fun k -> Array.of_list (equal_width_points k points_per_attr))
+        domains;
+  }
+
+let full ~domains =
+  {
+    points =
+      Array.map (fun k -> Array.init (max 0 (k - 1)) (fun i -> i + 1)) domains;
+  }
+
+let for_query ~domains ~points_per_attr q =
+  let base =
+    Array.map
+      (fun k -> equal_width_points k points_per_attr)
+      domains
+  in
+  Array.iter
+    (fun (p : Acq_plan.Predicate.t) ->
+      let k = domains.(p.attr) in
+      let clamp x = max 1 (min (k - 1) x) in
+      base.(p.attr) <-
+        dedup_sorted (clamp p.lo :: clamp (p.hi + 1) :: base.(p.attr)))
+    (Acq_plan.Query.predicates q);
+  { points = Array.map Array.of_list base }
+
+let candidates t i (r : Acq_plan.Range.t) =
+  Array.fold_right
+    (fun x acc -> if r.lo < x && x <= r.hi then x :: acc else acc)
+    t.points.(i) []
+
+let points t i = t.points.(i)
+
+let spsf t =
+  Array.fold_left
+    (fun acc pts -> acc *. float_of_int (max 1 (Array.length pts)))
+    1.0 t.points

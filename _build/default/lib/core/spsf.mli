@@ -1,0 +1,37 @@
+(** Split-point restriction (Section 4.3).
+
+    Conditional planners only consider thresholds drawn from a
+    per-attribute candidate grid. The paper's Split Point Selection
+    Factor is the product of the per-attribute candidate counts; a
+    small SPSF makes the exhaustive planner tractable at the price of
+    obscuring correlations (the paper's Figure 8(b) experiment).
+
+    Grids built by {!for_query} always include every query predicate's
+    decision boundaries so that plans can resolve the predicates
+    themselves — without them a coarse grid could leave a predicate's
+    truth forever undecidable. *)
+
+type t
+
+val equal_width : domains:int array -> points_per_attr:int -> t
+(** Up to [points_per_attr] equally spaced interior thresholds per
+    attribute (every threshold [x] satisfies [1 <= x <= K_i - 1]). *)
+
+val full : domains:int array -> t
+(** Every possible threshold — an unrestricted SPSF. *)
+
+val for_query :
+  domains:int array -> points_per_attr:int -> Acq_plan.Query.t -> t
+(** Equal-width grid plus each predicate's boundary thresholds
+    ([lo] and [hi + 1], clamped to the valid threshold range). *)
+
+val candidates : t -> int -> Acq_plan.Range.t -> int list
+(** Thresholds [x] usable to split the given range of attribute [i],
+    i.e. grid points with [range.lo < x <= range.hi], ascending. *)
+
+val points : t -> int -> int array
+(** All candidate thresholds of one attribute. *)
+
+val spsf : t -> float
+(** Product of per-attribute candidate counts (attributes with no
+    interior point contribute a factor 1). *)

@@ -1,0 +1,31 @@
+type t = Acq_plan.Range.t array
+
+let initial schema =
+  Array.map Acq_plan.Range.full (Acq_data.Schema.domains schema)
+
+let acquired t ~domains i = not (Acq_plan.Range.is_full t.(i) domains.(i))
+
+let acquisition_cost t ~domains ~costs i =
+  if acquired t ~domains i then 0.0 else costs.(i)
+
+let acquisition_cost_model t ~domains ~model i =
+  Acq_plan.Cost_model.atomic model i ~acquired:(fun j -> acquired t ~domains j)
+
+let with_range t i r =
+  let t' = Array.copy t in
+  t'.(i) <- r;
+  t'
+
+let all_query_attrs_acquired t ~domains q =
+  List.for_all (fun i -> acquired t ~domains i) (Acq_plan.Query.attrs q)
+
+let key t =
+  let buf = Buffer.create (Array.length t * 6) in
+  Array.iter
+    (fun (r : Acq_plan.Range.t) ->
+      Buffer.add_string buf (string_of_int r.lo);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int r.hi);
+      Buffer.add_char buf ';')
+    t;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Planner subproblems: the attribute-range vectors of Section 3.2.
+
+    A subproblem [Subproblem(phi, R_1, ..., R_n)] records, for every
+    attribute, the range of values consistent with the conditioning
+    predicates applied so far. [R_i] strictly inside the full domain
+    means attribute [i] has been acquired on this path. *)
+
+type t = Acq_plan.Range.t array
+
+val initial : Acq_data.Schema.t -> t
+(** Full domains everywhere — nothing observed yet. *)
+
+val acquired : t -> domains:int array -> int -> bool
+(** Has attribute [i]'s range been narrowed? *)
+
+val acquisition_cost : t -> domains:int array -> costs:float array -> int -> float
+(** The paper's [C'_i]: the attribute's cost if unobserved, else 0. *)
+
+val acquisition_cost_model :
+  t -> domains:int array -> model:Acq_plan.Cost_model.t -> int -> float
+(** As {!acquisition_cost} with a history-dependent cost model; the
+    acquired set is exactly the narrowed-range attributes, so
+    subproblem-keyed memoization stays valid. *)
+
+val with_range : t -> int -> Acq_plan.Range.t -> t
+(** Functional update of one attribute's range. *)
+
+val all_query_attrs_acquired :
+  t -> domains:int array -> Acq_plan.Query.t -> bool
+(** Base case of the exhaustive recursion: every query attribute has
+    been acquired, so the residual predicates resolve for free. *)
+
+val key : t -> string
+(** Injective encoding used as the memoization key. *)

@@ -1,0 +1,1 @@
+lib/data/attribute.ml: Array Discretize Printf

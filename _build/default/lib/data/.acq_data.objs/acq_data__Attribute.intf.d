@@ -1,0 +1,1 @@
+lib/data/attribute.mli: Discretize

@@ -1,0 +1,1 @@
+lib/data/csv_io.ml: Acq_util Array Attribute Dataset List Schema

@@ -1,0 +1,1 @@
+lib/data/dataset.ml: Acq_util Array Attribute List Printf Schema

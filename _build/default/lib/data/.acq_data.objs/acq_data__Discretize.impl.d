@@ -1,0 +1,1 @@
+lib/data/discretize.ml: Array Float

@@ -1,0 +1,1 @@
+lib/data/garden_gen.ml: Acq_util Array Attribute Dataset Discretize Float List Schema

@@ -1,0 +1,1 @@
+lib/data/garden_gen.mli: Acq_util Dataset Schema

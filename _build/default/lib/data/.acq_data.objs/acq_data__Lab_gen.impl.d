@@ -1,0 +1,1 @@
+lib/data/lab_gen.ml: Acq_util Array Attribute Dataset Discretize Float Schema

@@ -1,0 +1,1 @@
+lib/data/lab_gen.mli: Acq_util Dataset Schema

@@ -1,0 +1,1 @@
+lib/data/schema.ml: Acq_util Array Attribute Hashtbl List

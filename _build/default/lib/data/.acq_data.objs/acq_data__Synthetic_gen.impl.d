@@ -1,0 +1,1 @@
+lib/data/synthetic_gen.ml: Acq_util Array Attribute Dataset List Printf Schema

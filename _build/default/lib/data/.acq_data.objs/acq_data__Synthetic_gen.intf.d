@@ -1,0 +1,1 @@
+lib/data/synthetic_gen.mli: Acq_util Dataset Schema

@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  cost : float;
+  domain : int;
+  binner : Discretize.t option;
+}
+
+let check name cost domain =
+  if name = "" then invalid_arg "Attribute: empty name";
+  if cost <= 0.0 then invalid_arg "Attribute: cost must be positive";
+  if domain < 2 then invalid_arg "Attribute: domain must be >= 2"
+
+let discrete ~name ~cost ~domain =
+  check name cost domain;
+  { name; cost; domain; binner = None }
+
+let continuous ~name ~cost ~binner =
+  let domain = Discretize.bins binner in
+  check name cost domain;
+  { name; cost; domain; binner = Some binner }
+
+let is_expensive t = t.cost > 10.0
+
+let coarsen t ~factor =
+  (* Never collapse below two bins — a one-value domain cannot carry a
+     predicate or a split. *)
+  let factor = max 1 (min factor (t.domain / 2)) in
+  if factor <= 1 then t
+  else begin
+    let domain = (t.domain + factor - 1) / factor in
+    let domain = max 2 domain in
+    let binner =
+      match t.binner with
+      | None -> None
+      | Some b ->
+          let k = Discretize.bins b in
+          (* Keep every [factor]-th edge plus the final one. *)
+          let edges = ref [ Discretize.upper b (k - 1) ] in
+          let j = ref (k - (k mod factor)) in
+          if !j = k then j := k - factor;
+          while !j > 0 do
+            edges := Discretize.lower b !j :: !edges;
+            j := !j - factor
+          done;
+          Some (Discretize.of_edges (Array.of_list (Discretize.lower b 0 :: !edges)))
+    in
+    match binner with
+    | Some b -> { t with domain = Discretize.bins b; binner }
+    | None -> { t with domain; binner }
+  end
+
+let describe_value t v =
+  match t.binner with
+  | None -> string_of_int v
+  | Some b -> Printf.sprintf "%.1f" (Discretize.mid b v)
+
+let describe_threshold t v =
+  match t.binner with
+  | None -> string_of_int v
+  | Some b -> Printf.sprintf "%.1f" (Discretize.lower b v)

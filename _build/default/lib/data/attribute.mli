@@ -1,0 +1,42 @@
+(** Attribute metadata: name, acquisition cost, and discretized
+    domain.
+
+    Acquisition cost is the paper's [C_i] (Section 2.1): the price of
+    observing the attribute's value once, in abstract energy units. The
+    evaluation sections use 100 units for expensive sensing attributes
+    and 1 unit for cheap ones (time, node id, battery voltage). *)
+
+type t = private {
+  name : string;
+  cost : float;  (** acquisition cost [C_i], must be positive *)
+  domain : int;  (** domain size [K_i]; values are [0..domain-1] *)
+  binner : Discretize.t option;
+      (** present for continuous attributes; maps raw readings to bins
+          and bins back to raw units for display *)
+}
+
+val discrete : name:string -> cost:float -> domain:int -> t
+(** A naturally discrete attribute (hour of day, node id, binary
+    synthetic attribute). *)
+
+val continuous : name:string -> cost:float -> binner:Discretize.t -> t
+(** A continuous attribute; [domain] is the binner's bin count. *)
+
+val is_expensive : t -> bool
+(** True when the cost is more than 10 units — the informal cheap /
+    expensive divide used throughout the paper's evaluation. *)
+
+val coarsen : t -> factor:int -> t
+(** Merge every [factor] adjacent domain values (and bin edges, for
+    continuous attributes) into one, yielding a domain of
+    [ceil (domain / factor)] values. Used to shrink problems to sizes
+    the exhaustive planner can handle, as the paper had to
+    (Section 6.1). Identity when [factor <= 1]. *)
+
+val describe_value : t -> int -> string
+(** Render a domain value for humans: raw-unit midpoint for continuous
+    attributes, the integer itself otherwise. *)
+
+val describe_threshold : t -> int -> string
+(** Render the boundary of a test [X >= v] in raw units (the lower
+    edge of bin [v] for continuous attributes). *)

@@ -1,0 +1,41 @@
+let save path ds =
+  let schema = Dataset.schema ds in
+  let header = Array.to_list (Schema.names schema) in
+  let rows = ref [] in
+  for r = Dataset.nrows ds - 1 downto 0 do
+    rows :=
+      List.init (Schema.arity schema) (fun c ->
+          string_of_int (Dataset.get ds r c))
+      :: !rows
+  done;
+  Acq_util.Csv.write_file path (header :: !rows)
+
+let load schema path =
+  match Acq_util.Csv.read_file path with
+  | [] -> failwith "Csv_io.load: empty file"
+  | header :: rows ->
+      if header <> Array.to_list (Schema.names schema) then
+        failwith "Csv_io.load: header does not match schema";
+      let parse_row row =
+        Array.of_list
+          (List.map
+             (fun s ->
+               match int_of_string_opt s with
+               | Some v -> v
+               | None -> failwith ("Csv_io.load: not an integer: " ^ s))
+             row)
+      in
+      Dataset.create schema (Array.of_list (List.map parse_row rows))
+
+let save_raw path ds =
+  let schema = Dataset.schema ds in
+  let header = Array.to_list (Schema.names schema) in
+  let cell r c =
+    let a = Schema.attr schema c in
+    Attribute.describe_value a (Dataset.get ds r c)
+  in
+  let rows = ref [] in
+  for r = Dataset.nrows ds - 1 downto 0 do
+    rows := List.init (Schema.arity schema) (cell r) :: !rows
+  done;
+  Acq_util.Csv.write_file path (header :: !rows)

@@ -1,0 +1,18 @@
+(** Dataset persistence as CSV.
+
+    The on-disk format stores discretized cell values with a header
+    row of attribute names, so a saved dataset reloads bit-for-bit
+    against the same schema. Raw-unit export is also provided for
+    plotting and for feeding external tools. *)
+
+val save : string -> Dataset.t -> unit
+(** Write header + one row per tuple (discretized integer cells). *)
+
+val load : Schema.t -> string -> Dataset.t
+(** Reload a dataset saved by {!save}. @raise Failure if the header
+    does not match the schema's attribute names or a cell is not an
+    integer. *)
+
+val save_raw : string -> Dataset.t -> unit
+(** Like {!save} but continuous attributes are written as raw-unit bin
+    midpoints — convenient for external plotting, not reloadable. *)

@@ -1,0 +1,48 @@
+(** Discretized historical data: the [D] of Section 5.
+
+    Storage is a single row-major int array, so a 400k x 6 lab trace is
+    one 2.4M-cell array — scanning it (the paper's "one pass over the
+    dataset") is cache friendly. Every cell of column [i] lies in
+    [0 .. K_i - 1]. *)
+
+type t
+
+val create : Schema.t -> int array array -> t
+(** [create schema rows] copies [rows] (each of length [arity schema])
+    into a dataset. @raise Invalid_argument on ragged rows or
+    out-of-domain cells. *)
+
+val schema : t -> Schema.t
+val nrows : t -> int
+val ncols : t -> int
+
+val get : t -> int -> int -> int
+(** [get d row col]. Bounds are the caller's responsibility; this is
+    the planner's innermost loop. *)
+
+val row : t -> int -> int array
+(** Fresh copy of one tuple. *)
+
+val column : t -> int -> int array
+(** Fresh copy of one attribute's column. *)
+
+val split_by_time : t -> train_fraction:float -> t * t
+(** Leading fraction as training data, the rest as test data. The
+    paper evaluates on non-overlapping time windows (Section 6, "Test
+    v. Training"), so the split is positional, not random. *)
+
+val subsample : t -> Acq_util.Rng.t -> int -> t
+(** [subsample d rng k] draws [k] rows without replacement (all rows,
+    in order, if [k >= nrows]). *)
+
+val append : t -> t -> t
+(** Concatenate two datasets over the same schema. *)
+
+val coarsen : t -> factors:int array -> t
+(** Re-bin each attribute [i] by merging [factors.(i)] adjacent
+    values (see {!Attribute.coarsen}); cell values become
+    [v / factors.(i)]. Shrinks attribute domains so the exhaustive
+    planner's subproblem space stays tractable. *)
+
+val iter_rows : t -> (int -> unit) -> unit
+(** Apply a function to each row index in order. *)

@@ -1,0 +1,59 @@
+type t = { edges : float array }
+
+let of_edges edges =
+  let n = Array.length edges in
+  if n < 2 then invalid_arg "Discretize.of_edges: need at least 2 edges";
+  for i = 0 to n - 2 do
+    if edges.(i) >= edges.(i + 1) then
+      invalid_arg "Discretize.of_edges: edges must be strictly increasing"
+  done;
+  { edges }
+
+let equal_width ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Discretize.equal_width: bins <= 0";
+  if hi <= lo then invalid_arg "Discretize.equal_width: hi <= lo";
+  let w = (hi -. lo) /. float_of_int bins in
+  of_edges (Array.init (bins + 1) (fun i -> lo +. (w *. float_of_int i)))
+
+let equal_depth data ~bins =
+  if bins <= 0 then invalid_arg "Discretize.equal_depth: bins <= 0";
+  if Array.length data = 0 then invalid_arg "Discretize.equal_depth: no data";
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let quantile q =
+    let rank = q *. float_of_int (n - 1) in
+    sorted.(int_of_float (Float.round rank))
+  in
+  let raw =
+    Array.init (bins + 1) (fun i -> quantile (float_of_int i /. float_of_int bins))
+  in
+  (* Nudge duplicate edges apart; a constant column still needs K
+     well-formed bins. *)
+  for i = 1 to bins do
+    if raw.(i) <= raw.(i - 1) then raw.(i) <- raw.(i - 1) +. 1e-9
+  done;
+  of_edges raw
+
+let bins t = Array.length t.edges - 1
+
+let bin_of t v =
+  let k = bins t in
+  if v < t.edges.(0) then 0
+  else if v >= t.edges.(k) then k - 1
+  else begin
+    (* Binary search for the bin whose [lower, upper) contains v. *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let m = (lo + hi) / 2 in
+        if v < t.edges.(m + 1) then go lo m else go (m + 1) hi
+    in
+    go 0 (k - 1)
+  end
+
+let lower t j = t.edges.(j)
+
+let upper t j = t.edges.(j + 1)
+
+let mid t j = (t.edges.(j) +. t.edges.(j + 1)) /. 2.0

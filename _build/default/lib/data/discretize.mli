@@ -1,0 +1,39 @@
+(** Discretization of real-valued attributes into integer bins.
+
+    The paper (Section 2.1) requires every attribute to take values in
+    a finite domain [{0..K-1}]; sensor voltages and lux readings are
+    continuous, so each continuous attribute carries one of these bin
+    maps. Bin [j] covers the half-open interval
+    [[edges.(j), edges.(j+1))]; the last bin additionally includes the
+    upper edge so that the full range is covered. *)
+
+type t
+
+val of_edges : float array -> t
+(** [of_edges edges] builds a binner from [K+1] strictly increasing
+    edges. @raise Invalid_argument if fewer than 2 edges or not
+    strictly increasing. *)
+
+val equal_width : lo:float -> hi:float -> bins:int -> t
+(** Equal-width bins spanning [[lo, hi]]. *)
+
+val equal_depth : float array -> bins:int -> t
+(** Bin edges at the sample quantiles of the given data, so each bin
+    holds roughly the same number of samples. Duplicate quantiles are
+    nudged apart to keep edges strictly increasing. *)
+
+val bins : t -> int
+(** Number of bins [K]. *)
+
+val bin_of : t -> float -> int
+(** Map a raw value to its bin; values outside [[lo, hi]] clamp to the
+    first/last bin. *)
+
+val lower : t -> int -> float
+(** Lower edge of a bin. *)
+
+val upper : t -> int -> float
+(** Upper edge of a bin. *)
+
+val mid : t -> int -> float
+(** Midpoint of a bin, used when pretty-printing plans in raw units. *)

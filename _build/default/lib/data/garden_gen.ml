@@ -1,0 +1,106 @@
+module Rng = Acq_util.Rng
+
+let max_motes = 11
+
+let idx_time = 0
+let idx_temp m = 1 + (3 * m)
+let idx_humid m = 2 + (3 * m)
+let idx_volt m = 3 + (3 * m)
+
+let temp_bins_nominal = Discretize.equal_width ~lo:0.0 ~hi:30.0 ~bins:16
+let humid_bins_nominal = Discretize.equal_width ~lo:40.0 ~hi:100.0 ~bins:16
+let volt_bins_nominal = Discretize.equal_width ~lo:2.6 ~hi:3.1 ~bins:8
+
+let schema_with ~n_motes ~binner_of =
+  if n_motes < 1 || n_motes > max_motes then
+    invalid_arg "Garden_gen.schema: n_motes must be in [1, 11]";
+  let per_mote m =
+    let s i = i ^ string_of_int m in
+    [
+      Attribute.continuous ~name:(s "temp") ~cost:100.0
+        ~binner:(binner_of (idx_temp m));
+      Attribute.continuous ~name:(s "humid") ~cost:100.0
+        ~binner:(binner_of (idx_humid m));
+      Attribute.continuous ~name:(s "volt") ~cost:1.0
+        ~binner:(binner_of (idx_volt m));
+    ]
+  in
+  Schema.create
+    (Attribute.discrete ~name:"time" ~cost:1.0 ~domain:24
+    :: List.concat_map per_mote (List.init n_motes (fun m -> m)))
+
+let schema ~n_motes =
+  schema_with ~n_motes ~binner_of:(fun i ->
+      match (i - 1) mod 3 with
+      | 0 -> temp_bins_nominal
+      | 1 -> humid_bins_nominal
+      | _ -> volt_bins_nominal)
+
+(* Per-mote microclimate: sun exposure sets the diurnal amplitude
+   (clearings swing hard, deep canopy barely moves) and elevation sets
+   a constant offset. Different motes therefore leave a mid-range
+   predicate band at different hours — exactly the per-tuple variation
+   conditional plans exploit, with the cheap [time] and [voltN]
+   attributes revealing which mote is currently out of band. *)
+let amplitude m = 2.0 +. (6.0 *. Float.abs (sin (float_of_int m *. 2.39)))
+
+let offset m = 3.0 *. sin (float_of_int m *. 1.7)
+
+let generate rng ~n_motes ~rows =
+  if n_motes < 1 || n_motes > max_motes then
+    invalid_arg "Garden_gen.generate: n_motes must be in [1, 11]";
+  let ncols = 1 + (3 * n_motes) in
+  let raw = Array.make_matrix rows ncols 0.0 in
+  let weather = ref 0.0 in
+  for r = 0 to rows - 1 do
+    let minutes = r * 10 in
+    let h = float_of_int (minutes mod 1440) /. 60.0 in
+    (* Shared weather drifts as a bounded random walk. *)
+    weather :=
+      Float.max (-2.0)
+        (Float.min 2.0 (!weather +. Rng.gaussian rng ~mean:0.0 ~stddev:0.15));
+    let diurnal = sin ((h -. 9.0) /. 24.0 *. 2.0 *. Float.pi) in
+    raw.(r).(idx_time) <- Float.of_int (int_of_float h mod 24);
+    for m = 0 to n_motes - 1 do
+      let temp =
+        13.0
+        +. (amplitude m *. diurnal)
+        +. offset m
+        +. !weather
+        +. Rng.gaussian rng ~mean:0.0 ~stddev:0.7
+      in
+      let humid =
+        88.0
+        -. (2.0 *. (temp -. 12.0))
+        +. (2.0 *. offset m)
+        +. Rng.gaussian rng ~mean:0.0 ~stddev:2.0
+      in
+      let volt =
+        2.82
+        +. (0.012 *. (temp -. 10.0))
+        +. Rng.gaussian rng ~mean:0.0 ~stddev:0.02
+      in
+      raw.(r).(idx_temp m) <- temp;
+      raw.(r).(idx_humid m) <- humid;
+      raw.(r).(idx_volt m) <- volt
+    done
+  done;
+  (* Equal-depth discretization fitted to this trace, so a uniformly
+     placed query band always interacts with the data — mirrors how a
+     deployment would bin on collected history. *)
+  let column i = Array.init rows (fun r -> raw.(r).(i)) in
+  let binners =
+    Array.init ncols (fun i ->
+        if i = idx_time then temp_bins_nominal (* unused for time *)
+        else
+          let bins = if (i - 1) mod 3 = 2 then 8 else 16 in
+          Discretize.equal_depth (column i) ~bins)
+  in
+  let schema = schema_with ~n_motes ~binner_of:(fun i -> binners.(i)) in
+  let out =
+    Array.init rows (fun r ->
+        Array.init ncols (fun i ->
+            if i = idx_time then int_of_float raw.(r).(i)
+            else Discretize.bin_of binners.(i) raw.(r).(i)))
+  in
+  Dataset.create schema out

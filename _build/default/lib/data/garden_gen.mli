@@ -1,0 +1,30 @@
+(** Synthetic stand-in for the paper's Garden dataset (Section 6):
+    11 motes in a forest, each reporting temperature, humidity, and
+    battery voltage; queries treat the whole network as one wide
+    tuple, so the schema is [time] followed by a
+    [tempN; humidN; voltN] triple per mote — 34 attributes for
+    Garden-11 and 16 for Garden-5, exactly the counts in the paper.
+
+    Correlation structure: all motes share one forest microclimate
+    (diurnal cycle plus a slowly drifting weather state), with per-mote
+    offsets from canopy cover, so any mote's cheap voltage — which
+    tracks its battery chemistry's temperature response — and the
+    global [time] predict every expensive attribute.
+
+    Costs follow the paper: temperature and humidity cost 100 units,
+    voltage and time cost 1 unit. *)
+
+val schema : n_motes:int -> Schema.t
+(** [time; temp0; humid0; volt0; temp1; ...]. [n_motes] must be in
+    [1, 11]. *)
+
+val generate : Acq_util.Rng.t -> n_motes:int -> rows:int -> Dataset.t
+(** Time-ordered epochs, one wide tuple per epoch. *)
+
+val idx_time : int
+
+val idx_temp : int -> int
+(** [idx_temp m] is the schema index of mote [m]'s temperature. *)
+
+val idx_humid : int -> int
+val idx_volt : int -> int

@@ -1,0 +1,117 @@
+module Rng = Acq_util.Rng
+
+let n_motes = 12
+
+let zone_split = 6
+
+let idx_nodeid = 0
+let idx_hour = 1
+let idx_voltage = 2
+let idx_light = 3
+let idx_temp = 4
+let idx_humidity = 5
+
+let light_bins = Discretize.equal_width ~lo:0.0 ~hi:800.0 ~bins:32
+let temp_bins = Discretize.equal_width ~lo:10.0 ~hi:35.0 ~bins:32
+let humidity_bins = Discretize.equal_width ~lo:20.0 ~hi:80.0 ~bins:32
+let voltage_bins = Discretize.equal_width ~lo:2.5 ~hi:3.1 ~bins:8
+
+let schema () =
+  Schema.create
+    [
+      Attribute.discrete ~name:"nodeid" ~cost:1.0 ~domain:n_motes;
+      Attribute.discrete ~name:"hour" ~cost:1.0 ~domain:24;
+      Attribute.continuous ~name:"voltage" ~cost:1.0 ~binner:voltage_bins;
+      Attribute.continuous ~name:"light" ~cost:100.0 ~binner:light_bins;
+      Attribute.continuous ~name:"temp" ~cost:100.0 ~binner:temp_bins;
+      Attribute.continuous ~name:"humidity" ~cost:100.0 ~binner:humidity_bins;
+    ]
+
+(* Sunlight reaching the lab windows: zero at night, a bell peaking at
+   13:00. Hours are local; fractions of an hour matter because epochs
+   are two minutes apart. *)
+let daylight h =
+  if h < 6.0 || h > 19.5 then 0.0
+  else
+    let x = (h -. 13.0) /. 5.0 in
+    600.0 *. exp (-.(x *. x))
+
+(* Probability that a zone is occupied at hour [h] on a given day.
+   Zone A (nodeid < zone_split) empties completely at night; zone B
+   hosts late sessions on [late] days. *)
+let occupancy_prob ~zone_b ~late h =
+  let day_part =
+    if h >= 8.0 && h <= 18.0 then 0.85
+    else if h > 18.0 && h <= 20.0 then 0.4
+    else if h >= 7.0 && h < 8.0 then 0.3
+    else 0.0
+  in
+  if zone_b && late && (h >= 20.0 || h < 2.0) then Float.max day_part 0.7
+  else day_part
+
+let generate rng ~rows =
+  let schema = schema () in
+  let out = Array.make rows [||] in
+  let r = ref 0 in
+  let epoch = ref 0 in
+  (* Per-day state: whether zone B has a late work session, and the
+     day's weather (scales daylight). *)
+  let late = ref false and weather = ref 1.0 and day = ref (-1) in
+  while !r < rows do
+    let minutes = !epoch * 2 in
+    let h = float_of_int (minutes mod 1440) /. 60.0 in
+    let d = minutes / 1440 in
+    if d <> !day then begin
+      day := d;
+      late := Rng.bernoulli rng 0.3;
+      weather := 0.5 +. Rng.float rng 0.5
+    end;
+    let hvac_on = h >= 7.0 && h <= 19.0 in
+    let mote = ref 0 in
+    while !mote < n_motes && !r < rows do
+      let m = !mote in
+      let zone_b = m >= zone_split in
+      let occupied =
+        Rng.bernoulli rng (occupancy_prob ~zone_b ~late:!late h)
+      in
+      let sun = daylight h *. !weather in
+      (* Window factor: motes further down the row see less sun. *)
+      let window = 0.6 +. (0.4 *. float_of_int (m mod zone_split) /. 5.0) in
+      let light =
+        (sun *. window)
+        +. (if occupied then 320.0 +. Rng.float rng 80.0 else 0.0)
+        +. Float.abs (Rng.gaussian rng ~mean:0.0 ~stddev:6.0)
+      in
+      let diurnal_temp = 4.0 *. sin ((h -. 9.0) /. 24.0 *. 2.0 *. Float.pi) in
+      let temp =
+        19.0 +. diurnal_temp
+        +. (if occupied then 1.5 else 0.0)
+        +. (if hvac_on then 1.0 else -1.5)
+        +. Rng.gaussian rng ~mean:0.0 ~stddev:0.6
+      in
+      let humidity =
+        (if hvac_on then 36.0 else 56.0)
+        +. (3.0 *. sin (float_of_int d /. 7.0))
+        +. Rng.gaussian rng ~mean:0.0 ~stddev:3.5
+      in
+      let voltage =
+        3.05
+        -. (0.25 *. float_of_int !r /. float_of_int rows)
+        +. (0.008 *. (temp -. 20.0))
+        +. Rng.gaussian rng ~mean:0.0 ~stddev:0.015
+      in
+      out.(!r) <-
+        [|
+          m;
+          int_of_float h mod 24;
+          Discretize.bin_of voltage_bins voltage;
+          Discretize.bin_of light_bins light;
+          Discretize.bin_of temp_bins temp;
+          Discretize.bin_of humidity_bins humidity;
+        |];
+      incr r;
+      incr mote
+    done;
+    incr epoch
+  done;
+  Dataset.create schema out

@@ -1,0 +1,43 @@
+type t = {
+  attributes : Attribute.t array;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create attrs =
+  if attrs = [] then invalid_arg "Schema.create: empty attribute list";
+  let attributes = Array.of_list attrs in
+  let by_name = Hashtbl.create (Array.length attributes) in
+  Array.iteri
+    (fun i (a : Attribute.t) ->
+      if Hashtbl.mem by_name a.name then
+        invalid_arg ("Schema.create: duplicate attribute " ^ a.name);
+      Hashtbl.add by_name a.name i)
+    attributes;
+  { attributes; by_name }
+
+let arity t = Array.length t.attributes
+
+let attr t i = t.attributes.(i)
+
+let index_of t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.by_name name
+
+let costs t = Array.map (fun (a : Attribute.t) -> a.cost) t.attributes
+
+let domains t = Array.map (fun (a : Attribute.t) -> a.domain) t.attributes
+
+let names t = Array.map (fun (a : Attribute.t) -> a.name) t.attributes
+
+let filter_indices p t =
+  Acq_util.Array_util.fold_lefti
+    (fun acc i a -> if p a then i :: acc else acc)
+    [] t.attributes
+  |> List.rev
+
+let expensive_indices t = filter_indices Attribute.is_expensive t
+
+let cheap_indices t = filter_indices (fun a -> not (Attribute.is_expensive a)) t

@@ -1,0 +1,34 @@
+(** A schema is the ordered list of attributes of the (single) query
+    table — the sensor network's virtual [sensors] relation in TinyDB
+    terms. Attribute indices into the schema are the [X_i] of the
+    paper. *)
+
+type t
+
+val create : Attribute.t list -> t
+(** @raise Invalid_argument on duplicate attribute names or an empty
+    list. *)
+
+val arity : t -> int
+(** Number of attributes [n]. *)
+
+val attr : t -> int -> Attribute.t
+(** Attribute by index. *)
+
+val index_of : t -> string -> int
+(** Index of a named attribute. @raise Not_found if absent. *)
+
+val mem : t -> string -> bool
+
+val costs : t -> float array
+(** Fresh array of acquisition costs, indexed like the schema. *)
+
+val domains : t -> int array
+(** Fresh array of domain sizes [K_i]. *)
+
+val names : t -> string array
+
+val expensive_indices : t -> int list
+(** Indices of attributes with [Attribute.is_expensive]. *)
+
+val cheap_indices : t -> int list

@@ -1,0 +1,75 @@
+module Rng = Acq_util.Rng
+
+type params = { n : int; gamma : int; sel : float }
+
+let check p =
+  if p.n < 2 then invalid_arg "Synthetic_gen: n must be >= 2";
+  if p.gamma < 1 then invalid_arg "Synthetic_gen: gamma must be >= 1";
+  if p.sel <= 0.0 || p.sel >= 1.0 then
+    invalid_arg "Synthetic_gen: sel must be in (0,1)"
+
+(* Group sizes: full groups of gamma+1, then one remainder group. *)
+let group_sizes p =
+  let size = p.gamma + 1 in
+  let rec go remaining acc =
+    if remaining = 0 then List.rev acc
+    else if remaining >= size then go (remaining - size) (size :: acc)
+    else List.rev ((remaining) :: acc)
+  in
+  go p.n []
+
+let n_groups p =
+  check p;
+  List.length (group_sizes p)
+
+let schema p =
+  check p;
+  let attrs =
+    List.concat
+      (List.mapi
+         (fun g size ->
+           List.init size (fun j ->
+               let name =
+                 if j = 0 then Printf.sprintf "g%d_cheap" g
+                 else Printf.sprintf "g%d_x%d" g j
+               in
+               let cost = if j = 0 then 1.0 else 100.0 in
+               Attribute.discrete ~name ~cost ~domain:2))
+         (group_sizes p))
+  in
+  Schema.create attrs
+
+let expensive_indices p =
+  check p;
+  let _, acc =
+    List.fold_left
+      (fun (base, acc) size ->
+        let here = List.init (size - 1) (fun j -> base + 1 + j) in
+        (base + size, acc @ here))
+      (0, []) (group_sizes p)
+  in
+  acc
+
+let generate rng p ~rows =
+  check p;
+  let schema = schema p in
+  let sizes = Array.of_list (group_sizes p) in
+  let out =
+    Array.init rows (fun _ ->
+        let row = Array.make p.n 0 in
+        let pos = ref 0 in
+        Array.iter
+          (fun size ->
+            let latent = if Rng.bernoulli rng p.sel then 1 else 0 in
+            let coherent = Rng.bernoulli rng 0.8 in
+            for j = 0 to size - 1 do
+              row.(!pos + j) <-
+                (if coherent then latent
+                 else if Rng.bernoulli rng p.sel then 1
+                 else 0)
+            done;
+            pos := !pos + size)
+          sizes;
+        row)
+  in
+  Dataset.create schema out

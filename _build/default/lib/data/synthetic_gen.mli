@@ -1,0 +1,29 @@
+(** The synthetic dataset of Babu et al. (SIGMOD 2004), as adapted by
+    the paper's Section 6:
+
+    - [n] binary attributes split into groups of [gamma + 1] (the last
+      group may be smaller when [gamma + 1] does not divide [n]);
+    - any two attributes in the same group take identical values for
+      approximately 80% of tuples (implemented as: with probability
+      0.8 the whole group copies one latent bit, otherwise each member
+      is drawn independently);
+    - attributes in different groups are independent;
+    - every attribute's marginal P(X = 1) is [sel];
+    - the first attribute of each group is cheap (cost 1), all others
+      are expensive (cost 100).
+
+    The paper's query over this data is the conjunction
+    "every expensive attribute = 1". *)
+
+type params = { n : int; gamma : int; sel : float }
+
+val schema : params -> Schema.t
+(** Attributes named [gG_cheap] and [gG_xJ] in group order. *)
+
+val generate : Acq_util.Rng.t -> params -> rows:int -> Dataset.t
+
+val expensive_indices : params -> int list
+(** Schema indices of the expensive attributes, i.e. the paper's query
+    attributes, in order. *)
+
+val n_groups : params -> int

@@ -1,0 +1,1 @@
+lib/plan/cost_model.mli:

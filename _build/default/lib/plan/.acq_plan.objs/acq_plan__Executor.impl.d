@@ -1,0 +1,1 @@
+lib/plan/executor.ml: Acq_data Array Cost_model List Plan Predicate Query

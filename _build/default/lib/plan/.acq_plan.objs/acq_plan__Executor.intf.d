@@ -1,0 +1,1 @@
+lib/plan/executor.mli: Acq_data Cost_model Plan Query

@@ -1,0 +1,1 @@
+lib/plan/predicate.ml: Acq_data Array Printf Range

@@ -1,0 +1,1 @@
+lib/plan/predicate.mli: Acq_data Range

@@ -1,0 +1,1 @@
+lib/plan/printer.ml: Acq_data Array Buffer Format List Plan Predicate Printf Query String

@@ -1,0 +1,1 @@
+lib/plan/printer.mli: Format Plan Query

@@ -1,0 +1,1 @@
+lib/plan/query.ml: Acq_data Acq_util Array List Predicate String

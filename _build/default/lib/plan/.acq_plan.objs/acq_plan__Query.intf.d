@@ -1,0 +1,1 @@
+lib/plan/query.mli: Acq_data Predicate Range

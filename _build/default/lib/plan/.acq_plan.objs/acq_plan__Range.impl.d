@@ -1,0 +1,1 @@
+lib/plan/range.ml: Format

@@ -1,0 +1,1 @@
+lib/plan/serialize.ml: Array Buffer Bytes Char Plan Printf

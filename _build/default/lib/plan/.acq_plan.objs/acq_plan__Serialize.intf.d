@@ -1,0 +1,1 @@
+lib/plan/serialize.mli: Plan

@@ -1,0 +1,53 @@
+type t =
+  | Uniform of float array
+  | Boards of { board : int array; wakeup : float array; read : float array }
+
+let uniform costs = Uniform (Array.copy costs)
+
+let boards ~board ~wakeup ~read =
+  let n = Array.length board in
+  if Array.length read <> n then
+    invalid_arg "Cost_model.boards: board/read length mismatch";
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= Array.length wakeup then
+        invalid_arg "Cost_model.boards: board id out of range")
+    board;
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Cost_model.boards: negative wakeup")
+    wakeup;
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Cost_model.boards: negative read")
+    read;
+  Boards
+    {
+      board = Array.copy board;
+      wakeup = Array.copy wakeup;
+      read = Array.copy read;
+    }
+
+let n_attrs = function
+  | Uniform costs -> Array.length costs
+  | Boards { board; _ } -> Array.length board
+
+let atomic t i ~acquired =
+  if acquired i then 0.0
+  else
+    match t with
+    | Uniform costs -> costs.(i)
+    | Boards { board; wakeup; read } ->
+        let b = board.(i) in
+        let powered = ref false in
+        Array.iteri
+          (fun j bj -> if bj = b && j <> i && acquired j then powered := true)
+          board;
+        if !powered then read.(i) else wakeup.(b) +. read.(i)
+
+let worst_case = function
+  | Uniform costs -> Array.copy costs
+  | Boards { board; wakeup; read } ->
+      Array.mapi (fun i b -> wakeup.(b) +. read.(i)) board
+
+let best_case = function
+  | Uniform costs -> Array.copy costs
+  | Boards { read; _ } -> Array.copy read

@@ -1,0 +1,40 @@
+(** Acquisition cost models.
+
+    The paper's base model (Section 2.1) is one constant [C_i] per
+    attribute. Section 7 ("Complex acquisition costs") observes that
+    real motes carry sensor *boards* that power up as a unit: the
+    first reading from a board pays the wake-up cost, further readings
+    from the same board are nearly free — i.e. acquisition costs are
+    conditional on the attributes acquired so far. This module makes
+    that cost structure a first-class value that the executor and
+    every planner consume through one function, {!atomic}. *)
+
+type t
+
+val uniform : float array -> t
+(** The paper's base model: [atomic i] = [costs.(i)], independent of
+    history. *)
+
+val boards :
+  board:int array -> wakeup:float array -> read:float array -> t
+(** [boards ~board ~wakeup ~read]: attribute [i] lives on board
+    [board.(i)]; its first acquisition from a cold board costs
+    [wakeup.(board.(i)) + read.(i)], and [read.(i)] once any attribute
+    of the same board has been acquired on this path.
+    @raise Invalid_argument on negative costs or a board id out of
+    [wakeup]'s range. *)
+
+val n_attrs : t -> int
+
+val atomic : t -> int -> acquired:(int -> bool) -> float
+(** Cost of acquiring attribute [i] now, given which attributes have
+    already been acquired on this execution path. Returns 0 when [i]
+    itself is already acquired. *)
+
+val worst_case : t -> float array
+(** Per-attribute upper bound (cold-board cost) — what a
+    correlation-blind optimizer like Naive budgets with, and a valid
+    admissible bound for pruning. *)
+
+val best_case : t -> float array
+(** Per-attribute lower bound (warm-board cost). *)

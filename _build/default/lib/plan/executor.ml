@@ -1,0 +1,69 @@
+type outcome = { verdict : bool; cost : float; acquired : int list }
+
+let run ?model q ~costs plan ~lookup =
+  let model =
+    match model with Some m -> m | None -> Cost_model.uniform costs
+  in
+  let n = Array.length costs in
+  let acquired = Array.make n false in
+  let order = ref [] in
+  let cost = ref 0.0 in
+  let touch attr =
+    if not acquired.(attr) then begin
+      cost :=
+        !cost +. Cost_model.atomic model attr ~acquired:(fun j -> acquired.(j));
+      acquired.(attr) <- true;
+      order := attr :: !order
+    end;
+    lookup attr
+  in
+  let rec exec = function
+    | Plan.Leaf (Plan.Const b) -> b
+    | Plan.Leaf (Plan.Seq preds) ->
+        let rec eval_from i =
+          if i >= Array.length preds then true
+          else
+            let p = Query.predicate q preds.(i) in
+            let v = touch p.attr in
+            if Predicate.eval p v then eval_from (i + 1) else false
+        in
+        eval_from 0
+    | Plan.Test { attr; threshold; low; high } ->
+        let v = touch attr in
+        if v >= threshold then exec high else exec low
+  in
+  let verdict = exec plan in
+  { verdict; cost = !cost; acquired = List.rev !order }
+
+let run_tuple ?model q ~costs plan tuple =
+  run ?model q ~costs plan ~lookup:(fun attr -> tuple.(attr))
+
+let average_cost ?model q ~costs plan data =
+  let n = Acq_data.Dataset.nrows data in
+  if n = 0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    for r = 0 to n - 1 do
+      let o =
+        run ?model q ~costs plan ~lookup:(fun a -> Acq_data.Dataset.get data r a)
+      in
+      total := !total +. o.cost
+    done;
+    !total /. float_of_int n
+  end
+
+let consistent q ~costs plan data =
+  let n = Acq_data.Dataset.nrows data in
+  let ncols = Acq_data.Dataset.ncols data in
+  let ok = ref true in
+  let r = ref 0 in
+  while !ok && !r < n do
+    let row = !r in
+    let o =
+      run q ~costs plan ~lookup:(fun a -> Acq_data.Dataset.get data row a)
+    in
+    let tuple = Array.init ncols (fun c -> Acq_data.Dataset.get data row c) in
+    if o.verdict <> Query.eval q tuple then ok := false;
+    incr r
+  done;
+  !ok

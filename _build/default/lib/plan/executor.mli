@@ -1,0 +1,51 @@
+(** Plan execution with acquisition accounting — the per-tuple
+    traversal of Section 2.2 and Equation (1).
+
+    The executor tracks which attributes have been acquired on the
+    current path: the first test or sequential step touching an
+    attribute pays its acquisition cost [C_i]; every later touch is
+    free. This is exactly the atomic-cost rule of the paper. *)
+
+type outcome = {
+  verdict : bool;  (** does the tuple satisfy the WHERE clause? *)
+  cost : float;  (** total acquisition cost on this traversal *)
+  acquired : int list;  (** attributes acquired, in acquisition order *)
+}
+
+val run :
+  ?model:Cost_model.t ->
+  Query.t ->
+  costs:float array ->
+  Plan.t ->
+  lookup:(int -> int) ->
+  outcome
+(** [run q ~costs plan ~lookup] executes [plan] against a tuple
+    exposed as [lookup attr -> value]. In the sensor simulator the
+    lookup closure is what actually powers up a sensor. [model]
+    overrides the per-attribute [costs] with a history-dependent cost
+    model (Section 7's sensor boards); when present, [costs] is
+    ignored for pricing. *)
+
+val run_tuple :
+  ?model:Cost_model.t ->
+  Query.t ->
+  costs:float array ->
+  Plan.t ->
+  int array ->
+  outcome
+
+val average_cost :
+  ?model:Cost_model.t ->
+  Query.t ->
+  costs:float array ->
+  Plan.t ->
+  Acq_data.Dataset.t ->
+  float
+(** Empirical expected cost, Equation (4): mean traversal cost over
+    the dataset. *)
+
+val consistent :
+  Query.t -> costs:float array -> Plan.t -> Acq_data.Dataset.t -> bool
+(** True iff the plan's verdict equals [Query.eval] on every tuple —
+    the paper's "guarantees correct execution of the original query in
+    all cases" (Section 8). *)

@@ -1,0 +1,46 @@
+type leaf = Const of bool | Seq of int array
+
+type t =
+  | Leaf of leaf
+  | Test of { attr : int; threshold : int; low : t; high : t }
+
+let sequential order = Leaf (Seq (Array.of_list order))
+
+let const b = Leaf (Const b)
+
+let rec n_nodes = function
+  | Leaf _ -> 1
+  | Test { low; high; _ } -> 1 + n_nodes low + n_nodes high
+
+let rec n_tests = function
+  | Leaf _ -> 0
+  | Test { low; high; _ } -> 1 + n_tests low + n_tests high
+
+let rec depth = function
+  | Leaf _ -> 0
+  | Test { low; high; _ } -> 1 + max (depth low) (depth high)
+
+let attrs_tested t =
+  let rec go acc = function
+    | Leaf _ -> acc
+    | Test { attr; low; high; _ } -> go (go (attr :: acc) low) high
+  in
+  List.sort_uniq compare (go [] t)
+
+let leaf_equal a b =
+  match (a, b) with
+  | Const x, Const y -> x = y
+  | Seq x, Seq y -> x = y
+  | Const _, Seq _ | Seq _, Const _ -> false
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> leaf_equal x y
+  | Test x, Test y ->
+      x.attr = y.attr && x.threshold = y.threshold && equal x.low y.low
+      && equal x.high y.high
+  | Leaf _, Test _ | Test _, Leaf _ -> false
+
+let rec fold_leaves f acc = function
+  | Leaf l -> f acc l
+  | Test { low; high; _ } -> fold_leaves f (fold_leaves f acc low) high

@@ -1,0 +1,46 @@
+(** Conditional query plans: binary decision trees whose interior
+    nodes are conditioning predicates [T(X_i >= x)] (Section 2.1).
+
+    Leaves come in three forms:
+    - [Const true] / [Const false]: the ranges proved the WHERE clause;
+    - [Seq order]: evaluate the listed query predicates sequentially,
+      short-circuiting on the first failure. A purely sequential plan
+      (Naive, OptSeq, GreedySeq) is a single [Seq] leaf; the greedy
+      conditional planner grows a tree whose leaves are [Seq] plans;
+      the exhaustive planner also uses [Seq] for its "all query
+      attributes already acquired, resolve residual predicates for
+      free" base case and as a correctness fallback on subproblems
+      with no training data. *)
+
+type leaf =
+  | Const of bool
+  | Seq of int array
+      (** predicate indices into the query, evaluated left to right *)
+
+type t =
+  | Leaf of leaf
+  | Test of { attr : int; threshold : int; low : t; high : t }
+      (** acquire [attr] if needed; continue in [high] when
+          [value >= threshold], in [low] otherwise *)
+
+val sequential : int list -> t
+(** Plan that evaluates the given predicate order. *)
+
+val const : bool -> t
+
+val n_nodes : t -> int
+(** Total node count (tests + leaves). *)
+
+val n_tests : t -> int
+(** Interior (conditioning) nodes — the "number of splits" bounded by
+    the paper's MAXSIZE. *)
+
+val depth : t -> int
+(** Longest root-to-leaf path, counting tests. *)
+
+val attrs_tested : t -> int list
+(** Distinct attributes appearing in test nodes, ascending. *)
+
+val equal : t -> t -> bool
+
+val fold_leaves : ('a -> leaf -> 'a) -> 'a -> t -> 'a

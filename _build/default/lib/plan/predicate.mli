@@ -1,0 +1,44 @@
+(** Unary range predicates over a single attribute: the [phi_j] of the
+    paper's query (1). Both polarities used by the Garden experiments
+    are supported: [l <= X <= r] and [NOT (l <= X <= r)]. *)
+
+type polarity = Inside | Outside
+
+type t = private {
+  attr : int;  (** schema index of the attribute this predicate reads *)
+  lo : int;
+  hi : int;  (** inclusive bounds in discretized domain values *)
+  polarity : polarity;
+}
+
+val inside : attr:int -> lo:int -> hi:int -> t
+(** [l <= X_attr <= r]. @raise Invalid_argument if [lo > hi]. *)
+
+val outside : attr:int -> lo:int -> hi:int -> t
+(** [NOT (l <= X_attr <= r)]. *)
+
+val eval : t -> int -> bool
+(** Truth on a concrete attribute value. *)
+
+val eval_tuple : t -> int array -> bool
+(** Truth on a full tuple (indexes the tuple at [attr]). *)
+
+type truth = True | False | Unknown
+
+val truth_under : t -> Range.t -> truth
+(** Truth given only that the attribute lies in the range: [True] if
+    every value of the range satisfies the predicate, [False] if none
+    does, [Unknown] otherwise. This is how the planner decides whether
+    a subproblem's ranges "are sufficient to determine the truth value
+    of phi" (Figure 5). *)
+
+val selectivity_interval : t -> int * int option
+(** For an [Inside] predicate, [(lo, Some hi)]; for [Outside] there is
+    no single interval — callers needing intervals must branch on
+    polarity. Exposed for the SQL pretty-printer. *)
+
+val describe : Acq_data.Schema.t -> t -> string
+(** Human-readable rendering using raw units, e.g.
+    ["100.0 <= light <= 350.0"]. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,47 @@
+let to_string q plan =
+  let schema = Query.schema q in
+  let buf = Buffer.create 256 in
+  let indent d = String.make (2 * d) ' ' in
+  let leaf_line = function
+    | Plan.Const true -> "output TRUE"
+    | Plan.Const false -> "output FALSE"
+    | Plan.Seq preds ->
+        if Array.length preds = 0 then "output TRUE"
+        else
+          "eval "
+          ^ String.concat " ; then "
+              (Array.to_list
+                 (Array.map
+                    (fun j -> Predicate.describe schema (Query.predicate q j))
+                    preds))
+  in
+  let rec go d = function
+    | Plan.Leaf l -> Buffer.add_string buf (indent d ^ leaf_line l ^ "\n")
+    | Plan.Test { attr; threshold; low; high } ->
+        let a = Acq_data.Schema.attr schema attr in
+        let thr = Acq_data.Attribute.describe_threshold a threshold in
+        Buffer.add_string buf
+          (Printf.sprintf "%sif %s >= %s:\n" (indent d) a.name thr);
+        go (d + 1) high;
+        Buffer.add_string buf (indent d ^ "else:\n");
+        go (d + 1) low
+  in
+  go 0 plan;
+  Buffer.contents buf
+
+let pp fmt (q, plan) = Format.pp_print_string fmt (to_string q plan)
+
+let summary q plan =
+  let schema = Query.schema q in
+  let seq_leaves =
+    Plan.fold_leaves
+      (fun acc l -> match l with Plan.Seq _ -> acc + 1 | Plan.Const _ -> acc)
+      0 plan
+  in
+  let attr_names =
+    Plan.attrs_tested plan
+    |> List.map (fun i -> (Acq_data.Schema.attr schema i).name)
+  in
+  Printf.sprintf "%d tests, depth %d, %d seq leaves, attrs {%s}"
+    (Plan.n_tests plan) (Plan.depth plan) seq_leaves
+    (String.concat ", " attr_names)

@@ -1,0 +1,11 @@
+(** Human-readable plan rendering in the style of the paper's
+    Figure 9: an indented decision tree with thresholds shown in raw
+    sensor units and sequential leaves shown as predicate chains. *)
+
+val to_string : Query.t -> Plan.t -> string
+
+val pp : Format.formatter -> Query.t * Plan.t -> unit
+
+val summary : Query.t -> Plan.t -> string
+(** One-line shape summary, e.g.
+    ["7 tests, depth 4, 3 seq leaves, attrs {hour, light, nodeid}"]. *)

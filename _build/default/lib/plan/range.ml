@@ -1,0 +1,27 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Range.make: lo > hi";
+  { lo; hi }
+
+let full k =
+  if k < 1 then invalid_arg "Range.full: empty domain";
+  { lo = 0; hi = k - 1 }
+
+let is_full r k = r.lo = 0 && r.hi = k - 1
+
+let width r = r.hi - r.lo + 1
+
+let contains r v = r.lo <= v && v <= r.hi
+
+let split r x =
+  if x <= r.lo || x > r.hi then invalid_arg "Range.split: point out of range";
+  ({ lo = r.lo; hi = x - 1 }, { lo = x; hi = r.hi })
+
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+
+let intersects a b = a.lo <= b.hi && b.lo <= a.hi
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let pp fmt r = Format.fprintf fmt "[%d,%d]" r.lo r.hi

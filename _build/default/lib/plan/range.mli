@@ -1,0 +1,30 @@
+(** Inclusive integer ranges [[a, b]] over a discretized attribute
+    domain — the [R_i] of the paper's subproblems (Section 3.2). *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** @raise Invalid_argument if [lo > hi]. *)
+
+val full : int -> t
+(** [full k] is [[0, k-1]], the unobserved range of a domain of size
+    [k]. *)
+
+val is_full : t -> int -> bool
+(** [is_full r k]: does [r] span the whole domain of size [k]? The
+    paper's "attribute not yet acquired" test. *)
+
+val width : t -> int
+val contains : t -> int -> bool
+
+val split : t -> int -> t * t
+(** [split r x] is [([r.lo, x-1], [x, r.hi])] — the two subranges
+    produced by the conditioning predicate [T(X >= x)].
+    @raise Invalid_argument unless [r.lo < x <= r.hi]. *)
+
+val subset : t -> t -> bool
+(** [subset a b]: is [a] contained in [b]? *)
+
+val intersects : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

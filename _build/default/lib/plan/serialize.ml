@@ -1,0 +1,62 @@
+let encode plan =
+  let buf = Buffer.create 64 in
+  let byte v name =
+    if v < 0 || v > 255 then failwith ("Serialize.encode: " ^ name ^ " out of byte range");
+    Buffer.add_char buf (Char.chr v)
+  in
+  let u16 v =
+    if v < 0 || v > 0xFFFF then failwith "Serialize.encode: threshold out of range";
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+  in
+  let rec go = function
+    | Plan.Leaf (Plan.Const false) -> byte 0x00 "tag"
+    | Plan.Leaf (Plan.Const true) -> byte 0x01 "tag"
+    | Plan.Leaf (Plan.Seq preds) ->
+        byte 0x02 "tag";
+        byte (Array.length preds) "seq length";
+        Array.iter (fun p -> byte p "predicate id") preds
+    | Plan.Test { attr; threshold; low; high } ->
+        byte 0x03 "tag";
+        byte attr "attribute id";
+        u16 threshold;
+        go low;
+        go high
+  in
+  go plan;
+  Buffer.to_bytes buf
+
+let decode bytes =
+  let pos = ref 0 in
+  let len = Bytes.length bytes in
+  let byte () =
+    if !pos >= len then failwith "Serialize.decode: truncated input";
+    let v = Char.code (Bytes.get bytes !pos) in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let lo = byte () in
+    let hi = byte () in
+    lo lor (hi lsl 8)
+  in
+  let rec go () =
+    match byte () with
+    | 0x00 -> Plan.Leaf (Plan.Const false)
+    | 0x01 -> Plan.Leaf (Plan.Const true)
+    | 0x02 ->
+        let n = byte () in
+        Plan.Leaf (Plan.Seq (Array.init n (fun _ -> byte ())))
+    | 0x03 ->
+        let attr = byte () in
+        let threshold = u16 () in
+        let low = go () in
+        let high = go () in
+        Plan.Test { attr; threshold; low; high }
+    | tag -> failwith (Printf.sprintf "Serialize.decode: bad tag 0x%02x" tag)
+  in
+  let plan = go () in
+  if !pos <> len then failwith "Serialize.decode: trailing bytes";
+  plan
+
+let size plan = Bytes.length (encode plan)

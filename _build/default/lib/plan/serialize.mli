@@ -1,0 +1,21 @@
+(** Compact binary plan encoding.
+
+    The encoded length is the paper's plan size ζ(P) (Section 2.4):
+    the number of bytes the basestation must radio into the network to
+    install the plan on a mote. Format (all integers little-endian):
+
+    - [0x00] / [0x01] — [Const false] / [Const true];
+    - [0x02 len p1 .. plen] — [Seq] of [len] one-byte predicate ids;
+    - [0x03 attr thr_lo thr_hi <low> <high>] — a test node with a
+      one-byte attribute id and a two-byte threshold.
+
+    Attribute and predicate ids must fit a byte and thresholds 16 bits
+    — comfortably above any sensor-network schema. *)
+
+val encode : Plan.t -> bytes
+
+val decode : bytes -> Plan.t
+(** @raise Failure on truncated or malformed input. *)
+
+val size : Plan.t -> int
+(** ζ(P) = [Bytes.length (encode p)]. *)

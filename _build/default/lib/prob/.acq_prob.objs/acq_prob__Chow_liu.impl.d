@@ -1,0 +1,1 @@
+lib/prob/chow_liu.ml: Acq_data Acq_plan Acq_util Array List Mutual_info Queue

@@ -1,0 +1,1 @@
+lib/prob/chow_liu.mli: Acq_data Acq_plan

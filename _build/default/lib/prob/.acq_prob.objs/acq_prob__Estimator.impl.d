@@ -1,0 +1,1 @@
+lib/prob/estimator.ml: Acq_plan Acq_util Array Chow_liu View

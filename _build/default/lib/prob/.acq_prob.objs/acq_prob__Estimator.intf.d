@@ -1,0 +1,1 @@
+lib/prob/estimator.mli: Acq_data Acq_plan Chow_liu View

@@ -1,0 +1,1 @@
+lib/prob/histogram.mli: Acq_plan View

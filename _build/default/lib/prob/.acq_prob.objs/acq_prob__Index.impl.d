@@ -1,0 +1,1 @@
+lib/prob/index.ml: Acq_data Acq_plan Array

@@ -1,0 +1,1 @@
+lib/prob/index.mli: Acq_data Acq_plan

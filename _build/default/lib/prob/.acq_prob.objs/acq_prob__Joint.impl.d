@@ -1,0 +1,1 @@
+lib/prob/joint.ml: Acq_data Acq_plan Array List

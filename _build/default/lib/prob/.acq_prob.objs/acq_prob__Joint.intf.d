@@ -1,0 +1,1 @@
+lib/prob/joint.mli: Acq_data Acq_plan

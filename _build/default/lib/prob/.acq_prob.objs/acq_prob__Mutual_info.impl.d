@@ -1,0 +1,1 @@
+lib/prob/mutual_info.ml: Acq_data Array Float

@@ -1,0 +1,1 @@
+lib/prob/mutual_info.mli: Acq_data

@@ -1,0 +1,1 @@
+lib/prob/sliding.ml: Acq_data Array Estimator Float

@@ -1,0 +1,1 @@
+lib/prob/sliding.mli: Acq_data Estimator

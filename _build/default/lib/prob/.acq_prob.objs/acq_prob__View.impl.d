@@ -1,0 +1,1 @@
+lib/prob/view.ml: Acq_data Acq_plan Array

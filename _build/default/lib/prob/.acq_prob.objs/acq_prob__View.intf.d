@@ -1,0 +1,1 @@
+lib/prob/view.mli: Acq_data Acq_plan

@@ -1,0 +1,168 @@
+type t = {
+  schema : Acq_data.Schema.t;
+  parent : int array;  (* -1 for the root *)
+  order : int array;  (* topological, root first *)
+  children : int list array;
+  prior : float array;  (* root marginal *)
+  root : int;
+  cpt : float array array array;
+      (* cpt.(u).(parent_value).(u_value); empty for the root *)
+}
+
+type evidence = bool array array
+
+let schema t = t.schema
+
+let parent t i = if t.parent.(i) < 0 then None else Some t.parent.(i)
+
+(* Maximum spanning tree over the MI matrix, Prim's algorithm from
+   node 0. Returns the parent array of the tree rooted at 0. *)
+let max_spanning_tree mi n =
+  let in_tree = Array.make n false in
+  let best = Array.make n neg_infinity in
+  let par = Array.make n (-1) in
+  in_tree.(0) <- true;
+  for v = 1 to n - 1 do
+    best.(v) <- mi.(0).(v);
+    par.(v) <- 0
+  done;
+  for _ = 1 to n - 1 do
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not in_tree.(v)) && (!u < 0 || best.(v) > best.(!u)) then u := v
+    done;
+    let u = !u in
+    in_tree.(u) <- true;
+    for v = 0 to n - 1 do
+      if (not in_tree.(v)) && mi.(u).(v) > best.(v) then begin
+        best.(v) <- mi.(u).(v);
+        par.(v) <- u
+      end
+    done
+  done;
+  par
+
+let learn ?(alpha = 0.5) ds =
+  let schema = Acq_data.Dataset.schema ds in
+  let n = Acq_data.Schema.arity schema in
+  let domains = Acq_data.Schema.domains schema in
+  let parent =
+    if n = 1 then [| -1 |]
+    else begin
+      let mi = Mutual_info.matrix ~alpha ds in
+      let par = max_spanning_tree mi n in
+      par.(0) <- -1;
+      par
+    end
+  in
+  let children = Array.make n [] in
+  Array.iteri
+    (fun u p -> if p >= 0 then children.(p) <- u :: children.(p))
+    parent;
+  (* BFS order from the root. *)
+  let order = Array.make n 0 in
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  let k = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!k) <- u;
+    incr k;
+    List.iter (fun c -> Queue.add c queue) children.(u)
+  done;
+  assert (!k = n);
+  let d = Acq_data.Dataset.nrows ds in
+  let prior =
+    let counts = Array.make domains.(0) 0 in
+    Acq_data.Dataset.iter_rows ds (fun r ->
+        let v = Acq_data.Dataset.get ds r 0 in
+        counts.(v) <- counts.(v) + 1);
+    let denom = float_of_int d +. (alpha *. float_of_int domains.(0)) in
+    Array.map (fun c -> (float_of_int c +. alpha) /. denom) counts
+  in
+  let cpt =
+    Array.init n (fun u ->
+        let p = parent.(u) in
+        if p < 0 then [||]
+        else begin
+          let counts = Mutual_info.joint_counts ds p u in
+          Array.init domains.(p) (fun pv ->
+              let row_total = Array.fold_left ( + ) 0 counts.(pv) in
+              let denom =
+                float_of_int row_total +. (alpha *. float_of_int domains.(u))
+              in
+              Array.init domains.(u) (fun uv ->
+                  (float_of_int counts.(pv).(uv) +. alpha) /. denom))
+        end)
+  in
+  { schema; parent; order; children; prior; root = 0; cpt }
+
+let no_evidence t =
+  let domains = Acq_data.Schema.domains t.schema in
+  Array.map (fun k -> Array.make k true) domains
+
+let copy_evidence e = Array.map Array.copy e
+
+let and_range _t e attr (r : Acq_plan.Range.t) =
+  let e = copy_evidence e in
+  Array.iteri
+    (fun v _ -> if not (Acq_plan.Range.contains r v) then e.(attr).(v) <- false)
+    e.(attr);
+  e
+
+let and_pred _t e (p : Acq_plan.Predicate.t) truth =
+  let e = copy_evidence e in
+  Array.iteri
+    (fun v _ -> if Acq_plan.Predicate.eval p v <> truth then e.(p.attr).(v) <- false)
+    e.(p.attr);
+  e
+
+let evidence_prob t e =
+  let n = Array.length t.parent in
+  let domains = Acq_data.Schema.domains t.schema in
+  (* beta.(u).(x_u): evidence indicator times the product of incoming
+     child messages; built leaves-first. *)
+  let beta =
+    Array.init n (fun u ->
+        Array.init domains.(u) (fun v -> if e.(u).(v) then 1.0 else 0.0))
+  in
+  for i = n - 1 downto 1 do
+    let u = t.order.(i) in
+    let p = t.parent.(u) in
+    for pv = 0 to domains.(p) - 1 do
+      if beta.(p).(pv) > 0.0 then begin
+        let m = ref 0.0 in
+        let row = t.cpt.(u).(pv) in
+        for uv = 0 to domains.(u) - 1 do
+          m := !m +. (row.(uv) *. beta.(u).(uv))
+        done;
+        beta.(p).(pv) <- beta.(p).(pv) *. !m
+      end
+    done
+  done;
+  let total = ref 0.0 in
+  for v = 0 to domains.(t.root) - 1 do
+    total := !total +. (t.prior.(v) *. beta.(t.root).(v))
+  done;
+  !total
+
+let cond_prob t ~given extra =
+  let pg = evidence_prob t given in
+  if pg <= 0.0 then 0.0 else evidence_prob t extra /. pg
+
+let marginal t e attr =
+  let domains = Acq_data.Schema.domains t.schema in
+  let k = domains.(attr) in
+  let pe = evidence_prob t e in
+  if pe <= 0.0 then begin
+    let allowed = Acq_util.Array_util.count (fun b -> b) e.(attr) in
+    Array.init k (fun v ->
+        if e.(attr).(v) && allowed > 0 then 1.0 /. float_of_int allowed
+        else 0.0)
+  end
+  else
+    Array.init k (fun v ->
+        if not e.(attr).(v) then 0.0
+        else
+          let e' = and_range t e attr (Acq_plan.Range.make v v) in
+          evidence_prob t e' /. pe)

@@ -1,0 +1,49 @@
+(** Chow-Liu tree Bayesian network — the compact probability model the
+    paper's Section 7 ("Graphical Models") proposes to replace raw
+    dataset scans: after many splits the consistent data shrinks
+    exponentially and count-based estimates overfit, whereas a tree
+    model has a polynomial number of parameters and answers every
+    conditional-probability query by message passing.
+
+    Learning maximizes total pairwise mutual information (the Chow-Liu
+    maximum-likelihood tree); CPTs are Laplace-smoothed. Evidence is a
+    per-attribute boolean mask of allowed values, which is exactly the
+    shape of planner conditioning: range observations and predicate
+    truth values both restrict an attribute to a value set. *)
+
+type t
+
+val learn : ?alpha:float -> Acq_data.Dataset.t -> t
+(** Fit structure and parameters; [alpha] (default 0.5) is the CPT
+    smoothing pseudo-count. *)
+
+val schema : t -> Acq_data.Schema.t
+
+val parent : t -> int -> int option
+(** Tree parent of an attribute ([None] for the root). *)
+
+type evidence = bool array array
+(** [evidence.(attr).(v)] — is value [v] of [attr] still allowed? *)
+
+val no_evidence : t -> evidence
+(** All values allowed. A fresh, caller-owned array. *)
+
+val and_range : t -> evidence -> int -> Acq_plan.Range.t -> evidence
+(** Copy of the evidence further restricted to the range. *)
+
+val and_pred : t -> evidence -> Acq_plan.Predicate.t -> bool -> evidence
+(** Copy of the evidence further restricted to the predicate's
+    satisfying (or violating) value set. *)
+
+val evidence_prob : t -> evidence -> float
+(** [P(evidence)] by an upward message pass; O(n * K^2). *)
+
+val cond_prob : t -> given:evidence -> evidence -> float
+(** [cond_prob t ~given extra] = P(extra | given)
+    = P(extra ∧ given) / P(given); 0 when the conditioning event has
+    probability 0. [extra] must already include [given]'s
+    restrictions (use the [and_*] builders on [given]). *)
+
+val marginal : t -> evidence -> int -> float array
+(** Posterior distribution of one attribute under evidence (uniform
+    over allowed values if the evidence has probability 0). *)

@@ -1,0 +1,78 @@
+type t = {
+  weight : float;
+  range_prob : int -> Acq_plan.Range.t -> float;
+  value_probs : int -> float array;
+  pred_prob : Acq_plan.Predicate.t -> float;
+  pattern_probs : Acq_plan.Predicate.t array -> float array;
+  restrict_range : int -> Acq_plan.Range.t -> t;
+  restrict_pred : Acq_plan.Predicate.t -> bool -> t;
+}
+
+let is_empty t = t.weight <= 0.0
+
+let rec of_view view =
+  {
+    weight = float_of_int (View.size view);
+    range_prob = (fun attr r -> View.range_prob view ~attr r);
+    value_probs =
+      (fun attr ->
+        let counts = View.histogram view ~attr in
+        let total = float_of_int (View.size view) in
+        if total = 0.0 then Array.map (fun _ -> 0.0) counts
+        else Array.map (fun c -> float_of_int c /. total) counts);
+    pred_prob = (fun p -> View.pred_prob view p);
+    pattern_probs =
+      (fun preds ->
+        let counts = View.pattern_counts view preds in
+        let total = float_of_int (View.size view) in
+        if total = 0.0 then Array.map (fun _ -> 0.0) counts
+        else Array.map (fun c -> float_of_int c /. total) counts);
+    restrict_range =
+      (fun attr r -> of_view (View.restrict_range view ~attr r));
+    restrict_pred =
+      (fun p truth -> of_view (View.restrict_pred view p truth));
+  }
+
+let empirical ds = of_view (View.of_dataset ds)
+
+let of_chow_liu model ~weight =
+  let rec make evidence w =
+    let pe = Chow_liu.evidence_prob model evidence in
+    {
+      weight = w;
+      range_prob =
+        (fun attr r ->
+          let e' = Chow_liu.and_range model evidence attr r in
+          Chow_liu.cond_prob model ~given:evidence e');
+      value_probs = (fun attr -> Chow_liu.marginal model evidence attr);
+      pred_prob =
+        (fun p ->
+          let e' = Chow_liu.and_pred model evidence p true in
+          Chow_liu.cond_prob model ~given:evidence e');
+      pattern_probs =
+        (fun preds ->
+          let m = Array.length preds in
+          if m > 12 then
+            invalid_arg "Estimator.of_chow_liu: pattern_probs limited to 12";
+          Array.init (1 lsl m) (fun mask ->
+              let e =
+                Acq_util.Array_util.fold_lefti
+                  (fun e j p ->
+                    Chow_liu.and_pred model e p (mask land (1 lsl j) <> 0))
+                  evidence preds
+              in
+              Chow_liu.cond_prob model ~given:evidence e));
+      restrict_range =
+        (fun attr r ->
+          let e' = Chow_liu.and_range model evidence attr r in
+          let p = Chow_liu.cond_prob model ~given:evidence e' in
+          make e' (w *. p));
+      restrict_pred =
+        (fun p truth ->
+          let e' = Chow_liu.and_pred model evidence p truth in
+          let pr = Chow_liu.cond_prob model ~given:evidence e' in
+          make e' (w *. pr));
+    }
+    |> fun est -> if pe <= 0.0 then { est with weight = 0.0 } else est
+  in
+  make (Chow_liu.no_evidence model) weight

@@ -1,0 +1,45 @@
+(** The probability oracle consumed by every planner.
+
+    An estimator represents a conditional distribution
+    [P(. | conditioning so far)] and supports the exact query mix of
+    Sections 3-5: split probabilities [P(X_i in range | ...)],
+    predicate probabilities, the joint distribution over rediscretized
+    predicate bits (OptSeq's input), and descent into a conditioned
+    sub-estimator when the planner splits or assumes a predicate
+    outcome.
+
+    Two implementations are provided: {!empirical} (count ratios over
+    a shrinking {!View.t} — the paper's primary method) and
+    {!of_chow_liu} (the Section 7 graphical-model alternative, immune
+    to the data-thinning overfitting of deep conditioning). *)
+
+type t = {
+  weight : float;
+      (** effective number of training tuples consistent with the
+          conditioning; drives the empty-subproblem fallback *)
+  range_prob : int -> Acq_plan.Range.t -> float;
+      (** [range_prob attr r] = P(X_attr in r | conditioning) *)
+  value_probs : int -> float array;
+      (** full conditional marginal of one attribute — one call gives
+          the probability of every candidate split of that attribute
+          (Equation (7)'s histogram) *)
+  pred_prob : Acq_plan.Predicate.t -> float;
+  pattern_probs : Acq_plan.Predicate.t array -> float array;
+      (** joint over predicate truth bits; length [2^m], bit [j] set
+          when predicate [j] holds *)
+  restrict_range : int -> Acq_plan.Range.t -> t;
+  restrict_pred : Acq_plan.Predicate.t -> bool -> t;
+}
+
+val is_empty : t -> bool
+(** No training support under the current conditioning. *)
+
+val empirical : Acq_data.Dataset.t -> t
+
+val of_view : View.t -> t
+
+val of_chow_liu : Chow_liu.t -> weight:float -> t
+(** [weight] should be the training-set size; conditioning scales it
+    by the evidence probability so the planner's empty-subproblem
+    logic keeps working. Pattern queries are limited to 12 predicates
+    (they enumerate [2^m] evidence combinations). *)

@@ -1,0 +1,27 @@
+(** Normalized single-attribute histograms with O(1) range
+    probabilities via prefix sums — Equation (7)'s incremental rule
+    [P_{<x+1} = P_{<x} + P(x | R_1..R_n)] in closed form.
+
+    The planners build one histogram per attribute per subproblem (one
+    pass over the view) and then read off the probability of every
+    candidate split point in constant time each. *)
+
+type t
+
+val of_counts : int array -> t
+
+val of_view : View.t -> attr:int -> t
+
+val total : t -> int
+(** Number of samples behind the histogram. *)
+
+val prob : t -> int -> float
+(** [prob h v] is [P(X = v)]. *)
+
+val prob_below : t -> int -> float
+(** [prob_below h x] is [P(X < x)] — the paper's [P_{<x}]. *)
+
+val prob_range : t -> Acq_plan.Range.t -> float
+(** [P(lo <= X <= hi)]. *)
+
+val count_range : t -> Acq_plan.Range.t -> int

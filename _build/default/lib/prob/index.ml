@@ -1,0 +1,57 @@
+type t = {
+  by_value : int array array array;  (* attr -> value -> ascending row ids *)
+  prefix : int array array;  (* attr -> value -> #rows with value < v+1 *)
+}
+
+let build ds =
+  let n = Acq_data.Dataset.ncols ds in
+  let domains = Acq_data.Schema.domains (Acq_data.Dataset.schema ds) in
+  let counts = Array.init n (fun a -> Array.make domains.(a) 0) in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      for a = 0 to n - 1 do
+        let v = Acq_data.Dataset.get ds r a in
+        counts.(a).(v) <- counts.(a).(v) + 1
+      done);
+  let by_value =
+    Array.init n (fun a ->
+        Array.init domains.(a) (fun v -> Array.make counts.(a).(v) 0))
+  in
+  let fill = Array.init n (fun a -> Array.make domains.(a) 0) in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      for a = 0 to n - 1 do
+        let v = Acq_data.Dataset.get ds r a in
+        by_value.(a).(v).(fill.(a).(v)) <- r;
+        fill.(a).(v) <- fill.(a).(v) + 1
+      done);
+  let prefix =
+    Array.init n (fun a ->
+        let p = Array.make (domains.(a) + 1) 0 in
+        for v = 0 to domains.(a) - 1 do
+          p.(v + 1) <- p.(v) + counts.(a).(v)
+        done;
+        p)
+  in
+  { by_value; prefix }
+
+let rows_with_value t ~attr ~value = t.by_value.(attr).(value)
+
+let rows_in_range t ~attr (r : Acq_plan.Range.t) =
+  let total = ref 0 in
+  for v = r.lo to r.hi do
+    total := !total + Array.length t.by_value.(attr).(v)
+  done;
+  let out = Array.make !total 0 in
+  (* Per-value lists are ascending and rows of distinct values are
+     disjoint, so a k-way merge yields ascending output; for the sizes
+     involved a concatenate-and-sort is simpler and fast enough. *)
+  let pos = ref 0 in
+  for v = r.lo to r.hi do
+    let src = t.by_value.(attr).(v) in
+    Array.blit src 0 out !pos (Array.length src);
+    pos := !pos + Array.length src
+  done;
+  Array.sort compare out;
+  out
+
+let count_in_range t ~attr (r : Acq_plan.Range.t) =
+  t.prefix.(attr).(r.hi + 1) - t.prefix.(attr).(r.lo)

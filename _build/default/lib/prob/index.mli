@@ -1,0 +1,21 @@
+(** Per-attribute, per-value row-id index over a dataset — the
+    Section 5.1 structure that lets the exhaustive planner select each
+    subproblem's tuples without rescanning: "the set of indices for
+    the range [1, x] is the set for [1, x-1] union the indices for
+    x". *)
+
+type t
+
+val build : Acq_data.Dataset.t -> t
+(** One pass over the dataset; O(|D| * n) time and space. *)
+
+val rows_with_value : t -> attr:int -> value:int -> int array
+(** Row ids (ascending) whose [attr] equals [value]. The returned
+    array is shared — do not mutate. *)
+
+val rows_in_range : t -> attr:int -> Acq_plan.Range.t -> int array
+(** Ascending merge of the per-value lists across the range. *)
+
+val count_in_range : t -> attr:int -> Acq_plan.Range.t -> int
+(** Like {!rows_in_range} but only the count; O(width) via prefix
+    sums. *)

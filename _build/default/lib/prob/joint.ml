@@ -1,0 +1,97 @@
+type t = {
+  attrs : int array;  (* ascending *)
+  dims : int array;
+  strides : int array;
+  counts : int array;
+  total : int;
+}
+
+let max_cells = 1 lsl 22
+
+let build ds ~attrs =
+  let attrs = Array.of_list (List.sort_uniq compare attrs) in
+  if Array.length attrs = 0 then invalid_arg "Joint.build: no attributes";
+  let schema = Acq_data.Dataset.schema ds in
+  let domains = Acq_data.Schema.domains schema in
+  Array.iter
+    (fun a ->
+      if a < 0 || a >= Array.length domains then
+        invalid_arg "Joint.build: attribute out of schema")
+    attrs;
+  let dims = Array.map (fun a -> domains.(a)) attrs in
+  let cells = Array.fold_left ( * ) 1 dims in
+  if cells > max_cells then invalid_arg "Joint.build: table too large";
+  (* Row-major strides: the last attribute varies fastest. *)
+  let n = Array.length dims in
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * dims.(i + 1)
+  done;
+  let counts = Array.make cells 0 in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      let idx = ref 0 in
+      Array.iteri
+        (fun i a -> idx := !idx + (strides.(i) * Acq_data.Dataset.get ds r a))
+        attrs;
+      counts.(!idx) <- counts.(!idx) + 1);
+  { attrs; dims; strides; counts; total = Acq_data.Dataset.nrows ds }
+
+let attrs t = Array.to_list t.attrs
+
+let cells t = Array.length t.counts
+
+let total t = t.total
+
+let position t a =
+  let rec go i =
+    if i >= Array.length t.attrs then
+      invalid_arg "Joint: attribute not covered by this table"
+    else if t.attrs.(i) = a then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Per-dimension index bounds implied by the constraints; None when
+   some constraint is unsatisfiable. *)
+let bounds t constraints =
+  let lo = Array.make (Array.length t.dims) 0 in
+  let hi = Array.mapi (fun i _ -> t.dims.(i) - 1) t.dims in
+  let ok = ref true in
+  List.iter
+    (fun (a, (r : Acq_plan.Range.t)) ->
+      let i = position t a in
+      lo.(i) <- max lo.(i) r.lo;
+      hi.(i) <- min hi.(i) r.hi;
+      if lo.(i) > hi.(i) then ok := false)
+    constraints;
+  if !ok then Some (lo, hi) else None
+
+let count_in t constraints =
+  match bounds t constraints with
+  | None -> 0
+  | Some (lo, hi) ->
+      let n = Array.length t.dims in
+      let acc = ref 0 in
+      let rec walk dim base =
+        if dim = n then acc := !acc + t.counts.(base)
+        else
+          for v = lo.(dim) to hi.(dim) do
+            walk (dim + 1) (base + (t.strides.(dim) * v))
+          done
+      in
+      walk 0 0;
+      !acc
+
+let prob t constraints =
+  if t.total = 0 then 0.0
+  else float_of_int (count_in t constraints) /. float_of_int t.total
+
+let cond_prob t ~given event =
+  let denom = count_in t given in
+  if denom = 0 then 0.0
+  else float_of_int (count_in t (given @ event)) /. float_of_int denom
+
+let marginal t a =
+  let i = position t a in
+  Array.init t.dims.(i) (fun v ->
+      prob t [ (a, Acq_plan.Range.make v v) ])

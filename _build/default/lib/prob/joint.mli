@@ -1,0 +1,47 @@
+(** Dense multi-dimensional probability distributions.
+
+    Section 2.3's first option for answering the planner's probability
+    queries is "a multi-dimensional probability distribution over
+    attribute values" materialized from historical data (Figure 4).
+    This module builds that table over a chosen attribute subset in
+    one pass and answers arbitrary range-constrained (conditional)
+    probability queries in time proportional to the constrained cells
+    — no rescanning, at the price of memory exponential in the subset
+    size (which is why Section 5's per-view counting and Section 7's
+    graphical models exist; all three estimation routes coexist in
+    this library). *)
+
+type t
+
+val max_cells : int
+(** Guard on the dense table size (4,194,304 cells). *)
+
+val build : Acq_data.Dataset.t -> attrs:int list -> t
+(** One pass over the data; the table covers exactly [attrs]
+    (duplicates removed, order irrelevant).
+    @raise Invalid_argument if empty, out of schema, or the cell count
+    exceeds {!max_cells}. *)
+
+val attrs : t -> int list
+(** Covered attribute indices, ascending. *)
+
+val cells : t -> int
+(** Table size. *)
+
+val total : t -> int
+(** Number of tuples behind the table. *)
+
+val prob : t -> (int * Acq_plan.Range.t) list -> float
+(** [prob j constraints] = P(/\ X_a in R_a). Attributes not
+    constrained are marginalized. Constraining the same attribute
+    twice intersects the ranges (probability 0 when they are
+    disjoint).
+    @raise Invalid_argument on an attribute outside the table. *)
+
+val cond_prob :
+  t -> given:(int * Acq_plan.Range.t) list -> (int * Acq_plan.Range.t) list -> float
+(** [cond_prob j ~given event] = P(event | given); 0 when the
+    conditioning event has probability 0. *)
+
+val marginal : t -> int -> float array
+(** Per-value marginal of one covered attribute. *)

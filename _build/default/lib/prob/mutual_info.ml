@@ -1,0 +1,47 @@
+let joint_counts ds a b =
+  let schema = Acq_data.Dataset.schema ds in
+  let ka = (Acq_data.Schema.attr schema a).domain in
+  let kb = (Acq_data.Schema.attr schema b).domain in
+  let counts = Array.make_matrix ka kb 0 in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      let va = Acq_data.Dataset.get ds r a in
+      let vb = Acq_data.Dataset.get ds r b in
+      counts.(va).(vb) <- counts.(va).(vb) + 1);
+  counts
+
+let mi ?(alpha = 0.5) ds a b =
+  let counts = joint_counts ds a b in
+  let ka = Array.length counts in
+  let kb = Array.length counts.(0) in
+  let total =
+    float_of_int (Acq_data.Dataset.nrows ds)
+    +. (alpha *. float_of_int (ka * kb))
+  in
+  let pa = Array.make ka 0.0 and pb = Array.make kb 0.0 in
+  for i = 0 to ka - 1 do
+    for j = 0 to kb - 1 do
+      let p = (float_of_int counts.(i).(j) +. alpha) /. total in
+      pa.(i) <- pa.(i) +. p;
+      pb.(j) <- pb.(j) +. p
+    done
+  done;
+  let acc = ref 0.0 in
+  for i = 0 to ka - 1 do
+    for j = 0 to kb - 1 do
+      let p = (float_of_int counts.(i).(j) +. alpha) /. total in
+      if p > 0.0 then acc := !acc +. (p *. log (p /. (pa.(i) *. pb.(j))))
+    done
+  done;
+  Float.max 0.0 !acc
+
+let matrix ?alpha ds =
+  let n = Acq_data.Dataset.ncols ds in
+  let m = Array.make_matrix n n 0.0 in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let v = mi ?alpha ds a b in
+      m.(a).(b) <- v;
+      m.(b).(a) <- v
+    done
+  done;
+  m

@@ -1,0 +1,16 @@
+(** Pairwise mutual information between discretized attributes, the
+    edge weight used to learn the Chow-Liu dependency tree and a handy
+    diagnostic for "which cheap attribute predicts which expensive
+    one". Counts are Laplace-smoothed so MI is defined even for value
+    combinations absent from the training data. *)
+
+val joint_counts : Acq_data.Dataset.t -> int -> int -> int array array
+(** [joint_counts ds a b] is the [K_a x K_b] contingency table. *)
+
+val mi : ?alpha:float -> Acq_data.Dataset.t -> int -> int -> float
+(** Mutual information (nats) between attributes [a] and [b] with
+    additive smoothing [alpha] (default 0.5) on each joint cell. *)
+
+val matrix : ?alpha:float -> Acq_data.Dataset.t -> float array array
+(** Symmetric MI matrix over all attribute pairs; the diagonal is
+    0. *)

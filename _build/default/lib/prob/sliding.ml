@@ -1,0 +1,97 @@
+type t = {
+  schema : Acq_data.Schema.t;
+  capacity : int;
+  domains : int array;
+  ring : int array array;  (* ring.(i) is a row; [||] when unused *)
+  mutable head : int;  (* next write position *)
+  mutable size : int;
+  counts : int array array;  (* per-attribute incremental histograms *)
+  mutable cached : Acq_data.Dataset.t option;
+}
+
+let create schema ~capacity =
+  if capacity < 1 then invalid_arg "Sliding.create: capacity < 1";
+  let domains = Acq_data.Schema.domains schema in
+  {
+    schema;
+    capacity;
+    domains;
+    ring = Array.make capacity [||];
+    head = 0;
+    size = 0;
+    counts = Array.map (fun k -> Array.make k 0) domains;
+    cached = None;
+  }
+
+let capacity t = t.capacity
+
+let size t = t.size
+
+let is_full t = t.size = t.capacity
+
+let push t row =
+  let n = Array.length t.domains in
+  if Array.length row <> n then invalid_arg "Sliding.push: arity mismatch";
+  Array.iteri
+    (fun a v ->
+      if v < 0 || v >= t.domains.(a) then
+        invalid_arg "Sliding.push: value out of domain")
+    row;
+  if t.size = t.capacity then begin
+    (* Evict the oldest row (the one about to be overwritten). *)
+    let old = t.ring.(t.head) in
+    Array.iteri (fun a v -> t.counts.(a).(v) <- t.counts.(a).(v) - 1) old
+  end
+  else t.size <- t.size + 1;
+  t.ring.(t.head) <- Array.copy row;
+  Array.iteri (fun a v -> t.counts.(a).(v) <- t.counts.(a).(v) + 1) row;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.cached <- None
+
+let push_dataset t ds =
+  Acq_data.Dataset.iter_rows ds (fun r -> push t (Acq_data.Dataset.row ds r))
+
+let histogram t attr = Array.copy t.counts.(attr)
+
+let to_dataset t =
+  if t.size = 0 then invalid_arg "Sliding.to_dataset: empty window";
+  match t.cached with
+  | Some ds -> ds
+  | None ->
+      let start =
+        if t.size = t.capacity then t.head else 0
+      in
+      let rows =
+        Array.init t.size (fun i -> t.ring.((start + i) mod t.capacity))
+      in
+      let ds = Acq_data.Dataset.create t.schema rows in
+      t.cached <- Some ds;
+      ds
+
+let estimator t = Estimator.empirical (to_dataset t)
+
+let drift t ~reference =
+  let n = Array.length t.domains in
+  let ref_rows = float_of_int (Acq_data.Dataset.nrows reference) in
+  let win_rows = float_of_int t.size in
+  if ref_rows = 0.0 || win_rows = 0.0 then 0.0
+  else begin
+    let total = ref 0.0 in
+    for a = 0 to n - 1 do
+      let ref_counts = Array.make t.domains.(a) 0 in
+      Acq_data.Dataset.iter_rows reference (fun r ->
+          let v = Acq_data.Dataset.get reference r a in
+          ref_counts.(v) <- ref_counts.(v) + 1);
+      (* Total variation = half the L1 distance between marginals. *)
+      let tv = ref 0.0 in
+      for v = 0 to t.domains.(a) - 1 do
+        tv :=
+          !tv
+          +. Float.abs
+               ((float_of_int t.counts.(a).(v) /. win_rows)
+               -. (float_of_int ref_counts.(v) /. ref_rows))
+      done;
+      total := !total +. (!tv /. 2.0)
+    done;
+    !total /. float_of_int n
+  end

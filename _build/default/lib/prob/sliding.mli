@@ -1,0 +1,47 @@
+(** Sliding-window statistics for continuous streams — Section 7,
+    "Queries over data streams": probabilities computed incrementally
+    over the most recent [capacity] tuples, plus a drift score that
+    tells the query processor when the correlations have moved enough
+    to justify re-running the (basestation-side) planner.
+
+    Per-attribute histograms are maintained incrementally in O(n) per
+    pushed tuple; the window materializes into a dataset (and hence an
+    {!Estimator.t}) lazily, with caching, so a replanning pass costs
+    one materialization rather than one per probability query. *)
+
+type t
+
+val create : Acq_data.Schema.t -> capacity:int -> t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** Tuples currently in the window ([<= capacity]). *)
+
+val is_full : t -> bool
+
+val push : t -> int array -> unit
+(** Append a tuple, evicting the oldest when full.
+    @raise Invalid_argument on arity or domain mismatch. *)
+
+val push_dataset : t -> Acq_data.Dataset.t -> unit
+(** Push every row in order. *)
+
+val histogram : t -> int -> int array
+(** Fresh copy of one attribute's current window counts; maintained
+    incrementally, O(domain) to copy. *)
+
+val to_dataset : t -> Acq_data.Dataset.t
+(** Materialize the window (oldest first). Cached until the next
+    {!push}. @raise Invalid_argument on an empty window. *)
+
+val estimator : t -> Estimator.t
+(** Empirical estimator over the current window. *)
+
+val drift : t -> reference:Acq_data.Dataset.t -> float
+(** Mean, over attributes, of the total-variation distance between
+    the window's marginal and the reference dataset's marginal — in
+    [0, 1]. A cheap indicator of distribution change; marginal drift
+    is a sufficient (not necessary) replanning trigger, so pair a
+    threshold on it with periodic replanning. *)

@@ -1,0 +1,89 @@
+type t = { data : Acq_data.Dataset.t; rows : int array }
+
+let of_dataset data =
+  { data; rows = Array.init (Acq_data.Dataset.nrows data) (fun i -> i) }
+
+let of_rows data rows = { data; rows }
+
+let dataset t = t.data
+
+let size t = Array.length t.rows
+
+let is_empty t = Array.length t.rows = 0
+
+let filter t keep =
+  let n = Array.length t.rows in
+  let buf = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    let r = t.rows.(i) in
+    if keep r then begin
+      buf.(!k) <- r;
+      incr k
+    end
+  done;
+  { data = t.data; rows = Array.sub buf 0 !k }
+
+let restrict_range t ~attr range =
+  filter t (fun r ->
+      Acq_plan.Range.contains range (Acq_data.Dataset.get t.data r attr))
+
+let restrict_pred t (p : Acq_plan.Predicate.t) truth =
+  filter t (fun r ->
+      Acq_plan.Predicate.eval p (Acq_data.Dataset.get t.data r p.attr) = truth)
+
+let histogram t ~attr =
+  let schema = Acq_data.Dataset.schema t.data in
+  let k = (Acq_data.Schema.attr schema attr).domain in
+  let counts = Array.make k 0 in
+  Array.iter
+    (fun r ->
+      let v = Acq_data.Dataset.get t.data r attr in
+      counts.(v) <- counts.(v) + 1)
+    t.rows;
+  counts
+
+let range_count t ~attr range =
+  let c = ref 0 in
+  Array.iter
+    (fun r ->
+      if Acq_plan.Range.contains range (Acq_data.Dataset.get t.data r attr)
+      then incr c)
+    t.rows;
+  !c
+
+let range_prob t ~attr range =
+  let n = size t in
+  if n = 0 then 0.0
+  else float_of_int (range_count t ~attr range) /. float_of_int n
+
+let pred_prob t p =
+  let n = size t in
+  if n = 0 then 0.0
+  else begin
+    let c = ref 0 in
+    Array.iter
+      (fun r ->
+        if Acq_plan.Predicate.eval p (Acq_data.Dataset.get t.data r p.attr)
+        then incr c)
+      t.rows;
+    float_of_int !c /. float_of_int n
+  end
+
+let pattern_counts t preds =
+  let m = Array.length preds in
+  if m > 20 then invalid_arg "View.pattern_counts: too many predicates";
+  let counts = Array.make (1 lsl m) 0 in
+  Array.iter
+    (fun r ->
+      let mask = ref 0 in
+      for j = 0 to m - 1 do
+        let p = preds.(j) in
+        if Acq_plan.Predicate.eval p (Acq_data.Dataset.get t.data r p.attr)
+        then mask := !mask lor (1 lsl j)
+      done;
+      counts.(!mask) <- counts.(!mask) + 1)
+    t.rows;
+  counts
+
+let iter t f = Array.iter f t.rows

@@ -1,0 +1,1 @@
+lib/sensor/basestation.ml: Acq_core Acq_data

@@ -1,0 +1,1 @@
+lib/sensor/basestation.mli: Acq_core Acq_data Acq_plan

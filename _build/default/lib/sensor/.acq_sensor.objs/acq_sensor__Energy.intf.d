@@ -1,0 +1,1 @@
+lib/sensor/energy.mli:

@@ -1,0 +1,1 @@
+lib/sensor/environment.ml: Acq_data

@@ -1,0 +1,1 @@
+lib/sensor/environment.mli: Acq_data

@@ -1,0 +1,1 @@
+lib/sensor/mote.ml: Acq_plan Energy List Radio

@@ -1,0 +1,1 @@
+lib/sensor/mote.mli: Acq_plan Energy Radio

@@ -1,0 +1,1 @@
+lib/sensor/network.ml: Acq_plan Array Energy Mote Radio

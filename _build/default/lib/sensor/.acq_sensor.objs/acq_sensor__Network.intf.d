@@ -1,0 +1,1 @@
+lib/sensor/network.mli: Acq_plan Energy Mote Radio

@@ -1,0 +1,1 @@
+lib/sensor/runtime.ml: Acq_data Acq_plan Basestation Energy Environment Format Mote Network

@@ -1,0 +1,1 @@
+lib/sensor/runtime.mli: Acq_core Acq_data Acq_plan Format Radio

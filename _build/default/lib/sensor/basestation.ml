@@ -1,0 +1,16 @@
+type t = {
+  options : Acq_core.Planner.options;
+  algorithm : Acq_core.Planner.algorithm;
+  history : Acq_data.Dataset.t;
+}
+
+let create ?(options = Acq_core.Planner.default_options) ~algorithm ~history ()
+    =
+  { options; algorithm; history }
+
+let plan_query t q =
+  Acq_core.Planner.plan ~options:t.options t.algorithm q ~train:t.history
+
+let history t = t.history
+
+let refresh_history t history = { t with history }

@@ -1,0 +1,23 @@
+(** The well-provisioned side of Figure 4: collects historical data,
+    runs the (expensive) planning algorithms, and ships the chosen
+    conditional plan into the network. *)
+
+type t
+
+val create :
+  ?options:Acq_core.Planner.options ->
+  algorithm:Acq_core.Planner.algorithm ->
+  history:Acq_data.Dataset.t ->
+  unit ->
+  t
+
+val plan_query : t -> Acq_plan.Query.t -> Acq_plan.Plan.t * float
+(** Optimize a query against the stored history; returns the plan and
+    its expected cost on the training distribution. *)
+
+val history : t -> Acq_data.Dataset.t
+
+val refresh_history : t -> Acq_data.Dataset.t -> t
+(** New basestation with updated statistics — the paper's "plans may
+    be re-generated ... when the query processor detects substantial
+    changes in the correlations". *)

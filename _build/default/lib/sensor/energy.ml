@@ -1,0 +1,29 @@
+type t = {
+  mutable acquisition : float;
+  mutable radio_tx : float;
+  mutable radio_rx : float;
+}
+
+let create () = { acquisition = 0.0; radio_tx = 0.0; radio_rx = 0.0 }
+
+let total t = t.acquisition +. t.radio_tx +. t.radio_rx
+
+let add_acquisition t e = t.acquisition <- t.acquisition +. e
+
+let charge_tx t ~bytes ~per_byte =
+  t.radio_tx <- t.radio_tx +. (float_of_int bytes *. per_byte)
+
+let charge_rx t ~bytes ~per_byte =
+  t.radio_rx <- t.radio_rx +. (float_of_int bytes *. per_byte)
+
+let reset t =
+  t.acquisition <- 0.0;
+  t.radio_tx <- 0.0;
+  t.radio_rx <- 0.0
+
+let merge a b =
+  {
+    acquisition = a.acquisition +. b.acquisition;
+    radio_tx = a.radio_tx +. b.radio_tx;
+    radio_rx = a.radio_rx +. b.radio_rx;
+  }

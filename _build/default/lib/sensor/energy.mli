@@ -1,0 +1,21 @@
+(** Energy accounting for the simulated sensor network.
+
+    Units are the paper's abstract acquisition units (an expensive
+    sensor read = 100, a cheap local read = 1). Radio traffic is
+    charged per byte so that shipping a large conditional plan into
+    the network has a measurable cost — the Section 2.4 trade-off. *)
+
+type t = {
+  mutable acquisition : float;  (** energy spent powering sensors *)
+  mutable radio_tx : float;  (** energy spent transmitting *)
+  mutable radio_rx : float;  (** energy spent receiving *)
+}
+
+val create : unit -> t
+val total : t -> float
+val add_acquisition : t -> float -> unit
+val charge_tx : t -> bytes:int -> per_byte:float -> unit
+val charge_rx : t -> bytes:int -> per_byte:float -> unit
+val reset : t -> unit
+val merge : t -> t -> t
+(** Fresh sum of two meters. *)

@@ -1,0 +1,23 @@
+type t = { data : Acq_data.Dataset.t; nodeid_attr : int option }
+
+let replay data =
+  let schema = Acq_data.Dataset.schema data in
+  let nodeid_attr =
+    if Acq_data.Schema.mem schema "nodeid" then
+      Some (Acq_data.Schema.index_of schema "nodeid")
+    else None
+  in
+  { data; nodeid_attr }
+
+let schema t = Acq_data.Dataset.schema t.data
+
+let n_epochs t = Acq_data.Dataset.nrows t.data
+
+let mote_of_epoch t e =
+  match t.nodeid_attr with
+  | Some a -> Acq_data.Dataset.get t.data e a
+  | None -> 0
+
+let value t ~epoch ~attr = Acq_data.Dataset.get t.data epoch attr
+
+let tuple t ~epoch = Acq_data.Dataset.row t.data epoch

@@ -1,0 +1,27 @@
+(** The physical world a mote samples: a replayed trace.
+
+    Epoch [e] of mote [m] exposes the attribute values of one dataset
+    row. When the schema carries a [nodeid] attribute (lab-style
+    traces where each row is one mote's reading), rows are routed to
+    the mote named in the row; otherwise every row is a network-wide
+    tuple handled by mote 0 (garden-style wide schemas). *)
+
+type t
+
+val replay : Acq_data.Dataset.t -> t
+
+val schema : t -> Acq_data.Schema.t
+
+val n_epochs : t -> int
+(** Number of trace rows. *)
+
+val mote_of_epoch : t -> int -> int
+(** Which mote observes the row of this epoch. *)
+
+val value : t -> epoch:int -> attr:int -> int
+(** Ground-truth reading (the executor pays acquisition cost to call
+    this through the mote's lookup closure). *)
+
+val tuple : t -> epoch:int -> int array
+(** Full ground-truth row, used by the basestation to audit results
+    in tests. *)

@@ -1,0 +1,51 @@
+type t = {
+  id : int;
+  hops : int;
+  radio : Radio.t;
+  energy : Energy.t;
+  mutable plan : Acq_plan.Plan.t option;
+}
+
+let create ~id ~hops ~radio =
+  { id; hops; radio; energy = Energy.create (); plan = None }
+
+let id t = t.id
+
+let hops t = t.hops
+
+let energy t = t.energy
+
+let install_plan t plan ~bytes =
+  Energy.charge_rx t.energy ~bytes:(bytes + t.radio.Radio.header_bytes)
+    ~per_byte:t.radio.Radio.per_byte;
+  t.plan <- Some plan
+
+let plan t = t.plan
+
+type epoch_result = {
+  verdict : bool;
+  acquisition_cost : float;
+  acquired : int list;
+}
+
+let run_epoch t q ~costs ~lookup =
+  match t.plan with
+  | None -> failwith "Mote.run_epoch: no plan installed"
+  | Some plan ->
+      let o = Acq_plan.Executor.run q ~costs plan ~lookup in
+      Energy.add_acquisition t.energy o.Acq_plan.Executor.cost;
+      if o.Acq_plan.Executor.verdict then begin
+        let payload =
+          Radio.result_bytes t.radio
+            ~n_attrs:(List.length o.Acq_plan.Executor.acquired)
+        in
+        let cost =
+          Radio.message_cost t.radio ~payload_bytes:payload ~hops:t.hops
+        in
+        t.energy.Energy.radio_tx <- t.energy.Energy.radio_tx +. cost
+      end;
+      {
+        verdict = o.Acq_plan.Executor.verdict;
+        acquisition_cost = o.Acq_plan.Executor.cost;
+        acquired = o.Acq_plan.Executor.acquired;
+      }

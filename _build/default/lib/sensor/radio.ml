@@ -1,0 +1,11 @@
+type t = { per_byte : float; header_bytes : int }
+
+let default = { per_byte = 0.05; header_bytes = 8 }
+
+let message_cost t ~payload_bytes ~hops =
+  (* Each hop: one transmission and one reception of the framed
+     message. *)
+  let bytes = payload_bytes + t.header_bytes in
+  2.0 *. float_of_int (bytes * max 1 hops) *. t.per_byte
+
+let result_bytes _t ~n_attrs = 2 * n_attrs

@@ -1,0 +1,23 @@
+(** Radio cost model: every message is charged per byte on the
+    transmitter and every receiver, multiplied by the hop count of the
+    routing tree path — a first-order model of multihop collection
+    trees (TinyOS/TAG style). *)
+
+type t = {
+  per_byte : float;  (** energy units per byte sent or received *)
+  header_bytes : int;  (** per-message framing overhead *)
+}
+
+val default : t
+(** 0.05 units/byte, 8-byte headers: calibrated so that shipping a
+    ~100-byte conditional plan costs a few expensive acquisitions —
+    the same order of magnitude the paper's alpha trade-off
+    contemplates. *)
+
+val message_cost : t -> payload_bytes:int -> hops:int -> float
+(** Energy for one message traversing [hops] links (tx + rx charged on
+    each link). *)
+
+val result_bytes : t -> n_attrs:int -> int
+(** Payload size of a result tuple carrying [n_attrs] 2-byte
+    readings. *)

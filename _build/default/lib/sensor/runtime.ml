@@ -1,0 +1,65 @@
+type report = {
+  plan : Acq_plan.Plan.t;
+  plan_bytes : int;
+  epochs : int;
+  matches : int;
+  acquisition_energy : float;
+  radio_energy : float;
+  total_energy : float;
+  avg_cost_per_epoch : float;
+  correct : bool;
+}
+
+let default_motes schema =
+  if Acq_data.Schema.mem schema "nodeid" then
+    (Acq_data.Schema.attr schema (Acq_data.Schema.index_of schema "nodeid"))
+      .Acq_data.Attribute.domain
+  else 1
+
+let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
+  let schema = Acq_plan.Query.schema q in
+  let costs = Acq_data.Schema.costs schema in
+  let base = Basestation.create ?options ~algorithm ~history () in
+  let plan, _expected = Basestation.plan_query base q in
+  let env = Environment.replay live in
+  let n_motes =
+    match n_motes with Some n -> n | None -> default_motes schema
+  in
+  let net = Network.create ?radio ~n_motes () in
+  let plan_bytes = Network.disseminate net plan in
+  let matches = ref 0 and correct = ref true in
+  for epoch = 0 to Environment.n_epochs env - 1 do
+    let mote = Network.mote net (Environment.mote_of_epoch env epoch) in
+    let r =
+      Mote.run_epoch mote q ~costs ~lookup:(fun attr ->
+          Environment.value env ~epoch ~attr)
+    in
+    if r.Mote.verdict then incr matches;
+    let truth = Acq_plan.Query.eval q (Environment.tuple env ~epoch) in
+    if truth <> r.Mote.verdict then correct := false
+  done;
+  let e = Network.total_energy net in
+  let epochs = Environment.n_epochs env in
+  {
+    plan;
+    plan_bytes;
+    epochs;
+    matches = !matches;
+    acquisition_energy = e.Energy.acquisition;
+    radio_energy = e.Energy.radio_tx +. e.Energy.radio_rx;
+    total_energy = Energy.total e;
+    avg_cost_per_epoch =
+      (if epochs = 0 then 0.0 else e.Energy.acquisition /. float_of_int epochs);
+    correct = !correct;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "@[<v>plan: %d bytes, %d tests@,\
+     epochs: %d, matches: %d@,\
+     energy: acquisition %.1f + radio %.1f = %.1f@,\
+     avg acquisition cost/epoch: %.2f@,\
+     verdicts correct: %b@]"
+    r.plan_bytes (Acq_plan.Plan.n_tests r.plan) r.epochs r.matches
+    r.acquisition_energy r.radio_energy r.total_energy r.avg_cost_per_epoch
+    r.correct

@@ -1,0 +1,35 @@
+(** End-to-end continuous-query execution: plan on the basestation,
+    disseminate, replay a trace epoch by epoch on the motes, collect
+    matching tuples, and account every unit of energy — the full
+    Figure 4 loop. *)
+
+type report = {
+  plan : Acq_plan.Plan.t;
+  plan_bytes : int;  (** ζ(P) shipped to each mote *)
+  epochs : int;
+  matches : int;  (** tuples satisfying the WHERE clause *)
+  acquisition_energy : float;
+  radio_energy : float;  (** dissemination + result collection *)
+  total_energy : float;
+  avg_cost_per_epoch : float;
+      (** acquisition energy / epochs — comparable to
+          {!Acq_plan.Executor.average_cost} *)
+  correct : bool;
+      (** every verdict agreed with ground truth (audited against the
+          replayed trace) *)
+}
+
+val run :
+  ?options:Acq_core.Planner.options ->
+  ?radio:Radio.t ->
+  ?n_motes:int ->
+  algorithm:Acq_core.Planner.algorithm ->
+  history:Acq_data.Dataset.t ->
+  live:Acq_data.Dataset.t ->
+  Acq_plan.Query.t ->
+  report
+(** Plan the query on [history], then execute it over the [live]
+    trace. [n_motes] defaults to the number of distinct node ids in
+    the schema's [nodeid] attribute (or 1 for wide schemas). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/sql/catalog.ml: Acq_data Acq_plan Ast Float List Parser

@@ -1,0 +1,1 @@
+lib/sql/catalog.mli: Acq_data Acq_plan Ast

@@ -1,0 +1,31 @@
+type comparison = Le | Lt | Ge | Gt | Eq
+
+type condition =
+  | Band of { lo : float; attr : string; hi : float }
+  | Cmp of { attr : string; op : comparison; value : float }
+  | Not of condition
+
+type statement = { select : string list option; where : condition list }
+
+let string_of_comparison = function
+  | Le -> "<="
+  | Lt -> "<"
+  | Ge -> ">="
+  | Gt -> ">"
+  | Eq -> "="
+
+let rec pp_condition fmt = function
+  | Band { lo; attr; hi } -> Format.fprintf fmt "%g <= %s <= %g" lo attr hi
+  | Cmp { attr; op; value } ->
+      Format.fprintf fmt "%s %s %g" attr (string_of_comparison op) value
+  | Not c -> Format.fprintf fmt "NOT (%a)" pp_condition c
+
+let pp fmt { select; where } =
+  let cols =
+    match select with None -> "*" | Some cs -> String.concat ", " cs
+  in
+  Format.fprintf fmt "SELECT %s WHERE %a" cols
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ")
+       pp_condition)
+    where

@@ -1,0 +1,27 @@
+(** Abstract syntax for the acquisitional query language — the
+    paper's query (1):
+
+    {v
+    SELECT a1, a2, ... | *
+    WHERE l1 <= a1 <= r1 AND ... AND NOT (lk <= ak <= rk)
+    v}
+
+    Also accepted: single comparisons ([temp >= 20]), [BETWEEN], and
+    negation of any band. Values are raw-unit numbers; binding to
+    discretized bins happens in {!Catalog}. *)
+
+type comparison = Le | Lt | Ge | Gt | Eq
+
+type condition =
+  | Band of { lo : float; attr : string; hi : float }
+      (** [lo <= attr <= hi] *)
+  | Cmp of { attr : string; op : comparison; value : float }
+  | Not of condition
+
+type statement = {
+  select : string list option;  (** [None] for [SELECT *] *)
+  where : condition list;  (** conjunction *)
+}
+
+val pp_condition : Format.formatter -> condition -> unit
+val pp : Format.formatter -> statement -> unit

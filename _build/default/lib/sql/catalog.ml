@@ -1,0 +1,84 @@
+type compiled = { query : Acq_plan.Query.t; select : int list }
+
+let resolve schema name =
+  match Acq_data.Schema.index_of schema name with
+  | i -> i
+  | exception Not_found -> failwith ("Catalog: unknown attribute " ^ name)
+
+let bin_of_value (a : Acq_data.Attribute.t) v =
+  match a.binner with
+  | Some b -> Acq_data.Discretize.bin_of b v
+  | None ->
+      let iv = int_of_float (Float.round v) in
+      max 0 (min (a.domain - 1) iv)
+
+(* Bin immediately below the one containing [v]; for a continuous
+   attribute, if [v] sits exactly on a bin's lower edge the previous
+   bin is already the right answer for a strict "<". *)
+let bin_strictly_below (a : Acq_data.Attribute.t) v =
+  let b = bin_of_value a v in
+  match a.binner with
+  | None -> b - 1
+  | Some binner -> if v <= Acq_data.Discretize.lower binner b then b - 1 else b
+
+let band_pred schema name lo hi ~negated =
+  let attr = resolve schema name in
+  let a = Acq_data.Schema.attr schema attr in
+  let blo = bin_of_value a lo and bhi = bin_of_value a hi in
+  if blo > bhi then failwith ("Catalog: empty band on " ^ name);
+  if negated then Acq_plan.Predicate.outside ~attr ~lo:blo ~hi:bhi
+  else Acq_plan.Predicate.inside ~attr ~lo:blo ~hi:bhi
+
+let cmp_pred schema name op value =
+  let attr = resolve schema name in
+  let a = Acq_data.Schema.attr schema attr in
+  let k = a.Acq_data.Attribute.domain in
+  let inside lo hi =
+    if lo > hi then failwith ("Catalog: unsatisfiable comparison on " ^ name);
+    Acq_plan.Predicate.inside ~attr ~lo ~hi
+  in
+  match op with
+  | Ast.Le -> inside 0 (bin_of_value a value)
+  | Ast.Lt -> inside 0 (bin_strictly_below a value)
+  | Ast.Ge -> inside (bin_of_value a value) (k - 1)
+  | Ast.Gt -> (
+      match a.Acq_data.Attribute.binner with
+      | None -> inside (min (k - 1) (bin_of_value a value + 1)) (k - 1)
+      | Some _ -> inside (bin_of_value a value) (k - 1))
+  | Ast.Eq ->
+      let b = bin_of_value a value in
+      inside b b
+
+let negate_cmp = function
+  | Ast.Le -> Ast.Gt
+  | Ast.Lt -> Ast.Ge
+  | Ast.Ge -> Ast.Lt
+  | Ast.Gt -> Ast.Le
+  | Ast.Eq -> Ast.Eq (* handled separately *)
+
+let rec predicate_of schema = function
+  | Ast.Band { lo; attr; hi } -> band_pred schema attr lo hi ~negated:false
+  | Ast.Cmp { attr; op; value } -> cmp_pred schema attr op value
+  | Ast.Not (Ast.Band { lo; attr; hi }) ->
+      band_pred schema attr lo hi ~negated:true
+  | Ast.Not (Ast.Cmp { attr; op = Ast.Eq; value }) ->
+      let i = resolve schema attr in
+      let a = Acq_data.Schema.attr schema i in
+      let b = bin_of_value a value in
+      Acq_plan.Predicate.outside ~attr:i ~lo:b ~hi:b
+  | Ast.Not (Ast.Cmp { attr; op; value }) ->
+      cmp_pred schema attr (negate_cmp op) value
+  | Ast.Not (Ast.Not c) -> predicate_of schema c
+
+let bind schema (stmt : Ast.statement) =
+  if stmt.where = [] then failwith "Catalog: empty WHERE clause";
+  let preds = List.map (predicate_of schema) stmt.where in
+  let query = Acq_plan.Query.create schema preds in
+  let select =
+    match stmt.select with
+    | None -> List.init (Acq_data.Schema.arity schema) (fun i -> i)
+    | Some names -> List.sort_uniq compare (List.map (resolve schema) names)
+  in
+  { query; select }
+
+let compile schema input = bind schema (Parser.parse input)

@@ -1,0 +1,21 @@
+(** Binding parsed statements against a schema: names resolve to
+    attribute indices, raw-unit bounds snap to discretized bins (the
+    natural semantics in a system whose sensors have limited
+    resolution, Section 2.1), and the WHERE clause becomes a
+    {!Acq_plan.Query.t} ready for the planners. *)
+
+type compiled = {
+  query : Acq_plan.Query.t;
+  select : int list;  (** projected attribute indices, schema order *)
+}
+
+val bind : Acq_data.Schema.t -> Ast.statement -> compiled
+(** @raise Failure on unknown attributes, empty WHERE clauses after
+    simplification, or bands that are empty after discretization.
+    Comparison semantics after snapping: [a < v] excludes the bin
+    containing [v] for discrete attributes and clamps to the previous
+    bin edge for continuous ones; [NOT] flips a band's polarity;
+    [NOT (Cmp ...)] rewrites to the complementary comparison. *)
+
+val compile : Acq_data.Schema.t -> string -> compiled
+(** [bind] of {!Parser.parse}. *)

@@ -1,0 +1,100 @@
+type token =
+  | SELECT
+  | WHERE
+  | AND
+  | NOT
+  | BETWEEN
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQ
+  | IDENT of string
+  | NUMBER of float
+  | EOF
+
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident c = is_alpha c || is_digit c
+
+let keyword_of s =
+  match String.lowercase_ascii s with
+  | "select" -> Some SELECT
+  | "where" -> Some WHERE
+  | "and" -> Some AND
+  | "not" -> Some NOT
+  | "between" -> Some BETWEEN
+  | _ -> None
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '*' -> go (i + 1) (STAR :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | '=' -> go (i + 1) (EQ :: acc)
+      | '<' when i + 1 < n && input.[i + 1] = '=' -> go (i + 2) (LE :: acc)
+      | '<' -> go (i + 1) (LT :: acc)
+      | '>' when i + 1 < n && input.[i + 1] = '=' -> go (i + 2) (GE :: acc)
+      | '>' -> go (i + 1) (GT :: acc)
+      | c when is_alpha c ->
+          let j = ref i in
+          while !j < n && is_ident input.[!j] do
+            incr j
+          done;
+          let word = String.sub input i (!j - i) in
+          let tok =
+            match keyword_of word with Some k -> k | None -> IDENT word
+          in
+          go !j (tok :: acc)
+      | c when is_digit c || c = '-' || c = '+' || c = '.' ->
+          let j = ref i in
+          if input.[!j] = '-' || input.[!j] = '+' then incr j;
+          while
+            !j < n
+            && (is_digit input.[!j]
+               || input.[!j] = '.'
+               || input.[!j] = 'e'
+               || input.[!j] = 'E'
+               || ((input.[!j] = '-' || input.[!j] = '+')
+                  && (input.[!j - 1] = 'e' || input.[!j - 1] = 'E')))
+          do
+            incr j
+          done;
+          let text = String.sub input i (!j - i) in
+          (match float_of_string_opt text with
+          | Some v -> go !j (NUMBER v :: acc)
+          | None -> failwith (Printf.sprintf "Lexer: bad number %S at %d" text i))
+      | c -> failwith (Printf.sprintf "Lexer: unexpected character %C at %d" c i)
+  in
+  go 0 []
+
+let describe = function
+  | SELECT -> "SELECT"
+  | WHERE -> "WHERE"
+  | AND -> "AND"
+  | NOT -> "NOT"
+  | BETWEEN -> "BETWEEN"
+  | STAR -> "*"
+  | COMMA -> ","
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LE -> "<="
+  | LT -> "<"
+  | GE -> ">="
+  | GT -> ">"
+  | EQ -> "="
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUMBER v -> Printf.sprintf "number %g" v
+  | EOF -> "end of input"

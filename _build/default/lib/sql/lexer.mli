@@ -1,0 +1,27 @@
+(** Tokenizer for the query language. Keywords are case-insensitive;
+    identifiers are [[A-Za-z_][A-Za-z0-9_]*]; numbers are decimal with
+    optional sign, fraction, and exponent. *)
+
+type token =
+  | SELECT
+  | WHERE
+  | AND
+  | NOT
+  | BETWEEN
+  | STAR
+  | COMMA
+  | LPAREN
+  | RPAREN
+  | LE
+  | LT
+  | GE
+  | GT
+  | EQ
+  | IDENT of string
+  | NUMBER of float
+  | EOF
+
+val tokenize : string -> token list
+(** @raise Failure on an unrecognized character, with position. *)
+
+val describe : token -> string

@@ -1,0 +1,129 @@
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    failwith
+      (Printf.sprintf "Parser: expected %s but found %s" (Lexer.describe tok)
+         (Lexer.describe (peek st)))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> failwith ("Parser: expected identifier, found " ^ Lexer.describe t)
+
+let number st =
+  match peek st with
+  | Lexer.NUMBER v ->
+      advance st;
+      v
+  | t -> failwith ("Parser: expected number, found " ^ Lexer.describe t)
+
+let comparison st =
+  match peek st with
+  | Lexer.LE ->
+      advance st;
+      Some Ast.Le
+  | Lexer.LT ->
+      advance st;
+      Some Ast.Lt
+  | Lexer.GE ->
+      advance st;
+      Some Ast.Ge
+  | Lexer.GT ->
+      advance st;
+      Some Ast.Gt
+  | Lexer.EQ ->
+      advance st;
+      Some Ast.Eq
+  | _ -> None
+
+let rec condition st =
+  match peek st with
+  | Lexer.NOT ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = condition st in
+      expect st Lexer.RPAREN;
+      Ast.Not c
+  | Lexer.NUMBER lo ->
+      (* Band: number <= ident <= number (strict variants accepted and
+         treated as inclusive after discretization). *)
+      advance st;
+      let ok_low =
+        match comparison st with
+        | Some (Ast.Le | Ast.Lt) -> true
+        | Some _ | None -> false
+      in
+      if not ok_low then failwith "Parser: expected <= or < after number";
+      let attr = ident st in
+      let ok_high =
+        match comparison st with
+        | Some (Ast.Le | Ast.Lt) -> true
+        | Some _ | None -> false
+      in
+      if not ok_high then failwith "Parser: expected <= or < in band";
+      let hi = number st in
+      Ast.Band { lo; attr; hi }
+  | Lexer.IDENT _ -> (
+      let attr = ident st in
+      match peek st with
+      | Lexer.BETWEEN ->
+          advance st;
+          let lo = number st in
+          expect st Lexer.AND;
+          let hi = number st in
+          Ast.Band { lo; attr; hi }
+      | _ -> (
+          match comparison st with
+          | Some op ->
+              let value = number st in
+              Ast.Cmp { attr; op; value }
+          | None ->
+              failwith
+                ("Parser: expected comparison after " ^ attr ^ ", found "
+               ^ Lexer.describe (peek st))))
+  | t -> failwith ("Parser: unexpected " ^ Lexer.describe t)
+
+let conjunction st =
+  let first = condition st in
+  let rec more acc =
+    match peek st with
+    | Lexer.AND ->
+        advance st;
+        more (condition st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+let columns st =
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      None
+  | _ ->
+      let first = ident st in
+      let rec more acc =
+        match peek st with
+        | Lexer.COMMA ->
+            advance st;
+            more (ident st :: acc)
+        | _ -> List.rev acc
+      in
+      Some (more [ first ])
+
+let parse input =
+  let st = { toks = Lexer.tokenize input } in
+  expect st Lexer.SELECT;
+  let select = columns st in
+  expect st Lexer.WHERE;
+  let where = conjunction st in
+  expect st Lexer.EOF;
+  { Ast.select; where }

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the query language.
+
+    Grammar:
+    {v
+    statement := SELECT cols WHERE conjunction
+    cols      := '*' | ident (',' ident)*
+    conjunction := condition (AND condition)*
+    condition := NOT '(' condition ')'
+               | number cmp ident cmp number      (a band)
+               | ident BETWEEN number AND number
+               | ident cmp number
+    cmp       := '<=' | '<' | '>=' | '>' | '='
+    v} *)
+
+val parse : string -> Ast.statement
+(** @raise Failure with a readable message on syntax errors. *)

@@ -1,0 +1,1 @@
+lib/util/array_util.mli:

@@ -1,0 +1,1 @@
+lib/util/tbl.ml: List Printf String

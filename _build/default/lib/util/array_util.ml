@@ -1,0 +1,30 @@
+let sum_int a = Array.fold_left ( + ) 0 a
+
+let sum_float a = Array.fold_left ( +. ) 0.0 a
+
+let argmin f a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Array_util.argmin: empty array";
+  let best = ref 0 and best_v = ref (f a.(0)) in
+  for i = 1 to n - 1 do
+    let v = f a.(i) in
+    if v < !best_v then begin
+      best := i;
+      best_v := v
+    end
+  done;
+  !best
+
+let argmax f a = argmin (fun x -> -.f x) a
+
+let fold_lefti f init a =
+  let acc = ref init in
+  Array.iteri (fun i x -> acc := f !acc i x) a;
+  !acc
+
+let range a b = if a > b then [||] else Array.init (b - a + 1) (fun i -> a + i)
+
+let count p a =
+  Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 a
+
+let float_equal ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps

@@ -1,0 +1,21 @@
+(** Array helpers shared across the planner and the experiment
+    harness. *)
+
+val sum_int : int array -> int
+val sum_float : float array -> float
+
+val argmin : ('a -> float) -> 'a array -> int
+(** Index of the element minimizing [f]. The array must be non-empty;
+    ties break toward the smallest index. *)
+
+val argmax : ('a -> float) -> 'a array -> int
+
+val fold_lefti : ('acc -> int -> 'a -> 'acc) -> 'acc -> 'a array -> 'acc
+
+val range : int -> int -> int array
+(** [range a b] is [[|a; a+1; ...; b|]], empty when [a > b]. *)
+
+val count : ('a -> bool) -> 'a array -> int
+
+val float_equal : ?eps:float -> float -> float -> bool
+(** Absolute-difference comparison, default [eps = 1e-9]. *)

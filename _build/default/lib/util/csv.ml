@@ -1,0 +1,86 @@
+let parse_string s =
+  let n = String.length s in
+  let rows = ref [] and row = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_field () =
+    row := Buffer.contents buf :: !row;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  (* A tiny state machine: [i] scans; inside quotes we only stop at a
+     quote, outside we stop at separators and line ends. *)
+  let rec plain i =
+    if i >= n then begin
+      if Buffer.length buf > 0 || !row <> [] then flush_row ()
+    end
+    else
+      match s.[i] with
+      | ',' ->
+          flush_field ();
+          plain (i + 1)
+      | '\n' ->
+          flush_row ();
+          plain (i + 1)
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
+          flush_row ();
+          plain (i + 2)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv.parse_string: unterminated quoted field"
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  parse_string s
+
+let needs_quoting f =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') f
+
+let escape_field f =
+  if needs_quoting f then begin
+    let buf = Buffer.create (String.length f + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      f;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else f
+
+let to_string rows =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (String.concat "," (List.map escape_field row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write_file path rows =
+  let oc = open_out_bin path in
+  output_string oc (to_string rows);
+  close_out oc

@@ -1,0 +1,18 @@
+(** Minimal CSV reader/writer.
+
+    Handles the subset of RFC 4180 needed to persist datasets: comma
+    separation, double-quote quoting with doubled-quote escapes, and
+    both LF and CRLF line endings. All rows are string lists; numeric
+    conversion is the caller's concern. *)
+
+val parse_string : string -> string list list
+(** Parse a whole document. Empty trailing line is ignored.
+    @raise Failure on an unterminated quoted field. *)
+
+val read_file : string -> string list list
+
+val to_string : string list list -> string
+(** Render rows, quoting fields only when they contain a comma, quote,
+    or newline. *)
+
+val write_file : string -> string list list -> unit

@@ -1,0 +1,70 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 finalizer: xor-shift multiply mixing of the advanced
+   state. Constants from the reference implementation. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let split g = { state = bits64 g }
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for any
+     bound that fits in an OCaml int. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  v mod n
+
+let float g x =
+  (* 53 random bits scaled to [0, 1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int v /. 9007199254740992.0 *. x
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let gaussian g ~mean ~stddev =
+  let rec draw () =
+    let u1 = float g 1.0 in
+    if u1 <= 1e-300 then draw ()
+    else
+      let u2 = float g 1.0 in
+      sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+  in
+  mean +. (stddev *. draw ())
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  let all = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: after k swaps the prefix is the sample. *)
+  for i = 0 to k - 1 do
+    let j = i + int g (n - i) in
+    let tmp = all.(i) in
+    all.(i) <- all.(j);
+    all.(j) <- tmp
+  done;
+  Array.sub all 0 k

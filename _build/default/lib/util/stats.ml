@@ -1,0 +1,92 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else
+    let m = mean xs in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) xs;
+    !acc /. float_of_int n
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  let lo = ref xs.(0) and hi = ref xs.(0) in
+  Array.iter
+    (fun x ->
+      if x < !lo then lo := x;
+      if x > !hi then hi := x)
+    xs;
+  (!lo, !hi)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let median xs = percentile xs 50.0
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive";
+        acc := !acc +. log x)
+      xs;
+    exp (!acc /. float_of_int n)
+  end
+
+let cumulative_curve xs k =
+  let n = Array.length xs in
+  if n = 0 || k <= 0 then []
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let lo = sorted.(0) and hi = sorted.(n - 1) in
+    let count_at_least x =
+      (* First index with value >= x, by binary search. *)
+      let rec go a b = if a >= b then a else
+        let m = (a + b) / 2 in
+        if sorted.(m) >= x then go a m else go (m + 1) b
+      in
+      n - go 0 n
+    in
+    let points = if k = 1 then [ lo ] else
+      List.init k (fun i ->
+          lo +. ((hi -. lo) *. float_of_int i /. float_of_int (k - 1)))
+    in
+    List.map
+      (fun x -> (x, float_of_int (count_at_least x) /. float_of_int n))
+      points
+  end
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  if n = 0 then 0.0
+  else
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)

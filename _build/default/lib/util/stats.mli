@@ -1,0 +1,36 @@
+(** Small descriptive-statistics toolkit used by the data generators,
+    the experiment harness, and the figure reports. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Returns [nan] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance (divides by [n]). Returns [nan] on an empty
+    array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. The array must be non-empty. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100]: linear interpolation
+    between closest ranks. The input need not be sorted; the array must
+    be non-empty. *)
+
+val median : float array -> float
+
+val geometric_mean : float array -> float
+(** Geometric mean; every element must be positive. *)
+
+val cumulative_curve : float array -> int -> (float * float) list
+(** [cumulative_curve xs k] summarizes the distribution of [xs] as [k]
+    points [(x, f)] where [f] is the fraction of values that are [>= x]
+    (the "at least this good" cumulative frequency used by the paper's
+    Figure 8(c)). The points sweep x from the minimum to the maximum of
+    [xs]. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length samples.
+    Returns [0.] if either side has zero variance. *)

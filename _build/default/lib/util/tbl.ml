@@ -1,0 +1,43 @@
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_float_row t label xs =
+  add_row t (label :: List.map (Printf.sprintf "%.3f") xs)
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'x' || c = '%')
+       s
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let cell row j = match List.nth_opt row j with Some c -> c | None -> "" in
+  let width j =
+    List.fold_left (fun acc r -> max acc (String.length (cell r j))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    let parts =
+      List.mapi
+        (fun j w ->
+          let c = cell row j in
+          let pad = String.make (w - String.length c) ' ' in
+          if looks_numeric c && j > 0 then pad ^ c else c ^ pad)
+        widths
+    in
+    String.concat "  " parts
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row t.headers :: sep :: List.map render_row rows)
+
+let print t =
+  print_string (render t);
+  print_newline ()

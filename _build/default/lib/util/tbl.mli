@@ -1,0 +1,23 @@
+(** ASCII table rendering for the benchmark harness and CLI reports.
+
+    Columns are sized to their widest cell; numeric-looking cells are
+    right-aligned, text is left-aligned. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Short rows are padded with empty cells; long rows
+    extend the column count. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends [label] followed by each float
+    printed with 3 decimal places. *)
+
+val render : t -> string
+(** Render with a header separator line. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

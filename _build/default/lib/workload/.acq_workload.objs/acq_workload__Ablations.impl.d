@@ -1,0 +1,1 @@
+lib/workload/ablations.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_sensor Acq_util Array Figures List Printf Query_gen Report String Sys

@@ -1,0 +1,1 @@
+lib/workload/ablations.mli: Figures

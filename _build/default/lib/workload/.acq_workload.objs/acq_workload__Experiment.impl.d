@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Acq_data Acq_plan Acq_util Array List

@@ -1,0 +1,1 @@
+lib/workload/experiment.mli: Acq_data Acq_plan

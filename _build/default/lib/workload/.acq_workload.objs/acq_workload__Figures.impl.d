@@ -1,0 +1,1 @@
+lib/workload/figures.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_sql Acq_util Array Experiment List Printf Query_gen Report String

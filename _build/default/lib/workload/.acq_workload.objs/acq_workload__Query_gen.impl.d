@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Acq_data Acq_plan Acq_util Array Float List

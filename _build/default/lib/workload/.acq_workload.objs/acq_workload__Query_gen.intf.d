@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Acq_data Acq_plan Acq_util

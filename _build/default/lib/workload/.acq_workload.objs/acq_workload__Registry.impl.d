@@ -1,0 +1,1 @@
+lib/workload/registry.ml: Ablations Figures List Printf

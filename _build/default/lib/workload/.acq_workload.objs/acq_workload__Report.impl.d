@@ -1,0 +1,1 @@
+lib/workload/report.ml: Acq_util Experiment List Printf

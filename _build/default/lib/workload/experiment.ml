@@ -1,0 +1,71 @@
+type algo_spec = {
+  name : string;
+  build : Acq_plan.Query.t -> Acq_plan.Plan.t;
+}
+
+type query_run = {
+  query : Acq_plan.Query.t;
+  test_costs : float array;
+  train_costs : float array;
+  plan_tests : int array;
+  consistent : bool;
+}
+
+let run ~specs ~queries ~train ~test =
+  let specs = Array.of_list specs in
+  List.map
+    (fun q ->
+      let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
+      let plans = Array.map (fun s -> s.build q) specs in
+      let test_costs =
+        Array.map (fun p -> Acq_plan.Executor.average_cost q ~costs p test) plans
+      in
+      let train_costs =
+        Array.map (fun p -> Acq_plan.Executor.average_cost q ~costs p train) plans
+      in
+      let plan_tests = Array.map Acq_plan.Plan.n_tests plans in
+      let consistent =
+        Array.for_all
+          (fun p ->
+            Acq_plan.Executor.consistent q ~costs p test
+            && Acq_plan.Executor.consistent q ~costs p train)
+          plans
+      in
+      { query = q; test_costs; train_costs; plan_tests; consistent })
+    queries
+
+let gains runs ~baseline ~target =
+  Array.of_list
+    (List.map
+       (fun r ->
+         let b = r.test_costs.(baseline) and t = r.test_costs.(target) in
+         if t <= 0.0 then 1.0 else b /. t)
+       runs)
+
+type gain_summary = {
+  mean : float;
+  median : float;
+  max : float;
+  min : float;
+  frac_above : float -> float;
+}
+
+let summarize g =
+  let module S = Acq_util.Stats in
+  let lo, hi = S.min_max g in
+  {
+    mean = S.mean g;
+    median = S.median g;
+    max = hi;
+    min = lo;
+    frac_above =
+      (fun x ->
+        float_of_int (Acq_util.Array_util.count (fun v -> v >= x) g)
+        /. float_of_int (Array.length g));
+  }
+
+let mean_cost runs i =
+  Acq_util.Stats.mean
+    (Array.of_list (List.map (fun r -> r.test_costs.(i)) runs))
+
+let all_consistent runs = List.for_all (fun r -> r.consistent) runs

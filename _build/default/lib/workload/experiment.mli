@@ -1,0 +1,45 @@
+(** Train/test experiment harness: plan each query on training data
+    with several algorithms, measure real execution cost on disjoint
+    test data, and summarize the per-query gain distribution the way
+    the paper's figures do. *)
+
+type algo_spec = {
+  name : string;
+  build : Acq_plan.Query.t -> Acq_plan.Plan.t;
+      (** planner closure; receives the query, returns the plan *)
+}
+
+type query_run = {
+  query : Acq_plan.Query.t;
+  test_costs : float array;  (** per spec, same order *)
+  train_costs : float array;
+  plan_tests : int array;  (** conditioning-node counts per spec *)
+  consistent : bool;  (** all plans agreed with ground truth on test *)
+}
+
+val run :
+  specs:algo_spec list ->
+  queries:Acq_plan.Query.t list ->
+  train:Acq_data.Dataset.t ->
+  test:Acq_data.Dataset.t ->
+  query_run list
+
+val gains : query_run list -> baseline:int -> target:int -> float array
+(** Per-query ratio [cost baseline / cost target] (> 1 when the target
+    is cheaper). Indices refer to spec order. *)
+
+type gain_summary = {
+  mean : float;
+  median : float;
+  max : float;
+  min : float;
+  frac_above : float -> float;
+      (** fraction of queries with gain at least x *)
+}
+
+val summarize : float array -> gain_summary
+
+val mean_cost : query_run list -> int -> float
+(** Average test cost of one spec over all queries. *)
+
+val all_consistent : query_run list -> bool

@@ -1,0 +1,63 @@
+module Rng = Acq_util.Rng
+
+let stddev_bins ds attr =
+  let col = Acq_data.Dataset.column ds attr in
+  Acq_util.Stats.stddev (Array.map float_of_int col)
+
+let lab_query rng ~train =
+  let schema = Acq_data.Dataset.schema train in
+  let expensive =
+    [ Acq_data.Lab_gen.idx_light; Acq_data.Lab_gen.idx_temp;
+      Acq_data.Lab_gen.idx_humidity ]
+  in
+  let domains = Acq_data.Schema.domains schema in
+  let preds =
+    List.map
+      (fun attr ->
+        let k = domains.(attr) in
+        let width =
+          max 1 (int_of_float (Float.round (2.0 *. stddev_bins train attr)))
+        in
+        let width = min width (k - 1) in
+        let lo = Rng.int rng (k - width) in
+        Acq_plan.Predicate.inside ~attr ~lo ~hi:(lo + width - 1))
+      expensive
+  in
+  Acq_plan.Query.create schema preds
+
+let garden_query rng ~schema ~n_motes =
+  let domains = Acq_data.Schema.domains schema in
+  let band k =
+    let f = 1.25 +. Rng.float rng 2.0 in
+    let width = max 1 (int_of_float (float_of_int k /. f)) in
+    let width = min width (k - 1) in
+    let lo = Rng.int rng (k - width + 1) in
+    (lo, lo + width - 1)
+  in
+  let t0 = Acq_data.Garden_gen.idx_temp 0 in
+  let h0 = Acq_data.Garden_gen.idx_humid 0 in
+  let t_lo, t_hi = band domains.(t0) in
+  let h_lo, h_hi = band domains.(h0) in
+  let negated = Rng.bool rng in
+  let mk attr lo hi =
+    if negated then Acq_plan.Predicate.outside ~attr ~lo ~hi
+    else Acq_plan.Predicate.inside ~attr ~lo ~hi
+  in
+  let preds =
+    List.concat_map
+      (fun m ->
+        [
+          mk (Acq_data.Garden_gen.idx_temp m) t_lo t_hi;
+          mk (Acq_data.Garden_gen.idx_humid m) h_lo h_hi;
+        ])
+      (List.init n_motes (fun m -> m))
+  in
+  Acq_plan.Query.create schema preds
+
+let synthetic_query params ~schema =
+  let preds =
+    List.map
+      (fun attr -> Acq_plan.Predicate.inside ~attr ~lo:1 ~hi:1)
+      (Acq_data.Synthetic_gen.expensive_indices params)
+  in
+  Acq_plan.Query.create schema preds

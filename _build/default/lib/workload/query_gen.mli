@@ -1,0 +1,27 @@
+(** Random query workloads, generated exactly the way Section 6
+    describes for each dataset. *)
+
+val lab_query :
+  Acq_util.Rng.t -> train:Acq_data.Dataset.t -> Acq_plan.Query.t
+(** Three-predicate queries over the lab's expensive attributes
+    ([light], [temp], [humidity]): each predicate's left endpoint is
+    uniform over the domain and its width is two standard deviations
+    of the attribute (as measured on [train]), the paper's recipe for
+    predicates that roughly half the data satisfies. *)
+
+val garden_query :
+  Acq_util.Rng.t -> schema:Acq_data.Schema.t -> n_motes:int -> Acq_plan.Query.t
+(** Identical range predicates over temperature and humidity of every
+    mote (2 x n_motes predicates). Each range covers [domain / f] of
+    the domain with [f] drawn uniformly from [1.25, 3.25]; with
+    probability 1/2 the whole query uses the negated form
+    [not (a <= x <= b)] — the two query families of Section 6.2. *)
+
+val synthetic_query :
+  Acq_data.Synthetic_gen.params -> schema:Acq_data.Schema.t -> Acq_plan.Query.t
+(** The conjunction "every expensive attribute = 1" (Section 6's
+    query over the Babu et al. data). *)
+
+val stddev_bins : Acq_data.Dataset.t -> int -> float
+(** Standard deviation of an attribute's discretized column, in bin
+    units — used for the lab query widths. *)

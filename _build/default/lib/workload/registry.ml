@@ -1,0 +1,42 @@
+type entry = {
+  id : string;
+  title : string;
+  run : Figures.scale -> unit;
+}
+
+let all =
+  [
+    { id = "fig1"; title = "Hour vs light correlation"; run = Figures.fig1 };
+    { id = "fig2"; title = "Motivating conditional plan"; run = Figures.fig2 };
+    { id = "fig3"; title = "Plan enumeration example"; run = Figures.fig3 };
+    { id = "fig8a"; title = "Exhaustive vs Heuristic quality"; run = Figures.fig8a };
+    { id = "fig8b"; title = "SPSF restriction of Exhaustive"; run = Figures.fig8b };
+    { id = "fig8c"; title = "Cumulative gain, lab"; run = Figures.fig8c };
+    { id = "fig9"; title = "Detailed plan study"; run = Figures.fig9 };
+    { id = "fig10"; title = "Garden-5 queries"; run = Figures.fig10 };
+    { id = "fig11"; title = "Garden-11 queries"; run = Figures.fig11 };
+    { id = "fig12"; title = "Synthetic cost vs selectivity"; run = Figures.fig12 };
+    { id = "scale"; title = "Scalability study"; run = Ablations.scale_exp };
+    { id = "ablate-size"; title = "Plan size / energy trade-off"; run = Ablations.ablate_size };
+    { id = "ablate-model"; title = "Empirical vs Chow-Liu estimator"; run = Ablations.ablate_model };
+    { id = "ablate-spsf"; title = "Split-point budget"; run = Ablations.ablate_spsf };
+    { id = "ext-exists"; title = "Existential queries"; run = Ablations.ext_exists };
+    { id = "ext-boards"; title = "Sensor-board cost model"; run = Ablations.ext_boards };
+    { id = "ext-approx"; title = "Approximate answers"; run = Ablations.ext_approx };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let run_selected scale ids =
+  let selected =
+    match ids with
+    | [] -> all
+    | _ ->
+        List.iter
+          (fun id ->
+            if find id = None then
+              Printf.printf "unknown experiment id: %s (see --list)\n" id)
+          ids;
+        List.filter (fun e -> List.mem e.id ids) all
+  in
+  List.iter (fun e -> e.run scale) selected

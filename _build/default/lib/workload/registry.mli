@@ -1,0 +1,19 @@
+(** The catalog of reproducible experiments: every table and figure of
+    the paper plus the DESIGN.md ablations, addressable by id. *)
+
+type entry = {
+  id : string;  (** selector, e.g. "fig8a" *)
+  title : string;
+  run : Figures.scale -> unit;
+}
+
+val all : entry list
+(** In presentation order: fig1, fig2, fig3, fig8a, fig8b, fig8c,
+    fig9, fig10, fig11, fig12, scale, ablate-size, ablate-model,
+    ablate-spsf, ext-exists, ext-boards, ext-approx. *)
+
+val find : string -> entry option
+
+val run_selected : Figures.scale -> string list -> unit
+(** Run the listed ids ([[]] = all) in catalog order; prints an error
+    line for unknown ids. *)

@@ -1,0 +1,27 @@
+let section id title =
+  Printf.printf "\n== [%s] %s ==\n" id title
+
+let note s = Printf.printf "   %s\n" s
+
+let table t =
+  print_newline ();
+  Acq_util.Tbl.print t
+
+let cumulative_gain_curve ~label g =
+  let points = Acq_util.Stats.cumulative_curve g 12 in
+  let t = Acq_util.Tbl.create [ label; "fraction of queries >= gain" ] in
+  List.iter
+    (fun (x, f) ->
+      Acq_util.Tbl.add_row t
+        [ Printf.sprintf "%.2fx" x; Printf.sprintf "%.2f" f ])
+    points;
+  table t
+
+let gain_summary ~label (s : Experiment.gain_summary) =
+  note
+    (Printf.sprintf
+       "%s: mean %.2fx, median %.2fx, max %.2fx, min %.2fx; >=1.5x on %.0f%% \
+        of queries, regression beyond 10%% on %.0f%%"
+       label s.mean s.median s.max s.min
+       (100.0 *. s.frac_above 1.5)
+       (100.0 *. (1.0 -. s.frac_above 0.9)))

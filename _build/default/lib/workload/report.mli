@@ -1,0 +1,18 @@
+(** Console reporting helpers shared by the benchmark harness and the
+    CLI: section banners, labeled tables, and the paper's cumulative
+    frequency-of-gain curves. *)
+
+val section : string -> string -> unit
+(** [section id title] prints a banner like
+    ["== [fig8a] Quality of plans ... =="]. *)
+
+val note : string -> unit
+(** Indented free-form commentary line. *)
+
+val table : Acq_util.Tbl.t -> unit
+
+val cumulative_gain_curve : label:string -> float array -> unit
+(** Print the "fraction of experiments with gain at least x" series
+    (Figures 8(c), 10, 11) as rows [x, fraction]. *)
+
+val gain_summary : label:string -> Experiment.gain_summary -> unit

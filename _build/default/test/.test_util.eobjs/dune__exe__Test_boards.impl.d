@@ -1,0 +1,1 @@
+test/test_boards.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_util Alcotest Array List Printf

@@ -1,0 +1,1 @@
+test/test_data.ml: Acq_data Acq_prob Acq_util Alcotest Array Filename Float List Sys

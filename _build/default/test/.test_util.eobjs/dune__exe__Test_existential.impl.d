@@ -1,0 +1,1 @@
+test/test_existential.ml: Acq_core Acq_data Acq_plan Acq_util Alcotest Array List Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_sensor Acq_sql Acq_util Acq_workload Alcotest Array Filename Printf Sys

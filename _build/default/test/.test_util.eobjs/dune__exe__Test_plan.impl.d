@@ -1,0 +1,1 @@
+test/test_plan.ml: Acq_data Acq_plan Acq_util Alcotest Array Bytes Format List String

@@ -1,0 +1,1 @@
+test/test_prob.ml: Acq_data Acq_plan Acq_prob Acq_util Alcotest Array

@@ -1,0 +1,1 @@
+test/test_props.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_util Alcotest Array Bytes Float List Printf QCheck2 QCheck_alcotest String

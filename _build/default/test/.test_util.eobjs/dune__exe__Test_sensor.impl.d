@@ -1,0 +1,1 @@
+test/test_sensor.ml: Acq_core Acq_data Acq_plan Acq_sensor Acq_util Alcotest Printf

@@ -1,0 +1,1 @@
+test/test_sliding.ml: Acq_core Acq_data Acq_plan Acq_prob Acq_util Acq_workload Alcotest Array List

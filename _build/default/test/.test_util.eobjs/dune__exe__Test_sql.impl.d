@@ -1,0 +1,1 @@
+test/test_sql.ml: Acq_data Acq_plan Acq_sql Alcotest Array Format List String

@@ -1,0 +1,1 @@
+test/test_util.ml: Acq_util Alcotest Array Filename Float List String Sys

@@ -1,0 +1,1 @@
+test/test_workload.ml: Acq_core Acq_data Acq_plan Acq_util Acq_workload Alcotest Array Float List

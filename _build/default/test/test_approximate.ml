@@ -1,0 +1,137 @@
+(* Tests for Acq_core.Approximate: model-driven acquisition over
+   conditional plans (Section 7's approximate-answers extension). *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Plan = Acq_plan.Plan
+module Ex = Acq_plan.Executor
+module Ap = Acq_core.Approximate
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Strongly structured data: a cheap regime bit almost determines both
+   expensive attributes, so a fitted model is very confident. *)
+let fixture () =
+  let schema =
+    S.create
+      [
+        A.discrete ~name:"r" ~cost:1.0 ~domain:2;
+        A.discrete ~name:"x" ~cost:100.0 ~domain:2;
+        A.discrete ~name:"y" ~cost:100.0 ~domain:2;
+      ]
+  in
+  let rng = Rng.create 1 in
+  let ds =
+    DS.create schema
+      (Array.init 6_000 (fun _ ->
+           let r = Rng.int rng 2 in
+           let bit p = if Rng.bernoulli rng p then 1 else 0 in
+           [| r; (if r = 1 then bit 0.97 else bit 0.03);
+              (if r = 1 then bit 0.95 else bit 0.05) |]))
+  in
+  let q =
+    Q.create schema
+      [ Pred.inside ~attr:1 ~lo:1 ~hi:1; Pred.inside ~attr:2 ~lo:1 ~hi:1 ]
+  in
+  let model = Acq_prob.Chow_liu.learn ds in
+  (ds, q, model, S.costs schema)
+
+let test_epsilon_zero_is_exact () =
+  let ds, q, model, costs = fixture () in
+  let plan =
+    Plan.Test
+      {
+        attr = 0;
+        threshold = 1;
+        low = Plan.sequential [ 0; 1 ];
+        high = Plan.sequential [ 1; 0 ];
+      }
+  in
+  for r = 0 to 200 do
+    let lookup a = DS.get ds r a in
+    let exact = Ex.run q ~costs plan ~lookup in
+    let approx = Ap.run ~model ~epsilon:0.0 q ~costs plan ~lookup in
+    Alcotest.(check bool) "same verdict" exact.Ex.verdict approx.Ap.verdict;
+    check_float "same cost" exact.Ex.cost approx.Ap.cost;
+    Alcotest.(check int) "nothing skipped" 0 approx.Ap.skipped
+  done
+
+let test_epsilon_saves_cost () =
+  let ds, q, model, costs = fixture () in
+  let plan =
+    Plan.Test
+      {
+        attr = 0;
+        threshold = 1;
+        low = Plan.sequential [ 0; 1 ];
+        high = Plan.sequential [ 1; 0 ];
+      }
+  in
+  let exact = Ap.evaluate ~model ~epsilon:0.0 q ~costs plan ds in
+  let approx = Ap.evaluate ~model ~epsilon:0.1 q ~costs plan ds in
+  Alcotest.(check bool)
+    (Printf.sprintf "cheaper (%.1f < %.1f)" approx.Ap.avg_cost exact.Ap.avg_cost)
+    true
+    (approx.Ap.avg_cost < exact.Ap.avg_cost);
+  Alcotest.(check bool) "skips happen" true (approx.Ap.avg_skipped > 0.1);
+  check_float "exact is perfectly accurate" 1.0 exact.Ap.accuracy;
+  Alcotest.(check bool) "approximate accuracy stays high" true
+    (approx.Ap.accuracy > 0.9)
+
+let test_report_accounting () =
+  let ds, q, model, costs = fixture () in
+  let plan = Plan.sequential [ 0; 1 ] in
+  let r = Ap.evaluate ~model ~epsilon:0.2 q ~costs plan ds in
+  check_float "accuracy + errors = 1" 1.0
+    (r.Ap.accuracy +. r.Ap.false_positives +. r.Ap.false_negatives);
+  Alcotest.(check bool) "cost non-negative" true (r.Ap.avg_cost >= 0.0)
+
+let test_epsilon_validation () =
+  let ds, q, model, costs = fixture () in
+  ignore ds;
+  (try
+     ignore
+       (Ap.run ~model ~epsilon:0.5 q ~costs (Plan.sequential [ 0 ])
+          ~lookup:(fun _ -> 0));
+     Alcotest.fail "expected epsilon bound failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore
+       (Ap.run ~model ~epsilon:(-0.1) q ~costs (Plan.sequential [ 0 ])
+          ~lookup:(fun _ -> 0));
+     Alcotest.fail "expected negative epsilon failure"
+   with Invalid_argument _ -> ())
+
+let test_cost_monotone_in_epsilon () =
+  let ds, q, model, costs = fixture () in
+  let plan =
+    Plan.Test
+      {
+        attr = 0;
+        threshold = 1;
+        low = Plan.sequential [ 0; 1 ];
+        high = Plan.sequential [ 1; 0 ];
+      }
+  in
+  let cost e = (Ap.evaluate ~model ~epsilon:e q ~costs plan ds).Ap.avg_cost in
+  let c0 = cost 0.0 and c1 = cost 0.05 and c2 = cost 0.2 in
+  Alcotest.(check bool) "non-increasing in epsilon" true
+    (c0 +. 1e-9 >= c1 && c1 +. 1e-9 >= c2)
+
+let () =
+  Alcotest.run "approximate"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "epsilon 0 exact" `Quick test_epsilon_zero_is_exact;
+          Alcotest.test_case "saves cost" `Quick test_epsilon_saves_cost;
+          Alcotest.test_case "report accounting" `Quick test_report_accounting;
+          Alcotest.test_case "validation" `Quick test_epsilon_validation;
+          Alcotest.test_case "monotone in epsilon" `Quick
+            test_cost_monotone_in_epsilon;
+        ] );
+    ]

@@ -1,0 +1,275 @@
+(* Tests for Section 7's complex acquisition costs: the sensor-board
+   cost model and its integration with the executor, the analytic cost
+   model, and every planner. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Plan = Acq_plan.Plan
+module Ex = Acq_plan.Executor
+module CM = Acq_plan.Cost_model
+module E = Acq_prob.Estimator
+module P = Acq_core.Planner
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close = Alcotest.(check (float 1e-6))
+
+(* Schema: a0/a1 share a weather board (expensive wake-up, cheap
+   reads); b sits alone on its own board; r is a free register. *)
+let schema () =
+  S.create
+    [
+      A.discrete ~name:"a0" ~cost:95.0 ~domain:2;
+      A.discrete ~name:"a1" ~cost:95.0 ~domain:2;
+      A.discrete ~name:"b" ~cost:100.0 ~domain:2;
+      A.discrete ~name:"r" ~cost:1.0 ~domain:2;
+    ]
+
+let model () =
+  CM.boards
+    ~board:[| 0; 0; 1; 2 |]
+    ~wakeup:[| 90.0; 50.0; 0.0 |]
+    ~read:[| 5.0; 5.0; 50.0; 1.0 |]
+
+(* ------------------------------------------------------------------ *)
+(* Cost_model semantics *)
+
+let test_uniform_atomic () =
+  let m = CM.uniform [| 3.0; 7.0 |] in
+  check_float "cost" 7.0 (CM.atomic m 1 ~acquired:(fun _ -> false));
+  check_float "acquired free" 0.0 (CM.atomic m 1 ~acquired:(fun _ -> true));
+  Alcotest.(check int) "arity" 2 (CM.n_attrs m)
+
+let test_board_atomic () =
+  let m = model () in
+  let none _ = false in
+  check_float "cold board" 95.0 (CM.atomic m 0 ~acquired:none);
+  check_float "warm board" 5.0
+    (CM.atomic m 1 ~acquired:(fun j -> j = 0));
+  check_float "self acquired" 0.0 (CM.atomic m 1 ~acquired:(fun j -> j = 1));
+  check_float "other board does not warm" 95.0
+    (CM.atomic m 0 ~acquired:(fun j -> j = 2));
+  check_float "zero-wakeup board" 1.0 (CM.atomic m 3 ~acquired:none)
+
+let test_board_bounds () =
+  let m = model () in
+  Alcotest.(check (array (float 1e-9))) "worst case"
+    [| 95.0; 95.0; 100.0; 1.0 |] (CM.worst_case m);
+  Alcotest.(check (array (float 1e-9))) "best case"
+    [| 5.0; 5.0; 50.0; 1.0 |] (CM.best_case m)
+
+let test_board_validation () =
+  (try
+     ignore (CM.boards ~board:[| 0; 5 |] ~wakeup:[| 1.0 |] ~read:[| 1.0; 1.0 |]);
+     Alcotest.fail "expected board-id failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (CM.boards ~board:[| 0 |] ~wakeup:[| -1.0 |] ~read:[| 1.0 |]);
+     Alcotest.fail "expected negative-cost failure"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Executor accounting under a board model *)
+
+let board_query () =
+  Q.create (schema ())
+    [
+      Pred.inside ~attr:0 ~lo:1 ~hi:1;
+      Pred.inside ~attr:1 ~lo:1 ~hi:1;
+      Pred.inside ~attr:2 ~lo:1 ~hi:1;
+    ]
+
+let test_executor_board_accounting () =
+  let q = board_query () in
+  let costs = S.costs (schema ()) in
+  let m = model () in
+  (* Order a0, a1, b on an all-ones tuple: 95 + 5 + 100. *)
+  let o =
+    Ex.run_tuple ~model:m q ~costs (Plan.sequential [ 0; 1; 2 ]) [| 1; 1; 1; 1 |]
+  in
+  check_float "board shared" 200.0 o.Ex.cost;
+  (* Order b, a0, a1: 100 + 95 + 5. *)
+  let o2 =
+    Ex.run_tuple ~model:m q ~costs (Plan.sequential [ 2; 0; 1 ]) [| 1; 1; 1; 1 |]
+  in
+  check_float "same total when all acquired" 200.0 o2.Ex.cost;
+  (* Short circuit: a0 fails -> only the cold read. *)
+  let o3 =
+    Ex.run_tuple ~model:m q ~costs (Plan.sequential [ 0; 1; 2 ]) [| 0; 1; 1; 1 |]
+  in
+  check_float "cold read only" 95.0 o3.Ex.cost
+
+let test_executor_conditioning_warms_board () =
+  (* A test node on a0 powers the board; the Seq leaf's a1 read is
+     then cheap. *)
+  let q = board_query () in
+  let costs = S.costs (schema ()) in
+  let m = model () in
+  let plan =
+    Plan.Test
+      {
+        attr = 0;
+        threshold = 1;
+        low = Plan.const false;
+        high = Plan.sequential [ 1; 2 ];
+      }
+  in
+  let o = Ex.run_tuple ~model:m q ~costs plan [| 1; 0; 1; 1 |] in
+  check_float "95 (a0 cold) + 5 (a1 warm)" 100.0 o.Ex.cost
+
+(* ------------------------------------------------------------------ *)
+(* Data + planners *)
+
+let board_dataset ?(rows = 4_000) () =
+  let rng = Rng.create 21 in
+  DS.create (schema ())
+    (Array.init rows (fun _ ->
+         (* r predicts a0/a1 weakly; everything else fairly even. *)
+         let r = Rng.int rng 2 in
+         let bit p = if Rng.bernoulli rng p then 1 else 0 in
+         let a0 = if r = 1 then bit 0.7 else bit 0.3 in
+         let a1 = if r = 1 then bit 0.7 else bit 0.3 in
+         [| a0; a1; bit 0.45; r |]))
+
+let test_eq3_eq4_under_model () =
+  let ds = board_dataset () in
+  let q = board_query () in
+  let costs = S.costs (DS.schema ds) in
+  let m = model () in
+  let est = E.empirical ds in
+  List.iter
+    (fun plan ->
+      check_close "analytic = empirical under board model"
+        (Ex.average_cost ~model:m q ~costs plan ds)
+        (Acq_core.Expected_cost.of_plan ~model:m q ~costs est plan))
+    [
+      Plan.sequential [ 0; 1; 2 ];
+      Plan.sequential [ 2; 1; 0 ];
+      Plan.Test
+        {
+          attr = 3;
+          threshold = 1;
+          low = Plan.sequential [ 2; 0; 1 ];
+          high = Plan.sequential [ 0; 1; 2 ];
+        };
+    ]
+
+let test_optseq_exploits_board () =
+  (* Board-aware OptSeq groups the two cheap-once-warm predicates;
+     measured under the board model it beats the model-blind order. *)
+  let ds = board_dataset () in
+  let q = board_query () in
+  let costs = S.costs (DS.schema ds) in
+  let m = model () in
+  let est = E.empirical ds in
+  let aware, aware_cost = Acq_core.Optseq.order ~model:m q ~costs est in
+  let blind, _ = Acq_core.Optseq.order q ~costs est in
+  let measure order =
+    Ex.average_cost ~model:m q ~costs (Plan.sequential order) ds
+  in
+  check_close "reported = measured" (measure aware) aware_cost;
+  Alcotest.(check bool) "board-aware no worse than blind" true
+    (measure aware <= measure blind +. 1e-6);
+  (* In this construction the two a-predicates must be adjacent in the
+     aware order (splitting them wastes a wake-up or a better kill). *)
+  let arr = Array.of_list aware in
+  let idx v =
+    let r = ref (-1) in
+    Array.iteri (fun i x -> if x = v then r := i) arr;
+    !r
+  in
+  Alcotest.(check bool) "a-predicates adjacent" true
+    (abs (idx 0 - idx 1) = 1)
+
+let test_planners_consistent_under_model () =
+  let ds = board_dataset () in
+  let q = board_query () in
+  let costs = S.costs (DS.schema ds) in
+  let m = model () in
+  let options =
+    {
+      P.default_options with
+      split_points_per_attr = 1;
+      cost_model = Some m;
+    }
+  in
+  List.iter
+    (fun algo ->
+      let plan, cost = P.plan ~options algo q ~train:ds in
+      Alcotest.(check bool)
+        (P.algorithm_name algo ^ " consistent")
+        true
+        (Ex.consistent q ~costs plan ds);
+      check_close
+        (P.algorithm_name algo ^ " cost realized under model")
+        (Ex.average_cost ~model:m q ~costs plan ds)
+        cost)
+    [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ]
+
+let test_exhaustive_dominates_under_model () =
+  let ds = board_dataset () in
+  let q = board_query () in
+  let m = model () in
+  let options =
+    { P.default_options with split_points_per_attr = 1; cost_model = Some m }
+  in
+  let cost algo = snd (P.plan ~options algo q ~train:ds) in
+  Alcotest.(check bool) "exhaustive <= heuristic" true
+    (cost P.Exhaustive <= cost P.Heuristic +. 1e-6);
+  Alcotest.(check bool) "heuristic <= corrseq" true
+    (cost P.Heuristic <= cost P.Corr_seq +. 1e-6);
+  Alcotest.(check bool) "corrseq <= naive" true
+    (cost P.Corr_seq <= cost P.Naive +. 1e-6)
+
+let test_model_awareness_pays () =
+  (* Plan with and without telling the planner about boards, execute
+     both under the true board model: awareness can only help. *)
+  let ds = board_dataset () in
+  let q = board_query () in
+  let costs = S.costs (DS.schema ds) in
+  let m = model () in
+  let aware_opts =
+    { P.default_options with split_points_per_attr = 1; cost_model = Some m }
+  in
+  let blind_opts = { P.default_options with split_points_per_attr = 1 } in
+  let aware, _ = P.plan ~options:aware_opts P.Exhaustive q ~train:ds in
+  let blind, _ = P.plan ~options:blind_opts P.Exhaustive q ~train:ds in
+  let c_aware = Ex.average_cost ~model:m q ~costs aware ds in
+  let c_blind = Ex.average_cost ~model:m q ~costs blind ds in
+  Alcotest.(check bool)
+    (Printf.sprintf "aware (%.1f) <= blind (%.1f)" c_aware c_blind)
+    true (c_aware <= c_blind +. 1e-6)
+
+let () =
+  Alcotest.run "boards"
+    [
+      ( "cost_model",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_atomic;
+          Alcotest.test_case "board atomic" `Quick test_board_atomic;
+          Alcotest.test_case "bounds" `Quick test_board_bounds;
+          Alcotest.test_case "validation" `Quick test_board_validation;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "board accounting" `Quick
+            test_executor_board_accounting;
+          Alcotest.test_case "conditioning warms board" `Quick
+            test_executor_conditioning_warms_board;
+        ] );
+      ( "planners",
+        [
+          Alcotest.test_case "Eq3 = Eq4 under model" `Quick
+            test_eq3_eq4_under_model;
+          Alcotest.test_case "optseq exploits board" `Quick
+            test_optseq_exploits_board;
+          Alcotest.test_case "all consistent" `Quick
+            test_planners_consistent_under_model;
+          Alcotest.test_case "dominance" `Quick
+            test_exhaustive_dominates_under_model;
+          Alcotest.test_case "awareness pays" `Quick test_model_awareness_pays;
+        ] );
+    ]

@@ -1,0 +1,461 @@
+(* Unit tests for Acq_data: discretization, attributes, schemas,
+   datasets, CSV persistence, and the three dataset generators. *)
+
+module D = Acq_data.Discretize
+module A = Acq_data.Attribute
+module S = Acq_data.Schema
+module DS = Acq_data.Dataset
+module Rng = Acq_util.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Discretize *)
+
+let test_disc_equal_width () =
+  let d = D.equal_width ~lo:0.0 ~hi:10.0 ~bins:5 in
+  Alcotest.(check int) "bins" 5 (D.bins d);
+  Alcotest.(check int) "value 0" 0 (D.bin_of d 0.0);
+  Alcotest.(check int) "value 1.99" 0 (D.bin_of d 1.99);
+  Alcotest.(check int) "value 2" 1 (D.bin_of d 2.0);
+  Alcotest.(check int) "upper edge inclusive" 4 (D.bin_of d 10.0);
+  Alcotest.(check int) "clamp below" 0 (D.bin_of d (-5.0));
+  Alcotest.(check int) "clamp above" 4 (D.bin_of d 99.0)
+
+let test_disc_edges () =
+  let d = D.equal_width ~lo:0.0 ~hi:10.0 ~bins:5 in
+  check_float "lower of bin 2" 4.0 (D.lower d 2);
+  check_float "upper of bin 2" 6.0 (D.upper d 2);
+  check_float "mid of bin 2" 5.0 (D.mid d 2)
+
+let test_disc_equal_depth () =
+  let rng = Rng.create 1 in
+  let data = Array.init 10_000 (fun _ -> Rng.gaussian rng ~mean:0.0 ~stddev:1.0) in
+  let d = D.equal_depth data ~bins:8 in
+  Alcotest.(check int) "8 bins" 8 (D.bins d);
+  let counts = Array.make 8 0 in
+  Array.iter (fun v -> let b = D.bin_of d v in counts.(b) <- counts.(b) + 1) data;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly equal depth" true (c > 900 && c < 1600))
+    counts
+
+let test_disc_equal_depth_constant () =
+  let d = D.equal_depth (Array.make 100 5.0) ~bins:4 in
+  Alcotest.(check int) "bins survive constant data" 4 (D.bins d)
+
+let test_disc_validation () =
+  Alcotest.check_raises "too few edges"
+    (Invalid_argument "Discretize.of_edges: need at least 2 edges") (fun () ->
+      ignore (D.of_edges [| 1.0 |]));
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Discretize.of_edges: edges must be strictly increasing")
+    (fun () -> ignore (D.of_edges [| 1.0; 1.0 |]));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Discretize.equal_width: hi <= lo") (fun () ->
+      ignore (D.equal_width ~lo:1.0 ~hi:1.0 ~bins:2))
+
+(* ------------------------------------------------------------------ *)
+(* Attribute *)
+
+let test_attr_discrete () =
+  let a = A.discrete ~name:"hour" ~cost:1.0 ~domain:24 in
+  Alcotest.(check string) "name" "hour" a.A.name;
+  Alcotest.(check bool) "cheap" false (A.is_expensive a);
+  Alcotest.(check string) "describe" "7" (A.describe_value a 7)
+
+let test_attr_continuous () =
+  let b = D.equal_width ~lo:0.0 ~hi:100.0 ~bins:10 in
+  let a = A.continuous ~name:"light" ~cost:100.0 ~binner:b in
+  Alcotest.(check int) "domain from binner" 10 a.A.domain;
+  Alcotest.(check bool) "expensive" true (A.is_expensive a);
+  Alcotest.(check string) "midpoint" "25.0" (A.describe_value a 2);
+  Alcotest.(check string) "threshold" "20.0" (A.describe_threshold a 2)
+
+let test_attr_validation () =
+  Alcotest.check_raises "cost" (Invalid_argument "Attribute: cost must be positive")
+    (fun () -> ignore (A.discrete ~name:"x" ~cost:0.0 ~domain:2));
+  Alcotest.check_raises "domain" (Invalid_argument "Attribute: domain must be >= 2")
+    (fun () -> ignore (A.discrete ~name:"x" ~cost:1.0 ~domain:1));
+  Alcotest.check_raises "name" (Invalid_argument "Attribute: empty name")
+    (fun () -> ignore (A.discrete ~name:"" ~cost:1.0 ~domain:2))
+
+let test_attr_coarsen_discrete () =
+  let a = A.discrete ~name:"h" ~cost:1.0 ~domain:24 in
+  let c = A.coarsen a ~factor:4 in
+  Alcotest.(check int) "24/4" 6 c.A.domain;
+  let id = A.coarsen a ~factor:1 in
+  Alcotest.(check int) "identity" 24 id.A.domain
+
+let test_attr_coarsen_continuous () =
+  let b = D.equal_width ~lo:0.0 ~hi:32.0 ~bins:32 in
+  let a = A.continuous ~name:"t" ~cost:100.0 ~binner:b in
+  let c = A.coarsen a ~factor:4 in
+  Alcotest.(check int) "8 merged bins" 8 c.A.domain;
+  (match c.A.binner with
+  | Some nb ->
+      check_float "edge preserved" 4.0 (D.lower nb 1);
+      check_float "last edge" 32.0 (D.upper nb 7)
+  | None -> Alcotest.fail "binner lost")
+
+let test_attr_coarsen_never_below_two () =
+  let a = A.discrete ~name:"v" ~cost:1.0 ~domain:8 in
+  let c = A.coarsen a ~factor:100 in
+  Alcotest.(check bool) "at least 2 values" true (c.A.domain >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Schema *)
+
+let mk_schema () =
+  S.create
+    [
+      A.discrete ~name:"id" ~cost:1.0 ~domain:4;
+      A.discrete ~name:"temp" ~cost:100.0 ~domain:8;
+      A.discrete ~name:"light" ~cost:50.0 ~domain:16;
+    ]
+
+let test_schema_lookup () =
+  let s = mk_schema () in
+  Alcotest.(check int) "arity" 3 (S.arity s);
+  Alcotest.(check int) "index_of" 1 (S.index_of s "temp");
+  Alcotest.(check bool) "mem" true (S.mem s "light");
+  Alcotest.(check bool) "not mem" false (S.mem s "nope");
+  Alcotest.check_raises "missing raises" Not_found (fun () ->
+      ignore (S.index_of s "nope"))
+
+let test_schema_arrays () =
+  let s = mk_schema () in
+  Alcotest.(check (array int)) "domains" [| 4; 8; 16 |] (S.domains s);
+  Alcotest.(check (list int)) "expensive" [ 1; 2 ] (S.expensive_indices s);
+  Alcotest.(check (list int)) "cheap" [ 0 ] (S.cheap_indices s);
+  Alcotest.(check (array string)) "names" [| "id"; "temp"; "light" |] (S.names s)
+
+let test_schema_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.create: duplicate attribute x") (fun () ->
+      ignore
+        (S.create
+           [
+             A.discrete ~name:"x" ~cost:1.0 ~domain:2;
+             A.discrete ~name:"x" ~cost:1.0 ~domain:2;
+           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Dataset *)
+
+let mk_dataset () =
+  DS.create (mk_schema ())
+    [| [| 0; 1; 2 |]; [| 1; 2; 3 |]; [| 2; 3; 4 |]; [| 3; 4; 5 |] |]
+
+let test_dataset_access () =
+  let ds = mk_dataset () in
+  Alcotest.(check int) "nrows" 4 (DS.nrows ds);
+  Alcotest.(check int) "ncols" 3 (DS.ncols ds);
+  Alcotest.(check int) "get" 3 (DS.get ds 1 2);
+  Alcotest.(check (array int)) "row" [| 2; 3; 4 |] (DS.row ds 2);
+  Alcotest.(check (array int)) "column" [| 1; 2; 3; 4 |] (DS.column ds 1)
+
+let test_dataset_validation () =
+  let s = mk_schema () in
+  Alcotest.check_raises "ragged" (Invalid_argument "Dataset.create: ragged row")
+    (fun () -> ignore (DS.create s [| [| 0; 1 |] |]));
+  (try
+     ignore (DS.create s [| [| 0; 1; 99 |] |]);
+     Alcotest.fail "expected out-of-domain failure"
+   with Invalid_argument _ -> ())
+
+let test_dataset_split () =
+  let ds = mk_dataset () in
+  let train, test = DS.split_by_time ds ~train_fraction:0.5 in
+  Alcotest.(check int) "train rows" 2 (DS.nrows train);
+  Alcotest.(check int) "test rows" 2 (DS.nrows test);
+  Alcotest.(check (array int)) "train keeps head" [| 0; 1; 2 |] (DS.row train 0);
+  Alcotest.(check (array int)) "test keeps tail" [| 2; 3; 4 |] (DS.row test 0)
+
+let test_dataset_split_extremes () =
+  let ds = mk_dataset () in
+  let train, test = DS.split_by_time ds ~train_fraction:0.01 in
+  Alcotest.(check bool) "both nonempty" true
+    (DS.nrows train >= 1 && DS.nrows test >= 1);
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Dataset.split_by_time: fraction must be in (0,1)")
+    (fun () -> ignore (DS.split_by_time ds ~train_fraction:1.0))
+
+let test_dataset_subsample () =
+  let ds = mk_dataset () in
+  let sub = DS.subsample ds (Rng.create 1) 2 in
+  Alcotest.(check int) "2 rows" 2 (DS.nrows sub);
+  let all = DS.subsample ds (Rng.create 1) 10 in
+  Alcotest.(check int) "k >= n keeps all" 4 (DS.nrows all)
+
+let test_dataset_append () =
+  let ds = mk_dataset () in
+  let both = DS.append ds ds in
+  Alcotest.(check int) "rows doubled" 8 (DS.nrows both);
+  Alcotest.(check (array int)) "second copy" [| 0; 1; 2 |] (DS.row both 4)
+
+let test_dataset_coarsen () =
+  let ds = mk_dataset () in
+  let c = DS.coarsen ds ~factors:[| 2; 2; 4 |] in
+  Alcotest.(check (array int)) "domains shrink" [| 2; 4; 4 |]
+    (S.domains (DS.schema c));
+  Alcotest.(check int) "cells rescaled" 1 (DS.get c 3 0);
+  (* Every cell is in the new domain. *)
+  for r = 0 to DS.nrows c - 1 do
+    for col = 0 to DS.ncols c - 1 do
+      let v = DS.get c r col in
+      Alcotest.(check bool) "in domain" true
+        (v >= 0 && v < (S.domains (DS.schema c)).(col))
+    done
+  done
+
+let test_dataset_csv_roundtrip () =
+  let ds = mk_dataset () in
+  let path = Filename.temp_file "acq_ds" ".csv" in
+  Acq_data.Csv_io.save path ds;
+  let back = Acq_data.Csv_io.load (DS.schema ds) path in
+  Sys.remove path;
+  Alcotest.(check int) "rows" (DS.nrows ds) (DS.nrows back);
+  for r = 0 to DS.nrows ds - 1 do
+    Alcotest.(check (array int)) "row" (DS.row ds r) (DS.row back r)
+  done
+
+let test_dataset_csv_header_mismatch () =
+  let ds = mk_dataset () in
+  let path = Filename.temp_file "acq_ds" ".csv" in
+  Acq_data.Csv_io.save path ds;
+  let other =
+    S.create [ A.discrete ~name:"zz" ~cost:1.0 ~domain:4 ]
+  in
+  (try
+     ignore (Acq_data.Csv_io.load other path);
+     Sys.remove path;
+     Alcotest.fail "expected header mismatch"
+   with Failure _ -> Sys.remove path)
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let test_lab_gen_shape () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 2) ~rows:1000 in
+  Alcotest.(check int) "rows" 1000 (DS.nrows ds);
+  Alcotest.(check int) "6 attributes" 6 (DS.ncols ds);
+  let s = DS.schema ds in
+  Alcotest.(check (list int)) "expensive are light/temp/humidity"
+    [ Acq_data.Lab_gen.idx_light; Acq_data.Lab_gen.idx_temp;
+      Acq_data.Lab_gen.idx_humidity ]
+    (S.expensive_indices s)
+
+let test_lab_gen_deterministic () =
+  let a = Acq_data.Lab_gen.generate (Rng.create 3) ~rows:200 in
+  let b = Acq_data.Lab_gen.generate (Rng.create 3) ~rows:200 in
+  for r = 0 to 199 do
+    Alcotest.(check (array int)) "same rows" (DS.row a r) (DS.row b r)
+  done
+
+let test_lab_gen_night_dark () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 4) ~rows:20_000 in
+  (* Zone A motes (nodeid < zone_split) must be dark at 3am. *)
+  let dark = ref 0 and total = ref 0 in
+  DS.iter_rows ds (fun r ->
+      let h = DS.get ds r Acq_data.Lab_gen.idx_hour in
+      let m = DS.get ds r Acq_data.Lab_gen.idx_nodeid in
+      if h = 3 && m < Acq_data.Lab_gen.zone_split then begin
+        incr total;
+        if DS.get ds r Acq_data.Lab_gen.idx_light <= 1 then incr dark
+      end);
+  Alcotest.(check bool) "some night samples" true (!total > 10);
+  Alcotest.(check bool) "zone A dark at night" true
+    (float_of_int !dark /. float_of_int !total > 0.95)
+
+let test_lab_gen_hour_light_correlated () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 5) ~rows:10_000 in
+  let mi =
+    Acq_prob.Mutual_info.mi ds Acq_data.Lab_gen.idx_hour
+      Acq_data.Lab_gen.idx_light
+  in
+  Alcotest.(check bool) "MI(hour, light) strong" true (mi > 0.3)
+
+let test_garden_gen_shape () =
+  let ds5 = Acq_data.Garden_gen.generate (Rng.create 6) ~n_motes:5 ~rows:500 in
+  Alcotest.(check int) "garden-5 has 16 attrs" 16 (DS.ncols ds5);
+  let ds11 = Acq_data.Garden_gen.generate (Rng.create 6) ~n_motes:11 ~rows:500 in
+  Alcotest.(check int) "garden-11 has 34 attrs" 34 (DS.ncols ds11);
+  Alcotest.(check int) "22 expensive attrs" 22
+    (List.length (S.expensive_indices (DS.schema ds11)))
+
+let test_garden_gen_bounds () =
+  Alcotest.check_raises "too many motes"
+    (Invalid_argument "Garden_gen.generate: n_motes must be in [1, 11]")
+    (fun () ->
+      ignore (Acq_data.Garden_gen.generate (Rng.create 7) ~n_motes:12 ~rows:10))
+
+let test_garden_gen_volt_tracks_temp () =
+  let ds = Acq_data.Garden_gen.generate (Rng.create 8) ~n_motes:3 ~rows:5_000 in
+  let temp = Array.map float_of_int (DS.column ds (Acq_data.Garden_gen.idx_temp 1)) in
+  let volt = Array.map float_of_int (DS.column ds (Acq_data.Garden_gen.idx_volt 1)) in
+  Alcotest.(check bool) "cheap voltage predicts temperature" true
+    (Acq_util.Stats.pearson temp volt > 0.8)
+
+let test_garden_gen_equal_depth () =
+  let ds = Acq_data.Garden_gen.generate (Rng.create 9) ~n_motes:2 ~rows:8_000 in
+  let col = DS.column ds (Acq_data.Garden_gen.idx_temp 0) in
+  let counts = Array.make 16 0 in
+  Array.iter (fun v -> counts.(v) <- counts.(v) + 1) col;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bins roughly equal depth" true
+        (c > 8000 / 16 / 3 && c < 8000 / 16 * 3))
+    counts
+
+let test_synthetic_gen_marginals () =
+  let p = { Acq_data.Synthetic_gen.n = 12; gamma = 2; sel = 0.3 } in
+  let ds = Acq_data.Synthetic_gen.generate (Rng.create 10) p ~rows:20_000 in
+  Alcotest.(check int) "n columns" 12 (DS.ncols ds);
+  for c = 0 to 11 do
+    let ones = Acq_util.Array_util.count (fun v -> v = 1) (DS.column ds c) in
+    let f = float_of_int ones /. 20_000.0 in
+    Alcotest.(check bool) "marginal near sel" true
+      (Float.abs (f -. 0.3) < 0.03)
+  done
+
+let test_synthetic_gen_group_agreement () =
+  let p = { Acq_data.Synthetic_gen.n = 6; gamma = 2; sel = 0.5 } in
+  let ds = Acq_data.Synthetic_gen.generate (Rng.create 11) p ~rows:20_000 in
+  (* Attributes 0,1,2 are one group: pairwise identical >= 80%. *)
+  let a = DS.column ds 0 and b = DS.column ds 1 in
+  let agree = ref 0 in
+  Array.iteri (fun i x -> if x = b.(i) then incr agree) a;
+  let f = float_of_int !agree /. 20_000.0 in
+  Alcotest.(check bool) "within-group agreement ~0.85+" true (f > 0.8);
+  (* Cross-group attributes are independent: agreement ~ 0.5. *)
+  let c = DS.column ds 3 in
+  let agree2 = ref 0 in
+  Array.iteri (fun i x -> if x = c.(i) then incr agree2) a;
+  let f2 = float_of_int !agree2 /. 20_000.0 in
+  Alcotest.(check bool) "cross-group independent" true (Float.abs (f2 -. 0.5) < 0.05)
+
+let test_synthetic_gen_structure () =
+  let p = { Acq_data.Synthetic_gen.n = 10; gamma = 3; sel = 0.5 } in
+  Alcotest.(check int) "groups of 4 + remainder" 3
+    (Acq_data.Synthetic_gen.n_groups p);
+  Alcotest.(check (list int)) "expensive indices skip group leaders"
+    [ 1; 2; 3; 5; 6; 7; 9 ]
+    (Acq_data.Synthetic_gen.expensive_indices p);
+  let s = Acq_data.Synthetic_gen.schema p in
+  Alcotest.(check int) "arity" 10 (S.arity s)
+
+let test_dataset_coarsen_identity () =
+  let ds = mk_dataset () in
+  let c = DS.coarsen ds ~factors:[| 1; 1; 1 |] in
+  Alcotest.(check (array int)) "domains unchanged" (S.domains (DS.schema ds))
+    (S.domains (DS.schema c));
+  for r = 0 to DS.nrows ds - 1 do
+    Alcotest.(check (array int)) "cells unchanged" (DS.row ds r) (DS.row c r)
+  done
+
+let test_garden_index_helpers () =
+  let s = Acq_data.Garden_gen.schema ~n_motes:3 in
+  let names = S.names s in
+  Alcotest.(check string) "time first" "time" names.(Acq_data.Garden_gen.idx_time);
+  Alcotest.(check string) "temp2" "temp2" names.(Acq_data.Garden_gen.idx_temp 2);
+  Alcotest.(check string) "humid1" "humid1" names.(Acq_data.Garden_gen.idx_humid 1);
+  Alcotest.(check string) "volt0" "volt0" names.(Acq_data.Garden_gen.idx_volt 0)
+
+let test_synthetic_invalid_params () =
+  List.iter
+    (fun p ->
+      try
+        ignore (Acq_data.Synthetic_gen.schema p);
+        Alcotest.fail "expected invalid params"
+      with Invalid_argument _ -> ())
+    [
+      { Acq_data.Synthetic_gen.n = 1; gamma = 1; sel = 0.5 };
+      { Acq_data.Synthetic_gen.n = 4; gamma = 0; sel = 0.5 };
+      { Acq_data.Synthetic_gen.n = 4; gamma = 1; sel = 0.0 };
+      { Acq_data.Synthetic_gen.n = 4; gamma = 1; sel = 1.0 };
+    ]
+
+let test_lab_voltage_tracks_temp () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 12) ~rows:12_000 in
+  let temp = Array.map float_of_int (DS.column ds Acq_data.Lab_gen.idx_temp) in
+  let volt =
+    Array.map float_of_int (DS.column ds Acq_data.Lab_gen.idx_voltage)
+  in
+  (* Weak positive coupling (battery chemistry), diluted by drain. *)
+  Alcotest.(check bool) "positive correlation" true
+    (Acq_util.Stats.pearson temp volt > 0.1)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "data"
+    [
+      ( "discretize",
+        [
+          Alcotest.test_case "equal width" `Quick test_disc_equal_width;
+          Alcotest.test_case "edges" `Quick test_disc_edges;
+          Alcotest.test_case "equal depth" `Quick test_disc_equal_depth;
+          Alcotest.test_case "equal depth constant" `Quick
+            test_disc_equal_depth_constant;
+          Alcotest.test_case "validation" `Quick test_disc_validation;
+        ] );
+      ( "attribute",
+        [
+          Alcotest.test_case "discrete" `Quick test_attr_discrete;
+          Alcotest.test_case "continuous" `Quick test_attr_continuous;
+          Alcotest.test_case "validation" `Quick test_attr_validation;
+          Alcotest.test_case "coarsen discrete" `Quick test_attr_coarsen_discrete;
+          Alcotest.test_case "coarsen continuous" `Quick
+            test_attr_coarsen_continuous;
+          Alcotest.test_case "coarsen floor" `Quick
+            test_attr_coarsen_never_below_two;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "lookup" `Quick test_schema_lookup;
+          Alcotest.test_case "arrays" `Quick test_schema_arrays;
+          Alcotest.test_case "duplicate" `Quick test_schema_duplicate;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "access" `Quick test_dataset_access;
+          Alcotest.test_case "validation" `Quick test_dataset_validation;
+          Alcotest.test_case "split" `Quick test_dataset_split;
+          Alcotest.test_case "split extremes" `Quick test_dataset_split_extremes;
+          Alcotest.test_case "subsample" `Quick test_dataset_subsample;
+          Alcotest.test_case "append" `Quick test_dataset_append;
+          Alcotest.test_case "coarsen" `Quick test_dataset_coarsen;
+          Alcotest.test_case "csv roundtrip" `Quick test_dataset_csv_roundtrip;
+          Alcotest.test_case "csv header mismatch" `Quick
+            test_dataset_csv_header_mismatch;
+          Alcotest.test_case "coarsen identity" `Quick
+            test_dataset_coarsen_identity;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "lab shape" `Quick test_lab_gen_shape;
+          Alcotest.test_case "lab deterministic" `Quick test_lab_gen_deterministic;
+          Alcotest.test_case "lab night darkness" `Quick test_lab_gen_night_dark;
+          Alcotest.test_case "lab hour-light MI" `Quick
+            test_lab_gen_hour_light_correlated;
+          Alcotest.test_case "garden shape" `Quick test_garden_gen_shape;
+          Alcotest.test_case "garden bounds" `Quick test_garden_gen_bounds;
+          Alcotest.test_case "garden volt-temp" `Quick
+            test_garden_gen_volt_tracks_temp;
+          Alcotest.test_case "garden equal depth" `Quick
+            test_garden_gen_equal_depth;
+          Alcotest.test_case "synthetic marginals" `Quick
+            test_synthetic_gen_marginals;
+          Alcotest.test_case "synthetic agreement" `Quick
+            test_synthetic_gen_group_agreement;
+          Alcotest.test_case "synthetic structure" `Quick
+            test_synthetic_gen_structure;
+          Alcotest.test_case "garden index helpers" `Quick
+            test_garden_index_helpers;
+          Alcotest.test_case "synthetic invalid params" `Quick
+            test_synthetic_invalid_params;
+          Alcotest.test_case "lab voltage-temp coupling" `Quick
+            test_lab_voltage_tracks_temp;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Unit tests for Acq_core.Existential: the Section 7 exists-query
+   generalization. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Pred = Acq_plan.Predicate
+module Ext = Acq_core.Existential
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let schema () =
+  S.create
+    [
+      A.discrete ~name:"regime" ~cost:1.0 ~domain:2;
+      A.discrete ~name:"a1" ~cost:100.0 ~domain:2;
+      A.discrete ~name:"a2" ~cost:100.0 ~domain:2;
+      A.discrete ~name:"b1" ~cost:100.0 ~domain:2;
+      A.discrete ~name:"b2" ~cost:100.0 ~domain:2;
+    ]
+
+(* Two groups: A = (a1=1 AND a2=1), B = (b1=1 AND b2=1). The cheap
+   regime bit decides which group is (almost always) the satisfied
+   one. *)
+let mk_query () =
+  let s = schema () in
+  ( s,
+    Ext.query s
+      [
+        [ Pred.inside ~attr:1 ~lo:1 ~hi:1; Pred.inside ~attr:2 ~lo:1 ~hi:1 ];
+        [ Pred.inside ~attr:3 ~lo:1 ~hi:1; Pred.inside ~attr:4 ~lo:1 ~hi:1 ];
+      ] )
+
+let regime_dataset ?(rows = 4_000) () =
+  let s = schema () in
+  let rng = Rng.create 1 in
+  DS.create s
+    (Array.init rows (fun _ ->
+         let regime = Rng.int rng 2 in
+         let hit g = if Rng.bernoulli rng 0.9 then g else 1 - g in
+         if regime = 0 then [| 0; hit 1; hit 1; hit 0; hit 0 |]
+         else [| 1; hit 0; hit 0; hit 1; hit 1 |]))
+
+let test_query_validation () =
+  let s = schema () in
+  (try
+     ignore (Ext.query s []);
+     Alcotest.fail "expected empty-groups failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Ext.query s [ [] ]);
+     Alcotest.fail "expected empty-group failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Ext.query s [ [ Pred.inside ~attr:1 ~lo:0 ~hi:5 ] ]);
+     Alcotest.fail "expected domain failure"
+   with Invalid_argument _ -> ())
+
+let test_eval_semantics () =
+  let _, q = mk_query () in
+  Alcotest.(check bool) "group A satisfies" true (Ext.eval q [| 0; 1; 1; 0; 0 |]);
+  Alcotest.(check bool) "group B satisfies" true (Ext.eval q [| 1; 0; 0; 1; 1 |]);
+  Alcotest.(check bool) "neither" false (Ext.eval q [| 0; 1; 0; 0; 1 |]);
+  Alcotest.(check bool) "both" true (Ext.eval q [| 0; 1; 1; 1; 1 |])
+
+let test_run_stops_at_first_success () =
+  let s, q = mk_query () in
+  let costs = S.costs s in
+  let plan =
+    Ext.Seq { group_order = [| 0; 1 |]; inner = [| [| 0; 1 |]; [| 0; 1 |] |] }
+  in
+  let o = Ext.run q ~costs plan ~lookup:(fun a -> [| 0; 1; 1; 1; 1 |].(a)) in
+  Alcotest.(check bool) "verdict" true o.Ext.verdict;
+  check_float "only group A acquired" 200.0 o.Ext.cost;
+  Alcotest.(check (list int)) "acquired a1 a2" [ 1; 2 ] o.Ext.acquired
+
+let test_run_inner_short_circuit () =
+  let s, q = mk_query () in
+  let costs = S.costs s in
+  let plan =
+    Ext.Seq { group_order = [| 0; 1 |]; inner = [| [| 0; 1 |]; [| 0; 1 |] |] }
+  in
+  (* a1 = 0 kills group A after one read; B then succeeds. *)
+  let o = Ext.run q ~costs plan ~lookup:(fun a -> [| 0; 0; 1; 1; 1 |].(a)) in
+  Alcotest.(check bool) "verdict" true o.Ext.verdict;
+  check_float "a1 + b1 + b2" 300.0 o.Ext.cost
+
+let test_run_shares_acquisitions () =
+  (* Two groups over the SAME attributes with different bands: the
+     second group reads for free. *)
+  let s = schema () in
+  let q =
+    Ext.query s
+      [
+        [ Pred.inside ~attr:1 ~lo:1 ~hi:1 ];
+        [ Pred.inside ~attr:1 ~lo:0 ~hi:0 ];
+      ]
+  in
+  let costs = S.costs s in
+  let plan = Ext.Seq { group_order = [| 0; 1 |]; inner = [| [| 0 |]; [| 0 |] |] } in
+  let o = Ext.run q ~costs plan ~lookup:(fun _ -> 0) in
+  Alcotest.(check bool) "second group satisfied" true o.Ext.verdict;
+  check_float "attr charged once" 100.0 o.Ext.cost
+
+let test_cond_plan_branches () =
+  let s, q = mk_query () in
+  let costs = S.costs s in
+  let seq_a = Ext.Seq { group_order = [| 0; 1 |]; inner = [| [| 0; 1 |]; [| 0; 1 |] |] } in
+  let seq_b = Ext.Seq { group_order = [| 1; 0 |]; inner = [| [| 0; 1 |]; [| 0; 1 |] |] } in
+  let plan = Ext.Cond { attr = 0; threshold = 1; low = seq_a; high = seq_b } in
+  (* regime=1 routes to seq_b which probes group B first. *)
+  let o = Ext.run q ~costs plan ~lookup:(fun a -> [| 1; 0; 0; 1; 1 |].(a)) in
+  check_float "1 (regime) + 200 (group B)" 201.0 o.Ext.cost;
+  Alcotest.(check bool) "verdict" true o.Ext.verdict
+
+let test_planners_consistent () =
+  let ds = regime_dataset () in
+  let _, q = mk_query () in
+  let costs = S.costs (DS.schema ds) in
+  List.iter
+    (fun plan ->
+      Alcotest.(check bool) "consistent" true (Ext.consistent q ~costs plan ds))
+    [
+      Ext.naive_plan q ~costs ds;
+      Ext.greedy_seq_plan q ~costs ds;
+      Ext.plan q ~costs ds;
+    ]
+
+let test_conditional_beats_static () =
+  let ds = regime_dataset () in
+  let _, q = mk_query () in
+  let costs = S.costs (DS.schema ds) in
+  let c_naive = Ext.average_cost q ~costs (Ext.naive_plan q ~costs ds) ds in
+  let c_cond =
+    Ext.average_cost q ~costs
+      (Ext.plan ~candidate_attrs:[ 0 ] q ~costs ds)
+      ds
+  in
+  (* The regime bit tells the plan which group succeeds: one group
+     (200) instead of a coin flip over probing order (~300). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "conditional (%.0f) beats static (%.0f) by >10%%" c_cond
+       c_naive)
+    true
+    (c_cond < c_naive *. 0.9)
+
+let test_plan_respects_depth () =
+  let ds = regime_dataset () in
+  let _, q = mk_query () in
+  let costs = S.costs (DS.schema ds) in
+  let rec depth = function
+    | Ext.Seq _ -> 0
+    | Ext.Cond { low; high; _ } -> 1 + max (depth low) (depth high)
+  in
+  Alcotest.(check int) "depth 0 = sequential" 0
+    (depth (Ext.plan ~max_depth:0 q ~costs ds));
+  Alcotest.(check bool) "depth bounded" true
+    (depth (Ext.plan ~max_depth:2 q ~costs ds) <= 2)
+
+let test_random_instances_consistent () =
+  let rng = Rng.create 2 in
+  for _ = 1 to 10 do
+    let s = schema () in
+    let ds =
+      DS.create s
+        (Array.init 300 (fun _ ->
+             Array.init 5 (fun _ -> Rng.int rng 2)))
+    in
+    let q =
+      Ext.query s
+        [
+          [ Pred.inside ~attr:1 ~lo:1 ~hi:1; Pred.inside ~attr:4 ~lo:0 ~hi:0 ];
+          [ Pred.inside ~attr:2 ~lo:0 ~hi:0 ];
+          [ Pred.inside ~attr:3 ~lo:1 ~hi:1; Pred.inside ~attr:2 ~lo:1 ~hi:1 ];
+        ]
+    in
+    let costs = S.costs s in
+    List.iter
+      (fun plan ->
+        Alcotest.(check bool) "random instance consistent" true
+          (Ext.consistent q ~costs plan ds))
+      [
+        Ext.naive_plan q ~costs ds;
+        Ext.greedy_seq_plan q ~costs ds;
+        Ext.plan ~max_depth:2 q ~costs ds;
+      ]
+  done
+
+let () =
+  Alcotest.run "existential"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "validation" `Quick test_query_validation;
+          Alcotest.test_case "eval" `Quick test_eval_semantics;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "stops at first success" `Quick
+            test_run_stops_at_first_success;
+          Alcotest.test_case "inner short circuit" `Quick
+            test_run_inner_short_circuit;
+          Alcotest.test_case "shares acquisitions" `Quick
+            test_run_shares_acquisitions;
+          Alcotest.test_case "conditional branches" `Quick test_cond_plan_branches;
+        ] );
+      ( "planners",
+        [
+          Alcotest.test_case "consistent" `Quick test_planners_consistent;
+          Alcotest.test_case "conditional beats static" `Quick
+            test_conditional_beats_static;
+          Alcotest.test_case "respects depth" `Quick test_plan_respects_depth;
+          Alcotest.test_case "random instances" `Quick
+            test_random_instances_consistent;
+        ] );
+    ]

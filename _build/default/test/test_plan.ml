@@ -1,0 +1,455 @@
+(* Unit tests for Acq_plan: ranges, predicates, queries, plan trees,
+   the executor's acquisition accounting, serialization, and the
+   pretty-printer. *)
+
+module R = Acq_plan.Range
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Plan = Acq_plan.Plan
+module Ex = Acq_plan.Executor
+module Ser = Acq_plan.Serialize
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module DS = Acq_data.Dataset
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let contains sub str =
+  let n = String.length sub and m = String.length str in
+  let rec go i = i + n <= m && (String.sub str i n = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Range *)
+
+let test_range_basics () =
+  let r = R.make 2 5 in
+  Alcotest.(check int) "width" 4 (R.width r);
+  Alcotest.(check bool) "contains" true (R.contains r 2);
+  Alcotest.(check bool) "excludes" false (R.contains r 6);
+  Alcotest.(check bool) "full detection" true (R.is_full (R.full 8) 8);
+  Alcotest.(check bool) "not full" false (R.is_full (R.make 0 6) 8);
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Range.make: lo > hi")
+    (fun () -> ignore (R.make 3 2))
+
+let test_range_split () =
+  let lo, hi = R.split (R.make 0 7) 3 in
+  Alcotest.(check bool) "low side" true (R.equal lo (R.make 0 2));
+  Alcotest.(check bool) "high side" true (R.equal hi (R.make 3 7));
+  Alcotest.check_raises "split at lo"
+    (Invalid_argument "Range.split: point out of range") (fun () ->
+      ignore (R.split (R.make 2 5) 2));
+  Alcotest.check_raises "split above hi"
+    (Invalid_argument "Range.split: point out of range") (fun () ->
+      ignore (R.split (R.make 2 5) 6))
+
+let test_range_relations () =
+  Alcotest.(check bool) "subset" true (R.subset (R.make 2 3) (R.make 1 4));
+  Alcotest.(check bool) "not subset" false (R.subset (R.make 0 3) (R.make 1 4));
+  Alcotest.(check bool) "intersects" true (R.intersects (R.make 0 2) (R.make 2 5));
+  Alcotest.(check bool) "disjoint" false (R.intersects (R.make 0 1) (R.make 2 5))
+
+(* ------------------------------------------------------------------ *)
+(* Predicate *)
+
+let test_pred_inside () =
+  let p = Pred.inside ~attr:0 ~lo:2 ~hi:4 in
+  Alcotest.(check bool) "below" false (Pred.eval p 1);
+  Alcotest.(check bool) "lo edge" true (Pred.eval p 2);
+  Alcotest.(check bool) "hi edge" true (Pred.eval p 4);
+  Alcotest.(check bool) "above" false (Pred.eval p 5)
+
+let test_pred_outside () =
+  let p = Pred.outside ~attr:0 ~lo:2 ~hi:4 in
+  Alcotest.(check bool) "below passes" true (Pred.eval p 1);
+  Alcotest.(check bool) "inside fails" false (Pred.eval p 3);
+  Alcotest.(check bool) "above passes" true (Pred.eval p 5)
+
+let pred_truth = Alcotest.testable
+    (fun fmt t -> Format.pp_print_string fmt
+        (match t with Pred.True -> "True" | Pred.False -> "False"
+                    | Pred.Unknown -> "Unknown"))
+    ( = )
+
+let test_pred_truth_under () =
+  let p = Pred.inside ~attr:0 ~lo:2 ~hi:4 in
+  Alcotest.check pred_truth "contained" Pred.True (Pred.truth_under p (R.make 2 4));
+  Alcotest.check pred_truth "subset" Pred.True (Pred.truth_under p (R.make 3 3));
+  Alcotest.check pred_truth "disjoint" Pred.False (Pred.truth_under p (R.make 5 9));
+  Alcotest.check pred_truth "straddles" Pred.Unknown (Pred.truth_under p (R.make 0 3));
+  let n = Pred.outside ~attr:0 ~lo:2 ~hi:4 in
+  Alcotest.check pred_truth "negated contained" Pred.False
+    (Pred.truth_under n (R.make 2 4));
+  Alcotest.check pred_truth "negated disjoint" Pred.True
+    (Pred.truth_under n (R.make 5 9));
+  Alcotest.check pred_truth "negated straddles" Pred.Unknown
+    (Pred.truth_under n (R.make 0 3))
+
+let test_pred_truth_consistent_with_eval () =
+  (* If truth_under says True/False, every value in the range must
+     evaluate accordingly. *)
+  let preds =
+    [ Pred.inside ~attr:0 ~lo:2 ~hi:4; Pred.outside ~attr:0 ~lo:1 ~hi:6 ]
+  in
+  List.iter
+    (fun p ->
+      for lo = 0 to 7 do
+        for hi = lo to 7 do
+          let r = R.make lo hi in
+          match Pred.truth_under p r with
+          | Pred.True ->
+              for v = lo to hi do
+                Alcotest.(check bool) "all true" true (Pred.eval p v)
+              done
+          | Pred.False ->
+              for v = lo to hi do
+                Alcotest.(check bool) "all false" false (Pred.eval p v)
+              done
+          | Pred.Unknown ->
+              let any_t = ref false and any_f = ref false in
+              for v = lo to hi do
+                if Pred.eval p v then any_t := true else any_f := true
+              done;
+              Alcotest.(check bool) "mixed" true (!any_t && !any_f)
+        done
+      done)
+    preds
+
+let mk_schema () =
+  S.create
+    [
+      A.discrete ~name:"cheap" ~cost:1.0 ~domain:8;
+      A.discrete ~name:"exp1" ~cost:100.0 ~domain:8;
+      A.discrete ~name:"exp2" ~cost:50.0 ~domain:8;
+    ]
+
+let test_pred_describe () =
+  let s = mk_schema () in
+  let p = Pred.inside ~attr:1 ~lo:2 ~hi:4 in
+  Alcotest.(check string) "inside" "2 <= exp1 <= 4" (Pred.describe s p);
+  let n = Pred.outside ~attr:1 ~lo:2 ~hi:4 in
+  Alcotest.(check string) "outside" "not(2 <= exp1 <= 4)" (Pred.describe s n)
+
+(* ------------------------------------------------------------------ *)
+(* Query *)
+
+let mk_query () =
+  Q.create (mk_schema ())
+    [ Pred.inside ~attr:1 ~lo:2 ~hi:5; Pred.outside ~attr:2 ~lo:0 ~hi:3 ]
+
+let test_query_eval () =
+  let q = mk_query () in
+  Alcotest.(check bool) "both pass" true (Q.eval q [| 0; 3; 6 |]);
+  Alcotest.(check bool) "first fails" false (Q.eval q [| 0; 1; 6 |]);
+  Alcotest.(check bool) "second fails" false (Q.eval q [| 0; 3; 2 |])
+
+let test_query_attrs () =
+  let q = mk_query () in
+  Alcotest.(check (list int)) "attrs" [ 1; 2 ] (Q.attrs q);
+  Alcotest.(check int) "count" 2 (Q.n_predicates q)
+
+let test_query_truth_under () =
+  let q = mk_query () in
+  let full = [| R.full 8; R.full 8; R.full 8 |] in
+  Alcotest.check pred_truth "unknown initially" Pred.Unknown (Q.truth_under q full);
+  let false_ranges = [| R.full 8; R.make 0 1; R.full 8 |] in
+  Alcotest.check pred_truth "one false" Pred.False (Q.truth_under q false_ranges);
+  let true_ranges = [| R.full 8; R.make 3 4; R.make 5 7 |] in
+  Alcotest.check pred_truth "all true" Pred.True (Q.truth_under q true_ranges);
+  Alcotest.(check (list int)) "unknown preds" [ 1 ]
+    (Q.unknown_predicates q [| R.full 8; R.make 3 4; R.full 8 |])
+
+let test_query_selectivity () =
+  let schema = mk_schema () in
+  let ds =
+    DS.create schema
+      [| [| 0; 0; 0 |]; [| 0; 3; 0 |]; [| 0; 4; 0 |]; [| 0; 7; 0 |] |]
+  in
+  let q = mk_query () in
+  check_float "selectivity of pred 0" 0.5 (Q.selectivity q ds 0);
+  check_float "selectivity of pred 1" 0.0 (Q.selectivity q ds 1)
+
+let test_query_validation () =
+  let s = mk_schema () in
+  (try
+     ignore (Q.create s [ Pred.inside ~attr:1 ~lo:0 ~hi:99 ]);
+     Alcotest.fail "expected out-of-domain"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Q.create s []);
+     Alcotest.fail "expected empty"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Plan shape *)
+
+let sample_plan () =
+  Plan.Test
+    {
+      attr = 0;
+      threshold = 4;
+      low = Plan.sequential [ 0; 1 ];
+      high =
+        Plan.Test
+          {
+            attr = 1;
+            threshold = 2;
+            low = Plan.const false;
+            high = Plan.sequential [ 1 ];
+          };
+    }
+
+let test_plan_counters () =
+  let p = sample_plan () in
+  Alcotest.(check int) "tests" 2 (Plan.n_tests p);
+  Alcotest.(check int) "nodes" 5 (Plan.n_nodes p);
+  Alcotest.(check int) "depth" 2 (Plan.depth p);
+  Alcotest.(check (list int)) "attrs tested" [ 0; 1 ] (Plan.attrs_tested p)
+
+let test_plan_equal () =
+  Alcotest.(check bool) "equal to itself" true
+    (Plan.equal (sample_plan ()) (sample_plan ()));
+  Alcotest.(check bool) "differs" false
+    (Plan.equal (sample_plan ()) (Plan.const true))
+
+let test_plan_fold_leaves () =
+  let leaves = Plan.fold_leaves (fun acc _ -> acc + 1) 0 (sample_plan ()) in
+  Alcotest.(check int) "3 leaves" 3 leaves
+
+(* ------------------------------------------------------------------ *)
+(* Executor *)
+
+let exec_schema = mk_schema ()
+
+let exec_query =
+  Q.create exec_schema
+    [ Pred.inside ~attr:1 ~lo:4 ~hi:7; Pred.inside ~attr:2 ~lo:4 ~hi:7 ]
+
+let costs = S.costs exec_schema
+
+let test_executor_seq_short_circuit () =
+  let plan = Plan.sequential [ 0; 1 ] in
+  let o = Ex.run_tuple exec_query ~costs plan [| 0; 0; 7 |] in
+  Alcotest.(check bool) "rejected" false o.Ex.verdict;
+  check_float "only first acquired" 100.0 o.Ex.cost;
+  Alcotest.(check (list int)) "acquired" [ 1 ] o.Ex.acquired;
+  let o2 = Ex.run_tuple exec_query ~costs plan [| 0; 5; 7 |] in
+  Alcotest.(check bool) "accepted" true o2.Ex.verdict;
+  check_float "both acquired" 150.0 o2.Ex.cost
+
+let test_executor_acquire_once () =
+  (* A test node on attr 1 followed by a Seq that also reads attr 1:
+     the attribute is charged exactly once. *)
+  let plan =
+    Plan.Test
+      {
+        attr = 1;
+        threshold = 4;
+        low = Plan.const false;
+        high = Plan.sequential [ 0; 1 ];
+      }
+  in
+  let o = Ex.run_tuple exec_query ~costs plan [| 0; 5; 5 |] in
+  Alcotest.(check bool) "accepted" true o.Ex.verdict;
+  check_float "attr1 charged once" 150.0 o.Ex.cost;
+  Alcotest.(check (list int)) "order" [ 1; 2 ] o.Ex.acquired
+
+let test_executor_cheap_condition () =
+  (* Conditioning on the cheap attribute costs 1 unit. *)
+  let plan =
+    Plan.Test
+      {
+        attr = 0;
+        threshold = 4;
+        low = Plan.sequential [ 0; 1 ];
+        high = Plan.sequential [ 1; 0 ];
+      }
+  in
+  let o = Ex.run_tuple exec_query ~costs plan [| 7; 0; 0 |] in
+  check_float "cheap + exp2 (fails)" 51.0 o.Ex.cost;
+  Alcotest.(check bool) "verdict" false o.Ex.verdict
+
+let test_executor_const_leaves () =
+  let o = Ex.run_tuple exec_query ~costs (Plan.const true) [| 0; 0; 0 |] in
+  Alcotest.(check bool) "const true" true o.Ex.verdict;
+  check_float "free" 0.0 o.Ex.cost
+
+let test_executor_average_and_consistency () =
+  let rng = Acq_util.Rng.create 5 in
+  let rows =
+    Array.init 200 (fun _ ->
+        [| Acq_util.Rng.int rng 8; Acq_util.Rng.int rng 8; Acq_util.Rng.int rng 8 |])
+  in
+  let ds = DS.create exec_schema rows in
+  let plan = Plan.sequential [ 1; 0 ] in
+  Alcotest.(check bool) "seq plan consistent" true
+    (Ex.consistent exec_query ~costs plan ds);
+  let avg = Ex.average_cost exec_query ~costs plan ds in
+  Alcotest.(check bool) "avg between bounds" true (avg >= 50.0 && avg <= 150.0);
+  (* An intentionally wrong plan is detected. *)
+  Alcotest.(check bool) "wrong plan flagged" false
+    (Ex.consistent exec_query ~costs (Plan.const true) ds)
+
+let test_executor_incomplete_seq_detected () =
+  (* A Seq missing a predicate is exactly the sort of bug consistency
+     checking must catch. *)
+  let rng = Acq_util.Rng.create 6 in
+  let rows =
+    Array.init 100 (fun _ ->
+        [| 0; Acq_util.Rng.int rng 8; Acq_util.Rng.int rng 8 |])
+  in
+  let ds = DS.create exec_schema rows in
+  Alcotest.(check bool) "incomplete plan flagged" false
+    (Ex.consistent exec_query ~costs (Plan.sequential [ 0 ]) ds)
+
+(* ------------------------------------------------------------------ *)
+(* Serialize *)
+
+let test_serialize_roundtrip () =
+  let plans =
+    [
+      Plan.const true;
+      Plan.const false;
+      Plan.sequential [];
+      Plan.sequential [ 2; 0; 1 ];
+      sample_plan ();
+    ]
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true
+        (Plan.equal p (Ser.decode (Ser.encode p))))
+    plans
+
+let test_serialize_sizes () =
+  Alcotest.(check int) "const is 1 byte" 1 (Ser.size (Plan.const true));
+  Alcotest.(check int) "seq header + ids" 4 (Ser.size (Plan.sequential [ 0; 1 ]));
+  (* test node = 4 bytes + children *)
+  Alcotest.(check int) "test node" 6
+    (Ser.size
+       (Plan.Test
+          { attr = 0; threshold = 300; low = Plan.const false; high = Plan.const true }))
+
+let test_serialize_errors () =
+  (try
+     ignore (Ser.decode (Bytes.of_string "\xff"));
+     Alcotest.fail "expected bad tag"
+   with Failure _ -> ());
+  (try
+     ignore (Ser.decode (Bytes.of_string "\x03\x00"));
+     Alcotest.fail "expected truncation"
+   with Failure _ -> ());
+  (try
+     ignore (Ser.decode (Bytes.of_string "\x01\x01"));
+     Alcotest.fail "expected trailing bytes"
+   with Failure _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Printer *)
+
+let test_printer_output () =
+  let s = Acq_plan.Printer.to_string exec_query (sample_plan ()) in
+  Alcotest.(check bool) "mentions cheap attr" true (contains "cheap >= 4" s);
+  Alcotest.(check bool) "mentions else branch" true (contains "else:" s);
+  Alcotest.(check bool) "mentions output" true (contains "output FALSE" s);
+  Alcotest.(check bool) "mentions eval" true (contains "eval" s)
+
+let test_executor_acquisition_order () =
+  let plan =
+    Plan.Test
+      {
+        attr = 0;
+        threshold = 4;
+        low = Plan.sequential [ 1; 0 ];
+        high = Plan.sequential [ 0; 1 ];
+      }
+  in
+  (* low branch: test attr 0, then pred 1 (attr 2), then pred 0 (attr 1). *)
+  let o = Ex.run_tuple exec_query ~costs plan [| 0; 5; 5 |] in
+  Alcotest.(check (list int)) "acquisition order" [ 0; 2; 1 ] o.Ex.acquired;
+  Alcotest.(check bool) "verdict" true o.Ex.verdict
+
+let test_serialize_empty_seq () =
+  let p = Plan.sequential [] in
+  Alcotest.(check int) "2 bytes" 2 (Ser.size p);
+  Alcotest.(check bool) "roundtrip" true (Plan.equal p (Ser.decode (Ser.encode p)))
+
+let test_printer_const_plans () =
+  Alcotest.(check string) "true leaf" "output TRUE\n"
+    (Acq_plan.Printer.to_string exec_query (Plan.const true));
+  Alcotest.(check string) "empty seq is true" "output TRUE\n"
+    (Acq_plan.Printer.to_string exec_query (Plan.sequential []))
+
+let test_query_describe () =
+  let s = Q.describe exec_query in
+  Alcotest.(check bool) "mentions both attrs" true
+    (contains "exp1" s && contains "exp2" s && contains "AND" s)
+
+let test_printer_summary () =
+  let s = Acq_plan.Printer.summary exec_query (sample_plan ()) in
+  Alcotest.(check bool) "has counts" true (contains "2 tests" s);
+  Alcotest.(check bool) "names attrs" true (contains "cheap" s)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "plan"
+    [
+      ( "range",
+        [
+          Alcotest.test_case "basics" `Quick test_range_basics;
+          Alcotest.test_case "split" `Quick test_range_split;
+          Alcotest.test_case "relations" `Quick test_range_relations;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "inside" `Quick test_pred_inside;
+          Alcotest.test_case "outside" `Quick test_pred_outside;
+          Alcotest.test_case "truth under range" `Quick test_pred_truth_under;
+          Alcotest.test_case "truth matches eval" `Quick
+            test_pred_truth_consistent_with_eval;
+          Alcotest.test_case "describe" `Quick test_pred_describe;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "eval" `Quick test_query_eval;
+          Alcotest.test_case "attrs" `Quick test_query_attrs;
+          Alcotest.test_case "truth under ranges" `Quick test_query_truth_under;
+          Alcotest.test_case "selectivity" `Quick test_query_selectivity;
+          Alcotest.test_case "validation" `Quick test_query_validation;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "counters" `Quick test_plan_counters;
+          Alcotest.test_case "equal" `Quick test_plan_equal;
+          Alcotest.test_case "fold leaves" `Quick test_plan_fold_leaves;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "seq short circuit" `Quick
+            test_executor_seq_short_circuit;
+          Alcotest.test_case "acquire once" `Quick test_executor_acquire_once;
+          Alcotest.test_case "cheap condition" `Quick test_executor_cheap_condition;
+          Alcotest.test_case "const leaves" `Quick test_executor_const_leaves;
+          Alcotest.test_case "average + consistency" `Quick
+            test_executor_average_and_consistency;
+          Alcotest.test_case "incomplete seq detected" `Quick
+            test_executor_incomplete_seq_detected;
+          Alcotest.test_case "acquisition order" `Quick
+            test_executor_acquisition_order;
+        ] );
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "sizes" `Quick test_serialize_sizes;
+          Alcotest.test_case "empty seq" `Quick test_serialize_empty_seq;
+          Alcotest.test_case "errors" `Quick test_serialize_errors;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "output" `Quick test_printer_output;
+          Alcotest.test_case "summary" `Quick test_printer_summary;
+          Alcotest.test_case "const plans" `Quick test_printer_const_plans;
+          Alcotest.test_case "query describe" `Quick test_query_describe;
+        ] );
+    ]

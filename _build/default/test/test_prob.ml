@@ -1,0 +1,447 @@
+(* Unit tests for Acq_prob: indexes, views, histograms, mutual
+   information, the Chow-Liu model, and the estimator abstraction. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module R = Acq_plan.Range
+module Pred = Acq_plan.Predicate
+module V = Acq_prob.View
+module H = Acq_prob.Histogram
+module E = Acq_prob.Estimator
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish = Alcotest.(check (float 0.02))
+
+let mk_schema () =
+  S.create
+    [
+      A.discrete ~name:"a" ~cost:1.0 ~domain:4;
+      A.discrete ~name:"b" ~cost:10.0 ~domain:3;
+      A.discrete ~name:"c" ~cost:100.0 ~domain:2;
+    ]
+
+let mk_dataset () =
+  (* 8 rows, chosen so marginals are easy to verify by hand. *)
+  DS.create (mk_schema ())
+    [|
+      [| 0; 0; 0 |];
+      [| 1; 0; 1 |];
+      [| 2; 1; 0 |];
+      [| 3; 1; 1 |];
+      [| 0; 2; 0 |];
+      [| 1; 2; 1 |];
+      [| 2; 0; 0 |];
+      [| 3; 1; 1 |];
+    |]
+
+(* ------------------------------------------------------------------ *)
+(* Index *)
+
+let test_index_counts () =
+  let ds = mk_dataset () in
+  let idx = Acq_prob.Index.build ds in
+  Alcotest.(check (array int)) "rows with a=1" [| 1; 5 |]
+    (Acq_prob.Index.rows_with_value idx ~attr:0 ~value:1);
+  Alcotest.(check int) "count a in [1,2]" 4
+    (Acq_prob.Index.count_in_range idx ~attr:0 (R.make 1 2));
+  Alcotest.(check (array int)) "rows a in [1,2]" [| 1; 2; 5; 6 |]
+    (Acq_prob.Index.rows_in_range idx ~attr:0 (R.make 1 2))
+
+let test_index_matches_scan () =
+  let rng = Rng.create 1 in
+  let schema = mk_schema () in
+  let rows =
+    Array.init 500 (fun _ ->
+        [| Rng.int rng 4; Rng.int rng 3; Rng.int rng 2 |])
+  in
+  let ds = DS.create schema rows in
+  let idx = Acq_prob.Index.build ds in
+  let r = R.make 1 2 in
+  let scan = ref 0 in
+  DS.iter_rows ds (fun row -> if R.contains r (DS.get ds row 0) then incr scan);
+  Alcotest.(check int) "index count = scan count" !scan
+    (Acq_prob.Index.count_in_range idx ~attr:0 r)
+
+(* ------------------------------------------------------------------ *)
+(* View *)
+
+let test_view_full () =
+  let ds = mk_dataset () in
+  let v = V.of_dataset ds in
+  Alcotest.(check int) "size" 8 (V.size v);
+  Alcotest.(check bool) "not empty" false (V.is_empty v)
+
+let test_view_restrict_range () =
+  let ds = mk_dataset () in
+  let v = V.restrict_range (V.of_dataset ds) ~attr:0 (R.make 0 1) in
+  Alcotest.(check int) "4 rows with a<=1" 4 (V.size v);
+  let v2 = V.restrict_range v ~attr:2 (R.make 1 1) in
+  Alcotest.(check int) "then c=1" 2 (V.size v2)
+
+let test_view_restrict_pred () =
+  let ds = mk_dataset () in
+  let p = Pred.inside ~attr:1 ~lo:0 ~hi:0 in
+  let sat = V.restrict_pred (V.of_dataset ds) p true in
+  let unsat = V.restrict_pred (V.of_dataset ds) p false in
+  Alcotest.(check int) "b=0 rows" 3 (V.size sat);
+  Alcotest.(check int) "complement" 5 (V.size unsat)
+
+let test_view_histogram () =
+  let ds = mk_dataset () in
+  Alcotest.(check (array int)) "histogram of a" [| 2; 2; 2; 2 |]
+    (V.histogram (V.of_dataset ds) ~attr:0);
+  Alcotest.(check (array int)) "histogram of b" [| 3; 3; 2 |]
+    (V.histogram (V.of_dataset ds) ~attr:1)
+
+let test_view_probs () =
+  let ds = mk_dataset () in
+  let v = V.of_dataset ds in
+  check_float "range prob" 0.5 (V.range_prob v ~attr:0 (R.make 0 1));
+  check_float "pred prob" 0.5
+    (V.pred_prob v (Pred.inside ~attr:2 ~lo:1 ~hi:1));
+  let empty =
+    V.restrict_range
+      (V.restrict_range v ~attr:1 (R.make 2 2))
+      ~attr:0 (R.make 2 2)
+  in
+  check_float "empty view prob" 0.0 (V.range_prob empty ~attr:0 (R.make 0 3))
+
+let test_view_pattern_counts () =
+  let ds = mk_dataset () in
+  let v = V.of_dataset ds in
+  let preds =
+    [| Pred.inside ~attr:2 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:0 ~hi:1 |]
+  in
+  let counts = V.pattern_counts v preds in
+  Alcotest.(check int) "4 patterns" 4 (Array.length counts);
+  Alcotest.(check int) "total is view size" 8 (Acq_util.Array_util.sum_int counts);
+  (* Pattern 3 = c=1 and b in {0,1}: rows 1,3,7. *)
+  Alcotest.(check int) "pattern 11" 3 counts.(3)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let test_histogram_eq7 () =
+  let h = H.of_counts [| 2; 3; 0; 5 |] in
+  Alcotest.(check int) "total" 10 (H.total h);
+  check_float "prob of 1" 0.3 (H.prob h 1);
+  check_float "P(<2)" 0.5 (H.prob_below h 2);
+  (* Equation (7): P(< x+1) = P(< x) + P(x). *)
+  for x = 0 to 3 do
+    check_float "incremental rule"
+      (H.prob_below h x +. H.prob h x)
+      (H.prob_below h (x + 1))
+  done;
+  check_float "range" 0.8 (H.prob_range h (R.make 1 3));
+  Alcotest.(check int) "count range" 8 (H.count_range h (R.make 1 3))
+
+let test_histogram_of_view () =
+  let ds = mk_dataset () in
+  let h = H.of_view (V.of_dataset ds) ~attr:1 in
+  check_float "matches view histogram" (3.0 /. 8.0) (H.prob h 0)
+
+let test_histogram_empty () =
+  let h = H.of_counts [| 0; 0 |] in
+  check_float "prob on empty" 0.0 (H.prob h 0);
+  check_float "range on empty" 0.0 (H.prob_range h (R.make 0 1))
+
+(* ------------------------------------------------------------------ *)
+(* Mutual information *)
+
+let test_mi_independent_near_zero () =
+  let rng = Rng.create 2 in
+  let schema =
+    S.create
+      [
+        A.discrete ~name:"x" ~cost:1.0 ~domain:4;
+        A.discrete ~name:"y" ~cost:1.0 ~domain:4;
+      ]
+  in
+  let rows =
+    Array.init 20_000 (fun _ -> [| Rng.int rng 4; Rng.int rng 4 |])
+  in
+  let ds = DS.create schema rows in
+  Alcotest.(check bool) "MI ~ 0" true (Acq_prob.Mutual_info.mi ds 0 1 < 0.01)
+
+let test_mi_identical_high () =
+  let rng = Rng.create 3 in
+  let schema =
+    S.create
+      [
+        A.discrete ~name:"x" ~cost:1.0 ~domain:4;
+        A.discrete ~name:"y" ~cost:1.0 ~domain:4;
+      ]
+  in
+  let rows =
+    Array.init 5_000 (fun _ ->
+        let v = Rng.int rng 4 in
+        [| v; v |])
+  in
+  let ds = DS.create schema rows in
+  Alcotest.(check bool) "MI(X,X) near log 4" true
+    (Acq_prob.Mutual_info.mi ds 0 1 > 1.2)
+
+let test_mi_symmetry () =
+  let ds = mk_dataset () in
+  check_float "symmetric"
+    (Acq_prob.Mutual_info.mi ds 0 1)
+    (Acq_prob.Mutual_info.mi ds 1 0)
+
+let test_mi_matrix () =
+  let ds = mk_dataset () in
+  let m = Acq_prob.Mutual_info.matrix ds in
+  check_float "diagonal zero" 0.0 m.(1).(1);
+  check_float "matrix symmetric" m.(0).(2) m.(2).(0)
+
+(* ------------------------------------------------------------------ *)
+(* Chow-Liu *)
+
+(* Chain-structured data: x0 -> x1 -> x2, each copying its parent with
+   probability 0.9. The learned tree must connect adjacent variables
+   (0-1, 1-2), never the weaker 0-2 link. *)
+let chain_dataset ?(rows = 20_000) () =
+  let rng = Rng.create 4 in
+  let schema =
+    S.create
+      [
+        A.discrete ~name:"x0" ~cost:1.0 ~domain:2;
+        A.discrete ~name:"x1" ~cost:1.0 ~domain:2;
+        A.discrete ~name:"x2" ~cost:1.0 ~domain:2;
+      ]
+  in
+  let rows =
+    Array.init rows (fun _ ->
+        let x0 = Rng.int rng 2 in
+        let x1 = if Rng.bernoulli rng 0.9 then x0 else 1 - x0 in
+        let x2 = if Rng.bernoulli rng 0.9 then x1 else 1 - x1 in
+        [| x0; x1; x2 |])
+  in
+  DS.create schema rows
+
+let test_chow_liu_structure () =
+  let ds = chain_dataset () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  (* Rooted at 0: expect parent(1) = 0 and parent(2) = 1. *)
+  Alcotest.(check (option int)) "root has no parent" None
+    (Acq_prob.Chow_liu.parent m 0);
+  Alcotest.(check (option int)) "x1 -> x0" (Some 0)
+    (Acq_prob.Chow_liu.parent m 1);
+  Alcotest.(check (option int)) "x2 -> x1" (Some 1)
+    (Acq_prob.Chow_liu.parent m 2)
+
+let test_chow_liu_no_evidence_prob_one () =
+  let ds = chain_dataset ~rows:2_000 () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  check_float "P(no evidence) = 1" 1.0
+    (Acq_prob.Chow_liu.evidence_prob m (Acq_prob.Chow_liu.no_evidence m))
+
+let test_chow_liu_matches_empirical () =
+  let ds = chain_dataset () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  let v = V.of_dataset ds in
+  (* P(x2 = 1) *)
+  let e1 =
+    Acq_prob.Chow_liu.and_range m (Acq_prob.Chow_liu.no_evidence m) 2 (R.make 1 1)
+  in
+  check_floatish "marginal x2" (V.range_prob v ~attr:2 (R.make 1 1))
+    (Acq_prob.Chow_liu.evidence_prob m e1);
+  (* P(x2 = 1 | x0 = 1) — a query that spans the whole chain. *)
+  let given =
+    Acq_prob.Chow_liu.and_range m (Acq_prob.Chow_liu.no_evidence m) 0 (R.make 1 1)
+  in
+  let joint = Acq_prob.Chow_liu.and_range m given 2 (R.make 1 1) in
+  let emp =
+    V.range_prob (V.restrict_range v ~attr:0 (R.make 1 1)) ~attr:2 (R.make 1 1)
+  in
+  check_floatish "P(x2|x0) via message passing" emp
+    (Acq_prob.Chow_liu.cond_prob m ~given joint)
+
+let test_chow_liu_marginal_normalized () =
+  let ds = chain_dataset ~rows:5_000 () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  let e =
+    Acq_prob.Chow_liu.and_range m (Acq_prob.Chow_liu.no_evidence m) 0 (R.make 0 0)
+  in
+  let marg = Acq_prob.Chow_liu.marginal m e 2 in
+  check_float "sums to 1" 1.0 (Acq_util.Array_util.sum_float marg)
+
+let test_chow_liu_impossible_evidence () =
+  let ds = chain_dataset ~rows:2_000 () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  let e = Acq_prob.Chow_liu.no_evidence m in
+  e.(0).(0) <- false;
+  e.(0).(1) <- false;
+  check_float "P(impossible) = 0" 0.0 (Acq_prob.Chow_liu.evidence_prob m e)
+
+(* ------------------------------------------------------------------ *)
+(* Joint *)
+
+let test_joint_matches_view () =
+  let rng = Rng.create 5 in
+  let schema = mk_schema () in
+  let ds =
+    DS.create schema
+      (Array.init 2_000 (fun _ ->
+           [| Rng.int rng 4; Rng.int rng 3; Rng.int rng 2 |]))
+  in
+  let j = Acq_prob.Joint.build ds ~attrs:[ 0; 1; 2 ] in
+  Alcotest.(check int) "cells" 24 (Acq_prob.Joint.cells j);
+  let v = V.of_dataset ds in
+  (* Any conditional the planner would ask must agree with counting. *)
+  check_float "marginal range"
+    (V.range_prob v ~attr:0 (R.make 1 2))
+    (Acq_prob.Joint.prob j [ (0, R.make 1 2) ]);
+  let v' = V.restrict_range v ~attr:1 (R.make 0 1) in
+  check_float "conditional"
+    (V.range_prob v' ~attr:2 (R.make 1 1))
+    (Acq_prob.Joint.cond_prob j
+       ~given:[ (1, R.make 0 1) ]
+       [ (2, R.make 1 1) ])
+
+let test_joint_marginalizes_uncovered_dims () =
+  let ds = mk_dataset () in
+  let j = Acq_prob.Joint.build ds ~attrs:[ 0; 2 ] in
+  check_float "marginal of a" 0.25 (Acq_prob.Joint.prob j [ (0, R.make 1 1) ]);
+  Alcotest.(check (list int)) "attrs ascending" [ 0; 2 ] (Acq_prob.Joint.attrs j);
+  let m = Acq_prob.Joint.marginal j 2 in
+  check_float "marginal vector sums to 1" 1.0 (Acq_util.Array_util.sum_float m)
+
+let test_joint_intersects_duplicate_constraints () =
+  let ds = mk_dataset () in
+  let j = Acq_prob.Joint.build ds ~attrs:[ 0 ] in
+  check_float "intersection" 0.25
+    (Acq_prob.Joint.prob j [ (0, R.make 0 1); (0, R.make 1 3) ]);
+  check_float "disjoint ranges" 0.0
+    (Acq_prob.Joint.prob j [ (0, R.make 0 0); (0, R.make 2 3) ])
+
+let test_joint_validation () =
+  let ds = mk_dataset () in
+  (try
+     ignore (Acq_prob.Joint.build ds ~attrs:[]);
+     Alcotest.fail "expected empty-attrs failure"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Acq_prob.Joint.build ds ~attrs:[ 9 ]);
+     Alcotest.fail "expected out-of-schema failure"
+   with Invalid_argument _ -> ());
+  let j = Acq_prob.Joint.build ds ~attrs:[ 0 ] in
+  (try
+     ignore (Acq_prob.Joint.prob j [ (1, R.make 0 0) ]);
+     Alcotest.fail "expected uncovered-attr failure"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Estimator *)
+
+let test_estimator_empirical_basics () =
+  let ds = mk_dataset () in
+  let est = E.empirical ds in
+  check_float "weight" 8.0 est.E.weight;
+  check_float "range prob" 0.5 (est.E.range_prob 0 (R.make 0 1));
+  check_float "pred prob" 0.5 (est.E.pred_prob (Pred.inside ~attr:2 ~lo:1 ~hi:1));
+  let vp = est.E.value_probs 1 in
+  check_float "value probs" (3.0 /. 8.0) vp.(0);
+  check_float "value probs sum" 1.0 (Acq_util.Array_util.sum_float vp)
+
+let test_estimator_restrict_chain () =
+  let ds = mk_dataset () in
+  let est = E.empirical ds in
+  let est' = est.E.restrict_range 0 (R.make 0 1) in
+  check_float "restricted weight" 4.0 est'.E.weight;
+  let est'' = est'.E.restrict_pred (Pred.inside ~attr:2 ~lo:1 ~hi:1) true in
+  check_float "chained weight" 2.0 est''.E.weight;
+  Alcotest.(check bool) "not empty" false (E.is_empty est'');
+  let empty = est''.E.restrict_range 1 (R.make 1 1) in
+  Alcotest.(check bool) "b=1 never with a<=1,c=1" true (E.is_empty empty)
+
+let test_estimator_pattern_probs_sum () =
+  let ds = mk_dataset () in
+  let est = E.empirical ds in
+  let probs =
+    est.E.pattern_probs
+      [| Pred.inside ~attr:0 ~lo:0 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:2 |]
+  in
+  check_float "sum to 1" 1.0 (Acq_util.Array_util.sum_float probs)
+
+let test_estimator_chow_liu_coherent () =
+  let ds = chain_dataset () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  let est = E.of_chow_liu m ~weight:1000.0 in
+  let emp = E.empirical ds in
+  check_floatish "marginal agreement"
+    (emp.E.pred_prob (Pred.inside ~attr:1 ~lo:1 ~hi:1))
+    (est.E.pred_prob (Pred.inside ~attr:1 ~lo:1 ~hi:1));
+  let est' = est.E.restrict_range 0 (R.make 1 1) in
+  let emp' = emp.E.restrict_range 0 (R.make 1 1) in
+  check_floatish "conditional agreement"
+    (emp'.E.pred_prob (Pred.inside ~attr:2 ~lo:1 ~hi:1))
+    (est'.E.pred_prob (Pred.inside ~attr:2 ~lo:1 ~hi:1));
+  let probs = est.E.pattern_probs [| Pred.inside ~attr:0 ~lo:1 ~hi:1;
+                                     Pred.inside ~attr:2 ~lo:1 ~hi:1 |] in
+  check_floatish "pattern probs sum" 1.0 (Acq_util.Array_util.sum_float probs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "prob"
+    [
+      ( "index",
+        [
+          Alcotest.test_case "counts" `Quick test_index_counts;
+          Alcotest.test_case "matches scan" `Quick test_index_matches_scan;
+        ] );
+      ( "view",
+        [
+          Alcotest.test_case "full" `Quick test_view_full;
+          Alcotest.test_case "restrict range" `Quick test_view_restrict_range;
+          Alcotest.test_case "restrict pred" `Quick test_view_restrict_pred;
+          Alcotest.test_case "histogram" `Quick test_view_histogram;
+          Alcotest.test_case "probabilities" `Quick test_view_probs;
+          Alcotest.test_case "pattern counts" `Quick test_view_pattern_counts;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "equation 7" `Quick test_histogram_eq7;
+          Alcotest.test_case "of view" `Quick test_histogram_of_view;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+        ] );
+      ( "mutual_info",
+        [
+          Alcotest.test_case "independent" `Quick test_mi_independent_near_zero;
+          Alcotest.test_case "identical" `Quick test_mi_identical_high;
+          Alcotest.test_case "symmetry" `Quick test_mi_symmetry;
+          Alcotest.test_case "matrix" `Quick test_mi_matrix;
+        ] );
+      ( "chow_liu",
+        [
+          Alcotest.test_case "structure" `Quick test_chow_liu_structure;
+          Alcotest.test_case "no evidence" `Quick test_chow_liu_no_evidence_prob_one;
+          Alcotest.test_case "matches empirical" `Quick
+            test_chow_liu_matches_empirical;
+          Alcotest.test_case "marginal normalized" `Quick
+            test_chow_liu_marginal_normalized;
+          Alcotest.test_case "impossible evidence" `Quick
+            test_chow_liu_impossible_evidence;
+        ] );
+      ( "joint",
+        [
+          Alcotest.test_case "matches view counts" `Quick test_joint_matches_view;
+          Alcotest.test_case "marginalizes" `Quick
+            test_joint_marginalizes_uncovered_dims;
+          Alcotest.test_case "duplicate constraints" `Quick
+            test_joint_intersects_duplicate_constraints;
+          Alcotest.test_case "validation" `Quick test_joint_validation;
+        ] );
+      ( "estimator",
+        [
+          Alcotest.test_case "empirical basics" `Quick
+            test_estimator_empirical_basics;
+          Alcotest.test_case "restrict chain" `Quick test_estimator_restrict_chain;
+          Alcotest.test_case "pattern probs sum" `Quick
+            test_estimator_pattern_probs_sum;
+          Alcotest.test_case "chow-liu coherent" `Quick
+            test_estimator_chow_liu_coherent;
+        ] );
+    ]

@@ -1,0 +1,561 @@
+(* Property-based tests (QCheck, registered as alcotest cases).
+
+   These enforce the cross-module invariants from DESIGN.md:
+   1. every planner-produced plan computes exactly the WHERE clause;
+   2. analytic expected cost (Eq. 3) = empirical mean traversal cost
+      (Eq. 4) on the training data;
+   3. optimizer dominance: Exhaustive <= Heuristic-k <= CorrSeq (on
+      the shared grid, on training data), OptSeq <= GreedySeq;
+   4. serialization round-trips and ζ(P) is the encoded length;
+   plus algebraic properties of the lower layers. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module R = Acq_plan.Range
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Plan = Acq_plan.Plan
+module Ex = Acq_plan.Executor
+module Ser = Acq_plan.Serialize
+module E = Acq_prob.Estimator
+module P = Acq_core.Planner
+
+(* ------------------------------------------------------------------ *)
+(* Generators for random planning instances. *)
+
+(* A random instance: 3-5 attributes with domains 2-6, mixed costs,
+   correlated columns (a latent regime drives every attribute), and a
+   random conjunctive query of 1-3 predicates over distinct attrs. *)
+type instance = {
+  seed : int;
+  n_attrs : int;
+  domains : int array;
+  costs : float array;
+  n_preds : int;
+}
+
+let instance_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n_attrs = int_range 3 5 in
+    let* domains = array_repeat n_attrs (int_range 2 6) in
+    let* costs =
+      array_repeat n_attrs (oneofl [ 1.0; 5.0; 20.0; 100.0 ])
+    in
+    let* n_preds = int_range 1 (min 3 n_attrs) in
+    return { seed; n_attrs; domains; costs; n_preds })
+
+let instance_print i =
+  Printf.sprintf "{seed=%d; domains=[%s]; costs=[%s]; preds=%d}" i.seed
+    (String.concat ";" (Array.to_list (Array.map string_of_int i.domains)))
+    (String.concat ";"
+       (Array.to_list (Array.map (Printf.sprintf "%g") i.costs)))
+    i.n_preds
+
+let build_instance i =
+  let schema =
+    S.create
+      (List.init i.n_attrs (fun k ->
+           A.discrete
+             ~name:(Printf.sprintf "a%d" k)
+             ~cost:i.costs.(k) ~domain:i.domains.(k)))
+  in
+  let rng = Rng.create i.seed in
+  let rows =
+    Array.init 600 (fun _ ->
+        let regime = Rng.float rng 1.0 in
+        Array.init i.n_attrs (fun k ->
+            if Rng.bernoulli rng 0.75 then
+              (* regime-driven value *)
+              min (i.domains.(k) - 1)
+                (int_of_float (regime *. float_of_int i.domains.(k)))
+            else Rng.int rng i.domains.(k)))
+  in
+  let ds = DS.create schema rows in
+  (* Random predicates over distinct attributes. *)
+  let attrs = Rng.sample_without_replacement rng i.n_preds i.n_attrs in
+  let preds =
+    Array.to_list
+      (Array.map
+         (fun attr ->
+           let k = i.domains.(attr) in
+           let lo = Rng.int rng k in
+           let hi = lo + Rng.int rng (k - lo) in
+           if Rng.bernoulli rng 0.25 && not (lo = 0 && hi = k - 1) then
+             Pred.outside ~attr ~lo ~hi
+           else Pred.inside ~attr ~lo ~hi)
+         attrs)
+  in
+  (ds, Q.create schema preds)
+
+let options = { P.default_options with split_points_per_attr = 3 }
+
+let plan_cost algo ds q =
+  let plan, cost = P.plan ~options algo q ~train:ds in
+  (plan, cost)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_planners_consistent =
+  QCheck2.Test.make ~count:60 ~name:"planner plans compute the WHERE clause"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      List.for_all
+        (fun algo ->
+          let plan, _ = plan_cost algo ds q in
+          Ex.consistent q ~costs plan ds)
+        [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ])
+
+let prop_eq3_eq4 =
+  QCheck2.Test.make ~count:60 ~name:"Eq3 (analytic) = Eq4 (empirical) on train"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      let est = E.empirical ds in
+      List.for_all
+        (fun algo ->
+          let plan, _ = plan_cost algo ds q in
+          let analytic = Acq_core.Expected_cost.of_plan q ~costs est plan in
+          let empirical = Ex.average_cost q ~costs plan ds in
+          Float.abs (analytic -. empirical) < 1e-6)
+        [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ])
+
+let prop_dominance =
+  QCheck2.Test.make ~count:50
+    ~name:"exhaustive <= heuristic <= corrseq <= naive-or-equal (train)"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let _, naive = plan_cost P.Naive ds q in
+      let _, seq = plan_cost P.Corr_seq ds q in
+      let _, heur = plan_cost P.Heuristic ds q in
+      let _, exh = plan_cost P.Exhaustive ds q in
+      exh <= heur +. 1e-6 && heur <= seq +. 1e-6 && seq <= naive +. 1e-6)
+
+let prop_heuristic_monotone =
+  QCheck2.Test.make ~count:40 ~name:"heuristic cost non-increasing in max_splits"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let cost k =
+        snd (P.plan ~options:{ options with max_splits = k } P.Heuristic q ~train:ds)
+      in
+      let c0 = cost 0 and c2 = cost 2 and c6 = cost 6 in
+      c0 +. 1e-9 >= c2 && c2 +. 1e-9 >= c6)
+
+let prop_optseq_beats_greedy =
+  QCheck2.Test.make ~count:60 ~name:"optseq <= greedyseq"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      let est = E.empirical ds in
+      let _, o = Acq_core.Optseq.order q ~costs est in
+      let _, g = Acq_core.Greedyseq.order q ~costs est in
+      o <= g +. 1e-9)
+
+let prop_seq_orders_complete =
+  QCheck2.Test.make ~count:60 ~name:"sequential orders contain every predicate"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      let est = E.empirical ds in
+      let all = List.init (Q.n_predicates q) (fun j -> j) in
+      let check order = List.sort compare order = all in
+      check (fst (Acq_core.Optseq.order q ~costs est))
+      && check (fst (Acq_core.Greedyseq.order q ~costs est))
+      && check (Acq_core.Naive.order q ~costs est))
+
+let prop_serialize_roundtrip_planner =
+  QCheck2.Test.make ~count:60 ~name:"serialize roundtrip (planner output)"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      List.for_all
+        (fun algo ->
+          let plan, _ = plan_cost algo ds q in
+          Plan.equal plan (Ser.decode (Ser.encode plan))
+          && Ser.size plan = Bytes.length (Ser.encode plan))
+        [ P.Heuristic; P.Exhaustive ])
+
+(* Random plan trees (not necessarily semantically correct plans) for
+   serialization robustness. *)
+let random_tree_gen =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              return (Plan.const true);
+              return (Plan.const false);
+              map (fun ids -> Plan.Leaf (Plan.Seq (Array.of_list ids)))
+                (list_size (int_range 0 4) (int_range 0 30));
+            ]
+        else
+          let* attr = int_range 0 50 in
+          let* threshold = int_range 0 1000 in
+          let* low = self (n / 2) in
+          let* high = self (n / 2) in
+          return (Plan.Test { attr; threshold; low; high })))
+
+let prop_serialize_roundtrip_random =
+  QCheck2.Test.make ~count:200 ~name:"serialize roundtrip (random trees)"
+    random_tree_gen (fun p ->
+      Plan.equal p (Ser.decode (Ser.encode p)))
+
+(* Range algebra. *)
+let range_gen =
+  QCheck2.Gen.(
+    let* lo = int_range 0 20 in
+    let* w = int_range 0 20 in
+    return (R.make lo (lo + w)))
+
+let prop_range_split_partitions =
+  QCheck2.Gen.(
+    let* r = range_gen in
+    if R.width r < 2 then return None
+    else
+      let* x = int_range (r.R.lo + 1) r.R.hi in
+      return (Some (r, x)))
+  |> fun gen ->
+  QCheck2.Test.make ~count:300 ~name:"range split partitions" gen (function
+    | None -> true
+    | Some (r, x) ->
+        let lo, hi = R.split r x in
+        R.width lo + R.width hi = R.width r
+        && (not (R.intersects lo hi))
+        && R.subset lo r && R.subset hi r)
+
+let prop_predicate_truth_sound =
+  QCheck2.Gen.(
+    let* k = int_range 2 12 in
+    let* lo = int_range 0 (k - 1) in
+    let* hi = int_range lo (k - 1) in
+    let* neg = bool in
+    let* rlo = int_range 0 (k - 1) in
+    let* rhi = int_range rlo (k - 1) in
+    return (k, lo, hi, neg, R.make rlo rhi))
+  |> fun gen ->
+  QCheck2.Test.make ~count:500 ~name:"truth_under sound for every range value"
+    gen (fun (_k, lo, hi, neg, r) ->
+      let p =
+        if neg then Pred.outside ~attr:0 ~lo ~hi else Pred.inside ~attr:0 ~lo ~hi
+      in
+      let vals = List.init (R.width r) (fun i -> r.R.lo + i) in
+      match Pred.truth_under p r with
+      | Pred.True -> List.for_all (Pred.eval p) vals
+      | Pred.False -> List.for_all (fun v -> not (Pred.eval p v)) vals
+      | Pred.Unknown ->
+          List.exists (Pred.eval p) vals
+          && List.exists (fun v -> not (Pred.eval p v)) vals)
+
+(* Histogram prefix sums. *)
+let prop_histogram_ranges =
+  QCheck2.Gen.(list_size (int_range 2 12) (int_range 0 50)) |> fun gen ->
+  QCheck2.Test.make ~count:300 ~name:"histogram range = sum of value probs" gen
+    (fun counts ->
+      let counts = Array.of_list counts in
+      let h = Acq_prob.Histogram.of_counts counts in
+      let k = Array.length counts in
+      let total = Acq_util.Array_util.sum_int counts in
+      if total = 0 then Acq_prob.Histogram.prob_range h (R.make 0 (k - 1)) = 0.0
+      else begin
+        let ok = ref true in
+        for lo = 0 to k - 1 do
+          for hi = lo to k - 1 do
+            let direct =
+              let s = ref 0 in
+              for v = lo to hi do
+                s := !s + counts.(v)
+              done;
+              float_of_int !s /. float_of_int total
+            in
+            if
+              Float.abs (Acq_prob.Histogram.prob_range h (R.make lo hi) -. direct)
+              > 1e-9
+            then ok := false
+          done
+        done;
+        !ok
+      end)
+
+(* Stats sanity. *)
+let prop_percentile_bounds =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 40) (float_range (-100.) 100.))
+      (float_range 0.0 100.0))
+  |> fun gen ->
+  QCheck2.Test.make ~count:300 ~name:"percentile within min/max" gen
+    (fun (xs, p) ->
+      let a = Array.of_list xs in
+      let v = Acq_util.Stats.percentile a p in
+      let lo, hi = Acq_util.Stats.min_max a in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let prop_rng_sample_distinct =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100000 in
+    let* n = int_range 1 50 in
+    let* k = int_range 0 n in
+    return (seed, k, n))
+  |> fun gen ->
+  QCheck2.Test.make ~count:300 ~name:"sample_without_replacement distinct" gen
+    (fun (seed, k, n) ->
+      let s = Rng.sample_without_replacement (Rng.create seed) k n in
+      Array.length s = k
+      && List.length (List.sort_uniq compare (Array.to_list s)) = k
+      && Array.for_all (fun v -> v >= 0 && v < n) s)
+
+let prop_csv_roundtrip =
+  QCheck2.Gen.(
+    list_size (int_range 1 6)
+      (list_size (int_range 1 5) (string_size ~gen:printable (int_range 0 12))))
+  |> fun gen ->
+  QCheck2.Test.make ~count:300 ~name:"csv roundtrip arbitrary strings" gen
+    (fun rows ->
+      Acq_util.Csv.parse_string (Acq_util.Csv.to_string rows) = rows)
+
+let prop_pattern_probs_normalized =
+  QCheck2.Test.make ~count:60 ~name:"pattern probabilities sum to 1"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let est = E.empirical ds in
+      let probs = est.E.pattern_probs (Q.predicates q) in
+      Float.abs (Acq_util.Array_util.sum_float probs -. 1.0) < 1e-9)
+
+let prop_exhaustive_cost_realized =
+  QCheck2.Test.make ~count:30 ~name:"exhaustive reported cost = train cost"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      let plan, cost = plan_cost P.Exhaustive ds q in
+      Float.abs (cost -. Ex.average_cost q ~costs plan ds) < 1e-6)
+
+let prop_plan_size_bounded =
+  QCheck2.Test.make ~count:40
+    ~name:"heuristic split count bounded by max_splits"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      List.for_all
+        (fun k ->
+          let plan, _ =
+            P.plan ~options:{ options with max_splits = k } P.Heuristic q
+              ~train:ds
+          in
+          Plan.n_tests plan <= k)
+        [ 0; 1; 3 ])
+
+(* Random board assignment over an instance's attributes. *)
+let board_instance_gen =
+  QCheck2.Gen.(
+    let* i = instance_gen in
+    let* n_boards = int_range 1 3 in
+    let* board = array_repeat i.n_attrs (int_range 0 (n_boards - 1)) in
+    let* wakeup = array_repeat n_boards (oneofl [ 0.0; 10.0; 50.0; 90.0 ]) in
+    let* read = array_repeat i.n_attrs (oneofl [ 1.0; 5.0; 20.0 ]) in
+    return (i, board, wakeup, read))
+
+let prop_boards_eq3_eq4 =
+  QCheck2.Test.make ~count:50
+    ~name:"Eq3 = Eq4 under random board models"
+    ~print:(fun (i, _, _, _) -> instance_print i)
+    board_instance_gen
+    (fun (i, board, wakeup, read) ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      let model = Acq_plan.Cost_model.boards ~board ~wakeup ~read in
+      let est = E.empirical ds in
+      let opts = { options with cost_model = Some model } in
+      List.for_all
+        (fun algo ->
+          let plan, reported = P.plan ~options:opts algo q ~train:ds in
+          let analytic =
+            Acq_core.Expected_cost.of_plan ~model q ~costs est plan
+          in
+          let empirical = Ex.average_cost ~model q ~costs plan ds in
+          Ex.consistent q ~costs plan ds
+          && Float.abs (analytic -. empirical) < 1e-6
+          && Float.abs (reported -. empirical) < 1e-6)
+        [ P.Corr_seq; P.Heuristic; P.Exhaustive ])
+
+let prop_boards_dominance =
+  QCheck2.Test.make ~count:40
+    ~name:"exhaustive <= heuristic <= corrseq under board models"
+    ~print:(fun (i, _, _, _) -> instance_print i)
+    board_instance_gen
+    (fun (i, board, wakeup, read) ->
+      let ds, q = build_instance i in
+      let model = Acq_plan.Cost_model.boards ~board ~wakeup ~read in
+      let opts = { options with cost_model = Some model } in
+      let cost algo = snd (P.plan ~options:opts algo q ~train:ds) in
+      cost P.Exhaustive <= cost P.Heuristic +. 1e-6
+      && cost P.Heuristic <= cost P.Corr_seq +. 1e-6)
+
+let prop_sliding_window_histogram =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* capacity = int_range 1 30 in
+    let* pushes = int_range 0 80 in
+    return (seed, capacity, pushes))
+  |> fun gen ->
+  QCheck2.Test.make ~count:200
+    ~name:"sliding histograms match window contents" gen
+    (fun (seed, capacity, pushes) ->
+      let schema =
+        S.create
+          [ A.discrete ~name:"x" ~cost:1.0 ~domain:5;
+            A.discrete ~name:"y" ~cost:1.0 ~domain:3 ]
+      in
+      let w = Acq_prob.Sliding.create schema ~capacity in
+      let rng = Rng.create seed in
+      let pushed = ref [] in
+      for _ = 1 to pushes do
+        let row = [| Rng.int rng 5; Rng.int rng 3 |] in
+        pushed := row :: !pushed;
+        Acq_prob.Sliding.push w row
+      done;
+      let expected_rows =
+        let l = List.rev !pushed in
+        let drop = max 0 (List.length l - capacity) in
+        List.filteri (fun i _ -> i >= drop) l
+      in
+      let hist attr k =
+        let h = Array.make k 0 in
+        List.iter (fun r -> h.(r.(attr)) <- h.(r.(attr)) + 1) expected_rows;
+        h
+      in
+      Acq_prob.Sliding.size w = List.length expected_rows
+      && Acq_prob.Sliding.histogram w 0 = hist 0 5
+      && Acq_prob.Sliding.histogram w 1 = hist 1 3)
+
+let prop_board_awareness_never_hurts =
+  QCheck2.Test.make ~count:40
+    ~name:"board-aware optseq <= blind optseq (measured under model)"
+    ~print:(fun (i, _, _, _) -> instance_print i)
+    board_instance_gen
+    (fun (i, board, wakeup, read) ->
+      let ds, q = build_instance i in
+      let costs = S.costs (DS.schema ds) in
+      let model = Acq_plan.Cost_model.boards ~board ~wakeup ~read in
+      let est = E.empirical ds in
+      let aware, _ = Acq_core.Optseq.order ~model q ~costs est in
+      let blind, _ = Acq_core.Optseq.order q ~costs est in
+      let measure order =
+        Ex.average_cost ~model q ~costs (Plan.sequential order) ds
+      in
+      measure aware <= measure blind +. 1e-6)
+
+let prop_existential_consistent =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let* n_groups = int_range 1 3 in
+    return (seed, n_groups))
+  |> fun gen ->
+  QCheck2.Test.make ~count:60 ~name:"existential planners always correct" gen
+    (fun (seed, n_groups) ->
+      let schema =
+        S.create
+          (List.init 5 (fun k ->
+               A.discrete
+                 ~name:(Printf.sprintf "e%d" k)
+                 ~cost:(if k = 0 then 1.0 else 50.0)
+                 ~domain:3))
+      in
+      let rng = Rng.create seed in
+      let ds =
+        DS.create schema
+          (Array.init 400 (fun _ -> Array.init 5 (fun _ -> Rng.int rng 3)))
+      in
+      let group _ =
+        let n_preds = 1 + Rng.int rng 2 in
+        List.init n_preds (fun _ ->
+            let attr = Rng.int rng 5 in
+            let lo = Rng.int rng 3 in
+            let hi = lo + Rng.int rng (3 - lo) in
+            Pred.inside ~attr ~lo ~hi)
+      in
+      let q =
+        Acq_core.Existential.query schema (List.init n_groups group)
+      in
+      let costs = S.costs schema in
+      List.for_all
+        (fun plan -> Acq_core.Existential.consistent q ~costs plan ds)
+        [
+          Acq_core.Existential.naive_plan q ~costs ds;
+          Acq_core.Existential.greedy_seq_plan q ~costs ds;
+          Acq_core.Existential.plan ~max_depth:2 q ~costs ds;
+        ])
+
+let prop_joint_equals_view =
+  QCheck2.Test.make ~count:60 ~name:"joint table = view counting"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let attrs = List.init i.n_attrs (fun a -> a) in
+      let j = Acq_prob.Joint.build ds ~attrs in
+      let v = Acq_prob.View.of_dataset ds in
+      (* Check every query predicate's band probability and one
+         conditional. *)
+      Array.for_all
+        (fun (p : Pred.t) ->
+          let r = R.make p.Pred.lo p.Pred.hi in
+          Float.abs
+            (Acq_prob.Joint.prob j [ (p.Pred.attr, r) ]
+            -. Acq_prob.View.range_prob v ~attr:p.Pred.attr r)
+          < 1e-9)
+        (Q.predicates q)
+      &&
+      let r0 = R.make 0 (i.domains.(0) - 1) in
+      let half = R.make 0 (i.domains.(0) / 2) in
+      ignore r0;
+      let v' = Acq_prob.View.restrict_range v ~attr:0 half in
+      let r1 = R.make 0 (i.domains.(1) / 2) in
+      Float.abs
+        (Acq_prob.Joint.cond_prob j ~given:[ (0, half) ] [ (1, r1) ]
+        -. Acq_prob.View.range_prob v' ~attr:1 r1)
+      < 1e-9)
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ( "planner invariants",
+        List.map to_alcotest
+          [
+            prop_planners_consistent;
+            prop_eq3_eq4;
+            prop_dominance;
+            prop_heuristic_monotone;
+            prop_optseq_beats_greedy;
+            prop_seq_orders_complete;
+            prop_exhaustive_cost_realized;
+            prop_plan_size_bounded;
+            prop_pattern_probs_normalized;
+          ] );
+      ( "plan language",
+        List.map to_alcotest
+          [
+            prop_serialize_roundtrip_planner;
+            prop_serialize_roundtrip_random;
+            prop_range_split_partitions;
+            prop_predicate_truth_sound;
+          ] );
+      ( "foundations",
+        List.map to_alcotest
+          [
+            prop_histogram_ranges;
+            prop_percentile_bounds;
+            prop_rng_sample_distinct;
+            prop_csv_roundtrip;
+          ] );
+      ( "extensions",
+        List.map to_alcotest
+          [
+            prop_boards_eq3_eq4;
+            prop_boards_dominance;
+            prop_board_awareness_never_hurts;
+            prop_sliding_window_histogram;
+            prop_joint_equals_view;
+            prop_existential_consistent;
+          ] );
+    ]

@@ -1,0 +1,230 @@
+(* Unit tests for Acq_sensor: energy metering, the radio model, trace
+   replay, motes, the network, and the end-to-end runtime loop. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Plan = Acq_plan.Plan
+module En = Acq_sensor.Energy
+module Radio = Acq_sensor.Radio
+module Env = Acq_sensor.Environment
+module Mote = Acq_sensor.Mote
+module Net = Acq_sensor.Network
+module RT = Acq_sensor.Runtime
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Energy *)
+
+let test_energy_accounting () =
+  let e = En.create () in
+  En.add_acquisition e 100.0;
+  En.charge_tx e ~bytes:10 ~per_byte:0.5;
+  En.charge_rx e ~bytes:4 ~per_byte:0.5;
+  check_float "acquisition" 100.0 e.En.acquisition;
+  check_float "tx" 5.0 e.En.radio_tx;
+  check_float "rx" 2.0 e.En.radio_rx;
+  check_float "total" 107.0 (En.total e);
+  let e2 = En.merge e e in
+  check_float "merge doubles" 214.0 (En.total e2);
+  En.reset e;
+  check_float "reset" 0.0 (En.total e)
+
+(* ------------------------------------------------------------------ *)
+(* Radio *)
+
+let test_radio_costs () =
+  let r = { Radio.per_byte = 0.1; header_bytes = 8 } in
+  (* 12-byte payload + 8 header = 20 bytes; 2 hops; tx+rx each hop. *)
+  check_float "message cost" (2.0 *. 40.0 *. 0.1)
+    (Radio.message_cost r ~payload_bytes:12 ~hops:2);
+  Alcotest.(check int) "result bytes" 6 (Radio.result_bytes r ~n_attrs:3);
+  check_float "zero hops clamps to 1"
+    (Radio.message_cost r ~payload_bytes:12 ~hops:1)
+    (Radio.message_cost r ~payload_bytes:12 ~hops:0)
+
+(* ------------------------------------------------------------------ *)
+(* Environment *)
+
+let lab_like_schema () =
+  S.create
+    [
+      A.discrete ~name:"nodeid" ~cost:1.0 ~domain:3;
+      A.discrete ~name:"temp" ~cost:100.0 ~domain:4;
+    ]
+
+let test_env_with_nodeid () =
+  let schema = lab_like_schema () in
+  let ds =
+    DS.create schema [| [| 0; 1 |]; [| 2; 3 |]; [| 1; 0 |] |]
+  in
+  let env = Env.replay ds in
+  Alcotest.(check int) "epochs" 3 (Env.n_epochs env);
+  Alcotest.(check int) "mote from nodeid" 2 (Env.mote_of_epoch env 1);
+  Alcotest.(check int) "value" 3 (Env.value env ~epoch:1 ~attr:1);
+  Alcotest.(check (array int)) "tuple" [| 1; 0 |] (Env.tuple env ~epoch:2)
+
+let test_env_without_nodeid () =
+  let schema =
+    S.create [ A.discrete ~name:"temp0" ~cost:100.0 ~domain:4 ]
+  in
+  let ds = DS.create schema [| [| 1 |]; [| 2 |] |] in
+  let env = Env.replay ds in
+  Alcotest.(check int) "wide schema uses mote 0" 0 (Env.mote_of_epoch env 1)
+
+(* ------------------------------------------------------------------ *)
+(* Mote *)
+
+let mote_fixture () =
+  let schema = lab_like_schema () in
+  let q = Q.create schema [ Pred.inside ~attr:1 ~lo:2 ~hi:3 ] in
+  let costs = S.costs schema in
+  let radio = { Radio.per_byte = 0.1; header_bytes = 8 } in
+  let m = Mote.create ~id:0 ~hops:2 ~radio in
+  (q, costs, m)
+
+let test_mote_requires_plan () =
+  let q, costs, m = mote_fixture () in
+  (try
+     ignore (Mote.run_epoch m q ~costs ~lookup:(fun _ -> 0));
+     Alcotest.fail "expected failure without plan"
+   with Failure _ -> ())
+
+let test_mote_meters_acquisition () =
+  let q, costs, m = mote_fixture () in
+  Mote.install_plan m (Plan.sequential [ 0 ]) ~bytes:10;
+  let rx_after_install = (Mote.energy m).En.radio_rx in
+  Alcotest.(check bool) "dissemination charged" true (rx_after_install > 0.0);
+  let r = Mote.run_epoch m q ~costs ~lookup:(fun _ -> 1) in
+  Alcotest.(check bool) "rejected tuple" false r.Mote.verdict;
+  check_float "temp acquired" 100.0 r.Mote.acquisition_cost;
+  check_float "meter matches" 100.0 (Mote.energy m).En.acquisition;
+  check_float "no result tx for rejected" 0.0 (Mote.energy m).En.radio_tx
+
+let test_mote_transmits_matches () =
+  let q, costs, m = mote_fixture () in
+  Mote.install_plan m (Plan.sequential [ 0 ]) ~bytes:10;
+  let r = Mote.run_epoch m q ~costs ~lookup:(fun _ -> 2) in
+  Alcotest.(check bool) "matched" true r.Mote.verdict;
+  Alcotest.(check bool) "result transmitted" true
+    ((Mote.energy m).En.radio_tx > 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let test_network_topology () =
+  let net = Net.create ~n_motes:7 () in
+  Alcotest.(check int) "size" 7 (Net.n_motes net);
+  Alcotest.(check int) "mote 0 close" 1 (Mote.hops (Net.mote net 0));
+  Alcotest.(check bool) "deeper motes further" true
+    (Mote.hops (Net.mote net 6) > Mote.hops (Net.mote net 0))
+
+let test_network_dissemination () =
+  let net = Net.create ~n_motes:3 () in
+  let plan = Plan.sequential [ 0; 1 ] in
+  let bytes = Net.disseminate net plan in
+  Alcotest.(check int) "returns zeta" (Acq_plan.Serialize.size plan) bytes;
+  for i = 0 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "mote %d has plan" i)
+      true
+      (Mote.plan (Net.mote net i) <> None)
+  done;
+  let e = Net.total_energy net in
+  Alcotest.(check bool) "rx charged" true (e.En.radio_rx > 0.0);
+  Net.reset_energy net;
+  check_float "reset clears" 0.0 (En.total (Net.total_energy net))
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+let runtime_fixture () =
+  let rng = Rng.create 30 in
+  let ds = Acq_data.Lab_gen.generate rng ~rows:4_000 in
+  let history, live = DS.split_by_time ds ~train_fraction:0.5 in
+  let schema = DS.schema ds in
+  let q =
+    Q.create schema
+      [
+        Acq_plan.Predicate.inside ~attr:Acq_data.Lab_gen.idx_light ~lo:12 ~hi:31;
+        Acq_plan.Predicate.inside ~attr:Acq_data.Lab_gen.idx_temp ~lo:0 ~hi:11;
+      ]
+  in
+  (history, live, q)
+
+let test_runtime_end_to_end () =
+  let history, live, q = runtime_fixture () in
+  let r =
+    RT.run ~algorithm:Acq_core.Planner.Heuristic ~history ~live q
+  in
+  Alcotest.(check bool) "verdicts correct" true r.RT.correct;
+  Alcotest.(check int) "all epochs replayed" (DS.nrows live) r.RT.epochs;
+  Alcotest.(check bool) "plan nonempty" true (r.RT.plan_bytes > 0);
+  Alcotest.(check bool) "energy positive" true (r.RT.total_energy > 0.0);
+  check_float "total = acquisition + radio" r.RT.total_energy
+    (r.RT.acquisition_energy +. r.RT.radio_energy)
+
+let test_runtime_cost_matches_executor () =
+  let history, live, q = runtime_fixture () in
+  let r = RT.run ~algorithm:Acq_core.Planner.Corr_seq ~history ~live q in
+  let costs = S.costs (Q.schema q) in
+  let expected = Acq_plan.Executor.average_cost q ~costs r.RT.plan live in
+  Alcotest.(check (float 1e-6)) "per-epoch acquisition = executor average"
+    expected r.RT.avg_cost_per_epoch
+
+let test_runtime_conditional_cheaper () =
+  let history, live, q = runtime_fixture () in
+  let naive = RT.run ~algorithm:Acq_core.Planner.Naive ~history ~live q in
+  let cond =
+    RT.run ~algorithm:Acq_core.Planner.Heuristic ~history ~live q
+  in
+  Alcotest.(check bool) "conditional saves energy" true
+    (cond.RT.acquisition_energy <= naive.RT.acquisition_energy +. 1e-6)
+
+let test_runtime_match_count () =
+  let history, live, q = runtime_fixture () in
+  let r = RT.run ~algorithm:Acq_core.Planner.Naive ~history ~live q in
+  let truth = ref 0 in
+  DS.iter_rows live (fun row ->
+      if Q.eval q (DS.row live row) then incr truth);
+  Alcotest.(check int) "matches equal ground truth" !truth r.RT.matches
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sensor"
+    [
+      ("energy", [ Alcotest.test_case "accounting" `Quick test_energy_accounting ]);
+      ("radio", [ Alcotest.test_case "costs" `Quick test_radio_costs ]);
+      ( "environment",
+        [
+          Alcotest.test_case "with nodeid" `Quick test_env_with_nodeid;
+          Alcotest.test_case "without nodeid" `Quick test_env_without_nodeid;
+        ] );
+      ( "mote",
+        [
+          Alcotest.test_case "requires plan" `Quick test_mote_requires_plan;
+          Alcotest.test_case "meters acquisition" `Quick
+            test_mote_meters_acquisition;
+          Alcotest.test_case "transmits matches" `Quick
+            test_mote_transmits_matches;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "topology" `Quick test_network_topology;
+          Alcotest.test_case "dissemination" `Quick test_network_dissemination;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "end to end" `Quick test_runtime_end_to_end;
+          Alcotest.test_case "cost matches executor" `Quick
+            test_runtime_cost_matches_executor;
+          Alcotest.test_case "conditional cheaper" `Quick
+            test_runtime_conditional_cheaper;
+          Alcotest.test_case "match count" `Quick test_runtime_match_count;
+        ] );
+    ]

@@ -1,0 +1,137 @@
+(* Unit tests for Acq_prob.Sliding: incremental window statistics and
+   drift detection for the streams extension. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Sl = Acq_prob.Sliding
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let schema () =
+  S.create
+    [
+      A.discrete ~name:"x" ~cost:1.0 ~domain:4;
+      A.discrete ~name:"y" ~cost:10.0 ~domain:3;
+    ]
+
+let test_fill_and_size () =
+  let w = Sl.create (schema ()) ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Sl.size w);
+  Sl.push w [| 0; 0 |];
+  Sl.push w [| 1; 1 |];
+  Alcotest.(check int) "partial" 2 (Sl.size w);
+  Alcotest.(check bool) "not full" false (Sl.is_full w);
+  Sl.push w [| 2; 2 |];
+  Alcotest.(check bool) "full" true (Sl.is_full w);
+  Sl.push w [| 3; 0 |];
+  Alcotest.(check int) "stays at capacity" 3 (Sl.size w)
+
+let test_eviction_order () =
+  let w = Sl.create (schema ()) ~capacity:3 in
+  List.iter (Sl.push w) [ [| 0; 0 |]; [| 1; 1 |]; [| 2; 2 |]; [| 3; 0 |] ];
+  let ds = Sl.to_dataset w in
+  (* Oldest row [0;0] evicted; remaining in arrival order. *)
+  Alcotest.(check (array int)) "oldest" [| 1; 1 |] (DS.row ds 0);
+  Alcotest.(check (array int)) "newest" [| 3; 0 |] (DS.row ds 2)
+
+let test_incremental_histogram () =
+  let w = Sl.create (schema ()) ~capacity:3 in
+  List.iter (Sl.push w) [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 2 |]; [| 2; 0 |] ];
+  (* Window now holds [0;1], [1;2], [2;0]. *)
+  Alcotest.(check (array int)) "x histogram" [| 1; 1; 1; 0 |] (Sl.histogram w 0);
+  Alcotest.(check (array int)) "y histogram" [| 1; 1; 1 |] (Sl.histogram w 1)
+
+let test_histogram_matches_dataset () =
+  let rng = Rng.create 1 in
+  let w = Sl.create (schema ()) ~capacity:50 in
+  for _ = 1 to 200 do
+    Sl.push w [| Rng.int rng 4; Rng.int rng 3 |]
+  done;
+  let ds = Sl.to_dataset w in
+  let direct = Acq_prob.View.histogram (Acq_prob.View.of_dataset ds) ~attr:0 in
+  Alcotest.(check (array int)) "incremental = recomputed" direct
+    (Sl.histogram w 0)
+
+let test_push_validation () =
+  let w = Sl.create (schema ()) ~capacity:2 in
+  (try
+     Sl.push w [| 0 |];
+     Alcotest.fail "expected arity failure"
+   with Invalid_argument _ -> ());
+  (try
+     Sl.push w [| 9; 0 |];
+     Alcotest.fail "expected domain failure"
+   with Invalid_argument _ -> ())
+
+let test_estimator_over_window () =
+  let w = Sl.create (schema ()) ~capacity:4 in
+  List.iter (Sl.push w) [ [| 0; 0 |]; [| 0; 0 |]; [| 1; 2 |]; [| 1; 2 |] ];
+  let est = Sl.estimator w in
+  check_float "P(x=0) over window" 0.5
+    (est.Acq_prob.Estimator.range_prob 0 (Acq_plan.Range.make 0 0))
+
+let test_drift_detects_change () =
+  let s = schema () in
+  let mk v rows = DS.create s (Array.make rows [| v; v mod 3 |]) in
+  let reference = mk 0 100 in
+  let w = Sl.create s ~capacity:50 in
+  Sl.push_dataset w (mk 0 50);
+  check_float "no drift on same distribution" 0.0 (Sl.drift w ~reference);
+  let w2 = Sl.create s ~capacity:50 in
+  Sl.push_dataset w2 (mk 3 50);
+  (* x fully shifted (TV = 1), y unchanged (TV = 0): mean 0.5. *)
+  check_float "drift is mean TV over attributes" 0.5 (Sl.drift w2 ~reference)
+
+let test_drift_partial () =
+  let s = schema () in
+  let rng = Rng.create 2 in
+  let reference =
+    DS.create s (Array.init 1000 (fun _ -> [| Rng.int rng 4; Rng.int rng 3 |]))
+  in
+  let w = Sl.create s ~capacity:500 in
+  for _ = 1 to 500 do
+    Sl.push w [| Rng.int rng 4; Rng.int rng 3 |]
+  done;
+  let d = Sl.drift w ~reference in
+  Alcotest.(check bool) "same-distribution drift small" true (d < 0.1)
+
+let test_replan_pipeline () =
+  (* A window over drifted lab data triggers drift and yields a
+     working estimator for replanning. *)
+  let ds = Acq_data.Lab_gen.generate (Rng.create 3) ~rows:6_000 in
+  let history, live = DS.split_by_time ds ~train_fraction:0.5 in
+  let w = Sl.create (DS.schema ds) ~capacity:1_000 in
+  Sl.push_dataset w live;
+  Alcotest.(check bool) "window full" true (Sl.is_full w);
+  let q = Acq_workload.Query_gen.lab_query (Rng.create 4) ~train:history in
+  let costs = Acq_data.Schema.costs (DS.schema ds) in
+  let plan, _ =
+    Acq_core.Planner.plan_with_estimator Acq_core.Planner.Heuristic q ~costs
+      (Sl.estimator w)
+  in
+  Alcotest.(check bool) "window-planned plan consistent" true
+    (Acq_plan.Executor.consistent q ~costs plan live)
+
+let () =
+  Alcotest.run "sliding"
+    [
+      ( "window",
+        [
+          Alcotest.test_case "fill and size" `Quick test_fill_and_size;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "incremental histogram" `Quick
+            test_incremental_histogram;
+          Alcotest.test_case "matches dataset" `Quick
+            test_histogram_matches_dataset;
+          Alcotest.test_case "push validation" `Quick test_push_validation;
+          Alcotest.test_case "estimator" `Quick test_estimator_over_window;
+        ] );
+      ( "drift",
+        [
+          Alcotest.test_case "detects change" `Quick test_drift_detects_change;
+          Alcotest.test_case "partial" `Quick test_drift_partial;
+          Alcotest.test_case "replan pipeline" `Quick test_replan_pipeline;
+        ] );
+    ]

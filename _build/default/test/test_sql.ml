@@ -1,0 +1,222 @@
+(* Unit tests for Acq_sql: lexer, parser, and schema binding. *)
+
+module L = Acq_sql.Lexer
+module Ast = Acq_sql.Ast
+module Parser = Acq_sql.Parser
+module Catalog = Acq_sql.Catalog
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module D = Acq_data.Discretize
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+
+(* ------------------------------------------------------------------ *)
+(* Lexer *)
+
+let token = Alcotest.testable (fun fmt t -> Format.pp_print_string fmt (L.describe t)) ( = )
+
+let test_lexer_keywords_case_insensitive () =
+  Alcotest.(check (list token)) "tokens"
+    [ L.SELECT; L.STAR; L.WHERE; L.IDENT "temp"; L.GE; L.NUMBER 20.0; L.EOF ]
+    (L.tokenize "select * WHERE temp >= 20")
+
+let test_lexer_operators () =
+  Alcotest.(check (list token)) "all comparison ops"
+    [ L.LE; L.LT; L.GE; L.GT; L.EQ; L.EOF ]
+    (L.tokenize "<= < >= > =")
+
+let test_lexer_numbers () =
+  Alcotest.(check (list token)) "floats and negatives"
+    [ L.NUMBER 1.5; L.NUMBER (-2.0); L.NUMBER 300.0; L.EOF ]
+    (L.tokenize "1.5 -2 3e2")
+
+let test_lexer_punctuation () =
+  Alcotest.(check (list token)) "parens and commas"
+    [ L.LPAREN; L.IDENT "a"; L.COMMA; L.IDENT "b"; L.RPAREN; L.EOF ]
+    (L.tokenize "(a, b)")
+
+let test_lexer_error () =
+  (try
+     ignore (L.tokenize "a & b");
+     Alcotest.fail "expected lexer error"
+   with Failure msg ->
+     Alcotest.(check bool) "mentions position" true
+       (String.length msg > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let test_parser_star_and_bands () =
+  let s = Parser.parse "SELECT * WHERE 10 <= temp <= 20 AND light >= 300" in
+  Alcotest.(check bool) "select *" true (s.Ast.select = None);
+  Alcotest.(check int) "two conditions" 2 (List.length s.Ast.where);
+  match s.Ast.where with
+  | [ Ast.Band { lo; attr; hi }; Ast.Cmp { attr = a2; op = Ast.Ge; value } ] ->
+      Alcotest.(check string) "band attr" "temp" attr;
+      Alcotest.(check (float 0.0)) "band lo" 10.0 lo;
+      Alcotest.(check (float 0.0)) "band hi" 20.0 hi;
+      Alcotest.(check string) "cmp attr" "light" a2;
+      Alcotest.(check (float 0.0)) "cmp value" 300.0 value
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parser_columns () =
+  let s = Parser.parse "SELECT light, temp WHERE temp = 3" in
+  Alcotest.(check (option (list string))) "columns"
+    (Some [ "light"; "temp" ]) s.Ast.select
+
+let test_parser_not_and_between () =
+  let s =
+    Parser.parse "SELECT * WHERE NOT (5 <= humid <= 9) AND temp BETWEEN 1 AND 4"
+  in
+  (match s.Ast.where with
+  | [ Ast.Not (Ast.Band { attr = "humid"; _ });
+      Ast.Band { attr = "temp"; lo = 1.0; hi = 4.0 } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check int) "two predicates" 2 (List.length s.Ast.where)
+
+let test_parser_errors () =
+  List.iter
+    (fun bad ->
+      try
+        ignore (Parser.parse bad);
+        Alcotest.fail ("expected parse failure for: " ^ bad)
+      with Failure _ -> ())
+    [
+      "WHERE temp = 1";
+      "SELECT * temp = 1";
+      "SELECT * WHERE";
+      "SELECT * WHERE temp";
+      "SELECT * WHERE 10 <= temp";
+      "SELECT * WHERE NOT temp = 1";
+      "SELECT * WHERE temp = 1 AND";
+      "SELECT * WHERE temp = 1 extra";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Catalog *)
+
+let test_schema () =
+  S.create
+    [
+      A.discrete ~name:"hour" ~cost:1.0 ~domain:24;
+      A.continuous ~name:"light" ~cost:100.0
+        ~binner:(D.equal_width ~lo:0.0 ~hi:800.0 ~bins:32);
+      A.continuous ~name:"temp" ~cost:100.0
+        ~binner:(D.equal_width ~lo:10.0 ~hi:35.0 ~bins:32);
+    ]
+
+let pred_of schema text =
+  let c = Catalog.compile schema text in
+  (Q.predicates c.Catalog.query).(0)
+
+let test_catalog_band_binding () =
+  let schema = test_schema () in
+  let p = pred_of schema "SELECT * WHERE 100 <= light <= 300" in
+  Alcotest.(check int) "attr resolved" 1 p.Pred.attr;
+  Alcotest.(check int) "lo bin" 4 p.Pred.lo;
+  Alcotest.(check int) "hi bin" 12 p.Pred.hi;
+  Alcotest.(check bool) "inside" true (p.Pred.polarity = Pred.Inside)
+
+let test_catalog_not_band () =
+  let schema = test_schema () in
+  let p = pred_of schema "SELECT * WHERE NOT (100 <= light <= 300)" in
+  Alcotest.(check bool) "outside" true (p.Pred.polarity = Pred.Outside)
+
+let test_catalog_comparisons () =
+  let schema = test_schema () in
+  let le = pred_of schema "SELECT * WHERE hour <= 6" in
+  Alcotest.(check int) "le lo" 0 le.Pred.lo;
+  Alcotest.(check int) "le hi" 6 le.Pred.hi;
+  let lt = pred_of schema "SELECT * WHERE hour < 6" in
+  Alcotest.(check int) "lt excludes 6" 5 lt.Pred.hi;
+  let ge = pred_of schema "SELECT * WHERE hour >= 6" in
+  Alcotest.(check int) "ge lo" 6 ge.Pred.lo;
+  Alcotest.(check int) "ge hi" 23 ge.Pred.hi;
+  let gt = pred_of schema "SELECT * WHERE hour > 6" in
+  Alcotest.(check int) "gt excludes 6" 7 gt.Pred.lo;
+  let eq = pred_of schema "SELECT * WHERE hour = 6" in
+  Alcotest.(check int) "eq singleton lo" 6 eq.Pred.lo;
+  Alcotest.(check int) "eq singleton hi" 6 eq.Pred.hi
+
+let test_catalog_not_comparisons () =
+  let schema = test_schema () in
+  let p = pred_of schema "SELECT * WHERE NOT (hour <= 6)" in
+  Alcotest.(check int) "becomes > 6" 7 p.Pred.lo;
+  let e = pred_of schema "SELECT * WHERE NOT (hour = 6)" in
+  Alcotest.(check bool) "eq negation is outside" true
+    (e.Pred.polarity = Pred.Outside)
+
+let test_catalog_continuous_lt_edge () =
+  let schema = test_schema () in
+  (* 100 is exactly the lower edge of bin 4, so light < 100 must stop
+     at bin 3. *)
+  let p = pred_of schema "SELECT * WHERE light < 100" in
+  Alcotest.(check int) "strict below edge" 3 p.Pred.hi
+
+let test_catalog_select_list () =
+  let schema = test_schema () in
+  let c = Catalog.compile schema "SELECT temp, hour WHERE hour = 3" in
+  Alcotest.(check (list int)) "resolved, schema order" [ 0; 2 ] c.Catalog.select;
+  let all = Catalog.compile schema "SELECT * WHERE hour = 3" in
+  Alcotest.(check (list int)) "star is everything" [ 0; 1; 2 ] all.Catalog.select
+
+let test_catalog_errors () =
+  let schema = test_schema () in
+  List.iter
+    (fun bad ->
+      try
+        ignore (Catalog.compile schema bad);
+        Alcotest.fail ("expected bind failure for: " ^ bad)
+      with Failure _ -> ())
+    [
+      "SELECT * WHERE nosuch = 1";
+      "SELECT nosuch WHERE hour = 1";
+      "SELECT * WHERE hour < 0";
+      "SELECT * WHERE 300 <= light <= 100";
+    ]
+
+let test_catalog_query_semantics () =
+  (* The compiled query evaluates the same way the text reads. *)
+  let schema = test_schema () in
+  let c =
+    Catalog.compile schema "SELECT * WHERE hour >= 6 AND 100 <= light <= 300"
+  in
+  let q = c.Catalog.query in
+  Alcotest.(check bool) "match" true (Q.eval q [| 7; 8; 0 |]);
+  Alcotest.(check bool) "hour too small" false (Q.eval q [| 3; 8; 0 |]);
+  Alcotest.(check bool) "light out of band" false (Q.eval q [| 7; 20; 0 |])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "keywords" `Quick test_lexer_keywords_case_insensitive;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "punctuation" `Quick test_lexer_punctuation;
+          Alcotest.test_case "error" `Quick test_lexer_error;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "star and bands" `Quick test_parser_star_and_bands;
+          Alcotest.test_case "columns" `Quick test_parser_columns;
+          Alcotest.test_case "not and between" `Quick test_parser_not_and_between;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ( "catalog",
+        [
+          Alcotest.test_case "band binding" `Quick test_catalog_band_binding;
+          Alcotest.test_case "not band" `Quick test_catalog_not_band;
+          Alcotest.test_case "comparisons" `Quick test_catalog_comparisons;
+          Alcotest.test_case "not comparisons" `Quick test_catalog_not_comparisons;
+          Alcotest.test_case "continuous < edge" `Quick
+            test_catalog_continuous_lt_edge;
+          Alcotest.test_case "select list" `Quick test_catalog_select_list;
+          Alcotest.test_case "errors" `Quick test_catalog_errors;
+          Alcotest.test_case "query semantics" `Quick test_catalog_query_semantics;
+        ] );
+    ]

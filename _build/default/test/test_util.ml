@@ -1,0 +1,334 @@
+(* Unit tests for Acq_util: deterministic PRNG, statistics, arrays,
+   CSV, and table rendering. *)
+
+module Rng = Acq_util.Rng
+module Stats = Acq_util.Stats
+module AU = Acq_util.Array_util
+module Csv = Acq_util.Csv
+module Tbl = Acq_util.Tbl
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_floatish = Alcotest.(check (float 1e-2))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_range () =
+  let g = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int g 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let g = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_rng_int_roughly_uniform () =
+  let g = Rng.create 2 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int g 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let f = float_of_int c /. float_of_int n in
+      Alcotest.(check bool) "bucket near 0.1" true (f > 0.08 && f < 0.12))
+    counts
+
+let test_rng_float_range () =
+  let g = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float g 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bernoulli () =
+  let g = Rng.create 4 in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli g 0.3 then incr hits
+  done;
+  check_floatish "p close to 0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+let test_rng_gaussian_moments () =
+  let g = Rng.create 5 in
+  let n = 50_000 in
+  let xs = Array.init n (fun _ -> Rng.gaussian g ~mean:3.0 ~stddev:2.0) in
+  check_floatish "mean" 3.0 (Stats.mean xs);
+  Alcotest.(check bool) "stddev near 2" true
+    (Float.abs (Stats.stddev xs -. 2.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let g = Rng.create 6 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let g = Rng.create 7 in
+  let s = Rng.sample_without_replacement g 10 30 in
+  Alcotest.(check int) "10 samples" 10 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  for i = 1 to 9 do
+    Alcotest.(check bool) "distinct" true (sorted.(i) <> sorted.(i - 1))
+  done;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 30))
+    s
+
+let test_rng_sample_too_many () =
+  let g = Rng.create 8 in
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Rng.sample_without_replacement g 5 3))
+
+let test_rng_split_decorrelates () =
+  let g = Rng.create 9 in
+  let g' = Rng.split g in
+  Alcotest.(check bool) "streams differ" true (Rng.bits64 g <> Rng.bits64 g')
+
+let test_rng_copy_independent () =
+  let g = Rng.create 10 in
+  let c = Rng.copy g in
+  let v1 = Rng.bits64 g in
+  let v2 = Rng.bits64 c in
+  Alcotest.(check int64) "copy replays" v1 v2
+
+let test_rng_pick () =
+  let g = Rng.create 11 in
+  let a = [| "x"; "y"; "z" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.pick g a) a)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_var () =
+  check_float "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check_float "variance" (2.0 /. 3.0) (Stats.variance [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check bool) "empty mean is nan" true
+    (Float.is_nan (Stats.mean [||]))
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.5; 2.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.5 hi
+
+let test_stats_percentile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "p0" 1.0 (Stats.percentile xs 0.0);
+  check_float "p100" 4.0 (Stats.percentile xs 100.0);
+  check_float "p50" 2.5 (Stats.percentile xs 50.0);
+  check_float "median" 2.5 (Stats.median xs)
+
+let test_stats_percentile_interpolation () =
+  check_float "p25 of 1..5" 2.0 (Stats.percentile [| 1.; 2.; 3.; 4.; 5. |] 25.0)
+
+let test_stats_geometric_mean () =
+  check_float "geomean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geometric_mean: non-positive") (fun () ->
+      ignore (Stats.geometric_mean [| 1.0; 0.0 |]))
+
+let test_stats_cumulative_curve () =
+  let pts = Stats.cumulative_curve [| 1.0; 2.0; 3.0; 4.0 |] 4 in
+  Alcotest.(check int) "4 points" 4 (List.length pts);
+  let fracs = List.map snd pts in
+  (* Fraction of values >= x is non-increasing in x. *)
+  let rec monotone = function
+    | a :: b :: rest -> a >= b && monotone (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-increasing" true (monotone fracs);
+  check_float "all >= min" 1.0 (List.nth fracs 0);
+  check_float "only max >= max" 0.25 (List.nth fracs 3)
+
+let test_stats_pearson () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "self-correlation" 1.0 (Stats.pearson xs xs);
+  check_float "anti-correlation" (-1.0)
+    (Stats.pearson xs (Array.map (fun x -> -.x) xs));
+  check_float "constant gives 0" 0.0
+    (Stats.pearson xs [| 1.0; 1.0; 1.0; 1.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* Array_util *)
+
+let test_array_util_sums () =
+  Alcotest.(check int) "sum_int" 6 (AU.sum_int [| 1; 2; 3 |]);
+  check_float "sum_float" 6.0 (AU.sum_float [| 1.0; 2.0; 3.0 |])
+
+let test_array_util_argmin_argmax () =
+  let a = [| 3.0; 1.0; 2.0; 1.0 |] in
+  Alcotest.(check int) "argmin first tie" 1 (AU.argmin (fun x -> x) a);
+  Alcotest.(check int) "argmax" 0 (AU.argmax (fun x -> x) a)
+
+let test_array_util_range () =
+  Alcotest.(check (array int)) "range" [| 2; 3; 4 |] (AU.range 2 4);
+  Alcotest.(check (array int)) "empty" [||] (AU.range 4 2)
+
+let test_array_util_count_fold () =
+  Alcotest.(check int) "count evens" 2
+    (AU.count (fun x -> x mod 2 = 0) [| 1; 2; 3; 4 |]);
+  Alcotest.(check int) "fold_lefti indices" 6
+    (AU.fold_lefti (fun acc i _ -> acc + i) 0 [| 'a'; 'b'; 'c'; 'd' |])
+
+(* ------------------------------------------------------------------ *)
+(* Csv *)
+
+let test_csv_simple () =
+  Alcotest.(check (list (list string)))
+    "basic"
+    [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse_string "a,b\nc,d\n")
+
+let test_csv_quotes () =
+  Alcotest.(check (list (list string)))
+    "quoted comma and escape"
+    [ [ "a,b"; "say \"hi\"" ] ]
+    (Csv.parse_string "\"a,b\",\"say \"\"hi\"\"\"\n")
+
+let test_csv_crlf () =
+  Alcotest.(check (list (list string)))
+    "crlf" [ [ "a" ]; [ "b" ] ]
+    (Csv.parse_string "a\r\nb\r\n")
+
+let test_csv_no_trailing_newline () =
+  Alcotest.(check (list (list string)))
+    "last row kept" [ [ "a"; "b" ] ]
+    (Csv.parse_string "a,b")
+
+let test_csv_roundtrip () =
+  let rows = [ [ "x"; "1,2"; "he said \"no\"" ]; [ ""; "line\nbreak"; "z" ] ] in
+  Alcotest.(check (list (list string)))
+    "roundtrip" rows
+    (Csv.parse_string (Csv.to_string rows))
+
+let test_csv_unterminated_quote () =
+  Alcotest.check_raises "unterminated"
+    (Failure "Csv.parse_string: unterminated quoted field") (fun () ->
+      ignore (Csv.parse_string "\"abc"))
+
+let test_csv_file_io () =
+  let path = Filename.temp_file "acq_test" ".csv" in
+  let rows = [ [ "h1"; "h2" ]; [ "1"; "2" ] ] in
+  Csv.write_file path rows;
+  let back = Csv.read_file path in
+  Sys.remove path;
+  Alcotest.(check (list (list string))) "file roundtrip" rows back
+
+(* ------------------------------------------------------------------ *)
+(* Tbl *)
+
+let test_tbl_render () =
+  let t = Tbl.create [ "name"; "value" ] in
+  Tbl.add_row t [ "alpha"; "1" ];
+  Tbl.add_row t [ "b"; "22.5" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l ->
+         String.length l >= 5 && String.sub l 0 5 = "alpha"))
+
+let test_tbl_float_row () =
+  let t = Tbl.create [ "k"; "v" ] in
+  Tbl.add_float_row t "pi" [ 3.14159 ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "3 decimals" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l -> String.length l > 2 &&
+        String.trim l <> "" &&
+        (let has sub str =
+           let n = String.length sub and m = String.length str in
+           let rec go i = i + n <= m && (String.sub str i n = sub || go (i+1)) in
+           go 0
+         in
+         has "3.142" l)))
+
+let test_tbl_ragged_rows () =
+  let t = Tbl.create [ "a" ] in
+  Tbl.add_row t [ "1"; "2"; "3" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "renders without exception" true (String.length s > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int rejects <= 0" `Quick test_rng_int_rejects_nonpositive;
+          Alcotest.test_case "int uniform" `Quick test_rng_int_roughly_uniform;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "bernoulli" `Quick test_rng_bernoulli;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "sample k > n" `Quick test_rng_sample_too_many;
+          Alcotest.test_case "split decorrelates" `Quick test_rng_split_decorrelates;
+          Alcotest.test_case "copy independent" `Quick test_rng_copy_independent;
+          Alcotest.test_case "pick member" `Quick test_rng_pick;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_stats_mean_var;
+          Alcotest.test_case "min/max" `Quick test_stats_min_max;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_stats_percentile_interpolation;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "cumulative curve" `Quick test_stats_cumulative_curve;
+          Alcotest.test_case "pearson" `Quick test_stats_pearson;
+        ] );
+      ( "array_util",
+        [
+          Alcotest.test_case "sums" `Quick test_array_util_sums;
+          Alcotest.test_case "argmin/argmax" `Quick test_array_util_argmin_argmax;
+          Alcotest.test_case "range" `Quick test_array_util_range;
+          Alcotest.test_case "count/fold" `Quick test_array_util_count_fold;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "simple" `Quick test_csv_simple;
+          Alcotest.test_case "quotes" `Quick test_csv_quotes;
+          Alcotest.test_case "crlf" `Quick test_csv_crlf;
+          Alcotest.test_case "no trailing newline" `Quick
+            test_csv_no_trailing_newline;
+          Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "unterminated quote" `Quick
+            test_csv_unterminated_quote;
+          Alcotest.test_case "file io" `Quick test_csv_file_io;
+        ] );
+      ( "tbl",
+        [
+          Alcotest.test_case "render" `Quick test_tbl_render;
+          Alcotest.test_case "float row" `Quick test_tbl_float_row;
+          Alcotest.test_case "ragged rows" `Quick test_tbl_ragged_rows;
+        ] );
+    ]

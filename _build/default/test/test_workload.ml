@@ -1,0 +1,220 @@
+(* Unit tests for Acq_workload: the paper's query generators, the
+   train/test experiment harness, and the experiment registry. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module QG = Acq_workload.Query_gen
+module Exp = Acq_workload.Experiment
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Query_gen *)
+
+let test_lab_query_shape () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 1) ~rows:4_000 in
+  let qrng = Rng.create 2 in
+  for _ = 1 to 10 do
+    let q = QG.lab_query qrng ~train:ds in
+    Alcotest.(check int) "3 predicates" 3 (Q.n_predicates q);
+    Alcotest.(check (list int)) "over the expensive attrs"
+      [ Acq_data.Lab_gen.idx_voltage + 1; Acq_data.Lab_gen.idx_light + 1;
+        Acq_data.Lab_gen.idx_humidity ]
+      (List.sort compare (Q.attrs q))
+  done
+
+let test_lab_query_widths () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 3) ~rows:4_000 in
+  let qrng = Rng.create 4 in
+  let q = QG.lab_query qrng ~train:ds in
+  Array.iter
+    (fun (p : Pred.t) ->
+      let sigma = QG.stddev_bins ds p.Pred.attr in
+      let width = float_of_int (p.Pred.hi - p.Pred.lo + 1) in
+      Alcotest.(check bool) "width ~ 2 sigma" true
+        (Float.abs (width -. (2.0 *. sigma)) <= 1.0))
+    (Q.predicates q)
+
+let test_lab_query_varies () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 5) ~rows:2_000 in
+  let qrng = Rng.create 6 in
+  let a = QG.lab_query qrng ~train:ds in
+  let b = QG.lab_query qrng ~train:ds in
+  let bounds q =
+    Array.to_list (Array.map (fun (p : Pred.t) -> (p.Pred.lo, p.Pred.hi)) (Q.predicates q))
+  in
+  Alcotest.(check bool) "different draws differ" true (bounds a <> bounds b)
+
+let test_garden_query_shape () =
+  let ds = Acq_data.Garden_gen.generate (Rng.create 7) ~n_motes:5 ~rows:1_000 in
+  let schema = DS.schema ds in
+  let qrng = Rng.create 8 in
+  let q = QG.garden_query qrng ~schema ~n_motes:5 in
+  Alcotest.(check int) "2 per mote" 10 (Q.n_predicates q);
+  (* Identical band across motes; uniform polarity. *)
+  let preds = Q.predicates q in
+  let t0 = preds.(0) and t1 = preds.(2) in
+  Alcotest.(check int) "same temp lo" t0.Pred.lo t1.Pred.lo;
+  Alcotest.(check int) "same temp hi" t0.Pred.hi t1.Pred.hi;
+  Array.iter
+    (fun (p : Pred.t) ->
+      Alcotest.(check bool) "uniform polarity" true
+        (p.Pred.polarity = t0.Pred.polarity))
+    preds
+
+let test_garden_query_polarity_mix () =
+  let ds = Acq_data.Garden_gen.generate (Rng.create 9) ~n_motes:2 ~rows:500 in
+  let schema = DS.schema ds in
+  let qrng = Rng.create 10 in
+  let polarities =
+    List.init 40 (fun _ ->
+        (Q.predicates (QG.garden_query qrng ~schema ~n_motes:2)).(0).Pred.polarity)
+  in
+  Alcotest.(check bool) "both polarities appear" true
+    (List.mem Pred.Inside polarities && List.mem Pred.Outside polarities)
+
+let test_garden_query_width_bounds () =
+  let ds = Acq_data.Garden_gen.generate (Rng.create 11) ~n_motes:2 ~rows:500 in
+  let schema = DS.schema ds in
+  let qrng = Rng.create 12 in
+  for _ = 1 to 30 do
+    let q = QG.garden_query qrng ~schema ~n_motes:2 in
+    Array.iter
+      (fun (p : Pred.t) ->
+        let k = (S.domains schema).(p.Pred.attr) in
+        let width = p.Pred.hi - p.Pred.lo + 1 in
+        (* f in [1.25, 3.25] -> width in [K/3.25, K/1.25]. *)
+        Alcotest.(check bool) "width within coverage band" true
+          (width >= int_of_float (float_of_int k /. 3.25)
+          && width <= int_of_float (float_of_int k /. 1.25)))
+      (Q.predicates q)
+  done
+
+let test_synthetic_query () =
+  let p = { Acq_data.Synthetic_gen.n = 10; gamma = 3; sel = 0.4 } in
+  let schema = Acq_data.Synthetic_gen.schema p in
+  let q = QG.synthetic_query p ~schema in
+  Alcotest.(check int) "7 predicates" 7 (Q.n_predicates q);
+  Array.iter
+    (fun (pr : Pred.t) ->
+      Alcotest.(check int) "equality on 1" 1 pr.Pred.lo;
+      Alcotest.(check int) "equality on 1 (hi)" 1 pr.Pred.hi)
+    (Q.predicates q)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment *)
+
+let experiment_fixture () =
+  let ds = Acq_data.Lab_gen.generate (Rng.create 13) ~rows:4_000 in
+  let train, test = DS.split_by_time ds ~train_fraction:0.5 in
+  let qrng = Rng.create 14 in
+  let queries = List.init 4 (fun _ -> QG.lab_query qrng ~train) in
+  let o = Acq_core.Planner.default_options in
+  let specs =
+    [
+      {
+        Exp.name = "Naive";
+        build =
+          (fun q ->
+            fst (Acq_core.Planner.plan ~options:o Acq_core.Planner.Naive q ~train));
+      };
+      {
+        Exp.name = "Heuristic";
+        build =
+          (fun q ->
+            fst
+              (Acq_core.Planner.plan ~options:o Acq_core.Planner.Heuristic q
+                 ~train));
+      };
+    ]
+  in
+  Exp.run ~specs ~queries ~train ~test
+
+let test_experiment_run () =
+  let runs = experiment_fixture () in
+  Alcotest.(check int) "one run per query" 4 (List.length runs);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "two costs" 2 (Array.length r.Exp.test_costs);
+      Alcotest.(check bool) "consistent" true r.Exp.consistent;
+      Array.iter
+        (fun c -> Alcotest.(check bool) "positive cost" true (c > 0.0))
+        r.Exp.test_costs)
+    runs;
+  Alcotest.(check bool) "all consistent" true (Exp.all_consistent runs)
+
+let test_experiment_gains () =
+  let runs = experiment_fixture () in
+  let g = Exp.gains runs ~baseline:0 ~target:1 in
+  Alcotest.(check int) "one gain per query" 4 (Array.length g);
+  Array.iter
+    (fun v -> Alcotest.(check bool) "gain positive" true (v > 0.0))
+    g;
+  let s = Exp.summarize g in
+  Alcotest.(check bool) "min <= median <= max" true
+    (s.Exp.min <= s.Exp.median && s.Exp.median <= s.Exp.max);
+  check_float "frac above min is 1" 1.0 (s.Exp.frac_above s.Exp.min);
+  Alcotest.(check bool) "frac above huge is 0" true
+    (s.Exp.frac_above (s.Exp.max +. 1.0) = 0.0)
+
+let test_experiment_mean_cost () =
+  let runs = experiment_fixture () in
+  let manual =
+    List.fold_left (fun acc r -> acc +. r.Exp.test_costs.(0)) 0.0 runs /. 4.0
+  in
+  check_float "mean cost" manual (Exp.mean_cost runs 0)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_ids_unique () =
+  let ids = List.map (fun e -> e.Acq_workload.Registry.id) Acq_workload.Registry.all in
+  Alcotest.(check int) "no duplicates" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_registry_find () =
+  Alcotest.(check bool) "fig8a present" true
+    (Acq_workload.Registry.find "fig8a" <> None);
+  Alcotest.(check bool) "unknown absent" true
+    (Acq_workload.Registry.find "fig99" = None)
+
+let test_registry_covers_evaluation () =
+  let ids = List.map (fun e -> e.Acq_workload.Registry.id) Acq_workload.Registry.all in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " covered") true (List.mem required ids))
+    [ "fig1"; "fig2"; "fig3"; "fig8a"; "fig8b"; "fig8c"; "fig9"; "fig10";
+      "fig11"; "fig12"; "scale" ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "query_gen",
+        [
+          Alcotest.test_case "lab shape" `Quick test_lab_query_shape;
+          Alcotest.test_case "lab widths" `Quick test_lab_query_widths;
+          Alcotest.test_case "lab varies" `Quick test_lab_query_varies;
+          Alcotest.test_case "garden shape" `Quick test_garden_query_shape;
+          Alcotest.test_case "garden polarity" `Quick test_garden_query_polarity_mix;
+          Alcotest.test_case "garden widths" `Quick test_garden_query_width_bounds;
+          Alcotest.test_case "synthetic" `Quick test_synthetic_query;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "run" `Quick test_experiment_run;
+          Alcotest.test_case "gains" `Quick test_experiment_gains;
+          Alcotest.test_case "mean cost" `Quick test_experiment_mean_cost;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "unique ids" `Quick test_registry_ids_unique;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "covers evaluation" `Quick
+            test_registry_covers_evaluation;
+        ] );
+    ]
