@@ -51,7 +51,7 @@ module K = struct
       ~schema:(Acq_data.Dataset.schema ds) ~n_motes:n
 
   let plan algo options q train () =
-    ignore (P.plan ~options algo q ~train : Acq_plan.Plan.t * float)
+    ignore (P.plan ~options algo q ~train : P.result)
 
   let opts = P.default_options
 
@@ -128,7 +128,7 @@ module K = struct
            (let ds = Lazy.force lab in
             let q = lab_query ds 96 in
             fun () ->
-              let p, _ = P.plan ~options:opts P.Heuristic q ~train:ds in
+              let p = (P.plan ~options:opts P.Heuristic q ~train:ds).P.plan in
               ignore (Acq_plan.Printer.to_string q p : string)));
       (* fig10/fig11: greedy conditional planning over garden schemas. *)
       Test.make ~name:"fig10/heuristic-garden5"
@@ -180,10 +180,11 @@ module K = struct
         (Staged.stage
            (let ds = Lazy.force garden5 in
             let q = garden_query ds 5 101 in
-            let p, _ =
-              P.plan
-                ~options:{ opts with max_splits = 10; split_points_per_attr = 4 }
-                P.Heuristic q ~train:ds
+            let p =
+              (P.plan
+                 ~options:{ opts with max_splits = 10; split_points_per_attr = 4 }
+                 P.Heuristic q ~train:ds)
+                .P.plan
             in
             fun () ->
               ignore (Acq_plan.Serialize.decode (Acq_plan.Serialize.encode p)
@@ -201,6 +202,81 @@ module K = struct
             plan P.Heuristic { opts with split_points_per_attr = 16 } q ds));
     ]
 end
+
+(* ------------------------------------------------------------------ *)
+(* Planner search statistics, exported as JSON for dashboards and
+   regression tracking. One record per (experiment kernel, algorithm):
+   the Search counters every Planner.result now carries. *)
+
+let write_stats_json path =
+  let module P = Acq_core.Planner in
+  let runs =
+    let lab_coarse = Lazy.force K.lab_coarse in
+    let lab_q = K.lab_query lab_coarse 93 in
+    let garden5 = Lazy.force K.garden5 in
+    let garden_q = K.garden_query garden5 5 97 in
+    let synthetic = Lazy.force K.synthetic in
+    let synth_q =
+      Acq_workload.Query_gen.synthetic_query
+        { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+        ~schema:(Acq_data.Dataset.schema synthetic)
+    in
+    [
+      ( "lab-coarse",
+        "Naive",
+        P.plan ~options:K.opts P.Naive lab_q ~train:lab_coarse );
+      ( "lab-coarse",
+        "CorrSeq",
+        P.plan ~options:K.opts P.Corr_seq lab_q ~train:lab_coarse );
+      ( "lab-coarse",
+        "Heuristic",
+        P.plan
+          ~options:{ K.opts with split_points_per_attr = 2 }
+          P.Heuristic lab_q ~train:lab_coarse );
+      ( "lab-coarse",
+        "Exhaustive-r2",
+        P.plan
+          ~options:
+            {
+              K.opts with
+              split_points_per_attr = 2;
+              exhaustive_budget = 5_000_000;
+            }
+          P.Exhaustive lab_q ~train:lab_coarse );
+      ( "garden5",
+        "Heuristic-10",
+        P.plan
+          ~options:
+            {
+              K.opts with
+              max_splits = 10;
+              split_points_per_attr = 4;
+              candidate_attrs = Some (K.cheap garden5);
+            }
+          P.Heuristic garden_q ~train:garden5 );
+      ( "synthetic",
+        "Heuristic",
+        P.plan
+          ~options:{ K.opts with candidate_attrs = Some (K.cheap synthetic) }
+          P.Heuristic synth_q ~train:synthetic );
+    ]
+  in
+  let entry (experiment, algorithm, (r : P.result)) =
+    let s : Acq_core.Search.stats = r.P.stats in
+    Printf.sprintf
+      "  {\"experiment\": %S, \"algorithm\": %S, \"est_cost\": %.4f, \
+       \"nodes_solved\": %d, \"memo_hits\": %d, \"estimator_calls\": %d, \
+       \"plan_size\": %d, \"wall_ms\": %.3f}"
+      experiment algorithm r.P.est_cost s.Acq_core.Search.nodes_solved
+      s.Acq_core.Search.memo_hits s.Acq_core.Search.estimator_calls
+      s.Acq_core.Search.plan_size s.Acq_core.Search.wall_ms
+  in
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.map entry runs));
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "wrote planner search statistics to %s\n" path
 
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
@@ -253,10 +329,13 @@ let () =
         Printf.printf "%-14s %s\n" e.Acq_workload.Registry.id
           e.Acq_workload.Registry.title)
       Acq_workload.Registry.all;
-    print_endline "flags: --full --micro --no-micro --list"
+    print_endline
+      "flags: --full --micro --no-micro --list (every non-list run also \
+       writes BENCH_planner_stats.json)"
   end
   else begin
     if not micro_only then
       Acq_workload.Registry.run_selected { Acq_workload.Figures.full } ids;
+    write_stats_json "BENCH_planner_stats.json";
     if micro_only || (ids = [] && not no_micro) then run_micro ()
   end

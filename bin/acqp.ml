@@ -136,8 +136,16 @@ let gen_cmd =
 
 (* plan *)
 
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print planner search statistics (nodes solved, memo hits, \
+           estimator calls, plan bytes, wall-clock ms).")
+
 let plan_cmd =
-  let run kind rows seed sql algo splits points =
+  let run kind rows seed sql algo splits points show_stats =
     let ds = make_dataset kind ~rows ~seed in
     let train, test = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
     let schema = Acq_data.Dataset.schema ds in
@@ -152,21 +160,26 @@ let plan_cmd =
     in
     Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
       (Acq_core.Planner.algorithm_name algo);
-    let plan, expected = Acq_core.Planner.plan ~options algo q ~train in
+    let r = Acq_core.Planner.plan ~options algo q ~train in
+    let plan = r.Acq_core.Planner.plan in
     print_string (Acq_plan.Printer.to_string q plan);
     Printf.printf "\n%s\n" (Acq_plan.Printer.summary q plan);
     Printf.printf "plan size (zeta): %d bytes\n" (Acq_plan.Serialize.size plan);
-    Printf.printf "expected cost on training distribution: %.2f\n" expected;
+    Printf.printf "expected cost on training distribution: %.2f\n"
+      r.Acq_core.Planner.est_cost;
     Printf.printf "measured cost on held-out test data:    %.2f\n"
       (Acq_plan.Executor.average_cost q ~costs plan test);
     Printf.printf "correct on all test tuples: %b\n"
-      (Acq_plan.Executor.consistent q ~costs plan test)
+      (Acq_plan.Executor.consistent q ~costs plan test);
+    if show_stats then
+      Printf.printf "planner search: %s\n"
+        (Acq_core.Search.stats_to_string r.Acq_core.Planner.stats)
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Optimize one query and print the conditional plan.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg)
+      $ splits_arg $ points_arg $ stats_flag)
 
 (* run *)
 

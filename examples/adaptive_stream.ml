@@ -57,8 +57,8 @@ let () =
        x 720 two-minute epochs), otherwise day/night swings of the
        marginals read as permanent drift. *)
     let window = Sl.create schema ~capacity:8_640 in
-    let plan, expected0 = P.plan ~options P.Heuristic query ~train:history in
-    let plan = ref plan and expected = ref expected0 in
+    let planned = P.plan ~options P.Heuristic query ~train:history in
+    let plan = ref planned.P.plan and expected = ref planned.P.est_cost in
     (* Two replanning triggers, per Section 7: marginal drift of the
        window vs the statistics the current plan was built on, and the
        plan's realized cost exceeding its own expectation (which also
@@ -88,11 +88,11 @@ let () =
             let overrunning = recent_avg > 1.10 *. !expected in
             if drifted || overrunning then begin
               let est = Sl.estimator window in
-              let p, c =
+              let r =
                 P.plan_with_estimator ~options P.Heuristic query ~costs est
               in
-              plan := p;
-              expected := c;
+              plan := r.P.plan;
+              expected := r.P.est_cost;
               reference := Sl.to_dataset window;
               incr replans
             end

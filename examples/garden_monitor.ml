@@ -37,7 +37,7 @@ let () =
     }
   in
   let run name algo opts =
-    let plan, _ = P.plan ~options:opts algo query ~train:history in
+    let plan = (P.plan ~options:opts algo query ~train:history).P.plan in
     let cost = Acq_plan.Executor.average_cost query ~costs plan live in
     Printf.printf "%-12s %7.1f units/tuple  (%2d conditioning tests, %3d bytes)\n"
       name cost

@@ -22,14 +22,18 @@ let () =
 
   (* 3. Plan it. [Heuristic] is the paper's greedy conditional
      planner; [Naive] is what a traditional optimizer would do. *)
-  let conditional, _ =
+  let planned =
     Acq_core.Planner.plan Acq_core.Planner.Heuristic query ~train:history
   in
-  let naive, _ =
-    Acq_core.Planner.plan Acq_core.Planner.Naive query ~train:history
+  let conditional = planned.Acq_core.Planner.plan in
+  let naive =
+    (Acq_core.Planner.plan Acq_core.Planner.Naive query ~train:history)
+      .Acq_core.Planner.plan
   in
   print_string (Acq_plan.Printer.to_string query conditional);
-  Printf.printf "\n(%s)\n\n" (Acq_plan.Printer.summary query conditional);
+  Printf.printf "\n(%s)\n" (Acq_plan.Printer.summary query conditional);
+  Printf.printf "(planner search: %s)\n\n"
+    (Acq_core.Search.stats_to_string planned.Acq_core.Planner.stats);
 
   (* 4. Execute both plans on held-out data and compare acquisition
      cost per tuple. *)

@@ -81,7 +81,7 @@ let () =
 
   let costs = S.costs schema in
   let run name algo options =
-    let plan, _ = P.plan ~options algo query ~train:history in
+    let plan = (P.plan ~options algo query ~train:history).P.plan in
     let c = Acq_plan.Executor.average_cost query ~costs plan live in
     Printf.printf "%-12s %6.1f units/row (%d conditioning tests)\n" name c
       (Acq_plan.Plan.n_tests plan);

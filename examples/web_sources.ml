@@ -87,7 +87,7 @@ let () =
 
   let costs = S.costs schema in
   let run name algo options =
-    let plan, _ = P.plan ~options algo query ~train:history in
+    let plan = (P.plan ~options algo query ~train:history).P.plan in
     let ms = Acq_plan.Executor.average_cost query ~costs plan live in
     Printf.printf "%-12s %6.0f ms latency per destination\n" name ms;
     (plan, ms)

@@ -1,17 +1,18 @@
-exception Budget_exceeded
+exception Budget_exceeded = Search.Budget_exceeded
 
-type memo_entry =
+type memo =
   | Exact of float * Acq_plan.Plan.t
   | Lower_bound of float
       (* a previous bounded search proved the optimum is >= this *)
 
-let last_solved = ref 0
+let default_budget = 2_000_000
 
-let last_hits = ref 0
-
-let stats_last_run () = (!last_solved, !last_hits)
-
-let plan ?(budget = 2_000_000) ?model q ~costs ~grid est =
+let plan ?search ?model q ~costs ~grid est =
+  let search =
+    match search with
+    | Some s -> s
+    | None -> Search.create ~budget:default_budget ()
+  in
   let schema = Acq_plan.Query.schema q in
   let domains = Acq_data.Schema.domains schema in
   let n = Array.length domains in
@@ -25,8 +26,7 @@ let plan ?(budget = 2_000_000) ?model q ~costs ~grid est =
     | Some m -> Acq_plan.Cost_model.worst_case m
     | None -> costs
   in
-  let memo : (string, memo_entry) Hashtbl.t = Hashtbl.create 4096 in
-  let solved = ref 0 and hits = ref 0 in
+  let memo = Search.memo search in
   (* Cheap attributes first: good plans surface early, which tightens
      the pruning bound for the rest of the search. *)
   let attr_order =
@@ -61,18 +61,17 @@ let plan ?(budget = 2_000_000) ?model q ~costs ~grid est =
           let key = Subproblem.key ranges in
           match Hashtbl.find_opt memo key with
           | Some (Exact (cost, plan)) ->
-              incr hits;
+              Search.hit search;
               if cost < bound then (cost, Some plan) else (bound, None)
           | Some (Lower_bound lb) when bound <= lb ->
-              incr hits;
+              Search.hit search;
               (bound, None)
           | Some (Lower_bound _) | None ->
               let est = Lazy.force lazy_est in
               if Acq_prob.Estimator.is_empty est then
                 (0.0, Some (fallback_leaf ranges))
               else begin
-                incr solved;
-                if !solved > budget then raise Budget_exceeded;
+                Search.solved search;
                 let c_min = ref bound and best = ref None in
                 Array.iter (fun i -> explore ranges est i c_min best) attr_order;
                 match !best with
@@ -144,14 +143,9 @@ let plan ?(budget = 2_000_000) ?model q ~costs ~grid est =
     end
   in
   let ranges0 = Subproblem.initial schema in
-  let seq_order, seq_cost = Seq_planner.order ?model q ~costs est in
-  let result =
-    (* Seed with the sequential optimum; only a strictly better
-       conditional plan displaces it, so ties keep the smaller plan. *)
-    match solve ranges0 (lazy est) (seq_cost -. 1e-9) with
-    | cost, Some plan -> (plan, cost)
-    | _, None -> (Acq_plan.Plan.sequential seq_order, seq_cost)
-  in
-  last_solved := !solved;
-  last_hits := !hits;
-  result
+  let seq_order, seq_cost = Seq_planner.order ~search ?model q ~costs est in
+  (* Seed with the sequential optimum; only a strictly better
+     conditional plan displaces it, so ties keep the smaller plan. *)
+  match solve ranges0 (lazy est) (seq_cost -. 1e-9) with
+  | cost, Some plan -> (plan, cost)
+  | _, None -> (Acq_plan.Plan.sequential seq_order, seq_cost)

@@ -15,13 +15,23 @@
     tuples that do reach it (expected training cost 0).
 
     Worst-case complexity is exponential in the number of attributes
-    (Theorem 3.1 makes that unavoidable), so calls carry an explicit
-    node budget. *)
+    (Theorem 3.1 makes that unavoidable), so every call runs inside a
+    budgeted {!Search.t} context. *)
 
 exception Budget_exceeded
+(** Alias for {!Search.Budget_exceeded}, kept for callers that predate
+    the explicit search context. *)
+
+type memo
+(** Memo-table payload: an exact optimum or a proven lower bound per
+    subproblem key. Abstract — callers only need it to name the
+    context type [memo Search.t]. *)
+
+val default_budget : int
+(** 2,000,000 — the node budget used when no context is supplied. *)
 
 val plan :
-  ?budget:int ->
+  ?search:memo Search.t ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
@@ -31,9 +41,11 @@ val plan :
 (** Optimal plan over the grid's split space and its expected cost
     under the estimator. The search is seeded with the optimal
     sequential plan as an upper bound, so the result never costs more
-    than CorrSeq. [budget] (default 2,000,000) bounds the number of
-    subproblem expansions. @raise Budget_exceeded when exceeded. *)
+    than CorrSeq.
 
-val stats_last_run : unit -> int * int
-(** (subproblems solved, cache hits) of the most recent call —
-    exposed for the scalability bench. *)
+    [search] carries the memo table, effort counters, and the node
+    budget shared with the nested sequential seeding; omitting it
+    creates a fresh context with {!default_budget}. The memo table is
+    private to the context, so back-to-back calls with fresh contexts
+    are fully independent. @raise Budget_exceeded when the context's
+    budget is exhausted. *)

@@ -18,8 +18,11 @@ and cell = { mutable node : node }
    list, so the net predicate-id bytes are <= m. *)
 let split_size_estimate n_unknown = 4 + 2 + n_unknown
 
-let plan ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
+let plan ?search ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
     ?(size_alpha = 0.0) ?model q ~costs ~grid ~max_splits est =
+  let tick =
+    match search with Some s -> fun () -> Search.solved s | None -> ignore
+  in
   let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
   let make_leaf ranges est reach =
     let truth = Acq_plan.Query.truth_under q ranges in
@@ -33,14 +36,14 @@ let plan ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
               Subproblem.acquired ranges ~domains i)
         in
         let seq_order, seq_cost =
-          Seq_planner.order ?optseq_threshold ?model q ~costs ~acquired ~subset
-            est
+          Seq_planner.order ?search ?optseq_threshold ?model q ~costs ~acquired
+            ~subset est
         in
         let split =
           if reach <= 0.0 || Acq_prob.Estimator.is_empty est then None
           else
-            Greedy_split.find ?optseq_threshold ?candidate_attrs ?model q ~costs
-              ~grid ~ranges est
+            Greedy_split.find ?search ?optseq_threshold ?candidate_attrs ?model
+              q ~costs ~grid ~ranges est
         in
         { ranges; est; reach; truth; seq_order; seq_cost; split }
   in
@@ -76,6 +79,8 @@ let plan ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
             | None -> ()
             | Some { attr; threshold; _ } ->
                 incr splits;
+                (* One leaf expansion per tick. *)
+                tick ();
                 let lo_range, hi_range =
                   Acq_plan.Range.split state.ranges.(attr) threshold
                 in

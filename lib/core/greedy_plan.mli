@@ -13,6 +13,7 @@
     [max_splits = 0] degenerates to CorrSeq. *)
 
 val plan :
+  ?search:'m Search.t ->
   ?optseq_threshold:int ->
   ?candidate_attrs:int list ->
   ?min_gain:float ->
@@ -34,4 +35,9 @@ val plan :
     gain is discounted by [alpha] times the bytes it adds to the
     encoded plan, so for a short-lived continuous query (large alpha =
     transmission cost amortized over few tuples) the planner ships a
-    smaller tree. *)
+    smaller tree.
+
+    [search] accumulates effort across the whole expansion — one tick
+    per applied split plus the nested {!Greedy_split} candidate scans
+    and sequential re-planning of each leaf — and its budget/deadline
+    bound the entire call. *)

@@ -3,7 +3,8 @@ type t = { cost : float; attr : int; threshold : int }
 (* Expected sequential-completion cost of a subproblem: 0 when the
    ranges decide the clause, else the CorrSeq cost over the still
    unknown predicates with range-acquired attributes free. *)
-let side_cost ?optseq_threshold ?model q ~costs ~domains ranges est p =
+let side_cost ?search ?optseq_threshold ?model q ~costs ~domains ranges est p
+    =
   if p <= 0.0 then 0.0
   else
     match Acq_plan.Query.truth_under q ranges with
@@ -15,12 +16,16 @@ let side_cost ?optseq_threshold ?model q ~costs ~domains ranges est p =
               Subproblem.acquired ranges ~domains i)
         in
         let _, cost =
-          Seq_planner.order ?optseq_threshold ?model q ~costs ~acquired ~subset
-            est
+          Seq_planner.order ?search ?optseq_threshold ?model q ~costs ~acquired
+            ~subset est
         in
         cost
 
-let find ?optseq_threshold ?candidate_attrs ?model q ~costs ~grid ~ranges est =
+let find ?search ?optseq_threshold ?candidate_attrs ?model q ~costs ~grid
+    ~ranges est =
+  let tick =
+    match search with Some s -> fun () -> Search.solved s | None -> ignore
+  in
   let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
   let atomic_of i =
     match model with
@@ -47,6 +52,8 @@ let find ?optseq_threshold ?candidate_attrs ?model q ~costs ~grid ~ranges est =
       if not skip then
         List.iter
           (fun x ->
+            (* One candidate split evaluated per tick. *)
+            tick ();
             let lo_range, hi_range = Acq_plan.Range.split ranges.(i) x in
             let p_lo = est.Acq_prob.Estimator.range_prob i lo_range in
             let p_hi = 1.0 -. p_lo in
@@ -57,12 +64,12 @@ let find ?optseq_threshold ?candidate_attrs ?model q ~costs ~grid ~ranges est =
               else est.Acq_prob.Estimator.restrict_range i range
             in
             let c_lo =
-              side_cost ?optseq_threshold ?model q ~costs ~domains lo_ranges
-                (est_for lo_range p_lo) p_lo
+              side_cost ?search ?optseq_threshold ?model q ~costs ~domains
+                lo_ranges (est_for lo_range p_lo) p_lo
             in
             let c_hi =
-              side_cost ?optseq_threshold ?model q ~costs ~domains hi_ranges
-                (est_for hi_range p_hi) p_hi
+              side_cost ?search ?optseq_threshold ?model q ~costs ~domains
+                hi_ranges (est_for hi_range p_hi) p_hi
             in
             consider (atomic +. (p_lo *. c_lo) +. (p_hi *. c_hi)) i x)
           (Spsf.candidates grid i ranges.(i)))

@@ -16,6 +16,7 @@ type t = {
 }
 
 val find :
+  ?search:'m Search.t ->
   ?optseq_threshold:int ->
   ?candidate_attrs:int list ->
   ?model:Acq_plan.Cost_model.t ->
@@ -26,6 +27,8 @@ val find :
   Acq_prob.Estimator.t ->
   t option
 (** Best split of the subproblem, or [None] when no candidate
-    threshold exists. [candidate_attrs] restricts which attributes may
+    threshold exists. One {!Search.solved} tick is charged per
+    candidate threshold evaluated, and the nested sequential planning
+    of each side shares the same context. [candidate_attrs] restricts which attributes may
     be conditioned on (default: all); the query's own predicates are
     still fully evaluated by the sequential subplans either way. *)

@@ -1,4 +1,7 @@
-let order ?model q ~costs ?acquired ?subset est =
+let order ?search ?model q ~costs ?acquired ?subset est =
+  let tick =
+    match search with Some s -> fun () -> Search.solved s | None -> ignore
+  in
   let model =
     match model with Some m -> m | None -> Acq_plan.Cost_model.uniform costs
   in
@@ -18,6 +21,8 @@ let order ?model q ~costs ?acquired ?subset est =
   let total = ref 0.0 in
   let reach = ref 1.0 in
   while !remaining <> [] do
+    (* One selection round per tick: the unit of GreedySeq effort. *)
+    tick ();
     (* Rank every remaining predicate under the current conditioning. *)
     let scored =
       List.map

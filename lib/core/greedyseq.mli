@@ -7,6 +7,7 @@
     the Garden and Synthetic experiments). *)
 
 val order :
+  ?search:'m Search.t ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
@@ -15,4 +16,5 @@ val order :
   Acq_prob.Estimator.t ->
   int list * float
 (** Greedy order over [subset] (default: all predicates) and its
-    expected cost under the estimator. *)
+    expected cost under the estimator. One {!Search.solved} tick is
+    charged per selection round when [search] is supplied. *)

@@ -1,4 +1,7 @@
-let order ?model q ~costs est =
+let order ?search ?model q ~costs est =
+  let tick =
+    match search with Some s -> fun () -> Search.solved s | None -> ignore
+  in
   (* A traditional optimizer budgets each attribute independently, so
      under a board model it sees the cold-board (worst-case) price. *)
   let costs =
@@ -8,6 +11,7 @@ let order ?model q ~costs est =
   in
   let m = Acq_plan.Query.n_predicates q in
   let rank j =
+    tick ();
     let p = Acq_plan.Query.predicate q j in
     let pass = est.Acq_prob.Estimator.pred_prob p in
     if pass >= 1.0 then infinity else costs.(p.attr) /. (1.0 -. pass)
@@ -16,4 +20,5 @@ let order ?model q ~costs est =
   Array.sort compare ranked;
   Array.to_list (Array.map snd ranked)
 
-let plan ?model q ~costs est = Acq_plan.Plan.sequential (order ?model q ~costs est)
+let plan ?search ?model q ~costs est =
+  Acq_plan.Plan.sequential (order ?search ?model q ~costs est)

@@ -6,15 +6,19 @@
     against. *)
 
 val order :
+  ?search:'m Search.t ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
   Acq_prob.Estimator.t ->
   int list
 (** Predicate indices in evaluation order. A predicate that never
-    fails ranks last (infinite rank); ties break by query position. *)
+    fails ranks last (infinite rank); ties break by query position.
+    One {!Search.solved} tick per ranked predicate when [search] is
+    supplied. *)
 
 val plan :
+  ?search:'m Search.t ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->

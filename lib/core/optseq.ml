@@ -14,7 +14,11 @@ let zeta_transform probs m =
   done;
   f
 
-let order_of_patterns ?atomic ~pattern_probs ~pred_costs ~shared_attr () =
+let order_of_patterns ?search ?atomic ~pattern_probs ~pred_costs ~shared_attr
+    () =
+  let tick =
+    match search with Some s -> fun () -> Search.solved s | None -> ignore
+  in
   let m = Array.length pred_costs in
   if m > max_predicates then raise Too_many_predicates;
   if Array.length pattern_probs <> 1 lsl m then
@@ -39,6 +43,8 @@ let order_of_patterns ?atomic ~pattern_probs ~pred_costs ~shared_attr () =
     in
     let atomic = match atomic with Some f -> f | None -> default_atomic in
     for s = size - 2 downto 0 do
+      (* One DP state per tick: the unit of OptSeq search effort. *)
+      tick ();
       let best = ref infinity and best_j = ref (-1) in
       for j = 0 to m - 1 do
         if s land (1 lsl j) = 0 then begin
@@ -63,7 +69,7 @@ let order_of_patterns ?atomic ~pattern_probs ~pred_costs ~shared_attr () =
     (follow 0 [], j_cost.(0))
   end
 
-let order ?model q ~costs ?acquired ?subset est =
+let order ?search ?model q ~costs ?acquired ?subset est =
   let subset =
     match subset with
     | Some s -> Array.of_list s
@@ -101,6 +107,6 @@ let order ?model q ~costs ?acquired ?subset est =
             else Acq_plan.Cost_model.atomic model shared_attr.(j) ~acquired:is_acquired)
   in
   let positions, cost =
-    order_of_patterns ?atomic ~pattern_probs ~pred_costs ~shared_attr ()
+    order_of_patterns ?search ?atomic ~pattern_probs ~pred_costs ~shared_attr ()
   in
   (List.map (fun pos -> subset.(pos)) positions, cost)

@@ -19,6 +19,7 @@ val max_predicates : int
 (** 15: the subset DP allocates [2^m] floats. *)
 
 val order :
+  ?search:'m Search.t ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
@@ -35,6 +36,7 @@ val order :
     @raise Too_many_predicates when the subset exceeds the limit. *)
 
 val order_of_patterns :
+  ?search:'m Search.t ->
   ?atomic:(int -> int -> float) ->
   pattern_probs:float array ->
   pred_costs:float array ->
@@ -48,4 +50,9 @@ val order_of_patterns :
     attribute only once when several predicates read it. [atomic s j]
     (optional) overrides the cost of evaluating predicate [j] in state
     [s] (bitmask of already-evaluated predicates). Returns positions
-    [0..m-1] in order plus the expected cost. *)
+    [0..m-1] in order plus the expected cost.
+
+    When a [search] context is supplied, both entry points charge one
+    {!Search.solved} tick per DP state (so the caller's budget and
+    deadline bound the subset DP) and report effort through its
+    counters. *)

@@ -12,6 +12,7 @@ type options = {
   optseq_threshold : int;
   candidate_attrs : int list option;
   exhaustive_budget : int;
+  deadline_ms : float option;
   size_alpha : float;
   cost_model : Acq_plan.Cost_model.t option;
 }
@@ -23,9 +24,16 @@ let default_options =
     optseq_threshold = Seq_planner.default_optseq_threshold;
     candidate_attrs = None;
     exhaustive_budget = 2_000_000;
+    deadline_ms = None;
     size_alpha = 0.0;
     cost_model = None;
   }
+
+type result = {
+  plan : Acq_plan.Plan.t;
+  est_cost : float;
+  stats : Search.stats;
+}
 
 let plan_with_estimator ?(options = default_options) algorithm q ~costs est =
   let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
@@ -33,20 +41,43 @@ let plan_with_estimator ?(options = default_options) algorithm q ~costs est =
     Spsf.for_query ~domains ~points_per_attr:options.split_points_per_attr q
   in
   let model = options.cost_model in
+  (* One fresh context per call: the planners share its counters,
+     memo table, and limits, and nothing outlives the call. *)
+  let finish search (plan, est_cost) =
+    {
+      plan;
+      est_cost;
+      stats =
+        Search.stats ~plan_size:(Acq_plan.Serialize.size plan) search;
+    }
+  in
   match algorithm with
   | Naive ->
-      let p = Naive.plan ?model q ~costs est in
-      (p, Expected_cost.of_plan ?model q ~costs est p)
+      let search = Search.create ?deadline_ms:options.deadline_ms () in
+      let est = Search.wrap_estimator search est in
+      let p = Naive.plan ~search ?model q ~costs est in
+      finish search (p, Expected_cost.of_plan ?model q ~costs est p)
   | Corr_seq ->
-      Seq_planner.plan ~optseq_threshold:options.optseq_threshold ?model q
-        ~costs est
+      let search = Search.create ?deadline_ms:options.deadline_ms () in
+      let est = Search.wrap_estimator search est in
+      finish search
+        (Seq_planner.plan ~search ~optseq_threshold:options.optseq_threshold
+           ?model q ~costs est)
   | Heuristic ->
-      Greedy_plan.plan ~optseq_threshold:options.optseq_threshold
-        ?candidate_attrs:options.candidate_attrs ~size_alpha:options.size_alpha
-        ?model q ~costs ~grid ~max_splits:options.max_splits est
+      let search = Search.create ?deadline_ms:options.deadline_ms () in
+      let est = Search.wrap_estimator search est in
+      finish search
+        (Greedy_plan.plan ~search ~optseq_threshold:options.optseq_threshold
+           ?candidate_attrs:options.candidate_attrs
+           ~size_alpha:options.size_alpha ?model q ~costs ~grid
+           ~max_splits:options.max_splits est)
   | Exhaustive ->
-      Exhaustive.plan ~budget:options.exhaustive_budget ?model q ~costs ~grid
-        est
+      let search =
+        Search.create ~budget:options.exhaustive_budget
+          ?deadline_ms:options.deadline_ms ()
+      in
+      let est = Search.wrap_estimator search est in
+      finish search (Exhaustive.plan ~search ?model q ~costs ~grid est)
 
 let plan ?options algorithm q ~train =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in

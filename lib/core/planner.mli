@@ -1,7 +1,13 @@
 (** Top-level planning facade: pick an algorithm, hand it training
     data (or any estimator), get a conditional plan plus its expected
-    training cost. This is the API the examples, the CLI, the sensor
-    basestation, and the benchmark harness all build on. *)
+    training cost and the search effort spent producing it. This is
+    the API the examples, the CLI, the sensor basestation, and the
+    benchmark harness all build on.
+
+    Every call creates a private {!Search.t} context and threads it
+    through the whole planner stack, so calls are re-entrant: nothing
+    is shared between invocations, and interleaved or repeated calls
+    return identical plans with independent statistics. *)
 
 type algorithm =
   | Naive  (** rank by cost/(1 - selectivity), correlation-blind *)
@@ -22,7 +28,12 @@ type options = {
   candidate_attrs : int list option;
       (** restrict conditioning attributes (e.g. cheap ones only);
           [None] = all *)
-  exhaustive_budget : int;  (** subproblem budget for {!Exhaustive} *)
+  exhaustive_budget : int;
+      (** search-node budget for {!Exhaustive} (subproblem expansions
+          plus the nested sequential seeding) *)
+  deadline_ms : float option;
+      (** wall-clock ceiling for any planner; the search raises
+          {!Search.Deadline_exceeded} past it. [None] = no limit *)
   size_alpha : float;
       (** Section 2.4's joint objective [C(P) + alpha * zeta(P)]:
           discounts each Heuristic split by the bytes it adds; 0
@@ -36,16 +47,24 @@ type options = {
 
 val default_options : options
 (** 8 split points, 5 splits, OptSeq up to 12 predicates, all
-    attributes, 2M subproblems, no size penalty. *)
+    attributes, 2M search nodes, no deadline, no size penalty. *)
+
+type result = {
+  plan : Acq_plan.Plan.t;
+  est_cost : float;
+      (** expected cost of [plan] on the planning distribution *)
+  stats : Search.stats;
+      (** search effort behind this plan: nodes solved, memo hits,
+          estimator calls, encoded plan bytes, wall-clock ms *)
+}
 
 val plan :
   ?options:options ->
   algorithm ->
   Acq_plan.Query.t ->
   train:Acq_data.Dataset.t ->
-  Acq_plan.Plan.t * float
-(** Plan with the empirical estimator over [train]; returns the plan
-    and its expected cost on the training distribution. *)
+  result
+(** Plan with the empirical estimator over [train]. *)
 
 val plan_with_estimator :
   ?options:options ->
@@ -53,5 +72,7 @@ val plan_with_estimator :
   Acq_plan.Query.t ->
   costs:float array ->
   Acq_prob.Estimator.t ->
-  Acq_plan.Plan.t * float
-(** Same, against an arbitrary estimator (e.g. a Chow-Liu model). *)
+  result
+(** Same, against an arbitrary estimator (e.g. a Chow-Liu model). The
+    estimator is wrapped by {!Search.wrap_estimator} for the duration
+    of the call — the caller's estimator is untouched and reusable. *)

@@ -1,0 +1,115 @@
+exception Budget_exceeded
+exception Deadline_exceeded
+
+type 'memo t = {
+  budget : int;
+  deadline_ms : float option;
+  started : float;
+  memo : (string, 'memo) Hashtbl.t;
+  mutable nodes_solved : int;
+  mutable memo_hits : int;
+  mutable estimator_calls : int;
+  trace_sink : (string -> unit) option;
+}
+
+type stats = {
+  nodes_solved : int;
+  memo_hits : int;
+  estimator_calls : int;
+  plan_size : int;
+  wall_ms : float;
+}
+
+let create ?(budget = max_int) ?deadline_ms ?trace () =
+  {
+    budget;
+    deadline_ms;
+    started = Unix.gettimeofday ();
+    memo = Hashtbl.create 4096;
+    nodes_solved = 0;
+    memo_hits = 0;
+    estimator_calls = 0;
+    trace_sink = trace;
+  }
+
+let elapsed_ms (t : _ t) = (Unix.gettimeofday () -. t.started) *. 1000.0
+
+let solved (t : _ t) =
+  t.nodes_solved <- t.nodes_solved + 1;
+  if t.nodes_solved > t.budget then raise Budget_exceeded;
+  match t.deadline_ms with
+  | Some d when elapsed_ms t > d -> raise Deadline_exceeded
+  | Some _ | None -> ()
+
+let hit (t : _ t) = t.memo_hits <- t.memo_hits + 1
+let memo (t : 'm t) = t.memo
+let nodes_solved (t : _ t) = t.nodes_solved
+let memo_hits (t : _ t) = t.memo_hits
+let estimator_calls (t : _ t) = t.estimator_calls
+
+let trace (t : _ t) thunk =
+  match t.trace_sink with Some sink -> sink (thunk ()) | None -> ()
+
+let rec wrap_estimator (t : _ t) (e : Acq_prob.Estimator.t) =
+  let tick () = t.estimator_calls <- t.estimator_calls + 1 in
+  {
+    e with
+    Acq_prob.Estimator.range_prob =
+      (fun attr r ->
+        tick ();
+        e.Acq_prob.Estimator.range_prob attr r);
+    value_probs =
+      (fun attr ->
+        tick ();
+        e.Acq_prob.Estimator.value_probs attr);
+    pred_prob =
+      (fun p ->
+        tick ();
+        e.Acq_prob.Estimator.pred_prob p);
+    pattern_probs =
+      (fun preds ->
+        tick ();
+        e.Acq_prob.Estimator.pattern_probs preds);
+    restrict_range =
+      (fun attr r ->
+        tick ();
+        wrap_estimator t (e.Acq_prob.Estimator.restrict_range attr r));
+    restrict_pred =
+      (fun p truth ->
+        tick ();
+        wrap_estimator t (e.Acq_prob.Estimator.restrict_pred p truth));
+  }
+
+let stats ?(plan_size = 0) (t : _ t) =
+  {
+    nodes_solved = t.nodes_solved;
+    memo_hits = t.memo_hits;
+    estimator_calls = t.estimator_calls;
+    plan_size;
+    wall_ms = elapsed_ms t;
+  }
+
+let zero_stats =
+  {
+    nodes_solved = 0;
+    memo_hits = 0;
+    estimator_calls = 0;
+    plan_size = 0;
+    wall_ms = 0.0;
+  }
+
+let add_stats a b =
+  {
+    nodes_solved = a.nodes_solved + b.nodes_solved;
+    memo_hits = a.memo_hits + b.memo_hits;
+    estimator_calls = a.estimator_calls + b.estimator_calls;
+    plan_size = a.plan_size + b.plan_size;
+    wall_ms = a.wall_ms +. b.wall_ms;
+  }
+
+let stats_to_string s =
+  Printf.sprintf
+    "nodes_solved=%d memo_hits=%d estimator_calls=%d plan_size=%d wall_ms=%.2f"
+    s.nodes_solved s.memo_hits s.estimator_calls s.plan_size s.wall_ms
+
+let pp_stats fmt s = Format.pp_print_string fmt (stats_to_string s)

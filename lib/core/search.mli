@@ -1,0 +1,91 @@
+(** Explicit per-call search context — the state every planner used to
+    keep in globals or ad-hoc locals, made first class.
+
+    A ['memo t] is created once per [Planner.plan] call and threaded
+    through the whole planner stack ({!Exhaustive}, {!Greedy_plan},
+    {!Greedy_split}, {!Optseq}, {!Greedyseq}, {!Seq_planner},
+    {!Naive}): it owns the memo table, enforces the node budget and
+    optional wall-clock deadline, and accumulates the monotonic effort
+    counters that {!stats} snapshots. Because no planner touches
+    shared mutable state anymore, interleaved and repeated [plan]
+    calls are deterministic and independent — the prerequisite for
+    parallel or sharded planning.
+
+    The type parameter is the memo-entry payload; planners that keep
+    no memo (everything except {!Exhaustive}) are polymorphic in it. *)
+
+exception Budget_exceeded
+(** The context's node budget was exhausted. *)
+
+exception Deadline_exceeded
+(** The context's wall-clock deadline passed. *)
+
+type 'memo t
+
+type stats = {
+  nodes_solved : int;
+      (** search nodes expanded: Exhaustive subproblems, sequential-DP
+          states, greedy selection steps, split candidates *)
+  memo_hits : int;  (** memo-table lookups answered from cache *)
+  estimator_calls : int;
+      (** probability-oracle invocations, counted by
+          {!wrap_estimator} *)
+  plan_size : int;  (** encoded plan bytes, ζ(P); 0 until known *)
+  wall_ms : float;  (** wall-clock time since {!create} *)
+}
+
+val create :
+  ?budget:int ->
+  ?deadline_ms:float ->
+  ?trace:(string -> unit) ->
+  unit ->
+  'memo t
+(** Fresh context. [budget] (default unlimited) bounds the total
+    {!solved} ticks across every planner sharing the context —
+    including nested sequential planning — after which {!solved}
+    raises {!Budget_exceeded}. [deadline_ms] bounds wall-clock time
+    the same way via {!Deadline_exceeded}. [trace] receives free-form
+    progress lines from {!trace}. *)
+
+val solved : _ t -> unit
+(** Record one expanded search node; raises {!Budget_exceeded} or
+    {!Deadline_exceeded} when a limit is hit. *)
+
+val hit : _ t -> unit
+(** Record one memo-table hit. *)
+
+val memo : 'memo t -> (string, 'memo) Hashtbl.t
+(** The context-owned memo table (keys are {!Subproblem.key}s). *)
+
+val nodes_solved : _ t -> int
+val memo_hits : _ t -> int
+val estimator_calls : _ t -> int
+
+val elapsed_ms : _ t -> float
+(** Wall-clock milliseconds since {!create}. *)
+
+val trace : _ t -> (unit -> string) -> unit
+(** Emit a progress line to the trace sink, if any. The thunk is only
+    forced when a sink is installed. *)
+
+val wrap_estimator : _ t -> Acq_prob.Estimator.t -> Acq_prob.Estimator.t
+(** Counting decorator: every probability query against the returned
+    estimator (and against any estimator derived from it by
+    restriction) bumps the context's [estimator_calls] counter. The
+    underlying estimator is not mutated and stays reusable across
+    contexts. *)
+
+val stats : ?plan_size:int -> _ t -> stats
+(** Snapshot the counters; [plan_size] defaults to 0 when the caller
+    has no plan yet. *)
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum — for aggregating search effort over a workload. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_string : stats -> string
+(** One-line [key=value] rendering, e.g.
+    ["nodes_solved=412 memo_hits=37 estimator_calls=1024 plan_size=58 wall_ms=1.42"]. *)

@@ -1,16 +1,16 @@
 let default_optseq_threshold = 12
 
-let order ?(optseq_threshold = default_optseq_threshold) ?model q ~costs
-    ?acquired ?subset est =
+let order ?search ?(optseq_threshold = default_optseq_threshold) ?model q
+    ~costs ?acquired ?subset est =
   let size =
     match subset with
     | Some s -> List.length s
     | None -> Acq_plan.Query.n_predicates q
   in
   if size <= optseq_threshold then
-    Optseq.order ?model q ~costs ?acquired ?subset est
-  else Greedyseq.order ?model q ~costs ?acquired ?subset est
+    Optseq.order ?search ?model q ~costs ?acquired ?subset est
+  else Greedyseq.order ?search ?model q ~costs ?acquired ?subset est
 
-let plan ?optseq_threshold ?model q ~costs est =
-  let ord, cost = order ?optseq_threshold ?model q ~costs est in
+let plan ?search ?optseq_threshold ?model q ~costs est =
+  let ord, cost = order ?search ?optseq_threshold ?model q ~costs est in
   (Acq_plan.Plan.sequential ord, cost)

@@ -9,6 +9,7 @@ val default_optseq_threshold : int
 (** 12. *)
 
 val order :
+  ?search:'m Search.t ->
   ?optseq_threshold:int ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
@@ -18,9 +19,11 @@ val order :
   Acq_prob.Estimator.t ->
   int list * float
 (** Sequential order over [subset] (default: all predicates) and its
-    expected cost. *)
+    expected cost. [search] is forwarded to the chosen planner, which
+    charges its effort ticks against the shared context. *)
 
 val plan :
+  ?search:'m Search.t ->
   ?optseq_threshold:int ->
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->

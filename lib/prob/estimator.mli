@@ -41,5 +41,16 @@ val of_view : View.t -> t
 val of_chow_liu : Chow_liu.t -> weight:float -> t
 (** [weight] should be the training-set size; conditioning scales it
     by the evidence probability so the planner's empty-subproblem
-    logic keeps working. Pattern queries are limited to 12 predicates
-    (they enumerate [2^m] evidence combinations). *)
+    logic keeps working.
+
+    [pattern_probs] is limited to at most 12 predicates: it enumerates
+    all [2^m] truth-bit combinations and runs one tree inference per
+    combination, so 12 (4096 inferences) is the largest width that
+    stays interactive; the empirical estimator has no such limit. The
+    cap applies per [pattern_probs] call — wider queries still plan
+    fine as long as the sequential planner routes them to GreedySeq
+    (which never calls [pattern_probs]) rather than OptSeq; exactly 12
+    predicates is accepted.
+
+    @raise Invalid_argument if [pattern_probs] is applied to more than
+    12 predicates. *)

@@ -11,9 +11,10 @@ val create :
   unit ->
   t
 
-val plan_query : t -> Acq_plan.Query.t -> Acq_plan.Plan.t * float
-(** Optimize a query against the stored history; returns the plan and
-    its expected cost on the training distribution. *)
+val plan_query : t -> Acq_plan.Query.t -> Acq_core.Planner.result
+(** Optimize a query against the stored history; returns the plan,
+    its expected cost on the training distribution, and the search
+    effort behind it. *)
 
 val history : t -> Acq_data.Dataset.t
 

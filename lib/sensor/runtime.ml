@@ -1,5 +1,6 @@
 type report = {
   plan : Acq_plan.Plan.t;
+  plan_stats : Acq_core.Search.stats;
   plan_bytes : int;
   epochs : int;
   matches : int;
@@ -20,7 +21,8 @@ let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
   let schema = Acq_plan.Query.schema q in
   let costs = Acq_data.Schema.costs schema in
   let base = Basestation.create ?options ~algorithm ~history () in
-  let plan, _expected = Basestation.plan_query base q in
+  let planned = Basestation.plan_query base q in
+  let plan = planned.Acq_core.Planner.plan in
   let env = Environment.replay live in
   let n_motes =
     match n_motes with Some n -> n | None -> default_motes schema
@@ -42,6 +44,7 @@ let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
   let epochs = Environment.n_epochs env in
   {
     plan;
+    plan_stats = planned.Acq_core.Planner.stats;
     plan_bytes;
     epochs;
     matches = !matches;
@@ -56,10 +59,11 @@ let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>plan: %d bytes, %d tests@,\
+     planner search: %a@,\
      epochs: %d, matches: %d@,\
      energy: acquisition %.1f + radio %.1f = %.1f@,\
      avg acquisition cost/epoch: %.2f@,\
      verdicts correct: %b@]"
-    r.plan_bytes (Acq_plan.Plan.n_tests r.plan) r.epochs r.matches
-    r.acquisition_energy r.radio_energy r.total_energy r.avg_cost_per_epoch
-    r.correct
+    r.plan_bytes (Acq_plan.Plan.n_tests r.plan) Acq_core.Search.pp_stats
+    r.plan_stats r.epochs r.matches r.acquisition_energy r.radio_energy
+    r.total_energy r.avg_cost_per_epoch r.correct

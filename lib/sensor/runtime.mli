@@ -5,6 +5,8 @@
 
 type report = {
   plan : Acq_plan.Plan.t;
+  plan_stats : Acq_core.Search.stats;
+      (** search effort the basestation spent planning *)
   plan_bytes : int;  (** ζ(P) shipped to each mote *)
   epochs : int;
   matches : int;  (** tuples satisfying the WHERE clause *)

@@ -60,8 +60,8 @@ let scale_exp s =
         }
       in
       match time (fun () -> P.plan ~options:o P.Exhaustive q ~train) with
-      | _, dt ->
-          let solved, hits = Acq_core.Exhaustive.stats_last_run () in
+      | r, dt ->
+          let st : Acq_core.Search.stats = r.P.stats in
           Tbl.add_row t
             [
               String.concat ","
@@ -69,8 +69,8 @@ let scale_exp s =
                    (Array.map string_of_int
                       (Acq_data.Schema.domains (Acq_data.Dataset.schema train))));
               Printf.sprintf "%.2f" dt;
-              string_of_int solved;
-              string_of_int hits;
+              string_of_int st.Acq_core.Search.nodes_solved;
+              string_of_int st.Acq_core.Search.memo_hits;
             ]
       | exception Acq_core.Exhaustive.Budget_exceeded ->
           Tbl.add_row t [ string_of_int factor; "budget exceeded"; "-"; "-" ])
@@ -196,7 +196,7 @@ let ablate_size s =
           size_alpha = alpha;
         }
       in
-      let plan, _ = P.plan ~options P.Heuristic q ~train in
+      let plan = (P.plan ~options P.Heuristic q ~train).P.plan in
       let zeta = Acq_plan.Serialize.size plan in
       let c = Acq_plan.Executor.average_cost q ~costs plan live in
       Acq_util.Tbl.add_row t2
@@ -242,9 +242,10 @@ let ablate_model s =
              (List.map
                 (fun q ->
                   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
-                  let plan, _ =
-                    P.plan_with_estimator ~options:o P.Heuristic q ~costs
-                      (est_of ())
+                  let plan =
+                    (P.plan_with_estimator ~options:o P.Heuristic q ~costs
+                       (est_of ()))
+                      .P.plan
                   in
                   assert (Acq_plan.Executor.consistent q ~costs plan test);
                   Acq_plan.Executor.average_cost q ~costs plan test)
@@ -300,7 +301,7 @@ let ablate_spsf s =
              (List.map
                 (fun q ->
                   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
-                  let plan, _ = P.plan ~options:o P.Heuristic q ~train in
+                  let plan = (P.plan ~options:o P.Heuristic q ~train).P.plan in
                   Acq_plan.Executor.average_cost q ~costs plan test)
                 queries))
       in
@@ -403,7 +404,7 @@ let ext_boards s =
     List.init (pick s ~quick:12 ~full:30) (fun _ ->
         Query_gen.lab_query qrng ~train)
   in
-  let plan_with opts algo q = fst (P.plan ~options:opts algo q ~train) in
+  let plan_with opts algo q = (P.plan ~options:opts algo q ~train).P.plan in
   let aware_opts = { P.default_options with cost_model = Some model } in
   let blind_opts = P.default_options in
   let avg f =
@@ -474,7 +475,7 @@ let ext_boards s =
   let costs2 = Acq_data.Schema.costs schema2 in
   let t2 = Acq_util.Tbl.create [ "planner"; "microcosm cost"; "tests on temp" ] in
   let measure opts algo =
-    let plan, _ = P.plan ~options:opts algo q2 ~train:train2 in
+    let plan = (P.plan ~options:opts algo q2 ~train:train2).P.plan in
     ( Acq_plan.Executor.average_cost ~model:model2 q2 ~costs:costs2 plan test2,
       if List.mem 1 (Acq_plan.Plan.attrs_tested plan) then "yes" else "no" )
   in
@@ -510,9 +511,10 @@ let ext_approx s =
   let costs = Acq_data.Schema.costs schema in
   let q = Query_gen.lab_query (Rng.create 92) ~train in
   let model = Acq_prob.Chow_liu.learn train in
-  let plan, _ =
-    P.plan ~options:{ P.default_options with max_splits = 5 } P.Heuristic q
-      ~train
+  let plan =
+    (P.plan ~options:{ P.default_options with max_splits = 5 } P.Heuristic q
+       ~train)
+      .P.plan
   in
   Report.note ("query: " ^ Acq_plan.Query.describe q);
   let t =

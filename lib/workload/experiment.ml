@@ -1,13 +1,15 @@
 type algo_spec = {
   name : string;
-  build : Acq_plan.Query.t -> Acq_plan.Plan.t;
+  build : Acq_plan.Query.t -> Acq_core.Planner.result;
 }
 
 type query_run = {
   query : Acq_plan.Query.t;
   test_costs : float array;
   train_costs : float array;
+  est_costs : float array;
   plan_tests : int array;
+  plan_stats : Acq_core.Search.stats array;
   consistent : bool;
 }
 
@@ -16,7 +18,10 @@ let run ~specs ~queries ~train ~test =
   List.map
     (fun q ->
       let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
-      let plans = Array.map (fun s -> s.build q) specs in
+      let results = Array.map (fun s -> s.build q) specs in
+      let plans =
+        Array.map (fun (r : Acq_core.Planner.result) -> r.plan) results
+      in
       let test_costs =
         Array.map (fun p -> Acq_plan.Executor.average_cost q ~costs p test) plans
       in
@@ -31,7 +36,19 @@ let run ~specs ~queries ~train ~test =
             && Acq_plan.Executor.consistent q ~costs p train)
           plans
       in
-      { query = q; test_costs; train_costs; plan_tests; consistent })
+      {
+        query = q;
+        test_costs;
+        train_costs;
+        est_costs =
+          Array.map
+            (fun (r : Acq_core.Planner.result) -> r.est_cost)
+            results;
+        plan_tests;
+        plan_stats =
+          Array.map (fun (r : Acq_core.Planner.result) -> r.stats) results;
+        consistent;
+      })
     queries
 
 let gains runs ~baseline ~target =
@@ -63,6 +80,11 @@ let summarize g =
         float_of_int (Acq_util.Array_util.count (fun v -> v >= x) g)
         /. float_of_int (Array.length g));
   }
+
+let total_stats runs i =
+  List.fold_left
+    (fun acc r -> Acq_core.Search.add_stats acc r.plan_stats.(i))
+    Acq_core.Search.zero_stats runs
 
 let mean_cost runs i =
   Acq_util.Stats.mean

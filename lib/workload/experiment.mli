@@ -5,15 +5,19 @@
 
 type algo_spec = {
   name : string;
-  build : Acq_plan.Query.t -> Acq_plan.Plan.t;
-      (** planner closure; receives the query, returns the plan *)
+  build : Acq_plan.Query.t -> Acq_core.Planner.result;
+      (** planner closure; receives the query, returns the planner's
+          full result (plan, estimated cost, search stats) *)
 }
 
 type query_run = {
   query : Acq_plan.Query.t;
   test_costs : float array;  (** per spec, same order *)
   train_costs : float array;
+  est_costs : float array;  (** planner-reported expected costs *)
   plan_tests : int array;  (** conditioning-node counts per spec *)
+  plan_stats : Acq_core.Search.stats array;
+      (** per-spec search effort spent planning this query *)
   consistent : bool;  (** all plans agreed with ground truth on test *)
 }
 
@@ -38,6 +42,10 @@ type gain_summary = {
 }
 
 val summarize : float array -> gain_summary
+
+val total_stats : query_run list -> int -> Acq_core.Search.stats
+(** Field-wise total of one spec's planning effort over all queries
+    (wall time summed, plan bytes summed). *)
 
 val mean_cost : query_run list -> int -> float
 (** Average test cost of one spec over all queries. *)

@@ -25,10 +25,7 @@ let split ds = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5
 let costs_of q = Acq_data.Schema.costs (Acq_plan.Query.schema q)
 
 let spec_of_algo name algo options train =
-  {
-    Experiment.name;
-    build = (fun q -> fst (P.plan ~options algo q ~train));
-  }
+  { Experiment.name; build = (fun q -> P.plan ~options algo q ~train) }
 
 (* ------------------------------------------------------------------ *)
 
@@ -90,16 +87,17 @@ let fig2 _s =
   in
   let costs = costs_of q in
   let o = P.default_options in
-  let naive, _ = P.plan ~options:o P.Naive q ~train in
-  let cond, _ =
-    P.plan
-      ~options:
-        {
-          o with
-          max_splits = 1;
-          candidate_attrs = Some [ Acq_data.Lab_gen.idx_hour ];
-        }
-      P.Heuristic q ~train
+  let naive = (P.plan ~options:o P.Naive q ~train).P.plan in
+  let cond =
+    (P.plan
+       ~options:
+         {
+           o with
+           max_splits = 1;
+           candidate_attrs = Some [ Acq_data.Lab_gen.idx_hour ];
+         }
+       P.Heuristic q ~train)
+      .P.plan
   in
   let acq plan = Acq_plan.Executor.average_cost q ~costs plan test /. 100.0 in
   let t = Tbl.create [ "plan"; "expected expensive acquisitions / tuple" ] in
@@ -256,6 +254,11 @@ let fig8a s =
   Report.note
     (Printf.sprintf "all plans executed correctly on test data: %b"
        (Experiment.all_consistent runs));
+  Report.note "planner search effort, totals over the whole workload:";
+  Report.stats_table
+    (List.mapi
+       (fun i spec -> (spec.Experiment.name, Experiment.total_stats runs i))
+       specs);
   Report.note
     "Paper shape: every algorithm beats Naive; Heuristic-10 within a few \
      percent of Exhaustive on average and in the worst case."
@@ -349,8 +352,8 @@ let fig9 _s =
   in
   let costs = costs_of q in
   let o = { P.default_options with max_splits = 8 } in
-  let naive, _ = P.plan ~options:o P.Naive q ~train in
-  let cond, _ = P.plan ~options:o P.Heuristic q ~train in
+  let naive = (P.plan ~options:o P.Naive q ~train).P.plan in
+  let cond = (P.plan ~options:o P.Heuristic q ~train).P.plan in
   Report.note ("query: " ^ Acq_plan.Query.describe q);
   print_string (Acq_plan.Printer.to_string q cond);
   Report.note (Acq_plan.Printer.summary q cond);
@@ -459,7 +462,7 @@ let fig12 s =
           in
           let costs = costs_of q in
           let cost algo opts =
-            let plan, _ = P.plan ~options:opts algo q ~train in
+            let plan = (P.plan ~options:opts algo q ~train).P.plan in
             Acq_plan.Executor.average_cost q ~costs plan test
           in
           Tbl.add_row t

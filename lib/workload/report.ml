@@ -17,6 +17,32 @@ let cumulative_gain_curve ~label g =
     points;
   table t
 
+let stats_table rows =
+  let t =
+    Acq_util.Tbl.create
+      [
+        "algorithm";
+        "nodes solved";
+        "memo hits";
+        "estimator calls";
+        "plan bytes";
+        "wall ms";
+      ]
+  in
+  List.iter
+    (fun (name, (s : Acq_core.Search.stats)) ->
+      Acq_util.Tbl.add_row t
+        [
+          name;
+          string_of_int s.nodes_solved;
+          string_of_int s.memo_hits;
+          string_of_int s.estimator_calls;
+          string_of_int s.plan_size;
+          Printf.sprintf "%.1f" s.wall_ms;
+        ])
+    rows;
+  table t
+
 let gain_summary ~label (s : Experiment.gain_summary) =
   note
     (Printf.sprintf

@@ -15,4 +15,8 @@ val cumulative_gain_curve : label:string -> float array -> unit
 (** Print the "fraction of experiments with gain at least x" series
     (Figures 8(c), 10, 11) as rows [x, fraction]. *)
 
+val stats_table : (string * Acq_core.Search.stats) list -> unit
+(** Per-algorithm search-effort table (nodes solved, memo hits,
+    estimator calls, plan bytes, wall ms). *)
+
 val gain_summary : label:string -> Experiment.gain_summary -> unit

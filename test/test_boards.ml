@@ -198,7 +198,8 @@ let test_planners_consistent_under_model () =
   in
   List.iter
     (fun algo ->
-      let plan, cost = P.plan ~options algo q ~train:ds in
+      let r = P.plan ~options algo q ~train:ds in
+      let plan = r.P.plan in
       Alcotest.(check bool)
         (P.algorithm_name algo ^ " consistent")
         true
@@ -206,7 +207,7 @@ let test_planners_consistent_under_model () =
       check_close
         (P.algorithm_name algo ^ " cost realized under model")
         (Ex.average_cost ~model:m q ~costs plan ds)
-        cost)
+        r.P.est_cost)
     [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ]
 
 let test_exhaustive_dominates_under_model () =
@@ -216,7 +217,7 @@ let test_exhaustive_dominates_under_model () =
   let options =
     { P.default_options with split_points_per_attr = 1; cost_model = Some m }
   in
-  let cost algo = snd (P.plan ~options algo q ~train:ds) in
+  let cost algo = (P.plan ~options algo q ~train:ds).P.est_cost in
   Alcotest.(check bool) "exhaustive <= heuristic" true
     (cost P.Exhaustive <= cost P.Heuristic +. 1e-6);
   Alcotest.(check bool) "heuristic <= corrseq" true
@@ -235,8 +236,8 @@ let test_model_awareness_pays () =
     { P.default_options with split_points_per_attr = 1; cost_model = Some m }
   in
   let blind_opts = { P.default_options with split_points_per_attr = 1 } in
-  let aware, _ = P.plan ~options:aware_opts P.Exhaustive q ~train:ds in
-  let blind, _ = P.plan ~options:blind_opts P.Exhaustive q ~train:ds in
+  let aware = (P.plan ~options:aware_opts P.Exhaustive q ~train:ds).P.plan in
+  let blind = (P.plan ~options:blind_opts P.Exhaustive q ~train:ds).P.plan in
   let c_aware = Ex.average_cost ~model:m q ~costs aware ds in
   let c_blind = Ex.average_cost ~model:m q ~costs blind ds in
   Alcotest.(check bool)

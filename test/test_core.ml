@@ -477,12 +477,12 @@ let test_greedy_split_none_without_candidates () =
     = None)
 
 let heuristic_cost ds q k =
-  let plan, cost =
+  let r =
     P.plan
       ~options:{ P.default_options with max_splits = k; split_points_per_attr = 3 }
       P.Heuristic q ~train:ds
   in
-  (plan, cost)
+  (r.P.plan, r.P.est_cost)
 
 let test_greedy_plan_zero_splits_is_seq () =
   let ds = correlated_dataset () in
@@ -523,16 +523,17 @@ let test_greedy_plan_candidate_restriction () =
   let ds = correlated_dataset () in
   let schema = DS.schema ds in
   let q = query3 schema in
-  let plan, _ =
-    P.plan
-      ~options:
-        {
-          P.default_options with
-          max_splits = 5;
-          candidate_attrs = Some [ 0 ];
-          split_points_per_attr = 3;
-        }
-      P.Heuristic q ~train:ds
+  let plan =
+    (P.plan
+       ~options:
+         {
+           P.default_options with
+           max_splits = 5;
+           candidate_attrs = Some [ 0 ];
+           split_points_per_attr = 3;
+         }
+       P.Heuristic q ~train:ds)
+      .P.plan
   in
   List.iter
     (fun a -> Alcotest.(check int) "only attr 0 tested" 0 a)
@@ -581,17 +582,20 @@ let test_exhaustive_beats_heuristic_on_grid () =
   let schema = DS.schema ds in
   let q = query3 schema in
   let o = { P.default_options with split_points_per_attr = 3 } in
-  let _, exh = P.plan ~options:o P.Exhaustive q ~train:ds in
+  let exh = (P.plan ~options:o P.Exhaustive q ~train:ds).P.est_cost in
   List.iter
     (fun k ->
-      let _, h = P.plan ~options:{ o with max_splits = k } P.Heuristic q ~train:ds in
+      let h =
+        (P.plan ~options:{ o with max_splits = k } P.Heuristic q ~train:ds)
+          .P.est_cost
+      in
       Alcotest.(check bool)
         (Printf.sprintf "exhaustive <= heuristic-%d" k)
         true (exh <= h +. 1e-6))
     [ 0; 1; 5; 10 ];
-  let _, seq = P.plan ~options:o P.Corr_seq q ~train:ds in
+  let seq = (P.plan ~options:o P.Corr_seq q ~train:ds).P.est_cost in
   Alcotest.(check bool) "exhaustive <= corrseq" true (exh <= seq +. 1e-6);
-  let _, nv = P.plan ~options:o P.Naive q ~train:ds in
+  let nv = (P.plan ~options:o P.Naive q ~train:ds).P.est_cost in
   Alcotest.(check bool) "exhaustive <= naive" true (exh <= nv +. 1e-6)
 
 let test_exhaustive_cost_is_realized () =
@@ -600,8 +604,9 @@ let test_exhaustive_cost_is_realized () =
   let q = query3 schema in
   let costs = S.costs schema in
   let o = { P.default_options with split_points_per_attr = 3 } in
-  let plan, cost = P.plan ~options:o P.Exhaustive q ~train:ds in
-  check_close "reported = empirical train cost" cost
+  let r = P.plan ~options:o P.Exhaustive q ~train:ds in
+  let plan = r.P.plan in
+  check_close "reported = empirical train cost" r.P.est_cost
     (Ex.average_cost q ~costs plan ds);
   Alcotest.(check bool) "consistent" true (Ex.consistent q ~costs plan ds)
 
@@ -702,11 +707,12 @@ let test_planner_all_algorithms_consistent () =
   let costs = S.costs (DS.schema ds) in
   List.iter
     (fun algo ->
-      let plan, cost =
+      let r =
         P.plan
           ~options:{ P.default_options with split_points_per_attr = 3 }
           algo q ~train:ds
       in
+      let plan = r.P.plan in
       Alcotest.(check bool)
         (P.algorithm_name algo ^ " consistent")
         true
@@ -714,23 +720,31 @@ let test_planner_all_algorithms_consistent () =
       check_close
         (P.algorithm_name algo ^ " cost realized")
         (Ex.average_cost q ~costs plan ds)
-        cost)
+        r.P.est_cost;
+      Alcotest.(check bool)
+        (P.algorithm_name algo ^ " plan_size recorded")
+        true
+        (r.P.stats.Acq_core.Search.plan_size = Acq_plan.Serialize.size plan);
+      Alcotest.(check bool)
+        (P.algorithm_name algo ^ " estimator instrumented")
+        true
+        (r.P.stats.Acq_core.Search.estimator_calls > 0))
     [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ]
 
 let test_size_alpha_shrinks_plans () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let plan_with alpha =
-    fst
-      (P.plan
-         ~options:
-           {
-             P.default_options with
-             max_splits = 10;
-             split_points_per_attr = 3;
-             size_alpha = alpha;
-           }
-         P.Heuristic q ~train:ds)
+    (P.plan
+       ~options:
+         {
+           P.default_options with
+           max_splits = 10;
+           split_points_per_attr = 3;
+           size_alpha = alpha;
+         }
+       P.Heuristic q ~train:ds)
+      .P.plan
   in
   let free = Plan.n_tests (plan_with 0.0) in
   let taxed = Plan.n_tests (plan_with 0.5) in
@@ -787,7 +801,7 @@ let test_planner_ordering_quality () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let o = { P.default_options with split_points_per_attr = 3 } in
-  let cost algo = snd (P.plan ~options:o algo q ~train:ds) in
+  let cost algo = (P.plan ~options:o algo q ~train:ds).P.est_cost in
   Alcotest.(check bool) "corrseq <= naive" true
     (cost P.Corr_seq <= cost P.Naive +. 1e-9);
   Alcotest.(check bool) "heuristic <= corrseq" true

@@ -44,10 +44,11 @@ let test_plan_ships_faithfully () =
     Acq_workload.Query_gen.garden_query (Rng.create 102) ~schema ~n_motes:3
   in
   let costs = S.costs schema in
-  let plan, _ =
-    P.plan
-      ~options:{ P.default_options with split_points_per_attr = 4 }
-      P.Heuristic q ~train
+  let plan =
+    (P.plan
+       ~options:{ P.default_options with split_points_per_attr = 4 }
+       P.Heuristic q ~train)
+      .P.plan
   in
   let shipped = Acq_plan.Serialize.decode (Acq_plan.Serialize.encode plan) in
   check_float6 "identical cost after shipping"
@@ -65,11 +66,11 @@ let test_persistence_replan () =
   let reloaded = Acq_data.Csv_io.load schema path in
   Sys.remove path;
   let q = Acq_workload.Query_gen.lab_query (Rng.create 104) ~train:ds in
-  let p1, c1 = P.plan P.Heuristic q ~train:ds in
-  let p2, c2 = P.plan P.Heuristic q ~train:reloaded in
+  let r1 = P.plan P.Heuristic q ~train:ds in
+  let r2 = P.plan P.Heuristic q ~train:reloaded in
   Alcotest.(check bool) "identical plan from reloaded data" true
-    (Plan.equal p1 p2);
-  check_float6 "identical cost" c1 c2
+    (Plan.equal r1.P.plan r2.P.plan);
+  check_float6 "identical cost" r1.P.est_cost r2.P.est_cost
 
 (* A Chow-Liu-driven plan is still correct and competitive. *)
 let test_model_driven_planning () =
@@ -82,10 +83,10 @@ let test_model_driven_planning () =
   let est =
     E.of_chow_liu model ~weight:(float_of_int (DS.nrows train))
   in
-  let plan, _ = P.plan_with_estimator P.Heuristic q ~costs est in
+  let plan = (P.plan_with_estimator P.Heuristic q ~costs est).P.plan in
   Alcotest.(check bool) "model-driven plan consistent" true
     (Ex.consistent q ~costs plan test);
-  let naive, _ = P.plan P.Naive q ~train in
+  let naive = (P.plan P.Naive q ~train).P.plan in
   let c_model = Ex.average_cost q ~costs plan test in
   let c_naive = Ex.average_cost q ~costs naive test in
   Alcotest.(check bool) "not catastrophically worse than naive" true
@@ -113,8 +114,8 @@ let test_headline_gain () =
   for _ = 1 to 8 do
     let q = Acq_workload.Query_gen.garden_query qrng ~schema ~n_motes in
     let costs = S.costs schema in
-    let naive, _ = P.plan P.Naive q ~train in
-    let heur, _ = P.plan ~options:o P.Heuristic q ~train in
+    let naive = (P.plan P.Naive q ~train).P.plan in
+    let heur = (P.plan ~options:o P.Heuristic q ~train).P.plan in
     Alcotest.(check bool) "heuristic consistent on test" true
       (Ex.consistent q ~costs heur test);
     total_naive := !total_naive +. Ex.average_cost q ~costs naive test;
@@ -157,8 +158,8 @@ let test_adaptive_replanning () =
   in
   let costs = S.costs schema in
   let opts = { P.default_options with max_splits = 3 } in
-  let stale, _ = P.plan ~options:opts P.Heuristic q ~train:old_world in
-  let fresh, _ = P.plan ~options:opts P.Heuristic q ~train:new_world in
+  let stale = (P.plan ~options:opts P.Heuristic q ~train:old_world).P.plan in
+  let fresh = (P.plan ~options:opts P.Heuristic q ~train:new_world).P.plan in
   let c_stale = Ex.average_cost q ~costs stale new_world in
   let c_fresh = Ex.average_cost q ~costs fresh new_world in
   (* Both remain CORRECT... *)
@@ -194,10 +195,20 @@ let test_reproducibility_end_to_end () =
     P.plan ~options:{ P.default_options with split_points_per_attr = 4 }
       P.Heuristic q ~train:ds
   in
-  let p1, c1 = mk () in
-  let p2, c2 = mk () in
-  Alcotest.(check bool) "identical plans" true (Plan.equal p1 p2);
-  check_float6 "identical costs" c1 c2
+  let r1 = mk () in
+  let r2 = mk () in
+  Alcotest.(check bool) "identical plans" true (Plan.equal r1.P.plan r2.P.plan);
+  check_float6 "identical costs" r1.P.est_cost r2.P.est_cost;
+  (* Fresh search contexts per call: the effort counters agree too,
+     proving nothing (memo entries, counters) leaked across calls. *)
+  let s1 : Acq_core.Search.stats = r1.P.stats
+  and s2 : Acq_core.Search.stats = r2.P.stats in
+  Alcotest.(check int) "same nodes solved" s1.Acq_core.Search.nodes_solved
+    s2.Acq_core.Search.nodes_solved;
+  Alcotest.(check int) "same memo hits" s1.Acq_core.Search.memo_hits
+    s2.Acq_core.Search.memo_hits;
+  Alcotest.(check int) "same estimator calls"
+    s1.Acq_core.Search.estimator_calls s2.Acq_core.Search.estimator_calls
 
 let () =
   Alcotest.run "integration"

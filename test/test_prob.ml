@@ -382,6 +382,30 @@ let test_estimator_chow_liu_coherent () =
                                      Pred.inside ~attr:2 ~lo:1 ~hi:1 |] in
   check_floatish "pattern probs sum" 1.0 (Acq_util.Array_util.sum_float probs)
 
+(* The documented 12-predicate ceiling of the Chow-Liu estimator's
+   pattern_probs: exactly 12 works (4096 inferences, a proper
+   distribution), 13 raises Invalid_argument rather than silently
+   enumerating 2^13 evidence combinations. *)
+let test_estimator_chow_liu_pattern_limit () =
+  let ds = chain_dataset () in
+  let m = Acq_prob.Chow_liu.learn ds in
+  let est = E.of_chow_liu m ~weight:1000.0 in
+  (* Predicates may repeat attributes, so width 12 is reachable even
+     on a 3-attribute schema. *)
+  let preds n = Array.init n (fun j -> Pred.inside ~attr:(j mod 3) ~lo:1 ~hi:1) in
+  let at_limit = est.E.pattern_probs (preds 12) in
+  Alcotest.(check int) "2^12 patterns" 4096 (Array.length at_limit);
+  check_floatish "boundary distribution sums to 1" 1.0
+    (Acq_util.Array_util.sum_float at_limit);
+  (try
+     ignore (est.E.pattern_probs (preds 13));
+     Alcotest.fail "expected 13-predicate rejection"
+   with Invalid_argument _ -> ());
+  (* The empirical estimator has no such ceiling. *)
+  let emp = E.empirical ds in
+  Alcotest.(check int) "empirical handles 13" 8192
+    (Array.length (emp.E.pattern_probs (preds 13)))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -443,5 +467,7 @@ let () =
             test_estimator_pattern_probs_sum;
           Alcotest.test_case "chow-liu coherent" `Quick
             test_estimator_chow_liu_coherent;
+          Alcotest.test_case "chow-liu pattern limit" `Quick
+            test_estimator_chow_liu_pattern_limit;
         ] );
     ]

@@ -93,8 +93,8 @@ let build_instance i =
 let options = { P.default_options with split_points_per_attr = 3 }
 
 let plan_cost algo ds q =
-  let plan, cost = P.plan ~options algo q ~train:ds in
-  (plan, cost)
+  let r = P.plan ~options algo q ~train:ds in
+  (r.P.plan, r.P.est_cost)
 
 (* ------------------------------------------------------------------ *)
 (* Properties *)
@@ -140,7 +140,8 @@ let prop_heuristic_monotone =
     ~print:instance_print instance_gen (fun i ->
       let ds, q = build_instance i in
       let cost k =
-        snd (P.plan ~options:{ options with max_splits = k } P.Heuristic q ~train:ds)
+        (P.plan ~options:{ options with max_splits = k } P.Heuristic q ~train:ds)
+          .P.est_cost
       in
       let c0 = cost 0 and c2 = cost 2 and c6 = cost 6 in
       c0 +. 1e-9 >= c2 && c2 +. 1e-9 >= c6)
@@ -339,9 +340,10 @@ let prop_plan_size_bounded =
       let ds, q = build_instance i in
       List.for_all
         (fun k ->
-          let plan, _ =
-            P.plan ~options:{ options with max_splits = k } P.Heuristic q
-              ~train:ds
+          let plan =
+            (P.plan ~options:{ options with max_splits = k } P.Heuristic q
+               ~train:ds)
+              .P.plan
           in
           Plan.n_tests plan <= k)
         [ 0; 1; 3 ])
@@ -369,7 +371,8 @@ let prop_boards_eq3_eq4 =
       let opts = { options with cost_model = Some model } in
       List.for_all
         (fun algo ->
-          let plan, reported = P.plan ~options:opts algo q ~train:ds in
+          let r = P.plan ~options:opts algo q ~train:ds in
+          let plan = r.P.plan and reported = r.P.est_cost in
           let analytic =
             Acq_core.Expected_cost.of_plan ~model q ~costs est plan
           in
@@ -388,7 +391,7 @@ let prop_boards_dominance =
       let ds, q = build_instance i in
       let model = Acq_plan.Cost_model.boards ~board ~wakeup ~read in
       let opts = { options with cost_model = Some model } in
-      let cost algo = snd (P.plan ~options:opts algo q ~train:ds) in
+      let cost algo = (P.plan ~options:opts algo q ~train:ds).P.est_cost in
       cost P.Exhaustive <= cost P.Heuristic +. 1e-6
       && cost P.Heuristic <= cost P.Corr_seq +. 1e-6)
 
@@ -515,6 +518,57 @@ let prop_joint_equals_view =
         -. Acq_prob.View.range_prob v' ~attr:1 r1)
       < 1e-9)
 
+(* The chain the paper argues analytically, checked at the level of
+   the individual planner modules (the facade-level chain is
+   prop_dominance): the optimal conditional plan never costs more than
+   the optimal sequential order, which never costs more than the
+   correlation-blind ranking. *)
+let prop_exhaustive_leq_optseq_leq_naive =
+  QCheck2.Test.make ~count:50 ~name:"exhaustive <= optseq <= naive (modules)"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let schema = DS.schema ds in
+      let costs = S.costs schema in
+      let est = E.empirical ds in
+      let grid =
+        Acq_core.Spsf.for_query ~domains:(S.domains schema) ~points_per_attr:2
+          q
+      in
+      let _, exh = Acq_core.Exhaustive.plan q ~costs ~grid est in
+      let _, seq = Acq_core.Optseq.order q ~costs est in
+      let naive_order = Acq_core.Naive.order q ~costs est in
+      let naive = Acq_core.Expected_cost.of_order q ~costs est naive_order in
+      exh <= seq +. 1e-6 && seq <= naive +. 1e-6)
+
+(* Re-entrancy: back-to-back runs with fresh explicit contexts produce
+   the same plan and burn exactly the same effort — no memo entries or
+   counters survive from one call to the next. *)
+let prop_exhaustive_reentrant =
+  QCheck2.Test.make ~count:50
+    ~name:"exhaustive re-entrant: fresh contexts, identical runs"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let schema = DS.schema ds in
+      let costs = S.costs schema in
+      let est = E.empirical ds in
+      let grid =
+        Acq_core.Spsf.for_query ~domains:(S.domains schema) ~points_per_attr:2
+          q
+      in
+      let run () =
+        let search = Acq_core.Search.create () in
+        let p, c = Acq_core.Exhaustive.plan ~search q ~costs ~grid est in
+        ( p,
+          c,
+          Acq_core.Search.nodes_solved search,
+          Acq_core.Search.memo_hits search )
+      in
+      let p1, c1, solved1, hits1 = run () in
+      let p2, c2, solved2, hits2 = run () in
+      Plan.equal p1 p2
+      && Float.abs (c1 -. c2) < 1e-9
+      && solved1 = solved2 && hits1 = hits2 && solved1 > 0)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -529,6 +583,8 @@ let () =
             prop_optseq_beats_greedy;
             prop_seq_orders_complete;
             prop_exhaustive_cost_realized;
+            prop_exhaustive_leq_optseq_leq_naive;
+            prop_exhaustive_reentrant;
             prop_plan_size_bounded;
             prop_pattern_probs_normalized;
           ] );

@@ -107,9 +107,10 @@ let test_replan_pipeline () =
   Alcotest.(check bool) "window full" true (Sl.is_full w);
   let q = Acq_workload.Query_gen.lab_query (Rng.create 4) ~train:history in
   let costs = Acq_data.Schema.costs (DS.schema ds) in
-  let plan, _ =
-    Acq_core.Planner.plan_with_estimator Acq_core.Planner.Heuristic q ~costs
-      (Sl.estimator w)
+  let plan =
+    (Acq_core.Planner.plan_with_estimator Acq_core.Planner.Heuristic q ~costs
+       (Sl.estimator w))
+      .Acq_core.Planner.plan
   in
   Alcotest.(check bool) "window-planned plan consistent" true
     (Acq_plan.Executor.consistent q ~costs plan live)

@@ -119,15 +119,14 @@ let experiment_fixture () =
         Exp.name = "Naive";
         build =
           (fun q ->
-            fst (Acq_core.Planner.plan ~options:o Acq_core.Planner.Naive q ~train));
+            Acq_core.Planner.plan ~options:o Acq_core.Planner.Naive q ~train);
       };
       {
         Exp.name = "Heuristic";
         build =
           (fun q ->
-            fst
-              (Acq_core.Planner.plan ~options:o Acq_core.Planner.Heuristic q
-                 ~train));
+            Acq_core.Planner.plan ~options:o Acq_core.Planner.Heuristic q
+              ~train);
       };
     ]
   in
@@ -139,12 +138,30 @@ let test_experiment_run () =
   List.iter
     (fun r ->
       Alcotest.(check int) "two costs" 2 (Array.length r.Exp.test_costs);
+      Alcotest.(check int) "two est costs" 2 (Array.length r.Exp.est_costs);
+      Alcotest.(check int) "two stats" 2 (Array.length r.Exp.plan_stats);
       Alcotest.(check bool) "consistent" true r.Exp.consistent;
       Array.iter
         (fun c -> Alcotest.(check bool) "positive cost" true (c > 0.0))
-        r.Exp.test_costs)
+        r.Exp.test_costs;
+      Array.iter
+        (fun (s : Acq_core.Search.stats) ->
+          Alcotest.(check bool) "estimator instrumented" true
+            (s.Acq_core.Search.estimator_calls > 0);
+          Alcotest.(check bool) "plan size recorded" true
+            (s.Acq_core.Search.plan_size > 0))
+        r.Exp.plan_stats)
     runs;
-  Alcotest.(check bool) "all consistent" true (Exp.all_consistent runs)
+  Alcotest.(check bool) "all consistent" true (Exp.all_consistent runs);
+  (* Per-planner totals aggregate cleanly across the workload. *)
+  let totals = Exp.total_stats runs 1 in
+  let by_hand =
+    List.fold_left
+      (fun acc r -> acc + r.Exp.plan_stats.(1).Acq_core.Search.estimator_calls)
+      0 runs
+  in
+  Alcotest.(check int) "total_stats sums estimator calls" by_hand
+    totals.Acq_core.Search.estimator_calls
 
 let test_experiment_gains () =
   let runs = experiment_fixture () in
