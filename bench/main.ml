@@ -200,6 +200,30 @@ module K = struct
            (let ds = Lazy.force lab in
             let q = lab_query ds 102 in
             plan P.Heuristic { opts with split_points_per_attr = 16 } q ds));
+      (* obs: telemetry overhead on the executor hot loop — the same
+         average_cost call with a no-op handle vs a live registry. *)
+      Test.make ~name:"obs/avg-cost-noop"
+        (Staged.stage
+           (let ds = Lazy.force lab in
+            let q = lab_query ds 91 in
+            let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
+            let p = (P.plan ~options:opts P.Heuristic q ~train:ds).P.plan in
+            fun () ->
+              ignore
+                (Acq_plan.Executor.average_cost ~obs:Acq_obs.Telemetry.noop q
+                   ~costs p ds
+                  : float)));
+      Test.make ~name:"obs/avg-cost-live"
+        (Staged.stage
+           (let ds = Lazy.force lab in
+            let q = lab_query ds 91 in
+            let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
+            let p = (P.plan ~options:opts P.Heuristic q ~train:ds).P.plan in
+            let m = Acq_obs.Metrics.create () in
+            let obs = Acq_obs.Telemetry.create ~metrics:m () in
+            fun () ->
+              ignore
+                (Acq_plan.Executor.average_cost ~obs q ~costs p ds : float)));
     ]
 end
 
@@ -278,6 +302,190 @@ let write_stats_json path =
   close_out oc;
   Printf.printf "wrote planner search statistics to %s\n" path
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry export: run a handful of representative workloads under a
+   live metrics registry and dump every counter per (experiment,
+   algorithm) as BENCH_obs.json — planner search effort, per-attribute
+   executor acquisitions, and per-mote runtime energy. A checked-in
+   schema (bench/BENCH_obs.schema.json) pins the shape; the validator
+   below interprets the JSON-Schema subset the schema uses. *)
+
+module J = Acq_obs.Json
+
+let obs_runs () =
+  let module P = Acq_core.Planner in
+  let lab_coarse = Lazy.force K.lab_coarse in
+  let lab_q = K.lab_query lab_coarse 93 in
+  let planner name options algo =
+    ( "lab-coarse",
+      name,
+      fun obs ->
+        ignore (P.plan ~options ~telemetry:obs algo lab_q ~train:lab_coarse
+                 : P.result) )
+  in
+  [
+    planner "Naive" K.opts P.Naive;
+    planner "CorrSeq" K.opts P.Corr_seq;
+    planner "Heuristic"
+      { K.opts with split_points_per_attr = 2 }
+      P.Heuristic;
+    planner "Exhaustive-r2"
+      {
+        K.opts with
+        split_points_per_attr = 2;
+        exhaustive_budget = 5_000_000;
+      }
+      P.Exhaustive;
+    ( "lab-runtime",
+      "Heuristic",
+      fun obs ->
+        let lab = Lazy.force K.lab in
+        let history, live =
+          Acq_data.Dataset.split_by_time lab ~train_fraction:0.5
+        in
+        let q = K.lab_query history 91 in
+        ignore
+          (Acq_sensor.Runtime.run ~telemetry:obs
+             ~algorithm:Acq_core.Planner.Heuristic ~history ~live q
+            : Acq_sensor.Runtime.report) );
+  ]
+
+let write_obs_json path =
+  let entries =
+    List.map
+      (fun (experiment, algorithm, thunk) ->
+        let m = Acq_obs.Metrics.create () in
+        thunk (Acq_obs.Telemetry.create ~metrics:m ());
+        J.Obj
+          [
+            ("experiment", J.Str experiment);
+            ("algorithm", J.Str algorithm);
+            ("metrics", Acq_obs.Metrics.to_json m);
+          ])
+      (obs_runs ())
+  in
+  let doc = J.Obj [ ("version", J.Num 1.0); ("entries", J.Arr entries) ] in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote telemetry counters to %s\n" path
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Check [v] against the subset of JSON Schema the checked-in schema
+   uses: type, required, properties, items, minItems — plus a custom
+   [requiredMetricNames] list of metric families that must have been
+   recorded somewhere in the document. Returns human-readable errors. *)
+let schema_errors schema v =
+  let errs = ref [] in
+  let err path msg = errs := Printf.sprintf "%s: %s" path msg :: !errs in
+  let rec go path s v =
+    let field name =
+      match s with J.Obj kvs -> List.assoc_opt name kvs | _ -> None
+    in
+    (match field "type" with
+    | Some (J.Str t) ->
+        let ok =
+          match (t, v) with
+          | "object", J.Obj _
+          | "array", J.Arr _
+          | "string", J.Str _
+          | "number", J.Num _
+          | "boolean", J.Bool _ ->
+              true
+          | _ -> false
+        in
+        if not ok then err path ("expected " ^ t)
+    | _ -> ());
+    (match (field "required", v) with
+    | Some (J.Arr req), J.Obj kvs ->
+        List.iter
+          (function
+            | J.Str k ->
+                if not (List.mem_assoc k kvs) then
+                  err path ("missing field " ^ k)
+            | _ -> ())
+          req
+    | _ -> ());
+    (match (field "properties", v) with
+    | Some (J.Obj props), J.Obj kvs ->
+        List.iter
+          (fun (k, sub) ->
+            match List.assoc_opt k kvs with
+            | Some vv -> go (path ^ "." ^ k) sub vv
+            | None -> ())
+          props
+    | _ -> ());
+    (match (field "items", v) with
+    | Some sub, J.Arr elems ->
+        List.iteri
+          (fun i vv -> go (Printf.sprintf "%s[%d]" path i) sub vv)
+          elems
+    | _ -> ());
+    match (field "minItems", v) with
+    | Some (J.Num n), J.Arr elems ->
+        if List.length elems < int_of_float n then
+          err path (Printf.sprintf "fewer than %.0f items" n)
+    | _ -> ()
+  in
+  go "$" schema v;
+  (match schema with
+  | J.Obj kvs -> (
+      match List.assoc_opt "requiredMetricNames" kvs with
+      | Some (J.Arr names) ->
+          let mentioned = ref [] in
+          let rec collect v =
+            match v with
+            | J.Obj kvs ->
+                List.iter
+                  (fun (k, vv) ->
+                    (match (k, vv) with
+                    | "name", J.Str s -> mentioned := s :: !mentioned
+                    | _ -> ());
+                    collect vv)
+                  kvs
+            | J.Arr l -> List.iter collect l
+            | _ -> ()
+          in
+          collect v;
+          List.iter
+            (function
+              | J.Str n ->
+                  if not (List.mem n !mentioned) then
+                    err "$" ("metric never recorded: " ^ n)
+              | _ -> ())
+            names
+      | _ -> ())
+  | _ -> ());
+  List.rev !errs
+
+let obs_schema_path () =
+  if Sys.file_exists "bench/BENCH_obs.schema.json" then
+    "bench/BENCH_obs.schema.json"
+  else "BENCH_obs.schema.json"
+
+let validate_obs path =
+  let parse_or_die what p =
+    match J.parse (read_file p) with
+    | Ok v -> v
+    | Error e ->
+        Printf.eprintf "%s %s: invalid JSON: %s\n" what p e;
+        exit 1
+  in
+  let doc = parse_or_die "document" path in
+  let schema = parse_or_die "schema" (obs_schema_path ()) in
+  match schema_errors schema doc with
+  | [] -> Printf.printf "%s conforms to %s\n" path (obs_schema_path ())
+  | errs ->
+      List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errs;
+      exit 1
+
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
   let cfg =
@@ -322,7 +530,25 @@ let () =
   let micro_only = List.mem "--micro" args in
   let no_micro = List.mem "--no-micro" args in
   let list = List.mem "--list" args in
-  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let obs_smoke = List.mem "--obs-smoke" args in
+  let validate_target =
+    let rec find = function
+      | "--validate-obs" :: path :: _ -> Some path
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  let ids =
+    let rec keep = function
+      | "--validate-obs" :: _ :: rest -> keep rest
+      | a :: rest ->
+          if String.length a > 1 && a.[0] = '-' then keep rest
+          else a :: keep rest
+      | [] -> []
+    in
+    keep args
+  in
   if list then begin
     List.iter
       (fun e ->
@@ -330,12 +556,23 @@ let () =
           e.Acq_workload.Registry.title)
       Acq_workload.Registry.all;
     print_endline
-      "flags: --full --micro --no-micro --list (every non-list run also \
-       writes BENCH_planner_stats.json)"
+      "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
+       --list (every non-list run also writes BENCH_planner_stats.json and \
+       BENCH_obs.json)"
   end
-  else begin
-    if not micro_only then
-      Acq_workload.Registry.run_selected { Acq_workload.Figures.full } ids;
-    write_stats_json "BENCH_planner_stats.json";
-    if micro_only || (ids = [] && not no_micro) then run_micro ()
-  end
+  else
+    match validate_target with
+    | Some path -> validate_obs path
+    | None ->
+        if obs_smoke then begin
+          write_obs_json "BENCH_obs.json";
+          validate_obs "BENCH_obs.json"
+        end
+        else begin
+          if not micro_only then
+            Acq_workload.Registry.run_selected { Acq_workload.Figures.full }
+              ids;
+          write_stats_json "BENCH_planner_stats.json";
+          write_obs_json "BENCH_obs.json";
+          if micro_only || (ids = [] && not no_micro) then run_micro ()
+        end

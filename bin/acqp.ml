@@ -99,6 +99,54 @@ let algo_arg =
     & info [ "algo"; "a" ] ~docv:"ALGO"
         ~doc:"Planner: naive, corrseq, heuristic, or exhaustive.")
 
+(* Telemetry plumbing shared by plan/run: build a live handle only
+   when an output file was requested, flush on completion. *)
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus text dump of every counter, gauge, and \
+           histogram the run recorded to $(docv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON array (planner and runtime \
+           spans, per-mote energy counter tracks) to $(docv); load it in \
+           chrome://tracing or Perfetto.")
+
+let with_telemetry ~metrics_out ~trace_out f =
+  let metrics =
+    match metrics_out with
+    | Some _ -> Some (Acq_obs.Metrics.create ())
+    | None -> None
+  in
+  let tracer =
+    match trace_out with
+    | Some _ -> Some (Acq_obs.Tracer.create ())
+    | None -> None
+  in
+  let obs = Acq_obs.Telemetry.create ?metrics ?tracer () in
+  f obs;
+  let dump path contents what =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "%s written to %s\n" what path
+  in
+  (match (metrics_out, metrics) with
+  | Some path, Some m -> dump path (Acq_obs.Metrics.to_prometheus m) "metrics"
+  | _ -> ());
+  match (trace_out, tracer) with
+  | Some path, Some tr -> dump path (Acq_obs.Tracer.to_chrome tr) "trace"
+  | _ -> ()
+
 let default_sql = function
   | Lab -> "SELECT * WHERE light >= 300 AND temp <= 19 AND humidity <= 45"
   | Garden5 | Garden11 ->
@@ -145,7 +193,8 @@ let stats_flag =
            estimator calls, plan bytes, wall-clock ms).")
 
 let plan_cmd =
-  let run kind rows seed sql algo splits points show_stats =
+  let run kind rows seed sql algo splits points show_stats metrics_out
+      trace_out =
     let ds = make_dataset kind ~rows ~seed in
     let train, test = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
     let schema = Acq_data.Dataset.schema ds in
@@ -160,7 +209,8 @@ let plan_cmd =
     in
     Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
       (Acq_core.Planner.algorithm_name algo);
-    let r = Acq_core.Planner.plan ~options algo q ~train in
+    with_telemetry ~metrics_out ~trace_out @@ fun obs ->
+    let r = Acq_core.Planner.plan ~options ~telemetry:obs algo q ~train in
     let plan = r.Acq_core.Planner.plan in
     print_string (Acq_plan.Printer.to_string q plan);
     Printf.printf "\n%s\n" (Acq_plan.Printer.summary q plan);
@@ -168,7 +218,7 @@ let plan_cmd =
     Printf.printf "expected cost on training distribution: %.2f\n"
       r.Acq_core.Planner.est_cost;
     Printf.printf "measured cost on held-out test data:    %.2f\n"
-      (Acq_plan.Executor.average_cost q ~costs plan test);
+      (Acq_plan.Executor.average_cost ~obs q ~costs plan test);
     Printf.printf "correct on all test tuples: %b\n"
       (Acq_plan.Executor.consistent q ~costs plan test);
     if show_stats then
@@ -179,12 +229,12 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Optimize one query and print the conditional plan.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg $ stats_flag)
+      $ splits_arg $ points_arg $ stats_flag $ metrics_out_arg $ trace_out_arg)
 
 (* run *)
 
 let run_cmd =
-  let run kind rows seed sql algo splits points =
+  let run kind rows seed sql algo splits points metrics_out trace_out =
     let ds = make_dataset kind ~rows ~seed in
     let history, live = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
     let schema = Acq_data.Dataset.schema ds in
@@ -198,8 +248,10 @@ let run_cmd =
     in
     Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
       (Acq_core.Planner.algorithm_name algo);
+    with_telemetry ~metrics_out ~trace_out @@ fun obs ->
     let report =
-      Acq_sensor.Runtime.run ~options ~algorithm:algo ~history ~live q
+      Acq_sensor.Runtime.run ~options ~telemetry:obs ~algorithm:algo ~history
+        ~live q
     in
     Format.printf "%a@." Acq_sensor.Runtime.pp_report report
   in
@@ -210,7 +262,7 @@ let run_cmd =
           and replay a live trace epoch by epoch.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg)
+      $ splits_arg $ points_arg $ metrics_out_arg $ trace_out_arg)
 
 (* stats *)
 

@@ -29,7 +29,7 @@ let () =
     Printf.printf
       "%-11s plan %4dB %2d tests | acquisition %.2f/epoch | radio %7.1f | \
        matches %4d | correct %b\n"
-      (P.algorithm_name algo) r.RT.plan_bytes
+      (P.algorithm_name algo) (RT.plan_bytes r)
       (Acq_plan.Plan.n_tests r.RT.plan)
       r.RT.avg_cost_per_epoch r.RT.radio_energy r.RT.matches r.RT.correct;
     r

@@ -72,27 +72,51 @@ let plan ?search ?model q ~costs ~grid est =
                 (0.0, Some (fallback_leaf ranges))
               else begin
                 Search.solved search;
+                let obs = Search.telemetry search in
+                let instrumented = Acq_obs.Telemetry.enabled obs in
+                let t0 = if instrumented then Unix.gettimeofday () else 0.0 in
                 let c_min = ref bound and best = ref None in
                 Array.iter (fun i -> explore ranges est i c_min best) attr_order;
-                match !best with
-                | Some plan when !c_min < bound ->
-                    Hashtbl.replace memo key (Exact (!c_min, plan));
-                    (!c_min, Some plan)
-                | Some _ | None ->
-                    let prev =
-                      match Hashtbl.find_opt memo key with
-                      | Some (Lower_bound lb) -> lb
-                      | Some (Exact _) | None -> neg_infinity
-                    in
-                    Hashtbl.replace memo key (Lower_bound (Float.max prev bound));
-                    (bound, None)
+                let result =
+                  match !best with
+                  | Some plan when !c_min < bound ->
+                      Hashtbl.replace memo key (Exact (!c_min, plan));
+                      (!c_min, Some plan)
+                  | Some _ | None ->
+                      Search.pruned search;
+                      let prev =
+                        match Hashtbl.find_opt memo key with
+                        | Some (Lower_bound lb) -> lb
+                        | Some (Exact _) | None -> neg_infinity
+                      in
+                      Hashtbl.replace memo key
+                        (Lower_bound (Float.max prev bound));
+                      (bound, None)
+                in
+                if instrumented then begin
+                  (* Tier = attributes acquired so far; the DP's depth
+                     in the subproblem lattice. Inclusive solve time:
+                     children are timed inside their parents. *)
+                  let tier = ref 0 in
+                  Array.iteri
+                    (fun i _ ->
+                      if Subproblem.acquired ranges ~domains i then incr tier)
+                    ranges;
+                  Acq_obs.Telemetry.incr obs
+                    ~labels:[ ("tier", string_of_int !tier) ]
+                    "acqp_planner_subproblems_total";
+                  Acq_obs.Telemetry.observe obs "acqp_planner_subproblem_ms"
+                    ((Unix.gettimeofday () -. t0) *. 1000.0)
+                end;
+                result
               end
         end
   and explore ranges est i c_min best =
     let candidates = Spsf.candidates grid i ranges.(i) in
     if candidates <> [] then begin
       let atomic = atomic_of ranges i in
-      if atomic < !c_min then begin
+      if atomic >= !c_min then Search.pruned search
+      else begin
         (* One conditional histogram per attribute gives every split
            probability in O(1) — Equation (7)'s prefix-sum rule. *)
         let vp = est.Acq_prob.Estimator.value_probs i in

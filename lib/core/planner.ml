@@ -35,36 +35,54 @@ type result = {
   stats : Search.stats;
 }
 
-let plan_with_estimator ?(options = default_options) algorithm q ~costs est =
+let plan_with_estimator ?(options = default_options)
+    ?(telemetry = Acq_obs.Telemetry.noop) algorithm q ~costs est =
   let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
   let grid =
     Spsf.for_query ~domains ~points_per_attr:options.split_points_per_attr q
   in
   let model = options.cost_model in
+  let algo_labels = [ ("algorithm", algorithm_name algorithm) ] in
   (* One fresh context per call: the planners share its counters,
      memo table, and limits, and nothing outlives the call. *)
   let finish search (plan, est_cost) =
-    {
-      plan;
-      est_cost;
-      stats =
-        Search.stats ~plan_size:(Acq_plan.Serialize.size plan) search;
-    }
+    let stats =
+      Search.stats ~plan_size:(Acq_plan.Serialize.size plan) search
+    in
+    let module T = Acq_obs.Telemetry in
+    if T.enabled telemetry then begin
+      let addc name v = T.add telemetry ~labels:algo_labels name (float_of_int v) in
+      addc "acqp_planner_plans_total" 1;
+      addc "acqp_planner_nodes_solved_total" stats.Search.nodes_solved;
+      addc "acqp_planner_memo_hits_total" stats.Search.memo_hits;
+      addc "acqp_planner_estimator_calls_total" stats.Search.estimator_calls;
+      addc "acqp_planner_pruned_total" (Search.pruned_branches search);
+      addc "acqp_planner_plan_bytes_total" stats.Search.plan_size;
+      T.observe telemetry ~labels:algo_labels "acqp_planner_plan_ms"
+        stats.Search.wall_ms
+    end;
+    { plan; est_cost; stats }
   in
+  Acq_obs.Telemetry.span telemetry ~cat:"planner"
+    ~attrs:
+      (("predicates", string_of_int (Acq_plan.Query.n_predicates q))
+      :: algo_labels)
+    "planner.plan"
+  @@ fun () ->
   match algorithm with
   | Naive ->
-      let search = Search.create ?deadline_ms:options.deadline_ms () in
+      let search = Search.create ?deadline_ms:options.deadline_ms ~telemetry () in
       let est = Search.wrap_estimator search est in
       let p = Naive.plan ~search ?model q ~costs est in
       finish search (p, Expected_cost.of_plan ?model q ~costs est p)
   | Corr_seq ->
-      let search = Search.create ?deadline_ms:options.deadline_ms () in
+      let search = Search.create ?deadline_ms:options.deadline_ms ~telemetry () in
       let est = Search.wrap_estimator search est in
       finish search
         (Seq_planner.plan ~search ~optseq_threshold:options.optseq_threshold
            ?model q ~costs est)
   | Heuristic ->
-      let search = Search.create ?deadline_ms:options.deadline_ms () in
+      let search = Search.create ?deadline_ms:options.deadline_ms ~telemetry () in
       let est = Search.wrap_estimator search est in
       finish search
         (Greedy_plan.plan ~search ~optseq_threshold:options.optseq_threshold
@@ -74,12 +92,12 @@ let plan_with_estimator ?(options = default_options) algorithm q ~costs est =
   | Exhaustive ->
       let search =
         Search.create ~budget:options.exhaustive_budget
-          ?deadline_ms:options.deadline_ms ()
+          ?deadline_ms:options.deadline_ms ~telemetry ()
       in
       let est = Search.wrap_estimator search est in
       finish search (Exhaustive.plan ~search ?model q ~costs ~grid est)
 
-let plan ?options algorithm q ~train =
+let plan ?options ?telemetry algorithm q ~train =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
   let est = Acq_prob.Estimator.empirical train in
-  plan_with_estimator ?options algorithm q ~costs est
+  plan_with_estimator ?options ?telemetry algorithm q ~costs est

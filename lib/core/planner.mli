@@ -60,14 +60,24 @@ type result = {
 
 val plan :
   ?options:options ->
+  ?telemetry:Acq_obs.Telemetry.t ->
   algorithm ->
   Acq_plan.Query.t ->
   train:Acq_data.Dataset.t ->
   result
-(** Plan with the empirical estimator over [train]. *)
+(** Plan with the empirical estimator over [train].
+
+    [telemetry] (default noop) observes the whole call: a
+    ["planner.plan"] span (attributes: algorithm, predicate count),
+    per-algorithm counters [acqp_planner_{plans,nodes_solved,
+    memo_hits,estimator_calls,pruned,plan_bytes}_total], the
+    [acqp_planner_plan_ms] wall-clock histogram, and — for
+    {!Exhaustive} — per-tier subproblem counters and the
+    [acqp_planner_subproblem_ms] solve-time histogram. *)
 
 val plan_with_estimator :
   ?options:options ->
+  ?telemetry:Acq_obs.Telemetry.t ->
   algorithm ->
   Acq_plan.Query.t ->
   costs:float array ->

@@ -1,6 +1,8 @@
 exception Budget_exceeded
 exception Deadline_exceeded
 
+module Telemetry = Acq_obs.Telemetry
+
 type 'memo t = {
   budget : int;
   deadline_ms : float option;
@@ -9,7 +11,8 @@ type 'memo t = {
   mutable nodes_solved : int;
   mutable memo_hits : int;
   mutable estimator_calls : int;
-  trace_sink : (string -> unit) option;
+  mutable pruned_branches : int;
+  obs : Telemetry.t;
 }
 
 type stats = {
@@ -20,7 +23,15 @@ type stats = {
   wall_ms : float;
 }
 
-let create ?(budget = max_int) ?deadline_ms ?trace () =
+let create ?(budget = max_int) ?deadline_ms ?(telemetry = Telemetry.noop)
+    ?trace () =
+  let obs =
+    (* Back-compat shim: a legacy string sink still sees every event
+       line, now routed through the span/event API. *)
+    match trace with
+    | None -> telemetry
+    | Some sink -> Telemetry.add_event_sink telemetry sink
+  in
   {
     budget;
     deadline_ms;
@@ -29,7 +40,8 @@ let create ?(budget = max_int) ?deadline_ms ?trace () =
     nodes_solved = 0;
     memo_hits = 0;
     estimator_calls = 0;
-    trace_sink = trace;
+    pruned_branches = 0;
+    obs;
   }
 
 let elapsed_ms (t : _ t) = (Unix.gettimeofday () -. t.started) *. 1000.0
@@ -42,13 +54,16 @@ let solved (t : _ t) =
   | Some _ | None -> ()
 
 let hit (t : _ t) = t.memo_hits <- t.memo_hits + 1
+let pruned (t : _ t) = t.pruned_branches <- t.pruned_branches + 1
 let memo (t : 'm t) = t.memo
 let nodes_solved (t : _ t) = t.nodes_solved
 let memo_hits (t : _ t) = t.memo_hits
 let estimator_calls (t : _ t) = t.estimator_calls
+let pruned_branches (t : _ t) = t.pruned_branches
+let telemetry (t : _ t) = t.obs
 
 let trace (t : _ t) thunk =
-  match t.trace_sink with Some sink -> sink (thunk ()) | None -> ()
+  if Telemetry.enabled t.obs then Telemetry.event t.obs ~cat:"search" (thunk ())
 
 let rec wrap_estimator (t : _ t) (e : Acq_prob.Estimator.t) =
   let tick () = t.estimator_calls <- t.estimator_calls + 1 in

@@ -37,6 +37,7 @@ type stats = {
 val create :
   ?budget:int ->
   ?deadline_ms:float ->
+  ?telemetry:Acq_obs.Telemetry.t ->
   ?trace:(string -> unit) ->
   unit ->
   'memo t
@@ -44,8 +45,14 @@ val create :
     {!solved} ticks across every planner sharing the context —
     including nested sequential planning — after which {!solved}
     raises {!Budget_exceeded}. [deadline_ms] bounds wall-clock time
-    the same way via {!Deadline_exceeded}. [trace] receives free-form
-    progress lines from {!trace}. *)
+    the same way via {!Deadline_exceeded}. [telemetry] (default
+    {!Acq_obs.Telemetry.noop}) receives the spans, events, and metric
+    updates the planners emit through this context.
+
+    [trace] is the retired free-form sink, kept as a thin
+    back-compat wrapper: the strings {!trace} emits are forwarded to
+    it as span events via {!Acq_obs.Telemetry.add_event_sink}. New
+    code should pass [telemetry] with a {!Acq_obs.Tracer.t} instead. *)
 
 val solved : _ t -> unit
 (** Record one expanded search node; raises {!Budget_exceeded} or
@@ -54,19 +61,29 @@ val solved : _ t -> unit
 val hit : _ t -> unit
 (** Record one memo-table hit. *)
 
+val pruned : _ t -> unit
+(** Record one search branch cut by a bound (Exhaustive's pruning
+    guard, GreedyPlan's queue rejections). *)
+
 val memo : 'memo t -> (string, 'memo) Hashtbl.t
 (** The context-owned memo table (keys are {!Subproblem.key}s). *)
 
 val nodes_solved : _ t -> int
 val memo_hits : _ t -> int
 val estimator_calls : _ t -> int
+val pruned_branches : _ t -> int
+
+val telemetry : _ t -> Acq_obs.Telemetry.t
+(** The handle passed to {!create} (with the legacy sink attached, if
+    any) — planners use it for spans and fine-grained histograms. *)
 
 val elapsed_ms : _ t -> float
 (** Wall-clock milliseconds since {!create}. *)
 
 val trace : _ t -> (unit -> string) -> unit
-(** Emit a progress line to the trace sink, if any. The thunk is only
-    forced when a sink is installed. *)
+(** Emit a progress line as a span event (and to the legacy sink, if
+    one was installed). The thunk is only forced when the context's
+    telemetry is live. *)
 
 val wrap_estimator : _ t -> Acq_prob.Estimator.t -> Acq_prob.Estimator.t
 (** Counting decorator: every probability query against the returned

@@ -1,0 +1,223 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number v =
+  if not (Float.is_finite v) then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> Buffer.add_string buf (number v)
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj members ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          write buf v)
+        members;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  write buf v;
+  Buffer.contents buf
+
+exception Fail of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Fail (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | Some _ | None -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected %c, got %c" c c')
+    | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("invalid literal, expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+               if !pos + 4 >= n then fail "truncated \\u escape";
+               let hex = String.sub s (!pos + 1) 4 in
+               let code =
+                 try int_of_string ("0x" ^ hex)
+                 with _ -> fail "bad \\u escape"
+               in
+               (* Non-ASCII escapes re-encode as UTF-8. *)
+               if code < 0x80 then Buffer.add_char buf (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buf
+                   (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+               end;
+               pos := !pos + 4
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some v -> v
+    | None -> fail ("bad number: " ^ text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let parse_member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let members = ref [ parse_member () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            members := parse_member () :: !members;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !members)
+        end
+    | Some _ -> Num (parse_number ())
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Fail (at, msg) ->
+      Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | Null | Bool _ | Num _ | Str _ | Arr _ -> None

@@ -1,0 +1,34 @@
+(** Minimal JSON values — just enough for the telemetry exporters
+    (metrics dumps, Chrome trace events) and for validating the files
+    they produce, with zero external dependencies.
+
+    Rendering is deterministic: object members keep their given order,
+    floats print with up to 12 significant digits and integral values
+    print without a fractional part, so golden tests can compare dumps
+    byte for byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-escape the contents (no surrounding quotes). *)
+
+val number : float -> string
+(** Canonical number rendering: ["42"] not ["42."], ["0.125"],
+    non-finite values as [null]-safe ["0"]. *)
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+val parse : string -> (t, string) result
+(** Strict-enough recursive-descent parser for everything
+    {!to_string} emits (and ordinary hand-written JSON). The error
+    string includes the byte offset. *)
+
+val member : string -> t -> t option
+(** Object member lookup; [None] on non-objects too. *)

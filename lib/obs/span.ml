@@ -1,0 +1,54 @@
+type span = {
+  name : string;
+  cat : string;
+  start_us : float;
+  dur_us : float;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+type item =
+  | Complete of span
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      depth : int;
+      attrs : (string * string) list;
+    }
+  | Sample of { name : string; ts_us : float; series : (string * float) list }
+
+let ts_us = function
+  | Complete s -> s.start_us
+  | Instant i -> i.ts_us
+  | Sample s -> s.ts_us
+
+let args_of_attrs attrs = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) attrs)
+
+let to_event ?(pid = 0) item =
+  let base name cat ph ts =
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str ph);
+      ("ts", Json.Num ts);
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num 0.0);
+    ]
+  in
+  match item with
+  | Complete s ->
+      Json.Obj
+        (base s.name s.cat "X" s.start_us
+        @ [ ("dur", Json.Num s.dur_us); ("args", args_of_attrs s.attrs) ])
+  | Instant i ->
+      Json.Obj
+        (base i.name i.cat "i" i.ts_us
+        @ [ ("s", Json.Str "t"); ("args", args_of_attrs i.attrs) ])
+  | Sample s ->
+      Json.Obj
+        (base s.name "sample" "C" s.ts_us
+        @ [
+            ( "args",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.series) );
+          ])

@@ -1,0 +1,35 @@
+(** Trace items: the data a {!Tracer} records. Pure data — creation,
+    nesting, and clocks live in {!Tracer}; the Chrome trace-event
+    rendering lives here so both the tracer and tests can share it. *)
+
+type span = {
+  name : string;
+  cat : string;  (** coarse category, e.g. ["planner"], ["runtime"] *)
+  start_us : float;  (** microseconds since the tracer's epoch *)
+  dur_us : float;
+  depth : int;  (** nesting depth when the span was opened; 0 = root *)
+  attrs : (string * string) list;
+}
+
+type item =
+  | Complete of span  (** a closed timed span (Chrome phase ["X"]) *)
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      depth : int;
+      attrs : (string * string) list;
+    }  (** a point event (phase ["i"]) *)
+  | Sample of {
+      name : string;
+      ts_us : float;
+      series : (string * float) list;
+    }  (** a counter sample (phase ["C"]) — per-epoch energy series *)
+
+val ts_us : item -> float
+
+val to_event : ?pid:int -> item -> Json.t
+(** One Chrome trace-event object ([chrome://tracing] /
+    [ui.perfetto.dev] loadable when wrapped in a JSON array). All
+    items share [tid] 0 so complete spans nest by time containment;
+    attributes and counter series become [args]. *)

@@ -1,0 +1,47 @@
+type t = {
+  clock : unit -> float;
+  epoch : float;
+  on_event : (string -> unit) option;
+  mutable rev_items : Span.item list;
+  mutable depth : int;
+}
+
+let create ?clock ?on_event () =
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  { clock; epoch = clock (); on_event; rev_items = []; depth = 0 }
+
+let now_us t = (t.clock () -. t.epoch) *. 1e6
+let elapsed_us = now_us
+let depth t = t.depth
+
+let record t item = t.rev_items <- item :: t.rev_items
+
+let span t ?(cat = "") ?(attrs = []) name f =
+  let start_us = now_us t in
+  let d = t.depth in
+  t.depth <- d + 1;
+  let finish () =
+    t.depth <- d;
+    record t
+      (Span.Complete
+         { Span.name; cat; start_us; dur_us = now_us t -. start_us; depth = d; attrs })
+  in
+  Fun.protect ~finally:finish f
+
+let event t ?(cat = "") ?(attrs = []) name =
+  record t (Span.Instant { name; cat; ts_us = now_us t; depth = t.depth; attrs });
+  match t.on_event with Some sink -> sink name | None -> ()
+
+let sample t name series =
+  record t (Span.Sample { name; ts_us = now_us t; series })
+
+let items t = List.rev t.rev_items
+
+let to_chrome t =
+  Json.to_string
+    (Json.Arr (List.rev_map (fun item -> Span.to_event item) t.rev_items))
+
+let to_jsonl t =
+  String.concat "\n"
+    (List.map (fun item -> Json.to_string (Span.to_event item)) (items t))
+  ^ if t.rev_items = [] then "" else "\n"

@@ -1,0 +1,47 @@
+(** Nestable timed spans, point events, and counter samples.
+
+    A tracer is an append-only in-memory buffer of {!Span.item}s with
+    its own epoch: timestamps are microseconds since {!create}. The
+    clock is injectable so golden tests can zero every timestamp.
+
+    Exports: {!to_chrome} renders the standard Chrome trace-event
+    JSON array ([chrome://tracing] / Perfetto loadable); {!to_jsonl}
+    renders the same events one object per line for streaming
+    consumers. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> ?on_event:(string -> unit) -> unit -> t
+(** [clock] returns seconds (default [Unix.gettimeofday]); only
+    differences matter. [on_event] additionally receives the name of
+    every {!event} as a plain string — the back-compat shim for the
+    old free-form [Search] trace sinks. *)
+
+val span : t -> ?cat:string -> ?attrs:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** Run the thunk inside a timed span. Spans nest: the current depth
+    is recorded with each item. The span is recorded even if the
+    thunk raises (the exception propagates). *)
+
+val event : t -> ?cat:string -> ?attrs:(string * string) list -> string -> unit
+(** Record an instant event at the current depth. *)
+
+val sample : t -> string -> (string * float) list -> unit
+(** Record a counter sample (a named multi-series data point, e.g.
+    per-epoch energy). *)
+
+val depth : t -> int
+(** Current span nesting depth (0 outside any span). *)
+
+val items : t -> Span.item list
+(** Everything recorded so far, in chronological order of recording
+    (spans appear at their completion). *)
+
+val elapsed_us : t -> float
+
+val to_chrome : t -> string
+(** JSON array of trace events — a valid Chrome trace. Never raises;
+    an empty tracer renders ["[]"]. *)
+
+val to_jsonl : t -> string
+(** Same events, one JSON object per line. *)

@@ -1,6 +1,43 @@
+module T = Acq_obs.Telemetry
+module M = Acq_obs.Metrics
+
 type outcome = { verdict : bool; cost : float; acquired : int list }
 
-let run ?model q ~costs plan ~lookup =
+(* Pre-resolved instruments: one lookup per [run]/[average_cost] call,
+   so the per-acquisition hot path is an array index, not a
+   name-keyed registry lookup. *)
+type instr = {
+  acq : M.counter array;  (* per-attribute acquisitions *)
+  depth : M.histogram;  (* plan tests traversed per tuple *)
+  tuples : M.counter;
+  matches : M.counter;
+}
+
+let instr_of obs q =
+  match T.metrics obs with
+  | None -> None
+  | Some m ->
+      let names = Acq_data.Schema.names (Query.schema q) in
+      Some
+        {
+          acq =
+            Array.map
+              (fun name ->
+                M.counter m
+                  ~help:"sensor acquisitions the executor paid for"
+                  ~labels:[ ("attr", name) ]
+                  "acqp_executor_acquisitions_total")
+              names;
+          depth =
+            M.histogram m ~help:"plan tests traversed per tuple" ~lowest:1.0
+              ~growth:2.0 ~buckets:8 "acqp_executor_traversal_depth";
+          tuples = M.counter m ~help:"tuples executed" "acqp_executor_tuples_total";
+          matches =
+            M.counter m ~help:"tuples satisfying the WHERE clause"
+              "acqp_executor_matches_total";
+        }
+
+let run_instr ?model ~instr q ~costs plan ~lookup =
   let model =
     match model with Some m -> m | None -> Cost_model.uniform costs
   in
@@ -8,12 +45,14 @@ let run ?model q ~costs plan ~lookup =
   let acquired = Array.make n false in
   let order = ref [] in
   let cost = ref 0.0 in
+  let tests = ref 0 in
   let touch attr =
     if not acquired.(attr) then begin
       cost :=
         !cost +. Cost_model.atomic model attr ~acquired:(fun j -> acquired.(j));
       acquired.(attr) <- true;
-      order := attr :: !order
+      order := attr :: !order;
+      match instr with Some i -> M.incr i.acq.(attr) | None -> ()
     end;
     lookup attr
   in
@@ -29,28 +68,43 @@ let run ?model q ~costs plan ~lookup =
         in
         eval_from 0
     | Plan.Test { attr; threshold; low; high } ->
+        incr tests;
         let v = touch attr in
         if v >= threshold then exec high else exec low
   in
   let verdict = exec plan in
+  (match instr with
+  | Some i ->
+      M.incr i.tuples;
+      if verdict then M.incr i.matches;
+      M.observe i.depth (float_of_int !tests)
+  | None -> ());
   { verdict; cost = !cost; acquired = List.rev !order }
 
-let run_tuple ?model q ~costs plan tuple =
-  run ?model q ~costs plan ~lookup:(fun attr -> tuple.(attr))
+let run ?model ?(obs = T.noop) q ~costs plan ~lookup =
+  run_instr ?model ~instr:(instr_of obs q) q ~costs plan ~lookup
 
-let average_cost ?model q ~costs plan data =
+let run_tuple ?model ?obs q ~costs plan tuple =
+  run ?model ?obs q ~costs plan ~lookup:(fun attr -> tuple.(attr))
+
+let average_cost ?model ?(obs = T.noop) q ~costs plan data =
   let n = Acq_data.Dataset.nrows data in
   if n = 0 then 0.0
-  else begin
+  else
+    T.span obs ~cat:"executor"
+      ~attrs:[ ("rows", string_of_int n) ]
+      "executor.average_cost"
+    @@ fun () ->
+    let instr = instr_of obs q in
     let total = ref 0.0 in
     for r = 0 to n - 1 do
       let o =
-        run ?model q ~costs plan ~lookup:(fun a -> Acq_data.Dataset.get data r a)
+        run_instr ?model ~instr q ~costs plan ~lookup:(fun a ->
+            Acq_data.Dataset.get data r a)
       in
       total := !total +. o.cost
     done;
     !total /. float_of_int n
-  end
 
 let consistent q ~costs plan data =
   let n = Acq_data.Dataset.nrows data in

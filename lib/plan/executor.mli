@@ -14,6 +14,7 @@ type outcome = {
 
 val run :
   ?model:Cost_model.t ->
+  ?obs:Acq_obs.Telemetry.t ->
   Query.t ->
   costs:float array ->
   Plan.t ->
@@ -24,10 +25,18 @@ val run :
     lookup closure is what actually powers up a sensor. [model]
     overrides the per-attribute [costs] with a history-dependent cost
     model (Section 7's sensor boards); when present, [costs] is
-    ignored for pricing. *)
+    ignored for pricing.
+
+    [obs] (default noop — one branch per acquisition) records
+    per-attribute [acqp_executor_acquisitions_total{attr=...}]
+    counters, tuple/match counters, and the
+    [acqp_executor_traversal_depth] histogram of plan tests visited —
+    the data that shows *which* expensive attribute a conditional
+    plan actually skips. *)
 
 val run_tuple :
   ?model:Cost_model.t ->
+  ?obs:Acq_obs.Telemetry.t ->
   Query.t ->
   costs:float array ->
   Plan.t ->
@@ -36,13 +45,16 @@ val run_tuple :
 
 val average_cost :
   ?model:Cost_model.t ->
+  ?obs:Acq_obs.Telemetry.t ->
   Query.t ->
   costs:float array ->
   Plan.t ->
   Acq_data.Dataset.t ->
   float
 (** Empirical expected cost, Equation (4): mean traversal cost over
-    the dataset. *)
+    the dataset. With live [obs], the whole sweep runs inside an
+    ["executor.average_cost"] span and instruments are resolved once
+    for the loop, not per tuple. *)
 
 val consistent :
   Query.t -> costs:float array -> Plan.t -> Acq_data.Dataset.t -> bool

@@ -2,14 +2,16 @@ type t = {
   options : Acq_core.Planner.options;
   algorithm : Acq_core.Planner.algorithm;
   history : Acq_data.Dataset.t;
+  telemetry : Acq_obs.Telemetry.t;
 }
 
-let create ?(options = Acq_core.Planner.default_options) ~algorithm ~history ()
-    =
-  { options; algorithm; history }
+let create ?(options = Acq_core.Planner.default_options)
+    ?(telemetry = Acq_obs.Telemetry.noop) ~algorithm ~history () =
+  { options; algorithm; history; telemetry }
 
 let plan_query t q =
-  Acq_core.Planner.plan ~options:t.options t.algorithm q ~train:t.history
+  Acq_core.Planner.plan ~options:t.options ~telemetry:t.telemetry t.algorithm
+    q ~train:t.history
 
 let history t = t.history
 

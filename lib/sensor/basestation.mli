@@ -6,10 +6,14 @@ type t
 
 val create :
   ?options:Acq_core.Planner.options ->
+  ?telemetry:Acq_obs.Telemetry.t ->
   algorithm:Acq_core.Planner.algorithm ->
   history:Acq_data.Dataset.t ->
   unit ->
   t
+(** [telemetry] (default noop) observes every {!plan_query} call —
+    the basestation is where the expensive planner search runs, so
+    its spans and counters land here. *)
 
 val plan_query : t -> Acq_plan.Query.t -> Acq_core.Planner.result
 (** Optimize a query against the stored history; returns the plan,

@@ -28,11 +28,11 @@ type epoch_result = {
   acquired : int list;
 }
 
-let run_epoch t q ~costs ~lookup =
+let run_epoch ?obs t q ~costs ~lookup =
   match t.plan with
   | None -> failwith "Mote.run_epoch: no plan installed"
   | Some plan ->
-      let o = Acq_plan.Executor.run q ~costs plan ~lookup in
+      let o = Acq_plan.Executor.run ?obs q ~costs plan ~lookup in
       Energy.add_acquisition t.energy o.Acq_plan.Executor.cost;
       if o.Acq_plan.Executor.verdict then begin
         let payload =

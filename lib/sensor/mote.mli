@@ -28,6 +28,7 @@ type epoch_result = {
 }
 
 val run_epoch :
+  ?obs:Acq_obs.Telemetry.t ->
   t ->
   Acq_plan.Query.t ->
   costs:float array ->
@@ -35,5 +36,6 @@ val run_epoch :
   epoch_result
 (** Execute the installed plan on this epoch's readings, metering
     acquisition energy; when the tuple matches, also charge the
-    result transmission toward the basestation.
+    result transmission toward the basestation. [obs] is handed to
+    {!Acq_plan.Executor.run} for per-attribute acquisition counters.
     @raise Failure if no plan is installed. *)

@@ -1,7 +1,8 @@
+module T = Acq_obs.Telemetry
+
 type report = {
   plan : Acq_plan.Plan.t;
   plan_stats : Acq_core.Search.stats;
-  plan_bytes : int;
   epochs : int;
   matches : int;
   acquisition_energy : float;
@@ -9,7 +10,10 @@ type report = {
   total_energy : float;
   avg_cost_per_epoch : float;
   correct : bool;
+  metrics : Acq_obs.Metrics.snapshot;
 }
+
+let plan_bytes r = r.plan_stats.Acq_core.Search.plan_size
 
 let default_motes schema =
   if Acq_data.Schema.mem schema "nodeid" then
@@ -17,10 +21,15 @@ let default_motes schema =
       .Acq_data.Attribute.domain
   else 1
 
-let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
+let run ?options ?radio ?n_motes ?(telemetry = T.noop) ~algorithm ~history
+    ~live q =
+  T.span telemetry ~cat:"runtime"
+    ~attrs:[ ("algorithm", Acq_core.Planner.algorithm_name algorithm) ]
+    "runtime.run"
+  @@ fun () ->
   let schema = Acq_plan.Query.schema q in
   let costs = Acq_data.Schema.costs schema in
-  let base = Basestation.create ?options ~algorithm ~history () in
+  let base = Basestation.create ?options ~telemetry ~algorithm ~history () in
   let planned = Basestation.plan_query base q in
   let plan = planned.Acq_core.Planner.plan in
   let env = Environment.replay live in
@@ -28,24 +37,70 @@ let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
     match n_motes with Some n -> n | None -> default_motes schema
   in
   let net = Network.create ?radio ~n_motes () in
-  let plan_bytes = Network.disseminate net plan in
+  let bytes =
+    T.span telemetry ~cat:"runtime"
+      ~attrs:[ ("motes", string_of_int n_motes) ]
+      "runtime.disseminate"
+    @@ fun () -> Network.disseminate net plan
+  in
+  assert (bytes = planned.Acq_core.Planner.stats.Acq_core.Search.plan_size);
+  T.set telemetry "acqp_runtime_plan_bytes" (float_of_int bytes);
+  let radio = Network.radio net in
   let matches = ref 0 and correct = ref true in
-  for epoch = 0 to Environment.n_epochs env - 1 do
-    let mote = Network.mote net (Environment.mote_of_epoch env epoch) in
-    let r =
-      Mote.run_epoch mote q ~costs ~lookup:(fun attr ->
-          Environment.value env ~epoch ~attr)
-    in
-    if r.Mote.verdict then incr matches;
-    let truth = Acq_plan.Query.eval q (Environment.tuple env ~epoch) in
-    if truth <> r.Mote.verdict then correct := false
-  done;
+  let instrumented = T.enabled telemetry in
+  let epoch_loop () =
+    for epoch = 0 to Environment.n_epochs env - 1 do
+      let mote_id = Environment.mote_of_epoch env epoch in
+      let mote = Network.mote net mote_id in
+      let e = Mote.energy mote in
+      let acq0 = e.Energy.acquisition and tx0 = e.Energy.radio_tx in
+      let r =
+        Mote.run_epoch ~obs:telemetry mote q ~costs ~lookup:(fun attr ->
+            Environment.value env ~epoch ~attr)
+      in
+      if r.Mote.verdict then incr matches;
+      let truth = Acq_plan.Query.eval q (Environment.tuple env ~epoch) in
+      if truth <> r.Mote.verdict then correct := false;
+      if instrumented then begin
+        let mote_l = [ ("mote", string_of_int mote_id) ] in
+        let tx_bytes =
+          if r.Mote.verdict then
+            Radio.result_bytes radio ~n_attrs:(List.length r.Mote.acquired)
+          else 0
+        in
+        T.incr telemetry "acqp_runtime_epochs_total";
+        if r.Mote.verdict then T.incr telemetry "acqp_runtime_matches_total";
+        T.add telemetry ~labels:mote_l "acqp_mote_acquisition_energy_total"
+          (e.Energy.acquisition -. acq0);
+        T.add telemetry ~labels:mote_l "acqp_mote_radio_energy_total"
+          (e.Energy.radio_tx -. tx0);
+        T.add telemetry ~labels:mote_l "acqp_mote_tx_bytes_total"
+          (float_of_int tx_bytes);
+        (* Per-epoch series: cumulative per-mote energy, loadable as
+           counter tracks in chrome://tracing. *)
+        T.sample telemetry
+          (Printf.sprintf "mote%d.energy" mote_id)
+          [
+            ("acquisition", e.Energy.acquisition);
+            ("radio", e.Energy.radio_tx +. e.Energy.radio_rx);
+            ("tx_bytes", float_of_int tx_bytes);
+          ]
+      end
+    done
+  in
+  T.span telemetry ~cat:"runtime"
+    ~attrs:[ ("epochs", string_of_int (Environment.n_epochs env)) ]
+    "runtime.epochs" epoch_loop;
   let e = Network.total_energy net in
   let epochs = Environment.n_epochs env in
+  let metrics =
+    match T.metrics telemetry with
+    | Some m -> Acq_obs.Metrics.snapshot m
+    | None -> []
+  in
   {
     plan;
     plan_stats = planned.Acq_core.Planner.stats;
-    plan_bytes;
     epochs;
     matches = !matches;
     acquisition_energy = e.Energy.acquisition;
@@ -54,6 +109,7 @@ let run ?options ?radio ?n_motes ~algorithm ~history ~live q =
     avg_cost_per_epoch =
       (if epochs = 0 then 0.0 else e.Energy.acquisition /. float_of_int epochs);
     correct = !correct;
+    metrics;
   }
 
 let pp_report fmt r =
@@ -64,6 +120,8 @@ let pp_report fmt r =
      energy: acquisition %.1f + radio %.1f = %.1f@,\
      avg acquisition cost/epoch: %.2f@,\
      verdicts correct: %b@]"
-    r.plan_bytes (Acq_plan.Plan.n_tests r.plan) Acq_core.Search.pp_stats
-    r.plan_stats r.epochs r.matches r.acquisition_energy r.radio_energy
-    r.total_energy r.avg_cost_per_epoch r.correct
+    (plan_bytes r)
+    (Acq_plan.Plan.n_tests r.plan)
+    Acq_core.Search.pp_stats r.plan_stats r.epochs r.matches
+    r.acquisition_energy r.radio_energy r.total_energy r.avg_cost_per_epoch
+    r.correct

@@ -6,8 +6,9 @@
 type report = {
   plan : Acq_plan.Plan.t;
   plan_stats : Acq_core.Search.stats;
-      (** search effort the basestation spent planning *)
-  plan_bytes : int;  (** ζ(P) shipped to each mote *)
+      (** search effort the basestation spent planning; its
+          [plan_size] field is ζ(P), the single source for
+          {!plan_bytes} *)
   epochs : int;
   matches : int;  (** tuples satisfying the WHERE clause *)
   acquisition_energy : float;
@@ -19,12 +20,20 @@ type report = {
   correct : bool;
       (** every verdict agreed with ground truth (audited against the
           replayed trace) *)
+  metrics : Acq_obs.Metrics.snapshot;
+      (** snapshot of the run's metrics registry — empty when
+          telemetry was off *)
 }
+
+val plan_bytes : report -> int
+(** ζ(P) shipped to each mote — read from [plan_stats.plan_size], the
+    value the planner already computed, instead of re-deriving it. *)
 
 val run :
   ?options:Acq_core.Planner.options ->
   ?radio:Radio.t ->
   ?n_motes:int ->
+  ?telemetry:Acq_obs.Telemetry.t ->
   algorithm:Acq_core.Planner.algorithm ->
   history:Acq_data.Dataset.t ->
   live:Acq_data.Dataset.t ->
@@ -32,6 +41,14 @@ val run :
   report
 (** Plan the query on [history], then execute it over the [live]
     trace. [n_motes] defaults to the number of distinct node ids in
-    the schema's [nodeid] attribute (or 1 for wide schemas). *)
+    the schema's [nodeid] attribute (or 1 for wide schemas).
+
+    With live [telemetry] the run records: planner spans/counters
+    (via {!Basestation}), spans for dissemination and the epoch loop,
+    per-attribute executor acquisition counters, and — per epoch —
+    per-mote counters and Chrome counter-track samples
+    ([mote<N>.energy]) of cumulative acquisition energy, radio
+    energy, and transmitted bytes. The final registry snapshot is
+    attached to the report. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -164,7 +164,7 @@ let ablate_size s =
       Tbl.add_row t
         [
           string_of_int k;
-          string_of_int r.Acq_sensor.Runtime.plan_bytes;
+          string_of_int (Acq_sensor.Runtime.plan_bytes r);
           Printf.sprintf "%.1f" r.Acq_sensor.Runtime.radio_energy;
           Printf.sprintf "%.2f" r.Acq_sensor.Runtime.avg_cost_per_epoch;
           Printf.sprintf "%.0f" r.Acq_sensor.Runtime.total_energy;

@@ -11,10 +11,17 @@ type query_run = {
   plan_tests : int array;
   plan_stats : Acq_core.Search.stats array;
   consistent : bool;
+  metrics : Acq_obs.Metrics.snapshot;
 }
 
-let run ~specs ~queries ~train ~test =
+let run ?(obs = Acq_obs.Telemetry.noop) ~specs ~queries ~train ~test () =
   let specs = Array.of_list specs in
+  let snapshot () =
+    match Acq_obs.Telemetry.metrics obs with
+    | Some m -> Acq_obs.Metrics.snapshot m
+    | None -> []
+  in
+  let before = ref (snapshot ()) in
   List.map
     (fun q ->
       let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
@@ -23,10 +30,14 @@ let run ~specs ~queries ~train ~test =
         Array.map (fun (r : Acq_core.Planner.result) -> r.plan) results
       in
       let test_costs =
-        Array.map (fun p -> Acq_plan.Executor.average_cost q ~costs p test) plans
+        Array.map
+          (fun p -> Acq_plan.Executor.average_cost ~obs q ~costs p test)
+          plans
       in
       let train_costs =
-        Array.map (fun p -> Acq_plan.Executor.average_cost q ~costs p train) plans
+        Array.map
+          (fun p -> Acq_plan.Executor.average_cost ~obs q ~costs p train)
+          plans
       in
       let plan_tests = Array.map Acq_plan.Plan.n_tests plans in
       let consistent =
@@ -36,6 +47,9 @@ let run ~specs ~queries ~train ~test =
             && Acq_plan.Executor.consistent q ~costs p train)
           plans
       in
+      let after = snapshot () in
+      let metrics = Acq_obs.Metrics.diff after !before in
+      before := after;
       {
         query = q;
         test_costs;
@@ -48,6 +62,7 @@ let run ~specs ~queries ~train ~test =
         plan_stats =
           Array.map (fun (r : Acq_core.Planner.result) -> r.stats) results;
         consistent;
+        metrics;
       })
     queries
 
@@ -80,6 +95,22 @@ let summarize g =
         float_of_int (Acq_util.Array_util.count (fun v -> v >= x) g)
         /. float_of_int (Array.length g));
   }
+
+let total_metrics runs =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (k, v) ->
+          match Hashtbl.find_opt tbl k with
+          | Some v0 -> Hashtbl.replace tbl k (v0 +. v)
+          | None ->
+              Hashtbl.add tbl k v;
+              order := k :: !order)
+        r.metrics)
+    runs;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
 
 let total_stats runs i =
   List.fold_left

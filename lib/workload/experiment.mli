@@ -19,13 +19,18 @@ type query_run = {
   plan_stats : Acq_core.Search.stats array;
       (** per-spec search effort spent planning this query *)
   consistent : bool;  (** all plans agreed with ground truth on test *)
+  metrics : Acq_obs.Metrics.snapshot;
+      (** telemetry delta attributable to this query (planning plus
+          cost measurement); empty when [obs] carried no registry *)
 }
 
 val run :
+  ?obs:Acq_obs.Telemetry.t ->
   specs:algo_spec list ->
   queries:Acq_plan.Query.t list ->
   train:Acq_data.Dataset.t ->
   test:Acq_data.Dataset.t ->
+  unit ->
   query_run list
 
 val gains : query_run list -> baseline:int -> target:int -> float array
@@ -42,6 +47,11 @@ type gain_summary = {
 }
 
 val summarize : float array -> gain_summary
+
+val total_metrics : query_run list -> Acq_obs.Metrics.snapshot
+(** Key-wise sum of every run's metrics delta, keys in first-seen
+    order — the workload-level aggregate of planner and executor
+    counters. *)
 
 val total_stats : query_run list -> int -> Acq_core.Search.stats
 (** Field-wise total of one spec's planning effort over all queries

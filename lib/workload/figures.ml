@@ -226,7 +226,7 @@ let fig8a s =
         train;
     ]
   in
-  let runs = Experiment.run ~specs ~queries ~train ~test in
+  let runs = Experiment.run ~specs ~queries ~train ~test () in
   let exh = 5 in
   let t =
     Tbl.create
@@ -290,7 +290,7 @@ let fig8b s =
              train)
          rs
   in
-  let runs = Experiment.run ~specs ~queries ~train ~test in
+  let runs = Experiment.run ~specs ~queries ~train ~test () in
   let t = Tbl.create [ "algorithm"; "avg test cost"; "avg vs Heuristic"; "max vs Heuristic" ] in
   List.iteri
     (fun i spec ->
@@ -331,7 +331,7 @@ let fig8c s =
       spec_of_algo "Heuristic-10" P.Heuristic { o with max_splits = 10 } train;
     ]
   in
-  let runs = Experiment.run ~specs ~queries ~train ~test in
+  let runs = Experiment.run ~specs ~queries ~train ~test () in
   let g = Experiment.gains runs ~baseline:0 ~target:1 in
   Report.cumulative_gain_curve ~label:"gain vs Naive" g;
   Report.gain_summary ~label:"Heuristic-10 vs Naive" (Experiment.summarize g);
@@ -395,7 +395,7 @@ let garden_fig name s ~n_motes ~seed =
       spec_of_algo "Heuristic-10" P.Heuristic { o with max_splits = 10 } train;
     ]
   in
-  let runs = Experiment.run ~specs ~queries ~train ~test in
+  let runs = Experiment.run ~specs ~queries ~train ~test () in
   let t = Tbl.create [ "algorithm"; "avg test cost" ] in
   List.iteri
     (fun i spec ->

@@ -43,6 +43,28 @@ let stats_table rows =
     rows;
   table t
 
+let metrics_table ?(limit = 24) (snap : Acq_obs.Metrics.snapshot) =
+  if snap <> [] then begin
+    let t = Acq_util.Tbl.create [ "metric"; "value" ] in
+    let shown = ref 0 in
+    List.iter
+      (fun (k, v) ->
+        if !shown < limit then begin
+          incr shown;
+          let cell =
+            if Float.is_integer v && Float.abs v < 1e15 then
+              Printf.sprintf "%.0f" v
+            else Printf.sprintf "%.3f" v
+          in
+          Acq_util.Tbl.add_row t [ k; cell ]
+        end)
+      snap;
+    table t;
+    let total = List.length snap in
+    if total > limit then
+      note (Printf.sprintf "(%d more series omitted)" (total - limit))
+  end
+
 let gain_summary ~label (s : Experiment.gain_summary) =
   note
     (Printf.sprintf

@@ -19,4 +19,9 @@ val stats_table : (string * Acq_core.Search.stats) list -> unit
 (** Per-algorithm search-effort table (nodes solved, memo hits,
     estimator calls, plan bytes, wall ms). *)
 
+val metrics_table : ?limit:int -> Acq_obs.Metrics.snapshot -> unit
+(** Print a metrics snapshot (e.g. {!Experiment.total_metrics}) as a
+    two-column table, truncated to [limit] series (default 24). Prints
+    nothing for an empty snapshot. *)
+
 val gain_summary : label:string -> Experiment.gain_summary -> unit

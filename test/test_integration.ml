@@ -32,7 +32,7 @@ let test_sql_to_network () =
   let report = RT.run ~algorithm:P.Heuristic ~history ~live q in
   Alcotest.(check bool) "network verdicts correct" true report.RT.correct;
   Alcotest.(check bool) "plan fits a mote (under 1KB)" true
-    (report.RT.plan_bytes < 1024)
+    ((RT.plan_bytes report) < 1024)
 
 (* Plans survive a disseminate-style encode/decode and execute
    identically. *)

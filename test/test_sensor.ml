@@ -163,7 +163,7 @@ let test_runtime_end_to_end () =
   in
   Alcotest.(check bool) "verdicts correct" true r.RT.correct;
   Alcotest.(check int) "all epochs replayed" (DS.nrows live) r.RT.epochs;
-  Alcotest.(check bool) "plan nonempty" true (r.RT.plan_bytes > 0);
+  Alcotest.(check bool) "plan nonempty" true ((RT.plan_bytes r) > 0);
   Alcotest.(check bool) "energy positive" true (r.RT.total_energy > 0.0);
   check_float "total = acquisition + radio" r.RT.total_energy
     (r.RT.acquisition_energy +. r.RT.radio_energy)

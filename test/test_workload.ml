@@ -130,7 +130,7 @@ let experiment_fixture () =
       };
     ]
   in
-  Exp.run ~specs ~queries ~train ~test
+  Exp.run ~specs ~queries ~train ~test ()
 
 let test_experiment_run () =
   let runs = experiment_fixture () in
@@ -162,6 +162,63 @@ let test_experiment_run () =
   in
   Alcotest.(check int) "total_stats sums estimator calls" by_hand
     totals.Acq_core.Search.estimator_calls
+
+let test_experiment_metrics () =
+  (* Experiment.run under a live registry: per-query deltas attach to
+     each run and total_metrics reconstructs the registry's monotone
+     counters. The spec closures share the handle so planner counters
+     land in the same registry as the executor's. *)
+  let ds = Acq_data.Lab_gen.generate (Rng.create 13) ~rows:2_000 in
+  let train, test = DS.split_by_time ds ~train_fraction:0.5 in
+  let qrng = Rng.create 15 in
+  let queries = List.init 3 (fun _ -> QG.lab_query qrng ~train) in
+  let m = Acq_obs.Metrics.create () in
+  let obs = Acq_obs.Telemetry.create ~metrics:m () in
+  let o = Acq_core.Planner.default_options in
+  let specs =
+    [
+      {
+        Exp.name = "Heuristic";
+        build =
+          (fun q ->
+            Acq_core.Planner.plan ~options:o ~telemetry:obs
+              Acq_core.Planner.Heuristic q ~train);
+      };
+    ]
+  in
+  let runs = Exp.run ~obs ~specs ~queries ~train ~test () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "per-query delta non-empty" true
+        (r.Exp.metrics <> []))
+    runs;
+  let totals = Exp.total_metrics runs in
+  let final = Acq_obs.Metrics.snapshot m in
+  let get snap k =
+    match Acq_obs.Metrics.find snap k with Some v -> v | None -> 0.0
+  in
+  let plans = "acqp_planner_plans_total{algorithm=\"Heuristic\"}" in
+  check_float "one plan per query" 3.0 (get final plans);
+  check_float "totals rebuild the registry" (get final plans)
+    (get totals plans);
+  Alcotest.(check bool) "estimator calls recorded" true
+    (get totals "acqp_planner_estimator_calls_total{algorithm=\"Heuristic\"}"
+    > 0.0);
+  Alcotest.(check bool) "executor acquisitions recorded" true
+    (List.exists
+       (fun (k, v) ->
+         String.length k >= 32
+         && String.sub k 0 32 = "acqp_executor_acquisitions_total"
+         && v > 0.0)
+       totals);
+  (* The report path renders without raising. *)
+  Acq_workload.Report.metrics_table ~limit:8 totals;
+  (* Without a handle nothing attaches. *)
+  let bare = Exp.run ~specs ~queries ~train ~test () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "no handle, no delta" true (r.Exp.metrics = []))
+    bare
 
 let test_experiment_gains () =
   let runs = experiment_fixture () in
@@ -224,6 +281,7 @@ let () =
       ( "experiment",
         [
           Alcotest.test_case "run" `Quick test_experiment_run;
+          Alcotest.test_case "metrics" `Quick test_experiment_metrics;
           Alcotest.test_case "gains" `Quick test_experiment_gains;
           Alcotest.test_case "mean cost" `Quick test_experiment_mean_cost;
         ] );
