@@ -224,6 +224,39 @@ module K = struct
             fun () ->
               ignore
                 (Acq_plan.Executor.average_cost ~obs q ~costs p ds : float)));
+      (* adapt: the per-epoch session duty cycle (observe + window
+         push) and the plan-cache key normalization. *)
+      Test.make ~name:"adapt/session-observe"
+        (Staged.stage
+           (let ds = Lazy.force synthetic in
+            let q =
+              Acq_workload.Query_gen.synthetic_query
+                { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+                ~schema:(Acq_data.Dataset.schema ds)
+            in
+            let session =
+              Acq_adapt.Session.create ~algorithm:P.Heuristic ~window:256
+                ~history:ds q
+            in
+            let n = Acq_data.Dataset.nrows ds in
+            let i = ref 0 in
+            fun () ->
+              Acq_adapt.Session.observe session ~cost:100.0
+                (Acq_data.Dataset.row ds (!i mod n));
+              incr i));
+      Test.make ~name:"adapt/cache-signature"
+        (Staged.stage
+           (let ds = Lazy.force synthetic in
+            let q =
+              Acq_workload.Query_gen.synthetic_query
+                { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+                ~schema:(Acq_data.Dataset.schema ds)
+            in
+            fun () ->
+              ignore
+                (Acq_adapt.Plan_cache.signature ~options:opts ~stats_epoch:7
+                   ~algorithm:P.Heuristic q
+                  : string)));
     ]
 end
 
@@ -470,7 +503,7 @@ let obs_schema_path () =
     "bench/BENCH_obs.schema.json"
   else "BENCH_obs.schema.json"
 
-let validate_obs path =
+let validate_against ~schema_path path =
   let parse_or_die what p =
     match J.parse (read_file p) with
     | Ok v -> v
@@ -479,12 +512,176 @@ let validate_obs path =
         exit 1
   in
   let doc = parse_or_die "document" path in
-  let schema = parse_or_die "schema" (obs_schema_path ()) in
+  let schema = parse_or_die "schema" schema_path in
   match schema_errors schema doc with
-  | [] -> Printf.printf "%s conforms to %s\n" path (obs_schema_path ())
+  | [] -> Printf.printf "%s conforms to %s\n" path schema_path
   | errs ->
       List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errs;
       exit 1
+
+let validate_obs path = validate_against ~schema_path:(obs_schema_path ()) path
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive-replanning bench: one drifting trace (two correlation
+   flips) and one stationary trace, each served under every replanning
+   policy. BENCH_adapt.json records per-arm energy, replan counts, and
+   the full switch timeline, plus a summary carrying the headline
+   numbers: drift-triggered replanning beats the static plan by >= 15%
+   total energy on the drifting trace within change_points + 2 replans,
+   and never fires on the stationary trace. A checked-in schema
+   (bench/BENCH_adapt.schema.json) pins the shape. *)
+
+let adapt_params = { Acq_data.Synthetic_gen.n = 12; gamma = 2; sel = 0.25 }
+let adapt_rows = 6_000
+let adapt_change_points = [ 2_000; 4_000 ]
+let adapt_window = 256
+
+let adapt_history =
+  lazy
+    (Acq_data.Synthetic_gen.generate (Acq_util.Rng.create 71) adapt_params
+       ~rows:2_000)
+
+let adapt_drifting =
+  lazy
+    (Acq_data.Synthetic_gen.generate_drifting (Acq_util.Rng.create 72)
+       adapt_params ~rows:adapt_rows ~change_points:adapt_change_points)
+
+let adapt_stationary =
+  lazy
+    (Acq_data.Synthetic_gen.generate (Acq_util.Rng.create 73) adapt_params
+       ~rows:adapt_rows)
+
+let adapt_policies =
+  let module Pol = Acq_adapt.Policy in
+  [
+    ("static", Pol.static_);
+    ("periodic-1k", Pol.periodic 1_000);
+    ("drift", Pol.drift_triggered ~check_every:32 ~cooldown:128 0.10);
+    ( "drift-regret",
+      Pol.drift_regret ~check_every:32 ~cooldown:128 0.10 ~regret:1.5 );
+  ]
+
+let adapt_run ~live policy =
+  let history = Lazy.force adapt_history in
+  let schema = Acq_data.Dataset.schema history in
+  let q = Acq_workload.Query_gen.synthetic_query adapt_params ~schema in
+  let options =
+    {
+      K.opts with
+      candidate_attrs = Some (Acq_data.Schema.cheap_indices schema);
+      max_splits = 3;
+    }
+  in
+  Acq_sensor.Runtime.run_adaptive ~options ~policy ~window:adapt_window
+    ~algorithm:Acq_core.Planner.Heuristic ~history ~live q
+
+let adapt_entry ~trace name (r : Acq_sensor.Runtime.adaptive_report) =
+  let module Rt = Acq_sensor.Runtime in
+  let module S = Acq_adapt.Session in
+  let switch (sw : S.switch) =
+    J.Obj
+      [
+        ("epoch", J.Num (float_of_int sw.S.epoch));
+        ( "trigger",
+          J.Str
+            (match sw.S.reason with
+            | Acq_adapt.Policy.Periodic _ -> "periodic"
+            | Acq_adapt.Policy.Drift _ -> "drift"
+            | Acq_adapt.Policy.Regret _ -> "regret") );
+        ("reason", J.Str (Acq_adapt.Policy.describe sw.S.reason));
+        ("old_expected", J.Num sw.S.old_expected);
+        ("new_expected", J.Num sw.S.new_expected);
+        ("plan_bytes", J.Num (float_of_int sw.S.plan_bytes));
+        ("cache_hit", J.Bool sw.S.cache_hit);
+      ]
+  in
+  let c = r.Rt.cache_stats in
+  J.Obj
+    [
+      ("policy", J.Str name);
+      ("trace", J.Str trace);
+      ("epochs", J.Num (float_of_int r.Rt.a_epochs));
+      ("matches", J.Num (float_of_int r.Rt.a_matches));
+      ("replans", J.Num (float_of_int r.Rt.a_replans));
+      ("failed_replans", J.Num (float_of_int r.Rt.a_failed_replans));
+      ("acquisition_energy", J.Num r.Rt.a_acquisition_energy);
+      ("radio_energy", J.Num r.Rt.a_radio_energy);
+      ("total_energy", J.Num r.Rt.a_total_energy);
+      ("correct", J.Bool r.Rt.a_correct);
+      ("switches", J.Arr (List.map switch r.Rt.switches));
+      ( "cache",
+        J.Obj
+          [
+            ("hits", J.Num (float_of_int c.Acq_adapt.Plan_cache.hits));
+            ("misses", J.Num (float_of_int c.Acq_adapt.Plan_cache.misses));
+            ("evictions", J.Num (float_of_int c.Acq_adapt.Plan_cache.evictions));
+            ( "invalidations",
+              J.Num (float_of_int c.Acq_adapt.Plan_cache.invalidations) );
+          ] );
+    ]
+
+let write_adapt_json path =
+  let module Rt = Acq_sensor.Runtime in
+  let drifting =
+    List.map
+      (fun (name, pol) ->
+        (name, adapt_run ~live:(Lazy.force adapt_drifting) pol))
+      adapt_policies
+  in
+  let stationary_drift =
+    adapt_run ~live:(Lazy.force adapt_stationary)
+      (List.assoc "drift" adapt_policies)
+  in
+  let static_total = (List.assoc "static" drifting).Rt.a_total_energy in
+  let drift_r = List.assoc "drift" drifting in
+  let entries =
+    List.map (fun (name, r) -> adapt_entry ~trace:"drifting" name r) drifting
+    @ [ adapt_entry ~trace:"stationary" "drift" stationary_drift ]
+  in
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ( "scenario",
+          J.Obj
+            [
+              ("rows", J.Num (float_of_int adapt_rows));
+              ( "change_points",
+                J.Arr
+                  (List.map
+                     (fun c -> J.Num (float_of_int c))
+                     adapt_change_points) );
+              ("window", J.Num (float_of_int adapt_window));
+              ("algorithm", J.Str "Heuristic");
+            ] );
+        ("entries", J.Arr entries);
+        ( "summary",
+          J.Obj
+            [
+              ("static_total_energy", J.Num static_total);
+              ("drift_total_energy", J.Num drift_r.Rt.a_total_energy);
+              ( "drift_vs_static_energy_ratio",
+                J.Num (drift_r.Rt.a_total_energy /. static_total) );
+              ("drift_replans", J.Num (float_of_int drift_r.Rt.a_replans));
+              ( "max_replans_allowed",
+                J.Num (float_of_int (List.length adapt_change_points + 2)) );
+              ( "stationary_drift_replans",
+                J.Num (float_of_int stationary_drift.Rt.a_replans) );
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote adaptive-replanning results to %s\n" path
+
+let adapt_schema_path () =
+  if Sys.file_exists "bench/BENCH_adapt.schema.json" then
+    "bench/BENCH_adapt.schema.json"
+  else "BENCH_adapt.schema.json"
+
+let validate_adapt path = validate_against ~schema_path:(adapt_schema_path ()) path
 
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
@@ -531,17 +728,20 @@ let () =
   let no_micro = List.mem "--no-micro" args in
   let list = List.mem "--list" args in
   let obs_smoke = List.mem "--obs-smoke" args in
-  let validate_target =
+  let adapt_smoke = List.mem "--adapt-smoke" args in
+  let find_target flag =
     let rec find = function
-      | "--validate-obs" :: path :: _ -> Some path
+      | f :: path :: _ when f = flag -> Some path
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let validate_target = find_target "--validate-obs" in
+  let validate_adapt_target = find_target "--validate-adapt" in
   let ids =
     let rec keep = function
-      | "--validate-obs" :: _ :: rest -> keep rest
+      | ("--validate-obs" | "--validate-adapt") :: _ :: rest -> keep rest
       | a :: rest ->
           if String.length a > 1 && a.[0] = '-' then keep rest
           else a :: keep rest
@@ -557,16 +757,21 @@ let () =
       Acq_workload.Registry.all;
     print_endline
       "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
-       --list (every non-list run also writes BENCH_planner_stats.json and \
-       BENCH_obs.json)"
+       --adapt-smoke --validate-adapt FILE --list (every non-list run also \
+       writes BENCH_planner_stats.json, BENCH_obs.json, and BENCH_adapt.json)"
   end
   else
-    match validate_target with
-    | Some path -> validate_obs path
-    | None ->
+    match (validate_target, validate_adapt_target) with
+    | Some path, _ -> validate_obs path
+    | None, Some path -> validate_adapt path
+    | None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
+        end
+        else if adapt_smoke then begin
+          write_adapt_json "BENCH_adapt.json";
+          validate_adapt "BENCH_adapt.json"
         end
         else begin
           if not micro_only then
@@ -574,5 +779,6 @@ let () =
               ids;
           write_stats_json "BENCH_planner_stats.json";
           write_obs_json "BENCH_obs.json";
+          write_adapt_json "BENCH_adapt.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

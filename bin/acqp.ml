@@ -233,11 +233,77 @@ let plan_cmd =
 
 (* run *)
 
+let adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Serve the query adaptively: watch the live stream's \
+           sliding-window statistics and replan (through a plan cache) \
+           when the replanning policy fires, re-disseminating each new \
+           plan. Prints the plan-switch timeline.")
+
+let drift_threshold_arg =
+  Arg.(
+    value & opt float 0.15
+    & info [ "drift-threshold" ] ~docv:"T"
+        ~doc:
+          "High watermark on the window-vs-reference drift score for the \
+           drift trigger (re-arms at $(docv)/2); 0 disables the drift \
+           trigger.")
+
+let replan_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "replan-every" ] ~docv:"K"
+        ~doc:"Also replan unconditionally every $(docv) epochs.")
+
+let cache_size_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "cache-size" ] ~docv:"N"
+        ~doc:"Plan-cache capacity (LRU entries).")
+
+let window_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "window" ] ~docv:"W"
+        ~doc:"Sliding statistics window, in tuples.")
+
+let drift_at_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "drift-at" ] ~docv:"ROWS"
+        ~doc:
+          "Synthetic dataset only: make the live trace piecewise- \
+           stationary, flipping every cheap-expensive correlation at \
+           these row indices (comma-separated, relative to the live \
+           trace).")
+
 let run_cmd =
-  let run kind rows seed sql algo splits points metrics_out trace_out =
-    let ds = make_dataset kind ~rows ~seed in
-    let history, live = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
-    let schema = Acq_data.Dataset.schema ds in
+  let run kind rows seed sql algo splits points adaptive drift_threshold
+      replan_every cache_size window drift_at metrics_out trace_out =
+    let history, live =
+      if drift_at = [] then
+        let ds = make_dataset kind ~rows ~seed in
+        Acq_data.Dataset.split_by_time ds ~train_fraction:0.5
+      else if kind <> Synthetic then
+        failwith "--drift-at is only meaningful with --dataset synthetic"
+      else
+        (* sel <> 0.5 so the flip also moves the expensive marginals,
+           making the drift visible to the window statistics. *)
+        let params = { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.25 } in
+        let half = rows / 2 in
+        ( Acq_data.Synthetic_gen.generate
+            (Acq_util.Rng.create seed)
+            params ~rows:half,
+          Acq_data.Synthetic_gen.generate_drifting
+            (Acq_util.Rng.create (seed + 1))
+            params ~rows:half ~change_points:drift_at )
+    in
+    let schema = Acq_data.Dataset.schema history in
     let q = compile_query kind schema sql in
     let options =
       {
@@ -249,20 +315,51 @@ let run_cmd =
     Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
       (Acq_core.Planner.algorithm_name algo);
     with_telemetry ~metrics_out ~trace_out @@ fun obs ->
-    let report =
-      Acq_sensor.Runtime.run ~options ~telemetry:obs ~algorithm:algo ~history
-        ~live q
-    in
-    Format.printf "%a@." Acq_sensor.Runtime.pp_report report
+    if not adaptive then
+      let report =
+        Acq_sensor.Runtime.run ~options ~telemetry:obs ~algorithm:algo
+          ~history ~live q
+      in
+      Format.printf "%a@." Acq_sensor.Runtime.pp_report report
+    else begin
+      let policy =
+        {
+          Acq_adapt.Policy.default with
+          drift_high =
+            (if drift_threshold > 0.0 then Some drift_threshold else None);
+          drift_low = drift_threshold /. 2.0;
+          replan_every;
+        }
+      in
+      let cache =
+        Acq_adapt.Plan_cache.create ~telemetry:obs ~capacity:cache_size ()
+      in
+      let report =
+        Acq_sensor.Runtime.run_adaptive ~options ~telemetry:obs ~policy
+          ~window ~cache ~algorithm:algo ~history ~live q
+      in
+      (match report.Acq_sensor.Runtime.switches with
+      | [] -> print_endline "no plan switches"
+      | switches ->
+          print_endline "plan-switch timeline:";
+          List.iter
+            (fun sw ->
+              Format.printf "  %a@." Acq_sensor.Runtime.pp_switch sw)
+            switches);
+      Format.printf "%a@." Acq_sensor.Runtime.pp_adaptive_report report
+    end
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:
          "Plan on the basestation, disseminate into the simulated network, \
-          and replay a live trace epoch by epoch.")
+          and replay a live trace epoch by epoch — optionally adaptively, \
+          replanning when the stream drifts.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg $ metrics_out_arg $ trace_out_arg)
+      $ splits_arg $ points_arg $ adaptive_arg $ drift_threshold_arg
+      $ replan_every_arg $ cache_size_arg $ window_arg $ drift_at_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* stats *)
 

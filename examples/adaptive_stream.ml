@@ -1,15 +1,18 @@
 (* Continuous queries over drifting data (Section 7, "Queries over
-   data streams"): probabilities are maintained incrementally over a
-   sliding window (Acq_prob.Sliding); when the window's marginals
-   drift away from the statistics the current plan was built on, the
-   basestation re-plans from the window.
+   data streams"): an Acq_adapt.Session owns the conditional plan,
+   maintains probabilities incrementally over a sliding window
+   (Acq_prob.Sliding), and re-plans from the window when one of its
+   Acq_adapt.Policy triggers decides the statistics the plan was built
+   on no longer describe the stream.
 
    The simulated deployment drifts: for the first half of the stream
    the lab behaves normally; then the HVAC schedule is inverted (night
    becomes warm and dry), silently breaking the correlations the
    original plan exploited. Both plans stay CORRECT throughout — only
-   cost degrades — and the drift trigger restores the conditional
-   advantage.
+   cost degrades — and the trigger restores the conditional advantage.
+   The inversion flips correlations while preserving marginals, so the
+   marginal-drift score barely moves; it is the cost-regret trigger
+   (realized cost overrunning the plan's own estimate) that fires.
 
      dune exec examples/adaptive_stream.exe
 *)
@@ -17,7 +20,8 @@
 module Rng = Acq_util.Rng
 module DS = Acq_data.Dataset
 module P = Acq_core.Planner
-module Sl = Acq_prob.Sliding
+module Sess = Acq_adapt.Session
+module Pol = Acq_adapt.Policy
 
 (* Drifted lab data: rotate the hour column 12 hours. Attribute
    correlations flip while every marginal over sensor values stays
@@ -49,77 +53,65 @@ let () =
   let options = { P.default_options with max_splits = 6 } in
   Printf.printf "continuous query: %s\n\n" (Acq_plan.Query.describe query);
 
-  (* Stream driver: process epochs one by one, maintain the window,
-     check drift every [check_every] epochs, replan when it exceeds
-     the threshold. *)
-  let run_stream ~adaptive =
+  (* One Acq_adapt.Session per strategy: the session plans from
+     [history], watches its window, and drives its own
+     Serving/Drifting/Replanning/Switching machine — the stream loop
+     only executes the current plan and feeds each epoch back in. *)
+  let run_stream policy =
     (* The window must span at least one full diurnal cycle (12 motes
        x 720 two-minute epochs), otherwise day/night swings of the
        marginals read as permanent drift. *)
-    let window = Sl.create schema ~capacity:8_640 in
-    let planned = P.plan ~options P.Heuristic query ~train:history in
-    let plan = ref planned.P.plan and expected = ref planned.P.est_cost in
-    (* Two replanning triggers, per Section 7: marginal drift of the
-       window vs the statistics the current plan was built on, and the
-       plan's realized cost exceeding its own expectation (which also
-       catches pure correlation flips that leave marginals intact). *)
-    let reference = ref history in
-    let replans = ref 0 in
+    let session =
+      Sess.create ~options ~policy ~algorithm:P.Heuristic ~window:8_640
+        ~history query
+    in
     let total = ref 0.0 and epochs = ref 0 in
-    let recent = ref 0.0 in
-    let check_every = 1_000 and drift_threshold = 0.05 in
     let process ds =
       DS.iter_rows ds (fun r ->
           let o =
-            Acq_plan.Executor.run query ~costs !plan ~lookup:(fun a ->
-                DS.get ds r a)
+            Acq_plan.Executor.run query ~costs (Sess.plan session)
+              ~lookup:(fun a -> DS.get ds r a)
           in
           total := !total +. o.Acq_plan.Executor.cost;
-          recent := !recent +. o.Acq_plan.Executor.cost;
           incr epochs;
-          Sl.push window (DS.row ds r);
-          if adaptive && Sl.is_full window && !epochs mod check_every = 0
-          then begin
-            let recent_avg = !recent /. float_of_int check_every in
-            recent := 0.0;
-            let drifted =
-              Sl.drift window ~reference:!reference > drift_threshold
-            in
-            let overrunning = recent_avg > 1.10 *. !expected in
-            if drifted || overrunning then begin
-              let est = Sl.estimator window in
-              let r =
-                P.plan_with_estimator ~options P.Heuristic query ~costs est
-              in
-              plan := r.P.plan;
-              expected := r.P.est_cost;
-              reference := Sl.to_dataset window;
-              incr replans
-            end
-          end)
+          ignore
+            (Sess.step session ~cost:o.Acq_plan.Executor.cost (DS.row ds r)))
     in
     process phase1;
     process phase2;
-    (!total /. float_of_int !epochs, !replans)
+    (!total /. float_of_int !epochs, session)
   in
 
-  let static_cost, _ = run_stream ~adaptive:false in
-  let adaptive_cost, replans = run_stream ~adaptive:true in
+  (* Drift threshold per Section 7; the 1.10 regret factor fires when
+     the plan runs 10% over its own cost estimate — the trigger that
+     catches correlation flips invisible to marginal drift. *)
+  let adaptive_policy =
+    Pol.drift_regret ~check_every:1_000 ~cooldown:0 0.05 ~regret:1.10
+  in
+  let static_cost, _ = run_stream Pol.static_ in
+  let adaptive_cost, session = run_stream adaptive_policy in
 
   let t = Acq_util.Tbl.create [ "strategy"; "avg cost/epoch"; "replans" ] in
   Acq_util.Tbl.add_row t
     [ "static plan"; Printf.sprintf "%.1f" static_cost; "0" ];
   Acq_util.Tbl.add_row t
     [
-      "drift-triggered replanning";
+      "triggered replanning";
       Printf.sprintf "%.1f" adaptive_cost;
-      string_of_int replans;
+      string_of_int (Sess.replans session);
     ];
   Acq_util.Tbl.print t;
+
+  List.iter
+    (fun (sw : Sess.switch) ->
+      Printf.printf "  switch at epoch %d (%s): expected %.1f -> %.1f\n"
+        sw.Sess.epoch (Pol.describe sw.Sess.reason) sw.Sess.old_expected
+        sw.Sess.new_expected)
+    (Sess.switches session);
   Printf.printf
     "\nAfter the HVAC inversion the old plan's realized cost overruns its\n\
      own expectation (the drift score alone barely moves: the inversion\n\
-     flips correlations while preserving marginals), so the cost-overrun\n\
-     trigger fires and the basestation re-plans from the sliding window,\n\
+     flips correlations while preserving marginals), so the session's\n\
+     regret trigger fires and it re-plans from the sliding window,\n\
      recovering %.1f units per epoch overall.\n"
     (static_cost -. adaptive_cost)

@@ -1,0 +1,96 @@
+type reason =
+  | Periodic of int
+  | Drift of float
+  | Regret of { observed : float; expected : float }
+
+type t = {
+  check_every : int;
+  replan_every : int option;
+  drift_high : float option;
+  drift_low : float;
+  regret_factor : float option;
+  min_observations : int;
+  cooldown : int;
+}
+
+let default =
+  {
+    check_every = 64;
+    replan_every = None;
+    drift_high = Some 0.15;
+    drift_low = 0.075;
+    regret_factor = None;
+    min_observations = 50;
+    cooldown = 256;
+  }
+
+let static_ =
+  { default with drift_high = None; regret_factor = None; replan_every = None }
+
+let periodic ?(check_every = 64) k =
+  if k < 1 then invalid_arg "Policy.periodic: period < 1";
+  (* No cooldown: the period itself is the rate limit, and the default
+     cooldown would silently stretch any period shorter than it. *)
+  { static_ with check_every; replan_every = Some k; cooldown = 0 }
+
+let drift_triggered ?(check_every = 64) ?low ?(cooldown = default.cooldown)
+    high =
+  if high <= 0.0 then invalid_arg "Policy.drift_triggered: threshold <= 0";
+  let low = match low with Some l -> l | None -> high /. 2.0 in
+  if low > high then invalid_arg "Policy.drift_triggered: low > high";
+  { static_ with check_every; drift_high = Some high; drift_low = low; cooldown }
+
+let drift_regret ?check_every ?low ?cooldown high ~regret =
+  if regret <= 1.0 then invalid_arg "Policy.drift_regret: factor <= 1";
+  {
+    (drift_triggered ?check_every ?low ?cooldown high) with
+    regret_factor = Some regret;
+  }
+
+type observation = {
+  epochs_since_switch : int;
+  window_full : bool;
+  drift : float;
+  observed_cost : float;
+  expected_cost : float;
+  observations : int;
+}
+
+let evaluate t ~drift_armed o =
+  if o.epochs_since_switch < t.cooldown then None
+  else
+    let drift_fires =
+      match t.drift_high with
+      | Some high when drift_armed && o.window_full && o.drift > high ->
+          Some (Drift o.drift)
+      | _ -> None
+    in
+    let regret_fires () =
+      match t.regret_factor with
+      | Some f
+        when o.observations >= t.min_observations
+             && o.expected_cost > 0.0
+             && o.observed_cost > f *. o.expected_cost ->
+          Some (Regret { observed = o.observed_cost; expected = o.expected_cost })
+      | _ -> None
+    in
+    let periodic_fires () =
+      match t.replan_every with
+      | Some k when o.epochs_since_switch >= k ->
+          Some (Periodic o.epochs_since_switch)
+      | _ -> None
+    in
+    match drift_fires with
+    | Some _ as r -> r
+    | None -> (
+        match regret_fires () with
+        | Some _ as r -> r
+        | None -> periodic_fires ())
+
+let rearms t o = o.drift <= t.drift_low
+
+let describe = function
+  | Periodic k -> Printf.sprintf "periodic %d" k
+  | Drift d -> Printf.sprintf "drift %.3f" d
+  | Regret { observed; expected } ->
+      Printf.sprintf "regret %.1f/%.1f" observed expected

@@ -1,0 +1,87 @@
+(** When should a continuous query be replanned? The paper's Section 7
+    says only that plans "may be re-generated periodically, or when the
+    query processor detects substantial changes in the correlations";
+    this module makes that operational as three composable triggers:
+
+    - {b periodic}: every [k] epochs, unconditionally — the baseline
+      that needs no statistics but pays for replans the data never
+      asked for;
+    - {b drift}: {!Acq_prob.Sliding.drift} of the window against the
+      statistics the current plan was built from crosses a {e high}
+      watermark. The trigger then disarms and only re-arms once the
+      score falls back under the {e low} watermark — hysteresis, so a
+      score hovering around the threshold cannot fire on every check
+      (thrash);
+    - {b regret}: the plan's realized mean cost per epoch exceeds
+      [regret_factor] times the cost the planner promised. This
+      catches correlation flips that leave every marginal intact,
+      which are invisible to the drift score.
+
+    A policy is pure data plus a pure {!evaluate}; arming state lives
+    in the {!Session}. *)
+
+type reason =
+  | Periodic of int  (** epochs since the last switch *)
+  | Drift of float  (** the score that crossed the high watermark *)
+  | Regret of { observed : float; expected : float }
+
+type t = {
+  check_every : int;
+      (** cadence (in epochs) at which the session evaluates triggers;
+          drift is O(window + reference), so not per-epoch *)
+  replan_every : int option;  (** periodic trigger period, in epochs *)
+  drift_high : float option;  (** firing watermark on the drift score *)
+  drift_low : float;
+      (** re-arming watermark ([<= drift_high]); ignored when
+          [drift_high = None] *)
+  regret_factor : float option;
+      (** fire when observed cost [> factor *] expected cost *)
+  min_observations : int;
+      (** epochs of realized cost required before the regret trigger
+          may fire — a handful of expensive tuples is not evidence *)
+  cooldown : int;
+      (** epochs after a switch during which no trigger fires — the
+          window needs time to refill with post-switch data *)
+}
+
+val default : t
+(** check every 64 epochs, no periodic trigger, drift high/low =
+    0.15/0.075, regret off, 50 observations, cooldown 256. *)
+
+val static_ : t
+(** Never replans (all triggers off) — the Section 6 baseline. *)
+
+val periodic : ?check_every:int -> int -> t
+(** [periodic k]: replan every [k] epochs, other triggers off. *)
+
+val drift_triggered : ?check_every:int -> ?low:float -> ?cooldown:int -> float -> t
+(** [drift_triggered high]: drift trigger only; [low] defaults to
+    [high /. 2.]. *)
+
+val drift_regret :
+  ?check_every:int -> ?low:float -> ?cooldown:int -> float -> regret:float -> t
+(** Drift trigger plus the cost-regret trigger at the given factor
+    (e.g. [1.3] = fire when the plan runs 30% over its estimate). *)
+
+type observation = {
+  epochs_since_switch : int;
+  window_full : bool;
+      (** drift only fires on a full window — a half-refilled window
+          mixes pre- and post-switch tuples *)
+  drift : float;
+  observed_cost : float;  (** realized mean acquisition cost per epoch *)
+  expected_cost : float;  (** current plan's planner-estimated cost *)
+  observations : int;  (** epochs behind [observed_cost] *)
+}
+
+val evaluate : t -> drift_armed:bool -> observation -> reason option
+(** First firing trigger wins, checked drift, regret, periodic — the
+    statistics-driven reasons are more informative than the clock.
+    Nothing fires inside the cooldown. *)
+
+val rearms : t -> observation -> bool
+(** True when the drift score has fallen under the low watermark, so
+    the session may arm the drift trigger again. *)
+
+val describe : reason -> string
+(** e.g. ["drift 0.23"], ["regret 41.2/28.0"], ["periodic 500"]. *)

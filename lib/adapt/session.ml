@@ -1,0 +1,288 @@
+module P = Acq_core.Planner
+module Search = Acq_core.Search
+module Sl = Acq_prob.Sliding
+module T = Acq_obs.Telemetry
+
+type state = Serving | Drifting | Replanning | Switching
+
+type switch = {
+  epoch : int;
+  reason : Policy.reason;
+  old_expected : float;
+  new_expected : float;
+  plan_bytes : int;
+  drift : float;
+  cache_hit : bool;
+  search : Acq_core.Search.stats;
+}
+
+type t = {
+  query : Acq_plan.Query.t;
+  costs : float array;
+  algorithm : P.algorithm;
+  options : P.options;
+  policy : Policy.t;
+  cache : Plan_cache.t option;
+  invalidate_stale : bool;
+  telemetry : T.t;
+  window : Sl.t;
+  replan_budget : int;
+  on_switch : Acq_plan.Plan.t -> switch -> unit;
+  mutable initial_stats : Search.stats;
+  mutable reference : Acq_data.Dataset.t;
+      (** the data the current plan's statistics came from *)
+  mutable plan : Acq_plan.Plan.t;
+  mutable expected : float;
+  mutable state : state;
+  mutable drift_armed : bool;
+  mutable last_drift : float;
+  mutable epoch : int;
+  mutable since_switch : int;
+  mutable cost_acc : float;
+  mutable cost_n : int;
+  mutable stats_epoch : int;
+  mutable replans : int;
+  mutable failed_replans : int;
+  mutable planning_nodes : int;
+  mutable switches_rev : switch list;
+  mutable transitions_rev : (int * state) list;
+}
+
+let enter t s =
+  t.state <- s;
+  t.transitions_rev <- (t.epoch, s) :: t.transitions_rev
+
+let algo_label t = [ ("algorithm", P.algorithm_name t.algorithm) ]
+
+(* Plan through the cache (when there is one) under the given stats
+   epoch; returns the result and whether it was a cache hit. *)
+let plan_once t ~options ~stats_epoch est =
+  let run () =
+    P.plan_with_estimator ~options ~telemetry:t.telemetry t.algorithm t.query
+      ~costs:t.costs est
+  in
+  match t.cache with
+  | None -> (run (), false)
+  | Some c -> (
+      let key =
+        Plan_cache.signature ~options ~stats_epoch ~algorithm:t.algorithm
+          t.query
+      in
+      match Plan_cache.find c key with
+      | Some r -> (r, true)
+      | None ->
+          let r = run () in
+          Plan_cache.add c key r;
+          (r, false))
+
+let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
+    ?(invalidate_stale = false) ?(policy = Policy.default)
+    ?(replan_budget = 200_000) ?(on_switch = fun _ _ -> ()) ~algorithm
+    ~window ~history query =
+  if window < 1 then invalid_arg "Session.create: window < 1";
+  let schema = Acq_plan.Query.schema query in
+  let t =
+    {
+      query;
+      costs = Acq_data.Schema.costs schema;
+      algorithm;
+      options;
+      policy;
+      cache;
+      invalidate_stale;
+      telemetry;
+      window = Sl.create schema ~capacity:window;
+      replan_budget;
+      on_switch;
+      initial_stats = Search.zero_stats;
+      reference = history;
+      plan = Acq_plan.Plan.const false;
+      expected = 0.0;
+      state = Serving;
+      drift_armed = true;
+      last_drift = 0.0;
+      epoch = 0;
+      since_switch = 0;
+      cost_acc = 0.0;
+      cost_n = 0;
+      stats_epoch = 0;
+      replans = 0;
+      failed_replans = 0;
+      planning_nodes = 0;
+      switches_rev = [];
+      transitions_rev = [ (0, Serving) ];
+    }
+  in
+  (* The initial plan runs under the caller's own budget settings —
+     only replans are capped by [replan_budget]. *)
+  let r, _hit =
+    plan_once t ~options ~stats_epoch:0
+      (Acq_prob.Estimator.empirical history)
+  in
+  t.initial_stats <- r.P.stats;
+  t.plan <- r.P.plan;
+  t.expected <- r.P.est_cost;
+  t
+
+let query t = t.query
+let plan t = t.plan
+let expected_cost t = t.expected
+let state t = t.state
+let epoch t = t.epoch
+let stats_epoch t = t.stats_epoch
+let drift t = t.last_drift
+let replans t = t.replans
+let failed_replans t = t.failed_replans
+let switches t = List.rev t.switches_rev
+let transitions t = List.rev t.transitions_rev
+let initial_stats t = t.initial_stats
+let planning_nodes t = t.planning_nodes
+
+let observe t ~cost row =
+  Sl.push t.window row;
+  t.epoch <- t.epoch + 1;
+  t.since_switch <- t.since_switch + 1;
+  t.cost_acc <- t.cost_acc +. cost;
+  t.cost_n <- t.cost_n + 1
+
+let due t = t.epoch > 0 && t.epoch mod t.policy.Policy.check_every = 0
+
+let observation t =
+  let drift =
+    if Sl.size t.window = 0 then 0.0
+    else Sl.drift t.window ~reference:t.reference
+  in
+  t.last_drift <- drift;
+  T.set t.telemetry ~labels:(algo_label t) "acqp_adapt_drift" drift;
+  {
+    Policy.epochs_since_switch = t.since_switch;
+    window_full = Sl.is_full t.window;
+    drift;
+    observed_cost =
+      (if t.cost_n = 0 then 0.0 else t.cost_acc /. float_of_int t.cost_n);
+    expected_cost = t.expected;
+    observations = t.cost_n;
+  }
+
+(* Replanning + Switching, inside one [check] call. Returns the switch
+   when a new plan was installed. *)
+let replan t reason ~max_nodes =
+  if Sl.size t.window = 0 then begin
+    (* No statistics to replan from; stand down. *)
+    enter t Serving;
+    None
+  end
+  else begin
+    enter t Replanning;
+    let granted = min t.replan_budget max_nodes in
+    let options = { t.options with P.search_budget = Some granted } in
+    let est = Sl.estimator t.window in
+    let outcome =
+      T.span t.telemetry ~cat:"adapt"
+        ~attrs:(("reason", Policy.describe reason) :: algo_label t)
+        "adapt.replan"
+      @@ fun () ->
+      match plan_once t ~options ~stats_epoch:(t.stats_epoch + 1) est with
+      | r -> Ok r
+      | exception (Search.Budget_exceeded | Search.Deadline_exceeded) ->
+          Error ()
+    in
+    match outcome with
+    | Error () ->
+        t.failed_replans <- t.failed_replans + 1;
+        (* The pass burned (at least) its grant before giving up. *)
+        t.planning_nodes <- t.planning_nodes + granted;
+        T.incr t.telemetry ~labels:(algo_label t)
+          "acqp_adapt_failed_replans_total";
+        enter t Serving;
+        None
+    | Ok (r, cache_hit) ->
+        t.replans <- t.replans + 1;
+        t.planning_nodes <- t.planning_nodes + r.P.stats.Search.nodes_solved;
+        t.stats_epoch <- t.stats_epoch + 1;
+        (match t.cache with
+        | Some c when t.invalidate_stale ->
+            ignore (Plan_cache.invalidate c ~older_than:t.stats_epoch : int)
+        | _ -> ());
+        T.incr t.telemetry
+          ~labels:
+            (( "reason",
+               match reason with
+               | Policy.Periodic _ -> "periodic"
+               | Policy.Drift _ -> "drift"
+               | Policy.Regret _ -> "regret" )
+            :: algo_label t)
+          "acqp_adapt_replans_total";
+        (* Whether or not the plan changes, the statistics baseline
+           moves to the window the pass planned from. *)
+        let rebase () =
+          t.reference <- Sl.to_dataset t.window;
+          t.expected <- r.P.est_cost;
+          t.cost_acc <- 0.0;
+          t.cost_n <- 0;
+          t.since_switch <- 0;
+          t.drift_armed <- false
+        in
+        if Acq_plan.Plan.equal r.P.plan t.plan then begin
+          (* Same tree: stale statistics, fresh conclusion — skip the
+             switch and its dissemination charge. *)
+          rebase ();
+          enter t Serving;
+          None
+        end
+        else begin
+          enter t Switching;
+          let sw =
+            {
+              epoch = t.epoch;
+              reason;
+              old_expected = t.expected;
+              new_expected = r.P.est_cost;
+              plan_bytes = r.P.stats.Search.plan_size;
+              drift = t.last_drift;
+              cache_hit;
+              search = r.P.stats;
+            }
+          in
+          t.plan <- r.P.plan;
+          rebase ();
+          t.switches_rev <- sw :: t.switches_rev;
+          T.incr t.telemetry ~labels:(algo_label t)
+            "acqp_adapt_switches_total";
+          T.add t.telemetry ~labels:(algo_label t)
+            "acqp_adapt_switch_bytes_total"
+            (float_of_int sw.plan_bytes);
+          t.on_switch t.plan sw;
+          enter t Serving;
+          Some sw
+        end
+  end
+
+let check ?(max_nodes = max_int) t =
+  let o = observation t in
+  if (not t.drift_armed) && Policy.rearms t.policy o then t.drift_armed <- true;
+  match t.state with
+  | Replanning | Switching ->
+      (* Transient states never escape [check]; refuse re-entrancy. *)
+      None
+  | Serving -> (
+      match Policy.evaluate t.policy ~drift_armed:t.drift_armed o with
+      | None -> None
+      | Some _ ->
+          (* First alarm: require it to survive one more check before
+             paying for a replan. *)
+          enter t Drifting;
+          None)
+  | Drifting -> (
+      match Policy.evaluate t.policy ~drift_armed:t.drift_armed o with
+      | None ->
+          (* Cleared before confirmation — hysteresis ate a thrash. *)
+          enter t Serving;
+          None
+      | Some reason ->
+          if max_nodes <= 0 then None (* budget-starved: stay Drifting *)
+          else replan t reason ~max_nodes)
+
+let step t ~cost row =
+  observe t ~cost row;
+  if due t then check t else None

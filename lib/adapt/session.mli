@@ -1,0 +1,123 @@
+(** One continuous query served adaptively: a per-query state machine
+    that watches its own sliding-window statistics and replaces its
+    conditional plan when the distribution leaves the one the plan was
+    built for.
+
+    {v
+                 trigger fires            trigger confirmed
+      Serving ----------------> Drifting ------------------> Replanning
+         ^  <----------------      |                             |
+         |    trigger cleared      |                             | bounded
+         |                         |                   planner   | Search
+         |                         v                   failed /  | budget
+         |                      (cooldown)             same plan |
+         |                                                       v
+         +----------------------------------------------------- Switching
+                    install plan, charge plan_bytes dissemination
+    v}
+
+    [Serving] executes the current plan and accumulates window
+    statistics. A policy trigger ({!Policy.evaluate}) moves the
+    session to [Drifting]; the trigger must still hold at the {e next}
+    check (hysteresis against a score grazing the threshold) before
+    the session replans. [Replanning] runs the configured planner over
+    the window's estimator under a bounded {!Acq_core.Search} node
+    budget — going through the {!Plan_cache} first — and [Switching]
+    atomically installs the new plan, charges its encoded size as
+    dissemination cost via the [on_switch] callback, re-bases the
+    drift reference on the window, and resets the realized-cost
+    meter. A replan that returns the {e same} plan (periodic replans
+    on stationary data) refreshes statistics but skips the switch, so
+    no dissemination is charged. All four states are transient within
+    one {!check} call except [Serving] and [Drifting]; the full entry
+    log is exposed for tests via {!transitions}. *)
+
+type state = Serving | Drifting | Replanning | Switching
+
+type switch = {
+  epoch : int;  (** epochs observed when the switch happened *)
+  reason : Policy.reason;
+  old_expected : float;  (** outgoing plan's estimated cost/epoch *)
+  new_expected : float;
+  plan_bytes : int;  (** ζ(new plan): the dissemination payload *)
+  drift : float;  (** window drift score at switch time *)
+  cache_hit : bool;  (** plan came out of the {!Plan_cache} *)
+  search : Acq_core.Search.stats;  (** effort behind the new plan *)
+}
+
+type t
+
+val create :
+  ?options:Acq_core.Planner.options ->
+  ?telemetry:Acq_obs.Telemetry.t ->
+  ?cache:Plan_cache.t ->
+  ?invalidate_stale:bool ->
+  ?policy:Policy.t ->
+  ?replan_budget:int ->
+  ?on_switch:(Acq_plan.Plan.t -> switch -> unit) ->
+  algorithm:Acq_core.Planner.algorithm ->
+  window:int ->
+  history:Acq_data.Dataset.t ->
+  Acq_plan.Query.t ->
+  t
+(** Plans the initial plan from [history] (through [cache] when one is
+    given, under [stats_epoch = 0]) and starts Serving. [window] is
+    the sliding-window capacity in tuples. [replan_budget] (default
+    200_000 search nodes) bounds each replanning pass via
+    {!Acq_core.Planner.options.search_budget}; a pass that exhausts it
+    keeps the old plan and counts as a failed replan.
+    [invalidate_stale] (default false) makes every successful replan
+    call {!Plan_cache.invalidate} for entries older than the new
+    stats epoch — enable it only when the session owns the cache
+    (sessions sharing a cache have independent epoch counters).
+    [on_switch] is called with the new plan exactly once per switch —
+    the hook the sensor runtime uses to disseminate. *)
+
+val query : t -> Acq_plan.Query.t
+val plan : t -> Acq_plan.Plan.t
+val expected_cost : t -> float
+val state : t -> state
+
+val epoch : t -> int
+(** Tuples observed so far. *)
+
+val stats_epoch : t -> int
+
+val drift : t -> float
+(** Score at the most recent check. *)
+
+val replans : t -> int
+(** Successful planner passes after the first. *)
+
+val failed_replans : t -> int
+
+val switches : t -> switch list
+(** Chronological. *)
+
+val transitions : t -> (int * state) list
+(** Every state entered, chronological, paired with the epoch. *)
+
+val initial_stats : t -> Acq_core.Search.stats
+val planning_nodes : t -> int
+(** Cumulative search nodes spent on replans (failed passes charged at
+    their granted budget) — what the {!Supervisor} meters its shared
+    budget against. Excludes the initial plan. *)
+
+val observe : t -> cost:float -> int array -> unit
+(** Account one executed epoch: the realized acquisition [cost] and
+    the tuple that produced it (pushed into the window). Does not
+    check triggers. *)
+
+val due : t -> bool
+(** True when the policy's check cadence lands on the current epoch. *)
+
+val check : ?max_nodes:int -> t -> switch option
+(** Evaluate triggers and drive the state machine, possibly through
+    Replanning/Switching; returns the switch if a new plan was
+    installed. [max_nodes] (supervisor budget gating) lowers this
+    check's replan budget; [max_nodes <= 0] defers the replan
+    entirely, leaving the session Drifting. *)
+
+val step : t -> cost:float -> int array -> switch option
+(** [observe] then, when {!due}, [check] — the whole per-epoch duty
+    cycle for a session not under a supervisor. *)

@@ -1,0 +1,84 @@
+module T = Acq_obs.Telemetry
+module Ex = Acq_plan.Executor
+
+type t = {
+  sessions : Session.t array;
+  costs : float array array;  (** per-session schema costs *)
+  telemetry : T.t;
+  mutable budget_left : int;
+  mutable epoch : int;
+  mutable acquisition : float;
+  mutable matches : int;
+  mutable switch_bytes : int;
+  mutable deferred : int;
+  mutable switches_rev : (int * Session.switch) list;
+}
+
+let create ?(telemetry = T.noop) ?(planning_budget = max_int) sessions =
+  if sessions = [] then invalid_arg "Supervisor.create: no sessions";
+  let sessions = Array.of_list sessions in
+  {
+    sessions;
+    costs =
+      Array.map
+        (fun s ->
+          Acq_data.Schema.costs (Acq_plan.Query.schema (Session.query s)))
+        sessions;
+    telemetry;
+    budget_left = planning_budget;
+    epoch = 0;
+    acquisition = 0.0;
+    matches = 0;
+    switch_bytes = 0;
+    deferred = 0;
+    switches_rev = [];
+  }
+
+let sessions t = Array.to_list t.sessions
+
+let step t row =
+  t.epoch <- t.epoch + 1;
+  let outcomes =
+    Array.mapi
+      (fun i s ->
+        let o =
+          Ex.run_tuple ~obs:t.telemetry (Session.query s) ~costs:t.costs.(i)
+            (Session.plan s) row
+        in
+        t.acquisition <- t.acquisition +. o.Ex.cost;
+        if o.Ex.verdict then t.matches <- t.matches + 1;
+        Session.observe s ~cost:o.Ex.cost row;
+        o)
+      t.sessions
+  in
+  Array.iteri
+    (fun i s ->
+      if Session.due s then begin
+        let before = Session.planning_nodes s in
+        let sw = Session.check ~max_nodes:t.budget_left s in
+        t.budget_left <- max 0 (t.budget_left - (Session.planning_nodes s - before));
+        match sw with
+        | Some sw ->
+            t.switch_bytes <- t.switch_bytes + sw.Session.plan_bytes;
+            t.switches_rev <- (i, sw) :: t.switches_rev
+        | None ->
+            if t.budget_left <= 0 && Session.state s = Session.Drifting
+            then begin
+              t.deferred <- t.deferred + 1;
+              T.incr t.telemetry "acqp_adapt_deferred_replans_total"
+            end
+      end)
+    t.sessions;
+  outcomes
+
+let run_dataset t ds =
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      ignore (step t (Acq_data.Dataset.row ds r) : Ex.outcome array))
+
+let epoch t = t.epoch
+let acquisition_cost t = t.acquisition
+let matches t = t.matches
+let switch_bytes t = t.switch_bytes
+let budget_remaining t = t.budget_left
+let deferred_replans t = t.deferred
+let switches t = List.rev t.switches_rev

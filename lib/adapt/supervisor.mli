@@ -1,0 +1,54 @@
+(** Many continuous queries, one stream, one planning budget.
+
+    The supervisor owns a set of {!Session}s over the same schema and
+    drives them tuple by tuple: each arriving tuple is executed
+    against every session's current plan (paying that plan's
+    acquisition cost), pushed into every session's window, and — at
+    each session's check cadence — triggers are evaluated under a {e
+    shared} planning-node budget. Replans are granted
+    first-come-first-served out of the remaining budget; once it is
+    exhausted, sessions park in [Drifting] (their triggers stay
+    pending) rather than burning basestation CPU — the multi-query
+    analogue of the paper's "re-optimization must be cheap enough to
+    run alongside serving". *)
+
+type t
+
+val create :
+  ?telemetry:Acq_obs.Telemetry.t ->
+  ?planning_budget:int ->
+  Session.t list ->
+  t
+(** [planning_budget] (default unlimited) is the total search nodes
+    all sessions together may spend on replans for the lifetime of
+    the supervisor.
+    @raise Invalid_argument on an empty session list. *)
+
+val sessions : t -> Session.t list
+
+val step : t -> int array -> Acq_plan.Executor.outcome array
+(** Serve one stream tuple to every session (outcomes in session
+    order): execute, meter, observe, and run any due trigger checks
+    under the shared budget. *)
+
+val run_dataset : t -> Acq_data.Dataset.t -> unit
+(** {!step} every row in order. *)
+
+val epoch : t -> int
+
+val acquisition_cost : t -> float
+(** Summed over sessions and epochs. *)
+
+val matches : t -> int
+(** Verdict-true epochs, summed over sessions. *)
+
+val switch_bytes : t -> int
+(** Total dissemination payload of every switch by every session. *)
+
+val budget_remaining : t -> int
+val deferred_replans : t -> int
+(** Confirmed triggers that could not replan because the shared
+    budget was exhausted at check time. *)
+
+val switches : t -> (int * Session.switch) list
+(** Chronological, tagged with the session's index. *)

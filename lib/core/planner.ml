@@ -12,6 +12,7 @@ type options = {
   optseq_threshold : int;
   candidate_attrs : int list option;
   exhaustive_budget : int;
+  search_budget : int option;
   deadline_ms : float option;
   size_alpha : float;
   cost_model : Acq_plan.Cost_model.t option;
@@ -24,6 +25,7 @@ let default_options =
     optseq_threshold = Seq_planner.default_optseq_threshold;
     candidate_attrs = None;
     exhaustive_budget = 2_000_000;
+    search_budget = None;
     deadline_ms = None;
     size_alpha = 0.0;
     cost_model = None;
@@ -69,20 +71,29 @@ let plan_with_estimator ?(options = default_options)
       :: algo_labels)
     "planner.plan"
   @@ fun () ->
+  let context ?default_budget () =
+    let budget =
+      match (options.search_budget, default_budget) with
+      | Some b, Some d -> Some (min b d)
+      | Some b, None -> Some b
+      | None, d -> d
+    in
+    Search.create ?budget ?deadline_ms:options.deadline_ms ~telemetry ()
+  in
   match algorithm with
   | Naive ->
-      let search = Search.create ?deadline_ms:options.deadline_ms ~telemetry () in
+      let search = context () in
       let est = Search.wrap_estimator search est in
       let p = Naive.plan ~search ?model q ~costs est in
       finish search (p, Expected_cost.of_plan ?model q ~costs est p)
   | Corr_seq ->
-      let search = Search.create ?deadline_ms:options.deadline_ms ~telemetry () in
+      let search = context () in
       let est = Search.wrap_estimator search est in
       finish search
         (Seq_planner.plan ~search ~optseq_threshold:options.optseq_threshold
            ?model q ~costs est)
   | Heuristic ->
-      let search = Search.create ?deadline_ms:options.deadline_ms ~telemetry () in
+      let search = context () in
       let est = Search.wrap_estimator search est in
       finish search
         (Greedy_plan.plan ~search ~optseq_threshold:options.optseq_threshold
@@ -90,10 +101,7 @@ let plan_with_estimator ?(options = default_options)
            ~size_alpha:options.size_alpha ?model q ~costs ~grid
            ~max_splits:options.max_splits est)
   | Exhaustive ->
-      let search =
-        Search.create ~budget:options.exhaustive_budget
-          ?deadline_ms:options.deadline_ms ~telemetry ()
-      in
+      let search = context ~default_budget:options.exhaustive_budget () in
       let est = Search.wrap_estimator search est in
       finish search (Exhaustive.plan ~search ?model q ~costs ~grid est)
 

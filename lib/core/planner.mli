@@ -31,6 +31,13 @@ type options = {
   exhaustive_budget : int;
       (** search-node budget for {!Exhaustive} (subproblem expansions
           plus the nested sequential seeding) *)
+  search_budget : int option;
+      (** node budget applied to {e every} algorithm's {!Search.t}
+          context — the knob adaptive replanning uses to bound one
+          replan's effort regardless of planner. For {!Exhaustive} the
+          effective budget is [min search_budget exhaustive_budget].
+          The search raises {!Search.Budget_exceeded} past it.
+          [None] = only [exhaustive_budget] applies *)
   deadline_ms : float option;
       (** wall-clock ceiling for any planner; the search raises
           {!Search.Deadline_exceeded} past it. [None] = no limit *)

@@ -50,26 +50,57 @@ let expensive_indices p =
   in
   acc
 
+(* One tuple. When [inverted], the expensive members of every group
+   copy the complement of the latent bit (the cheap member still copies
+   the latent itself), so cheap-vs-expensive correlations flip sign and
+   the expensive marginal moves from [sel] to
+   [0.8 * (1 - sel) + 0.2 * sel]. *)
+let gen_row rng p sizes ~inverted =
+  let row = Array.make p.n 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun size ->
+      let latent = if Rng.bernoulli rng p.sel then 1 else 0 in
+      let coherent = Rng.bernoulli rng 0.8 in
+      for j = 0 to size - 1 do
+        let target = if inverted && j > 0 then 1 - latent else latent in
+        row.(!pos + j) <-
+          (if coherent then target
+           else if Rng.bernoulli rng p.sel then 1
+           else 0)
+      done;
+      pos := !pos + size)
+    sizes;
+  row
+
 let generate rng p ~rows =
   check p;
   let schema = schema p in
   let sizes = Array.of_list (group_sizes p) in
+  let out = Array.init rows (fun _ -> gen_row rng p sizes ~inverted:false) in
+  Dataset.create schema out
+
+let generate_drifting rng p ~rows ~change_points =
+  check p;
+  let rec check_points prev = function
+    | [] -> ()
+    | c :: rest ->
+        if c <= prev || c >= rows then
+          invalid_arg
+            "Synthetic_gen.generate_drifting: change points must be strictly \
+             increasing and inside (0, rows)";
+        check_points c rest
+  in
+  check_points 0 change_points;
+  let schema = schema p in
+  let sizes = Array.of_list (group_sizes p) in
+  let cps = Array.of_list change_points in
   let out =
-    Array.init rows (fun _ ->
-        let row = Array.make p.n 0 in
-        let pos = ref 0 in
-        Array.iter
-          (fun size ->
-            let latent = if Rng.bernoulli rng p.sel then 1 else 0 in
-            let coherent = Rng.bernoulli rng 0.8 in
-            for j = 0 to size - 1 do
-              row.(!pos + j) <-
-                (if coherent then latent
-                 else if Rng.bernoulli rng p.sel then 1
-                 else 0)
-            done;
-            pos := !pos + size)
-          sizes;
-        row)
+    Array.init rows (fun r ->
+        (* Phase = number of change points at or before this row; odd
+           phases are inverted. *)
+        let phase = ref 0 in
+        Array.iter (fun c -> if r >= c then incr phase) cps;
+        gen_row rng p sizes ~inverted:(!phase land 1 = 1))
   in
   Dataset.create schema out

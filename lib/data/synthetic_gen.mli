@@ -22,6 +22,22 @@ val schema : params -> Schema.t
 
 val generate : Acq_util.Rng.t -> params -> rows:int -> Dataset.t
 
+val generate_drifting :
+  Acq_util.Rng.t -> params -> rows:int -> change_points:int list -> Dataset.t
+(** Piecewise-stationary variant for the streams extension
+    (Section 7): the trace is cut into phases at the given row indices
+    (strictly increasing, inside [(0, rows)]). Even phases (starting
+    with phase 0) are distributed exactly like {!generate}; in odd
+    phases the expensive members of every group copy the {e
+    complement} of the group's latent bit while the cheap member still
+    copies the bit itself. Each change point therefore simultaneously
+    flips the sign of every cheap-expensive correlation and shifts
+    every expensive marginal from [sel] to [0.8*(1-sel) + 0.2*sel] —
+    drift that is visible both to {!Acq_prob.Sliding.drift} (marginal
+    total variation) and to a conditional plan's realized cost.
+    @raise Invalid_argument on out-of-order or out-of-range change
+    points. *)
+
 val expensive_indices : params -> int list
 (** Schema indices of the expensive attributes, i.e. the paper's query
     attributes, in order. *)

@@ -51,6 +51,13 @@ let push t row =
 let push_dataset t ds =
   Acq_data.Dataset.iter_rows ds (fun r -> push t (Acq_data.Dataset.row ds r))
 
+let clear t =
+  Array.fill t.ring 0 t.capacity [||];
+  t.head <- 0;
+  t.size <- 0;
+  Array.iter (fun c -> Array.fill c 0 (Array.length c) 0) t.counts;
+  t.cached <- None
+
 let histogram t attr = Array.copy t.counts.(attr)
 
 let to_dataset t =

@@ -28,6 +28,12 @@ val push : t -> int array -> unit
 val push_dataset : t -> Acq_data.Dataset.t -> unit
 (** Push every row in order. *)
 
+val clear : t -> unit
+(** Drop every tuple: [size] returns to 0 and the incremental
+    histograms to all-zero, as if freshly created. Used when a
+    replanning pass wants statistics untainted by the pre-switch
+    distribution. *)
+
 val histogram : t -> int -> int array
 (** Fresh copy of one attribute's current window counts; maintained
     incrementally, O(domain) to copy. *)
@@ -44,4 +50,11 @@ val drift : t -> reference:Acq_data.Dataset.t -> float
     the window's marginal and the reference dataset's marginal — in
     [0, 1]. A cheap indicator of distribution change; marginal drift
     is a sufficient (not necessary) replanning trigger, so pair a
-    threshold on it with periodic replanning. *)
+    threshold on it with periodic replanning.
+
+    An empty window (or an empty [reference]) has no marginal to
+    compare, so the score is defined as [0.0] — "no evidence of
+    drift", never an exception. Of the window accessors only
+    {!to_dataset} (and hence {!estimator}) raises on emptiness;
+    replanning triggers built on [drift] therefore stay quiet until
+    the window has data, which is the safe direction. *)

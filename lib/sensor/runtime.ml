@@ -112,6 +112,142 @@ let run ?options ?radio ?n_motes ?(telemetry = T.noop) ~algorithm ~history
     metrics;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive serving: the same epoch loop, but the plan is owned by an
+   Acq_adapt.Session that watches window statistics and re-plans; every
+   switch re-disseminates through the network so its radio cost lands
+   on the motes like the initial plan's did. *)
+
+type adaptive_report = {
+  final_plan : Acq_plan.Plan.t;
+  initial_stats : Acq_core.Search.stats;
+  a_epochs : int;
+  a_matches : int;
+  a_acquisition_energy : float;
+  a_radio_energy : float;
+  a_total_energy : float;
+  a_correct : bool;
+  switches : Acq_adapt.Session.switch list;
+  a_replans : int;
+  a_failed_replans : int;
+  final_drift : float;
+  cache_stats : Acq_adapt.Plan_cache.stats;
+  a_metrics : Acq_obs.Metrics.snapshot;
+}
+
+let run_adaptive ?options ?radio ?n_motes ?(telemetry = T.noop)
+    ?(policy = Acq_adapt.Policy.default) ?(window = 512) ?cache
+    ?replan_budget ~algorithm ~history ~live q =
+  T.span telemetry ~cat:"runtime"
+    ~attrs:[ ("algorithm", Acq_core.Planner.algorithm_name algorithm) ]
+    "runtime.run_adaptive"
+  @@ fun () ->
+  let schema = Acq_plan.Query.schema q in
+  let costs = Acq_data.Schema.costs schema in
+  let env = Environment.replay live in
+  let n_motes =
+    match n_motes with Some n -> n | None -> default_motes schema
+  in
+  let net = Network.create ?radio ~n_motes () in
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Acq_adapt.Plan_cache.create ~telemetry ~capacity:8 ()
+  in
+  (* Every switch floods the new plan into the network, exactly like
+     the initial dissemination — the replanning loop pays its way. *)
+  let on_switch plan (sw : Acq_adapt.Session.switch) =
+    let bytes =
+      T.span telemetry ~cat:"runtime"
+        ~attrs:[ ("epoch", string_of_int sw.Acq_adapt.Session.epoch) ]
+        "runtime.redisseminate"
+      @@ fun () -> Network.disseminate net plan
+    in
+    assert (bytes = sw.Acq_adapt.Session.plan_bytes)
+  in
+  let session =
+    T.span telemetry ~cat:"runtime" "runtime.initial_plan" @@ fun () ->
+    Acq_adapt.Session.create ?options ~telemetry ~cache ~invalidate_stale:true
+      ~policy ?replan_budget ~on_switch ~algorithm ~window ~history q
+  in
+  let bytes =
+    T.span telemetry ~cat:"runtime"
+      ~attrs:[ ("motes", string_of_int n_motes) ]
+      "runtime.disseminate"
+    @@ fun () -> Network.disseminate net (Acq_adapt.Session.plan session)
+  in
+  T.set telemetry "acqp_runtime_plan_bytes" (float_of_int bytes);
+  let matches = ref 0 and correct = ref true in
+  let epoch_loop () =
+    for epoch = 0 to Environment.n_epochs env - 1 do
+      let mote_id = Environment.mote_of_epoch env epoch in
+      let mote = Network.mote net mote_id in
+      let r =
+        Mote.run_epoch ~obs:telemetry mote q ~costs ~lookup:(fun attr ->
+            Environment.value env ~epoch ~attr)
+      in
+      if r.Mote.verdict then incr matches;
+      let truth = Acq_plan.Query.eval q (Environment.tuple env ~epoch) in
+      if truth <> r.Mote.verdict then correct := false;
+      (* The mote's tuple is also the basestation's statistics feed; a
+         switch re-installs the plan on every mote inside [on_switch]
+         (Network.disseminate), so nothing more to do here. *)
+      ignore
+        (Acq_adapt.Session.step session ~cost:r.Mote.acquisition_cost
+           (Environment.tuple env ~epoch)
+          : Acq_adapt.Session.switch option)
+    done
+  in
+  T.span telemetry ~cat:"runtime"
+    ~attrs:[ ("epochs", string_of_int (Environment.n_epochs env)) ]
+    "runtime.adaptive_epochs" epoch_loop;
+  let e = Network.total_energy net in
+  let metrics =
+    match T.metrics telemetry with
+    | Some m -> Acq_obs.Metrics.snapshot m
+    | None -> []
+  in
+  {
+    final_plan = Acq_adapt.Session.plan session;
+    initial_stats = Acq_adapt.Session.initial_stats session;
+    a_epochs = Environment.n_epochs env;
+    a_matches = !matches;
+    a_acquisition_energy = e.Energy.acquisition;
+    a_radio_energy = e.Energy.radio_tx +. e.Energy.radio_rx;
+    a_total_energy = Energy.total e;
+    a_correct = !correct;
+    switches = Acq_adapt.Session.switches session;
+    a_replans = Acq_adapt.Session.replans session;
+    a_failed_replans = Acq_adapt.Session.failed_replans session;
+    final_drift = Acq_adapt.Session.drift session;
+    cache_stats = Acq_adapt.Plan_cache.stats cache;
+    a_metrics = metrics;
+  }
+
+let pp_switch fmt (sw : Acq_adapt.Session.switch) =
+  Format.fprintf fmt
+    "epoch %6d  %-14s  expected %.2f -> %.2f  disseminated %d bytes%s"
+    sw.Acq_adapt.Session.epoch
+    (Acq_adapt.Policy.describe sw.Acq_adapt.Session.reason)
+    sw.Acq_adapt.Session.old_expected sw.Acq_adapt.Session.new_expected
+    sw.Acq_adapt.Session.plan_bytes
+    (if sw.Acq_adapt.Session.cache_hit then "  (cached plan)" else "")
+
+let pp_adaptive_report fmt r =
+  Format.fprintf fmt
+    "@[<v>epochs: %d, matches: %d@,\
+     energy: acquisition %.1f + radio %.1f = %.1f@,\
+     replans: %d (%d failed), switches: %d, final drift: %.3f@,\
+     plan cache: %d hits / %d misses / %d evictions / %d invalidations@,\
+     verdicts correct: %b@]"
+    r.a_epochs r.a_matches r.a_acquisition_energy r.a_radio_energy
+    r.a_total_energy r.a_replans r.a_failed_replans
+    (List.length r.switches) r.final_drift
+    r.cache_stats.Acq_adapt.Plan_cache.hits
+    r.cache_stats.Acq_adapt.Plan_cache.misses
+    r.cache_stats.Acq_adapt.Plan_cache.evictions
+    r.cache_stats.Acq_adapt.Plan_cache.invalidations r.a_correct
+
 let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>plan: %d bytes, %d tests@,\

@@ -52,3 +52,60 @@ val run :
     attached to the report. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {2 Adaptive serving}
+
+    The same Figure 4 loop, but continuous: plan from [history], then
+    let an {!Acq_adapt.Session} watch the live stream's sliding-window
+    statistics and replace the plan when its {!Acq_adapt.Policy}
+    triggers fire. Every switch floods the new plan through the
+    network (the mote-side dissemination cost of adaptivity), so the
+    report's radio energy prices the replanning loop honestly. *)
+
+type adaptive_report = {
+  final_plan : Acq_plan.Plan.t;  (** plan serving when the trace ended *)
+  initial_stats : Acq_core.Search.stats;
+  a_epochs : int;
+  a_matches : int;
+  a_acquisition_energy : float;
+  a_radio_energy : float;
+      (** dissemination (initial + every switch) + result collection *)
+  a_total_energy : float;
+  a_correct : bool;
+      (** every verdict — under whichever plan was installed at that
+          epoch — agreed with ground truth *)
+  switches : Acq_adapt.Session.switch list;  (** chronological *)
+  a_replans : int;
+  a_failed_replans : int;  (** budget- or deadline-exhausted passes *)
+  final_drift : float;  (** window drift at the last trigger check *)
+  cache_stats : Acq_adapt.Plan_cache.stats;
+  a_metrics : Acq_obs.Metrics.snapshot;
+}
+
+val run_adaptive :
+  ?options:Acq_core.Planner.options ->
+  ?radio:Radio.t ->
+  ?n_motes:int ->
+  ?telemetry:Acq_obs.Telemetry.t ->
+  ?policy:Acq_adapt.Policy.t ->
+  ?window:int ->
+  ?cache:Acq_adapt.Plan_cache.t ->
+  ?replan_budget:int ->
+  algorithm:Acq_core.Planner.algorithm ->
+  history:Acq_data.Dataset.t ->
+  live:Acq_data.Dataset.t ->
+  Acq_plan.Query.t ->
+  adaptive_report
+(** [policy] defaults to {!Acq_adapt.Policy.default} (drift-triggered
+    with hysteresis); [window] (default 512 tuples) is the sliding
+    window capacity; [cache] defaults to a fresh 8-entry
+    {!Acq_adapt.Plan_cache} private to this run (with stale-epoch
+    invalidation on). With live [telemetry] the run additionally
+    records the [acqp_adapt_*] series: the drift gauge, replan/switch
+    counters by trigger, cache counters, and a span per replan. *)
+
+val pp_switch : Format.formatter -> Acq_adapt.Session.switch -> unit
+(** One timeline line: epoch, trigger, old/new expected cost,
+    dissemination bytes. *)
+
+val pp_adaptive_report : Format.formatter -> adaptive_report -> unit

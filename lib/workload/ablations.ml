@@ -544,3 +544,98 @@ let ext_approx s =
      without powering the sensor, trading bounded error for energy — the \
      [9]-style extension the paper proposes to combine with conditional \
      plans."
+
+(* ------------------------------------------------------------------ *)
+
+let ablate_adapt s =
+  Report.section "ablate-adapt"
+    "Adaptive replanning over a drifting stream (Section 7)";
+  let module Rt = Acq_sensor.Runtime in
+  let module Pol = Acq_adapt.Policy in
+  let params = { Acq_data.Synthetic_gen.n = 12; gamma = 2; sel = 0.25 } in
+  let rows = pick s ~quick:6_000 ~full:18_000 in
+  let change_points = [ rows / 3; 2 * rows / 3 ] in
+  let history =
+    Acq_data.Synthetic_gen.generate (Rng.create 71) params ~rows:2_000
+  in
+  let live =
+    Acq_data.Synthetic_gen.generate_drifting (Rng.create 72) params ~rows
+      ~change_points
+  in
+  let schema = Acq_data.Dataset.schema history in
+  let q = Query_gen.synthetic_query params ~schema in
+  let options =
+    {
+      P.default_options with
+      candidate_attrs = Some (Acq_data.Schema.cheap_indices schema);
+      max_splits = 3;
+    }
+  in
+  let window = 256 in
+  let run policy =
+    Rt.run_adaptive ~options ~policy ~window ~algorithm:P.Heuristic ~history
+      ~live q
+  in
+  Report.note
+    (Printf.sprintf
+       "drifting trace: %d rows, correlation flips at rows %s; window %d"
+       rows
+       (String.concat ", " (List.map string_of_int change_points))
+       window);
+  Report.note ("query: " ^ Acq_plan.Query.describe q);
+  let arms =
+    [
+      ("static", Pol.static_);
+      ("periodic-1k", Pol.periodic 1_000);
+      ("drift", Pol.drift_triggered ~check_every:32 ~cooldown:128 0.10);
+      ( "drift+regret",
+        Pol.drift_regret ~check_every:32 ~cooldown:128 0.10 ~regret:1.5 );
+    ]
+  in
+  let results = List.map (fun (name, pol) -> (name, run pol)) arms in
+  let static_total =
+    match results with (_, r) :: _ -> r.Rt.a_total_energy | [] -> 0.0
+  in
+  let t =
+    Tbl.create
+      [
+        "policy"; "replans"; "switches"; "switch bytes"; "acq energy";
+        "radio"; "total"; "vs static";
+      ]
+  in
+  List.iter
+    (fun (name, (r : Rt.adaptive_report)) ->
+      let switch_bytes =
+        List.fold_left
+          (fun a (sw : Acq_adapt.Session.switch) ->
+            a + sw.Acq_adapt.Session.plan_bytes)
+          0 r.Rt.switches
+      in
+      Tbl.add_row t
+        [
+          name;
+          string_of_int r.Rt.a_replans;
+          string_of_int (List.length r.Rt.switches);
+          string_of_int switch_bytes;
+          Printf.sprintf "%.0f" r.Rt.a_acquisition_energy;
+          Printf.sprintf "%.0f" r.Rt.a_radio_energy;
+          Printf.sprintf "%.0f" r.Rt.a_total_energy;
+          Printf.sprintf "%+.1f%%"
+            (100.0 *. (r.Rt.a_total_energy -. static_total) /. static_total);
+        ])
+    results;
+  Report.table t;
+  (match List.assoc_opt "drift" results with
+  | Some r when r.Rt.switches <> [] ->
+      Report.note "drift-triggered switch timeline:";
+      List.iter
+        (fun sw -> Report.note (Format.asprintf "%a" Rt.pp_switch sw))
+        r.Rt.switches
+  | _ -> ());
+  Report.note
+    "Reading: each change point flips every cheap-expensive correlation \
+     and shifts the expensive marginals, so the static plan's branch \
+     predictions invert mid-stream; the drift trigger re-plans from the \
+     sliding window within a fraction of a window of each flip, paying \
+     one dissemination per switch, while the periodic baseline replans \
+     on a clock whether the data moved or not."

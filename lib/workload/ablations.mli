@@ -31,3 +31,10 @@ val ext_boards : Figures.scale -> unit
 val ext_approx : Figures.scale -> unit
 (** Section 7's approximate answers: epsilon-confidence model-driven
     acquisition over a conditional plan; cost vs accuracy sweep. *)
+
+val ablate_adapt : Figures.scale -> unit
+(** Section 7's continuous-query extension: static vs periodic vs
+    drift-triggered vs drift+regret replanning policies on a
+    piecewise-stationary synthetic trace (correlations flip at each
+    change point), with total energy including every switch's
+    dissemination cost. *)

@@ -20,6 +20,7 @@ let all =
     { id = "ablate-size"; title = "Plan size / energy trade-off"; run = Ablations.ablate_size };
     { id = "ablate-model"; title = "Empirical vs Chow-Liu estimator"; run = Ablations.ablate_model };
     { id = "ablate-spsf"; title = "Split-point budget"; run = Ablations.ablate_spsf };
+    { id = "ablate-adapt"; title = "Adaptive replanning policies"; run = Ablations.ablate_adapt };
     { id = "ext-exists"; title = "Existential queries"; run = Ablations.ext_exists };
     { id = "ext-boards"; title = "Sensor-board cost model"; run = Ablations.ext_boards };
     { id = "ext-approx"; title = "Approximate answers"; run = Ablations.ext_approx };

@@ -345,6 +345,80 @@ let test_synthetic_gen_structure () =
   let s = Acq_data.Synthetic_gen.schema p in
   Alcotest.(check int) "arity" 10 (S.arity s)
 
+let test_synthetic_drifting_phases () =
+  let p = { Acq_data.Synthetic_gen.n = 6; gamma = 1; sel = 0.25 } in
+  let rows = 30_000 and cps = [ 10_000; 20_000 ] in
+  let ds =
+    Acq_data.Synthetic_gen.generate_drifting (Rng.create 12) p ~rows
+      ~change_points:cps
+  in
+  Alcotest.(check int) "row count" rows (DS.nrows ds);
+  let ones_in col lo hi =
+    let c = ref 0 in
+    for i = lo to hi - 1 do
+      if DS.get ds i col = 1 then incr c
+    done;
+    float_of_int !c /. float_of_int (hi - lo)
+  in
+  (* Attribute 1 (g0_x1) is expensive: marginal sel in even phases,
+     0.8*(1-sel) + 0.2*sel in odd ones — the change points land exactly
+     where requested. *)
+  let inverted = (0.8 *. 0.75) +. (0.2 *. 0.25) in
+  let near msg want got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s (want %.2f, got %.3f)" msg want got)
+      true
+      (Float.abs (got -. want) < 0.03)
+  in
+  near "phase 0 marginal = sel" 0.25 (ones_in 1 0 10_000);
+  near "phase 1 marginal shifted" inverted (ones_in 1 10_000 20_000);
+  near "phase 2 back to sel" 0.25 (ones_in 1 20_000 30_000);
+  (* Cheap group leaders keep their marginal through every phase. *)
+  near "cheap attr unmoved in odd phase" 0.25 (ones_in 0 10_000 20_000)
+
+let test_synthetic_drifting_correlation_flip () =
+  let p = { Acq_data.Synthetic_gen.n = 6; gamma = 1; sel = 0.25 } in
+  let ds =
+    Acq_data.Synthetic_gen.generate_drifting (Rng.create 13) p ~rows:20_000
+      ~change_points:[ 10_000 ]
+  in
+  let agreement lo hi =
+    let agree = ref 0 in
+    for i = lo to hi - 1 do
+      if DS.get ds i 0 = DS.get ds i 1 then incr agree
+    done;
+    float_of_int !agree /. float_of_int (hi - lo)
+  in
+  (* Within a group, cheap and expensive agree ~0.8+ before the change
+     point and anti-agree after it (the correlation sign flips). *)
+  Alcotest.(check bool) "correlated in phase 0" true (agreement 0 10_000 > 0.75);
+  Alcotest.(check bool) "anti-correlated in phase 1" true
+    (agreement 10_000 20_000 < 0.35)
+
+let test_synthetic_drifting_no_change_points () =
+  (* No change points = plain generate with the same rng stream. *)
+  let p = { Acq_data.Synthetic_gen.n = 4; gamma = 1; sel = 0.5 } in
+  let a = Acq_data.Synthetic_gen.generate (Rng.create 14) p ~rows:500 in
+  let b =
+    Acq_data.Synthetic_gen.generate_drifting (Rng.create 14) p ~rows:500
+      ~change_points:[]
+  in
+  for r = 0 to 499 do
+    Alcotest.(check (array int)) "rows identical" (DS.row a r) (DS.row b r)
+  done
+
+let test_synthetic_drifting_validation () =
+  let p = { Acq_data.Synthetic_gen.n = 4; gamma = 1; sel = 0.5 } in
+  List.iter
+    (fun cps ->
+      try
+        ignore
+          (Acq_data.Synthetic_gen.generate_drifting (Rng.create 15) p
+             ~rows:100 ~change_points:cps);
+        Alcotest.fail "expected invalid change points"
+      with Invalid_argument _ -> ())
+    [ [ 0 ]; [ 100 ]; [ 150 ]; [ 50; 50 ]; [ 60; 40 ]; [ -5 ] ]
+
 let test_dataset_coarsen_identity () =
   let ds = mk_dataset () in
   let c = DS.coarsen ds ~factors:[| 1; 1; 1 |] in
@@ -455,6 +529,14 @@ let () =
             test_garden_index_helpers;
           Alcotest.test_case "synthetic invalid params" `Quick
             test_synthetic_invalid_params;
+          Alcotest.test_case "drifting phases" `Quick
+            test_synthetic_drifting_phases;
+          Alcotest.test_case "drifting correlation flip" `Quick
+            test_synthetic_drifting_correlation_flip;
+          Alcotest.test_case "drifting no change points" `Quick
+            test_synthetic_drifting_no_change_points;
+          Alcotest.test_case "drifting validation" `Quick
+            test_synthetic_drifting_validation;
           Alcotest.test_case "lab voltage-temp coupling" `Quick
             test_lab_voltage_tracks_temp;
         ] );

@@ -569,6 +569,44 @@ let prop_exhaustive_reentrant =
       && Float.abs (c1 -. c2) < 1e-9
       && solved1 = solved2 && hits1 = hits2 && solved1 > 0)
 
+(* The plan cache normalizes queries: the signature sorts predicates,
+   so two queries with the same predicate set in different order hit
+   the same entry (the second lookup never re-plans). *)
+let prop_cache_key_order_insensitive =
+  QCheck2.Test.make ~count:60
+    ~name:"plan cache: predicate order does not change the entry"
+    ~print:instance_print instance_gen (fun i ->
+      let ds, q = build_instance i in
+      let schema = DS.schema ds in
+      let rng = Rng.create (i.seed + 7) in
+      let shuffled =
+        let arr = Array.copy (Q.predicates q) in
+        for j = Array.length arr - 1 downto 1 do
+          let k = Rng.int rng (j + 1) in
+          let t = arr.(j) in
+          arr.(j) <- arr.(k);
+          arr.(k) <- t
+        done;
+        Array.to_list arr
+      in
+      let q2 = Q.create schema shuffled in
+      let module C = Acq_adapt.Plan_cache in
+      let sig_of q =
+        C.signature ~options ~stats_epoch:3 ~algorithm:P.Heuristic q
+      in
+      let cache = C.create ~capacity:4 () in
+      let plans = ref 0 in
+      let plan q () =
+        incr plans;
+        P.plan ~options P.Heuristic q ~train:ds
+      in
+      let r1 = C.find_or_plan cache (sig_of q) (plan q) in
+      let r2 = C.find_or_plan cache (sig_of q2) (plan q2) in
+      String.equal (sig_of q) (sig_of q2)
+      && !plans = 1
+      && Plan.equal r1.P.plan r2.P.plan
+      && (C.stats cache).C.hits = 1)
+
 let () =
   let to_alcotest = QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -613,5 +651,6 @@ let () =
             prop_sliding_window_histogram;
             prop_joint_equals_view;
             prop_existential_consistent;
+            prop_cache_key_order_insensitive;
           ] );
     ]

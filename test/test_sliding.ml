@@ -97,6 +97,68 @@ let test_drift_partial () =
   let d = Sl.drift w ~reference in
   Alcotest.(check bool) "same-distribution drift small" true (d < 0.1)
 
+let test_clear () =
+  let w = Sl.create (schema ()) ~capacity:3 in
+  List.iter (Sl.push w) [ [| 0; 0 |]; [| 1; 1 |]; [| 2; 2 |] ];
+  Alcotest.(check bool) "full before clear" true (Sl.is_full w);
+  Sl.clear w;
+  Alcotest.(check int) "empty after clear" 0 (Sl.size w);
+  Alcotest.(check (array int)) "histogram zeroed" [| 0; 0; 0; 0 |]
+    (Sl.histogram w 0);
+  (* The window is usable again after clear. *)
+  Sl.push w [| 3; 0 |];
+  Alcotest.(check int) "refills" 1 (Sl.size w);
+  Alcotest.(check (array int)) "histogram restarts" [| 0; 0; 0; 1 |]
+    (Sl.histogram w 0)
+
+let test_drift_empty_window () =
+  let s = schema () in
+  let reference = DS.create s (Array.make 50 [| 0; 0 |]) in
+  let w = Sl.create s ~capacity:10 in
+  (* No evidence yet: drift is defined as 0, never an exception. *)
+  check_float "empty window" 0.0 (Sl.drift w ~reference);
+  Sl.push w [| 3; 2 |];
+  Alcotest.(check bool) "one row is evidence" true
+    (Sl.drift w ~reference > 0.0);
+  Sl.clear w;
+  check_float "cleared window" 0.0 (Sl.drift w ~reference)
+
+let test_drift_across_change_point () =
+  (* Stream a drifting synthetic trace through a window and track the
+     score against the pre-change reference: it must rise as the
+     post-change rows displace the old ones, and fall back once the
+     window is re-based on a post-change reference. *)
+  let params = { Acq_data.Synthetic_gen.n = 8; gamma = 1; sel = 0.25 } in
+  let rows = 2_000 and cp = 1_000 in
+  let ds =
+    Acq_data.Synthetic_gen.generate_drifting (Rng.create 5) params ~rows
+      ~change_points:[ cp ]
+  in
+  let s = DS.schema ds in
+  let reference =
+    DS.create s (Array.init cp (fun i -> DS.row ds i))
+  in
+  let w = Sl.create s ~capacity:200 in
+  let drift_at upto =
+    Sl.clear w;
+    for i = upto - 200 to upto - 1 do
+      Sl.push w (DS.row ds i)
+    done;
+    Sl.drift w ~reference
+  in
+  let before = drift_at cp in
+  let straddling = drift_at (cp + 100) in
+  let after = drift_at (cp + 400) in
+  Alcotest.(check bool) "quiet before the change" true (before < 0.05);
+  Alcotest.(check bool) "rising mid-transition" true (straddling > before);
+  Alcotest.(check bool) "high once the window turned over" true (after > 0.1);
+  (* Re-basing the reference on post-change data clears the alarm. *)
+  let reference' =
+    DS.create s (Array.init 400 (fun i -> DS.row ds (cp + i)))
+  in
+  let settled = Sl.drift w ~reference:reference' in
+  Alcotest.(check bool) "falls after re-basing" true (settled < 0.05)
+
 let test_replan_pipeline () =
   (* A window over drifted lab data triggers drift and yields a
      working estimator for replanning. *)
@@ -128,11 +190,15 @@ let () =
             test_histogram_matches_dataset;
           Alcotest.test_case "push validation" `Quick test_push_validation;
           Alcotest.test_case "estimator" `Quick test_estimator_over_window;
+          Alcotest.test_case "clear" `Quick test_clear;
         ] );
       ( "drift",
         [
           Alcotest.test_case "detects change" `Quick test_drift_detects_change;
           Alcotest.test_case "partial" `Quick test_drift_partial;
+          Alcotest.test_case "empty window" `Quick test_drift_empty_window;
+          Alcotest.test_case "across change point" `Quick
+            test_drift_across_change_point;
           Alcotest.test_case "replan pipeline" `Quick test_replan_pipeline;
         ] );
     ]
