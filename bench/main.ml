@@ -411,10 +411,11 @@ let read_file path =
   close_in ic;
   s
 
-(* Check [v] against the subset of JSON Schema the checked-in schema
-   uses: type, required, properties, items, minItems — plus a custom
-   [requiredMetricNames] list of metric families that must have been
-   recorded somewhere in the document. Returns human-readable errors. *)
+(* Check [v] against the subset of JSON Schema the checked-in schemas
+   use: type, required, properties, items, minItems, minimum, const —
+   plus a custom [requiredMetricNames] list of metric families that
+   must have been recorded somewhere in the document. Returns
+   human-readable errors. *)
 let schema_errors schema v =
   let errs = ref [] in
   let err path msg = errs := Printf.sprintf "%s: %s" path msg :: !errs in
@@ -461,11 +462,19 @@ let schema_errors schema v =
           (fun i vv -> go (Printf.sprintf "%s[%d]" path i) sub vv)
           elems
     | _ -> ());
-    match (field "minItems", v) with
+    (match (field "minItems", v) with
     | Some (J.Num n), J.Arr elems ->
         if List.length elems < int_of_float n then
           err path (Printf.sprintf "fewer than %.0f items" n)
-    | _ -> ()
+    | _ -> ());
+    (match (field "minimum", v) with
+    | Some (J.Num lo), J.Num x ->
+        if x < lo then err path (Printf.sprintf "%g below minimum %g" x lo)
+    | Some (J.Num _), _ -> err path "minimum given for non-number"
+    | _ -> ());
+    match field "const" with
+    | Some c -> if c <> v then err path ("not the required constant " ^ J.to_string c)
+    | None -> ()
   in
   go "$" schema v;
   (match schema with
@@ -683,6 +692,178 @@ let adapt_schema_path () =
 
 let validate_adapt path = validate_against ~schema_path:(adapt_schema_path ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Multicore bench: the garden5 workload fanned across a 4-domain pool
+   versus run sequentially, plus a portfolio race kernel. BENCH_par.json
+   records wall times, the deterministic work-balance speedup (total
+   work units / busiest domain's work units — what wall-clock speedup
+   converges to given enough cores; wall time itself is reported but
+   depends on the machine), a byte-identity check of the sequential and
+   two independent parallel reports, and the pool's merged telemetry.
+   A checked-in schema (bench/BENCH_par.schema.json) pins the shape and
+   the headline floors: work speedup >= 2.5 on 4 domains, reports
+   deterministic, portfolio races all agreeing. *)
+
+let par_jobs = 4
+let par_queries = 24
+
+let write_par_json ?(races = 1) path =
+  let module Pe = Acq_par.Parallel_experiment in
+  let module Pf = Acq_par.Portfolio in
+  let module P = Acq_core.Planner in
+  let garden5 = Lazy.force K.garden5 in
+  let train, test = Acq_data.Dataset.split_by_time garden5 ~train_fraction:0.5 in
+  let schema = Acq_data.Dataset.schema garden5 in
+  let options =
+    {
+      K.opts with
+      split_points_per_attr = 4;
+      candidate_attrs = Some (K.cheap garden5);
+    }
+  in
+  let specs =
+    [
+      {
+        Pe.name = "heuristic";
+        build = (fun q -> P.plan ~options P.Heuristic q ~train);
+      };
+    ]
+  in
+  let gen_query rng =
+    Acq_workload.Query_gen.garden_query rng ~schema ~n_motes:5
+  in
+  let fan ?pool () =
+    Pe.run ?pool ~seed:906 ~specs ~gen_query ~n_queries:par_queries ~train
+      ~test ()
+  in
+  (* One registry collects everything: the 4-domain fan-out's merged
+     worker shards and the portfolio kernel's counters. *)
+  let reg = Acq_obs.Metrics.create () in
+  let obs = Acq_obs.Telemetry.create ~metrics:reg () in
+  let seq = fan () in
+  let par =
+    Acq_par.Domain_pool.with_pool ~telemetry:obs ~domains:par_jobs (fun pool ->
+        fan ~pool ())
+  in
+  (* A second, independent pool run: determinism must hold between two
+     parallel runs, not just parallel vs sequential. *)
+  let par' =
+    Acq_par.Domain_pool.with_pool ~domains:par_jobs (fun pool -> fan ~pool ())
+  in
+  let canon (o : Pe.outcome) = Pe.report_to_string o.Pe.report in
+  let deterministic = canon seq = canon par && canon par = canon par' in
+  (* Portfolio kernel: the coarsened lab problem, where exhaustive is
+     feasible and the three arms genuinely compete. *)
+  let lab_coarse = Lazy.force K.lab_coarse in
+  let pq = K.lab_query lab_coarse 93 in
+  let popts =
+    { K.opts with split_points_per_attr = 2; exhaustive_budget = 5_000_000 }
+  in
+  let outcomes =
+    Acq_par.Domain_pool.with_pool ~telemetry:obs ~domains:3 (fun pool ->
+        List.init races (fun _ ->
+            Pf.race ~options:popts ~pool ~telemetry:obs pq ~train:lab_coarse))
+  in
+  let race_sig (o : Pf.outcome) =
+    match o.Pf.winner with
+    | Some (a, r) -> Printf.sprintf "%s:%.6f" (P.algorithm_name a) r.P.est_cost
+    | None -> "none"
+  in
+  let race_consistent =
+    match outcomes with
+    | [] -> false
+    | o :: rest -> List.for_all (fun o' -> race_sig o' = race_sig o) rest
+  in
+  let first_race = List.hd outcomes in
+  let wall_speedup =
+    if par.Pe.wall_ms > 0.0 then seq.Pe.wall_ms /. par.Pe.wall_ms else 0.0
+  in
+  let work_speedup = Pe.work_speedup par in
+  let units = Pe.work_units par.Pe.report in
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ("cores", J.Num (float_of_int (Domain.recommended_domain_count ())));
+        ( "fanout",
+          J.Obj
+            [
+              ("dataset", J.Str "garden5");
+              ("spec", J.Str "heuristic");
+              ("jobs", J.Num (float_of_int par_jobs));
+              ("queries", J.Num (float_of_int par_queries));
+              ("sequential_wall_ms", J.Num seq.Pe.wall_ms);
+              ("parallel_wall_ms", J.Num par.Pe.wall_ms);
+              ("wall_speedup", J.Num wall_speedup);
+              ("work_speedup", J.Num work_speedup);
+              ( "work_units_total",
+                J.Num (float_of_int (Array.fold_left ( + ) 0 units)) );
+              ( "task_domains",
+                J.Arr
+                  (Array.to_list
+                     (Array.map
+                        (fun d -> J.Num (float_of_int d))
+                        par.Pe.task_domains)) );
+              ("deterministic", J.Bool deterministic);
+            ] );
+        ( "portfolio",
+          J.Obj
+            [
+              ("dataset", J.Str "lab-coarse");
+              ("races", J.Num (float_of_int races));
+              ("consistent", J.Bool race_consistent);
+              ( "winner",
+                match first_race.Pf.winner with
+                | Some (a, r) ->
+                    J.Obj
+                      [
+                        ("algorithm", J.Str (P.algorithm_name a));
+                        ("est_cost", J.Num r.P.est_cost);
+                      ]
+                | None -> J.Obj [ ("algorithm", J.Str "none") ] );
+              ( "arms",
+                J.Arr
+                  (List.map
+                     (fun (arm : Pf.arm) ->
+                       J.Obj
+                         [
+                           ( "algorithm",
+                             J.Str (P.algorithm_name arm.Pf.algorithm) );
+                           ("status", J.Str (Pf.status_name arm.Pf.status));
+                           ( "est_cost",
+                             match arm.Pf.result with
+                             | Some r -> J.Num r.P.est_cost
+                             | None -> J.Str "-" );
+                         ])
+                     first_race.Pf.arms) );
+            ] );
+        ("pool_metrics", Acq_obs.Metrics.to_json reg);
+        ( "summary",
+          J.Obj
+            [
+              ("fanout_speedup", J.Num work_speedup);
+              ("speedup_kind", J.Str "work-balance");
+              ("wall_speedup", J.Num wall_speedup);
+              ("deterministic", J.Bool deterministic);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote multicore results to %s (work speedup %.2fx on %d domains, wall \
+     %.2fx on this machine, deterministic=%b)\n"
+    path work_speedup par_jobs wall_speedup deterministic
+
+let par_schema_path () =
+  if Sys.file_exists "bench/BENCH_par.schema.json" then
+    "bench/BENCH_par.schema.json"
+  else "BENCH_par.schema.json"
+
+let validate_par path = validate_against ~schema_path:(par_schema_path ()) path
+
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
   let cfg =
@@ -729,6 +910,7 @@ let () =
   let list = List.mem "--list" args in
   let obs_smoke = List.mem "--obs-smoke" args in
   let adapt_smoke = List.mem "--adapt-smoke" args in
+  let par_smoke = List.mem "--par-smoke" args in
   let find_target flag =
     let rec find = function
       | f :: path :: _ when f = flag -> Some path
@@ -739,9 +921,12 @@ let () =
   in
   let validate_target = find_target "--validate-obs" in
   let validate_adapt_target = find_target "--validate-adapt" in
+  let validate_par_target = find_target "--validate-par" in
   let ids =
     let rec keep = function
-      | ("--validate-obs" | "--validate-adapt") :: _ :: rest -> keep rest
+      | ("--validate-obs" | "--validate-adapt" | "--validate-par") :: _ :: rest
+        ->
+          keep rest
       | a :: rest ->
           if String.length a > 1 && a.[0] = '-' then keep rest
           else a :: keep rest
@@ -757,14 +942,16 @@ let () =
       Acq_workload.Registry.all;
     print_endline
       "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
-       --adapt-smoke --validate-adapt FILE --list (every non-list run also \
-       writes BENCH_planner_stats.json, BENCH_obs.json, and BENCH_adapt.json)"
+       --adapt-smoke --validate-adapt FILE --par-smoke --validate-par FILE \
+       --list (every non-list run also writes BENCH_planner_stats.json, \
+       BENCH_obs.json, BENCH_adapt.json, and BENCH_par.json)"
   end
   else
-    match (validate_target, validate_adapt_target) with
-    | Some path, _ -> validate_obs path
-    | None, Some path -> validate_adapt path
-    | None, None ->
+    match (validate_target, validate_adapt_target, validate_par_target) with
+    | Some path, _, _ -> validate_obs path
+    | None, Some path, _ -> validate_adapt path
+    | None, None, Some path -> validate_par path
+    | None, None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
@@ -773,6 +960,10 @@ let () =
           write_adapt_json "BENCH_adapt.json";
           validate_adapt "BENCH_adapt.json"
         end
+        else if par_smoke then begin
+          write_par_json ~races:20 "BENCH_par.json";
+          validate_par "BENCH_par.json"
+        end
         else begin
           if not micro_only then
             Acq_workload.Registry.run_selected { Acq_workload.Figures.full }
@@ -780,5 +971,6 @@ let () =
           write_stats_json "BENCH_planner_stats.json";
           write_obs_json "BENCH_obs.json";
           write_adapt_json "BENCH_adapt.json";
+          write_par_json "BENCH_par.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

@@ -3,7 +3,9 @@
    Subcommands:
      gen         generate a dataset and write it as CSV
      plan        optimize one query and print the conditional plan
+                 (--portfolio races planners across domains)
      run         simulate the full sensor-network loop for a query
+     bench       sequential vs multicore workload fan-out comparison
      experiment  reproduce the paper's tables/figures (see --list)
 *)
 
@@ -192,9 +194,50 @@ let stats_flag =
           "Print planner search statistics (nodes solved, memo hits, \
            estimator calls, plan bytes, wall-clock ms).")
 
+let portfolio_flag =
+  Arg.(
+    value & flag
+    & info [ "portfolio" ]
+        ~doc:
+          "Race Exhaustive, Heuristic, and CorrSeq in parallel domains \
+           under one shared deadline and keep the cheapest finished plan \
+           (deterministic: ties go to the earlier arm, never to the \
+           faster one). Overrides --algo.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"Worker domains for --portfolio (>= 1).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Shared wall-clock deadline for every planner; arms past it \
+           lose the race (with --portfolio) or fail the plan.")
+
+let print_plan_result ~obs ~costs ~test ~show_stats q
+    (r : Acq_core.Planner.result) =
+  let plan = r.Acq_core.Planner.plan in
+  print_string (Acq_plan.Printer.to_string q plan);
+  Printf.printf "\n%s\n" (Acq_plan.Printer.summary q plan);
+  Printf.printf "plan size (zeta): %d bytes\n" (Acq_plan.Serialize.size plan);
+  Printf.printf "expected cost on training distribution: %.2f\n"
+    r.Acq_core.Planner.est_cost;
+  Printf.printf "measured cost on held-out test data:    %.2f\n"
+    (Acq_plan.Executor.average_cost ~obs q ~costs plan test);
+  Printf.printf "correct on all test tuples: %b\n"
+    (Acq_plan.Executor.consistent q ~costs plan test);
+  if show_stats then
+    Printf.printf "planner search: %s\n"
+      (Acq_core.Search.stats_to_string r.Acq_core.Planner.stats)
+
 let plan_cmd =
-  let run kind rows seed sql algo splits points show_stats metrics_out
-      trace_out =
+  let run kind rows seed sql algo splits points portfolio jobs deadline_ms
+      show_stats metrics_out trace_out =
     let ds = make_dataset kind ~rows ~seed in
     let train, test = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
     let schema = Acq_data.Dataset.schema ds in
@@ -205,31 +248,54 @@ let plan_cmd =
         Acq_core.Planner.default_options with
         max_splits = splits;
         split_points_per_attr = points;
+        deadline_ms;
       }
     in
     Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
-      (Acq_core.Planner.algorithm_name algo);
+      (if portfolio then "portfolio (exhaustive / heuristic / corrseq)"
+       else Acq_core.Planner.algorithm_name algo);
     with_telemetry ~metrics_out ~trace_out @@ fun obs ->
-    let r = Acq_core.Planner.plan ~options ~telemetry:obs algo q ~train in
-    let plan = r.Acq_core.Planner.plan in
-    print_string (Acq_plan.Printer.to_string q plan);
-    Printf.printf "\n%s\n" (Acq_plan.Printer.summary q plan);
-    Printf.printf "plan size (zeta): %d bytes\n" (Acq_plan.Serialize.size plan);
-    Printf.printf "expected cost on training distribution: %.2f\n"
-      r.Acq_core.Planner.est_cost;
-    Printf.printf "measured cost on held-out test data:    %.2f\n"
-      (Acq_plan.Executor.average_cost ~obs q ~costs plan test);
-    Printf.printf "correct on all test tuples: %b\n"
-      (Acq_plan.Executor.consistent q ~costs plan test);
-    if show_stats then
-      Printf.printf "planner search: %s\n"
-        (Acq_core.Search.stats_to_string r.Acq_core.Planner.stats)
+    if not portfolio then
+      let r = Acq_core.Planner.plan ~options ~telemetry:obs algo q ~train in
+      print_plan_result ~obs ~costs ~test ~show_stats q r
+    else begin
+      let module Pf = Acq_par.Portfolio in
+      let outcome =
+        Acq_par.Domain_pool.with_pool ~telemetry:obs ~domains:(max 1 jobs)
+          (fun pool -> Pf.race ~options ~pool ~telemetry:obs q ~train)
+      in
+      let t =
+        Acq_util.Tbl.create [ "arm"; "status"; "est cost"; "wall ms" ]
+      in
+      List.iter
+        (fun (arm : Pf.arm) ->
+          Acq_util.Tbl.add_row t
+            [
+              Acq_core.Planner.algorithm_name arm.Pf.algorithm;
+              (match arm.Pf.status with
+              | Pf.Failed msg -> "failed: " ^ msg
+              | s -> Pf.status_name s);
+              (match arm.Pf.result with
+              | Some r -> Printf.sprintf "%.2f" r.Acq_core.Planner.est_cost
+              | None -> "-");
+              Printf.sprintf "%.2f" arm.Pf.wall_ms;
+            ])
+        outcome.Pf.arms;
+      Acq_util.Tbl.print t;
+      print_newline ();
+      match outcome.Pf.winner with
+      | None -> print_endline "no arm finished within the deadline/budget"
+      | Some (algo, r) ->
+          Printf.printf "winner: %s\n\n" (Acq_core.Planner.algorithm_name algo);
+          print_plan_result ~obs ~costs ~test ~show_stats q r
+    end
   in
   Cmd.v
     (Cmd.info "plan" ~doc:"Optimize one query and print the conditional plan.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg $ stats_flag $ metrics_out_arg $ trace_out_arg)
+      $ splits_arg $ points_arg $ portfolio_flag $ jobs_arg $ deadline_arg
+      $ stats_flag $ metrics_out_arg $ trace_out_arg)
 
 (* run *)
 
@@ -467,6 +533,101 @@ let experiment_cmd =
        ~doc:"Reproduce the paper's tables and figures (see --list).")
     Term.(const run $ ids_arg $ full_arg $ list_arg)
 
+(* bench *)
+
+let bench_cmd =
+  let queries_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "queries"; "n" ] ~docv:"N"
+          ~doc:"Workload size: random queries to plan and measure.")
+  in
+  let bench_jobs_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the parallel run (>= 1).")
+  in
+  let run kind rows seed queries jobs splits points =
+    let module Pe = Acq_par.Parallel_experiment in
+    let ds = make_dataset kind ~rows ~seed in
+    let train, test = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
+    let schema = Acq_data.Dataset.schema ds in
+    let options =
+      {
+        Acq_core.Planner.default_options with
+        max_splits = splits;
+        split_points_per_attr = points;
+      }
+    in
+    let specs =
+      [
+        {
+          Pe.name = "heuristic";
+          build =
+            (fun q ->
+              Acq_core.Planner.plan ~options Acq_core.Planner.Heuristic q
+                ~train);
+        };
+      ]
+    in
+    let gen_query =
+      match kind with
+      | Lab -> fun rng -> Acq_workload.Query_gen.lab_query rng ~train
+      | Garden5 ->
+          fun rng -> Acq_workload.Query_gen.garden_query rng ~schema ~n_motes:5
+      | Garden11 ->
+          fun rng ->
+            Acq_workload.Query_gen.garden_query rng ~schema ~n_motes:11
+      | Synthetic ->
+          fun _rng ->
+            Acq_workload.Query_gen.synthetic_query
+              { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+              ~schema
+    in
+    let fan pool =
+      Pe.run ?pool ~seed ~specs ~gen_query ~n_queries:queries ~train ~test ()
+    in
+    Printf.printf "workload: %d queries, heuristic planner, %d domains\n\n"
+      queries jobs;
+    let seq = fan None in
+    let par =
+      Acq_par.Domain_pool.with_pool ~domains:(max 1 jobs) (fun pool ->
+          fan (Some pool))
+    in
+    let t = Acq_util.Tbl.create [ "run"; "wall ms"; "work speedup" ] in
+    Acq_util.Tbl.add_row t
+      [
+        "sequential";
+        Printf.sprintf "%.1f" seq.Pe.wall_ms;
+        Printf.sprintf "%.2f" (Pe.work_speedup seq);
+      ];
+    Acq_util.Tbl.add_row t
+      [
+        Printf.sprintf "%d domains" jobs;
+        Printf.sprintf "%.1f" par.Pe.wall_ms;
+        Printf.sprintf "%.2f" (Pe.work_speedup par);
+      ];
+    Acq_util.Tbl.print t;
+    let identical =
+      Pe.report_to_string seq.Pe.report = Pe.report_to_string par.Pe.report
+    in
+    Printf.printf "\nwall speedup: %.2fx\n"
+      (if par.Pe.wall_ms > 0.0 then seq.Pe.wall_ms /. par.Pe.wall_ms else 0.0);
+    Printf.printf "parallel report byte-identical to sequential: %b\n"
+      identical;
+    if not identical then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Fan a random query workload across worker domains and compare \
+          against the sequential run: wall time, deterministic work-balance \
+          speedup, and a byte-identity check of the two reports.")
+    Term.(
+      const run $ dataset_arg $ rows_arg $ seed_arg $ queries_arg
+      $ bench_jobs_arg $ splits_arg $ points_arg)
+
 let main_cmd =
   let doc =
     "acquisitional query processing with correlated attributes (ICDE 2005 \
@@ -474,6 +635,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "acqp" ~version:"1.0.0" ~doc)
-    [ gen_cmd; plan_cmd; run_cmd; stats_cmd; experiment_cmd ]
+    [ gen_cmd; plan_cmd; run_cmd; stats_cmd; bench_cmd; experiment_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

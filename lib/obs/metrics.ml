@@ -165,6 +165,48 @@ let diff later earlier =
 
 let find snap key = List.assoc_opt key snap
 
+let merge_into ~src ~dst =
+  if src == dst then invalid_arg "Metrics.merge_into: src and dst are the same";
+  List.iter
+    (fun (f, series_list) ->
+      let df = family dst ~name:f.name ~help:f.help ~kind:f.kind in
+      List.iter
+        (fun (labels, inst) ->
+          match inst with
+          | Counter c -> (
+              match series df labels (fun () -> Counter { c_value = 0.0 }) with
+              | Counter d -> d.c_value <- d.c_value +. c.c_value
+              | Gauge _ | Histogram _ -> assert false)
+          | Gauge g -> (
+              match series df labels (fun () -> Gauge { g_value = 0.0 }) with
+              | Gauge d -> d.g_value <- d.g_value +. g.g_value
+              | Counter _ | Histogram _ -> assert false)
+          | Histogram h -> (
+              let make () =
+                Histogram
+                  {
+                    bounds = Array.copy h.bounds;
+                    counts = Array.make (Array.length h.counts) 0;
+                    h_count = 0;
+                    h_sum = 0.0;
+                  }
+              in
+              match series df labels make with
+              | Histogram d ->
+                  if d.bounds <> h.bounds then
+                    invalid_arg
+                      (Printf.sprintf
+                         "Metrics.merge_into: %s has different bucket bounds"
+                         f.name);
+                  Array.iteri
+                    (fun i c -> d.counts.(i) <- d.counts.(i) + c)
+                    h.counts;
+                  d.h_count <- d.h_count + h.h_count;
+                  d.h_sum <- d.h_sum +. h.h_sum
+              | Counter _ | Gauge _ -> assert false))
+        series_list)
+    (in_order src)
+
 let bound_str b =
   if Float.is_integer b && Float.abs b < 1e15 then Printf.sprintf "%.0f" b
   else Printf.sprintf "%g" b

@@ -78,6 +78,19 @@ val diff : snapshot -> snapshot -> snapshot
 
 val find : snapshot -> string -> float option
 
+val merge_into : src:t -> dst:t -> unit
+(** Fold every instrument of [src] into [dst]: counters and gauges add
+    their values (gauges in this codebase accumulate, e.g. energy, so
+    summing shards is the right merge), histograms add per-bucket
+    counts and sums. Families and series absent from [dst] are
+    registered, preserving [src]'s registration order after [dst]'s
+    existing instruments. [src] is not modified. This is how the
+    domain pool folds per-domain metric shards into the caller's
+    registry on join.
+    @raise Invalid_argument if a family exists in both registries with
+    different instrument kinds, or a histogram series exists in both
+    with different bucket bounds. [src] and [dst] must be distinct. *)
+
 val to_prometheus : t -> string
 (** Prometheus text exposition format: [# HELP]/[# TYPE] headers,
     cumulative [_bucket{le=...}] series plus [_sum]/[_count] for

@@ -1,0 +1,153 @@
+module P = Acq_core.Planner
+module Ex = Acq_plan.Executor
+module J = Acq_obs.Json
+
+type spec = {
+  name : string;
+  build : Acq_plan.Query.t -> Acq_core.Planner.result;
+}
+
+type row = {
+  index : int;
+  query : Acq_plan.Query.t;
+  results : Acq_core.Planner.result array;
+  test_costs : float array;
+  train_costs : float array;
+  consistent : bool;
+}
+
+type report = { spec_names : string array; rows : row array }
+
+type outcome = {
+  report : report;
+  task_domains : int array;
+  wall_ms : float;
+}
+
+let run ?pool ?(telemetry = Acq_obs.Telemetry.noop) ?(seed = 42) ~specs
+    ~gen_query ~n_queries ~train ~test () =
+  let specs = Array.of_list specs in
+  (* Streams are fixed here, sequentially, before any scheduling. *)
+  let rngs = Acq_util.Rng.split_n (Acq_util.Rng.create seed) n_queries in
+  let task index tele =
+    let q = gen_query rngs.(index) in
+    let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
+    let results = Array.map (fun s -> s.build q) specs in
+    let plans = Array.map (fun (r : P.result) -> r.P.plan) results in
+    let test_costs =
+      Array.map (fun p -> Ex.average_cost ~obs:tele q ~costs p test) plans
+    in
+    let train_costs =
+      Array.map (fun p -> Ex.average_cost ~obs:tele q ~costs p train) plans
+    in
+    let consistent =
+      Array.for_all
+        (fun p ->
+          Ex.consistent q ~costs p test && Ex.consistent q ~costs p train)
+        plans
+    in
+    { index; query = q; results; test_costs; train_costs; consistent }
+  in
+  let t0 = Unix.gettimeofday () in
+  let rows, task_domains =
+    match pool with
+    | None ->
+        ( Array.init n_queries (fun i -> task i telemetry),
+          Array.make n_queries (-1) )
+    | Some pool ->
+        let futures =
+          Array.init n_queries (fun i -> Domain_pool.submit pool (task i))
+        in
+        let rows = Array.map (Domain_pool.await_exn pool) futures in
+        (rows, Array.map Domain_pool.ran_on futures)
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let spec_names = Array.map (fun s -> s.name) specs in
+  { report = { spec_names; rows }; task_domains; wall_ms }
+
+let work_units report =
+  Array.map
+    (fun r ->
+      Array.fold_left
+        (fun acc (res : P.result) ->
+          acc
+          + res.P.stats.Acq_core.Search.nodes_solved
+          + res.P.stats.Acq_core.Search.estimator_calls)
+        0 r.results)
+    report.rows
+
+let work_speedup outcome =
+  let units = work_units outcome.report in
+  let total = Array.fold_left ( + ) 0 units in
+  if total = 0 then 1.0
+  else begin
+    let per_domain = Hashtbl.create 8 in
+    Array.iteri
+      (fun i d ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt per_domain d) in
+        Hashtbl.replace per_domain d (prev + units.(i)))
+      outcome.task_domains;
+    let max_domain = Hashtbl.fold (fun _ v acc -> max v acc) per_domain 0 in
+    if max_domain = 0 then 1.0 else float_of_int total /. float_of_int max_domain
+  end
+
+let hex bytes =
+  let b = Buffer.create (2 * Bytes.length bytes) in
+  Bytes.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) bytes;
+  Buffer.contents b
+
+let row_json r =
+  let per_spec f = J.Arr (Array.to_list (Array.map f r.results)) in
+  J.Obj
+    [
+      ("index", J.Num (float_of_int r.index));
+      ("query", J.Str (Acq_plan.Query.describe r.query));
+      ( "plans",
+        per_spec (fun (res : P.result) ->
+            J.Str (hex (Acq_plan.Serialize.encode res.P.plan))) );
+      ("est_costs", per_spec (fun res -> J.Num res.P.est_cost));
+      ( "plan_sizes",
+        per_spec (fun res ->
+            J.Num (float_of_int res.P.stats.Acq_core.Search.plan_size)) );
+      ( "test_costs",
+        J.Arr (Array.to_list (Array.map (fun c -> J.Num c) r.test_costs)) );
+      ( "train_costs",
+        J.Arr (Array.to_list (Array.map (fun c -> J.Num c) r.train_costs)) );
+      ("consistent", J.Bool r.consistent);
+    ]
+
+let report_to_json report =
+  J.Obj
+    [
+      ( "specs",
+        J.Arr (Array.to_list (Array.map (fun n -> J.Str n) report.spec_names))
+      );
+      ("rows", J.Arr (Array.to_list (Array.map row_json report.rows)));
+    ]
+
+(* Canonical text: fixed precision for every float, plans as hex. Two
+   runs agree on this string iff they agree on plan trees, estimated
+   and measured costs, and plan sizes. *)
+let report_to_string report =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "specs=%s\n"
+       (String.concat "," (Array.to_list report.spec_names)));
+  Array.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "row %d query=%s consistent=%b\n" r.index
+           (Acq_plan.Query.describe r.query)
+           r.consistent);
+      Array.iteri
+        (fun s (res : P.result) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "  %s est=%.6f test=%.6f train=%.6f size=%d plan=%s\n"
+               report.spec_names.(s) res.P.est_cost r.test_costs.(s)
+               r.train_costs.(s)
+               res.P.stats.Acq_core.Search.plan_size
+               (hex (Acq_plan.Serialize.encode res.P.plan))))
+        r.results)
+    report.rows;
+  Buffer.contents buf

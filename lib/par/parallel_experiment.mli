@@ -1,0 +1,79 @@
+(** Workload fan-out: generate N queries from per-task RNG streams,
+    plan each with every spec, and measure real execution cost on
+    held-out data — each query an independent {!Domain_pool} task.
+
+    Two guarantees make parallel runs trustworthy:
+
+    - {b Deterministic seeding.} Task [i]'s RNG is drawn by
+      {!Acq_util.Rng.split_n} {e before} anything is scheduled, so the
+      query (and everything downstream of it) depends only on [seed]
+      and [i] — never on which domain ran the task or in what order
+      tasks finished.
+    - {b Deterministic collection.} Results are gathered by submission
+      index. Combined with re-entrant planning, a pool run of any
+      size, including none, produces the same {!report}; the canonical
+      {!report_to_string} rendering of two runs is byte-identical,
+      which [test/test_par.ml] asserts.
+
+    Scheduling-dependent facts (which domain ran what, wall time) are
+    returned beside the report in {!outcome}, never inside it. *)
+
+type spec = {
+  name : string;
+  build : Acq_plan.Query.t -> Acq_core.Planner.result;
+      (** must be re-entrant and must not capture a live telemetry
+          handle shared across domains (plain [Planner.plan ~options]
+          closures are both) *)
+}
+
+type row = {
+  index : int;  (** task index, also the RNG-stream index *)
+  query : Acq_plan.Query.t;
+  results : Acq_core.Planner.result array;  (** per spec, same order *)
+  test_costs : float array;  (** empirical cost on [test], per spec *)
+  train_costs : float array;
+  consistent : bool;  (** every plan agreed with ground truth *)
+}
+
+type report = { spec_names : string array; rows : row array }
+
+type outcome = {
+  report : report;  (** deterministic *)
+  task_domains : int array;
+      (** worker that ran each row; [-1] on the sequential path *)
+  wall_ms : float;  (** end-to-end fan-out wall time *)
+}
+
+val run :
+  ?pool:Domain_pool.t ->
+  ?telemetry:Acq_obs.Telemetry.t ->
+  ?seed:int ->
+  specs:spec list ->
+  gen_query:(Acq_util.Rng.t -> Acq_plan.Query.t) ->
+  n_queries:int ->
+  train:Acq_data.Dataset.t ->
+  test:Acq_data.Dataset.t ->
+  unit ->
+  outcome
+(** Fan [n_queries] tasks across [pool] (sequential without one).
+    [telemetry] (default noop) is used only on the sequential path;
+    pool tasks record into their worker's shard. [seed] (default 42)
+    roots the split RNG streams. *)
+
+val work_units : report -> int array
+(** Per-row planner effort — [nodes_solved + estimator_calls] summed
+    over specs. Deterministic, hardware-independent work accounting
+    for the speedup kernels. *)
+
+val work_speedup : outcome -> float
+(** [total work units / max per-domain work units] under the actual
+    task placement: the fan-out speedup the pool's load balance
+    admits, which wall-clock speedup converges to once at least
+    [Domain_pool.size] cores exist. [1.0] for a sequential outcome. *)
+
+val report_to_json : report -> Acq_obs.Json.t
+
+val report_to_string : report -> string
+(** Canonical rendering (fixed float precision, hex-encoded serialized
+    plans). Byte-equality of two renderings is the differential
+    suite's definition of "same result". *)

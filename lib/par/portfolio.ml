@@ -1,0 +1,80 @@
+module P = Acq_core.Planner
+
+type status = Finished | Deadline | Budget | Failed of string
+
+type arm = {
+  algorithm : P.algorithm;
+  status : status;
+  result : P.result option;
+  wall_ms : float;
+}
+
+type outcome = {
+  winner : (P.algorithm * P.result) option;
+  arms : arm list;
+}
+
+let default_algorithms = [ P.Exhaustive; P.Heuristic; P.Corr_seq ]
+
+let status_name = function
+  | Finished -> "finished"
+  | Deadline -> "deadline"
+  | Budget -> "budget"
+  | Failed _ -> "failed"
+
+let race ?(options = P.default_options) ?(algorithms = default_algorithms)
+    ?pool ?(telemetry = Acq_obs.Telemetry.noop) q ~train =
+  let run_arm tele algorithm =
+    let t0 = Unix.gettimeofday () in
+    let status, result =
+      match P.plan ~options ~telemetry:tele algorithm q ~train with
+      | r -> (Finished, Some r)
+      | exception Acq_core.Search.Deadline_exceeded -> (Deadline, None)
+      | exception Acq_core.Search.Budget_exceeded -> (Budget, None)
+      | exception e -> (Failed (Printexc.to_string e), None)
+    in
+    { algorithm; status; result; wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
+  in
+  let arms =
+    match pool with
+    | None -> List.map (run_arm telemetry) algorithms
+    | Some pool ->
+        (* Launch every arm before awaiting any: the arms really race. *)
+        algorithms
+        |> List.map (fun a ->
+               Domain_pool.submit pool (fun tele -> run_arm tele a))
+        |> List.map (Domain_pool.await_exn pool)
+  in
+  (* Cheapest finished arm; ties keep the earlier arm. Completion
+     order never enters, so parallel = sequential bit for bit. *)
+  let winner =
+    List.fold_left
+      (fun best arm ->
+        match (arm.status, arm.result) with
+        | Finished, Some r -> (
+            match best with
+            | Some (_, (b : P.result)) when b.P.est_cost <= r.P.est_cost -> best
+            | _ -> Some (arm.algorithm, r))
+        | _ -> best)
+      None arms
+  in
+  let module T = Acq_obs.Telemetry in
+  if T.enabled telemetry then begin
+    T.add telemetry "acqp_par_portfolio_races_total" 1.0;
+    List.iter
+      (fun arm ->
+        let algo = [ ("algorithm", P.algorithm_name arm.algorithm) ] in
+        T.add telemetry
+          ~labels:(("status", status_name arm.status) :: algo)
+          "acqp_par_portfolio_arm_total" 1.0;
+        T.observe telemetry ~labels:algo "acqp_par_portfolio_arm_ms"
+          arm.wall_ms)
+      arms;
+    match winner with
+    | Some (algo, _) ->
+        T.add telemetry
+          ~labels:[ ("algorithm", P.algorithm_name algo) ]
+          "acqp_par_portfolio_wins_total" 1.0
+    | None -> ()
+  end;
+  { winner; arms }

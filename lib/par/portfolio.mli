@@ -1,0 +1,64 @@
+(** Portfolio planning: race several planning algorithms on the same
+    query in parallel domains and keep the cheapest plan that finished.
+
+    Trummer & Koch's probably-approximately-optimal observation is
+    that a portfolio of optimizers under a shared deadline dominates
+    any single algorithm: Exhaustive wins small queries outright,
+    GreedyPlan (Heuristic) wins when Exhaustive would blow its budget,
+    and the sequential planners are a cheap safety net. The race runs
+    every arm with the {e same} {!Acq_core.Planner.options} — in
+    particular the same [deadline_ms] and [search_budget], so all arms
+    share one wall-clock/effort envelope — and every arm is an
+    independent re-entrant [Planner.plan] call, nothing shared.
+
+    Determinism: the winner is the finished arm with the lowest
+    estimated cost, ties broken by position in the [algorithms] list —
+    never by completion time. A parallel race therefore returns
+    bit-identically the plan a sequential loop over the same arms
+    would pick; the differential suite in [test/test_par.ml] enforces
+    this. *)
+
+type status =
+  | Finished
+  | Deadline  (** arm raised {!Acq_core.Search.Deadline_exceeded} *)
+  | Budget  (** arm raised {!Acq_core.Search.Budget_exceeded} *)
+  | Failed of string  (** any other exception, printed *)
+
+type arm = {
+  algorithm : Acq_core.Planner.algorithm;
+  status : status;
+  result : Acq_core.Planner.result option;  (** [Some] iff [Finished] *)
+  wall_ms : float;  (** this arm's planning wall time *)
+}
+
+type outcome = {
+  winner : (Acq_core.Planner.algorithm * Acq_core.Planner.result) option;
+      (** cheapest finished arm; [None] when every arm died *)
+  arms : arm list;  (** in [algorithms] order *)
+}
+
+val default_algorithms : Acq_core.Planner.algorithm list
+(** [Exhaustive; Heuristic; Corr_seq] — the optimal planner, the
+    greedy conditional planner, and the sequential fallback. *)
+
+val status_name : status -> string
+(** ["finished"], ["deadline"], ["budget"], or ["failed"]. *)
+
+val race :
+  ?options:Acq_core.Planner.options ->
+  ?algorithms:Acq_core.Planner.algorithm list ->
+  ?pool:Domain_pool.t ->
+  ?telemetry:Acq_obs.Telemetry.t ->
+  Acq_plan.Query.t ->
+  train:Acq_data.Dataset.t ->
+  outcome
+(** Race [algorithms] (default {!default_algorithms}) on the query.
+    With [pool], arms run as pool tasks (planner counters land in the
+    worker shards and surface when the pool shuts down); without, they
+    run sequentially on the calling domain — same outcome either way.
+
+    [telemetry] (default noop) receives the race-level counters:
+    [acqp_par_portfolio_races_total],
+    [acqp_par_portfolio_wins_total{algorithm=...}],
+    [acqp_par_portfolio_arm_total{algorithm=...,status=...}], and the
+    [acqp_par_portfolio_arm_ms{algorithm=...}] histogram. *)

@@ -19,6 +19,10 @@ let bits64 g =
 
 let split g = { state = bits64 g }
 
+let split_n g n =
+  if n < 0 then invalid_arg "Rng.split_n: n must be >= 0";
+  Array.init n (fun _ -> split g)
+
 let int g n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is < 2^-40 for any

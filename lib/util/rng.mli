@@ -24,6 +24,14 @@ val split : t -> t
     drawn value, so the two streams are decorrelated. Used to give each
     sub-experiment its own stream regardless of evaluation order. *)
 
+val split_n : t -> int -> t array
+(** [split_n g n] draws [n] independent generators from [g] in one
+    sequential pass: generator [i] depends only on [g]'s state at the
+    call and on [i]. This is the per-task seeding rule for parallel
+    fan-out — streams are fixed before any task is scheduled, so
+    results cannot depend on which domain runs which task, or in what
+    order. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

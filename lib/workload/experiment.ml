@@ -14,57 +14,91 @@ type query_run = {
   metrics : Acq_obs.Metrics.snapshot;
 }
 
-let run ?(obs = Acq_obs.Telemetry.noop) ~specs ~queries ~train ~test () =
-  let specs = Array.of_list specs in
-  let snapshot () =
-    match Acq_obs.Telemetry.metrics obs with
-    | Some m -> Acq_obs.Metrics.snapshot m
-    | None -> []
+(* Everything about one query except its metrics delta, computed with
+   whichever telemetry handle the caller hands us: the shared [obs]
+   sequentially, a task-private handle under a pool. *)
+let eval_query specs ~obs q ~train ~test =
+  let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
+  let results = Array.map (fun s -> s.build q) specs in
+  let plans = Array.map (fun (r : Acq_core.Planner.result) -> r.plan) results in
+  let costs_on ds =
+    Array.map
+      (fun p -> Acq_plan.Executor.average_cost ~obs q ~costs p ds)
+      plans
   in
-  let before = ref (snapshot ()) in
-  List.map
-    (fun q ->
-      let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
-      let results = Array.map (fun s -> s.build q) specs in
-      let plans =
-        Array.map (fun (r : Acq_core.Planner.result) -> r.plan) results
+  let test_costs = costs_on test in
+  let train_costs = costs_on train in
+  let plan_tests = Array.map Acq_plan.Plan.n_tests plans in
+  let consistent =
+    Array.for_all
+      (fun p ->
+        Acq_plan.Executor.consistent q ~costs p test
+        && Acq_plan.Executor.consistent q ~costs p train)
+      plans
+  in
+  {
+    query = q;
+    test_costs;
+    train_costs;
+    est_costs =
+      Array.map (fun (r : Acq_core.Planner.result) -> r.est_cost) results;
+    plan_tests;
+    plan_stats =
+      Array.map (fun (r : Acq_core.Planner.result) -> r.stats) results;
+    consistent;
+    metrics = [];
+  }
+
+let run ?(obs = Acq_obs.Telemetry.noop) ?pool ~specs ~queries ~train ~test () =
+  let specs = Array.of_list specs in
+  match pool with
+  | None ->
+      let snapshot () =
+        match Acq_obs.Telemetry.metrics obs with
+        | Some m -> Acq_obs.Metrics.snapshot m
+        | None -> []
       in
-      let test_costs =
-        Array.map
-          (fun p -> Acq_plan.Executor.average_cost ~obs q ~costs p test)
-          plans
+      let before = ref (snapshot ()) in
+      List.map
+        (fun q ->
+          let r = eval_query specs ~obs q ~train ~test in
+          let after = snapshot () in
+          let metrics = Acq_obs.Metrics.diff after !before in
+          before := after;
+          { r with metrics })
+        queries
+  | Some pool ->
+      let live = Acq_obs.Telemetry.metrics obs in
+      let futures =
+        List.map
+          (fun q ->
+            Acq_par.Domain_pool.submit pool (fun _worker_tele ->
+                (* Task-private registry: per-query deltas need no
+                   cross-domain coordination and stay exact. *)
+                let reg =
+                  match live with
+                  | Some _ -> Some (Acq_obs.Metrics.create ())
+                  | None -> None
+                in
+                let tele =
+                  match reg with
+                  | Some m -> Acq_obs.Telemetry.create ~metrics:m ()
+                  | None -> Acq_obs.Telemetry.noop
+                in
+                (eval_query specs ~obs:tele q ~train ~test, reg)))
+          queries
       in
-      let train_costs =
-        Array.map
-          (fun p -> Acq_plan.Executor.average_cost ~obs q ~costs p train)
-          plans
-      in
-      let plan_tests = Array.map Acq_plan.Plan.n_tests plans in
-      let consistent =
-        Array.for_all
-          (fun p ->
-            Acq_plan.Executor.consistent q ~costs p test
-            && Acq_plan.Executor.consistent q ~costs p train)
-          plans
-      in
-      let after = snapshot () in
-      let metrics = Acq_obs.Metrics.diff after !before in
-      before := after;
-      {
-        query = q;
-        test_costs;
-        train_costs;
-        est_costs =
-          Array.map
-            (fun (r : Acq_core.Planner.result) -> r.est_cost)
-            results;
-        plan_tests;
-        plan_stats =
-          Array.map (fun (r : Acq_core.Planner.result) -> r.stats) results;
-        consistent;
-        metrics;
-      })
-    queries
+      (* Collect in submission order; merging shards in that order
+         keeps the caller's registry deterministic. *)
+      List.map
+        (fun fut ->
+          let r, reg = Acq_par.Domain_pool.await_exn pool fut in
+          match (reg, live) with
+          | Some src, Some dst ->
+              Acq_obs.Metrics.merge_into ~src ~dst;
+              { r with metrics = Acq_obs.Metrics.snapshot src }
+          | _ -> r)
+        futures
 
 let gains runs ~baseline ~target =
   Array.of_list

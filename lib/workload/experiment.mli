@@ -26,12 +26,27 @@ type query_run = {
 
 val run :
   ?obs:Acq_obs.Telemetry.t ->
+  ?pool:Acq_par.Domain_pool.t ->
   specs:algo_spec list ->
   queries:Acq_plan.Query.t list ->
   train:Acq_data.Dataset.t ->
   test:Acq_data.Dataset.t ->
   unit ->
   query_run list
+(** Plan and measure every query with every spec. Results are in query
+    order in both modes.
+
+    With [pool], queries are planned and measured as parallel domain
+    tasks. Because planning is re-entrant, the returned plans, costs,
+    and search stats are identical to a sequential run — the
+    [test/test_par.ml] differential suite holds this. Two caveats,
+    both about telemetry rather than results: each task records into a
+    private registry (merged into [obs]'s registry in query order once
+    the task is collected), so the per-query [metrics] delta covers
+    the harness's own instruments — executor sweeps — while anything a
+    spec closure captured goes wherever that closure sends it; and for
+    that reason specs must not capture a live telemetry handle when a
+    pool is used (plain [Planner.plan ~options] closures are safe). *)
 
 val gains : query_run list -> baseline:int -> target:int -> float array
 (** Per-query ratio [cost baseline / cost target] (> 1 when the target

@@ -518,6 +518,106 @@ let prop_joint_equals_view =
         -. Acq_prob.View.range_prob v' ~attr:1 r1)
       < 1e-9)
 
+(* Brute-force executor oracle. On a dataset that enumerates a small
+   discrete domain exhaustively — every possible tuple exactly once —
+   the analytic expected cost (Eq. 3) of any planner's plan must equal
+   a hand-rolled average of per-tuple [Executor.run_tuple] costs over
+   the whole domain, with no estimator or sweep machinery between the
+   two sides. Checked with and without a board cost model, for every
+   planner, against the planner's own reported cost as well. *)
+let brute_instance_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n_attrs = int_range 2 4 in
+    let* domains = array_repeat n_attrs (int_range 2 3) in
+    let* costs = array_repeat n_attrs (oneofl [ 1.0; 5.0; 20.0; 100.0 ]) in
+    let* n_preds = int_range 1 n_attrs in
+    let* boards =
+      oneof
+        [
+          return None;
+          (let* n_boards = int_range 1 2 in
+           let* board = array_repeat n_attrs (int_range 0 (n_boards - 1)) in
+           let* wakeup = array_repeat n_boards (oneofl [ 0.0; 10.0; 50.0 ]) in
+           let* read = array_repeat n_attrs (oneofl [ 1.0; 5.0; 20.0 ]) in
+           return (Some (board, wakeup, read)));
+        ]
+    in
+    return ({ seed; n_attrs; domains; costs; n_preds }, boards))
+
+(* Every tuple of the discrete domain, exactly once, in row-major
+   order. *)
+let cross_product domains =
+  let n = Array.length domains in
+  let total = Array.fold_left ( * ) 1 domains in
+  Array.init total (fun idx ->
+      let row = Array.make n 0 in
+      let r = ref idx in
+      for k = n - 1 downto 0 do
+        row.(k) <- !r mod domains.(k);
+        r := !r / domains.(k)
+      done;
+      row)
+
+let prop_brute_force_oracle =
+  QCheck2.Test.make ~count:60
+    ~name:"Eq3 = brute-force run_tuple average on an exhaustive domain"
+    ~print:(fun (i, _) -> instance_print i)
+    brute_instance_gen
+    (fun (i, boards) ->
+      let schema =
+        S.create
+          (List.init i.n_attrs (fun k ->
+               A.discrete
+                 ~name:(Printf.sprintf "a%d" k)
+                 ~cost:i.costs.(k) ~domain:i.domains.(k)))
+      in
+      let rows = cross_product i.domains in
+      let ds = DS.create schema rows in
+      let rng = Rng.create i.seed in
+      let attrs = Rng.sample_without_replacement rng i.n_preds i.n_attrs in
+      let preds =
+        Array.to_list
+          (Array.map
+             (fun attr ->
+               let k = i.domains.(attr) in
+               let lo = Rng.int rng k in
+               let hi = lo + Rng.int rng (k - lo) in
+               if Rng.bernoulli rng 0.25 && not (lo = 0 && hi = k - 1) then
+                 Pred.outside ~attr ~lo ~hi
+               else Pred.inside ~attr ~lo ~hi)
+             attrs)
+      in
+      let q = Q.create schema preds in
+      let costs = S.costs schema in
+      let model =
+        Option.map
+          (fun (board, wakeup, read) ->
+            Acq_plan.Cost_model.boards ~board ~wakeup ~read)
+          boards
+      in
+      let est = E.empirical ds in
+      let opts = { options with cost_model = model } in
+      List.for_all
+        (fun algo ->
+          let r = P.plan ~options:opts algo q ~train:ds in
+          let plan = r.P.plan in
+          let brute =
+            Array.fold_left
+              (fun acc row ->
+                acc +. (Ex.run_tuple ?model q ~costs plan row).Ex.cost)
+              0.0 rows
+            /. float_of_int (Array.length rows)
+          in
+          let analytic =
+            Acq_core.Expected_cost.of_plan ?model q ~costs est plan
+          in
+          let swept = Ex.average_cost ?model q ~costs plan ds in
+          Float.abs (analytic -. brute) < 1e-9
+          && Float.abs (swept -. brute) < 1e-9
+          && (algo = P.Naive || Float.abs (r.P.est_cost -. brute) < 1e-9))
+        [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ])
+
 (* The chain the paper argues analytically, checked at the level of
    the individual planner modules (the facade-level chain is
    prop_dominance): the optimal conditional plan never costs more than
@@ -616,6 +716,7 @@ let () =
           [
             prop_planners_consistent;
             prop_eq3_eq4;
+            prop_brute_force_oracle;
             prop_dominance;
             prop_heuristic_monotone;
             prop_optseq_beats_greedy;
