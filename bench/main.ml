@@ -100,7 +100,7 @@ module K = struct
              ignore
                (Acq_core.Enumerate.all_plans q
                   ~costs:(Acq_data.Schema.costs schema)
-                  (Acq_prob.Estimator.empirical ds)
+                  (Acq_prob.Backend.empirical ds)
                  : (Acq_plan.Plan.t * float) list)));
       (* fig8a: exhaustive planning on the coarsened lab problem. *)
       Test.make ~name:"fig8a/exhaustive-r2"
@@ -164,14 +164,14 @@ module K = struct
         (Staged.stage
            (let ds = Lazy.force garden5 in
             let q = garden_query ds 5 99 in
-            let est = Acq_prob.Estimator.empirical ds in
+            let est = Acq_prob.Backend.empirical ds in
             let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
             fun () -> ignore (Acq_core.Optseq.order q ~costs est : int list * float)));
       Test.make ~name:"scale/greedyseq-m22"
         (Staged.stage
            (let ds = Lazy.force garden11 in
             let q = garden_query ds 11 100 in
-            let est = Acq_prob.Estimator.empirical ds in
+            let est = Acq_prob.Backend.empirical ds in
             let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
             fun () ->
               ignore (Acq_core.Greedyseq.order q ~costs est : int list * float)));
@@ -857,6 +857,186 @@ let write_par_json ?(races = 1) path =
      %.2fx on this machine, deterministic=%b)\n"
     path work_speedup par_jobs wall_speedup deterministic
 
+(* ------------------------------------------------------------------ *)
+(* Probability-backend bench: (1) the packed dense table's O(1)
+   unconditioned range_prob against the seed closure path's O(rows)
+   view scan, and (2) the memo combinator's hit rate when one shared
+   memoized backend serves an exhaustive-planner workload over a
+   4-attribute problem, with a differential check that memoization
+   leaves every plan and expected cost byte-identical. BENCH_prob.json
+   records both; the checked-in schema pins the headline floors
+   (speedup >= 3, hit rate >= 0.5). *)
+
+let prob_memo_queries = 12
+
+let write_prob_json path =
+  let module P = Acq_core.Planner in
+  let module B = Acq_prob.Backend in
+  let module Rng = Acq_util.Rng in
+  (* -- kernel 1: range_prob, packed vs closure ---------------------- *)
+  let ds = Lazy.force K.lab_coarse in
+  let nrows = Acq_data.Dataset.nrows ds in
+  let domains = Acq_data.Schema.domains (Acq_data.Dataset.schema ds) in
+  let n = Array.length domains in
+  let rng = Rng.create 771 in
+  let probes =
+    Array.init 1024 (fun _ ->
+        let a = Rng.int rng n in
+        let k = domains.(a) in
+        let lo = Rng.int rng k in
+        let hi = lo + Rng.int rng (k - lo) in
+        (a, Acq_plan.Range.make lo hi))
+  in
+  let closure_est = Acq_prob.Estimator.empirical ds in
+  let dense_b = B.dense ds in
+  let time_ns reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do f () done;
+    (Unix.gettimeofday () -. t0)
+    *. 1e9
+    /. float_of_int (reps * Array.length probes)
+  in
+  let sink = ref 0.0 in
+  let closure_ns =
+    time_ns 8 (fun () ->
+        Array.iter
+          (fun (a, r) ->
+            sink := !sink +. closure_est.Acq_prob.Estimator.range_prob a r)
+          probes)
+  in
+  let dense_ns =
+    time_ns 2048 (fun () ->
+        Array.iter (fun (a, r) -> sink := !sink +. B.range_prob dense_b a r) probes)
+  in
+  let speedup = if dense_ns > 0.0 then closure_ns /. dense_ns else infinity in
+  (* Paranoia: the two paths must agree before we compare their speed. *)
+  Array.iter
+    (fun (a, r) ->
+      let c = closure_est.Acq_prob.Estimator.range_prob a r in
+      let d = B.range_prob dense_b a r in
+      if Float.abs (c -. d) > 1e-9 then
+        failwith
+          (Printf.sprintf "dense disagrees with closure on range_prob: %g vs %g"
+             c d))
+    probes;
+  (* -- kernel 2: memo hit rate on an exhaustive 4-attribute workload - *)
+  let schema4 =
+    Acq_data.Schema.create
+      [
+        Acq_data.Attribute.discrete ~name:"c0" ~cost:1.0 ~domain:8;
+        Acq_data.Attribute.discrete ~name:"c1" ~cost:2.0 ~domain:8;
+        Acq_data.Attribute.discrete ~name:"e0" ~cost:50.0 ~domain:8;
+        Acq_data.Attribute.discrete ~name:"e1" ~cost:80.0 ~domain:8;
+      ]
+  in
+  let drng = Rng.create 772 in
+  let rows4 =
+    Array.init 3_000 (fun _ ->
+        let base = Rng.int drng 8 in
+        [|
+          base;
+          (base + Rng.int drng 3) mod 8;
+          (base + Rng.int drng 2) mod 8;
+          Rng.int drng 8;
+        |])
+  in
+  let ds4 = Acq_data.Dataset.create schema4 rows4 in
+  let qrng = Rng.create 773 in
+  let queries =
+    List.init prob_memo_queries (fun _ ->
+        let pred attr =
+          let lo = Rng.int qrng 6 in
+          let hi = lo + 1 + Rng.int qrng (7 - lo) in
+          Acq_plan.Predicate.inside ~attr ~lo ~hi
+        in
+        Acq_plan.Query.create schema4 [ pred 0; pred 1; pred 2; pred 3 ])
+  in
+  let costs4 = Acq_data.Schema.costs schema4 in
+  let options =
+    { K.opts with split_points_per_attr = 2; exhaustive_budget = 5_000_000 }
+  in
+  let run_workload backend =
+    List.map
+      (fun q ->
+        let r = P.plan_with_backend ~options P.Exhaustive q ~costs:costs4 backend in
+        (Acq_plan.Serialize.encode r.P.plan, r.P.est_cost))
+      queries
+  in
+  let plain = run_workload (B.empirical ds4) in
+  let m = Acq_obs.Metrics.create () in
+  let obs = Acq_obs.Telemetry.create ~metrics:m () in
+  let memoized =
+    run_workload
+      (B.of_dataset ~telemetry:obs
+         ~spec:{ B.kind = B.Empirical; memoize = true }
+         ds4)
+  in
+  let identical =
+    List.for_all2
+      (fun (e1, c1) (e2, c2) -> Bytes.equal e1 e2 && Float.equal c1 c2)
+      plain memoized
+  in
+  let snap = Acq_obs.Metrics.snapshot m in
+  let counter prefix =
+    List.fold_left
+      (fun acc (k, v) ->
+        if String.length k >= String.length prefix
+           && String.sub k 0 (String.length prefix) = prefix
+        then acc +. v
+        else acc)
+      0.0 snap
+  in
+  let hits = counter "acqp_prob_memo_hits_total" in
+  let misses = counter "acqp_prob_memo_misses_total" in
+  let hit_rate = if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0 in
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ( "range_prob",
+          J.Obj
+            [
+              ("dataset", J.Str "lab-coarse");
+              ("rows", J.Num (float_of_int nrows));
+              ("probes", J.Num (float_of_int (Array.length probes)));
+              ("closure_ns_per_query", J.Num closure_ns);
+              ("dense_ns_per_query", J.Num dense_ns);
+              ("speedup", J.Num speedup);
+            ] );
+        ( "memo",
+          J.Obj
+            [
+              ("workload", J.Str "exhaustive-4attr");
+              ("queries", J.Num (float_of_int prob_memo_queries));
+              ("hits", J.Num hits);
+              ("misses", J.Num misses);
+              ("hit_rate", J.Num hit_rate);
+              ("plans_identical_with_memo", J.Bool identical);
+            ] );
+        ( "summary",
+          J.Obj
+            [
+              ("dense_speedup", J.Num speedup);
+              ("memo_hit_rate", J.Num hit_rate);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote probability-backend results to %s (dense range_prob %.0fx over the \
+     closure path, memo hit rate %.2f, plans identical=%b)\n"
+    path speedup hit_rate identical
+
+let prob_schema_path () =
+  if Sys.file_exists "bench/BENCH_prob.schema.json" then
+    "bench/BENCH_prob.schema.json"
+  else "BENCH_prob.schema.json"
+
+let validate_prob path = validate_against ~schema_path:(prob_schema_path ()) path
+
 let par_schema_path () =
   if Sys.file_exists "bench/BENCH_par.schema.json" then
     "bench/BENCH_par.schema.json"
@@ -911,6 +1091,7 @@ let () =
   let obs_smoke = List.mem "--obs-smoke" args in
   let adapt_smoke = List.mem "--adapt-smoke" args in
   let par_smoke = List.mem "--par-smoke" args in
+  let prob_smoke = List.mem "--prob-smoke" args in
   let find_target flag =
     let rec find = function
       | f :: path :: _ when f = flag -> Some path
@@ -922,10 +1103,12 @@ let () =
   let validate_target = find_target "--validate-obs" in
   let validate_adapt_target = find_target "--validate-adapt" in
   let validate_par_target = find_target "--validate-par" in
+  let validate_prob_target = find_target "--validate-prob" in
   let ids =
     let rec keep = function
-      | ("--validate-obs" | "--validate-adapt" | "--validate-par") :: _ :: rest
-        ->
+      | ( "--validate-obs" | "--validate-adapt" | "--validate-par"
+        | "--validate-prob" )
+        :: _ :: rest ->
           keep rest
       | a :: rest ->
           if String.length a > 1 && a.[0] = '-' then keep rest
@@ -943,15 +1126,22 @@ let () =
     print_endline
       "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
        --adapt-smoke --validate-adapt FILE --par-smoke --validate-par FILE \
-       --list (every non-list run also writes BENCH_planner_stats.json, \
-       BENCH_obs.json, BENCH_adapt.json, and BENCH_par.json)"
+       --prob-smoke --validate-prob FILE --list (every non-list run also \
+       writes BENCH_planner_stats.json, BENCH_obs.json, BENCH_adapt.json, \
+       BENCH_par.json, and BENCH_prob.json)"
   end
   else
-    match (validate_target, validate_adapt_target, validate_par_target) with
-    | Some path, _, _ -> validate_obs path
-    | None, Some path, _ -> validate_adapt path
-    | None, None, Some path -> validate_par path
-    | None, None, None ->
+    match
+      ( validate_target,
+        validate_adapt_target,
+        validate_par_target,
+        validate_prob_target )
+    with
+    | Some path, _, _, _ -> validate_obs path
+    | None, Some path, _, _ -> validate_adapt path
+    | None, None, Some path, _ -> validate_par path
+    | None, None, None, Some path -> validate_prob path
+    | None, None, None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
@@ -964,6 +1154,10 @@ let () =
           write_par_json ~races:20 "BENCH_par.json";
           validate_par "BENCH_par.json"
         end
+        else if prob_smoke then begin
+          write_prob_json "BENCH_prob.json";
+          validate_prob "BENCH_prob.json"
+        end
         else begin
           if not micro_only then
             Acq_workload.Registry.run_selected { Acq_workload.Figures.full }
@@ -972,5 +1166,6 @@ let () =
           write_obs_json "BENCH_obs.json";
           write_adapt_json "BENCH_adapt.json";
           write_par_json "BENCH_par.json";
+          write_prob_json "BENCH_prob.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

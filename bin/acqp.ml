@@ -101,6 +101,46 @@ let algo_arg =
     & info [ "algo"; "a" ] ~docv:"ALGO"
         ~doc:"Planner: naive, corrseq, heuristic, or exhaustive.")
 
+let model_conv =
+  let parse s =
+    match Acq_prob.Backend.spec_of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt spec =
+    Format.pp_print_string fmt (Acq_prob.Backend.spec_to_string spec)
+  in
+  Arg.conv (parse, print)
+
+(* A model the dataset can't support (e.g. --model dense on a joint
+   domain beyond the packed-table cap) is a usage error, not a crash;
+   backend-construction guards all raise with a "Backend." prefix. *)
+let or_model_error f =
+  try f ()
+  with
+  | Invalid_argument msg
+    when String.length msg >= 8 && String.sub msg 0 8 = "Backend." ->
+    Printf.eprintf
+      "acqp: %s\n\
+       the selected --model cannot represent this dataset's joint \
+       domain; try empirical, chow-liu, or independence.\n"
+      msg;
+    exit 1
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Acq_prob.Backend.default_spec
+    & info [ "model"; "m" ] ~docv:"MODEL"
+        ~doc:
+          "Probability backend the planner estimates selectivities with: \
+           $(b,empirical) (raw training counts), $(b,dense) (packed joint \
+           table with O(1) marginal range queries), $(b,chow-liu) \
+           (smoothed dependency-tree model), or $(b,independence) \
+           (marginals only, the correlation-blind baseline). Append \
+           $(b,,memo) to cache estimates per conditioning context, e.g. \
+           'dense,memo'.")
+
 (* Telemetry plumbing shared by plan/run: build a live handle only
    when an output file was requested, flush on completion. *)
 
@@ -236,8 +276,8 @@ let print_plan_result ~obs ~costs ~test ~show_stats q
       (Acq_core.Search.stats_to_string r.Acq_core.Planner.stats)
 
 let plan_cmd =
-  let run kind rows seed sql algo splits points portfolio jobs deadline_ms
-      show_stats metrics_out trace_out =
+  let run kind rows seed sql algo model splits points portfolio jobs
+      deadline_ms show_stats metrics_out trace_out =
     let ds = make_dataset kind ~rows ~seed in
     let train, test = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
     let schema = Acq_data.Dataset.schema ds in
@@ -249,11 +289,15 @@ let plan_cmd =
         max_splits = splits;
         split_points_per_attr = points;
         deadline_ms;
+        prob_model = model;
       }
     in
-    Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
+    Printf.printf "query: %s\nalgorithm: %s\nmodel: %s\n\n"
+      (Acq_plan.Query.describe q)
       (if portfolio then "portfolio (exhaustive / heuristic / corrseq)"
-       else Acq_core.Planner.algorithm_name algo);
+       else Acq_core.Planner.algorithm_name algo)
+      (Acq_prob.Backend.spec_to_string model);
+    or_model_error @@ fun () ->
     with_telemetry ~metrics_out ~trace_out @@ fun obs ->
     if not portfolio then
       let r = Acq_core.Planner.plan ~options ~telemetry:obs algo q ~train in
@@ -294,8 +338,8 @@ let plan_cmd =
     (Cmd.info "plan" ~doc:"Optimize one query and print the conditional plan.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg $ portfolio_flag $ jobs_arg $ deadline_arg
-      $ stats_flag $ metrics_out_arg $ trace_out_arg)
+      $ model_arg $ splits_arg $ points_arg $ portfolio_flag $ jobs_arg
+      $ deadline_arg $ stats_flag $ metrics_out_arg $ trace_out_arg)
 
 (* run *)
 
@@ -349,7 +393,7 @@ let drift_at_arg =
            trace).")
 
 let run_cmd =
-  let run kind rows seed sql algo splits points adaptive drift_threshold
+  let run kind rows seed sql algo model splits points adaptive drift_threshold
       replan_every cache_size window drift_at metrics_out trace_out =
     let history, live =
       if drift_at = [] then
@@ -376,10 +420,14 @@ let run_cmd =
         Acq_core.Planner.default_options with
         max_splits = splits;
         split_points_per_attr = points;
+        prob_model = model;
       }
     in
-    Printf.printf "query: %s\nalgorithm: %s\n\n" (Acq_plan.Query.describe q)
-      (Acq_core.Planner.algorithm_name algo);
+    Printf.printf "query: %s\nalgorithm: %s\nmodel: %s\n\n"
+      (Acq_plan.Query.describe q)
+      (Acq_core.Planner.algorithm_name algo)
+      (Acq_prob.Backend.spec_to_string model);
+    or_model_error @@ fun () ->
     with_telemetry ~metrics_out ~trace_out @@ fun obs ->
     if not adaptive then
       let report =
@@ -423,9 +471,9 @@ let run_cmd =
           replanning when the stream drifts.")
     Term.(
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
-      $ splits_arg $ points_arg $ adaptive_arg $ drift_threshold_arg
-      $ replan_every_arg $ cache_size_arg $ window_arg $ drift_at_arg
-      $ metrics_out_arg $ trace_out_arg)
+      $ model_arg $ splits_arg $ points_arg $ adaptive_arg
+      $ drift_threshold_arg $ replan_every_arg $ cache_size_arg $ window_arg
+      $ drift_at_arg $ metrics_out_arg $ trace_out_arg)
 
 (* stats *)
 

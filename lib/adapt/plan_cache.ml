@@ -82,10 +82,14 @@ let signature ?options ?(stats_epoch = 0) ~algorithm q =
   | None -> ()
   | Some (o : P.options) ->
       (* Only plan-shaping knobs: budgets and deadlines bound effort,
-         they don't change which cached plan is valid to reuse. *)
+         they don't change which cached plan is valid to reuse. The
+         probability model shapes the plan (different selectivity
+         estimates, different tree), so it is part of the key —
+         memoization is not (same probabilities, same plan). *)
       Buffer.add_string buf
-        (Printf.sprintf "|k%d:r%d:t%d:a%g" o.P.max_splits
-           o.P.split_points_per_attr o.P.optseq_threshold o.P.size_alpha);
+        (Printf.sprintf "|k%d:r%d:t%d:a%g:m%s" o.P.max_splits
+           o.P.split_points_per_attr o.P.optseq_threshold o.P.size_alpha
+           (Acq_prob.Backend.kind_to_string o.P.prob_model.Acq_prob.Backend.kind));
       match o.P.candidate_attrs with
       | None -> ()
       | Some l ->

@@ -44,9 +44,11 @@ val signature :
     is order-insensitive in the predicate {e set}). The schema's
     names, domains, and costs are folded in so distinct schemas never
     collide; of [options] only the plan-shaping knobs
-    (splits/points/alpha/candidates/threshold) are rendered —
-    budgets and deadlines affect search effort, not which plan is
-    correct to reuse. [stats_epoch] defaults to 0. *)
+    (splits/points/alpha/candidates/threshold and the probability
+    model's kind) are rendered — budgets and deadlines affect search
+    effort, not which plan is correct to reuse, and the memo flag
+    affects estimation speed, not the estimates. [stats_epoch]
+    defaults to 0. *)
 
 val find : t -> string -> Acq_core.Planner.result option
 (** Lookup; bumps recency and the hit/miss counters. *)

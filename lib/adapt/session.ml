@@ -29,8 +29,13 @@ type t = {
   replan_budget : int;
   on_switch : Acq_plan.Plan.t -> switch -> unit;
   mutable initial_stats : Search.stats;
-  mutable reference : Acq_data.Dataset.t;
-      (** the data the current plan's statistics came from *)
+  mutable ref_marginals : int array array;
+      (** per-attribute value counts of the data the current plan's
+          statistics came from — an O(domains) snapshot rather than a
+          pinned dataset, so re-basing never aliases the window's
+          reusable materialization buffers and drift checks never
+          rescan reference rows *)
+  mutable ref_rows : int;
   mutable plan : Acq_plan.Plan.t;
   mutable expected : float;
   mutable state : state;
@@ -58,7 +63,7 @@ let algo_label t = [ ("algorithm", P.algorithm_name t.algorithm) ]
    epoch; returns the result and whether it was a cache hit. *)
 let plan_once t ~options ~stats_epoch est =
   let run () =
-    P.plan_with_estimator ~options ~telemetry:t.telemetry t.algorithm t.query
+    P.plan_with_backend ~options ~telemetry:t.telemetry t.algorithm t.query
       ~costs:t.costs est
   in
   match t.cache with
@@ -95,7 +100,8 @@ let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
       replan_budget;
       on_switch;
       initial_stats = Search.zero_stats;
-      reference = history;
+      ref_marginals = Sl.marginals_of history;
+      ref_rows = Acq_data.Dataset.nrows history;
       plan = Acq_plan.Plan.const false;
       expected = 0.0;
       state = Serving;
@@ -117,7 +123,8 @@ let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
      only replans are capped by [replan_budget]. *)
   let r, _hit =
     plan_once t ~options ~stats_epoch:0
-      (Acq_prob.Estimator.empirical history)
+      (Acq_prob.Backend.of_dataset ~telemetry
+         ~spec:options.P.prob_model history)
   in
   t.initial_stats <- r.P.stats;
   t.plan <- r.P.plan;
@@ -150,7 +157,9 @@ let due t = t.epoch > 0 && t.epoch mod t.policy.Policy.check_every = 0
 let observation t =
   let drift =
     if Sl.size t.window = 0 then 0.0
-    else Sl.drift t.window ~reference:t.reference
+    else
+      Sl.drift_marginals t.window ~reference:t.ref_marginals
+        ~rows:t.ref_rows
   in
   t.last_drift <- drift;
   T.set t.telemetry ~labels:(algo_label t) "acqp_adapt_drift" drift;
@@ -176,7 +185,9 @@ let replan t reason ~max_nodes =
     enter t Replanning;
     let granted = min t.replan_budget max_nodes in
     let options = { t.options with P.search_budget = Some granted } in
-    let est = Sl.estimator t.window in
+    let est =
+      Sl.backend ~telemetry:t.telemetry ~spec:t.options.P.prob_model t.window
+    in
     let outcome =
       T.span t.telemetry ~cat:"adapt"
         ~attrs:(("reason", Policy.describe reason) :: algo_label t)
@@ -216,7 +227,8 @@ let replan t reason ~max_nodes =
         (* Whether or not the plan changes, the statistics baseline
            moves to the window the pass planned from. *)
         let rebase () =
-          t.reference <- Sl.to_dataset t.window;
+          t.ref_marginals <- Sl.marginals t.window;
+          t.ref_rows <- Sl.size t.window;
           t.expected <- r.P.est_cost;
           t.cost_acc <- 0.0;
           t.cost_n <- 0;

@@ -21,12 +21,15 @@
     session to [Drifting]; the trigger must still hold at the {e next}
     check (hysteresis against a score grazing the threshold) before
     the session replans. [Replanning] runs the configured planner over
-    the window's estimator under a bounded {!Acq_core.Search} node
+    the window's probability backend (built per
+    [options.prob_model] via {!Acq_prob.Sliding.backend}, reusing the
+    window's packed buffers — a steady-state replan allocates no fresh
+    statistics storage) under a bounded {!Acq_core.Search} node
     budget — going through the {!Plan_cache} first — and [Switching]
     atomically installs the new plan, charges its encoded size as
     dissemination cost via the [on_switch] callback, re-bases the
-    drift reference on the window, and resets the realized-cost
-    meter. A replan that returns the {e same} plan (periodic replans
+    drift reference on an O(domains) marginal-counts snapshot of the
+    window, and resets the realized-cost meter. A replan that returns the {e same} plan (periodic replans
     on stationary data) refreshes statistics but skips the switch, so
     no dissemination is charged. All four states are transient within
     one {!check} call except [Serving] and [Drifting]; the full entry

@@ -16,7 +16,7 @@ val count : int -> int
 val all_plans :
   Acq_plan.Query.t ->
   costs:float array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   (Acq_plan.Plan.t * float) list
 (** Every pruned complete plan with its expected cost. Requires every
     attribute to be binary and at most 4 attributes.
@@ -25,6 +25,6 @@ val all_plans :
 val best :
   Acq_plan.Query.t ->
   costs:float array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   Acq_plan.Plan.t * float
 (** Minimum-cost plan from {!all_plans}. *)

@@ -68,7 +68,7 @@ let plan ?search ?model q ~costs ~grid est =
               (bound, None)
           | Some (Lower_bound _) | None ->
               let est = Lazy.force lazy_est in
-              if Acq_prob.Estimator.is_empty est then
+              if Acq_prob.Backend.is_empty est then
                 (0.0, Some (fallback_leaf ranges))
               else begin
                 Search.solved search;
@@ -119,7 +119,7 @@ let plan ?search ?model q ~costs ~grid est =
       else begin
         (* One conditional histogram per attribute gives every split
            probability in O(1) — Equation (7)'s prefix-sum rule. *)
-        let vp = est.Acq_prob.Estimator.value_probs i in
+        let vp = Acq_prob.Backend.value_probs est i in
         let prefix = Array.make (Array.length vp + 1) 0.0 in
         Array.iteri (fun v p -> prefix.(v + 1) <- prefix.(v) +. p) vp;
         List.iter
@@ -134,7 +134,7 @@ let plan ?search ?model q ~costs ~grid est =
               else begin
                 let child_bound = (!c_min -. !running) /. p in
                 let child_est =
-                  lazy (est.Acq_prob.Estimator.restrict_range i range)
+                  lazy (Acq_prob.Backend.restrict_range est i range)
                 in
                 match solve ranges' child_est child_bound with
                 | cost, Some plan -> Some (p *. cost, plan)

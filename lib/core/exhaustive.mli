@@ -36,7 +36,7 @@ val plan :
   Acq_plan.Query.t ->
   costs:float array ->
   grid:Spsf.t ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   Acq_plan.Plan.t * float
 (** Optimal plan over the grid's split space and its expected cost
     under the estimator. The search is seeded with the optimal

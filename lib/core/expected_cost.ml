@@ -1,4 +1,5 @@
 module IntSet = Set.Make (Int)
+module B = Acq_prob.Backend
 
 let atomic_of model set attr =
   Acq_plan.Cost_model.atomic model attr ~acquired:(fun j -> IntSet.mem j set)
@@ -9,12 +10,10 @@ let seq_cost ~model q est acquired order =
     | j :: rest ->
         let p = Acq_plan.Query.predicate q j in
         let atomic = atomic_of model acquired p.Acq_plan.Predicate.attr in
-        let pt = est.Acq_prob.Estimator.pred_prob p in
+        let pt = B.pred_prob est p in
         let acquired = IntSet.add p.Acq_plan.Predicate.attr acquired in
         if pt <= 0.0 then atomic
-        else
-          atomic
-          +. (pt *. go (est.Acq_prob.Estimator.restrict_pred p true) acquired rest)
+        else atomic +. (pt *. go (B.restrict_pred est p true) acquired rest)
   in
   go est acquired order
 
@@ -50,17 +49,14 @@ let of_plan ?model q ~costs est plan =
         let p_high =
           if threshold >= k then 0.0
           else if threshold <= 0 then 1.0
-          else
-            est.Acq_prob.Estimator.range_prob attr
-              (Acq_plan.Range.make threshold (k - 1))
+          else B.range_prob est attr (Acq_plan.Range.make threshold (k - 1))
         in
         let high_cost =
           if p_high <= 0.0 then 0.0
           else
             let hr = Acq_plan.Range.make (min threshold (k - 1)) (k - 1) in
             let est' =
-              if threshold <= 0 then est
-              else est.Acq_prob.Estimator.restrict_range attr hr
+              if threshold <= 0 then est else B.restrict_range est attr hr
             in
             p_high *. go est' acquired high
         in
@@ -69,8 +65,7 @@ let of_plan ?model q ~costs est plan =
           else
             let lr = Acq_plan.Range.make 0 (min (k - 1) (threshold - 1)) in
             let est' =
-              if threshold >= k then est
-              else est.Acq_prob.Estimator.restrict_range attr lr
+              if threshold >= k then est else B.restrict_range est attr lr
             in
             (1.0 -. p_high) *. go est' acquired low
         in

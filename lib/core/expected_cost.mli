@@ -12,7 +12,7 @@ val of_plan :
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   Acq_plan.Plan.t ->
   float
 (** [model] prices acquisitions with a history-dependent cost model
@@ -23,7 +23,7 @@ val of_order :
   Acq_plan.Query.t ->
   costs:float array ->
   ?acquired:bool array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   int list ->
   float
 (** Expected cost of evaluating the given predicate order

@@ -1,6 +1,6 @@
 type leaf_state = {
   ranges : Subproblem.t;
-  est : Acq_prob.Estimator.t;
+  est : Acq_prob.Backend.t;
   reach : float;
   truth : Acq_plan.Predicate.truth;
   seq_order : int list;
@@ -40,7 +40,7 @@ let plan ?search ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
             ~subset est
         in
         let split =
-          if reach <= 0.0 || Acq_prob.Estimator.is_empty est then None
+          if reach <= 0.0 || Acq_prob.Backend.is_empty est then None
           else
             Greedy_split.find ?search ?optseq_threshold ?candidate_attrs ?model
               q ~costs ~grid ~ranges est
@@ -85,13 +85,13 @@ let plan ?search ?optseq_threshold ?candidate_attrs ?(min_gain = 1e-9)
                   Acq_plan.Range.split state.ranges.(attr) threshold
                 in
                 let p_lo =
-                  state.est.Acq_prob.Estimator.range_prob attr lo_range
+                  Acq_prob.Backend.range_prob state.est attr lo_range
                 in
                 let child range p =
                   let ranges = Subproblem.with_range state.ranges attr range in
                   let est' =
                     if p <= 0.0 then state.est
-                    else state.est.Acq_prob.Estimator.restrict_range attr range
+                    else Acq_prob.Backend.restrict_range state.est attr range
                   in
                   let st = make_leaf ranges est' (state.reach *. p) in
                   let c = { node = Pending st } in

@@ -23,7 +23,7 @@ val plan :
   costs:float array ->
   grid:Spsf.t ->
   max_splits:int ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   Acq_plan.Plan.t * float
 (** Plan and its expected cost under the estimator. [min_gain]
     (default [1e-9]) is the smallest expected gain worth a split —

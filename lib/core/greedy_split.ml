@@ -55,13 +55,13 @@ let find ?search ?optseq_threshold ?candidate_attrs ?model q ~costs ~grid
             (* One candidate split evaluated per tick. *)
             tick ();
             let lo_range, hi_range = Acq_plan.Range.split ranges.(i) x in
-            let p_lo = est.Acq_prob.Estimator.range_prob i lo_range in
+            let p_lo = Acq_prob.Backend.range_prob est i lo_range in
             let p_hi = 1.0 -. p_lo in
             let lo_ranges = Subproblem.with_range ranges i lo_range in
             let hi_ranges = Subproblem.with_range ranges i hi_range in
             let est_for range p =
               if p <= 0.0 then est
-              else est.Acq_prob.Estimator.restrict_range i range
+              else Acq_prob.Backend.restrict_range est i range
             in
             let c_lo =
               side_cost ?search ?optseq_threshold ?model q ~costs ~domains

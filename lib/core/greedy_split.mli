@@ -24,7 +24,7 @@ val find :
   costs:float array ->
   grid:Spsf.t ->
   ranges:Subproblem.t ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   t option
 (** Best split of the subproblem, or [None] when no candidate
     threshold exists. One {!Search.solved} tick is charged per

@@ -28,7 +28,7 @@ let order ?search ?model q ~costs ?acquired ?subset est =
       List.map
         (fun j ->
           let p = Acq_plan.Query.predicate q j in
-          let pass = (!est).Acq_prob.Estimator.pred_prob p in
+          let pass = Acq_prob.Backend.pred_prob !est p in
           let atomic =
             Acq_plan.Cost_model.atomic model p.attr ~acquired:(fun a ->
                 acquired.(a))
@@ -62,6 +62,6 @@ let order ?search ?model q ~costs ?acquired ?subset est =
        affects expected cost, but it must still be emitted so the plan
        stays correct on test tuples that do reach it. *)
     if !remaining <> [] && pass > 0.0 then
-      est := (!est).Acq_prob.Estimator.restrict_pred p true
+      est := Acq_prob.Backend.restrict_pred !est p true
   done;
   (List.rev !chosen, !total)

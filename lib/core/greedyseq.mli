@@ -13,7 +13,7 @@ val order :
   costs:float array ->
   ?acquired:bool array ->
   ?subset:int list ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   int list * float
 (** Greedy order over [subset] (default: all predicates) and its
     expected cost under the estimator. One {!Search.solved} tick is

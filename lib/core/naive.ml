@@ -13,7 +13,7 @@ let order ?search ?model q ~costs est =
   let rank j =
     tick ();
     let p = Acq_plan.Query.predicate q j in
-    let pass = est.Acq_prob.Estimator.pred_prob p in
+    let pass = Acq_prob.Backend.pred_prob est p in
     if pass >= 1.0 then infinity else costs.(p.attr) /. (1.0 -. pass)
   in
   let ranked = Array.init m (fun j -> (rank j, j)) in

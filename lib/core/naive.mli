@@ -10,7 +10,7 @@ val order :
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   int list
 (** Predicate indices in evaluation order. A predicate that never
     fails ranks last (infinite rank); ties break by query position.
@@ -22,5 +22,5 @@ val plan :
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   Acq_plan.Plan.t

@@ -78,7 +78,7 @@ let order ?search ?model q ~costs ?acquired ?subset est =
   let m = Array.length subset in
   if m > max_predicates then raise Too_many_predicates;
   let preds = Array.map (Acq_plan.Query.predicate q) subset in
-  let pattern_probs = est.Acq_prob.Estimator.pattern_probs preds in
+  let pattern_probs = Acq_prob.Backend.pattern_probs est preds in
   let already attr =
     match acquired with Some a -> a.(attr) | None -> false
   in

@@ -25,7 +25,7 @@ val order :
   costs:float array ->
   ?acquired:bool array ->
   ?subset:int list ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   int list * float
 (** [order q ~costs est] returns the optimal order over [subset]
     (default: all predicates) and its expected cost, given that

@@ -16,6 +16,7 @@ type options = {
   deadline_ms : float option;
   size_alpha : float;
   cost_model : Acq_plan.Cost_model.t option;
+  prob_model : Acq_prob.Backend.spec;
 }
 
 let default_options =
@@ -29,6 +30,7 @@ let default_options =
     deadline_ms = None;
     size_alpha = 0.0;
     cost_model = None;
+    prob_model = Acq_prob.Backend.default_spec;
   }
 
 type result = {
@@ -37,7 +39,7 @@ type result = {
   stats : Search.stats;
 }
 
-let plan_with_estimator ?(options = default_options)
+let plan_with_backend ?(options = default_options)
     ?(telemetry = Acq_obs.Telemetry.noop) algorithm q ~costs est =
   let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
   let grid =
@@ -83,18 +85,18 @@ let plan_with_estimator ?(options = default_options)
   match algorithm with
   | Naive ->
       let search = context () in
-      let est = Search.wrap_estimator search est in
+      let est = Search.wrap_backend search est in
       let p = Naive.plan ~search ?model q ~costs est in
       finish search (p, Expected_cost.of_plan ?model q ~costs est p)
   | Corr_seq ->
       let search = context () in
-      let est = Search.wrap_estimator search est in
+      let est = Search.wrap_backend search est in
       finish search
         (Seq_planner.plan ~search ~optseq_threshold:options.optseq_threshold
            ?model q ~costs est)
   | Heuristic ->
       let search = context () in
-      let est = Search.wrap_estimator search est in
+      let est = Search.wrap_backend search est in
       finish search
         (Greedy_plan.plan ~search ~optseq_threshold:options.optseq_threshold
            ?candidate_attrs:options.candidate_attrs
@@ -102,10 +104,17 @@ let plan_with_estimator ?(options = default_options)
            ~max_splits:options.max_splits est)
   | Exhaustive ->
       let search = context ~default_budget:options.exhaustive_budget () in
-      let est = Search.wrap_estimator search est in
+      let est = Search.wrap_backend search est in
       finish search (Exhaustive.plan ~search ?model q ~costs ~grid est)
 
-let plan ?options ?telemetry algorithm q ~train =
+let plan_with_estimator ?options ?telemetry algorithm q ~costs est =
+  plan_with_backend ?options ?telemetry algorithm q ~costs
+    (Acq_prob.Estimator.to_backend est)
+
+let plan ?(options = default_options) ?(telemetry = Acq_obs.Telemetry.noop)
+    algorithm q ~train =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
-  let est = Acq_prob.Estimator.empirical train in
-  plan_with_estimator ?options ?telemetry algorithm q ~costs est
+  let est =
+    Acq_prob.Backend.of_dataset ~telemetry ~spec:options.prob_model train
+  in
+  plan_with_backend ~options ~telemetry algorithm q ~costs est

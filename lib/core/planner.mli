@@ -50,11 +50,17 @@ type options = {
   cost_model : Acq_plan.Cost_model.t option;
       (** history-dependent acquisition pricing (Section 7's sensor
           boards); [None] uses the schema's per-attribute costs *)
+  prob_model : Acq_prob.Backend.spec;
+      (** which probability backend {!plan} builds from the training
+          data (and whether to wrap it in the memo combinator); the
+          [acqp --model] knob. Entry points that receive an already
+          built estimator/backend ignore it. *)
 }
 
 val default_options : options
 (** 8 split points, 5 splits, OptSeq up to 12 predicates, all
-    attributes, 2M search nodes, no deadline, no size penalty. *)
+    attributes, 2M search nodes, no deadline, no size penalty, the
+    empirical backend without memoization. *)
 
 type result = {
   plan : Acq_plan.Plan.t;
@@ -72,7 +78,8 @@ val plan :
   Acq_plan.Query.t ->
   train:Acq_data.Dataset.t ->
   result
-(** Plan with the empirical estimator over [train].
+(** Plan with the backend [options.prob_model] selects, built over
+    [train] (default: the empirical backend — the seed behavior).
 
     [telemetry] (default noop) observes the whole call: a
     ["planner.plan"] span (attributes: algorithm, predicate count),
@@ -82,6 +89,19 @@ val plan :
     {!Exhaustive} — per-tier subproblem counters and the
     [acqp_planner_subproblem_ms] solve-time histogram. *)
 
+val plan_with_backend :
+  ?options:options ->
+  ?telemetry:Acq_obs.Telemetry.t ->
+  algorithm ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Backend.t ->
+  result
+(** Same, against an arbitrary packed backend. The backend is wrapped
+    by {!Search.wrap_backend} for the duration of the call — the
+    caller's backend is untouched and reusable. [options.prob_model]
+    is ignored (the backend is already built). *)
+
 val plan_with_estimator :
   ?options:options ->
   ?telemetry:Acq_obs.Telemetry.t ->
@@ -90,6 +110,7 @@ val plan_with_estimator :
   costs:float array ->
   Acq_prob.Estimator.t ->
   result
-(** Same, against an arbitrary estimator (e.g. a Chow-Liu model). The
-    estimator is wrapped by {!Search.wrap_estimator} for the duration
-    of the call — the caller's estimator is untouched and reusable. *)
+(** Compatibility entry: adapts the closure record via
+    {!Acq_prob.Estimator.to_backend} and calls {!plan_with_backend}.
+    Probabilities pass through unchanged, so plans are identical to
+    the backend path. *)

@@ -95,6 +95,11 @@ let rec wrap_estimator (t : _ t) (e : Acq_prob.Estimator.t) =
         wrap_estimator t (e.Acq_prob.Estimator.restrict_pred p truth));
   }
 
+let wrap_backend (t : _ t) b =
+  Acq_prob.Backend.counting
+    ~tick:(fun () -> t.estimator_calls <- t.estimator_calls + 1)
+    b
+
 let stats ?(plan_size = 0) (t : _ t) =
   {
     nodes_solved = t.nodes_solved;

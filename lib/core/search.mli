@@ -90,7 +90,11 @@ val wrap_estimator : _ t -> Acq_prob.Estimator.t -> Acq_prob.Estimator.t
     estimator (and against any estimator derived from it by
     restriction) bumps the context's [estimator_calls] counter. The
     underlying estimator is not mutated and stays reusable across
-    contexts. *)
+    contexts. Legacy closure-record variant of {!wrap_backend}. *)
+
+val wrap_backend : _ t -> Acq_prob.Backend.t -> Acq_prob.Backend.t
+(** Same accounting over a packed backend: one tick per query and per
+    restriction, recursively ({!Acq_prob.Backend.counting}). *)
 
 val stats : ?plan_size:int -> _ t -> stats
 (** Snapshot the counters; [plan_size] defaults to 0 when the caller

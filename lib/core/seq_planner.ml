@@ -7,8 +7,16 @@ let order ?search ?(optseq_threshold = default_optseq_threshold) ?model q
     | Some s -> List.length s
     | None -> Acq_plan.Query.n_predicates q
   in
-  if size <= optseq_threshold then
-    Optseq.order ?search ?model q ~costs ?acquired ?subset est
+  (* The backend's pattern-width capability caps the OptSeq route: a
+     model that cannot afford wide joint-pattern queries (Chow-Liu
+     advertises 12) degrades to GreedySeq instead of raising from
+     inside [pattern_probs]. *)
+  let threshold =
+    match Acq_prob.Backend.max_pattern_preds est with
+    | Some cap -> min optseq_threshold cap
+    | None -> optseq_threshold
+  in
+  if size <= threshold then Optseq.order ?search ?model q ~costs ?acquired ?subset est
   else Greedyseq.order ?search ?model q ~costs ?acquired ?subset est
 
 let plan ?search ?optseq_threshold ?model q ~costs est =

@@ -16,11 +16,17 @@ val order :
   costs:float array ->
   ?acquired:bool array ->
   ?subset:int list ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   int list * float
 (** Sequential order over [subset] (default: all predicates) and its
     expected cost. [search] is forwarded to the chosen planner, which
-    charges its effort ticks against the shared context. *)
+    charges its effort ticks against the shared context.
+
+    The effective OptSeq threshold is
+    [min optseq_threshold capability] where the capability is the
+    backend's {!Acq_prob.Backend.max_pattern_preds} — so a model with
+    a bounded pattern width (Chow-Liu: 12) routes wider queries to
+    GreedySeq instead of raising mid-plan. *)
 
 val plan :
   ?search:'m Search.t ->
@@ -28,7 +34,7 @@ val plan :
   ?model:Acq_plan.Cost_model.t ->
   Acq_plan.Query.t ->
   costs:float array ->
-  Acq_prob.Estimator.t ->
+  Acq_prob.Backend.t ->
   Acq_plan.Plan.t * float
 (** Top-level CorrSeq plan (a single [Seq] leaf) and its expected
     cost. *)

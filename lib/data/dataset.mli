@@ -12,6 +12,15 @@ val create : Schema.t -> int array array -> t
     into a dataset. @raise Invalid_argument on ragged rows or
     out-of-domain cells. *)
 
+val of_raw : Schema.t -> int -> int array -> t
+(** [of_raw schema nrows cells] wraps a pre-packed row-major cell
+    buffer of exactly [nrows * arity schema] cells {e without copying
+    or validating}: the dataset aliases [cells], so a caller that
+    later overwrites the buffer changes the dataset. This is the
+    zero-copy constructor buffer-reusing producers
+    ({!Acq_prob.Sliding}) build on; everyone else should use
+    {!create}. *)
+
 val schema : t -> Schema.t
 val nrows : t -> int
 val ncols : t -> int

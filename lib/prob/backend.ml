@@ -1,0 +1,810 @@
+(* First-class probability backends: the estimator layer as packed,
+   swappable selectivity kernels. Each backend is a module conforming
+   to [S] packed with its state; planners talk to the packed [t]
+   through the dispatch functions, so a backend change never touches
+   planner code. *)
+
+module type S = sig
+  type state
+
+  val name : string
+  val weight : state -> float
+  val range_prob : state -> int -> Acq_plan.Range.t -> float
+  val value_probs : state -> int -> float array
+  val pred_prob : state -> Acq_plan.Predicate.t -> float
+  val pattern_probs : state -> Acq_plan.Predicate.t array -> float array
+  val restrict_range : state -> int -> Acq_plan.Range.t -> state
+  val restrict_pred : state -> Acq_plan.Predicate.t -> bool -> state
+  val max_pattern_preds : state -> int option
+  val cond_signature : state -> string
+end
+
+type t = B : (module S with type state = 's) * 's -> t
+
+let name (B ((module M), _)) = M.name
+let weight (B ((module M), s)) = M.weight s
+let is_empty b = weight b <= 0.0
+let range_prob (B ((module M), s)) attr r = M.range_prob s attr r
+let value_probs (B ((module M), s)) attr = M.value_probs s attr
+let pred_prob (B ((module M), s)) p = M.pred_prob s p
+let pattern_probs (B ((module M), s)) preds = M.pattern_probs s preds
+
+let restrict_range (B ((module M), s)) attr r =
+  B ((module M), M.restrict_range s attr r)
+
+let restrict_pred (B ((module M), s)) p truth =
+  B ((module M), M.restrict_pred s p truth)
+
+let max_pattern_preds (B ((module M), s)) = M.max_pattern_preds s
+let cond_signature (B ((module M), s)) = M.cond_signature s
+
+(* Canonical conditioning: per-attribute allowed-value masks. Every
+   packed backend reduces its conditioning to this shape, so two
+   restriction chains that narrow to the same value sets — in any
+   order — produce the same signature. The memo combinator keys its
+   cache on it. *)
+module Cond = struct
+  type t = bool array array
+
+  let full domains = Array.map (fun k -> Array.make k true) domains
+
+  let narrow masks attr keep =
+    let masks = Array.copy masks in
+    masks.(attr) <-
+      Array.mapi (fun v b -> b && keep v) masks.(attr);
+    masks
+
+  let narrow_range masks attr (r : Acq_plan.Range.t) =
+    narrow masks attr (Acq_plan.Range.contains r)
+
+  let narrow_pred masks (p : Acq_plan.Predicate.t) truth =
+    narrow masks p.attr (fun v -> Acq_plan.Predicate.eval p v = truth)
+
+  let signature masks =
+    let buf = Buffer.create 32 in
+    Array.iteri
+      (fun a mask ->
+        if not (Array.for_all Fun.id mask) then begin
+          Buffer.add_char buf 'a';
+          Buffer.add_string buf (string_of_int a);
+          Buffer.add_char buf ':';
+          Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) mask;
+          Buffer.add_char buf ';'
+        end)
+      masks;
+    Buffer.contents buf
+end
+
+(* ------------------------------------------------------------------ *)
+(* Empirical: view counting. Restriction narrows the view's row-id
+   list (never copies tuple data); every query is the same count
+   ratio the original closure estimator computed, so plans built on
+   this backend are bit-identical to the seed path. *)
+
+type empirical_state = { view : View.t; cond : Cond.t }
+
+module Empirical_impl = struct
+  type state = empirical_state
+
+  let name = "empirical"
+  let weight st = float_of_int (View.size st.view)
+  let range_prob st attr r = View.range_prob st.view ~attr r
+
+  let value_probs st attr =
+    let counts = View.histogram st.view ~attr in
+    let total = float_of_int (View.size st.view) in
+    if total = 0.0 then Array.map (fun _ -> 0.0) counts
+    else Array.map (fun c -> float_of_int c /. total) counts
+
+  let pred_prob st p = View.pred_prob st.view p
+
+  let pattern_probs st preds =
+    let counts = View.pattern_counts st.view preds in
+    let total = float_of_int (View.size st.view) in
+    if total = 0.0 then Array.map (fun _ -> 0.0) counts
+    else Array.map (fun c -> float_of_int c /. total) counts
+
+  let restrict_range st attr r =
+    {
+      view = View.restrict_range st.view ~attr r;
+      cond = Cond.narrow_range st.cond attr r;
+    }
+
+  let restrict_pred st p truth =
+    {
+      view = View.restrict_pred st.view p truth;
+      cond = Cond.narrow_pred st.cond p truth;
+    }
+
+  let max_pattern_preds _ = None
+  let cond_signature st = Cond.signature st.cond
+end
+
+let domains_of_view view =
+  Acq_data.Schema.domains (Acq_data.Dataset.schema (View.dataset view))
+
+let of_view view =
+  B ((module Empirical_impl), { view; cond = Cond.full (domains_of_view view) })
+
+let empirical ds = of_view (View.of_dataset ds)
+
+(* ------------------------------------------------------------------ *)
+(* Dense: the full joint table packed as one flat float array, shared
+   (never copied) across the whole restriction tree; conditioning is
+   the mask vector alone. Per-attribute prefix-sum marginals answer
+   the unconditioned [range_prob] in O(1) — the hot query of the
+   split-grid scans at the DP root. *)
+
+type dense_state = {
+  d_domains : int array;
+  strides : int array;
+  cells : float array;  (* packed counts, row-major, immutable *)
+  total : float;
+  prefix : float array array;  (* unconditioned marginal prefix sums *)
+  masks : Cond.t;
+  pristine : bool array;  (* masks.(a) is all-true *)
+  cweight : float;  (* rows consistent with the masks *)
+}
+
+let dense_max_cells = 1 lsl 22
+
+module Dense_impl = struct
+  type state = dense_state
+
+  let name = "dense"
+  let weight st = st.cweight
+
+  (* Fold the packed counts of every cell consistent with the masks —
+     with one attribute's mask optionally tightened by [extra] — into
+     [f]. [f] receives the cell's coordinates and its count. *)
+  let iter_cells ?(oattr = -1) ?(extra = fun _ -> true) st f =
+    let n = Array.length st.d_domains in
+    let vals = Array.make n 0 in
+    let rec walk a base =
+      if a = n then f vals st.cells.(base)
+      else begin
+        let mask = st.masks.(a) in
+        for v = 0 to st.d_domains.(a) - 1 do
+          if mask.(v) && (a <> oattr || extra v) then begin
+            vals.(a) <- v;
+            walk (a + 1) (base + (st.strides.(a) * v))
+          end
+        done
+      end
+    in
+    walk 0 0
+
+  let count_where ?oattr ?extra st =
+    let acc = ref 0.0 in
+    iter_cells ?oattr ?extra st (fun _ c -> acc := !acc +. c);
+    !acc
+
+  let range_prob st attr (r : Acq_plan.Range.t) =
+    if st.cweight <= 0.0 then 0.0
+    else if Array.for_all Fun.id st.pristine then begin
+      (* Unconditioned: O(1) from the prefix-sum marginal. *)
+      let k = st.d_domains.(attr) in
+      let lo = max 0 r.lo and hi = min (k - 1) r.hi in
+      if lo > hi then 0.0
+      else (st.prefix.(attr).(hi + 1) -. st.prefix.(attr).(lo)) /. st.total
+    end
+    else
+      count_where ~oattr:attr ~extra:(Acq_plan.Range.contains r) st
+      /. st.cweight
+
+  let value_probs st attr =
+    let k = st.d_domains.(attr) in
+    let h = Array.make k 0.0 in
+    if st.cweight <= 0.0 then h
+    else begin
+      iter_cells st (fun vals c -> h.(vals.(attr)) <- h.(vals.(attr)) +. c);
+      Array.map (fun c -> c /. st.cweight) h
+    end
+
+  let pred_prob st (p : Acq_plan.Predicate.t) =
+    if st.cweight <= 0.0 then 0.0
+    else
+      count_where ~oattr:p.attr ~extra:(Acq_plan.Predicate.eval p) st
+      /. st.cweight
+
+  let pattern_probs st preds =
+    let m = Array.length preds in
+    if m > 20 then invalid_arg "Backend.dense: too many predicates";
+    let counts = Array.make (1 lsl m) 0.0 in
+    iter_cells st (fun vals c ->
+        let mask = ref 0 in
+        for j = 0 to m - 1 do
+          let p = preds.(j) in
+          if Acq_plan.Predicate.eval p vals.(p.attr) then
+            mask := !mask lor (1 lsl j)
+        done;
+        counts.(!mask) <- counts.(!mask) +. c);
+    if st.cweight <= 0.0 then counts
+    else Array.map (fun c -> c /. st.cweight) counts
+
+  let with_masks st masks =
+    let st' =
+      {
+        st with
+        masks;
+        pristine = Array.map (Array.for_all Fun.id) masks;
+        cweight = 0.0;
+      }
+    in
+    { st' with cweight = count_where st' }
+
+  let restrict_range st attr r =
+    with_masks st (Cond.narrow_range st.masks attr r)
+
+  let restrict_pred st p truth = with_masks st (Cond.narrow_pred st.masks p truth)
+  let max_pattern_preds _ = None
+  let cond_signature st = Cond.signature st.masks
+end
+
+let dense ds =
+  let schema = Acq_data.Dataset.schema ds in
+  let domains = Acq_data.Schema.domains schema in
+  let n = Array.length domains in
+  let ncells = Array.fold_left ( * ) 1 domains in
+  if ncells > dense_max_cells then
+    invalid_arg "Backend.dense: joint table too large";
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * domains.(i + 1)
+  done;
+  let cells = Array.make ncells 0.0 in
+  let marg = Array.map (fun k -> Array.make k 0.0) domains in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      let idx = ref 0 in
+      for a = 0 to n - 1 do
+        let v = Acq_data.Dataset.get ds r a in
+        idx := !idx + (strides.(a) * v);
+        marg.(a).(v) <- marg.(a).(v) +. 1.0
+      done;
+      cells.(!idx) <- cells.(!idx) +. 1.0);
+  let prefix =
+    Array.map
+      (fun h ->
+        let k = Array.length h in
+        let p = Array.make (k + 1) 0.0 in
+        for v = 0 to k - 1 do
+          p.(v + 1) <- p.(v) +. h.(v)
+        done;
+        p)
+      marg
+  in
+  let total = float_of_int (Acq_data.Dataset.nrows ds) in
+  B
+    ( (module Dense_impl),
+      {
+        d_domains = domains;
+        strides;
+        cells;
+        total;
+        prefix;
+        masks = Cond.full domains;
+        pristine = Array.make n true;
+        cweight = total;
+      } )
+
+(* ------------------------------------------------------------------ *)
+(* Independence: product of per-attribute histograms — the
+   correlation-blind model a traditional optimizer assumes.
+   Restriction narrows only the restricted attribute's mask; the
+   histograms are shared across the restriction tree. *)
+
+type indep_state = {
+  i_domains : int array;
+  hists : float array array;  (* base per-attribute counts, immutable *)
+  masks : Cond.t;
+  cweight : float;  (* total scaled by the conditioning probability *)
+}
+
+module Indep_impl = struct
+  type state = indep_state
+
+  let name = "independence"
+  let weight st = st.cweight
+
+  let mask_sum st a =
+    let s = ref 0.0 in
+    Array.iteri (fun v b -> if b then s := !s +. st.hists.(a).(v)) st.masks.(a);
+    !s
+
+  let cond_sum st a keep =
+    let s = ref 0.0 in
+    Array.iteri
+      (fun v b -> if b && keep v then s := !s +. st.hists.(a).(v))
+      st.masks.(a);
+    !s
+
+  let range_prob st attr r =
+    let denom = mask_sum st attr in
+    if denom <= 0.0 || st.cweight <= 0.0 then 0.0
+    else cond_sum st attr (Acq_plan.Range.contains r) /. denom
+
+  let value_probs st attr =
+    let denom = mask_sum st attr in
+    Array.mapi
+      (fun v b ->
+        if b && denom > 0.0 && st.cweight > 0.0 then st.hists.(attr).(v) /. denom
+        else 0.0)
+      st.masks.(attr)
+
+  let pred_prob st (p : Acq_plan.Predicate.t) =
+    let denom = mask_sum st p.attr in
+    if denom <= 0.0 || st.cweight <= 0.0 then 0.0
+    else cond_sum st p.attr (Acq_plan.Predicate.eval p) /. denom
+
+  let pattern_probs st preds =
+    let m = Array.length preds in
+    if m > 20 then invalid_arg "Backend.independence: too many predicates";
+    let out = Array.make (1 lsl m) 0.0 in
+    if st.cweight <= 0.0 then out
+    else begin
+      (* Group predicate bits by attribute: across attributes the
+         model factorizes, within one attribute the bits are jointly
+         determined by that attribute's masked histogram. *)
+      let n = Array.length st.i_domains in
+      let groups = Array.make n [] in
+      Array.iteri
+        (fun j (p : Acq_plan.Predicate.t) -> groups.(p.attr) <- j :: groups.(p.attr))
+        preds;
+      Array.fill out 0 (Array.length out) 1.0;
+      let dead = ref false in
+      Array.iteri
+        (fun a js ->
+          if js <> [] then begin
+            let denom = mask_sum st a in
+            if denom <= 0.0 then dead := true
+            else begin
+              (* Joint distribution of this attribute's bits. *)
+              let local = Hashtbl.create 8 in
+              Array.iteri
+                (fun v b ->
+                  if b && st.hists.(a).(v) > 0.0 then begin
+                    let key =
+                      List.fold_left
+                        (fun k j ->
+                          if Acq_plan.Predicate.eval preds.(j) v then
+                            k lor (1 lsl j)
+                          else k)
+                        0 js
+                    in
+                    let prev =
+                      match Hashtbl.find_opt local key with
+                      | Some x -> x
+                      | None -> 0.0
+                    in
+                    Hashtbl.replace local key (prev +. st.hists.(a).(v))
+                  end)
+                st.masks.(a);
+              let bits =
+                List.fold_left (fun k j -> k lor (1 lsl j)) 0 js
+              in
+              Array.iteri
+                (fun g _ ->
+                  let key = g land bits in
+                  let p =
+                    match Hashtbl.find_opt local key with
+                    | Some c -> c /. denom
+                    | None -> 0.0
+                  in
+                  out.(g) <- out.(g) *. p)
+                out
+            end
+          end)
+        groups;
+      if !dead then Array.fill out 0 (Array.length out) 0.0;
+      out
+    end
+
+  let narrowed st masks =
+    (* Scale the weight by the probability of the newly excluded
+       values, mirroring how view counting shrinks the support. *)
+    let factor = ref 1.0 in
+    Array.iteri
+      (fun a old_mask ->
+        if old_mask <> masks.(a) then begin
+          let olds = ref 0.0 and news = ref 0.0 in
+          Array.iteri
+            (fun v b -> if b then olds := !olds +. st.hists.(a).(v))
+            old_mask;
+          Array.iteri
+            (fun v b -> if b then news := !news +. st.hists.(a).(v))
+            masks.(a);
+          factor := !factor *. (if !olds <= 0.0 then 0.0 else !news /. !olds)
+        end)
+      st.masks;
+    { st with masks; cweight = st.cweight *. !factor }
+
+  let restrict_range st attr r = narrowed st (Cond.narrow_range st.masks attr r)
+  let restrict_pred st p truth = narrowed st (Cond.narrow_pred st.masks p truth)
+  let max_pattern_preds _ = None
+  let cond_signature st = Cond.signature st.masks
+end
+
+let independence ds =
+  let schema = Acq_data.Dataset.schema ds in
+  let domains = Acq_data.Schema.domains schema in
+  let hists = Array.map (fun k -> Array.make k 0.0) domains in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      Array.iteri
+        (fun a h ->
+          let v = Acq_data.Dataset.get ds r a in
+          h.(v) <- h.(v) +. 1.0)
+        hists);
+  B
+    ( (module Indep_impl),
+      {
+        i_domains = domains;
+        hists;
+        masks = Cond.full domains;
+        cweight = float_of_int (Acq_data.Dataset.nrows ds);
+      } )
+
+(* ------------------------------------------------------------------ *)
+(* Chow-Liu: tree Bayesian network. Conditioning is the evidence mask
+   itself; [pattern_probs] uses the incremental Gray-code inference,
+   and its 12-predicate limit is advertised as a capability instead
+   of only discovered by a raise mid-plan. *)
+
+type chow_liu_state = {
+  model : Chow_liu.t;
+  evidence : Chow_liu.evidence;
+  cl_weight : float;
+}
+
+let chow_liu_max_pattern_preds = 12
+
+module Chow_liu_impl = struct
+  type state = chow_liu_state
+
+  let name = "chow-liu"
+  let weight st = st.cl_weight
+
+  let range_prob st attr r =
+    let e' = Chow_liu.and_range st.model st.evidence attr r in
+    Chow_liu.cond_prob st.model ~given:st.evidence e'
+
+  let value_probs st attr = Chow_liu.marginal st.model st.evidence attr
+
+  let pred_prob st p =
+    let e' = Chow_liu.and_pred st.model st.evidence p true in
+    Chow_liu.cond_prob st.model ~given:st.evidence e'
+
+  let pattern_probs st preds =
+    if Array.length preds > chow_liu_max_pattern_preds then
+      invalid_arg "Backend.chow_liu: pattern_probs limited to 12";
+    Chow_liu.pattern_probs st.model st.evidence preds
+
+  let with_evidence st e' =
+    let p = Chow_liu.cond_prob st.model ~given:st.evidence e' in
+    let w = st.cl_weight *. p in
+    let w = if Chow_liu.evidence_prob st.model e' <= 0.0 then 0.0 else w in
+    { st with evidence = e'; cl_weight = w }
+
+  let restrict_range st attr r =
+    with_evidence st (Chow_liu.and_range st.model st.evidence attr r)
+
+  let restrict_pred st p truth =
+    with_evidence st (Chow_liu.and_pred st.model st.evidence p truth)
+
+  let max_pattern_preds _ = Some chow_liu_max_pattern_preds
+  let cond_signature st = Cond.signature st.evidence
+end
+
+let chow_liu model ~weight =
+  let e = Chow_liu.no_evidence model in
+  let w = if Chow_liu.evidence_prob model e <= 0.0 then 0.0 else weight in
+  B ((module Chow_liu_impl), { model; evidence = e; cl_weight = w })
+
+(* ------------------------------------------------------------------ *)
+(* Closure adapter: wrap a legacy [Estimator.t]-shaped record of
+   closures. The conditioning signature is the (order-sensitive)
+   trail of restrictions — sound for memoization, merely less
+   canonical than the mask-based backends. *)
+
+type closure = {
+  c_weight : float;
+  c_range_prob : int -> Acq_plan.Range.t -> float;
+  c_value_probs : int -> float array;
+  c_pred_prob : Acq_plan.Predicate.t -> float;
+  c_pattern_probs : Acq_plan.Predicate.t array -> float array;
+  c_restrict_range : int -> Acq_plan.Range.t -> closure;
+  c_restrict_pred : Acq_plan.Predicate.t -> bool -> closure;
+}
+
+type closure_state = { est : closure; trail : string }
+
+module Closure_impl = struct
+  type state = closure_state
+
+  let name = "closure"
+  let weight st = st.est.c_weight
+  let range_prob st attr r = st.est.c_range_prob attr r
+  let value_probs st attr = st.est.c_value_probs attr
+  let pred_prob st p = st.est.c_pred_prob p
+  let pattern_probs st preds = st.est.c_pattern_probs preds
+
+  let restrict_range st attr (r : Acq_plan.Range.t) =
+    {
+      est = st.est.c_restrict_range attr r;
+      trail = Printf.sprintf "%sr%d:%d-%d;" st.trail attr r.lo r.hi;
+    }
+
+  let restrict_pred st (p : Acq_plan.Predicate.t) truth =
+    {
+      est = st.est.c_restrict_pred p truth;
+      trail =
+        Printf.sprintf "%sp%d:%d-%d:%s%c;" st.trail p.attr p.lo p.hi
+          (match p.polarity with
+          | Acq_plan.Predicate.Inside -> "in"
+          | Acq_plan.Predicate.Outside -> "out")
+          (if truth then 't' else 'f');
+    }
+
+  let max_pattern_preds _ = None
+  let cond_signature st = st.trail
+end
+
+let of_closure c = B ((module Closure_impl), { est = c; trail = "" })
+
+(* ------------------------------------------------------------------ *)
+(* Counting combinator: tick once per query and per restriction,
+   recursively — the estimator-call accounting the search context
+   applies around whatever backend the planner was handed. *)
+
+type counting_state = { inner : t; tick : unit -> unit }
+
+module Counting_impl = struct
+  type state = counting_state
+
+  let name = "counting"
+
+  let weight st = weight st.inner
+
+  let range_prob st attr r =
+    st.tick ();
+    range_prob st.inner attr r
+
+  let value_probs st attr =
+    st.tick ();
+    value_probs st.inner attr
+
+  let pred_prob st p =
+    st.tick ();
+    pred_prob st.inner p
+
+  let pattern_probs st preds =
+    st.tick ();
+    pattern_probs st.inner preds
+
+  let restrict_range st attr r =
+    st.tick ();
+    { st with inner = restrict_range st.inner attr r }
+
+  let restrict_pred st p truth =
+    st.tick ();
+    { st with inner = restrict_pred st.inner p truth }
+
+  let max_pattern_preds st = max_pattern_preds st.inner
+  let cond_signature st = cond_signature st.inner
+end
+
+let counting ~tick b = B ((module Counting_impl), { inner = b; tick })
+
+(* ------------------------------------------------------------------ *)
+(* Memo combinator: one cache shared by the whole restriction tree,
+   keyed on (canonical conditioning signature, query descriptor).
+   Restrictions themselves are cached too — the DP revisits the same
+   subproblem under different bounds, and a hit turns the O(rows)
+   view narrowing (or O(cells) mask recount) into a lookup. *)
+
+type memo_entry =
+  | F of float
+  | V of float array  (* shared, treated as read-only by callers *)
+  | Sub of t * string  (* restricted inner backend + its signature *)
+
+type memo_shared = {
+  table : (string, memo_entry) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  on_hit : unit -> unit;
+  on_miss : unit -> unit;
+}
+
+type memo_state = { m_inner : t; shared : memo_shared; sig_ : string }
+
+type memo_handle = memo_shared
+
+type memo_stats = { hits : int; misses : int; entries : int }
+
+let handle_stats (h : memo_handle) =
+  { hits = h.hits; misses = h.misses; entries = Hashtbl.length h.table }
+
+module Memo_impl = struct
+  type state = memo_state
+
+  let name = "memo"
+
+  let weight st = weight st.m_inner
+
+  let lookup st key compute =
+    match Hashtbl.find_opt st.shared.table key with
+    | Some e ->
+        st.shared.hits <- st.shared.hits + 1;
+        st.shared.on_hit ();
+        e
+    | None ->
+        st.shared.misses <- st.shared.misses + 1;
+        st.shared.on_miss ();
+        let e = compute () in
+        Hashtbl.replace st.shared.table key e;
+        e
+
+  let scalar st key compute =
+    match lookup st key (fun () -> F (compute ())) with
+    | F x -> x
+    | V _ | Sub _ -> assert false
+
+  let vector st key compute =
+    match lookup st key (fun () -> V (compute ())) with
+    | V x -> x
+    | F _ | Sub _ -> assert false
+
+  let pred_key (p : Acq_plan.Predicate.t) =
+    Printf.sprintf "%d:%d:%d:%c" p.attr p.lo p.hi
+      (match p.polarity with
+      | Acq_plan.Predicate.Inside -> 'i'
+      | Acq_plan.Predicate.Outside -> 'o')
+
+  let range_prob st attr (r : Acq_plan.Range.t) =
+    scalar st
+      (Printf.sprintf "%s|r%d:%d:%d" st.sig_ attr r.lo r.hi)
+      (fun () -> range_prob st.m_inner attr r)
+
+  let value_probs st attr =
+    vector st
+      (Printf.sprintf "%s|v%d" st.sig_ attr)
+      (fun () -> value_probs st.m_inner attr)
+
+  let pred_prob st p =
+    scalar st
+      (Printf.sprintf "%s|p%s" st.sig_ (pred_key p))
+      (fun () -> pred_prob st.m_inner p)
+
+  let pattern_probs st preds =
+    let buf = Buffer.create 64 in
+    Buffer.add_string buf st.sig_;
+    Buffer.add_string buf "|P";
+    Array.iter
+      (fun p ->
+        Buffer.add_string buf (pred_key p);
+        Buffer.add_char buf ';')
+      preds;
+    vector st (Buffer.contents buf) (fun () -> pattern_probs st.m_inner preds)
+
+  let restricted st key narrow =
+    match
+      lookup st key (fun () ->
+          let inner' = narrow () in
+          Sub (inner', cond_signature inner'))
+    with
+    | Sub (inner', sig') -> { st with m_inner = inner'; sig_ = sig' }
+    | F _ | V _ -> assert false
+
+  let restrict_range st attr (r : Acq_plan.Range.t) =
+    restricted st
+      (Printf.sprintf "%s|R%d:%d:%d" st.sig_ attr r.lo r.hi)
+      (fun () -> restrict_range st.m_inner attr r)
+
+  let restrict_pred st p truth =
+    restricted st
+      (Printf.sprintf "%s|T%s:%c" st.sig_ (pred_key p)
+         (if truth then 't' else 'f'))
+      (fun () -> restrict_pred st.m_inner p truth)
+
+  let max_pattern_preds st = max_pattern_preds st.m_inner
+  let cond_signature st = st.sig_
+end
+
+let memo_with_handle ?(telemetry = Acq_obs.Telemetry.noop) b =
+  let on_hit, on_miss =
+    match Acq_obs.Telemetry.metrics telemetry with
+    | None -> (ignore, ignore)
+    | Some m ->
+        let labels = [ ("backend", name b) ] in
+        let hits =
+          Acq_obs.Metrics.counter m ~labels "acqp_prob_memo_hits_total"
+        in
+        let misses =
+          Acq_obs.Metrics.counter m ~labels "acqp_prob_memo_misses_total"
+        in
+        ( (fun () -> Acq_obs.Metrics.incr hits),
+          fun () -> Acq_obs.Metrics.incr misses )
+  in
+  let shared =
+    { table = Hashtbl.create 4096; hits = 0; misses = 0; on_hit; on_miss }
+  in
+  ( B ((module Memo_impl), { m_inner = b; shared; sig_ = cond_signature b }),
+    shared )
+
+let memo ?telemetry b = fst (memo_with_handle ?telemetry b)
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection: the [--model] surface threaded through planner
+   options, adaptive sessions, experiments, and the CLI. *)
+
+type kind = Empirical | Dense | Chow_liu | Independence
+
+type spec = { kind : kind; memoize : bool }
+
+let default_spec = { kind = Empirical; memoize = false }
+
+let kind_to_string = function
+  | Empirical -> "empirical"
+  | Dense -> "dense"
+  | Chow_liu -> "chow-liu"
+  | Independence -> "independence"
+
+let spec_to_string s =
+  kind_to_string s.kind ^ if s.memoize then ",memo" else ""
+
+let spec_of_string str =
+  let err () =
+    Error
+      (Printf.sprintf
+         "unknown model %S (expected empirical|dense|chow-liu|independence, \
+          optionally \",memo\")"
+       str)
+  in
+  let kind_of = function
+    | "empirical" -> Some Empirical
+    | "dense" -> Some Dense
+    | "chow-liu" | "chow_liu" | "chowliu" -> Some Chow_liu
+    | "independence" | "indep" -> Some Independence
+    | _ -> None
+  in
+  let parts =
+    List.map
+      (fun s -> String.trim (String.lowercase_ascii s))
+      (String.split_on_char ',' str)
+  in
+  match parts with
+  | [ base ] -> (
+      match kind_of base with
+      | Some kind -> Ok { kind; memoize = false }
+      | None -> err ())
+  | [ base; "memo" ] -> (
+      match kind_of base with
+      | Some kind -> Ok { kind; memoize = true }
+      | None -> err ())
+  | _ -> err ()
+
+let of_dataset ?telemetry ?(spec = default_spec) ds =
+  let base =
+    match spec.kind with
+    | Empirical -> empirical ds
+    | Dense -> dense ds
+    | Chow_liu ->
+        chow_liu (Chow_liu.learn ds)
+          ~weight:(float_of_int (Acq_data.Dataset.nrows ds))
+    | Independence -> independence ds
+  in
+  if spec.memoize then memo ?telemetry base else base
+
+(* ------------------------------------------------------------------ *)
+(* Thin compatibility bridge with the closure-record [Estimator.t]
+   (whose shape [closure] mirrors field for field). *)
+
+let rec to_closure b =
+  {
+    c_weight = weight b;
+    c_range_prob = (fun attr r -> range_prob b attr r);
+    c_value_probs = (fun attr -> value_probs b attr);
+    c_pred_prob = (fun p -> pred_prob b p);
+    c_pattern_probs = (fun preds -> pattern_probs b preds);
+    c_restrict_range = (fun attr r -> to_closure (restrict_range b attr r));
+    c_restrict_pred = (fun p truth -> to_closure (restrict_pred b p truth));
+  }

@@ -1,0 +1,177 @@
+(** First-class probability backends — the selectivity oracle as a
+    packed, swappable, cacheable component.
+
+    Every planner consumes a packed backend {!t}: a module conforming
+    to {!S} paired with its state. Four implementations are provided —
+    {!empirical} (view counting over the training data, restriction by
+    row-index narrowing; the paper's primary method), {!dense} (the
+    full joint table as one flat float array with per-attribute
+    prefix-sum marginals, shared un-copied across the restriction
+    tree), {!chow_liu} (the Section 7 tree graphical model, with
+    incremental pattern inference), and {!independence} (product of
+    per-attribute histograms — the correlation-blind baseline) — plus
+    two combinators: {!counting} (effort accounting) and {!memo} (a
+    cache over (conditioning signature, query) pairs shared by the
+    whole restriction tree).
+
+    The closure-record {!Estimator.t} survives as a thin compatibility
+    bridge: {!of_closure} adapts any record of closures into a
+    backend, and {!to_closure} projects a backend back out. *)
+
+module type S = sig
+  type state
+
+  val name : string
+
+  val weight : state -> float
+  (** Effective number of training tuples consistent with the
+      conditioning; drives the empty-subproblem fallback. *)
+
+  val range_prob : state -> int -> Acq_plan.Range.t -> float
+  (** [range_prob st attr r] = P(X_attr in r | conditioning). *)
+
+  val value_probs : state -> int -> float array
+  (** Full conditional marginal of one attribute (Equation (7)'s
+      histogram). Callers must treat the array as read-only: the memo
+      combinator shares cached vectors. *)
+
+  val pred_prob : state -> Acq_plan.Predicate.t -> float
+
+  val pattern_probs : state -> Acq_plan.Predicate.t array -> float array
+  (** Joint over predicate truth bits; length [2^m], bit [j] set when
+      predicate [j] holds. Read-only, like {!value_probs}. *)
+
+  val restrict_range : state -> int -> Acq_plan.Range.t -> state
+  val restrict_pred : state -> Acq_plan.Predicate.t -> bool -> state
+
+  val max_pattern_preds : state -> int option
+  (** Capability: the widest [pattern_probs] this backend answers in
+      reasonable time ([None] = no inherent limit). The sequential
+      planner's OptSeq/GreedySeq router consults it, so a model with a
+      bounded pattern width degrades to GreedySeq instead of raising
+      mid-plan. *)
+
+  val cond_signature : state -> string
+  (** Canonical description of the conditioning applied so far (empty
+      at the root). Mask-based backends render per-attribute
+      allowed-value masks, so any two restriction orders that reach
+      the same value sets share a signature — the memo key prefix. *)
+end
+
+type t = B : (module S with type state = 's) * 's -> t
+
+(** {1 Dispatch} *)
+
+val name : t -> string
+val weight : t -> float
+
+val is_empty : t -> bool
+(** No training support under the current conditioning. *)
+
+val range_prob : t -> int -> Acq_plan.Range.t -> float
+val value_probs : t -> int -> float array
+val pred_prob : t -> Acq_plan.Predicate.t -> float
+val pattern_probs : t -> Acq_plan.Predicate.t array -> float array
+val restrict_range : t -> int -> Acq_plan.Range.t -> t
+val restrict_pred : t -> Acq_plan.Predicate.t -> bool -> t
+val max_pattern_preds : t -> int option
+val cond_signature : t -> string
+
+(** {1 Implementations} *)
+
+val empirical : Acq_data.Dataset.t -> t
+(** View counting. Bit-identical probabilities to the seed closure
+    estimator ({!Estimator.of_view}); restriction narrows the view's
+    row-id list and never copies tuple data. *)
+
+val of_view : View.t -> t
+(** Same, over an existing view (e.g. a sliding window's rows). *)
+
+val dense : Acq_data.Dataset.t -> t
+(** Full joint table packed as a flat float array (row-major, the
+    last attribute varying fastest), with per-attribute prefix-sum
+    marginals making the unconditioned [range_prob] O(1). The table
+    is built once and shared by every restriction; conditioning is a
+    per-attribute boolean mask vector.
+    @raise Invalid_argument when the domain product exceeds [2^22]
+    cells. *)
+
+val independence : Acq_data.Dataset.t -> t
+(** Product of per-attribute histograms; [pattern_probs] factorizes
+    across attributes (predicates on the same attribute stay jointly
+    exact). Restriction narrows one attribute's mask only. *)
+
+val chow_liu : Chow_liu.t -> weight:float -> t
+(** Tree Bayesian network; [weight] should be the training-set size
+    (conditioning scales it by the evidence probability).
+    [max_pattern_preds] is [Some 12]; [pattern_probs] beyond that
+    raises [Invalid_argument], but the sequential-planner router
+    checks the capability first and falls back to GreedySeq. *)
+
+(** {1 Combinators} *)
+
+val counting : tick:(unit -> unit) -> t -> t
+(** Invoke [tick] on every query and every restriction, recursively —
+    the hook {!Acq_core.Search}'s estimator-call accounting uses. *)
+
+type memo_handle
+type memo_stats = { hits : int; misses : int; entries : int }
+
+val handle_stats : memo_handle -> memo_stats
+
+val memo : ?telemetry:Acq_obs.Telemetry.t -> t -> t
+(** Cache query results {e and} restrictions under keys
+    [(cond_signature, query descriptor)]. The cache is shared by the
+    whole restriction tree that grows from this backend, so the DP's
+    repeated subproblem visits (same conditioning reached again, or
+    re-solved under a different bound) hit instead of recomputing.
+    Cached vectors are returned without copying — treat them as
+    read-only. When [telemetry] carries a metrics registry, hit/miss
+    counters are registered as
+    [acqp_prob_memo_{hits,misses}_total{backend=...}]. *)
+
+val memo_with_handle : ?telemetry:Acq_obs.Telemetry.t -> t -> t * memo_handle
+(** {!memo}, plus a handle exposing hit/miss/entry counts — the
+    benchmark and the combinator's tests read it. *)
+
+(** {1 Selection} *)
+
+type kind = Empirical | Dense | Chow_liu | Independence
+type spec = { kind : kind; memoize : bool }
+
+val default_spec : spec
+(** Empirical, no memoization — the seed behavior. *)
+
+val kind_to_string : kind -> string
+val spec_to_string : spec -> string
+
+val spec_of_string : string -> (spec, string) result
+(** Parse [empirical|dense|chow-liu|independence], optionally
+    followed by [,memo] — the [acqp --model] syntax. *)
+
+val of_dataset : ?telemetry:Acq_obs.Telemetry.t -> ?spec:spec ->
+  Acq_data.Dataset.t -> t
+(** Build the backend [spec] asks for from training data (learning
+    the Chow-Liu model when [spec.kind = Chow_liu], wrapping in
+    {!memo} when [spec.memoize]). *)
+
+(** {1 Closure bridge} *)
+
+type closure = {
+  c_weight : float;
+  c_range_prob : int -> Acq_plan.Range.t -> float;
+  c_value_probs : int -> float array;
+  c_pred_prob : Acq_plan.Predicate.t -> float;
+  c_pattern_probs : Acq_plan.Predicate.t array -> float array;
+  c_restrict_range : int -> Acq_plan.Range.t -> closure;
+  c_restrict_pred : Acq_plan.Predicate.t -> bool -> closure;
+}
+(** Field-for-field mirror of {!Estimator.t}; the two are converted by
+    {!Estimator.to_backend} / {!Estimator.of_backend}. *)
+
+val of_closure : closure -> t
+(** Adapt a record of closures. The conditioning signature is the
+    order-sensitive restriction trail (sound for memoization, just
+    less canonical than mask-based backends). *)
+
+val to_closure : t -> closure

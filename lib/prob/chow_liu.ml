@@ -146,6 +146,117 @@ let evidence_prob t e =
   done;
   !total
 
+(* Joint distribution over the truth bits of [preds], conditioned on
+   [e] — the OptSeq input. One full leaves-first message pass seeds
+   the all-false pattern; every further pattern is reached by a
+   Gray-code walk that flips a single truth bit, so only the flipped
+   attribute's evidence indicator and the betas/messages on its
+   root path are recomputed. Total work: one full pass plus 2^m - 1
+   incremental path updates, instead of 2^m full passes. *)
+let pattern_probs t e (preds : Acq_plan.Predicate.t array) =
+  let m = Array.length preds in
+  let size = 1 lsl m in
+  let n = Array.length t.parent in
+  let domains = Acq_data.Schema.domains t.schema in
+  let pe = evidence_prob t e in
+  let out = Array.make size 0.0 in
+  if pe <= 0.0 then out
+  else begin
+    (* Predicate indices grouped by the attribute they read: a flip of
+       bit [j] only invalidates the indicator of [preds.(j).attr]. *)
+    let preds_on = Array.make n [] in
+    Array.iteri
+      (fun j (p : Acq_plan.Predicate.t) ->
+        preds_on.(p.attr) <- j :: preds_on.(p.attr))
+      preds;
+    let truth = Array.make m false in
+    (* ind.(u).(v): evidence indicator AND every predicate on [u]
+       matches its current truth bit. *)
+    let ind =
+      Array.init n (fun u ->
+          Array.init domains.(u) (fun v -> if e.(u).(v) then 1.0 else 0.0))
+    in
+    let set_ind u =
+      for v = 0 to domains.(u) - 1 do
+        ind.(u).(v) <-
+          (if
+             e.(u).(v)
+             && List.for_all
+                  (fun j -> Acq_plan.Predicate.eval preds.(j) v = truth.(j))
+                  preds_on.(u)
+           then 1.0
+           else 0.0)
+      done
+    in
+    for u = 0 to n - 1 do
+      if preds_on.(u) <> [] then set_ind u
+    done;
+    (* Stored per-node quantities: beta.(u) = indicator times the
+       product of incoming child messages; msg.(u) = the message u
+       sends its parent (indexed by the parent's values). *)
+    let beta = Array.init n (fun u -> Array.make domains.(u) 0.0) in
+    let msg =
+      Array.init n (fun u ->
+          if t.parent.(u) < 0 then [||]
+          else Array.make domains.(t.parent.(u)) 0.0)
+    in
+    let compute_beta u =
+      for v = 0 to domains.(u) - 1 do
+        let b = ref ind.(u).(v) in
+        if !b > 0.0 then
+          List.iter (fun c -> b := !b *. msg.(c).(v)) t.children.(u);
+        beta.(u).(v) <- !b
+      done
+    in
+    let compute_msg u =
+      let p = t.parent.(u) in
+      for pv = 0 to domains.(p) - 1 do
+        let s = ref 0.0 in
+        let row = t.cpt.(u).(pv) in
+        for uv = 0 to domains.(u) - 1 do
+          s := !s +. (row.(uv) *. beta.(u).(uv))
+        done;
+        msg.(u).(pv) <- !s
+      done
+    in
+    for i = n - 1 downto 0 do
+      let u = t.order.(i) in
+      compute_beta u;
+      if t.parent.(u) >= 0 then compute_msg u
+    done;
+    let root_sum () =
+      let s = ref 0.0 in
+      for v = 0 to domains.(t.root) - 1 do
+        s := !s +. (t.prior.(v) *. beta.(t.root).(v))
+      done;
+      !s
+    in
+    out.(0) <- root_sum () /. pe;
+    let code = ref 0 in
+    for i = 1 to size - 1 do
+      let g = i lxor (i lsr 1) in
+      (* The bit flipped between consecutive Gray codes is the lowest
+         set bit of the step counter. *)
+      let flipped = !code lxor g in
+      let j = ref 0 in
+      while flipped land (1 lsl !j) = 0 do
+        incr j
+      done;
+      truth.(!j) <- not truth.(!j);
+      let u = ref preds.(!j).Acq_plan.Predicate.attr in
+      set_ind !u;
+      compute_beta !u;
+      while t.parent.(!u) >= 0 do
+        compute_msg !u;
+        u := t.parent.(!u);
+        compute_beta !u
+      done;
+      out.(g) <- root_sum () /. pe;
+      code := g
+    done;
+    out
+  end
+
 let cond_prob t ~given extra =
   let pg = evidence_prob t given in
   if pg <= 0.0 then 0.0 else evidence_prob t extra /. pg

@@ -44,6 +44,20 @@ val cond_prob : t -> given:evidence -> evidence -> float
     probability 0. [extra] must already include [given]'s
     restrictions (use the [and_*] builders on [given]). *)
 
+val pattern_probs : t -> evidence -> Acq_plan.Predicate.t array -> float array
+(** Joint distribution over the truth bits of [m] predicates,
+    conditioned on the evidence: entry [mask] (bit [j] set when
+    predicate [j] holds) is
+    [P(all bits of mask match | evidence)] — OptSeq's input. Length
+    [2^m]; all zeros when the evidence itself has probability 0.
+
+    Cost: one full message pass plus [2^m - 1] {e incremental} updates
+    — a Gray-code walk flips one truth bit at a time and recomputes
+    only the flipped attribute's evidence indicator and the messages
+    on its root path — instead of the [2^m] full inferences a naive
+    per-pattern [cond_prob] loop would pay. The caller bounds [m]
+    (backends advertise the bound as a capability). *)
+
 val marginal : t -> evidence -> int -> float array
 (** Posterior distribution of one attribute under evidence (uniform
     over allowed values if the evidence has probability 0). *)

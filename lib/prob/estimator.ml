@@ -54,14 +54,7 @@ let of_chow_liu model ~weight =
           let m = Array.length preds in
           if m > 12 then
             invalid_arg "Estimator.of_chow_liu: pattern_probs limited to 12";
-          Array.init (1 lsl m) (fun mask ->
-              let e =
-                Acq_util.Array_util.fold_lefti
-                  (fun e j p ->
-                    Chow_liu.and_pred model e p (mask land (1 lsl j) <> 0))
-                  evidence preds
-              in
-              Chow_liu.cond_prob model ~given:evidence e));
+          Chow_liu.pattern_probs model evidence preds);
       restrict_range =
         (fun attr r ->
           let e' = Chow_liu.and_range model evidence attr r in
@@ -76,3 +69,34 @@ let of_chow_liu model ~weight =
     |> fun est -> if pe <= 0.0 then { est with weight = 0.0 } else est
   in
   make (Chow_liu.no_evidence model) weight
+
+(* The closure bridge: [Backend.closure] mirrors [t] field for field,
+   so the conversions are structural. *)
+
+let rec to_closure e =
+  {
+    Backend.c_weight = e.weight;
+    c_range_prob = e.range_prob;
+    c_value_probs = e.value_probs;
+    c_pred_prob = e.pred_prob;
+    c_pattern_probs = e.pattern_probs;
+    c_restrict_range = (fun attr r -> to_closure (e.restrict_range attr r));
+    c_restrict_pred = (fun p truth -> to_closure (e.restrict_pred p truth));
+  }
+
+let to_backend e = Backend.of_closure (to_closure e)
+
+let rec of_closure (c : Backend.closure) =
+  {
+    weight = c.Backend.c_weight;
+    range_prob = c.Backend.c_range_prob;
+    value_probs = c.Backend.c_value_probs;
+    pred_prob = c.Backend.c_pred_prob;
+    pattern_probs = c.Backend.c_pattern_probs;
+    restrict_range =
+      (fun attr r -> of_closure (c.Backend.c_restrict_range attr r));
+    restrict_pred =
+      (fun p truth -> of_closure (c.Backend.c_restrict_pred p truth));
+  }
+
+let of_backend b = of_closure (Backend.to_closure b)

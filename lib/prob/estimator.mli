@@ -53,4 +53,14 @@ val of_chow_liu : Chow_liu.t -> weight:float -> t
     predicates is accepted.
 
     @raise Invalid_argument if [pattern_probs] is applied to more than
-    12 predicates. *)
+    12 predicates. Inference is incremental ({!Chow_liu.pattern_probs}):
+    one full message pass plus [2^m - 1] path-local updates, not
+    [2^m] full inferences. *)
+
+val to_backend : t -> Backend.t
+(** Adapt this record of closures into a packed {!Backend.t} — how
+    legacy estimators enter the backend-based planner API. *)
+
+val of_backend : Backend.t -> t
+(** Thin compatibility record over any backend: each field dispatches
+    to the backend, each restriction re-wraps. *)

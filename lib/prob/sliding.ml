@@ -7,6 +7,12 @@ type t = {
   mutable size : int;
   counts : int array array;  (* per-attribute incremental histograms *)
   mutable cached : Acq_data.Dataset.t option;
+  bufs : int array array;
+      (* two flat cell buffers, rotated between materializations so a
+         replan can reuse packed storage without invalidating the
+         dataset the previous replan is still reading *)
+  mutable turn : int;  (* which of [bufs] the next materialization fills *)
+  mutable ids : int array;  (* cached identity row ids for window views *)
 }
 
 let create schema ~capacity =
@@ -21,6 +27,9 @@ let create schema ~capacity =
     size = 0;
     counts = Array.map (fun k -> Array.make k 0) domains;
     cached = None;
+    bufs = [| [||]; [||] |];
+    turn = 0;
+    ids = [||];
   }
 
 let capacity t = t.capacity
@@ -60,35 +69,62 @@ let clear t =
 
 let histogram t attr = Array.copy t.counts.(attr)
 
+let marginals t = Array.map Array.copy t.counts
+
 let to_dataset t =
   if t.size = 0 then invalid_arg "Sliding.to_dataset: empty window";
   match t.cached with
   | Some ds -> ds
   | None ->
-      let start =
-        if t.size = t.capacity then t.head else 0
+      let n = Array.length t.domains in
+      let need = t.size * n in
+      let buf =
+        (* Steady state (full window) keeps two capacity-sized buffers
+           alive forever; only the filling phase reallocates. *)
+        let b = t.bufs.(t.turn) in
+        if Array.length b = need then b
+        else begin
+          let b = Array.make need 0 in
+          t.bufs.(t.turn) <- b;
+          b
+        end
       in
-      let rows =
-        Array.init t.size (fun i -> t.ring.((start + i) mod t.capacity))
-      in
-      let ds = Acq_data.Dataset.create t.schema rows in
+      t.turn <- 1 - t.turn;
+      let start = if t.size = t.capacity then t.head else 0 in
+      for i = 0 to t.size - 1 do
+        Array.blit t.ring.((start + i) mod t.capacity) 0 buf (i * n) n
+      done;
+      let ds = Acq_data.Dataset.of_raw t.schema t.size buf in
       t.cached <- Some ds;
       ds
 
+let identity_ids t =
+  if Array.length t.ids <> t.size then t.ids <- Array.init t.size (fun i -> i);
+  t.ids
+
+let backend ?telemetry ?(spec = Backend.default_spec) t =
+  let ds = to_dataset t in
+  match spec.Backend.kind with
+  | Backend.Empirical ->
+      (* Zero-copy fast path: the view aliases the window's packed cell
+         buffer and the cached identity id array. *)
+      let b = Backend.of_view (View.of_rows ds (identity_ids t)) in
+      if spec.Backend.memoize then Backend.memo ?telemetry b else b
+  | Backend.Dense | Backend.Chow_liu | Backend.Independence ->
+      Backend.of_dataset ?telemetry ~spec ds
+
 let estimator t = Estimator.empirical (to_dataset t)
 
-let drift t ~reference =
+let drift_marginals t ~reference ~rows =
   let n = Array.length t.domains in
-  let ref_rows = float_of_int (Acq_data.Dataset.nrows reference) in
+  if Array.length reference <> n then
+    invalid_arg "Sliding.drift_marginals: arity mismatch";
+  let ref_rows = float_of_int rows in
   let win_rows = float_of_int t.size in
   if ref_rows = 0.0 || win_rows = 0.0 then 0.0
   else begin
     let total = ref 0.0 in
     for a = 0 to n - 1 do
-      let ref_counts = Array.make t.domains.(a) 0 in
-      Acq_data.Dataset.iter_rows reference (fun r ->
-          let v = Acq_data.Dataset.get reference r a in
-          ref_counts.(v) <- ref_counts.(v) + 1);
       (* Total variation = half the L1 distance between marginals. *)
       let tv = ref 0.0 in
       for v = 0 to t.domains.(a) - 1 do
@@ -96,9 +132,27 @@ let drift t ~reference =
           !tv
           +. Float.abs
                ((float_of_int t.counts.(a).(v) /. win_rows)
-               -. (float_of_int ref_counts.(v) /. ref_rows))
+               -. (float_of_int reference.(a).(v) /. ref_rows))
       done;
       total := !total +. (!tv /. 2.0)
     done;
     !total /. float_of_int n
   end
+
+let marginals_of ds =
+  let domains = Acq_data.Schema.domains (Acq_data.Dataset.schema ds) in
+  let n = Array.length domains in
+  let counts = Array.map (fun k -> Array.make k 0) domains in
+  Acq_data.Dataset.iter_rows ds (fun r ->
+      for a = 0 to n - 1 do
+        let v = Acq_data.Dataset.get ds r a in
+        counts.(a).(v) <- counts.(a).(v) + 1
+      done);
+  counts
+
+let drift t ~reference =
+  if Acq_data.Dataset.nrows reference = 0 || t.size = 0 then 0.0
+  else
+    drift_marginals t
+      ~reference:(marginals_of reference)
+      ~rows:(Acq_data.Dataset.nrows reference)

@@ -5,9 +5,13 @@
     to justify re-running the (basestation-side) planner.
 
     Per-attribute histograms are maintained incrementally in O(n) per
-    pushed tuple; the window materializes into a dataset (and hence an
-    {!Estimator.t}) lazily, with caching, so a replanning pass costs
-    one materialization rather than one per probability query. *)
+    pushed tuple; the window materializes into a dataset (and hence a
+    probability {!Backend.t}) lazily, with caching, so a replanning
+    pass costs one materialization rather than one per probability
+    query. Materialization is {e zero-copy}: the window owns two
+    packed cell buffers (see {!Acq_data.Dataset.of_raw}) that
+    alternate between materializations, so steady-state replanning
+    allocates no fresh statistics storage at all. *)
 
 type t
 
@@ -32,18 +36,47 @@ val clear : t -> unit
 (** Drop every tuple: [size] returns to 0 and the incremental
     histograms to all-zero, as if freshly created. Used when a
     replanning pass wants statistics untainted by the pre-switch
-    distribution. *)
+    distribution. The packed materialization buffers are kept for
+    reuse. *)
 
 val histogram : t -> int -> int array
 (** Fresh copy of one attribute's current window counts; maintained
     incrementally, O(domain) to copy. *)
 
+val marginals : t -> int array array
+(** Fresh copy of {e every} attribute's current window counts —
+    O(sum of domains), independent of window size. The snapshot a
+    drift-tracking consumer ({!Acq_adapt.Session}) stores instead of
+    pinning a materialized dataset (which would alias a reusable
+    buffer). *)
+
+val marginals_of : Acq_data.Dataset.t -> int array array
+(** Per-attribute value counts of an arbitrary dataset, in the same
+    shape {!marginals} returns — one O(rows) pass. *)
+
 val to_dataset : t -> Acq_data.Dataset.t
 (** Materialize the window (oldest first). Cached until the next
-    {!push}. @raise Invalid_argument on an empty window. *)
+    {!push}. Zero-copy: the dataset aliases one of the window's two
+    rotating cell buffers, so it stays valid through the {e next}
+    materialization but is overwritten by the one after that. Callers
+    that need a longer-lived snapshot must copy (or snapshot
+    {!marginals}). @raise Invalid_argument on an empty window. *)
+
+val backend :
+  ?telemetry:Acq_obs.Telemetry.t -> ?spec:Backend.spec -> t -> Backend.t
+(** Probability backend over the current window, built per [spec]
+    (default {!Backend.default_spec}: empirical, no memo). The
+    empirical backend is fully zero-copy — it views the window's
+    packed cell buffer through a cached identity id array — so a
+    steady-state replan builds its statistics without allocating
+    proportionally to the window. The backend shares the buffer
+    lifetime of {!to_dataset}: valid through the next materialization,
+    stale after the one following it. *)
 
 val estimator : t -> Estimator.t
-(** Empirical estimator over the current window. *)
+(** Empirical closure-record estimator over the current window;
+    legacy-compat wrapper over the same materialization (and the same
+    buffer lifetime) as {!backend}. *)
 
 val drift : t -> reference:Acq_data.Dataset.t -> float
 (** Mean, over attributes, of the total-variation distance between
@@ -55,6 +88,13 @@ val drift : t -> reference:Acq_data.Dataset.t -> float
     An empty window (or an empty [reference]) has no marginal to
     compare, so the score is defined as [0.0] — "no evidence of
     drift", never an exception. Of the window accessors only
-    {!to_dataset} (and hence {!estimator}) raises on emptiness;
-    replanning triggers built on [drift] therefore stay quiet until
-    the window has data, which is the safe direction. *)
+    {!to_dataset} (and hence {!backend}/{!estimator}) raises on
+    emptiness; replanning triggers built on [drift] therefore stay
+    quiet until the window has data, which is the safe direction. *)
+
+val drift_marginals : t -> reference:int array array -> rows:int -> float
+(** Same score against a pre-computed reference marginal snapshot
+    (shape of {!marginals}, counting [rows] tuples) — O(sum of
+    domains) per call, no dataset scan. This is the form
+    {!Acq_adapt.Session} checks on every observation.
+    @raise Invalid_argument on an arity mismatch. *)

@@ -16,6 +16,12 @@ val ablate_model : Figures.scale -> unit
 (** Heuristic plans driven by the empirical estimator vs a Chow-Liu
     tree model as the training window shrinks. *)
 
+val ablate_prob : Figures.scale -> unit
+(** Probability-backend ablation: every selectivity kernel (empirical,
+    dense, Chow-Liu, independence, each with and without the memo
+    combinator) planning the same garden workload — planning time,
+    held-out plan cost, estimator calls, and memo hit rate per model. *)
+
 val ablate_spsf : Figures.scale -> unit
 (** Heuristic plan quality vs split-point budget. *)
 

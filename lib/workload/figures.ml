@@ -141,7 +141,7 @@ let fig3 _s =
       ]
   in
   let costs = costs_of q in
-  let est = Acq_prob.Estimator.empirical ds in
+  let est = Acq_prob.Backend.empirical ds in
   let plans = Acq_core.Enumerate.all_plans q ~costs est in
   Report.note
     (Printf.sprintf "complete plans over 3 attributes: %d (paper: 12)"

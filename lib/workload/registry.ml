@@ -19,6 +19,7 @@ let all =
     { id = "scale"; title = "Scalability study"; run = Ablations.scale_exp };
     { id = "ablate-size"; title = "Plan size / energy trade-off"; run = Ablations.ablate_size };
     { id = "ablate-model"; title = "Empirical vs Chow-Liu estimator"; run = Ablations.ablate_model };
+    { id = "ablate-prob"; title = "Probability backend comparison"; run = Ablations.ablate_prob };
     { id = "ablate-spsf"; title = "Split-point budget"; run = Ablations.ablate_spsf };
     { id = "ablate-adapt"; title = "Adaptive replanning policies"; run = Ablations.ablate_adapt };
     { id = "ext-exists"; title = "Existential queries"; run = Ablations.ext_exists };

@@ -596,6 +596,37 @@ let test_adaptive_quiet_on_stationary () =
     (Float.abs (adaptive.Rt.a_total_energy -. static_r.Rt.a_total_energy)
     <= 0.005 *. static_r.Rt.a_total_energy)
 
+let test_replan_buffer_reuse () =
+  (* The replanning hot path (Sliding.backend) must not rebuild the
+     window's statistics storage: once the two rotating cell buffers
+     and the identity-id array are warm, each push + backend cycle
+     allocates only the view/backend wrappers. Copying the window
+     instead would cost capacity * arity boxed ints (>= 64 KiB here)
+     per replan. *)
+  let module Sl = Acq_prob.Sliding in
+  let schema = drift_schema () in
+  let w = Sl.create schema ~capacity:4_096 in
+  for i = 0 to 4_095 do
+    Sl.push w (phase_a_row i)
+  done;
+  (* Warm both buffers and the cached id array. *)
+  for i = 0 to 2 do
+    Sl.push w (phase_a_row i);
+    ignore (Sl.backend w)
+  done;
+  let cycles = 40 in
+  let before = Gc.allocated_bytes () in
+  for i = 0 to cycles - 1 do
+    Sl.push w (phase_a_row i);
+    ignore (Sl.backend w)
+  done;
+  let per_cycle = (Gc.allocated_bytes () -. before) /. float_of_int cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state replan allocates O(1) (%.0f bytes/cycle)"
+       per_cycle)
+    true
+    (per_cycle < 8_192.0)
+
 let () =
   Alcotest.run "adapt"
     [
@@ -649,5 +680,7 @@ let () =
             test_adaptive_beats_static_on_drift;
           Alcotest.test_case "quiet on stationary trace" `Quick
             test_adaptive_quiet_on_stationary;
+          Alcotest.test_case "replan reuses window buffers" `Quick
+            test_replan_buffer_reuse;
         ] );
     ]

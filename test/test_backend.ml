@@ -1,0 +1,520 @@
+(* Tests for the pluggable probability backends (Acq_prob.Backend):
+   cross-backend agreement on exhaustively enumerable domains, the
+   memo combinator's cache semantics and telemetry, the seed-closure
+   vs packed-backend planning differential, the Chow-Liu incremental
+   pattern inference, capability routing in the sequential planner,
+   and the --model spec syntax. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module R = Acq_plan.Range
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Ser = Acq_plan.Serialize
+module B = Acq_prob.Backend
+module E = Acq_prob.Estimator
+module CL = Acq_prob.Chow_liu
+module Metrics = Acq_obs.Metrics
+module Tel = Acq_obs.Telemetry
+module P = Acq_core.Planner
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures *)
+
+let named_schema domains =
+  S.create
+    (List.init (Array.length domains) (fun k ->
+         A.discrete
+           ~name:(Printf.sprintf "a%d" k)
+           ~cost:(float_of_int (k + 1))
+           ~domain:domains.(k)))
+
+(* One row per point of the product domain: the uniform full-factorial
+   dataset. Attributes are exactly independent and every marginal is
+   exactly uniform, so all four backends — including Chow-Liu, whose
+   Laplace smoothing preserves uniformity — represent the distribution
+   without error and must agree to machine precision. *)
+let factorial_dataset domains =
+  let n = Array.length domains in
+  let total = Array.fold_left ( * ) 1 domains in
+  let rows =
+    Array.init total (fun idx ->
+        let r = Array.make n 0 in
+        let rem = ref idx in
+        for k = n - 1 downto 0 do
+          r.(k) <- !rem mod domains.(k);
+          rem := !rem / domains.(k)
+        done;
+        r)
+  in
+  DS.create (named_schema domains) rows
+
+let contenders ds =
+  let base =
+    [
+      ("empirical", B.empirical ds);
+      ("independence", B.independence ds);
+      ( "chow-liu",
+        B.chow_liu (CL.learn ds) ~weight:(float_of_int (DS.nrows ds)) );
+      ("dense", B.dense ds);
+    ]
+  in
+  base @ List.map (fun (name, b) -> (name ^ ",memo", B.memo b)) base
+
+(* Correlated dataset for the differential and Chow-Liu tests. *)
+let correlated_dataset seed domains rows =
+  let n = Array.length domains in
+  let rng = Rng.create seed in
+  let data =
+    Array.init rows (fun _ ->
+        let regime = Rng.float rng 1.0 in
+        Array.init n (fun k ->
+            if Rng.bernoulli rng 0.75 then
+              min
+                (domains.(k) - 1)
+                (int_of_float (regime *. float_of_int domains.(k)))
+            else Rng.int rng domains.(k)))
+  in
+  DS.create (named_schema domains) data
+
+(* ------------------------------------------------------------------ *)
+(* Agreement property: every backend (and its memo wrapper) matches
+   Dense on range_prob / value_probs / pred_prob / pattern_probs, to
+   1e-9, before and after an arbitrary restriction chain. *)
+
+type agree_instance = {
+  domains : int array;
+  raw_ops : (int * int * int) array;  (** one optional op per attribute *)
+}
+
+let agree_gen =
+  QCheck2.Gen.(
+    let* n = int_range 2 3 in
+    let* domains = array_repeat n (int_range 2 4) in
+    let* n_ops = int_range 0 n in
+    let* raw_ops =
+      array_repeat n_ops
+        (triple (int_range 0 1000) (int_range 0 1000) (int_range 0 2))
+    in
+    return { domains; raw_ops })
+
+let agree_print i =
+  Printf.sprintf "{domains=[%s]; ops=[%s]}"
+    (String.concat ";" (Array.to_list (Array.map string_of_int i.domains)))
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun (a, b, m) -> Printf.sprintf "(%d,%d,%d)" a b m)
+             i.raw_ops)))
+
+(* Op [i] restricts attribute [i] (distinct attributes keep every
+   per-attribute allowed set non-empty). Mode 0 = observe a range,
+   1 = condition on a predicate holding, 2 = on it failing — the
+   latter clamped so the complement value set is never empty. *)
+let normalize_ops domains raw_ops =
+  Array.mapi
+    (fun i (a, b, m) ->
+      let d = domains.(i) in
+      let lo = a mod d in
+      let hi = lo + (b mod (d - lo)) in
+      let mode = m mod 3 in
+      let hi = if mode = 2 && lo = 0 && hi = d - 1 then d - 2 else hi in
+      (i, lo, hi, mode))
+    raw_ops
+
+let apply_ops b ops =
+  Array.fold_left
+    (fun b (attr, lo, hi, mode) ->
+      match mode with
+      | 0 -> B.restrict_range b attr (R.make lo hi)
+      | 1 -> B.restrict_pred b (Pred.inside ~attr ~lo ~hi) true
+      | _ -> B.restrict_pred b (Pred.inside ~attr ~lo ~hi) false)
+    b ops
+
+let agree what expect got =
+  if Float.abs (expect -. got) > 1e-9 then
+    QCheck2.Test.fail_reportf "%s: dense=%.12g got=%.12g" what expect got
+
+let prop_backends_agree =
+  QCheck2.Test.make ~count:60 ~print:agree_print
+    ~name:"all backends agree with dense on factorial domains"
+    agree_gen
+    (fun inst ->
+      let domains = inst.domains in
+      let n = Array.length domains in
+      let ds = factorial_dataset domains in
+      let ops = normalize_ops domains inst.raw_ops in
+      let reference = apply_ops (B.dense ds) ops in
+      let preds =
+        Array.init (min n 3) (fun k ->
+            Pred.inside ~attr:k ~lo:0 ~hi:(domains.(k) / 2))
+      in
+      List.iter
+        (fun (name, b0) ->
+          let b = apply_ops b0 ops in
+          for attr = 0 to n - 1 do
+            let d = domains.(attr) in
+            for lo = 0 to d - 1 do
+              for hi = lo to d - 1 do
+                agree
+                  (Printf.sprintf "%s range_prob a%d [%d,%d]" name attr lo hi)
+                  (B.range_prob reference attr (R.make lo hi))
+                  (B.range_prob b attr (R.make lo hi));
+                agree
+                  (Printf.sprintf "%s pred_prob a%d [%d,%d]" name attr lo hi)
+                  (B.pred_prob reference (Pred.inside ~attr ~lo ~hi))
+                  (B.pred_prob b (Pred.inside ~attr ~lo ~hi))
+              done
+            done;
+            let vr = B.value_probs reference attr in
+            let vb = B.value_probs b attr in
+            Array.iteri
+              (fun v x ->
+                agree
+                  (Printf.sprintf "%s value_probs a%d v%d" name attr v)
+                  x vb.(v))
+              vr
+          done;
+          let pr = B.pattern_probs reference preds in
+          let pb = B.pattern_probs b preds in
+          Array.iteri
+            (fun mask x ->
+              agree (Printf.sprintf "%s pattern %d" name mask) x pb.(mask))
+            pr)
+        (contenders ds);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Memo combinator *)
+
+let test_memo_counters () =
+  let ds = factorial_dataset [| 3; 3 |] in
+  let b, h = B.memo_with_handle (B.empirical ds) in
+  let p = Pred.inside ~attr:0 ~lo:1 ~hi:2 in
+  let first = B.pred_prob b p in
+  let s1 = B.handle_stats h in
+  Alcotest.(check int) "first query misses" 1 s1.B.misses;
+  Alcotest.(check int) "no hits yet" 0 s1.B.hits;
+  Alcotest.(check int) "one entry" 1 s1.B.entries;
+  let again = B.pred_prob b p in
+  let s2 = B.handle_stats h in
+  Alcotest.(check int) "repeat hits" 1 s2.B.hits;
+  Alcotest.(check int) "no new miss" 1 s2.B.misses;
+  check_float "cached value identical" first again;
+  (* A different query is a fresh entry, not a hit. *)
+  ignore (B.value_probs b 1);
+  let s3 = B.handle_stats h in
+  Alcotest.(check int) "distinct query misses" 2 s3.B.misses;
+  Alcotest.(check int) "entries grow" 2 s3.B.entries
+
+let test_memo_restriction_scopes () =
+  let ds = factorial_dataset [| 4; 4 |] in
+  let b, h = B.memo_with_handle (B.dense ds) in
+  let p = Pred.inside ~attr:1 ~lo:0 ~hi:1 in
+  ignore (B.pred_prob b p);
+  let b' = B.restrict_range b 0 (R.make 0 1) in
+  ignore (B.pred_prob b' p);
+  let s = B.handle_stats h in
+  (* The restriction itself is one miss, and the same query under the
+     new conditioning is another: distinct scope, no false hit. *)
+  Alcotest.(check int) "no hits across scopes" 0 s.B.hits;
+  Alcotest.(check int) "root query + restriction + scoped query" 3 s.B.misses;
+  ignore (B.pred_prob b' p);
+  Alcotest.(check int) "hit within the restricted scope" 1
+    (B.handle_stats h).B.hits;
+  (* Repeating the restriction is itself answered from cache. *)
+  let b'' = B.restrict_range b 0 (R.make 0 1) in
+  Alcotest.(check int) "restriction cached" 2 (B.handle_stats h).B.hits;
+  (* ... and the re-fetched scope shares the first one's entries. *)
+  ignore (B.pred_prob b'' p);
+  Alcotest.(check int) "scope entries shared" 3 (B.handle_stats h).B.hits
+
+let test_memo_order_independent_scopes () =
+  (* Mask-based conditioning signatures are canonical: the same value
+     sets reached in a different restriction order share cache
+     entries. *)
+  let ds = factorial_dataset [| 4; 4 |] in
+  let b, h = B.memo_with_handle (B.dense ds) in
+  let r0 = R.make 0 1 and r1 = R.make 1 3 in
+  let ab = B.restrict_range (B.restrict_range b 0 r0) 1 r1 in
+  ignore (B.value_probs ab 0);
+  let misses_before = (B.handle_stats h).B.misses in
+  let ba = B.restrict_range (B.restrict_range b 1 r1) 0 r0 in
+  ignore (B.value_probs ba 0);
+  let s = B.handle_stats h in
+  Alcotest.(check int) "reordered chain adds only its own restrictions"
+    (misses_before + 2) s.B.misses;
+  Alcotest.(check int) "query under reordered conditioning hits" 1 s.B.hits
+
+let test_memo_telemetry () =
+  let reg = Metrics.create () in
+  let tel = Tel.create ~metrics:reg () in
+  let ds = factorial_dataset [| 3; 2 |] in
+  let b, h = B.memo_with_handle ~telemetry:tel (B.empirical ds) in
+  let p = Pred.inside ~attr:0 ~lo:0 ~hi:1 in
+  ignore (B.pred_prob b p);
+  ignore (B.pred_prob b p);
+  ignore (B.value_probs b 1);
+  let s = B.handle_stats h in
+  let sum prefix =
+    List.fold_left
+      (fun acc (k, v) ->
+        if
+          String.length k >= String.length prefix
+          && String.sub k 0 (String.length prefix) = prefix
+        then acc +. v
+        else acc)
+      0.0 (Metrics.snapshot reg)
+  in
+  check_float "hit counter mirrors handle" (float_of_int s.B.hits)
+    (sum "acqp_prob_memo_hits_total");
+  check_float "miss counter mirrors handle" (float_of_int s.B.misses)
+    (sum "acqp_prob_memo_misses_total");
+  Alcotest.(check int) "one hit" 1 s.B.hits;
+  Alcotest.(check int) "two misses" 2 s.B.misses
+
+(* ------------------------------------------------------------------ *)
+(* Differential: the seed closure path and the packed backend path
+   must produce byte-identical plans, identical Eq. (3) costs, and
+   identical zeta(P), with and without memoization, for every planner
+   across 50 random instances. *)
+
+let diff_options =
+  { P.default_options with P.split_points_per_attr = 2 }
+
+let build_diff_instance seed =
+  let rng = Rng.create seed in
+  let n = 3 in
+  let domains = Array.init n (fun _ -> 2 + Rng.int rng 3) in
+  let ds = correlated_dataset (seed + 7) domains 240 in
+  let schema = DS.schema ds in
+  let n_preds = 1 + Rng.int rng 2 in
+  let attrs = Rng.sample_without_replacement rng n_preds n in
+  let preds =
+    Array.to_list
+      (Array.map
+         (fun attr ->
+           let d = domains.(attr) in
+           let lo = Rng.int rng d in
+           let hi = lo + Rng.int rng (d - lo) in
+           Pred.inside ~attr ~lo ~hi)
+         attrs)
+  in
+  (ds, Q.create schema preds)
+
+let test_differential () =
+  let algs = [ P.Naive; P.Corr_seq; P.Heuristic; P.Exhaustive ] in
+  for seed = 0 to 49 do
+    let ds, q = build_diff_instance (1000 + seed) in
+    let costs = S.costs (DS.schema ds) in
+    List.iter
+      (fun alg ->
+        let ctx =
+          Printf.sprintf "seed %d %s" seed (P.algorithm_name alg)
+        in
+        let r_seed =
+          P.plan_with_estimator ~options:diff_options alg q ~costs
+            (E.empirical ds)
+        in
+        let r_back =
+          P.plan_with_backend ~options:diff_options alg q ~costs
+            (B.empirical ds)
+        in
+        let r_memo =
+          P.plan_with_backend ~options:diff_options alg q ~costs
+            (B.memo (B.empirical ds))
+        in
+        let enc = Ser.encode r_seed.P.plan in
+        Alcotest.(check bool)
+          (ctx ^ ": backend plan byte-identical")
+          true
+          (Bytes.equal enc (Ser.encode r_back.P.plan));
+        Alcotest.(check bool)
+          (ctx ^ ": memoized plan byte-identical")
+          true
+          (Bytes.equal enc (Ser.encode r_memo.P.plan));
+        Alcotest.(check bool)
+          (ctx ^ ": est_cost identical")
+          true
+          (Float.equal r_seed.P.est_cost r_back.P.est_cost
+          && Float.equal r_seed.P.est_cost r_memo.P.est_cost);
+        Alcotest.(check int)
+          (ctx ^ ": zeta identical")
+          r_seed.P.stats.Acq_core.Search.plan_size
+          r_back.P.stats.Acq_core.Search.plan_size;
+        Alcotest.(check int)
+          (ctx ^ ": zeta identical under memo")
+          r_seed.P.stats.Acq_core.Search.plan_size
+          r_memo.P.stats.Acq_core.Search.plan_size)
+      algs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Chow-Liu: the Gray-code incremental pattern_probs must equal the
+   direct per-pattern inference, unconditioned and under evidence. *)
+
+let test_chow_liu_incremental () =
+  let ds = correlated_dataset 31 [| 3; 4; 2; 3 |] 800 in
+  let m = CL.learn ds in
+  let preds =
+    [|
+      Pred.inside ~attr:0 ~lo:1 ~hi:2;
+      Pred.inside ~attr:1 ~lo:0 ~hi:1;
+      Pred.inside ~attr:2 ~lo:1 ~hi:1;
+      Pred.inside ~attr:3 ~lo:0 ~hi:0;
+    |]
+  in
+  let check_against given label got =
+    Array.iteri
+      (fun mask got_p ->
+        let ev = ref given in
+        Array.iteri
+          (fun j p -> ev := CL.and_pred m !ev p (mask land (1 lsl j) <> 0))
+          preds;
+        check_float
+          (Printf.sprintf "%s pattern %d" label mask)
+          (CL.cond_prob m ~given !ev)
+          got_p)
+      got
+  in
+  let b = B.chow_liu m ~weight:(float_of_int (DS.nrows ds)) in
+  check_against (CL.no_evidence m) "root" (B.pattern_probs b preds);
+  (* Same check in a conditioned scope: restrict the backend and build
+     the matching evidence for the reference. *)
+  let r = R.make 0 1 in
+  let given = CL.and_range m (CL.no_evidence m) 1 r in
+  check_against given "restricted" (B.pattern_probs (B.restrict_range b 1 r) preds)
+
+(* ------------------------------------------------------------------ *)
+(* Capability routing: a 13-predicate query exceeds Chow-Liu's
+   pattern width (12), so the sequential planner must fall back to
+   GreedySeq instead of raising — even when optseq_threshold alone
+   would have chosen OptSeq. *)
+
+let test_capability_routing () =
+  let n = 13 in
+  let domains = Array.make n 2 in
+  let schema = named_schema domains in
+  let rng = Rng.create 99 in
+  let rows =
+    Array.init 400 (fun _ -> Array.init n (fun _ -> Rng.int rng 2))
+  in
+  let ds = DS.create schema rows in
+  let q =
+    Q.create schema (List.init n (fun k -> Pred.inside ~attr:k ~lo:1 ~hi:1))
+  in
+  let b = B.chow_liu (CL.learn ds) ~weight:(float_of_int (DS.nrows ds)) in
+  Alcotest.(check (option int))
+    "chow-liu advertises its pattern bound" (Some 12) (B.max_pattern_preds b);
+  Alcotest.(check (option int))
+    "empirical is unbounded" None (B.max_pattern_preds (B.empirical ds));
+  let options = { P.default_options with P.optseq_threshold = 20 } in
+  let r = P.plan_with_backend ~options P.Corr_seq q ~costs:(S.costs schema) b in
+  Alcotest.(check bool) "plans without raising" true (r.P.est_cost >= 0.0);
+  (* The unbounded empirical backend under the same options does go
+     through OptSeq; both paths must still cost out finitely. *)
+  let r' =
+    P.plan_with_backend ~options P.Corr_seq q ~costs:(S.costs schema)
+      (B.empirical ds)
+  in
+  Alcotest.(check bool) "optseq path also plans" true (r'.P.est_cost >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Selection syntax and guards *)
+
+let test_spec_parsing () =
+  let ok s =
+    match B.spec_of_string s with
+    | Ok sp -> sp
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check string) ("round-trip " ^ s) s (B.spec_to_string (ok s)))
+    [
+      "empirical";
+      "dense";
+      "chow-liu";
+      "independence";
+      "empirical,memo";
+      "dense,memo";
+      "chow-liu,memo";
+      "independence,memo";
+    ];
+  Alcotest.(check bool) "memo flag parsed" true (ok "dense,memo").B.memoize;
+  Alcotest.(check bool) "kind parsed" true ((ok "dense,memo").B.kind = B.Dense);
+  Alcotest.(check string) "default spec is the seed behavior" "empirical"
+    (B.spec_to_string B.default_spec);
+  (match B.spec_of_string "bogus" with
+  | Ok _ -> Alcotest.fail "accepted bogus model"
+  | Error _ -> ());
+  match B.spec_of_string "dense,turbo" with
+  | Ok _ -> Alcotest.fail "accepted bogus suffix"
+  | Error _ -> ()
+
+let test_dense_capacity_guard () =
+  (* 64^4 joint cells exceed the 2^22 cap. *)
+  let schema = named_schema (Array.make 4 64) in
+  let ds = DS.create schema [| [| 0; 1; 2; 3 |] |] in
+  Alcotest.check_raises "guarded"
+    (Invalid_argument "Backend.dense: joint table too large") (fun () ->
+      ignore (B.dense ds))
+
+let test_of_dataset_spec () =
+  let ds = factorial_dataset [| 3; 3 |] in
+  List.iter
+    (fun (s, expected_name) ->
+      let spec =
+        match B.spec_of_string s with Ok sp -> sp | Error e -> Alcotest.fail e
+      in
+      Alcotest.(check string)
+        (s ^ " builds the right backend")
+        expected_name
+        (B.name (B.of_dataset ~spec ds)))
+    [
+      ("empirical", "empirical");
+      ("dense", "dense");
+      ("chow-liu", "chow-liu");
+      ("independence", "independence");
+      ("empirical,memo", "memo");
+      ("dense,memo", "memo");
+    ]
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "agreement",
+        [ QCheck_alcotest.to_alcotest prop_backends_agree ] );
+      ( "memo",
+        [
+          Alcotest.test_case "hit/miss counters" `Quick test_memo_counters;
+          Alcotest.test_case "restriction scopes" `Quick
+            test_memo_restriction_scopes;
+          Alcotest.test_case "order-independent scopes" `Quick
+            test_memo_order_independent_scopes;
+          Alcotest.test_case "telemetry counters" `Quick test_memo_telemetry;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "closure vs backend vs memo, 50 seeds" `Quick
+            test_differential;
+        ] );
+      ( "chow-liu",
+        [
+          Alcotest.test_case "incremental pattern_probs" `Quick
+            test_chow_liu_incremental;
+        ] );
+      ( "routing",
+        [ Alcotest.test_case "capability fallback" `Quick test_capability_routing ] );
+      ( "selection",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "dense capacity guard" `Quick
+            test_dense_capacity_guard;
+          Alcotest.test_case "of_dataset honors spec" `Quick test_of_dataset_spec;
+        ] );
+    ]

@@ -11,7 +11,7 @@ module Q = Acq_plan.Query
 module Plan = Acq_plan.Plan
 module Ex = Acq_plan.Executor
 module CM = Acq_plan.Cost_model
-module E = Acq_prob.Estimator
+module B = Acq_prob.Backend
 module P = Acq_core.Planner
 
 let check_float = Alcotest.(check (float 1e-9))
@@ -139,7 +139,7 @@ let test_eq3_eq4_under_model () =
   let q = board_query () in
   let costs = S.costs (DS.schema ds) in
   let m = model () in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   List.iter
     (fun plan ->
       check_close "analytic = empirical under board model"
@@ -164,7 +164,7 @@ let test_optseq_exploits_board () =
   let q = board_query () in
   let costs = S.costs (DS.schema ds) in
   let m = model () in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let aware, aware_cost = Acq_core.Optseq.order ~model:m q ~costs est in
   let blind, _ = Acq_core.Optseq.order q ~costs est in
   let measure order =

@@ -12,7 +12,7 @@ module Pred = Acq_plan.Predicate
 module Q = Acq_plan.Query
 module Plan = Acq_plan.Plan
 module Ex = Acq_plan.Executor
-module E = Acq_prob.Estimator
+module B = Acq_prob.Backend
 module Sub = Acq_core.Subproblem
 module Spsf = Acq_core.Spsf
 module EC = Acq_core.Expected_cost
@@ -149,7 +149,7 @@ let test_expected_cost_matches_execution_seq () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let costs = S.costs (DS.schema ds) in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   List.iter
     (fun order ->
       let plan = Plan.sequential order in
@@ -162,7 +162,7 @@ let test_expected_cost_matches_execution_tree () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let costs = S.costs (DS.schema ds) in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let plan =
     Plan.Test
       {
@@ -184,7 +184,7 @@ let test_expected_cost_closed_form () =
     Q.create schema
       [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
   in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let cost = EC.of_order q ~costs:(S.costs schema) est [ 0; 1 ] in
   Alcotest.(check bool) "close to 10 + 0.25*20" true
     (Float.abs (cost -. 15.0) < 0.3)
@@ -249,7 +249,7 @@ let test_naive_orders_by_rank () =
       [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
   in
   let order =
-    Acq_core.Naive.order q ~costs:(S.costs schema) (E.empirical ds)
+    Acq_core.Naive.order q ~costs:(S.costs schema) (B.empirical ds)
   in
   Alcotest.(check (list int)) "selective-but-pricier first" [ 1; 0 ] order
 
@@ -261,7 +261,7 @@ let test_naive_never_failing_last () =
       [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
   in
   let order =
-    Acq_core.Naive.order q ~costs:(S.costs schema) (E.empirical ds)
+    Acq_core.Naive.order q ~costs:(S.costs schema) (B.empirical ds)
   in
   Alcotest.(check (list int)) "always-true pred last" [ 1; 0 ] order
 
@@ -296,7 +296,7 @@ let test_optseq_matches_brute_force () =
         (List.init 4 (fun i -> Pred.inside ~attr:i ~lo:1 ~hi:1))
     in
     let costs = S.costs schema in
-    let est = E.empirical ds in
+    let est = B.empirical ds in
     let _, opt_cost = Acq_core.Optseq.order q ~costs est in
     let _, brute_cost = brute_force_best_order q ~costs est [ 0; 1; 2; 3 ] in
     Alcotest.(check (float 1e-6))
@@ -310,7 +310,7 @@ let test_optseq_cost_is_realized () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let costs = S.costs (DS.schema ds) in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let order, cost = Acq_core.Optseq.order q ~costs est in
   check_close "reported = recomputed" (EC.of_order q ~costs est order) cost
 
@@ -322,7 +322,7 @@ let test_optseq_respects_acquired () =
       [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
   in
   let costs = S.costs schema in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let acquired = [| true; false |] in
   let order, cost = Acq_core.Optseq.order q ~costs ~acquired est in
   (* Attr 0 already paid: it should be evaluated first for free. *)
@@ -337,7 +337,7 @@ let test_optseq_subset () =
   in
   let order, _ =
     Acq_core.Optseq.order q ~costs:(S.costs schema) ~subset:[ 0; 2 ]
-      (E.empirical ds)
+      (B.empirical ds)
   in
   Alcotest.(check (list int)) "only subset, sorted by value" [ 0; 2 ]
     (List.sort compare order);
@@ -370,7 +370,7 @@ let test_greedyseq_independent_matches_optseq () =
     Q.create schema (List.init 3 (fun i -> Pred.inside ~attr:i ~lo:1 ~hi:1))
   in
   let costs = S.costs schema in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let _, g = Acq_core.Greedyseq.order q ~costs est in
   let _, o = Acq_core.Optseq.order q ~costs est in
   Alcotest.(check bool) "greedy within 1% of optimal here" true
@@ -399,7 +399,7 @@ let test_greedyseq_four_approx () =
       Q.create schema (List.init 4 (fun i -> Pred.inside ~attr:i ~lo:1 ~hi:1))
     in
     let costs = S.costs schema in
-    let est = E.empirical ds in
+    let est = B.empirical ds in
     let _, g = Acq_core.Greedyseq.order q ~costs est in
     let _, o = Acq_core.Optseq.order q ~costs est in
     Alcotest.(check bool) "within factor 4" true (g <= (4.0 *. o) +. 1e-9)
@@ -422,7 +422,7 @@ let test_greedyseq_emits_all_predicates () =
     Q.create schema (List.init 3 (fun i -> Pred.inside ~attr:i ~lo:1 ~hi:1))
   in
   let order, _ =
-    Acq_core.Greedyseq.order q ~costs:(S.costs schema) (E.empirical ds)
+    Acq_core.Greedyseq.order q ~costs:(S.costs schema) (B.empirical ds)
   in
   Alcotest.(check (list int)) "all three present" [ 0; 1; 2 ]
     (List.sort compare order)
@@ -434,7 +434,7 @@ let test_seq_planner_dispatch () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let costs = S.costs (DS.schema ds) in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   (* Below threshold: must equal OptSeq. *)
   let _, c1 = Acq_core.Seq_planner.order q ~costs est in
   let _, c2 = Acq_core.Optseq.order q ~costs est in
@@ -454,12 +454,12 @@ let test_greedy_split_finds_cheap_informative () =
   let costs = S.costs schema in
   let grid = Spsf.for_query ~domains:(S.domains schema) ~points_per_attr:3 q in
   let ranges = Sub.initial schema in
-  match Acq_core.Greedy_split.find q ~costs ~grid ~ranges (E.empirical ds) with
+  match Acq_core.Greedy_split.find q ~costs ~grid ~ranges (B.empirical ds) with
   | None -> Alcotest.fail "expected a split"
   | Some s ->
       Alcotest.(check int) "splits on the cheap regime attr" 0 s.Acq_core.Greedy_split.attr;
       let _, seq_cost =
-        Acq_core.Seq_planner.order q ~costs (E.empirical ds)
+        Acq_core.Seq_planner.order q ~costs (B.empirical ds)
       in
       Alcotest.(check bool) "split beats sequential" true
         (s.Acq_core.Greedy_split.cost < seq_cost)
@@ -473,7 +473,7 @@ let test_greedy_split_none_without_candidates () =
   let ranges = [| R.make 1 1 |] in
   Alcotest.(check bool) "no split" true
     (Acq_core.Greedy_split.find q ~costs:(S.costs schema) ~grid ~ranges
-       (E.empirical ds)
+       (B.empirical ds)
     = None)
 
 let heuristic_cost ds q k =
@@ -490,7 +490,7 @@ let test_greedy_plan_zero_splits_is_seq () =
   let plan, cost = heuristic_cost ds q 0 in
   Alcotest.(check int) "no tests" 0 (Plan.n_tests plan);
   let _, seq_cost =
-    Acq_core.Seq_planner.order q ~costs:(S.costs (DS.schema ds)) (E.empirical ds)
+    Acq_core.Seq_planner.order q ~costs:(S.costs (DS.schema ds)) (B.empirical ds)
   in
   check_close "cost equals CorrSeq" seq_cost cost
 
@@ -568,7 +568,7 @@ let test_exhaustive_matches_enumeration () =
         [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
     in
     let costs = S.costs schema in
-    let est = E.empirical ds in
+    let est = B.empirical ds in
     let grid = Spsf.full ~domains:(S.domains schema) in
     let _, exh = Acq_core.Exhaustive.plan q ~costs ~grid est in
     let _, brute = Acq_core.Enumerate.best q ~costs est in
@@ -638,7 +638,7 @@ let test_exhaustive_trivial_query () =
   let q = Q.create schema [ Pred.inside ~attr:0 ~lo:0 ~hi:1 ] in
   let grid = Spsf.full ~domains:(S.domains schema) in
   let plan, cost =
-    Acq_core.Exhaustive.plan q ~costs:(S.costs schema) ~grid (E.empirical ds)
+    Acq_core.Exhaustive.plan q ~costs:(S.costs schema) ~grid (B.empirical ds)
   in
   Alcotest.(check bool) "cost is one acquisition" true
     (Float.abs (cost -. 7.0) < 1e-6);
@@ -674,7 +674,7 @@ let test_enumerate_produces_count () =
       [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
   in
   let plans =
-    Acq_core.Enumerate.all_plans q ~costs:(S.costs schema) (E.empirical ds)
+    Acq_core.Enumerate.all_plans q ~costs:(S.costs schema) (B.empirical ds)
   in
   Alcotest.(check int) "12 plans for the figure's example" 12
     (List.length plans);
@@ -694,7 +694,7 @@ let test_enumerate_rejects_large () =
   let ds = DS.create schema [| Array.make 5 0 |] in
   let q = Q.create schema [ Pred.inside ~attr:0 ~lo:1 ~hi:1 ] in
   (try
-     ignore (Acq_core.Enumerate.all_plans q ~costs:(S.costs schema) (E.empirical ds));
+     ignore (Acq_core.Enumerate.all_plans q ~costs:(S.costs schema) (B.empirical ds));
      Alcotest.fail "expected size guard"
    with Invalid_argument _ -> ())
 
@@ -756,7 +756,7 @@ let test_expected_cost_acquired_attr_free () =
   let ds = correlated_dataset () in
   let q = query3 (DS.schema ds) in
   let costs = S.costs (DS.schema ds) in
-  let est = E.empirical ds in
+  let est = B.empirical ds in
   let paid = EC.of_order q ~costs est [ 0; 1 ] in
   let prepaid =
     EC.of_order q ~costs ~acquired:[| false; true; false |] est [ 0; 1 ]
@@ -783,7 +783,7 @@ let test_naive_tie_break_stable () =
       [ Pred.inside ~attr:0 ~lo:1 ~hi:1; Pred.inside ~attr:1 ~lo:1 ~hi:1 ]
   in
   Alcotest.(check (list int)) "stable tie-break" [ 0; 1 ]
-    (Acq_core.Naive.order q ~costs:(S.costs schema2) (E.empirical ds2));
+    (Acq_core.Naive.order q ~costs:(S.costs schema2) (B.empirical ds2));
   ignore schema
 
 let test_spsf_for_query_dedups () =

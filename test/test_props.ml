@@ -19,7 +19,7 @@ module Q = Acq_plan.Query
 module Plan = Acq_plan.Plan
 module Ex = Acq_plan.Executor
 module Ser = Acq_plan.Serialize
-module E = Acq_prob.Estimator
+module B = Acq_prob.Backend
 module P = Acq_core.Planner
 
 (* ------------------------------------------------------------------ *)
@@ -115,7 +115,7 @@ let prop_eq3_eq4 =
     ~print:instance_print instance_gen (fun i ->
       let ds, q = build_instance i in
       let costs = S.costs (DS.schema ds) in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       List.for_all
         (fun algo ->
           let plan, _ = plan_cost algo ds q in
@@ -151,7 +151,7 @@ let prop_optseq_beats_greedy =
     ~print:instance_print instance_gen (fun i ->
       let ds, q = build_instance i in
       let costs = S.costs (DS.schema ds) in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let _, o = Acq_core.Optseq.order q ~costs est in
       let _, g = Acq_core.Greedyseq.order q ~costs est in
       o <= g +. 1e-9)
@@ -161,7 +161,7 @@ let prop_seq_orders_complete =
     ~print:instance_print instance_gen (fun i ->
       let ds, q = build_instance i in
       let costs = S.costs (DS.schema ds) in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let all = List.init (Q.n_predicates q) (fun j -> j) in
       let check order = List.sort compare order = all in
       check (fst (Acq_core.Optseq.order q ~costs est))
@@ -321,8 +321,8 @@ let prop_pattern_probs_normalized =
   QCheck2.Test.make ~count:60 ~name:"pattern probabilities sum to 1"
     ~print:instance_print instance_gen (fun i ->
       let ds, q = build_instance i in
-      let est = E.empirical ds in
-      let probs = est.E.pattern_probs (Q.predicates q) in
+      let est = B.empirical ds in
+      let probs = B.pattern_probs est (Q.predicates q) in
       Float.abs (Acq_util.Array_util.sum_float probs -. 1.0) < 1e-9)
 
 let prop_exhaustive_cost_realized =
@@ -367,7 +367,7 @@ let prop_boards_eq3_eq4 =
       let ds, q = build_instance i in
       let costs = S.costs (DS.schema ds) in
       let model = Acq_plan.Cost_model.boards ~board ~wakeup ~read in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let opts = { options with cost_model = Some model } in
       List.for_all
         (fun algo ->
@@ -441,7 +441,7 @@ let prop_board_awareness_never_hurts =
       let ds, q = build_instance i in
       let costs = S.costs (DS.schema ds) in
       let model = Acq_plan.Cost_model.boards ~board ~wakeup ~read in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let aware, _ = Acq_core.Optseq.order ~model q ~costs est in
       let blind, _ = Acq_core.Optseq.order q ~costs est in
       let measure order =
@@ -596,7 +596,7 @@ let prop_brute_force_oracle =
             Acq_plan.Cost_model.boards ~board ~wakeup ~read)
           boards
       in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let opts = { options with cost_model = model } in
       List.for_all
         (fun algo ->
@@ -629,7 +629,7 @@ let prop_exhaustive_leq_optseq_leq_naive =
       let ds, q = build_instance i in
       let schema = DS.schema ds in
       let costs = S.costs schema in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let grid =
         Acq_core.Spsf.for_query ~domains:(S.domains schema) ~points_per_attr:2
           q
@@ -650,7 +650,7 @@ let prop_exhaustive_reentrant =
       let ds, q = build_instance i in
       let schema = DS.schema ds in
       let costs = S.costs schema in
-      let est = E.empirical ds in
+      let est = B.empirical ds in
       let grid =
         Acq_core.Spsf.for_query ~domains:(S.domains schema) ~points_per_attr:2
           q

@@ -72,6 +72,39 @@ let test_estimator_over_window () =
   check_float "P(x=0) over window" 0.5
     (est.Acq_prob.Estimator.range_prob 0 (Acq_plan.Range.make 0 0))
 
+let test_backend_over_window () =
+  (* Sl.backend honors the spec and every model agrees with the
+     window's estimator on an unconditioned range. *)
+  let w = Sl.create (schema ()) ~capacity:4 in
+  List.iter (Sl.push w) [ [| 0; 0 |]; [| 0; 0 |]; [| 1; 2 |]; [| 1; 2 |] ];
+  let r = Acq_plan.Range.make 0 0 in
+  List.iter
+    (fun spec_s ->
+      let spec =
+        match Acq_prob.Backend.spec_of_string spec_s with
+        | Ok sp -> sp
+        | Error e -> Alcotest.fail e
+      in
+      let b = Sl.backend ~spec w in
+      check_float
+        (Printf.sprintf "P(x=0) under %s" spec_s)
+        0.5
+        (Acq_prob.Backend.range_prob b 0 r))
+    [ "empirical"; "empirical,memo"; "dense"; "independence" ]
+
+let test_marginals_match_histograms () =
+  let rng = Rng.create 6 in
+  let w = Sl.create (schema ()) ~capacity:32 in
+  for _ = 1 to 100 do
+    Sl.push w [| Rng.int rng 4; Rng.int rng 3 |]
+  done;
+  let m = Sl.marginals w in
+  Alcotest.(check (array int)) "x marginal" (Sl.histogram w 0) m.(0);
+  Alcotest.(check (array int)) "y marginal" (Sl.histogram w 1) m.(1);
+  let m' = Sl.marginals_of (Sl.to_dataset w) in
+  Alcotest.(check (array int)) "dataset pass agrees, x" m.(0) m'.(0);
+  Alcotest.(check (array int)) "dataset pass agrees, y" m.(1) m'.(1)
+
 let test_drift_detects_change () =
   let s = schema () in
   let mk v rows = DS.create s (Array.make rows [| v; v mod 3 |]) in
@@ -122,6 +155,29 @@ let test_drift_empty_window () =
     (Sl.drift w ~reference > 0.0);
   Sl.clear w;
   check_float "cleared window" 0.0 (Sl.drift w ~reference)
+
+let test_drift_marginals_equivalence () =
+  (* drift and drift_marginals compute the same score; the latter
+     against a precomputed snapshot instead of a dataset scan. *)
+  let s = schema () in
+  let rng = Rng.create 7 in
+  let reference =
+    DS.create s (Array.init 300 (fun _ -> [| Rng.int rng 4; Rng.int rng 3 |]))
+  in
+  let w = Sl.create s ~capacity:100 in
+  for _ = 1 to 150 do
+    Sl.push w [| Rng.int rng 4; Rng.int rng 3 |]
+  done;
+  check_float "same score"
+    (Sl.drift w ~reference)
+    (Sl.drift_marginals w
+       ~reference:(Sl.marginals_of reference)
+       ~rows:(DS.nrows reference));
+  (try
+     ignore
+       (Sl.drift_marginals w ~reference:[| Array.make 4 1 |] ~rows:4);
+     Alcotest.fail "expected arity failure"
+   with Invalid_argument _ -> ())
 
 let test_drift_across_change_point () =
   (* Stream a drifting synthetic trace through a window and track the
@@ -190,6 +246,8 @@ let () =
             test_histogram_matches_dataset;
           Alcotest.test_case "push validation" `Quick test_push_validation;
           Alcotest.test_case "estimator" `Quick test_estimator_over_window;
+          Alcotest.test_case "backend specs" `Quick test_backend_over_window;
+          Alcotest.test_case "marginals" `Quick test_marginals_match_histograms;
           Alcotest.test_case "clear" `Quick test_clear;
         ] );
       ( "drift",
@@ -197,6 +255,8 @@ let () =
           Alcotest.test_case "detects change" `Quick test_drift_detects_change;
           Alcotest.test_case "partial" `Quick test_drift_partial;
           Alcotest.test_case "empty window" `Quick test_drift_empty_window;
+          Alcotest.test_case "marginal snapshot equivalence" `Quick
+            test_drift_marginals_equivalence;
           Alcotest.test_case "across change point" `Quick
             test_drift_across_change_point;
           Alcotest.test_case "replan pipeline" `Quick test_replan_pipeline;
