@@ -257,6 +257,29 @@ module K = struct
                 (Acq_adapt.Plan_cache.signature ~options:opts ~stats_epoch:7
                    ~algorithm:P.Heuristic q
                   : string)));
+      (* exec: the Eq.-4 sweep on the tree interpreter vs the compiled
+         flat automaton over a hoisted columnar snapshot. *)
+      Test.make ~name:"exec/avg-cost-tree"
+        (Staged.stage
+           (let ds = Lazy.force garden5 in
+            let q = garden_query ds 5 97 in
+            let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
+            let p = (P.plan ~options:opts P.Heuristic q ~train:ds).P.plan in
+            fun () ->
+              ignore (Acq_plan.Executor.average_cost q ~costs p ds : float)));
+      Test.make ~name:"exec/avg-cost-compiled"
+        (Staged.stage
+           (let ds = Lazy.force garden5 in
+            let q = garden_query ds 5 97 in
+            let costs = Acq_data.Schema.costs (Acq_data.Dataset.schema ds) in
+            let p = (P.plan ~options:opts P.Heuristic q ~train:ds).P.plan in
+            let b =
+              Acq_exec.Batch.create ~costs (Acq_exec.Compile.compile q p)
+            in
+            let cols = Acq_data.Dataset.columns ds in
+            let nrows = Acq_data.Dataset.nrows ds in
+            fun () ->
+              ignore (Acq_exec.Batch.sweep_columns b cols ~nrows : float)));
     ]
 end
 
@@ -1044,6 +1067,157 @@ let par_schema_path () =
 
 let validate_par path = validate_against ~schema_path:(par_schema_path ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-executor bench: the garden5 workload's Eq.-4 cost sweeps
+   run on the tree interpreter vs the compiled flat automaton over a
+   hoisted columnar snapshot (the batch executor's streaming shape).
+   BENCH_exec.json records per-path tuples/sec and the headline
+   compiled-vs-tree speedup, plus a byte-identity re-check on the
+   benchmark instance: both paths must report Float.equal sweep
+   averages and identical per-tuple verdict/cost/acquisition-order on
+   a row prefix. The checked-in schema (bench/BENCH_exec.schema.json)
+   pins the shape and the speedup floor. *)
+
+let exec_queries = 6
+let exec_parity_rows = 256
+
+let write_exec_json path =
+  let module P = Acq_core.Planner in
+  let module Rng = Acq_util.Rng in
+  let module E = Acq_plan.Executor in
+  let garden5 = Lazy.force K.garden5 in
+  let train, test = Acq_data.Dataset.split_by_time garden5 ~train_fraction:0.5 in
+  let schema = Acq_data.Dataset.schema garden5 in
+  let costs = Acq_data.Schema.costs schema in
+  let options =
+    {
+      K.opts with
+      split_points_per_attr = 4;
+      candidate_attrs = Some (K.cheap garden5);
+    }
+  in
+  let rng = Rng.create 911 in
+  let plans =
+    List.init exec_queries (fun _ ->
+        let q = Acq_workload.Query_gen.garden_query rng ~schema ~n_motes:5 in
+        (q, (P.plan ~options P.Heuristic q ~train).P.plan))
+  in
+  let nrows = Acq_data.Dataset.nrows test in
+  let cols = Acq_data.Dataset.columns test in
+  let batches =
+    List.map
+      (fun (q, p) ->
+        Acq_exec.Batch.create ~costs (Acq_exec.Compile.compile q p))
+      plans
+  in
+  (* Parity before speed: sweep averages Float.equal, and per-tuple
+     outcomes identical on the prefix. *)
+  let outcome_equal (a : E.outcome) (b : E.outcome) =
+    a.E.verdict = b.E.verdict
+    && Float.equal a.E.cost b.E.cost
+    && a.E.acquired = b.E.acquired
+  in
+  let identical =
+    List.for_all2
+      (fun (q, p) b ->
+        Float.equal
+          (E.average_cost q ~costs p test)
+          (Acq_exec.Batch.sweep_columns b cols ~nrows)
+        &&
+        let ok = ref true in
+        for r = 0 to min exec_parity_rows nrows - 1 do
+          let row = Acq_data.Dataset.row test r in
+          if
+            not
+              (outcome_equal
+                 (E.run_tuple q ~costs p row)
+                 (Acq_exec.Batch.run_tuple b row))
+          then ok := false
+        done;
+        !ok)
+      plans batches
+  in
+  let sink = ref 0.0 in
+  (* Best-of-3 trials per path: throughput is a max-estimator's game —
+     transient load only ever slows a trial down. *)
+  let tuples_per_sec reps f =
+    let trial () =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt <= 0.0 then infinity
+      else float_of_int (reps * nrows * exec_queries) /. dt
+    in
+    let best = ref 0.0 in
+    for _ = 1 to 3 do
+      best := Float.max !best (trial ())
+    done;
+    !best
+  in
+  let tree_tps =
+    tuples_per_sec 30 (fun () ->
+        List.iter
+          (fun (q, p) -> sink := !sink +. E.average_cost q ~costs p test)
+          plans)
+  in
+  let compiled_tps =
+    tuples_per_sec 300 (fun () ->
+        List.iter
+          (fun b -> sink := !sink +. Acq_exec.Batch.sweep_columns b cols ~nrows)
+          batches)
+  in
+  let speedup = if tree_tps > 0.0 then compiled_tps /. tree_tps else 0.0 in
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ( "workload",
+          J.Obj
+            [
+              ("dataset", J.Str "garden5");
+              ("planner", J.Str "heuristic");
+              ("queries", J.Num (float_of_int exec_queries));
+              ("rows", J.Num (float_of_int nrows));
+            ] );
+        ( "throughput",
+          J.Obj
+            [
+              ("tree_tuples_per_sec", J.Num tree_tps);
+              ("compiled_tuples_per_sec", J.Num compiled_tps);
+              ("speedup", J.Num speedup);
+            ] );
+        ( "parity",
+          J.Obj
+            [
+              ("identical", J.Bool identical);
+              ( "checked_rows",
+                J.Num (float_of_int (min exec_parity_rows nrows)) );
+            ] );
+        ( "summary",
+          J.Obj
+            [ ("exec_speedup", J.Num speedup); ("identical", J.Bool identical) ]
+        );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote compiled-executor results to %s (compiled %.1fx over tree on \
+     garden5, %.2e vs %.2e tuples/sec, identical=%b)\n"
+    path speedup compiled_tps tree_tps identical
+
+let exec_schema_path () =
+  if Sys.file_exists "bench/BENCH_exec.schema.json" then
+    "bench/BENCH_exec.schema.json"
+  else "BENCH_exec.schema.json"
+
+let validate_exec path =
+  validate_against ~schema_path:(exec_schema_path ()) path
+
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
   let cfg =
@@ -1092,6 +1266,7 @@ let () =
   let adapt_smoke = List.mem "--adapt-smoke" args in
   let par_smoke = List.mem "--par-smoke" args in
   let prob_smoke = List.mem "--prob-smoke" args in
+  let exec_smoke = List.mem "--exec-smoke" args in
   let find_target flag =
     let rec find = function
       | f :: path :: _ when f = flag -> Some path
@@ -1104,10 +1279,11 @@ let () =
   let validate_adapt_target = find_target "--validate-adapt" in
   let validate_par_target = find_target "--validate-par" in
   let validate_prob_target = find_target "--validate-prob" in
+  let validate_exec_target = find_target "--validate-exec" in
   let ids =
     let rec keep = function
       | ( "--validate-obs" | "--validate-adapt" | "--validate-par"
-        | "--validate-prob" )
+        | "--validate-prob" | "--validate-exec" )
         :: _ :: rest ->
           keep rest
       | a :: rest ->
@@ -1126,22 +1302,25 @@ let () =
     print_endline
       "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
        --adapt-smoke --validate-adapt FILE --par-smoke --validate-par FILE \
-       --prob-smoke --validate-prob FILE --list (every non-list run also \
-       writes BENCH_planner_stats.json, BENCH_obs.json, BENCH_adapt.json, \
-       BENCH_par.json, and BENCH_prob.json)"
+       --prob-smoke --validate-prob FILE --exec-smoke --validate-exec FILE \
+       --list (every non-list run also writes BENCH_planner_stats.json, \
+       BENCH_obs.json, BENCH_adapt.json, BENCH_par.json, BENCH_prob.json, \
+       and BENCH_exec.json)"
   end
   else
     match
       ( validate_target,
         validate_adapt_target,
         validate_par_target,
-        validate_prob_target )
+        validate_prob_target,
+        validate_exec_target )
     with
-    | Some path, _, _, _ -> validate_obs path
-    | None, Some path, _, _ -> validate_adapt path
-    | None, None, Some path, _ -> validate_par path
-    | None, None, None, Some path -> validate_prob path
-    | None, None, None, None ->
+    | Some path, _, _, _, _ -> validate_obs path
+    | None, Some path, _, _, _ -> validate_adapt path
+    | None, None, Some path, _, _ -> validate_par path
+    | None, None, None, Some path, _ -> validate_prob path
+    | None, None, None, None, Some path -> validate_exec path
+    | None, None, None, None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
@@ -1158,14 +1337,20 @@ let () =
           write_prob_json "BENCH_prob.json";
           validate_prob "BENCH_prob.json"
         end
+        else if exec_smoke then begin
+          write_exec_json "BENCH_exec.json";
+          validate_exec "BENCH_exec.json"
+        end
         else begin
           if not micro_only then
-            Acq_workload.Registry.run_selected { Acq_workload.Figures.full }
+            Acq_workload.Registry.run_selected
+              { Acq_workload.Figures.full; exec = Acq_exec.Mode.Tree }
               ids;
           write_stats_json "BENCH_planner_stats.json";
           write_obs_json "BENCH_obs.json";
           write_adapt_json "BENCH_adapt.json";
           write_par_json "BENCH_par.json";
           write_prob_json "BENCH_prob.json";
+          write_exec_json "BENCH_exec.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

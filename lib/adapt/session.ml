@@ -27,6 +27,7 @@ type t = {
   telemetry : T.t;
   window : Sl.t;
   replan_budget : int;
+  exec_mode : Acq_exec.Mode.t;
   on_switch : Acq_plan.Plan.t -> switch -> unit;
   mutable initial_stats : Search.stats;
   mutable ref_marginals : int array array;
@@ -37,6 +38,10 @@ type t = {
           rescan reference rows *)
   mutable ref_rows : int;
   mutable plan : Acq_plan.Plan.t;
+  mutable prepared : Acq_exec.Runner.prepared;
+      (** mode-dispatched executable form of [plan]; rebuilt exactly
+          when [plan] changes (initial plan, every switch), so serving
+          epochs between replans run a cached compilation *)
   mutable expected : float;
   mutable state : state;
   mutable drift_armed : bool;
@@ -82,14 +87,18 @@ let plan_once t ~options ~stats_epoch est =
 
 let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
     ?(invalidate_stale = false) ?(policy = Policy.default)
-    ?(replan_budget = 200_000) ?(on_switch = fun _ _ -> ()) ~algorithm
-    ~window ~history query =
+    ?(replan_budget = 200_000) ?(exec_mode = Acq_exec.Mode.default)
+    ?(on_switch = fun _ _ -> ()) ~algorithm ~window ~history query =
   if window < 1 then invalid_arg "Session.create: window < 1";
   let schema = Acq_plan.Query.schema query in
+  let costs = Acq_data.Schema.costs schema in
+  let prepare plan =
+    Acq_exec.Runner.prepare ~mode:exec_mode query ~costs plan
+  in
   let t =
     {
       query;
-      costs = Acq_data.Schema.costs schema;
+      costs;
       algorithm;
       options;
       policy;
@@ -98,11 +107,13 @@ let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
       telemetry;
       window = Sl.create schema ~capacity:window;
       replan_budget;
+      exec_mode;
       on_switch;
       initial_stats = Search.zero_stats;
       ref_marginals = Sl.marginals_of history;
       ref_rows = Acq_data.Dataset.nrows history;
       plan = Acq_plan.Plan.const false;
+      prepared = prepare (Acq_plan.Plan.const false);
       expected = 0.0;
       state = Serving;
       drift_armed = true;
@@ -128,11 +139,21 @@ let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
   in
   t.initial_stats <- r.P.stats;
   t.plan <- r.P.plan;
+  t.prepared <- prepare t.plan;
   t.expected <- r.P.est_cost;
   t
 
+let reprepare t =
+  t.prepared <-
+    Acq_exec.Runner.prepare ~mode:t.exec_mode t.query ~costs:t.costs t.plan
+
 let query t = t.query
 let plan t = t.plan
+let exec_mode t = t.exec_mode
+let prepared t = t.prepared
+
+let execute ?obs t ~lookup = Acq_exec.Runner.run ?obs t.prepared ~lookup
+
 let expected_cost t = t.expected
 let state t = t.state
 let epoch t = t.epoch
@@ -257,6 +278,7 @@ let replan t reason ~max_nodes =
             }
           in
           t.plan <- r.P.plan;
+          reprepare t;
           rebase ();
           t.switches_rev <- sw :: t.switches_rev;
           T.incr t.telemetry ~labels:(algo_label t)

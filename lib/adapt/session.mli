@@ -57,6 +57,7 @@ val create :
   ?invalidate_stale:bool ->
   ?policy:Policy.t ->
   ?replan_budget:int ->
+  ?exec_mode:Acq_exec.Mode.t ->
   ?on_switch:(Acq_plan.Plan.t -> switch -> unit) ->
   algorithm:Acq_core.Planner.algorithm ->
   window:int ->
@@ -74,10 +75,31 @@ val create :
     stats epoch — enable it only when the session owns the cache
     (sessions sharing a cache have independent epoch counters).
     [on_switch] is called with the new plan exactly once per switch —
-    the hook the sensor runtime uses to disseminate. *)
+    the hook the sensor runtime uses to disseminate.
+    [exec_mode] (default [Tree]) selects the execution path of
+    {!prepared}/{!execute}: under [Compiled] the session lowers each
+    installed plan once — at creation and again on every switch — and
+    serves epochs from the cached automaton. *)
 
 val query : t -> Acq_plan.Query.t
 val plan : t -> Acq_plan.Plan.t
+
+val exec_mode : t -> Acq_exec.Mode.t
+
+val prepared : t -> Acq_exec.Runner.prepared
+(** Executable form of {!plan} under the session's [exec_mode];
+    recompiled exactly when the plan changes (never per epoch). *)
+
+val execute :
+  ?obs:Acq_obs.Telemetry.t ->
+  t ->
+  lookup:(int -> int) ->
+  Acq_plan.Executor.outcome
+(** Run the current prepared plan on one tuple — what a daemon-style
+    caller uses between replans instead of re-interpreting the tree.
+    Does {e not} {!observe}; feed the outcome's cost back through
+    {!step}/{!observe} as usual. *)
+
 val expected_cost : t -> float
 val state : t -> state
 

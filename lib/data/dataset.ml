@@ -36,6 +36,21 @@ let column t c =
   let n = ncols t in
   Array.init t.nrows (fun r -> t.cells.((r * n) + c))
 
+let columns t =
+  let n = ncols t in
+  let cols = Array.init n (fun _ -> Array.make t.nrows 0) in
+  (* One pass over the row-major buffer, peeling cells into per-column
+     arrays; the transpose is a fresh snapshot on every call because
+     [of_raw] datasets may alias a producer's reusable buffer. *)
+  let idx = ref 0 in
+  for r = 0 to t.nrows - 1 do
+    for c = 0 to n - 1 do
+      cols.(c).(r) <- t.cells.(!idx);
+      incr idx
+    done
+  done;
+  cols
+
 let of_raw schema nrows cells = { schema; nrows; cells }
 
 let split_by_time t ~train_fraction =

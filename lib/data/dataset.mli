@@ -35,6 +35,17 @@ val row : t -> int -> int array
 val column : t -> int -> int array
 (** Fresh copy of one attribute's column. *)
 
+val columns : t -> int array array
+(** Structure-of-arrays view: [columns d] is one fresh [int array] per
+    attribute, so a batched executor reads column [a] with
+    [(columns d).(a).(r)] instead of striding the row-major buffer.
+    The transpose is a {e snapshot}, recomputed on every call and
+    never cached: {!of_raw} datasets alias their producer's cell
+    buffer (e.g. {!Acq_prob.Sliding}'s rotating materialization
+    buffers), so a cached transpose could go stale without the dataset
+    changing identity. Callers that sweep the same dataset repeatedly
+    should hoist the call themselves. *)
+
 val split_by_time : t -> train_fraction:float -> t * t
 (** Leading fraction as training data, the rest as test data. The
     paper evaluates on non-overlapping time windows (Section 6, "Test

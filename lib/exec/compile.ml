@@ -1,0 +1,214 @@
+module Plan = Acq_plan.Plan
+module Query = Acq_plan.Query
+module Predicate = Acq_plan.Predicate
+
+let accept = -1
+let reject = -2
+
+type t = {
+  n_attrs : int;
+  kind : int array;
+  attr : int array;
+  lo : int array;
+  hi : int array;
+  on_hit : int array;
+  on_miss : int array;
+  entry : int;
+}
+
+let n_nodes t = Array.length t.kind
+
+let n_tests t = Array.fold_left ( + ) 0 t.kind
+
+let n_attrs t = t.n_attrs
+
+let entry t = t.entry
+
+(* Every jump target is a node index or one of the two exit codes. *)
+let check_target t ~n name =
+  if t <> accept && t <> reject && (t < 0 || t >= n) then
+    invalid_arg (Printf.sprintf "Compile: %s target %d out of range" name t)
+
+let validate t =
+  let n = Array.length t.kind in
+  let len_ok a = Array.length a = n in
+  if
+    not
+      (len_ok t.attr && len_ok t.lo && len_ok t.hi && len_ok t.on_hit
+     && len_ok t.on_miss)
+  then invalid_arg "Compile: ragged node arrays";
+  check_target t.entry ~n "entry";
+  for i = 0 to n - 1 do
+    if t.kind.(i) <> 0 && t.kind.(i) <> 1 then
+      invalid_arg "Compile: node kind must be 0 (step) or 1 (test)";
+    if t.attr.(i) < 0 || t.attr.(i) >= t.n_attrs then
+      invalid_arg "Compile: node attribute out of schema";
+    if t.lo.(i) > t.hi.(i) then invalid_arg "Compile: node band lo > hi";
+    check_target t.on_hit.(i) ~n "on_hit";
+    check_target t.on_miss.(i) ~n "on_miss"
+  done;
+  t
+
+let rec count = function
+  | Plan.Leaf (Plan.Const _) -> 0
+  | Plan.Leaf (Plan.Seq preds) -> Array.length preds
+  | Plan.Test { low; high; _ } -> 1 + count low + count high
+
+let compile q plan =
+  let n_attrs = Acq_data.Schema.arity (Query.schema q) in
+  let n_preds = Query.n_predicates q in
+  let n = count plan in
+  let kind = Array.make n 0 in
+  let attr = Array.make n 0 in
+  let lo = Array.make n 0 in
+  let hi = Array.make n 0 in
+  let on_hit = Array.make n 0 in
+  let on_miss = Array.make n 0 in
+  let next = ref 0 in
+  (* Preorder emission. Node fields encode a single uniform step:
+     acquire [attr], then jump to [on_hit] iff [lo <= v <= hi], else
+     [on_miss]. A plan Test "v >= threshold" is the half-open band
+     [threshold, max_int]; a Seq step is the predicate's band with the
+     polarity folded into which side rejects. *)
+  let rec emit = function
+    | Plan.Leaf (Plan.Const b) -> if b then accept else reject
+    | Plan.Leaf (Plan.Seq preds) ->
+        let len = Array.length preds in
+        if len = 0 then accept
+        else begin
+          let base = !next in
+          next := base + len;
+          Array.iteri
+            (fun i pid ->
+              if pid < 0 || pid >= n_preds then
+                invalid_arg
+                  (Printf.sprintf "Compile.compile: predicate id %d out of query"
+                     pid);
+              let p = Query.predicate q pid in
+              let idx = base + i in
+              let continue = if i = len - 1 then accept else idx + 1 in
+              kind.(idx) <- 0;
+              attr.(idx) <- p.Predicate.attr;
+              lo.(idx) <- p.Predicate.lo;
+              hi.(idx) <- p.Predicate.hi;
+              match p.Predicate.polarity with
+              | Predicate.Inside ->
+                  on_hit.(idx) <- continue;
+                  on_miss.(idx) <- reject
+              | Predicate.Outside ->
+                  on_hit.(idx) <- reject;
+                  on_miss.(idx) <- continue)
+            preds;
+          base
+        end
+    | Plan.Test { attr = a; threshold; low; high } ->
+        if a < 0 || a >= n_attrs then
+          invalid_arg
+            (Printf.sprintf "Compile.compile: attribute %d out of schema" a);
+        let idx = !next in
+        incr next;
+        kind.(idx) <- 1;
+        attr.(idx) <- a;
+        lo.(idx) <- threshold;
+        hi.(idx) <- max_int;
+        let hi_target = emit high in
+        let lo_target = emit low in
+        on_hit.(idx) <- hi_target;
+        on_miss.(idx) <- lo_target;
+        idx
+  in
+  let entry = emit plan in
+  assert (!next = n);
+  validate { n_attrs; kind; attr; lo; hi; on_hit; on_miss; entry }
+
+let equal a b =
+  a.n_attrs = b.n_attrs && a.entry = b.entry && a.kind = b.kind
+  && a.attr = b.attr && a.lo = b.lo && a.hi = b.hi && a.on_hit = b.on_hit
+  && a.on_miss = b.on_miss
+
+(* --- wire format ----------------------------------------------------
+
+   Versioned little-endian binary, the compiled analogue of
+   Plan.Serialize: magic "AXC", version byte, u32 n_attrs, u32
+   n_nodes, u32 entry, then per node u8 kind + u32 attr/lo/hi/on_hit/
+   on_miss. Jump targets are biased by +2 so accept (-1) and reject
+   (-2) fit the unsigned field; [hi = max_int] (unbounded above) is
+   the sentinel 0xFFFFFFFF. *)
+
+let magic = "AXC"
+let version = 1
+let hi_sentinel = 0xFFFFFFFF
+
+let to_string t =
+  let n = Array.length t.kind in
+  let buf = Buffer.create (16 + (n * 21)) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  let u32 v name =
+    if v < 0 || v > 0xFFFFFFFF then
+      failwith ("Compile.to_string: " ^ name ^ " out of u32 range");
+    Buffer.add_char buf (Char.chr (v land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+  in
+  let target v name = u32 (v + 2) name in
+  u32 t.n_attrs "n_attrs";
+  u32 n "n_nodes";
+  target t.entry "entry";
+  for i = 0 to n - 1 do
+    Buffer.add_char buf (Char.chr t.kind.(i));
+    u32 t.attr.(i) "attr";
+    u32 t.lo.(i) "lo";
+    u32 (if t.hi.(i) = max_int then hi_sentinel else t.hi.(i)) "hi";
+    target t.on_hit.(i) "on_hit";
+    target t.on_miss.(i) "on_miss"
+  done;
+  Buffer.contents buf
+
+let of_string s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let byte () =
+    if !pos >= len then failwith "Compile.of_string: truncated input";
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u32 () =
+    let a = byte () in
+    let b = byte () in
+    let c = byte () in
+    let d = byte () in
+    a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+  in
+  let target () = u32 () - 2 in
+  if len < 4 || String.sub s 0 3 <> magic then
+    failwith "Compile.of_string: bad magic";
+  pos := 3;
+  let v = byte () in
+  if v <> version then
+    failwith (Printf.sprintf "Compile.of_string: unsupported version %d" v);
+  let n_attrs = u32 () in
+  let n = u32 () in
+  let entry = target () in
+  let kind = Array.make n 0 in
+  let attr = Array.make n 0 in
+  let lo = Array.make n 0 in
+  let hi = Array.make n 0 in
+  let on_hit = Array.make n 0 in
+  let on_miss = Array.make n 0 in
+  for i = 0 to n - 1 do
+    kind.(i) <- byte ();
+    attr.(i) <- u32 ();
+    lo.(i) <- u32 ();
+    (let h = u32 () in
+     hi.(i) <- (if h = hi_sentinel then max_int else h));
+    on_hit.(i) <- target ();
+    on_miss.(i) <- target ()
+  done;
+  if !pos <> len then failwith "Compile.of_string: trailing bytes";
+  try validate { n_attrs; kind; attr; lo; hi; on_hit; on_miss; entry }
+  with Invalid_argument m -> failwith ("Compile.of_string: " ^ m)
+
+let size t = String.length (to_string t)

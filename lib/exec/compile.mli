@@ -1,0 +1,66 @@
+(** Lowering a conditional plan to a flat automaton.
+
+    A {!Acq_plan.Plan.t} is a pointer tree interpreted with one
+    closure call and one variant match per step. [Compile] lowers it
+    once into parallel int arrays — one record of fields per node,
+    indexed densely — so execution is array reads and int compares
+    with no pointer chasing:
+
+    - node [i] acquires attribute [attr.(i)] (first touch on the
+      tuple pays the acquisition cost), reads its value [v], and
+      jumps to [on_hit.(i)] iff [lo.(i) <= v <= hi.(i)], else to
+      [on_miss.(i)];
+    - a plan [Test] ("v >= threshold", Section 2.2) becomes the
+      half-open band [threshold, max_int] with [on_hit] the high
+      subtree and [on_miss] the low one;
+    - a sequential step (an Eq.-3 existential leaf's next predicate)
+      becomes its predicate band, the polarity folded into which side
+      jumps to reject — so both plan shapes lower to the same node
+      form;
+    - jump targets [>= 0] are node indices; {!accept} ([-1]) and
+      {!reject} ([-2]) terminate the tuple.
+
+    [kind.(i)] is 1 for nodes lowered from plan Tests and 0 for
+    sequential steps: the executor adds it to the per-tuple
+    traversal-depth count so depth telemetry matches the tree
+    interpreter exactly. *)
+
+type t = private {
+  n_attrs : int;  (** schema arity the automaton was compiled for *)
+  kind : int array;  (** 1 = plan test (counts toward depth), 0 = seq step *)
+  attr : int array;
+  lo : int array;
+  hi : int array;  (** [max_int] = unbounded above *)
+  on_hit : int array;
+  on_miss : int array;
+  entry : int;  (** first node, or accept/reject for constant plans *)
+}
+
+val accept : int
+val reject : int
+
+val compile : Acq_plan.Query.t -> Acq_plan.Plan.t -> t
+(** Preorder lowering; every Test emits one node, every sequential
+    leaf one node per remaining predicate. @raise Invalid_argument on
+    attribute or predicate ids outside the query. *)
+
+val n_nodes : t -> int
+val n_tests : t -> int
+(** Nodes lowered from plan Tests (equals {!Acq_plan.Plan.n_tests} of
+    the source plan). *)
+
+val n_attrs : t -> int
+val entry : t -> int
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Versioned binary wire format (magic ["AXC"]), the compiled
+    analogue of {!Acq_plan.Serialize} — so a daemon can ship compiled
+    automata to motes without the mote re-lowering the tree. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}; validates node ranges and jump targets.
+    @raise Failure on malformed input. *)
+
+val size : t -> int
+(** Encoded bytes. *)

@@ -1,0 +1,54 @@
+(** Mode dispatch: one prepared value that executes either through the
+    tree interpreter or the compiled automaton, so callers — motes,
+    adaptive sessions, the workload harness — thread a {!Mode.t} and
+    never mention the representation again.
+
+    [prepare] is where compilation happens (once per installed plan);
+    re-prepare whenever the plan changes, exactly like a mote
+    re-installing a disseminated plan or a session switching after a
+    replan. *)
+
+type prepared
+
+val prepare :
+  ?model:Acq_plan.Cost_model.t ->
+  mode:Mode.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_plan.Plan.t ->
+  prepared
+
+val mode : prepared -> Mode.t
+val plan : prepared -> Acq_plan.Plan.t
+val query : prepared -> Acq_plan.Query.t
+
+val run :
+  ?obs:Acq_obs.Telemetry.t ->
+  prepared ->
+  lookup:(int -> int) ->
+  Acq_plan.Executor.outcome
+(** Same contract as {!Acq_plan.Executor.run} in either mode:
+    identical verdict, cost, acquisition order, and lookup call
+    pattern. Instruments resolve per call, as the tree path does. *)
+
+val run_tuple :
+  ?obs:Acq_obs.Telemetry.t -> prepared -> int array -> Acq_plan.Executor.outcome
+
+val average_cost_prepared :
+  ?obs:Acq_obs.Telemetry.t -> prepared -> Acq_data.Dataset.t -> float
+(** Eq.-4 mean over the dataset under the prepared representation —
+    exec-mode invariant byte for byte. Both modes run the sweep inside
+    an ["executor.average_cost"] span with instruments resolved once
+    per sweep; the compiled side tags the span with [exec=compiled]
+    and batches counter updates. *)
+
+val average_cost :
+  ?model:Acq_plan.Cost_model.t ->
+  ?obs:Acq_obs.Telemetry.t ->
+  mode:Mode.t ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_plan.Plan.t ->
+  Acq_data.Dataset.t ->
+  float
+(** One-shot convenience: {!prepare} then {!average_cost_prepared}. *)

@@ -43,6 +43,20 @@ let atomic t i ~acquired =
           board;
         if !powered then read.(i) else wakeup.(b) +. read.(i)
 
+type pricing =
+  | Uniform_costs of float array
+  | Board_costs of { board : int array; wakeup : float array; read : float array }
+
+let pricing = function
+  | Uniform costs -> Uniform_costs (Array.copy costs)
+  | Boards { board; wakeup; read } ->
+      Board_costs
+        {
+          board = Array.copy board;
+          wakeup = Array.copy wakeup;
+          read = Array.copy read;
+        }
+
 let worst_case = function
   | Uniform costs -> Array.copy costs
   | Boards { board; wakeup; read } ->

@@ -31,6 +31,20 @@ val atomic : t -> int -> acquired:(int -> bool) -> float
     already been acquired on this execution path. Returns 0 when [i]
     itself is already acquired. *)
 
+type pricing =
+  | Uniform_costs of float array
+  | Board_costs of { board : int array; wakeup : float array; read : float array }
+
+val pricing : t -> pricing
+(** Structural view of the model for execution paths that specialize
+    on it (the compiled executor resolves this once per prepared plan,
+    then prices acquisitions with plain array reads instead of a call
+    to {!atomic} per touch). Arrays are fresh copies; pricing an
+    acquisition from them must agree with {!atomic} exactly: a
+    [Board_costs] attribute costs [wakeup.(board.(i)) +. read.(i)]
+    when no other attribute of the same board was acquired on this
+    path, [read.(i)] otherwise. *)
+
 val worst_case : t -> float array
 (** Per-attribute upper bound (cold-board cost) — what a
     correlation-blind optimizer like Naive budgets with, and a valid

@@ -3,40 +3,64 @@ module M = Acq_obs.Metrics
 
 type outcome = { verdict : bool; cost : float; acquired : int list }
 
-(* Pre-resolved instruments: one lookup per [run]/[average_cost] call,
-   so the per-acquisition hot path is an array index, not a
-   name-keyed registry lookup. *)
-type instr = {
-  acq : M.counter array;  (* per-attribute acquisitions *)
-  depth : M.histogram;  (* plan tests traversed per tuple *)
-  tuples : M.counter;
-  matches : M.counter;
-}
+(* Pre-resolved instruments: one registry lookup per call (or per
+   sweep), so the per-acquisition hot path is an array index, not a
+   name-keyed registry lookup. Exposed so the compiled executor
+   (Acq_exec) can record the same series. *)
+module Instr = struct
+  type t = {
+    acq : M.counter array;  (* per-attribute acquisitions *)
+    depth_hist : M.histogram;  (* plan tests traversed per tuple *)
+    tuples_c : M.counter;
+    matches_c : M.counter;
+  }
 
-let instr_of obs q =
-  match T.metrics obs with
-  | None -> None
-  | Some m ->
-      let names = Acq_data.Schema.names (Query.schema q) in
-      Some
-        {
-          acq =
-            Array.map
-              (fun name ->
-                M.counter m
-                  ~help:"sensor acquisitions the executor paid for"
-                  ~labels:[ ("attr", name) ]
-                  "acqp_executor_acquisitions_total")
-              names;
-          depth =
-            M.histogram m ~help:"plan tests traversed per tuple" ~lowest:1.0
-              ~growth:2.0 ~buckets:8 "acqp_executor_traversal_depth";
-          tuples = M.counter m ~help:"tuples executed" "acqp_executor_tuples_total";
-          matches =
-            M.counter m ~help:"tuples satisfying the WHERE clause"
-              "acqp_executor_matches_total";
-        }
+  let of_obs obs q =
+    match T.metrics obs with
+    | None -> None
+    | Some m ->
+        let names = Acq_data.Schema.names (Query.schema q) in
+        Some
+          {
+            acq =
+              Array.map
+                (fun name ->
+                  M.counter m
+                    ~help:"sensor acquisitions the executor paid for"
+                    ~labels:[ ("attr", name) ]
+                    "acqp_executor_acquisitions_total")
+                names;
+            depth_hist =
+              M.histogram m ~help:"plan tests traversed per tuple" ~lowest:1.0
+                ~growth:2.0 ~buckets:8 "acqp_executor_traversal_depth";
+            tuples_c =
+              M.counter m ~help:"tuples executed" "acqp_executor_tuples_total";
+            matches_c =
+              M.counter m ~help:"tuples satisfying the WHERE clause"
+                "acqp_executor_matches_total";
+          }
 
+  let acquisition t attr = M.incr t.acq.(attr)
+
+  let acquisitions t attr n =
+    if n > 0 then M.add t.acq.(attr) (float_of_int n)
+
+  let tuple t ~verdict ~tests =
+    M.incr t.tuples_c;
+    if verdict then M.incr t.matches_c;
+    M.observe t.depth_hist (float_of_int tests)
+
+  let tuples t ~n ~matches =
+    M.add t.tuples_c (float_of_int n);
+    M.add t.matches_c (float_of_int matches)
+
+  let depth t tests = M.observe t.depth_hist (float_of_int tests)
+end
+
+(* The single acquisition-accounting core: every public entry point —
+   closure lookup, array tuple, dataset sweep — is a wrapper around
+   this one traversal, so the atomic-cost rule lives in exactly one
+   place. *)
 let run_instr ?model ~instr q ~costs plan ~lookup =
   let model =
     match model with Some m -> m | None -> Cost_model.uniform costs
@@ -52,7 +76,7 @@ let run_instr ?model ~instr q ~costs plan ~lookup =
         !cost +. Cost_model.atomic model attr ~acquired:(fun j -> acquired.(j));
       acquired.(attr) <- true;
       order := attr :: !order;
-      match instr with Some i -> M.incr i.acq.(attr) | None -> ()
+      match instr with Some i -> Instr.acquisition i attr | None -> ()
     end;
     lookup attr
   in
@@ -74,18 +98,38 @@ let run_instr ?model ~instr q ~costs plan ~lookup =
   in
   let verdict = exec plan in
   (match instr with
-  | Some i ->
-      M.incr i.tuples;
-      if verdict then M.incr i.matches;
-      M.observe i.depth (float_of_int !tests)
+  | Some i -> Instr.tuple i ~verdict ~tests:!tests
   | None -> ());
   { verdict; cost = !cost; acquired = List.rev !order }
 
 let run ?model ?(obs = T.noop) q ~costs plan ~lookup =
-  run_instr ?model ~instr:(instr_of obs q) q ~costs plan ~lookup
+  run_instr ?model ~instr:(Instr.of_obs obs q) q ~costs plan ~lookup
 
 let run_tuple ?model ?obs q ~costs plan tuple =
   run ?model ?obs q ~costs plan ~lookup:(fun attr -> tuple.(attr))
+
+(* Shared dataset sweep: resolve instruments once, then fold the core
+   over every row. [average_cost] and [consistent] are both sweeps;
+   only their folds differ. *)
+let sweep ?model ~instr q ~costs plan data ~init ~f =
+  let n = Acq_data.Dataset.nrows data in
+  let acc = ref init in
+  let r = ref 0 in
+  let continue = ref true in
+  while !continue && !r < n do
+    let row = !r in
+    let o =
+      run_instr ?model ~instr q ~costs plan ~lookup:(fun a ->
+          Acq_data.Dataset.get data row a)
+    in
+    (match f !acc row o with
+    | `Continue acc' -> acc := acc'
+    | `Stop acc' ->
+        acc := acc';
+        continue := false);
+    incr r
+  done;
+  !acc
 
 let average_cost ?model ?(obs = T.noop) q ~costs plan data =
   let n = Acq_data.Dataset.nrows data in
@@ -95,29 +139,18 @@ let average_cost ?model ?(obs = T.noop) q ~costs plan data =
       ~attrs:[ ("rows", string_of_int n) ]
       "executor.average_cost"
     @@ fun () ->
-    let instr = instr_of obs q in
-    let total = ref 0.0 in
-    for r = 0 to n - 1 do
-      let o =
-        run_instr ?model ~instr q ~costs plan ~lookup:(fun a ->
-            Acq_data.Dataset.get data r a)
-      in
-      total := !total +. o.cost
-    done;
-    !total /. float_of_int n
+    (* Instruments are resolved once per sweep — here and in the
+       compiled path (Acq_exec.Batch), which additionally batches the
+       counter updates themselves. *)
+    let instr = Instr.of_obs obs q in
+    let total =
+      sweep ?model ~instr q ~costs plan data ~init:0.0 ~f:(fun acc _ o ->
+          `Continue (acc +. o.cost))
+    in
+    total /. float_of_int n
 
 let consistent q ~costs plan data =
-  let n = Acq_data.Dataset.nrows data in
   let ncols = Acq_data.Dataset.ncols data in
-  let ok = ref true in
-  let r = ref 0 in
-  while !ok && !r < n do
-    let row = !r in
-    let o =
-      run q ~costs plan ~lookup:(fun a -> Acq_data.Dataset.get data row a)
-    in
-    let tuple = Array.init ncols (fun c -> Acq_data.Dataset.get data row c) in
-    if o.verdict <> Query.eval q tuple then ok := false;
-    incr r
-  done;
-  !ok
+  sweep ~instr:None q ~costs plan data ~init:true ~f:(fun _ row o ->
+      let tuple = Array.init ncols (fun c -> Acq_data.Dataset.get data row c) in
+      if o.verdict = Query.eval q tuple then `Continue true else `Stop false)

@@ -4,13 +4,64 @@
     The executor tracks which attributes have been acquired on the
     current path: the first test or sequential step touching an
     attribute pays its acquisition cost [C_i]; every later touch is
-    free. This is exactly the atomic-cost rule of the paper. *)
+    free. This is exactly the atomic-cost rule of the paper.
+
+    All entry points are wrappers over one traversal core
+    ({!run_instr}): the closure-lookup path, the array-tuple path, and
+    the dataset sweeps share the same acquisition accounting, so the
+    atomic-cost rule cannot drift between them. The compiled executor
+    ({!Acq_exec}) is an independent implementation of the same
+    contract, checked byte-identical by the differential tests. *)
 
 type outcome = {
   verdict : bool;  (** does the tuple satisfy the WHERE clause? *)
   cost : float;  (** total acquisition cost on this traversal *)
   acquired : int list;  (** attributes acquired, in acquisition order *)
 }
+
+(** Pre-resolved executor instruments. Resolving a metrics instrument
+    is a name-keyed registry lookup; hot paths resolve once — per
+    call for single tuples, once per sweep for datasets — and then
+    update through these allocation-free handles. Exposed so the
+    compiled executor records the very same series. *)
+module Instr : sig
+  type t
+
+  val of_obs : Acq_obs.Telemetry.t -> Query.t -> t option
+  (** [None] when [obs] carries no metrics registry — the noop path
+      costs one branch per acquisition. *)
+
+  val acquisition : t -> int -> unit
+  (** Count one paid acquisition of an attribute. *)
+
+  val acquisitions : t -> int -> int -> unit
+  (** [acquisitions i attr n]: batched form — add [n] paid
+      acquisitions of [attr] at once (no-op for [n <= 0]). The
+      compiled batch executor accumulates plain int counts in its
+      sweep loop and flushes them through this once per sweep. *)
+
+  val tuple : t -> verdict:bool -> tests:int -> unit
+  (** Record one executed tuple: tuple/match counters and the
+      traversal-depth histogram. *)
+
+  val tuples : t -> n:int -> matches:int -> unit
+  (** Batched tuple/match counters for a whole sweep. *)
+
+  val depth : t -> int -> unit
+  (** Observe one tuple's plan-tests-traversed depth. *)
+end
+
+val run_instr :
+  ?model:Cost_model.t ->
+  instr:Instr.t option ->
+  Query.t ->
+  costs:float array ->
+  Plan.t ->
+  lookup:(int -> int) ->
+  outcome
+(** The traversal core with pre-resolved instruments — what sweeps
+    (and the compiled runner's tree fallback) call per tuple so
+    instruments are looked up once, not per tuple. *)
 
 val run :
   ?model:Cost_model.t ->
@@ -54,7 +105,10 @@ val average_cost :
 (** Empirical expected cost, Equation (4): mean traversal cost over
     the dataset. With live [obs], the whole sweep runs inside an
     ["executor.average_cost"] span and instruments are resolved once
-    for the loop, not per tuple. *)
+    per sweep (the compiled path, {!Acq_exec.Batch}, keeps that
+    discipline and additionally batches the counter updates). The
+    result is execution-mode invariant: the compiled executor
+    accumulates the identical float sequence. *)
 
 val consistent :
   Query.t -> costs:float array -> Plan.t -> Acq_data.Dataset.t -> bool

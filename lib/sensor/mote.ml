@@ -3,11 +3,25 @@ type t = {
   hops : int;
   radio : Radio.t;
   energy : Energy.t;
+  exec : Acq_exec.Mode.t;
   mutable plan : Acq_plan.Plan.t option;
+  (* Compiled/prepared form of [plan], built lazily on the first epoch
+     after an install (that is when the query and costs arrive) and
+     reused until the next install invalidates it — recompiling on
+     plan switch, never per epoch. *)
+  mutable prepared : Acq_exec.Runner.prepared option;
 }
 
-let create ~id ~hops ~radio =
-  { id; hops; radio; energy = Energy.create (); plan = None }
+let create ?(exec = Acq_exec.Mode.default) ~id ~hops ~radio () =
+  {
+    id;
+    hops;
+    radio;
+    energy = Energy.create ();
+    exec;
+    plan = None;
+    prepared = None;
+  }
 
 let id t = t.id
 
@@ -15,10 +29,13 @@ let hops t = t.hops
 
 let energy t = t.energy
 
+let exec_mode t = t.exec
+
 let install_plan t plan ~bytes =
   Energy.charge_rx t.energy ~bytes:(bytes + t.radio.Radio.header_bytes)
     ~per_byte:t.radio.Radio.per_byte;
-  t.plan <- Some plan
+  t.plan <- Some plan;
+  t.prepared <- None
 
 let plan t = t.plan
 
@@ -28,11 +45,20 @@ type epoch_result = {
   acquired : int list;
 }
 
+let prepared t q ~costs plan =
+  match t.prepared with
+  | Some p -> p
+  | None ->
+      let p = Acq_exec.Runner.prepare ~mode:t.exec q ~costs plan in
+      t.prepared <- Some p;
+      p
+
 let run_epoch ?obs t q ~costs ~lookup =
   match t.plan with
   | None -> failwith "Mote.run_epoch: no plan installed"
   | Some plan ->
-      let o = Acq_plan.Executor.run ?obs q ~costs plan ~lookup in
+      let p = prepared t q ~costs plan in
+      let o = Acq_exec.Runner.run ?obs p ~lookup in
       Energy.add_acquisition t.energy o.Acq_plan.Executor.cost;
       if o.Acq_plan.Executor.verdict then begin
         let payload =

@@ -6,7 +6,14 @@
 
 type t
 
-val create : id:int -> hops:int -> radio:Radio.t -> t
+val create :
+  ?exec:Acq_exec.Mode.t -> id:int -> hops:int -> radio:Radio.t -> unit -> t
+(** [exec] (default {!Acq_exec.Mode.default}, i.e. [Tree]) selects the
+    execution path for installed plans. A [Compiled] mote lowers each
+    installed plan to a flat automaton on the first epoch after
+    installation (when the query and costs are in hand) and reuses it
+    until the next {!install_plan} invalidates it — so plan switches
+    recompile, epochs do not. *)
 
 val id : t -> int
 
@@ -14,6 +21,8 @@ val hops : t -> int
 (** Routing-tree distance from the basestation. *)
 
 val energy : t -> Energy.t
+
+val exec_mode : t -> Acq_exec.Mode.t
 
 val install_plan : t -> Acq_plan.Plan.t -> bytes:int -> unit
 (** Receive and store a plan; charges reception energy for the

@@ -21,8 +21,8 @@ let default_motes schema =
       .Acq_data.Attribute.domain
   else 1
 
-let run ?options ?radio ?n_motes ?(telemetry = T.noop) ~algorithm ~history
-    ~live q =
+let run ?options ?radio ?n_motes ?exec ?(telemetry = T.noop) ~algorithm
+    ~history ~live q =
   T.span telemetry ~cat:"runtime"
     ~attrs:[ ("algorithm", Acq_core.Planner.algorithm_name algorithm) ]
     "runtime.run"
@@ -36,7 +36,7 @@ let run ?options ?radio ?n_motes ?(telemetry = T.noop) ~algorithm ~history
   let n_motes =
     match n_motes with Some n -> n | None -> default_motes schema
   in
-  let net = Network.create ?radio ~n_motes () in
+  let net = Network.create ?radio ?exec ~n_motes () in
   let bytes =
     T.span telemetry ~cat:"runtime"
       ~attrs:[ ("motes", string_of_int n_motes) ]
@@ -135,7 +135,7 @@ type adaptive_report = {
   a_metrics : Acq_obs.Metrics.snapshot;
 }
 
-let run_adaptive ?options ?radio ?n_motes ?(telemetry = T.noop)
+let run_adaptive ?options ?radio ?n_motes ?exec ?(telemetry = T.noop)
     ?(policy = Acq_adapt.Policy.default) ?(window = 512) ?cache
     ?replan_budget ~algorithm ~history ~live q =
   T.span telemetry ~cat:"runtime"
@@ -148,7 +148,7 @@ let run_adaptive ?options ?radio ?n_motes ?(telemetry = T.noop)
   let n_motes =
     match n_motes with Some n -> n | None -> default_motes schema
   in
-  let net = Network.create ?radio ~n_motes () in
+  let net = Network.create ?radio ?exec ~n_motes () in
   let cache =
     match cache with
     | Some c -> c

@@ -198,7 +198,7 @@ let ablate_size s =
       in
       let plan = (P.plan ~options P.Heuristic q ~train).P.plan in
       let zeta = Acq_plan.Serialize.size plan in
-      let c = Acq_plan.Executor.average_cost q ~costs plan live in
+      let c = Acq_exec.Runner.average_cost ~mode:s.exec q ~costs plan live in
       Acq_util.Tbl.add_row t2
         [
           Printf.sprintf "%g" alpha;
@@ -248,7 +248,7 @@ let ablate_model s =
                       .P.plan
                   in
                   assert (Acq_plan.Executor.consistent q ~costs plan test);
-                  Acq_plan.Executor.average_cost q ~costs plan test)
+                  Acq_exec.Runner.average_cost ~mode:s.exec q ~costs plan test)
                 queries))
       in
       let empirical = avg (fun () -> Acq_prob.Estimator.empirical train) in
@@ -322,7 +322,8 @@ let ablate_prob s =
                   !calls + r.P.stats.Acq_core.Search.estimator_calls;
                 cost_sum :=
                   !cost_sum
-                  +. Acq_plan.Executor.average_cost q ~costs r.P.plan test)
+                  +. Acq_exec.Runner.average_cost ~mode:s.exec q ~costs
+                       r.P.plan test)
               queries)
       in
       let memo_rate =
@@ -395,7 +396,8 @@ let ablate_spsf s =
                 (fun q ->
                   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
                   let plan = (P.plan ~options:o P.Heuristic q ~train).P.plan in
-                  Acq_plan.Executor.average_cost q ~costs plan test)
+                  Acq_exec.Runner.average_cost ~mode:s.exec q ~costs plan
+                    test)
                 queries))
       in
       Tbl.add_row t
@@ -505,7 +507,8 @@ let ext_boards s =
       (Array.of_list
          (List.map
             (fun q ->
-              Acq_plan.Executor.average_cost ~model q ~costs (f q) test)
+              Acq_exec.Runner.average_cost ~model ~mode:s.exec q ~costs (f q)
+                test)
             queries))
   in
   let t = Acq_util.Tbl.create [ "planner"; "avg test cost (board pricing)" ] in
@@ -569,7 +572,8 @@ let ext_boards s =
   let t2 = Acq_util.Tbl.create [ "planner"; "microcosm cost"; "tests on temp" ] in
   let measure opts algo =
     let plan = (P.plan ~options:opts algo q2 ~train:train2).P.plan in
-    ( Acq_plan.Executor.average_cost ~model:model2 q2 ~costs:costs2 plan test2,
+    ( Acq_exec.Runner.average_cost ~model:model2 ~mode:s.exec q2 ~costs:costs2
+        plan test2,
       if List.mem 1 (Acq_plan.Plan.attrs_tested plan) then "yes" else "no" )
   in
   let aware2 =

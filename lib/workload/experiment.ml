@@ -17,13 +17,13 @@ type query_run = {
 (* Everything about one query except its metrics delta, computed with
    whichever telemetry handle the caller hands us: the shared [obs]
    sequentially, a task-private handle under a pool. *)
-let eval_query specs ~obs q ~train ~test =
+let eval_query specs ~exec ~obs q ~train ~test =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
   let results = Array.map (fun s -> s.build q) specs in
   let plans = Array.map (fun (r : Acq_core.Planner.result) -> r.plan) results in
   let costs_on ds =
     Array.map
-      (fun p -> Acq_plan.Executor.average_cost ~obs q ~costs p ds)
+      (fun p -> Acq_exec.Runner.average_cost ~obs ~mode:exec q ~costs p ds)
       plans
   in
   let test_costs = costs_on test in
@@ -49,7 +49,8 @@ let eval_query specs ~obs q ~train ~test =
     metrics = [];
   }
 
-let run ?(obs = Acq_obs.Telemetry.noop) ?pool ~specs ~queries ~train ~test () =
+let run ?(obs = Acq_obs.Telemetry.noop) ?pool
+    ?(exec_mode = Acq_exec.Mode.default) ~specs ~queries ~train ~test () =
   let specs = Array.of_list specs in
   match pool with
   | None ->
@@ -61,7 +62,7 @@ let run ?(obs = Acq_obs.Telemetry.noop) ?pool ~specs ~queries ~train ~test () =
       let before = ref (snapshot ()) in
       List.map
         (fun q ->
-          let r = eval_query specs ~obs q ~train ~test in
+          let r = eval_query specs ~exec:exec_mode ~obs q ~train ~test in
           let after = snapshot () in
           let metrics = Acq_obs.Metrics.diff after !before in
           before := after;
@@ -85,7 +86,7 @@ let run ?(obs = Acq_obs.Telemetry.noop) ?pool ~specs ~queries ~train ~test () =
                   | Some m -> Acq_obs.Telemetry.create ~metrics:m ()
                   | None -> Acq_obs.Telemetry.noop
                 in
-                (eval_query specs ~obs:tele q ~train ~test, reg)))
+                (eval_query specs ~exec:exec_mode ~obs:tele q ~train ~test, reg)))
           queries
       in
       (* Collect in submission order; merging shards in that order

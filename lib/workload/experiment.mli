@@ -27,6 +27,7 @@ type query_run = {
 val run :
   ?obs:Acq_obs.Telemetry.t ->
   ?pool:Acq_par.Domain_pool.t ->
+  ?exec_mode:Acq_exec.Mode.t ->
   specs:algo_spec list ->
   queries:Acq_plan.Query.t list ->
   train:Acq_data.Dataset.t ->
@@ -35,6 +36,11 @@ val run :
   query_run list
 (** Plan and measure every query with every spec. Results are in query
     order in both modes.
+
+    [exec_mode] (default [Tree]) selects the executor the cost sweeps
+    run on; measured costs are exec-mode invariant byte for byte
+    (consistency is always audited on the tree interpreter), so the
+    flag only changes how fast the harness measures.
 
     With [pool], queries are planned and measured as parallel domain
     tasks. Because planning is re-entrant, the returned plans, costs,

@@ -84,7 +84,7 @@ let mote_fixture () =
   let q = Q.create schema [ Pred.inside ~attr:1 ~lo:2 ~hi:3 ] in
   let costs = S.costs schema in
   let radio = { Radio.per_byte = 0.1; header_bytes = 8 } in
-  let m = Mote.create ~id:0 ~hops:2 ~radio in
+  let m = Mote.create ~id:0 ~hops:2 ~radio () in
   (q, costs, m)
 
 let test_mote_requires_plan () =
