@@ -435,7 +435,8 @@ let read_file path =
   s
 
 (* Check [v] against the subset of JSON Schema the checked-in schemas
-   use: type, required, properties, items, minItems, minimum, const —
+   use: type, required, properties, items, minItems, minimum, maximum,
+   const —
    plus a custom [requiredMetricNames] list of metric families that
    must have been recorded somewhere in the document. Returns
    human-readable errors. *)
@@ -494,6 +495,11 @@ let schema_errors schema v =
     | Some (J.Num lo), J.Num x ->
         if x < lo then err path (Printf.sprintf "%g below minimum %g" x lo)
     | Some (J.Num _), _ -> err path "minimum given for non-number"
+    | _ -> ());
+    (match (field "maximum", v) with
+    | Some (J.Num hi), J.Num x ->
+        if x > hi then err path (Printf.sprintf "%g above maximum %g" x hi)
+    | Some (J.Num _), _ -> err path "maximum given for non-number"
     | _ -> ());
     match field "const" with
     | Some c -> if c <> v then err path ("not the required constant " ^ J.to_string c)
@@ -1218,6 +1224,316 @@ let exec_schema_path () =
 let validate_exec path =
   validate_against ~schema_path:(exec_schema_path ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Audit bench: three claims, each pinned by the checked-in schema
+   (bench/BENCH_audit.schema.json).
+
+   1. Overhead: the exec-smoke workload (garden5 Eq.-4 sweeps) with the
+      calibration probe attached runs within 1.10x of unaudited on the
+      compiled path — the batched-flush design bound.
+   2. Identity: audited and unaudited execution are byte-identical
+      (sweep averages Float.equal, per-tuple verdict/cost/acquisition
+      order equal) on both execution paths.
+   3. Calibration ordering: on a correlated synthetic workload the
+      pooled calibration gap ranks the estimators the paper's ablation
+      predicts — independence (correlation-blind) worst, Chow-Liu
+      between, dense (exact joint on its own data) ~0 — plus a regret
+      assessment showing the independence-planned plan pays realized
+      regret against the replanned arms. *)
+
+let audit_queries = 6
+let audit_parity_rows = 256
+let audit_calib_queries = 8
+
+let write_audit_json path =
+  let module P = Acq_core.Planner in
+  let module B = Acq_prob.Backend in
+  let module Rng = Acq_util.Rng in
+  let module E = Acq_plan.Executor in
+  let module Cal = Acq_audit.Calibration in
+  (* -- overhead + identity on the exec-smoke workload ---------------- *)
+  let garden5 = Lazy.force K.garden5 in
+  let train, test = Acq_data.Dataset.split_by_time garden5 ~train_fraction:0.5 in
+  let schema = Acq_data.Dataset.schema garden5 in
+  let costs = Acq_data.Schema.costs schema in
+  let options =
+    {
+      K.opts with
+      split_points_per_attr = 4;
+      candidate_attrs = Some (K.cheap garden5);
+    }
+  in
+  let rng = Rng.create 921 in
+  let plans =
+    List.init audit_queries (fun _ ->
+        let q = Acq_workload.Query_gen.garden_query rng ~schema ~n_motes:5 in
+        (q, (P.plan ~options P.Heuristic q ~train).P.plan))
+  in
+  let nrows = Acq_data.Dataset.nrows test in
+  let prepared mode =
+    List.map (fun (q, p) -> Acq_exec.Runner.prepare ~mode q ~costs p) plans
+  in
+  let tree_prep = prepared Acq_exec.Mode.Tree in
+  let comp_prep = prepared Acq_exec.Mode.Compiled in
+  let probes =
+    List.map
+      (fun (q, p) -> Acq_exec.Probe.create (Acq_exec.Compile.compile q p))
+      plans
+  in
+  let outcome_equal (a : E.outcome) (b : E.outcome) =
+    a.E.verdict = b.E.verdict
+    && Float.equal a.E.cost b.E.cost
+    && a.E.acquired = b.E.acquired
+  in
+  let identical_on prep =
+    List.for_all2
+      (fun p probe ->
+        Acq_exec.Probe.reset probe;
+        Float.equal
+          (Acq_exec.Runner.average_cost_prepared p test)
+          (Acq_exec.Runner.average_cost_prepared ~probe p test)
+        &&
+        let ok = ref true in
+        for r = 0 to min audit_parity_rows nrows - 1 do
+          let row = Acq_data.Dataset.row test r in
+          if
+            not
+              (outcome_equal
+                 (Acq_exec.Runner.run_tuple p row)
+                 (Acq_exec.Runner.run_tuple ~probe p row))
+          then ok := false
+        done;
+        !ok)
+      prep probes
+  in
+  let identical = identical_on tree_prep && identical_on comp_prep in
+  let sink = ref 0.0 in
+  let sweep ~probed prep =
+    List.iter2
+      (fun p probe ->
+        let probe = if probed then Some probe else None in
+        sink :=
+          !sink +. Acq_exec.Runner.average_cost_prepared ?probe p test)
+      prep probes
+  in
+  let time reps f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Float.max 1e-9 (Unix.gettimeofday () -. t0)
+  in
+  (* Paired back-to-back trials, min ratio: machine noise that slows
+     one side of a pair inflates the ratio, never deflates both, so
+     the min over rounds is the clean estimate of the true probe
+     overhead. Throughputs are reported from the fastest round. *)
+  let paired reps prep =
+    let off = fun () -> sweep ~probed:false prep in
+    let on = fun () -> sweep ~probed:true prep in
+    ignore (time 1 off);
+    ignore (time 1 on);
+    let best_ratio = ref infinity and t_off = ref infinity and t_on = ref infinity in
+    for _ = 1 to 7 do
+      let a = time reps off in
+      let b = time reps on in
+      t_off := Float.min !t_off a;
+      t_on := Float.min !t_on b;
+      best_ratio := Float.min !best_ratio (b /. a)
+    done;
+    let tps t = float_of_int (reps * nrows * audit_queries) /. t in
+    (tps !t_off, tps !t_on, !best_ratio)
+  in
+  let comp_off, comp_on, compiled_slowdown = paired 120 comp_prep in
+  let tree_off, tree_on, tree_slowdown = paired 12 tree_prep in
+  (* -- calibration ordering on a correlated 4-attribute problem ------ *)
+  let schema4 =
+    Acq_data.Schema.create
+      [
+        Acq_data.Attribute.discrete ~name:"c0" ~cost:1.0 ~domain:8;
+        Acq_data.Attribute.discrete ~name:"c1" ~cost:2.0 ~domain:8;
+        Acq_data.Attribute.discrete ~name:"e0" ~cost:50.0 ~domain:8;
+        Acq_data.Attribute.discrete ~name:"e1" ~cost:80.0 ~domain:8;
+      ]
+  in
+  let drng = Rng.create 922 in
+  let rows4 =
+    Array.init 3_000 (fun _ ->
+        let base = Rng.int drng 8 in
+        [|
+          base;
+          (base + Rng.int drng 2) mod 8;
+          (base + Rng.int drng 2) mod 8;
+          (base + Rng.int drng 3) mod 8;
+        |])
+  in
+  let ds4 = Acq_data.Dataset.create schema4 rows4 in
+  let costs4 = Acq_data.Schema.costs schema4 in
+  let qrng = Rng.create 923 in
+  let queries4 =
+    List.init audit_calib_queries (fun _ ->
+        let pred attr =
+          let lo = Rng.int qrng 5 in
+          let hi = lo + 1 + Rng.int qrng (7 - lo) in
+          Acq_plan.Predicate.inside ~attr ~lo ~hi
+        in
+        Acq_plan.Query.create schema4 [ pred 0; pred 1; pred 2; pred 3 ])
+  in
+  let options4 = { K.opts with split_points_per_attr = 2 } in
+  let names4 = Acq_data.Schema.names schema4 in
+  let backends =
+    List.map
+      (fun (name, kind) ->
+        (name, B.of_dataset ~spec:{ B.kind; memoize = false } ds4))
+      [
+        ("independence", B.Independence);
+        ("chow-liu", B.Chow_liu);
+        ("dense", B.Dense);
+      ]
+  in
+  let trackers = List.map (fun (name, _) -> (name, Cal.create names4)) backends in
+  List.iter
+    (fun q ->
+      (* One fixed plan per query (empirical-planned) executes once;
+         each backend is then judged on its own predictions for that
+         same plan against the shared observed counts. *)
+      let plan =
+        (P.plan_with_backend ~options:options4 P.Heuristic q ~costs:costs4
+           (B.empirical ds4))
+          .P.plan
+      in
+      let auto = Acq_exec.Compile.compile q plan in
+      let probe = Acq_exec.Probe.create auto in
+      let prep =
+        Acq_exec.Runner.prepare ~mode:Acq_exec.Mode.Compiled q ~costs:costs4
+          plan
+      in
+      ignore (Acq_exec.Runner.average_cost_prepared ~probe prep ds4 : float);
+      List.iter2
+        (fun (_, backend) (_, tracker) ->
+          let predictions =
+            Acq_audit.Recorder.predictions q ~backend plan
+              ~n_nodes:(Acq_exec.Compile.n_nodes auto)
+          in
+          Cal.absorb_nodes tracker auto ~predictions
+            ~visits:(Acq_exec.Probe.visits probe)
+            ~hits:(Acq_exec.Probe.hits probe))
+        backends trackers)
+    queries4;
+  let errs =
+    List.map (fun (name, t) -> (name, Cal.calibration_error t)) trackers
+  in
+  let indep_err = List.assoc "independence" errs in
+  let cl_err = List.assoc "chow-liu" errs in
+  let dense_err = List.assoc "dense" errs in
+  let independence_gt_chow_liu = indep_err > cl_err in
+  let chow_liu_ge_dense = cl_err >= dense_err -. 1e-9 in
+  let ordering_holds = independence_gt_chow_liu && chow_liu_ge_dense in
+  (* -- regret: price the independence-planned plan against the arms -- *)
+  let regret_q = List.hd queries4 in
+  let indep_plan =
+    (P.plan_with_backend ~options:options4 P.Heuristic regret_q ~costs:costs4
+       (List.assoc "independence" backends))
+      .P.plan
+  in
+  let regret =
+    Acq_audit.Regret.assess ~options:options4 ~current_plan:indep_plan
+      regret_q ~costs:costs4 ds4
+  in
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ( "workload",
+          J.Obj
+            [
+              ("dataset", J.Str "garden5");
+              ("planner", J.Str "heuristic");
+              ("queries", J.Num (float_of_int audit_queries));
+              ("rows", J.Num (float_of_int nrows));
+            ] );
+        ( "overhead",
+          J.Obj
+            [
+              ("compiled_off_tuples_per_sec", J.Num comp_off);
+              ("compiled_on_tuples_per_sec", J.Num comp_on);
+              ("compiled_slowdown", J.Num compiled_slowdown);
+              ("tree_off_tuples_per_sec", J.Num tree_off);
+              ("tree_on_tuples_per_sec", J.Num tree_on);
+              ("tree_slowdown", J.Num tree_slowdown);
+            ] );
+        ( "identity",
+          J.Obj
+            [
+              ("identical", J.Bool identical);
+              ( "checked_rows",
+                J.Num (float_of_int (min audit_parity_rows nrows)) );
+            ] );
+        ( "calibration",
+          J.Obj
+            [
+              ("dataset", J.Str "synthetic-4attr-correlated");
+              ("queries", J.Num (float_of_int audit_calib_queries));
+              ("independence_error", J.Num indep_err);
+              ("chow_liu_error", J.Num cl_err);
+              ("dense_error", J.Num dense_err);
+              ( "ordering",
+                J.Obj
+                  [
+                    ( "independence_gt_chow_liu",
+                      J.Bool independence_gt_chow_liu );
+                    ("chow_liu_ge_dense", J.Bool chow_liu_ge_dense);
+                  ] );
+            ] );
+        ( "regret",
+          J.Obj
+            [
+              ("rows", J.Num (float_of_int regret.Acq_audit.Regret.rows));
+              ( "current_realized",
+                J.Num regret.Acq_audit.Regret.current_realized );
+              ("regret", J.Num regret.Acq_audit.Regret.regret);
+              ("regret_ratio", J.Num regret.Acq_audit.Regret.regret_ratio);
+              ( "arms",
+                J.Arr
+                  (List.map
+                     (fun (a : Acq_audit.Regret.assessment) ->
+                       J.Obj
+                         [
+                           ("arm", J.Str a.Acq_audit.Regret.arm.Acq_audit.Regret.name);
+                           ("planned", J.Bool a.Acq_audit.Regret.planned);
+                           ( "realized_cost",
+                             J.Num a.Acq_audit.Regret.realized_cost );
+                         ])
+                     regret.Acq_audit.Regret.assessments) );
+            ] );
+        ( "summary",
+          J.Obj
+            [
+              ("audit_overhead", J.Num compiled_slowdown);
+              ("identical", J.Bool identical);
+              ("calibration_ordering_holds", J.Bool ordering_holds);
+              ("regret_ratio", J.Num regret.Acq_audit.Regret.regret_ratio);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote audit results to %s (audit overhead %.3fx compiled / %.3fx tree, \
+     identical=%b, calibration gap indep %.4f > chow-liu %.4f >= dense %.4f \
+     = %b, regret ratio %.3fx)\n"
+    path compiled_slowdown tree_slowdown identical indep_err cl_err dense_err
+    ordering_holds regret.Acq_audit.Regret.regret_ratio
+
+let audit_schema_path () =
+  if Sys.file_exists "bench/BENCH_audit.schema.json" then
+    "bench/BENCH_audit.schema.json"
+  else "BENCH_audit.schema.json"
+
+let validate_audit path =
+  validate_against ~schema_path:(audit_schema_path ()) path
+
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
   let cfg =
@@ -1267,6 +1583,7 @@ let () =
   let par_smoke = List.mem "--par-smoke" args in
   let prob_smoke = List.mem "--prob-smoke" args in
   let exec_smoke = List.mem "--exec-smoke" args in
+  let audit_smoke = List.mem "--audit-smoke" args in
   let find_target flag =
     let rec find = function
       | f :: path :: _ when f = flag -> Some path
@@ -1280,10 +1597,11 @@ let () =
   let validate_par_target = find_target "--validate-par" in
   let validate_prob_target = find_target "--validate-prob" in
   let validate_exec_target = find_target "--validate-exec" in
+  let validate_audit_target = find_target "--validate-audit" in
   let ids =
     let rec keep = function
       | ( "--validate-obs" | "--validate-adapt" | "--validate-par"
-        | "--validate-prob" | "--validate-exec" )
+        | "--validate-prob" | "--validate-exec" | "--validate-audit" )
         :: _ :: rest ->
           keep rest
       | a :: rest ->
@@ -1303,9 +1621,10 @@ let () =
       "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
        --adapt-smoke --validate-adapt FILE --par-smoke --validate-par FILE \
        --prob-smoke --validate-prob FILE --exec-smoke --validate-exec FILE \
-       --list (every non-list run also writes BENCH_planner_stats.json, \
-       BENCH_obs.json, BENCH_adapt.json, BENCH_par.json, BENCH_prob.json, \
-       and BENCH_exec.json)"
+       --audit-smoke --validate-audit FILE --list (every non-list run also \
+       writes BENCH_planner_stats.json, BENCH_obs.json, BENCH_adapt.json, \
+       BENCH_par.json, BENCH_prob.json, BENCH_exec.json, and \
+       BENCH_audit.json)"
   end
   else
     match
@@ -1313,14 +1632,16 @@ let () =
         validate_adapt_target,
         validate_par_target,
         validate_prob_target,
-        validate_exec_target )
+        validate_exec_target,
+        validate_audit_target )
     with
-    | Some path, _, _, _, _ -> validate_obs path
-    | None, Some path, _, _, _ -> validate_adapt path
-    | None, None, Some path, _, _ -> validate_par path
-    | None, None, None, Some path, _ -> validate_prob path
-    | None, None, None, None, Some path -> validate_exec path
-    | None, None, None, None, None ->
+    | Some path, _, _, _, _, _ -> validate_obs path
+    | None, Some path, _, _, _, _ -> validate_adapt path
+    | None, None, Some path, _, _, _ -> validate_par path
+    | None, None, None, Some path, _, _ -> validate_prob path
+    | None, None, None, None, Some path, _ -> validate_exec path
+    | None, None, None, None, None, Some path -> validate_audit path
+    | None, None, None, None, None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
@@ -1341,6 +1662,10 @@ let () =
           write_exec_json "BENCH_exec.json";
           validate_exec "BENCH_exec.json"
         end
+        else if audit_smoke then begin
+          write_audit_json "BENCH_audit.json";
+          validate_audit "BENCH_audit.json"
+        end
         else begin
           if not micro_only then
             Acq_workload.Registry.run_selected
@@ -1352,5 +1677,6 @@ let () =
           write_par_json "BENCH_par.json";
           write_prob_json "BENCH_prob.json";
           write_exec_json "BENCH_exec.json";
+          write_audit_json "BENCH_audit.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

@@ -5,6 +5,9 @@
      plan        optimize one query and print the conditional plan
                  (--portfolio races planners across domains)
      run         simulate the full sensor-network loop for a query
+                 (--audit attaches the calibration/regret pipeline)
+     audit       serve a query audited and report estimator calibration,
+                 plan regret, and the flight-recorder timeline
      bench       sequential vs multicore workload fan-out comparison
      experiment  reproduce the paper's tables/figures (see --list)
 *)
@@ -208,6 +211,112 @@ let with_telemetry ~metrics_out ~trace_out f =
   match (trace_out, tracer) with
   | Some path, Some tr -> dump path (Acq_obs.Tracer.to_chrome tr) "trace"
   | _ -> ()
+
+(* Audit plumbing shared by `run --audit` and the `audit` subcommand:
+   build the pipeline, print the calibration / regret / flight
+   summary, write the JSON artifacts. *)
+
+let audit_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the full audit report (calibration cells, last regret \
+           assessment, flight-recorder ring) as JSON to $(docv). Implies \
+           $(b,--audit).")
+
+let flight_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the flight-recorder ring as Chrome trace-event instants \
+           to $(docv) (loadable next to --trace-out spans). Implies \
+           $(b,--audit).")
+
+let write_json path j what =
+  let oc = open_out path in
+  output_string oc (Acq_obs.Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "%s written to %s\n" what path
+
+let print_audit_summary a =
+  let module Au = Acq_audit.Audit in
+  let module Cal = Acq_audit.Calibration in
+  let module Fr = Acq_audit.Flight_recorder in
+  (match Au.recorder a with
+  | None -> print_endline "audit: no plan was ever installed"
+  | Some r ->
+      let c = Acq_audit.Recorder.snapshot r in
+      Printf.printf
+        "calibration: %d node observations, brier %.4f, gap %.4f\n"
+        (Cal.observations c) (Cal.brier_score c) (Cal.calibration_error c);
+      let names = Cal.names c in
+      let t =
+        Acq_util.Tbl.create
+          [ "attribute"; "obs"; "brier"; "gap"; "mean err"; "max |err|" ]
+      in
+      Array.iteri
+        (fun i name ->
+          let cell = Cal.attr_cell c i in
+          if cell.Cal.count > 0 then
+            Acq_util.Tbl.add_row t
+              [
+                name;
+                string_of_int cell.Cal.count;
+                Printf.sprintf "%.4f" (Cal.brier cell);
+                Printf.sprintf "%.4f" (Cal.gap cell);
+                Printf.sprintf "%+.4f" (Cal.mean_err cell);
+                Printf.sprintf "%.4f" cell.Cal.max_abs_err;
+              ])
+        names;
+      Acq_util.Tbl.print t;
+      let cc = Cal.cost_cell c in
+      if cc.Cal.count > 0 then
+        Printf.printf
+          "cost: %d tuples, mean err %+.4f, mae %.4f, max |err| %.4f\n"
+          cc.Cal.count (Cal.mean_err cc) (Cal.mean_abs_err cc)
+          cc.Cal.max_abs_err);
+  (match Au.last_regret a with
+  | None -> ()
+  | Some o ->
+      let open Acq_audit.Regret in
+      Printf.printf
+        "\n\
+         regret (window of %d rows): current realized %.2f, regret %.2f, \
+         ratio %.3fx\n"
+        o.rows o.current_realized o.regret o.regret_ratio;
+      let t = Acq_util.Tbl.create [ "arm"; "planned"; "est cost"; "realized" ] in
+      List.iter
+        (fun asmt ->
+          Acq_util.Tbl.add_row t
+            [
+              asmt.arm.name;
+              (if asmt.planned then "yes" else "no");
+              Printf.sprintf "%.2f" asmt.est_cost;
+              (if asmt.planned then Printf.sprintf "%.2f" asmt.realized_cost
+               else "-");
+            ])
+        o.assessments;
+      Acq_util.Tbl.print t);
+  let f = Au.flight a in
+  Printf.printf
+    "\nflight recorder: %d events (%d dropped), %d anomaly dumps\n"
+    (Fr.recorded f) (Fr.dropped f) (Fr.anomalies f)
+
+let finish_audit ~audit_out ~flight_out a =
+  print_newline ();
+  print_audit_summary a;
+  (match audit_out with
+  | Some path -> write_json path (Acq_audit.Audit.report a) "audit report"
+  | None -> ());
+  match flight_out with
+  | Some path ->
+      write_json path (Acq_audit.Audit.chrome_events a) "flight trace"
+  | None -> ()
 
 let default_sql = function
   | Lab -> "SELECT * WHERE light >= 300 AND temp <= 19 AND humidity <= 45"
@@ -413,10 +522,21 @@ let drift_at_arg =
            these row indices (comma-separated, relative to the live \
            trace).")
 
+let audit_flag =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+        ~doc:
+          "Attach the estimator-calibration audit pipeline: per-node \
+           predicted-vs-observed selectivity cells, realized-cost \
+           tracking, cadenced plan-regret replay, and the query flight \
+           recorder. Verdicts, costs, and acquisition order are \
+           unchanged; a summary prints after the report.")
+
 let run_cmd =
   let run kind rows seed sql algo model splits points exec adaptive
-      drift_threshold replan_every cache_size window drift_at metrics_out
-      trace_out =
+      drift_threshold replan_every cache_size window drift_at audit audit_out
+      flight_out metrics_out trace_out =
     let history, live =
       if drift_at = [] then
         let ds = make_dataset kind ~rows ~seed in
@@ -451,12 +571,24 @@ let run_cmd =
       (Acq_prob.Backend.spec_to_string model);
     or_model_error @@ fun () ->
     with_telemetry ~metrics_out ~trace_out @@ fun obs ->
-    if not adaptive then
+    let audit =
+      if audit || audit_out <> None || flight_out <> None then
+        Some (Acq_audit.Audit.create ~telemetry:obs ())
+      else None
+    in
+    let flush_audit () =
+      match audit with
+      | Some a -> finish_audit ~audit_out ~flight_out a
+      | None -> ()
+    in
+    if not adaptive then begin
       let report =
-        Acq_sensor.Runtime.run ~options ~exec ~telemetry:obs ~algorithm:algo
-          ~history ~live q
+        Acq_sensor.Runtime.run ~options ~exec ~telemetry:obs ?audit
+          ~algorithm:algo ~history ~live q
       in
-      Format.printf "%a@." Acq_sensor.Runtime.pp_report report
+      Format.printf "%a@." Acq_sensor.Runtime.pp_report report;
+      flush_audit ()
+    end
     else begin
       let policy =
         {
@@ -472,7 +604,7 @@ let run_cmd =
       in
       let report =
         Acq_sensor.Runtime.run_adaptive ~options ~exec ~telemetry:obs ~policy
-          ~window ~cache ~algorithm:algo ~history ~live q
+          ~window ~cache ?audit ~algorithm:algo ~history ~live q
       in
       (match report.Acq_sensor.Runtime.switches with
       | [] -> print_endline "no plan switches"
@@ -482,7 +614,8 @@ let run_cmd =
             (fun sw ->
               Format.printf "  %a@." Acq_sensor.Runtime.pp_switch sw)
             switches);
-      Format.printf "%a@." Acq_sensor.Runtime.pp_adaptive_report report
+      Format.printf "%a@." Acq_sensor.Runtime.pp_adaptive_report report;
+      flush_audit ()
     end
   in
   Cmd.v
@@ -495,7 +628,73 @@ let run_cmd =
       const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
       $ model_arg $ splits_arg $ points_arg $ exec_arg $ adaptive_arg
       $ drift_threshold_arg $ replan_every_arg $ cache_size_arg $ window_arg
-      $ drift_at_arg $ metrics_out_arg $ trace_out_arg)
+      $ drift_at_arg $ audit_flag $ audit_out_arg $ flight_out_arg
+      $ metrics_out_arg $ trace_out_arg)
+
+(* audit *)
+
+let audit_cmd =
+  let regret_every_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "regret-every" ] ~docv:"K"
+          ~doc:
+            "Assess plan regret every $(docv)-th audit checkpoint \
+             (replaying the window under every portfolio arm); 0 \
+             disables regret accounting.")
+  in
+  let audit_every_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "audit-every" ] ~docv:"N"
+          ~doc:"Audit checkpoint cadence in epochs (fixed-plan serving).")
+  in
+  let run kind rows seed sql algo model splits points exec regret_every
+      audit_every audit_out flight_out metrics_out trace_out =
+    let ds = make_dataset kind ~rows ~seed in
+    let history, live = Acq_data.Dataset.split_by_time ds ~train_fraction:0.5 in
+    let schema = Acq_data.Dataset.schema ds in
+    let q = compile_query kind schema sql in
+    let options =
+      {
+        Acq_core.Planner.default_options with
+        max_splits = splits;
+        split_points_per_attr = points;
+        prob_model = model;
+      }
+    in
+    Printf.printf "query: %s\nalgorithm: %s\nmodel: %s\n\n"
+      (Acq_plan.Query.describe q)
+      (Acq_core.Planner.algorithm_name algo)
+      (Acq_prob.Backend.spec_to_string model);
+    or_model_error @@ fun () ->
+    with_telemetry ~metrics_out ~trace_out @@ fun obs ->
+    let audit =
+      Acq_audit.Audit.create ~telemetry:obs ~regret_every
+        ~arms:(if regret_every = 0 then [] else Acq_audit.Regret.default_arms)
+        ()
+    in
+    let report =
+      Acq_sensor.Runtime.run ~options ~exec ~telemetry:obs ~audit
+        ~audit_every ~algorithm:algo ~history ~live q
+    in
+    Printf.printf "epochs: %d, matches: %d, avg cost/epoch %.2f\n"
+      report.Acq_sensor.Runtime.epochs report.Acq_sensor.Runtime.matches
+      report.Acq_sensor.Runtime.avg_cost_per_epoch;
+    finish_audit ~audit_out ~flight_out audit
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Serve a query with the full audit pipeline on and report \
+          estimator calibration (predicted vs observed selectivity per \
+          attribute, predicted vs realized cost), plan regret against the \
+          other portfolio arms, and the flight-recorder timeline.")
+    Term.(
+      const run $ dataset_arg $ rows_arg $ seed_arg $ sql_arg $ algo_arg
+      $ model_arg $ splits_arg $ points_arg $ exec_arg $ regret_every_arg
+      $ audit_every_arg $ audit_out_arg $ flight_out_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* stats *)
 
@@ -706,6 +905,7 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "acqp" ~version:"1.0.0" ~doc)
-    [ gen_cmd; plan_cmd; run_cmd; stats_cmd; bench_cmd; experiment_cmd ]
+    [ gen_cmd; plan_cmd; run_cmd; audit_cmd; stats_cmd; bench_cmd;
+      experiment_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -3,6 +3,8 @@ type reason =
   | Drift of float
   | Regret of { observed : float; expected : float }
 
+type cost_source = Internal | External of (unit -> (float * int) option)
+
 type t = {
   check_every : int;
   replan_every : int option;
@@ -11,6 +13,7 @@ type t = {
   regret_factor : float option;
   min_observations : int;
   cooldown : int;
+  cost_source : cost_source;
 }
 
 let default =
@@ -22,7 +25,18 @@ let default =
     regret_factor = None;
     min_observations = 50;
     cooldown = 256;
+    cost_source = Internal;
   }
+
+let with_cost_source t f = { t with cost_source = External f }
+
+let observed_cost t ~internal_sum ~internal_n =
+  match t.cost_source with
+  | Internal ->
+      ( (if internal_n = 0 then 0.0
+         else internal_sum /. float_of_int internal_n),
+        internal_n )
+  | External f -> ( match f () with Some (c, n) -> (c, n) | None -> (0.0, 0))
 
 let static_ =
   { default with drift_high = None; regret_factor = None; replan_every = None }

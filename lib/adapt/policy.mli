@@ -25,6 +25,16 @@ type reason =
   | Drift of float  (** the score that crossed the high watermark *)
   | Regret of { observed : float; expected : float }
 
+type cost_source =
+  | Internal
+      (** the session's own realized-cost accumulator (the legacy
+          path) *)
+  | External of (unit -> (float * int) option)
+      (** an externally observed [(mean realized cost, observations)]
+          meter — e.g. {!val:Acq_audit.Audit.cost_source}, whose meter
+          is fed by the executors and resets on every plan install.
+          [None] / 0 observations keep the regret trigger quiet. *)
+
 type t = {
   check_every : int;
       (** cadence (in epochs) at which the session evaluates triggers;
@@ -42,6 +52,10 @@ type t = {
   cooldown : int;
       (** epochs after a switch during which no trigger fires — the
           window needs time to refill with post-switch data *)
+  cost_source : cost_source;
+      (** where the regret trigger's observed cost comes from; both
+          sources produce the same {!observation} fields, so
+          {!evaluate} is one code path *)
 }
 
 val default : t
@@ -62,6 +76,17 @@ val drift_regret :
   ?check_every:int -> ?low:float -> ?cooldown:int -> float -> regret:float -> t
 (** Drift trigger plus the cost-regret trigger at the given factor
     (e.g. [1.3] = fire when the plan runs 30% over its estimate). *)
+
+val with_cost_source : t -> (unit -> (float * int) option) -> t
+(** Switch the regret trigger onto an external observed-cost meter;
+    every other trigger is untouched. *)
+
+val observed_cost :
+  t -> internal_sum:float -> internal_n:int -> float * int
+(** Resolve [(mean observed cost, observations)] through the policy's
+    {!cost_source}: the internal accumulator for {!Internal}, the
+    callback for {!External} — so sessions build the
+    {!observation} the same way in both cases. *)
 
 type observation = {
   epochs_since_switch : int;

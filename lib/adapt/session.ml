@@ -2,8 +2,15 @@ module P = Acq_core.Planner
 module Search = Acq_core.Search
 module Sl = Acq_prob.Sliding
 module T = Acq_obs.Telemetry
+module Audit = Acq_audit.Audit
 
 type state = Serving | Drifting | Replanning | Switching
+
+let state_name = function
+  | Serving -> "serving"
+  | Drifting -> "drifting"
+  | Replanning -> "replanning"
+  | Switching -> "switching"
 
 type switch = {
   epoch : int;
@@ -28,6 +35,7 @@ type t = {
   window : Sl.t;
   replan_budget : int;
   exec_mode : Acq_exec.Mode.t;
+  audit : Audit.t option;
   on_switch : Acq_plan.Plan.t -> switch -> unit;
   mutable initial_stats : Search.stats;
   mutable ref_marginals : int array array;
@@ -60,7 +68,10 @@ type t = {
 
 let enter t s =
   t.state <- s;
-  t.transitions_rev <- (t.epoch, s) :: t.transitions_rev
+  t.transitions_rev <- (t.epoch, s) :: t.transitions_rev;
+  match t.audit with
+  | Some a -> Audit.note_transition a ~epoch:t.epoch (state_name s)
+  | None -> ()
 
 let algo_label t = [ ("algorithm", P.algorithm_name t.algorithm) ]
 
@@ -87,7 +98,7 @@ let plan_once t ~options ~stats_epoch est =
 
 let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
     ?(invalidate_stale = false) ?(policy = Policy.default)
-    ?(replan_budget = 200_000) ?(exec_mode = Acq_exec.Mode.default)
+    ?(replan_budget = 200_000) ?(exec_mode = Acq_exec.Mode.default) ?audit
     ?(on_switch = fun _ _ -> ()) ~algorithm ~window ~history query =
   if window < 1 then invalid_arg "Session.create: window < 1";
   let schema = Acq_plan.Query.schema query in
@@ -108,6 +119,7 @@ let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
       window = Sl.create schema ~capacity:window;
       replan_budget;
       exec_mode;
+      audit;
       on_switch;
       initial_stats = Search.zero_stats;
       ref_marginals = Sl.marginals_of history;
@@ -132,15 +144,19 @@ let create ?(options = P.default_options) ?(telemetry = T.noop) ?cache
   in
   (* The initial plan runs under the caller's own budget settings —
      only replans are capped by [replan_budget]. *)
-  let r, _hit =
-    plan_once t ~options ~stats_epoch:0
-      (Acq_prob.Backend.of_dataset ~telemetry
-         ~spec:options.P.prob_model history)
+  let backend =
+    Acq_prob.Backend.of_dataset ~telemetry ~spec:options.P.prob_model history
   in
+  let r, _hit = plan_once t ~options ~stats_epoch:0 backend in
   t.initial_stats <- r.P.stats;
   t.plan <- r.P.plan;
   t.prepared <- prepare t.plan;
   t.expected <- r.P.est_cost;
+  (match audit with
+  | Some a ->
+      Audit.install ?model:options.P.cost_model a query ~costs:t.costs
+        ~mode:exec_mode ~plan:t.plan ~expected:t.expected ~backend ~epoch:0
+  | None -> ());
   t
 
 let reprepare t =
@@ -151,8 +167,11 @@ let query t = t.query
 let plan t = t.plan
 let exec_mode t = t.exec_mode
 let prepared t = t.prepared
+let audit t = t.audit
+let audit_probe t = Option.bind t.audit Audit.probe
 
-let execute ?obs t ~lookup = Acq_exec.Runner.run ?obs t.prepared ~lookup
+let execute ?obs t ~lookup =
+  Acq_exec.Runner.run ?obs ?probe:(audit_probe t) t.prepared ~lookup
 
 let expected_cost t = t.expected
 let state t = t.state
@@ -184,14 +203,20 @@ let observation t =
   in
   t.last_drift <- drift;
   T.set t.telemetry ~labels:(algo_label t) "acqp_adapt_drift" drift;
+  (* One code path for both cost sources: the policy resolves the
+     internal accumulator or the external (audit-fed) meter into the
+     same observation fields. *)
+  let observed_cost, observations =
+    Policy.observed_cost t.policy ~internal_sum:t.cost_acc
+      ~internal_n:t.cost_n
+  in
   {
     Policy.epochs_since_switch = t.since_switch;
     window_full = Sl.is_full t.window;
     drift;
-    observed_cost =
-      (if t.cost_n = 0 then 0.0 else t.cost_acc /. float_of_int t.cost_n);
+    observed_cost;
     expected_cost = t.expected;
-    observations = t.cost_n;
+    observations;
   }
 
 (* Replanning + Switching, inside one [check] call. Returns the switch
@@ -254,7 +279,16 @@ let replan t reason ~max_nodes =
           t.cost_acc <- 0.0;
           t.cost_n <- 0;
           t.since_switch <- 0;
-          t.drift_armed <- false
+          t.drift_armed <- false;
+          (* Re-arm the calibration recorder on the refreshed
+             statistics, plan switch or not: predictions must track
+             the baseline the plan is now judged against. *)
+          match t.audit with
+          | Some a ->
+              Audit.install ?model:t.options.P.cost_model a t.query
+                ~costs:t.costs ~mode:t.exec_mode ~plan:t.plan
+                ~expected:r.P.est_cost ~backend:est ~epoch:t.epoch
+          | None -> ()
         in
         if Acq_plan.Plan.equal r.P.plan t.plan then begin
           (* Same tree: stale statistics, fresh conclusion — skip the
@@ -294,6 +328,15 @@ let replan t reason ~max_nodes =
 
 let check ?(max_nodes = max_int) t =
   let o = observation t in
+  (match t.audit with
+  | Some a ->
+      Audit.note_drift a ~epoch:t.epoch o.Policy.drift;
+      let window =
+        if Sl.size t.window = 0 then None
+        else Some (fun () -> Sl.to_dataset t.window)
+      in
+      Audit.checkpoint a ~epoch:t.epoch ?window ()
+  | None -> ());
   if (not t.drift_armed) && Policy.rearms t.policy o then t.drift_armed <- true;
   match t.state with
   | Replanning | Switching ->

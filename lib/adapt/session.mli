@@ -58,6 +58,7 @@ val create :
   ?policy:Policy.t ->
   ?replan_budget:int ->
   ?exec_mode:Acq_exec.Mode.t ->
+  ?audit:Acq_audit.Audit.t ->
   ?on_switch:(Acq_plan.Plan.t -> switch -> unit) ->
   algorithm:Acq_core.Planner.algorithm ->
   window:int ->
@@ -79,7 +80,15 @@ val create :
     [exec_mode] (default [Tree]) selects the execution path of
     {!prepared}/{!execute}: under [Compiled] the session lowers each
     installed plan once — at creation and again on every switch — and
-    serves epochs from the cached automaton. *)
+    serves epochs from the cached automaton.
+    [audit] attaches an {!Acq_audit.Audit} pipeline: the session
+    installs every chosen plan into it (initial plan, every successful
+    replan — switch or statistics rebase), {!execute} feeds its probe,
+    state transitions and drift scores land in the flight recorder,
+    and every {!check} runs an audit checkpoint (gauges, calibration
+    alarm, cadenced regret replay over the window). Pair it with
+    {!Policy.with_cost_source} on the session's policy to drive the
+    cost-regret trigger from audited cost. *)
 
 val query : t -> Acq_plan.Query.t
 val plan : t -> Acq_plan.Plan.t
@@ -98,7 +107,16 @@ val execute :
 (** Run the current prepared plan on one tuple — what a daemon-style
     caller uses between replans instead of re-interpreting the tree.
     Does {e not} {!observe}; feed the outcome's cost back through
-    {!step}/{!observe} as usual. *)
+    {!step}/{!observe} as usual. With an audit pipeline attached, the
+    tuple also feeds the calibration probe (in either exec mode,
+    never changing the outcome). *)
+
+val audit : t -> Acq_audit.Audit.t option
+
+val audit_probe : t -> Acq_exec.Probe.t option
+(** The audit pipeline's live probe, for callers that execute through
+    their own {!Acq_exec.Runner} instead of {!execute} (the sensor
+    motes do). *)
 
 val expected_cost : t -> float
 val state : t -> state

@@ -3,7 +3,6 @@ module Ex = Acq_plan.Executor
 
 type t = {
   sessions : Session.t array;
-  costs : float array array;  (** per-session schema costs *)
   telemetry : T.t;
   mutable budget_left : int;
   mutable epoch : int;
@@ -19,11 +18,6 @@ let create ?(telemetry = T.noop) ?(planning_budget = max_int) sessions =
   let sessions = Array.of_list sessions in
   {
     sessions;
-    costs =
-      Array.map
-        (fun s ->
-          Acq_data.Schema.costs (Acq_plan.Query.schema (Session.query s)))
-        sessions;
     telemetry;
     budget_left = planning_budget;
     epoch = 0;
@@ -39,11 +33,13 @@ let sessions t = Array.to_list t.sessions
 let step t row =
   t.epoch <- t.epoch + 1;
   let outcomes =
-    Array.mapi
-      (fun i s ->
+    Array.map
+      (fun s ->
+        (* Through the session's prepared runner (byte-identical to
+           the direct tree interpretation), so an attached audit
+           pipeline sees every supervised tuple too. *)
         let o =
-          Ex.run_tuple ~obs:t.telemetry (Session.query s) ~costs:t.costs.(i)
-            (Session.plan s) row
+          Session.execute ~obs:t.telemetry s ~lookup:(fun at -> row.(at))
         in
         t.acquisition <- t.acquisition +. o.Ex.cost;
         if o.Ex.verdict then t.matches <- t.matches + 1;

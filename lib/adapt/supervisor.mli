@@ -28,8 +28,10 @@ val sessions : t -> Session.t list
 
 val step : t -> int array -> Acq_plan.Executor.outcome array
 (** Serve one stream tuple to every session (outcomes in session
-    order): execute, meter, observe, and run any due trigger checks
-    under the shared budget. *)
+    order): execute through each session's prepared runner (so a
+    session-attached audit pipeline sees every supervised tuple),
+    meter, observe, and run any due trigger checks under the shared
+    budget. *)
 
 val run_dataset : t -> Acq_data.Dataset.t -> unit
 (** {!step} every row in order. *)

@@ -1,0 +1,210 @@
+module T = Acq_obs.Telemetry
+module J = Acq_obs.Json
+
+type cell = {
+  mutable count : int;
+  mutable sum_err : float;
+  mutable sum_sq_err : float;
+  mutable max_abs_err : float;
+  mutable sum_abs_err : float;
+  mutable sum_gap : float;
+  mutable sum_pred : float;
+  mutable sum_obs : float;
+}
+
+let cell () =
+  {
+    count = 0;
+    sum_err = 0.0;
+    sum_sq_err = 0.0;
+    max_abs_err = 0.0;
+    sum_abs_err = 0.0;
+    sum_gap = 0.0;
+    sum_pred = 0.0;
+    sum_obs = 0.0;
+  }
+
+let copy_cell c = { c with count = c.count }
+
+(* One plan node's aggregate: [visits] Bernoulli observations against
+   the fixed prediction [pred]. Every per-observation sum is closed
+   form in (visits, hits, pred), which is what lets the executors keep
+   only two int counters per node on the hot path:
+     sum (b - p)      over visits = h - v*p
+     sum (b - p)^2               = h*(1-p)^2 + (v-h)*p^2
+     sum |b - p|                 = h*(1-p)   + (v-h)*p
+   and the node's calibration gap |h/v - p| enters count-weighted as
+   |h - v*p|. *)
+let observe_binary c ~pred ~visits ~hits =
+  if visits < 0 || hits < 0 || hits > visits then
+    invalid_arg "Calibration.observe_binary: need 0 <= hits <= visits";
+  if visits > 0 then begin
+    let p = if pred < 0.0 then 0.0 else if pred > 1.0 then 1.0 else pred in
+    let v = float_of_int visits and h = float_of_int hits in
+    c.count <- c.count + visits;
+    c.sum_err <- c.sum_err +. (h -. (v *. p));
+    c.sum_sq_err <-
+      c.sum_sq_err
+      +. (h *. (1.0 -. p) *. (1.0 -. p))
+      +. ((v -. h) *. p *. p);
+    c.sum_abs_err <- c.sum_abs_err +. (h *. (1.0 -. p)) +. ((v -. h) *. p);
+    c.sum_gap <- c.sum_gap +. Float.abs (h -. (v *. p));
+    c.sum_pred <- c.sum_pred +. (v *. p);
+    c.sum_obs <- c.sum_obs +. h;
+    if hits > 0 && 1.0 -. p > c.max_abs_err then c.max_abs_err <- 1.0 -. p;
+    if hits < visits && p > c.max_abs_err then c.max_abs_err <- p
+  end
+
+let observe_sample c ~pred ~obs =
+  let err = obs -. pred in
+  let a = Float.abs err in
+  c.count <- c.count + 1;
+  c.sum_err <- c.sum_err +. err;
+  c.sum_sq_err <- c.sum_sq_err +. (err *. err);
+  c.sum_abs_err <- c.sum_abs_err +. a;
+  c.sum_gap <- c.sum_gap +. a;
+  c.sum_pred <- c.sum_pred +. pred;
+  c.sum_obs <- c.sum_obs +. obs;
+  if a > c.max_abs_err then c.max_abs_err <- a
+
+let merge_cell_into ~src ~dst =
+  dst.count <- dst.count + src.count;
+  dst.sum_err <- dst.sum_err +. src.sum_err;
+  dst.sum_sq_err <- dst.sum_sq_err +. src.sum_sq_err;
+  dst.sum_abs_err <- dst.sum_abs_err +. src.sum_abs_err;
+  dst.sum_gap <- dst.sum_gap +. src.sum_gap;
+  dst.sum_pred <- dst.sum_pred +. src.sum_pred;
+  dst.sum_obs <- dst.sum_obs +. src.sum_obs;
+  if src.max_abs_err > dst.max_abs_err then dst.max_abs_err <- src.max_abs_err
+
+let mean_err c =
+  if c.count = 0 then 0.0 else c.sum_err /. float_of_int c.count
+
+let mean_abs_err c =
+  if c.count = 0 then 0.0 else c.sum_abs_err /. float_of_int c.count
+
+let brier c =
+  if c.count = 0 then 0.0 else c.sum_sq_err /. float_of_int c.count
+
+let gap c = if c.count = 0 then 0.0 else c.sum_gap /. float_of_int c.count
+
+type t = { names : string array; sel : cell array; nodes : cell; cost : cell }
+
+let create names =
+  {
+    names = Array.copy names;
+    sel = Array.init (Array.length names) (fun _ -> cell ());
+    nodes = cell ();
+    cost = cell ();
+  }
+
+let names t = Array.copy t.names
+let attr_cell t a = t.sel.(a)
+let node_cell t = t.nodes
+let cost_cell t = t.cost
+
+let copy t =
+  {
+    names = Array.copy t.names;
+    sel = Array.map copy_cell t.sel;
+    nodes = copy_cell t.nodes;
+    cost = copy_cell t.cost;
+  }
+
+let absorb_nodes t auto ~predictions ~visits ~hits =
+  let n = Acq_exec.Compile.n_nodes auto in
+  if
+    Array.length predictions <> n
+    || Array.length visits <> n
+    || Array.length hits <> n
+  then invalid_arg "Calibration.absorb_nodes: array lengths differ";
+  for i = 0 to n - 1 do
+    let a = auto.Acq_exec.Compile.attr.(i) in
+    if a < 0 || a >= Array.length t.sel then
+      invalid_arg "Calibration.absorb_nodes: node attribute out of schema";
+    observe_binary t.sel.(a) ~pred:predictions.(i) ~visits:visits.(i)
+      ~hits:hits.(i);
+    observe_binary t.nodes ~pred:predictions.(i) ~visits:visits.(i)
+      ~hits:hits.(i)
+  done
+
+let absorb_cost t (cs : Acq_exec.Probe.cost_stats) =
+  if cs.count > 0 then begin
+    let c = t.cost in
+    c.count <- c.count + cs.count;
+    c.sum_err <- c.sum_err +. cs.sum_err;
+    c.sum_sq_err <- c.sum_sq_err +. cs.sum_sq_err;
+    c.sum_abs_err <- c.sum_abs_err +. cs.sum_abs_err;
+    c.sum_gap <- c.sum_gap +. cs.sum_abs_err;
+    c.sum_pred <- c.sum_pred +. (cs.predicted *. float_of_int cs.count);
+    c.sum_obs <- c.sum_obs +. cs.sum_observed;
+    if cs.max_abs_err > c.max_abs_err then c.max_abs_err <- cs.max_abs_err
+  end
+
+let absorb_probe t probe ~predictions =
+  absorb_nodes t
+    (Acq_exec.Probe.automaton probe)
+    ~predictions
+    ~visits:(Acq_exec.Probe.visits probe)
+    ~hits:(Acq_exec.Probe.hits probe);
+  absorb_cost t (Acq_exec.Probe.cost_stats probe)
+
+let merge_into ~src ~dst =
+  if src.names <> dst.names then
+    invalid_arg "Calibration.merge_into: attribute names differ";
+  Array.iteri
+    (fun i c -> merge_cell_into ~src:c ~dst:dst.sel.(i))
+    src.sel;
+  merge_cell_into ~src:src.nodes ~dst:dst.nodes;
+  merge_cell_into ~src:src.cost ~dst:dst.cost
+
+let brier_score t = brier t.nodes
+let calibration_error t = gap t.nodes
+let observations t = t.nodes.count
+
+let export t obs =
+  let set = T.set obs in
+  Array.iteri
+    (fun i name ->
+      let c = t.sel.(i) in
+      if c.count > 0 then begin
+        let labels = [ ("attr", name) ] in
+        T.set obs ~labels "acqp_audit_sel_observations"
+          (float_of_int c.count);
+        T.set obs ~labels "acqp_audit_sel_brier" (brier c);
+        T.set obs ~labels "acqp_audit_sel_calibration_error" (gap c);
+        T.set obs ~labels "acqp_audit_sel_mean_err" (mean_err c);
+        T.set obs ~labels "acqp_audit_sel_max_abs_err" c.max_abs_err
+      end)
+    t.names;
+  set "acqp_audit_observations" (float_of_int t.nodes.count);
+  set "acqp_audit_brier" (brier t.nodes);
+  set "acqp_audit_calibration_error" (gap t.nodes);
+  set "acqp_audit_cost_tuples" (float_of_int t.cost.count);
+  set "acqp_audit_cost_mean_err" (mean_err t.cost);
+  set "acqp_audit_cost_mae" (mean_abs_err t.cost);
+  set "acqp_audit_cost_max_abs_err" t.cost.max_abs_err
+
+let cell_to_json c =
+  J.Obj
+    [
+      ("count", J.Num (float_of_int c.count));
+      ("mean_err", J.Num (mean_err c));
+      ("mae", J.Num (mean_abs_err c));
+      ("brier", J.Num (brier c));
+      ("calibration_error", J.Num (gap c));
+      ("max_abs_err", J.Num c.max_abs_err);
+      ("mean_pred", J.Num (if c.count = 0 then 0.0 else c.sum_pred /. float_of_int c.count));
+      ("mean_obs", J.Num (if c.count = 0 then 0.0 else c.sum_obs /. float_of_int c.count));
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ( "attrs",
+        J.Obj
+          (Array.to_list
+             (Array.mapi (fun i n -> (n, cell_to_json t.sel.(i))) t.names)) );
+      ("nodes", cell_to_json t.nodes);
+      ("cost", cell_to_json t.cost);
+    ]

@@ -1,0 +1,104 @@
+(** Estimator-calibration cells: predicted probability / cost versus
+    what execution actually observed.
+
+    The executors record raw counts only ({!Acq_exec.Probe}); this
+    module turns them into calibration aggregates. Every statistic is
+    a closed-form function of a node's [(visits, hits, prediction)]
+    triple, so absorbing a probe is O(nodes) with no per-observation
+    work, and a cell is eight scalars — cheap enough to keep one per
+    attribute, merge across domains, and export on every checkpoint.
+
+    Error sign convention throughout: [observed - predicted], so a
+    positive mean error means the estimator under-predicted. Two
+    error summaries matter and differ: the {e Brier score}
+    (mean squared error against the 0/1 outcomes; even a perfectly
+    calibrated predictor scores [p(1-p)]) and the {e calibration gap}
+    (count-weighted [|observed rate - predicted|] per plan node; a
+    correct estimator scores ~0 on its own training distribution).
+    The gap is the alarm / ranking metric, the Brier score the
+    resolution-sensitive one; both are exported. *)
+
+type cell = {
+  mutable count : int;
+  mutable sum_err : float;
+  mutable sum_sq_err : float;
+  mutable max_abs_err : float;
+  mutable sum_abs_err : float;
+  mutable sum_gap : float;  (** count-weighted per-node |rate - pred| *)
+  mutable sum_pred : float;
+  mutable sum_obs : float;
+}
+
+val cell : unit -> cell
+val copy_cell : cell -> cell
+
+val observe_binary : cell -> pred:float -> visits:int -> hits:int -> unit
+(** Fold one plan node's aggregate: [visits] Bernoulli outcomes, of
+    which [hits] succeeded, against fixed prediction [pred] (clamped
+    to [0, 1]). @raise Invalid_argument unless
+    [0 <= hits <= visits]. *)
+
+val observe_sample : cell -> pred:float -> obs:float -> unit
+(** Fold one real-valued observation (used for per-tuple cost). *)
+
+val merge_cell_into : src:cell -> dst:cell -> unit
+(** Commutative, associative cell sum ([max_abs_err] takes the max) —
+    the shard merge for parallel fan-out. *)
+
+val mean_err : cell -> float
+val mean_abs_err : cell -> float
+val brier : cell -> float
+val gap : cell -> float
+(** All 0 on an empty cell. *)
+
+(** {1 Trackers: one cell per attribute + pooled node and cost cells} *)
+
+type t
+
+val create : string array -> t
+(** [create names]: one selectivity cell per attribute name. *)
+
+val names : t -> string array
+val attr_cell : t -> int -> cell
+val node_cell : t -> cell
+val cost_cell : t -> cell
+val copy : t -> t
+
+val absorb_nodes :
+  t ->
+  Acq_exec.Compile.t ->
+  predictions:float array ->
+  visits:int array ->
+  hits:int array ->
+  unit
+(** Fold per-node counts into the per-attribute cells (node [i] lands
+    in the cell of [attr.(i)]) and the pooled node cell. *)
+
+val absorb_cost : t -> Acq_exec.Probe.cost_stats -> unit
+val absorb_probe : t -> Acq_exec.Probe.t -> predictions:float array -> unit
+(** {!absorb_nodes} + {!absorb_cost} straight off a probe. Does not
+    reset the probe — callers own that. *)
+
+val merge_into : src:t -> dst:t -> unit
+(** Deterministic cell-wise sum; used to fold per-shard trackers from
+    a parallel fan-out, in submission order.
+    @raise Invalid_argument when the attribute names differ. *)
+
+val brier_score : t -> float
+(** Pooled over all plan nodes. *)
+
+val calibration_error : t -> float
+(** Pooled count-weighted calibration gap — the score anomaly
+    triggers and the bench ordering check use. *)
+
+val observations : t -> int
+
+val export : t -> Acq_obs.Telemetry.t -> unit
+(** Set the [acqp_audit_*] gauges (per-attribute: [sel_brier],
+    [sel_calibration_error], [sel_mean_err], [sel_max_abs_err],
+    [sel_observations]; pooled: [brier], [calibration_error],
+    [observations]; cost: [cost_mean_err], [cost_mae],
+    [cost_max_abs_err], [cost_tuples]). *)
+
+val cell_to_json : cell -> Acq_obs.Json.t
+val to_json : t -> Acq_obs.Json.t

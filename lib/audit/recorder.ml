@@ -1,0 +1,157 @@
+module T = Acq_obs.Telemetry
+module J = Acq_obs.Json
+module B = Acq_prob.Backend
+module Plan = Acq_plan.Plan
+module Query = Acq_plan.Query
+module Predicate = Acq_plan.Predicate
+module Range = Acq_plan.Range
+module Compile = Acq_exec.Compile
+module Probe = Acq_exec.Probe
+
+(* Per-node predicted band probabilities, in the exact Compile
+   preorder: a Test node emits itself, then its high subtree, then its
+   low one; a Seq leaf claims consecutive indices. The walk mirrors
+   the planner's own conditioning: each branch restricts the backend
+   to the value range that reaches it, each sequential step conditions
+   on the previous predicate holding — so prediction [i] is
+   P(node i's band | path to node i), which is precisely what
+   [hits/visits] observes at runtime. A branch with no training
+   support predicts 0.5 (uninformed) and stops conditioning. *)
+let predictions q ~backend plan ~n_nodes =
+  let preds = Array.make n_nodes 0.5 in
+  let domains = Acq_data.Schema.domains (Query.schema q) in
+  let next = ref 0 in
+  let rec walk est = function
+    | Plan.Leaf (Plan.Const _) -> ()
+    | Plan.Leaf (Plan.Seq pids) ->
+        let base = !next in
+        next := base + Array.length pids;
+        let est = ref est in
+        Array.iteri
+          (fun i pid ->
+            let p = Query.predicate q pid in
+            let dom = domains.(p.Predicate.attr) in
+            let lo = max 0 p.Predicate.lo and hi = min (dom - 1) p.Predicate.hi in
+            if B.is_empty !est then preds.(base + i) <- 0.5
+            else begin
+              preds.(base + i) <-
+                (if lo > hi then 0.0
+                 else B.range_prob !est p.Predicate.attr (Range.make lo hi));
+              (* The automaton only continues past this node when the
+                 predicate holds; condition the rest of the chain. *)
+              est := B.restrict_pred !est p true
+            end)
+          pids
+    | Plan.Test { attr; threshold; low; high } ->
+        let idx = !next in
+        incr next;
+        let dom = domains.(attr) in
+        let empty = B.is_empty est in
+        let p_hi =
+          if empty then 0.5
+          else if threshold <= 0 then 1.0
+          else if threshold > dom - 1 then 0.0
+          else B.range_prob est attr (Range.make threshold (dom - 1))
+        in
+        preds.(idx) <- p_hi;
+        let branch r sub =
+          let est' =
+            if empty then est
+            else
+              match r with
+              | Some range -> B.restrict_range est attr range
+              | None -> est
+          in
+          walk est' sub
+        in
+        branch
+          (if threshold <= dom - 1 then
+             Some (Range.make (max 0 threshold) (dom - 1))
+           else None)
+          high;
+        branch
+          (if threshold - 1 >= 0 then Some (Range.make 0 (min (dom - 1) (threshold - 1)))
+           else None)
+          low
+  in
+  walk backend plan;
+  if !next <> n_nodes then
+    invalid_arg "Recorder.predictions: walk out of step with the automaton";
+  preds
+
+type t = {
+  query : Query.t;
+  costs : float array;
+  telemetry : T.t;
+  calib : Calibration.t;  (* completed installs *)
+  mutable plan : Plan.t;
+  mutable plan_id : int;
+  mutable auto : Compile.t;
+  mutable preds : float array;
+  mutable probe : Probe.t;
+}
+
+let install_state q ~backend ~expected plan =
+  let auto = Compile.compile q plan in
+  let preds = predictions q ~backend plan ~n_nodes:(Compile.n_nodes auto) in
+  let probe = Probe.create auto in
+  Probe.set_predicted_cost probe expected;
+  (auto, preds, probe)
+
+let create ?(telemetry = T.noop) q ~costs ~plan ~expected ~backend =
+  let auto, preds, probe = install_state q ~backend ~expected plan in
+  {
+    query = q;
+    costs = Array.copy costs;
+    telemetry;
+    calib =
+      Calibration.create (Acq_data.Schema.names (Query.schema q));
+    plan;
+    plan_id = 0;
+    auto;
+    preds;
+    probe;
+  }
+
+let install t ~plan ~expected ~backend =
+  Calibration.absorb_probe t.calib t.probe ~predictions:t.preds;
+  let auto, preds, probe = install_state t.query ~backend ~expected plan in
+  t.plan <- plan;
+  t.plan_id <- t.plan_id + 1;
+  t.auto <- auto;
+  t.preds <- preds;
+  t.probe <- probe
+
+let query t = t.query
+let costs t = Array.copy t.costs
+let plan t = t.plan
+let plan_id t = t.plan_id
+let probe t = t.probe
+let node_predictions t = Array.copy t.preds
+let predicted_cost t = Probe.predicted_cost t.probe
+let observed_cost t = Probe.observed_mean_cost t.probe
+
+let snapshot t =
+  let c = Calibration.copy t.calib in
+  Calibration.absorb_probe c t.probe ~predictions:t.preds;
+  c
+
+let export t =
+  let c = snapshot t in
+  Calibration.export c t.telemetry;
+  T.set t.telemetry "acqp_audit_plan_id" (float_of_int t.plan_id);
+  c
+
+let to_json t =
+  let c = snapshot t in
+  J.Obj
+    [
+      ("plan_id", J.Num (float_of_int t.plan_id));
+      ("plan_nodes", J.Num (float_of_int (Compile.n_nodes t.auto)));
+      ("predicted_cost", J.Num (Probe.predicted_cost t.probe));
+      ( "observed_cost",
+        match Probe.observed_mean_cost t.probe with
+        | Some (c, _) -> J.Num c
+        | None -> J.Null );
+      ("calibration", Calibration.to_json c);
+    ]

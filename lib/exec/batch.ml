@@ -56,8 +56,15 @@ let create ?model ~costs auto =
 
 let automaton t = t.auto
 
-let run ?instr t ~lookup =
+let run ?instr ?probe t ~lookup =
   let a = t.auto in
+  let probed, pvisits, phits =
+    match probe with
+    | None -> (false, [||], [||])
+    | Some p ->
+        Probe.check p a;
+        (true, Probe.visits p, Probe.hits p)
+  in
   t.tid <- t.tid + 1;
   let tid = t.tid in
   t.acc.(0) <- 0.0;
@@ -86,10 +93,12 @@ let run ?instr t ~lookup =
         t.acc.(0) <- t.acc.(0) +. c
       end;
       let v = lookup at in
-      go
-        (if a.Compile.lo.(node) <= v && v <= a.Compile.hi.(node) then
-           a.Compile.on_hit.(node)
-         else a.Compile.on_miss.(node))
+      let hit = a.Compile.lo.(node) <= v && v <= a.Compile.hi.(node) in
+      if probed then begin
+        pvisits.(node) <- pvisits.(node) + 1;
+        if hit then phits.(node) <- phits.(node) + 1
+      end;
+      go (if hit then a.Compile.on_hit.(node) else a.Compile.on_miss.(node))
     end
     else node = Compile.accept
   in
@@ -97,15 +106,17 @@ let run ?instr t ~lookup =
   (match instr with
   | Some i -> E.Instr.tuple i ~verdict ~tests:t.tests
   | None -> ());
+  (match probe with Some p -> Probe.observe_cost p t.acc.(0) | None -> ());
   {
     E.verdict;
     cost = t.acc.(0);
     acquired = List.init t.n_acq (fun k -> t.order.(k));
   }
 
-let run_tuple ?instr t tuple = run ?instr t ~lookup:(fun at -> tuple.(at))
+let run_tuple ?instr ?probe t tuple =
+  run ?instr ?probe t ~lookup:(fun at -> tuple.(at))
 
-let sweep_columns ?instr t cols ~nrows =
+let sweep_columns ?instr ?probe t cols ~nrows =
   if nrows = 0 then 0.0
   else begin
     let a = t.auto in
@@ -117,6 +128,16 @@ let sweep_columns ?instr t cols ~nrows =
         if Array.length c < nrows then
           invalid_arg "Batch.sweep_columns: column shorter than nrows")
       cols;
+    (* Probe arrays are hoisted like the automaton's: the audited
+       sweep stays a pair of int increments per node visit, with no
+       per-tuple allocation. *)
+    let probed, pvisits, phits =
+      match probe with
+      | None -> (false, [||], [||])
+      | Some p ->
+          Probe.check p a;
+          (true, Probe.visits p, Probe.hits p)
+    in
     let kind = a.Compile.kind in
     let attr = a.Compile.attr in
     let lo = a.Compile.lo in
@@ -156,9 +177,12 @@ let sweep_columns ?instr t cols ~nrows =
           t.acc.(0) <- t.acc.(0) +. c
         end;
         let v = cols.(at).(r) in
-        go r
-          (if lo.(node) <= v && v <= hi.(node) then on_hit.(node)
-           else on_miss.(node))
+        let hit = lo.(node) <= v && v <= hi.(node) in
+        if probed then begin
+          pvisits.(node) <- pvisits.(node) + 1;
+          if hit then phits.(node) <- phits.(node) + 1
+        end;
+        go r (if hit then on_hit.(node) else on_miss.(node))
       end
       else node
     in
@@ -170,6 +194,9 @@ let sweep_columns ?instr t cols ~nrows =
       let exit = go r entry in
       if exit = Compile.accept then incr matches;
       t.acc.(1) <- t.acc.(1) +. t.acc.(0);
+      (match probe with
+      | Some p -> Probe.observe_cost p t.acc.(0)
+      | None -> ());
       if instrumented then
         match instr with Some i -> E.Instr.depth i t.tests | None -> ()
     done;
@@ -184,7 +211,7 @@ let sweep_columns ?instr t cols ~nrows =
     t.acc.(1) /. float_of_int nrows
   end
 
-let average_cost ?instr t data =
+let average_cost ?instr ?probe t data =
   let nrows = Acq_data.Dataset.nrows data in
   if nrows = 0 then 0.0
-  else sweep_columns ?instr t (Acq_data.Dataset.columns data) ~nrows
+  else sweep_columns ?instr ?probe t (Acq_data.Dataset.columns data) ~nrows

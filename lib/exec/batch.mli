@@ -31,6 +31,7 @@ val automaton : t -> Compile.t
 
 val run :
   ?instr:Acq_plan.Executor.Instr.t ->
+  ?probe:Probe.t ->
   t ->
   lookup:(int -> int) ->
   Acq_plan.Executor.outcome
@@ -38,13 +39,22 @@ val run :
     per node visit (exactly like the tree interpreter's [touch]), so
     lookup side effects — a mote powering a sensor — happen in the
     same order and multiplicity. With [instr], records the same
-    per-tuple series as {!Acq_plan.Executor.run}. *)
+    per-tuple series as {!Acq_plan.Executor.run}. With [probe],
+    per-node visit/hit counts and the tuple's realized cost are folded
+    into the probe's pre-allocated cells — observations only, never a
+    change to verdict, cost, or acquisition order. @raise
+    Invalid_argument when the probe's automaton shape differs. *)
 
 val run_tuple :
-  ?instr:Acq_plan.Executor.Instr.t -> t -> int array -> Acq_plan.Executor.outcome
+  ?instr:Acq_plan.Executor.Instr.t ->
+  ?probe:Probe.t ->
+  t ->
+  int array ->
+  Acq_plan.Executor.outcome
 
 val sweep_columns :
   ?instr:Acq_plan.Executor.Instr.t ->
+  ?probe:Probe.t ->
   t ->
   int array array ->
   nrows:int ->
@@ -56,8 +66,15 @@ val sweep_columns :
     per-attribute acquisition and tuple/match counters are flushed in
     one batch after the loop; the depth histogram is observed per
     tuple (its granularity cannot be batched). Counter totals equal
-    the tree path's exactly. *)
+    the tree path's exactly. With [probe], the audited loop adds two
+    int increments per node visit against hoisted probe arrays and one
+    cost fold per tuple — still zero per-tuple allocation, so the
+    <8 KiB/sweep bound holds audited. *)
 
 val average_cost :
-  ?instr:Acq_plan.Executor.Instr.t -> t -> Acq_data.Dataset.t -> float
+  ?instr:Acq_plan.Executor.Instr.t ->
+  ?probe:Probe.t ->
+  t ->
+  Acq_data.Dataset.t ->
+  float
 (** {!sweep_columns} over a fresh columnar snapshot of [data]. *)

@@ -23,17 +23,22 @@ let mode p = p.mode
 let plan p = p.plan
 let query p = p.query
 
-let run ?(obs = T.noop) p ~lookup =
-  match p.batch with
-  | None -> E.run ?model:p.model ~obs p.query ~costs:p.costs p.plan ~lookup
-  | Some b -> Batch.run ?instr:(E.Instr.of_obs obs p.query) b ~lookup
-
-let run_tuple ?obs p tuple = run ?obs p ~lookup:(fun at -> tuple.(at))
-
-let average_cost_prepared ?(obs = T.noop) p data =
+let run ?(obs = T.noop) ?probe p ~lookup =
   match p.batch with
   | None ->
-      E.average_cost ?model:p.model ~obs p.query ~costs:p.costs p.plan data
+      let audit = Option.map Probe.hook probe in
+      E.run ?model:p.model ~obs ?audit p.query ~costs:p.costs p.plan ~lookup
+  | Some b -> Batch.run ?instr:(E.Instr.of_obs obs p.query) ?probe b ~lookup
+
+let run_tuple ?obs ?probe p tuple =
+  run ?obs ?probe p ~lookup:(fun at -> tuple.(at))
+
+let average_cost_prepared ?(obs = T.noop) ?probe p data =
+  match p.batch with
+  | None ->
+      let audit = Option.map Probe.hook probe in
+      E.average_cost ?model:p.model ~obs ?audit p.query ~costs:p.costs p.plan
+        data
   | Some b ->
       let n = Acq_data.Dataset.nrows data in
       if n = 0 then 0.0
@@ -41,7 +46,8 @@ let average_cost_prepared ?(obs = T.noop) p data =
         T.span obs ~cat:"executor"
           ~attrs:[ ("rows", string_of_int n); ("exec", "compiled") ]
           "executor.average_cost"
-        @@ fun () -> Batch.average_cost ?instr:(E.Instr.of_obs obs p.query) b data
+        @@ fun () ->
+        Batch.average_cost ?instr:(E.Instr.of_obs obs p.query) ?probe b data
 
-let average_cost ?model ?obs ~mode q ~costs plan data =
-  average_cost_prepared ?obs (prepare ?model ~mode q ~costs plan) data
+let average_cost ?model ?obs ?probe ~mode q ~costs plan data =
+  average_cost_prepared ?obs ?probe (prepare ?model ~mode q ~costs plan) data

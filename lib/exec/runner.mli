@@ -24,18 +24,30 @@ val query : prepared -> Acq_plan.Query.t
 
 val run :
   ?obs:Acq_obs.Telemetry.t ->
+  ?probe:Probe.t ->
   prepared ->
   lookup:(int -> int) ->
   Acq_plan.Executor.outcome
 (** Same contract as {!Acq_plan.Executor.run} in either mode:
     identical verdict, cost, acquisition order, and lookup call
-    pattern. Instruments resolve per call, as the tree path does. *)
+    pattern. Instruments resolve per call, as the tree path does.
+    [probe] feeds the same per-node / per-tuple audit cells in either
+    mode — through {!Probe.hook} on the tree path, directly on the
+    compiled one — without changing any outcome. *)
 
 val run_tuple :
-  ?obs:Acq_obs.Telemetry.t -> prepared -> int array -> Acq_plan.Executor.outcome
+  ?obs:Acq_obs.Telemetry.t ->
+  ?probe:Probe.t ->
+  prepared ->
+  int array ->
+  Acq_plan.Executor.outcome
 
 val average_cost_prepared :
-  ?obs:Acq_obs.Telemetry.t -> prepared -> Acq_data.Dataset.t -> float
+  ?obs:Acq_obs.Telemetry.t ->
+  ?probe:Probe.t ->
+  prepared ->
+  Acq_data.Dataset.t ->
+  float
 (** Eq.-4 mean over the dataset under the prepared representation —
     exec-mode invariant byte for byte. Both modes run the sweep inside
     an ["executor.average_cost"] span with instruments resolved once
@@ -45,6 +57,7 @@ val average_cost_prepared :
 val average_cost :
   ?model:Acq_plan.Cost_model.t ->
   ?obs:Acq_obs.Telemetry.t ->
+  ?probe:Probe.t ->
   mode:Mode.t ->
   Acq_plan.Query.t ->
   costs:float array ->

@@ -57,11 +57,31 @@ module Instr = struct
   let depth t tests = M.observe t.depth_hist (float_of_int tests)
 end
 
+(* Neutral audit tap: the calibration layer (Acq_audit) lives above
+   this library, so the executor only exposes a pair of callbacks and
+   reports raw observations — band membership per step, realized cost
+   per tuple. Band membership (lo <= v <= hi), not the
+   polarity-adjusted predicate verdict, is what the step reports:
+   that is the event whose probability the planner's estimator
+   predicted, and it is what the compiled automaton branches on, so
+   both execution paths feed identical observations. *)
+module Audit_hook = struct
+  type t = {
+    on_step : attr:int -> hit:bool -> unit;
+        (** One test or sequential step, in traversal order. [hit] is
+            band membership: [v >= threshold] for a {!Plan.Test} node,
+            [lo <= v <= hi] for a sequential predicate step. *)
+    on_tuple : verdict:bool -> cost:float -> unit;
+        (** End of one tuple's traversal with its realized
+            acquisition cost. *)
+  }
+end
+
 (* The single acquisition-accounting core: every public entry point —
    closure lookup, array tuple, dataset sweep — is a wrapper around
    this one traversal, so the atomic-cost rule lives in exactly one
    place. *)
-let run_instr ?model ~instr q ~costs plan ~lookup =
+let run_instr ?model ?audit ~instr q ~costs plan ~lookup =
   let model =
     match model with Some m -> m | None -> Cost_model.uniform costs
   in
@@ -88,30 +108,48 @@ let run_instr ?model ~instr q ~costs plan ~lookup =
           else
             let p = Query.predicate q preds.(i) in
             let v = touch p.attr in
-            if Predicate.eval p v then eval_from (i + 1) else false
+            let keep = Predicate.eval p v in
+            (match audit with
+            | Some a ->
+                (* Band membership, independent of polarity. *)
+                let hit =
+                  match p.polarity with
+                  | Predicate.Inside -> keep
+                  | Predicate.Outside -> not keep
+                in
+                a.Audit_hook.on_step ~attr:p.attr ~hit
+            | None -> ());
+            if keep then eval_from (i + 1) else false
         in
         eval_from 0
     | Plan.Test { attr; threshold; low; high } ->
         incr tests;
         let v = touch attr in
-        if v >= threshold then exec high else exec low
+        let hit = v >= threshold in
+        (match audit with
+        | Some a -> a.Audit_hook.on_step ~attr ~hit
+        | None -> ());
+        if hit then exec high else exec low
   in
   let verdict = exec plan in
   (match instr with
   | Some i -> Instr.tuple i ~verdict ~tests:!tests
   | None -> ());
+  (match audit with
+  | Some a -> a.Audit_hook.on_tuple ~verdict ~cost:!cost
+  | None -> ());
   { verdict; cost = !cost; acquired = List.rev !order }
 
-let run ?model ?(obs = T.noop) q ~costs plan ~lookup =
-  run_instr ?model ~instr:(Instr.of_obs obs q) q ~costs plan ~lookup
+let run ?model ?(obs = T.noop) ?audit q ~costs plan ~lookup =
+  run_instr ?model ?audit ~instr:(Instr.of_obs obs q) q ~costs plan ~lookup
 
-let run_tuple ?model ?obs q ~costs plan tuple =
-  run ?model ?obs q ~costs plan ~lookup:(fun attr -> tuple.(attr))
+let run_tuple ?model ?obs ?audit q ~costs plan tuple =
+  run ?model ?obs ?audit q ~costs plan ~lookup:(fun attr -> tuple.(attr))
 
 (* Shared dataset sweep: resolve instruments once, then fold the core
    over every row. [average_cost] and [consistent] are both sweeps;
    only their folds differ. *)
-let sweep ?model ~instr q ~costs plan data ~init ~f =
+let sweep ?model ?audit ~instr q ~costs plan data ~init ~f =
   let n = Acq_data.Dataset.nrows data in
   let acc = ref init in
   let r = ref 0 in
@@ -119,7 +157,7 @@ let sweep ?model ~instr q ~costs plan data ~init ~f =
   while !continue && !r < n do
     let row = !r in
     let o =
-      run_instr ?model ~instr q ~costs plan ~lookup:(fun a ->
+      run_instr ?model ?audit ~instr q ~costs plan ~lookup:(fun a ->
           Acq_data.Dataset.get data row a)
     in
     (match f !acc row o with
@@ -131,7 +169,7 @@ let sweep ?model ~instr q ~costs plan data ~init ~f =
   done;
   !acc
 
-let average_cost ?model ?(obs = T.noop) q ~costs plan data =
+let average_cost ?model ?(obs = T.noop) ?audit q ~costs plan data =
   let n = Acq_data.Dataset.nrows data in
   if n = 0 then 0.0
   else
@@ -144,8 +182,8 @@ let average_cost ?model ?(obs = T.noop) q ~costs plan data =
        counter updates themselves. *)
     let instr = Instr.of_obs obs q in
     let total =
-      sweep ?model ~instr q ~costs plan data ~init:0.0 ~f:(fun acc _ o ->
-          `Continue (acc +. o.cost))
+      sweep ?model ?audit ~instr q ~costs plan data ~init:0.0
+        ~f:(fun acc _ o -> `Continue (acc +. o.cost))
     in
     total /. float_of_int n
 

@@ -51,8 +51,29 @@ module Instr : sig
   (** Observe one tuple's plan-tests-traversed depth. *)
 end
 
+(** Neutral audit tap for the calibration layer ({!Acq_audit}, which
+    lives above this library). The executor reports raw observations
+    only: band membership per test/step in traversal order, and the
+    realized acquisition cost per tuple. [hit] is band membership —
+    [v >= threshold] for a {!Plan.Test} node, [lo <= v <= hi] for a
+    sequential predicate step — {e not} the polarity-adjusted
+    predicate verdict, because band membership is the event whose
+    probability the estimator predicted and the event the compiled
+    automaton branches on. Both execution paths therefore feed
+    identical observations. Hooks must not mutate execution state;
+    audited and unaudited runs are byte-identical in
+    verdict/cost/acquisition order (checked by the differential
+    tests). *)
+module Audit_hook : sig
+  type t = {
+    on_step : attr:int -> hit:bool -> unit;
+    on_tuple : verdict:bool -> cost:float -> unit;
+  }
+end
+
 val run_instr :
   ?model:Cost_model.t ->
+  ?audit:Audit_hook.t ->
   instr:Instr.t option ->
   Query.t ->
   costs:float array ->
@@ -66,6 +87,7 @@ val run_instr :
 val run :
   ?model:Cost_model.t ->
   ?obs:Acq_obs.Telemetry.t ->
+  ?audit:Audit_hook.t ->
   Query.t ->
   costs:float array ->
   Plan.t ->
@@ -88,6 +110,7 @@ val run :
 val run_tuple :
   ?model:Cost_model.t ->
   ?obs:Acq_obs.Telemetry.t ->
+  ?audit:Audit_hook.t ->
   Query.t ->
   costs:float array ->
   Plan.t ->
@@ -97,6 +120,7 @@ val run_tuple :
 val average_cost :
   ?model:Cost_model.t ->
   ?obs:Acq_obs.Telemetry.t ->
+  ?audit:Audit_hook.t ->
   Query.t ->
   costs:float array ->
   Plan.t ->

@@ -53,12 +53,12 @@ let prepared t q ~costs plan =
       t.prepared <- Some p;
       p
 
-let run_epoch ?obs t q ~costs ~lookup =
+let run_epoch ?obs ?probe t q ~costs ~lookup =
   match t.plan with
   | None -> failwith "Mote.run_epoch: no plan installed"
   | Some plan ->
       let p = prepared t q ~costs plan in
-      let o = Acq_exec.Runner.run ?obs p ~lookup in
+      let o = Acq_exec.Runner.run ?obs ?probe p ~lookup in
       Energy.add_acquisition t.energy o.Acq_plan.Executor.cost;
       if o.Acq_plan.Executor.verdict then begin
         let payload =

@@ -38,6 +38,7 @@ type epoch_result = {
 
 val run_epoch :
   ?obs:Acq_obs.Telemetry.t ->
+  ?probe:Acq_exec.Probe.t ->
   t ->
   Acq_plan.Query.t ->
   costs:float array ->
@@ -46,5 +47,7 @@ val run_epoch :
 (** Execute the installed plan on this epoch's readings, metering
     acquisition energy; when the tuple matches, also charge the
     result transmission toward the basestation. [obs] is handed to
-    {!Acq_plan.Executor.run} for per-attribute acquisition counters.
+    {!Acq_plan.Executor.run} for per-attribute acquisition counters;
+    [probe] is the basestation's calibration probe (audit pipeline) —
+    it observes node outcomes without changing them.
     @raise Failure if no plan is installed. *)

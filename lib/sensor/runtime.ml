@@ -21,8 +21,8 @@ let default_motes schema =
       .Acq_data.Attribute.domain
   else 1
 
-let run ?options ?radio ?n_motes ?exec ?(telemetry = T.noop) ~algorithm
-    ~history ~live q =
+let run ?options ?radio ?n_motes ?exec ?(telemetry = T.noop) ?audit
+    ?(audit_every = 512) ~algorithm ~history ~live q =
   T.span telemetry ~cat:"runtime"
     ~attrs:[ ("algorithm", Acq_core.Planner.algorithm_name algorithm) ]
     "runtime.run"
@@ -37,6 +37,42 @@ let run ?options ?radio ?n_motes ?exec ?(telemetry = T.noop) ~algorithm
     match n_motes with Some n -> n | None -> default_motes schema
   in
   let net = Network.create ?radio ?exec ~n_motes () in
+  (* Arm the audit pipeline on the disseminated plan, predicting from
+     the same history backend the basestation planned with; the live
+     trace doubles as the regret-replay window at checkpoints. *)
+  (match audit with
+  | Some a ->
+      let opts =
+        match options with
+        | Some o -> o
+        | None -> Acq_core.Planner.default_options
+      in
+      let backend =
+        Acq_prob.Backend.of_dataset ~telemetry
+          ~spec:opts.Acq_core.Planner.prob_model history
+      in
+      let mode =
+        match exec with Some m -> m | None -> Acq_exec.Mode.default
+      in
+      Acq_audit.Audit.install ?model:opts.Acq_core.Planner.cost_model a q
+        ~costs ~mode ~plan ~expected:planned.Acq_core.Planner.est_cost
+        ~backend ~epoch:0
+  | None -> ());
+  let probe =
+    match audit with Some a -> Acq_audit.Audit.probe a | None -> None
+  in
+  let audit_tick epoch ~final =
+    (* The final flush skips epochs the in-loop cadence already
+       checkpointed. *)
+    let due =
+      if final then epoch = 0 || epoch mod audit_every <> 0
+      else epoch > 0 && epoch mod audit_every = 0
+    in
+    match audit with
+    | Some a when due ->
+        Acq_audit.Audit.checkpoint a ~epoch ~window:(fun () -> live) ()
+    | _ -> ()
+  in
   let bytes =
     T.span telemetry ~cat:"runtime"
       ~attrs:[ ("motes", string_of_int n_motes) ]
@@ -55,12 +91,13 @@ let run ?options ?radio ?n_motes ?exec ?(telemetry = T.noop) ~algorithm
       let e = Mote.energy mote in
       let acq0 = e.Energy.acquisition and tx0 = e.Energy.radio_tx in
       let r =
-        Mote.run_epoch ~obs:telemetry mote q ~costs ~lookup:(fun attr ->
-            Environment.value env ~epoch ~attr)
+        Mote.run_epoch ~obs:telemetry ?probe mote q ~costs
+          ~lookup:(fun attr -> Environment.value env ~epoch ~attr)
       in
       if r.Mote.verdict then incr matches;
       let truth = Acq_plan.Query.eval q (Environment.tuple env ~epoch) in
       if truth <> r.Mote.verdict then correct := false;
+      audit_tick (epoch + 1) ~final:false;
       if instrumented then begin
         let mote_l = [ ("mote", string_of_int mote_id) ] in
         let tx_bytes =
@@ -91,6 +128,7 @@ let run ?options ?radio ?n_motes ?exec ?(telemetry = T.noop) ~algorithm
   T.span telemetry ~cat:"runtime"
     ~attrs:[ ("epochs", string_of_int (Environment.n_epochs env)) ]
     "runtime.epochs" epoch_loop;
+  audit_tick (Environment.n_epochs env) ~final:true;
   let e = Network.total_energy net in
   let epochs = Environment.n_epochs env in
   let metrics =
@@ -137,7 +175,7 @@ type adaptive_report = {
 
 let run_adaptive ?options ?radio ?n_motes ?exec ?(telemetry = T.noop)
     ?(policy = Acq_adapt.Policy.default) ?(window = 512) ?cache
-    ?replan_budget ~algorithm ~history ~live q =
+    ?replan_budget ?audit ~algorithm ~history ~live q =
   T.span telemetry ~cat:"runtime"
     ~attrs:[ ("algorithm", Acq_core.Planner.algorithm_name algorithm) ]
     "runtime.run_adaptive"
@@ -168,7 +206,8 @@ let run_adaptive ?options ?radio ?n_motes ?exec ?(telemetry = T.noop)
   let session =
     T.span telemetry ~cat:"runtime" "runtime.initial_plan" @@ fun () ->
     Acq_adapt.Session.create ?options ~telemetry ~cache ~invalidate_stale:true
-      ~policy ?replan_budget ~on_switch ~algorithm ~window ~history q
+      ~policy ?replan_budget ?exec_mode:exec ?audit ~on_switch ~algorithm
+      ~window ~history q
   in
   let bytes =
     T.span telemetry ~cat:"runtime"
@@ -183,8 +222,13 @@ let run_adaptive ?options ?radio ?n_motes ?exec ?(telemetry = T.noop)
       let mote_id = Environment.mote_of_epoch env epoch in
       let mote = Network.mote net mote_id in
       let r =
-        Mote.run_epoch ~obs:telemetry mote q ~costs ~lookup:(fun attr ->
-            Environment.value env ~epoch ~attr)
+        (* The probe is re-fetched per epoch: a switch re-arms the
+           audit recorder on the new plan, and the stale probe must
+           not keep feeding it. *)
+        Mote.run_epoch ~obs:telemetry
+          ?probe:(Acq_adapt.Session.audit_probe session)
+          mote q ~costs
+          ~lookup:(fun attr -> Environment.value env ~epoch ~attr)
       in
       if r.Mote.verdict then incr matches;
       let truth = Acq_plan.Query.eval q (Environment.tuple env ~epoch) in
@@ -201,6 +245,11 @@ let run_adaptive ?options ?radio ?n_motes ?exec ?(telemetry = T.noop)
   T.span telemetry ~cat:"runtime"
     ~attrs:[ ("epochs", string_of_int (Environment.n_epochs env)) ]
     "runtime.adaptive_epochs" epoch_loop;
+  (* Final gauge flush; regret cadence is owned by the session's own
+     checks, so no window here. *)
+  (match audit with
+  | Some a -> Acq_audit.Audit.checkpoint a ~epoch:(Environment.n_epochs env) ()
+  | None -> ());
   let e = Network.total_energy net in
   let metrics =
     match T.metrics telemetry with

@@ -35,6 +35,8 @@ val run :
   ?n_motes:int ->
   ?exec:Acq_exec.Mode.t ->
   ?telemetry:Acq_obs.Telemetry.t ->
+  ?audit:Acq_audit.Audit.t ->
+  ?audit_every:int ->
   algorithm:Acq_core.Planner.algorithm ->
   history:Acq_data.Dataset.t ->
   live:Acq_data.Dataset.t ->
@@ -53,7 +55,14 @@ val run :
     per-mote counters and Chrome counter-track samples
     ([mote<N>.energy]) of cumulative acquisition energy, radio
     energy, and transmitted bytes. The final registry snapshot is
-    attached to the report. *)
+    attached to the report.
+
+    [audit] arms an {!Acq_audit.Audit} pipeline on the disseminated
+    plan (predictions from the history backend under
+    [options.prob_model]): every mote epoch feeds its calibration
+    probe, and a checkpoint runs every [audit_every] epochs (default
+    512, plus a final flush) with the live trace as the regret-replay
+    window. Verdicts and energy are unchanged by auditing. *)
 
 val pp_report : Format.formatter -> report -> unit
 
@@ -96,6 +105,7 @@ val run_adaptive :
   ?window:int ->
   ?cache:Acq_adapt.Plan_cache.t ->
   ?replan_budget:int ->
+  ?audit:Acq_audit.Audit.t ->
   algorithm:Acq_core.Planner.algorithm ->
   history:Acq_data.Dataset.t ->
   live:Acq_data.Dataset.t ->
@@ -107,7 +117,11 @@ val run_adaptive :
     {!Acq_adapt.Plan_cache} private to this run (with stale-epoch
     invalidation on). With live [telemetry] the run additionally
     records the [acqp_adapt_*] series: the drift gauge, replan/switch
-    counters by trigger, cache counters, and a span per replan. *)
+    counters by trigger, cache counters, and a span per replan.
+    [audit] is handed to the {!Acq_adapt.Session} (which installs
+    every plan into it and checkpoints at its check cadence, window
+    included); the motes feed its calibration probe each epoch, and a
+    final flush checkpoint runs when the trace ends. *)
 
 val pp_switch : Format.formatter -> Acq_adapt.Session.switch -> unit
 (** One timeline line: epoch, trigger, old/new expected cost,

@@ -17,17 +17,40 @@ type query_run = {
 (* Everything about one query except its metrics delta, computed with
    whichever telemetry handle the caller hands us: the shared [obs]
    sequentially, a task-private handle under a pool. *)
-let eval_query specs ~exec ~obs q ~train ~test =
+let eval_query ?audit ~audit_options specs ~exec ~obs ~qi q ~train ~test =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
   let results = Array.map (fun s -> s.build q) specs in
   let plans = Array.map (fun (r : Acq_core.Planner.result) -> r.plan) results in
-  let costs_on ds =
-    Array.map
-      (fun p -> Acq_exec.Runner.average_cost ~obs ~mode:exec q ~costs p ds)
+  (* Audit the first spec's plan: predictions from the train backend,
+     observations from its test sweep — the train/test calibration
+     question the harness exists to ask. *)
+  let probe =
+    match audit with
+    | None -> None
+    | Some a ->
+        let backend =
+          Acq_prob.Backend.of_dataset
+            ~spec:audit_options.Acq_core.Planner.prob_model train
+        in
+        Acq_audit.Audit.install
+          ?model:audit_options.Acq_core.Planner.cost_model a q ~costs
+          ~mode:exec ~plan:plans.(0)
+          ~expected:results.(0).Acq_core.Planner.est_cost ~backend ~epoch:qi;
+        Acq_audit.Audit.probe a
+  in
+  let costs_on ?(probed = false) ds =
+    Array.mapi
+      (fun i p ->
+        let probe = if probed && i = 0 then probe else None in
+        Acq_exec.Runner.average_cost ~obs ?probe ~mode:exec q ~costs p ds)
       plans
   in
-  let test_costs = costs_on test in
+  let test_costs = costs_on ~probed:true test in
   let train_costs = costs_on train in
+  (match audit with
+  | Some a ->
+      Acq_audit.Audit.checkpoint a ~epoch:qi ~window:(fun () -> test) ()
+  | None -> ());
   let plan_tests = Array.map Acq_plan.Plan.n_tests plans in
   let consistent =
     Array.for_all
@@ -50,7 +73,9 @@ let eval_query specs ~exec ~obs q ~train ~test =
   }
 
 let run ?(obs = Acq_obs.Telemetry.noop) ?pool
-    ?(exec_mode = Acq_exec.Mode.default) ~specs ~queries ~train ~test () =
+    ?(exec_mode = Acq_exec.Mode.default) ?audit
+    ?(audit_options = Acq_core.Planner.default_options) ~specs ~queries
+    ~train ~test () =
   let specs = Array.of_list specs in
   match pool with
   | None ->
@@ -60,19 +85,26 @@ let run ?(obs = Acq_obs.Telemetry.noop) ?pool
         | None -> []
       in
       let before = ref (snapshot ()) in
-      List.map
-        (fun q ->
-          let r = eval_query specs ~exec:exec_mode ~obs q ~train ~test in
+      List.mapi
+        (fun qi q ->
+          let r =
+            eval_query ?audit ~audit_options specs ~exec:exec_mode ~obs ~qi q
+              ~train ~test
+          in
           let after = snapshot () in
           let metrics = Acq_obs.Metrics.diff after !before in
           before := after;
           { r with metrics })
         queries
   | Some pool ->
+      (* A single probe's cells are not safe to feed from concurrent
+         domains; audited runs are sequential by construction. *)
+      if audit <> None then
+        invalid_arg "Experiment.run: audit requires the sequential path";
       let live = Acq_obs.Telemetry.metrics obs in
       let futures =
-        List.map
-          (fun q ->
+        List.mapi
+          (fun qi q ->
             Acq_par.Domain_pool.submit pool (fun _worker_tele ->
                 (* Task-private registry: per-query deltas need no
                    cross-domain coordination and stay exact. *)
@@ -86,7 +118,9 @@ let run ?(obs = Acq_obs.Telemetry.noop) ?pool
                   | Some m -> Acq_obs.Telemetry.create ~metrics:m ()
                   | None -> Acq_obs.Telemetry.noop
                 in
-                (eval_query specs ~exec:exec_mode ~obs:tele q ~train ~test, reg)))
+                ( eval_query ~audit_options specs ~exec:exec_mode ~obs:tele
+                    ~qi q ~train ~test,
+                  reg )))
           queries
       in
       (* Collect in submission order; merging shards in that order

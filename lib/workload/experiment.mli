@@ -28,6 +28,8 @@ val run :
   ?obs:Acq_obs.Telemetry.t ->
   ?pool:Acq_par.Domain_pool.t ->
   ?exec_mode:Acq_exec.Mode.t ->
+  ?audit:Acq_audit.Audit.t ->
+  ?audit_options:Acq_core.Planner.options ->
   specs:algo_spec list ->
   queries:Acq_plan.Query.t list ->
   train:Acq_data.Dataset.t ->
@@ -52,7 +54,17 @@ val run :
     the harness's own instruments — executor sweeps — while anything a
     spec closure captured goes wherever that closure sends it; and for
     that reason specs must not capture a live telemetry handle when a
-    pool is used (plain [Planner.plan ~options] closures are safe). *)
+    pool is used (plain [Planner.plan ~options] closures are safe).
+
+    [audit] arms an {!Acq_audit.Audit} pipeline per query on the {e
+    first} spec's plan: predictions come from a train-data backend
+    under [audit_options.prob_model] (default
+    {!Acq_core.Planner.default_options}), the plan's test sweep feeds
+    the calibration probe, and a checkpoint (with the test set as the
+    regret window) runs after each query. Measured costs are
+    unchanged. Audit is sequential-only: combining [audit] with
+    [pool] raises [Invalid_argument], because one probe's cells must
+    not be fed from concurrent domains. *)
 
 val gains : query_run list -> baseline:int -> target:int -> float array
 (** Per-query ratio [cost baseline / cost target] (> 1 when the target

@@ -101,6 +101,74 @@ let test_histogram_bucket_boundaries () =
   Alcotest.(check (list int)) "per-bucket" [ 2; 1; 2; 1 ]
     (Array.to_list counts)
 
+let test_merge_into_histograms () =
+  let src = M.create () in
+  let dst = M.create () in
+  let hist m = M.histogram m ~lowest:1.0 ~growth:2.0 ~buckets:3 "lat_ms" in
+  let hs = hist src and hd = hist dst in
+  List.iter (M.observe hs) [ 0.5; 2.0; 9.0 ];
+  List.iter (M.observe hd) [ 1.0; 3.0 ];
+  let cs = M.counter src "tuples_total" and cd = M.counter dst "tuples_total" in
+  M.add cs 5.0;
+  M.add cd 2.0;
+  let g = M.gauge src "energy_j" in
+  M.set g 1.5;
+  (* A family only [src] has must appear in [dst] after the merge. *)
+  let only = M.counter src "src_only_total" in
+  M.incr only;
+  M.merge_into ~src ~dst;
+  Alcotest.(check int) "hist count summed" 5 (M.hist_count hd);
+  Alcotest.(check (float 1e-9)) "hist sum summed" 15.5 (M.hist_sum hd);
+  Alcotest.(check (list int)) "buckets summed element-wise" [ 2; 1; 1; 1 ]
+    (Array.to_list (M.bucket_counts hd));
+  Alcotest.(check (float 1e-9)) "counter added" 7.0 (M.counter_value cd);
+  Alcotest.(check (float 1e-9)) "gauge accumulates" 1.5
+    (M.gauge_value (M.gauge dst "energy_j"));
+  Alcotest.(check (float 1e-9)) "src-only family registered" 1.0
+    (M.counter_value (M.counter dst "src_only_total"));
+  (* src untouched. *)
+  Alcotest.(check int) "src hist unchanged" 3 (M.hist_count hs);
+  Alcotest.(check (float 1e-9)) "src counter unchanged" 5.0
+    (M.counter_value cs)
+
+let test_merge_into_histograms_deterministic () =
+  (* Same shard observations, two merge runs → bit-identical dst
+     state, and shard order is the caller's submission order. *)
+  let shard obs =
+    let m = M.create () in
+    let h = M.histogram m ~lowest:1.0 ~growth:2.0 ~buckets:3 "lat_ms" in
+    List.iter (M.observe h) obs;
+    m
+  in
+  let shards () = [ shard [ 0.5; 4.0 ]; shard [ 2.0 ]; shard [ 9.0; 9.0 ] ] in
+  let run () =
+    let dst = M.create () in
+    List.iter (fun src -> M.merge_into ~src ~dst) (shards ());
+    M.snapshot dst
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "snapshots identical" true (a = b);
+  Alcotest.(check (option (float 1e-9))) "total count" (Some 5.0)
+    (M.find a "lat_ms_count")
+
+let test_merge_into_rejects_mismatch () =
+  let src = M.create () in
+  let dst = M.create () in
+  ignore (M.histogram src ~lowest:1.0 ~growth:2.0 ~buckets:3 "lat_ms"
+          : M.histogram);
+  ignore (M.histogram dst ~lowest:1.0 ~growth:4.0 ~buckets:3 "lat_ms"
+          : M.histogram);
+  Alcotest.(check bool) "different bucket bounds rejected" true
+    (match M.merge_into ~src ~dst with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  let src = M.create () in
+  ignore (M.counter src "lat_ms" : M.counter);
+  Alcotest.(check bool) "kind clash rejected" true
+    (match M.merge_into ~src ~dst with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
 let test_snapshot_diff () =
   let m = M.create () in
   let c = M.counter m "x_total" in
@@ -339,6 +407,12 @@ let () =
           Alcotest.test_case "histogram: bucket boundaries" `Quick
             test_histogram_bucket_boundaries;
           Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "merge_into: histograms" `Quick
+            test_merge_into_histograms;
+          Alcotest.test_case "merge_into: deterministic shard fold" `Quick
+            test_merge_into_histograms_deterministic;
+          Alcotest.test_case "merge_into: rejects mismatches" `Quick
+            test_merge_into_rejects_mismatch;
         ] );
       ( "spans",
         [
