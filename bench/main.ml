@@ -1534,6 +1534,214 @@ let audit_schema_path () =
 let validate_audit path =
   validate_against ~schema_path:(audit_schema_path ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Serving-daemon bench: the acqpd stack (engine + select-loop server
+   + load generator) co-driven in one process over a real Unix socket.
+
+   1. Identity: the daemon's RUN payload must be byte-identical to the
+      one-shot CLI rendering of the same (spec, query, options) — the
+      serving-path contract.
+   2. Scale: 50 connections x 21 SUBSCRIBEs = 1050 concurrent
+      continuous sessions (with malformed clients mixed in), events
+      flowing, then a graceful drain that BYEs every client.
+   3. Throughput: a ping-only workload measuring request/response
+      round-trips per second through the full parse/dispatch/frame
+      path; the schema pins a floor of 2000 rps — two orders of
+      magnitude under the measured rate, so only a broken event loop
+      trips it.
+
+   The checked-in schema (bench/BENCH_serve.schema.json) pins the
+   shape, the >= 1000 session floor, identity, clean drain, and the
+   rps floor. *)
+
+let serve_spec = { Acq_serve.Source.kind = Acq_serve.Source.Lab; rows = 400; seed = 42 }
+
+let serve_socket name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  path
+
+let write_serve_json path =
+  let module Sv = Acq_serve in
+  let spec = serve_spec in
+  let chatty = Sv.Source.chatty_sql spec.Sv.Source.kind in
+  (* -- 1. RUN byte-identity against the one-shot CLI rendering ------ *)
+  let expected =
+    let history, live = Sv.Source.history_live spec in
+    let schema = Acq_data.Dataset.schema history in
+    match Acq_sql.Catalog.compile_result schema chatty with
+    | Error e -> failwith ("serve bench query failed to compile: " ^ e)
+    | Ok c ->
+        fst
+          (Sv.Oneshot.run_to_string ~algorithm:Acq_core.Planner.Heuristic
+             ~history ~live c.Acq_sql.Catalog.query)
+  in
+  let run_identity =
+    match
+      Sv.Engine.run (Sv.Engine.create spec) ~tenant:"bench" Sv.Protocol.no_opts
+        chatty
+    with
+    | Ok text -> String.equal text expected
+    | Error _ -> false
+  in
+  (* -- 2. scale + drain over a real Unix socket --------------------- *)
+  let limits =
+    { Sv.Limits.default with Sv.Limits.max_sessions_per_tenant = 1_100 }
+  in
+  let sock = serve_socket "acqpd_bench_scale.sock" in
+  let engine = Sv.Engine.create ~limits spec in
+  let server =
+    Sv.Server.create ~unix_path:sock
+      ~listeners:[ Sv.Server.listen_unix sock ]
+      engine limits
+  in
+  let connect_to path () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  let scale_config =
+    {
+      Sv.Loadgen.connections = 50;
+      subscriptions_per_conn = 21;
+      pings_per_conn = 2;
+      runs_per_conn = 0;
+      tenants = 5;
+      malformed = 3;
+      slow = 0;
+      events_target = max_int;  (* park in soak until the drain BYEs *)
+      sql = "algo=heuristic " ^ chatty;
+    }
+  in
+  let gen = Sv.Loadgen.create ~config:scale_config (connect_to sock) in
+  let max_live = ref 0 in
+  let steps = ref 0 in
+  let target =
+    scale_config.Sv.Loadgen.connections
+    * scale_config.Sv.Loadgen.subscriptions_per_conn
+  in
+  while !max_live < target && !steps < 20_000 do
+    Sv.Server.poll ~timeout_ms:0 server;
+    ignore (Sv.Loadgen.step ~timeout_ms:1 gen : bool);
+    max_live := max !max_live (Sv.Engine.live_subscriptions engine);
+    incr steps
+  done;
+  Sv.Server.request_shutdown server;
+  let steps = ref 0 in
+  while
+    (not (Sv.Server.finished server && Sv.Loadgen.finished gen))
+    && !steps < 20_000
+  do
+    Sv.Server.poll ~timeout_ms:0 server;
+    Sv.Server.drain_step ~grace_s:2.0 server;
+    ignore (Sv.Loadgen.step ~timeout_ms:1 gen : bool);
+    incr steps
+  done;
+  let clean_drain = Sv.Server.finished server && Sv.Loadgen.finished gen in
+  let scale = Sv.Loadgen.report gen in
+  Sv.Loadgen.close_all gen;
+  Sv.Server.stop server;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  (* -- 3. ping throughput on a fresh server ------------------------- *)
+  let sock = serve_socket "acqpd_bench_ping.sock" in
+  let engine2 = Sv.Engine.create spec in
+  let server2 =
+    Sv.Server.create ~unix_path:sock
+      ~listeners:[ Sv.Server.listen_unix sock ]
+      engine2 Sv.Limits.default
+  in
+  let ping_config =
+    {
+      Sv.Loadgen.connections = 20;
+      subscriptions_per_conn = 0;
+      pings_per_conn = 250;
+      runs_per_conn = 0;
+      tenants = 4;
+      malformed = 0;
+      slow = 0;
+      events_target = 0;
+      sql = chatty;
+    }
+  in
+  let gen2 = Sv.Loadgen.create ~config:ping_config (connect_to sock) in
+  let steps = ref 0 in
+  while (not (Sv.Loadgen.finished gen2)) && !steps < 50_000 do
+    Sv.Server.poll ~timeout_ms:0 server2;
+    ignore (Sv.Loadgen.step ~timeout_ms:0 gen2 : bool);
+    incr steps
+  done;
+  let ping = Sv.Loadgen.report gen2 in
+  Sv.Loadgen.close_all gen2;
+  Sv.Server.stop server2;
+  (try Unix.unlink sock with Unix.Unix_error _ -> ());
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ( "workload",
+          J.Obj
+            [
+              ("dataset", J.Str (Sv.Source.kind_to_string spec.Sv.Source.kind));
+              ("rows", J.Num (float_of_int spec.Sv.Source.rows));
+              ("seed", J.Num (float_of_int spec.Sv.Source.seed));
+              ( "connections",
+                J.Num (float_of_int scale_config.Sv.Loadgen.connections) );
+              ("tenants", J.Num (float_of_int scale_config.Sv.Loadgen.tenants));
+            ] );
+        ( "sessions",
+          J.Obj
+            [
+              ("concurrent_sessions", J.Num (float_of_int !max_live));
+              ("events_delivered", J.Num (float_of_int scale.Sv.Loadgen.events));
+              ( "structured_errors",
+                J.Num (float_of_int scale.Sv.Loadgen.errors) );
+              ("disconnects", J.Num (float_of_int scale.Sv.Loadgen.disconnects));
+            ] );
+        ( "throughput",
+          J.Obj
+            [
+              ("ping_rps", J.Num ping.Sv.Loadgen.rps);
+              ("ping_p99_ms", J.Num ping.Sv.Loadgen.p99_ms);
+              ("completed", J.Num (float_of_int ping.Sv.Loadgen.ok));
+            ] );
+        ("identity", J.Obj [ ("run_identity", J.Bool run_identity) ]);
+        ( "drain",
+          J.Obj
+            [
+              ("clean", J.Bool clean_drain);
+              ( "bye_delivered",
+                J.Num
+                  (float_of_int
+                     (scale_config.Sv.Loadgen.connections
+                     - scale.Sv.Loadgen.disconnects)) );
+            ] );
+        ( "summary",
+          J.Obj
+            [
+              ("concurrent_sessions", J.Num (float_of_int !max_live));
+              ("ping_rps", J.Num ping.Sv.Loadgen.rps);
+              ("run_identity", J.Bool run_identity);
+              ("clean_drain", J.Bool clean_drain);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote serving-daemon results to %s (%d concurrent sessions, %.0f ping \
+     rps, identity=%b, clean_drain=%b)\n"
+    path !max_live ping.Sv.Loadgen.rps run_identity clean_drain
+
+let serve_schema_path () =
+  if Sys.file_exists "bench/BENCH_serve.schema.json" then
+    "bench/BENCH_serve.schema.json"
+  else "BENCH_serve.schema.json"
+
+let validate_serve path =
+  validate_against ~schema_path:(serve_schema_path ()) path
+
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
   let cfg =
@@ -1584,6 +1792,7 @@ let () =
   let prob_smoke = List.mem "--prob-smoke" args in
   let exec_smoke = List.mem "--exec-smoke" args in
   let audit_smoke = List.mem "--audit-smoke" args in
+  let serve_smoke = List.mem "--serve-smoke" args in
   let find_target flag =
     let rec find = function
       | f :: path :: _ when f = flag -> Some path
@@ -1598,10 +1807,12 @@ let () =
   let validate_prob_target = find_target "--validate-prob" in
   let validate_exec_target = find_target "--validate-exec" in
   let validate_audit_target = find_target "--validate-audit" in
+  let validate_serve_target = find_target "--validate-serve" in
   let ids =
     let rec keep = function
       | ( "--validate-obs" | "--validate-adapt" | "--validate-par"
-        | "--validate-prob" | "--validate-exec" | "--validate-audit" )
+        | "--validate-prob" | "--validate-exec" | "--validate-audit"
+        | "--validate-serve" )
         :: _ :: rest ->
           keep rest
       | a :: rest ->
@@ -1621,10 +1832,11 @@ let () =
       "flags: --full --micro --no-micro --obs-smoke --validate-obs FILE \
        --adapt-smoke --validate-adapt FILE --par-smoke --validate-par FILE \
        --prob-smoke --validate-prob FILE --exec-smoke --validate-exec FILE \
-       --audit-smoke --validate-audit FILE --list (every non-list run also \
-       writes BENCH_planner_stats.json, BENCH_obs.json, BENCH_adapt.json, \
-       BENCH_par.json, BENCH_prob.json, BENCH_exec.json, and \
-       BENCH_audit.json)"
+       --audit-smoke --validate-audit FILE --serve-smoke --validate-serve \
+       FILE --list (every non-list run also writes \
+       BENCH_planner_stats.json, BENCH_obs.json, BENCH_adapt.json, \
+       BENCH_par.json, BENCH_prob.json, BENCH_exec.json, BENCH_audit.json, \
+       and BENCH_serve.json)"
   end
   else
     match
@@ -1633,15 +1845,17 @@ let () =
         validate_par_target,
         validate_prob_target,
         validate_exec_target,
-        validate_audit_target )
+        validate_audit_target,
+        validate_serve_target )
     with
-    | Some path, _, _, _, _, _ -> validate_obs path
-    | None, Some path, _, _, _, _ -> validate_adapt path
-    | None, None, Some path, _, _, _ -> validate_par path
-    | None, None, None, Some path, _, _ -> validate_prob path
-    | None, None, None, None, Some path, _ -> validate_exec path
-    | None, None, None, None, None, Some path -> validate_audit path
-    | None, None, None, None, None, None ->
+    | Some path, _, _, _, _, _, _ -> validate_obs path
+    | None, Some path, _, _, _, _, _ -> validate_adapt path
+    | None, None, Some path, _, _, _, _ -> validate_par path
+    | None, None, None, Some path, _, _, _ -> validate_prob path
+    | None, None, None, None, Some path, _, _ -> validate_exec path
+    | None, None, None, None, None, Some path, _ -> validate_audit path
+    | None, None, None, None, None, None, Some path -> validate_serve path
+    | None, None, None, None, None, None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
@@ -1666,6 +1880,10 @@ let () =
           write_audit_json "BENCH_audit.json";
           validate_audit "BENCH_audit.json"
         end
+        else if serve_smoke then begin
+          write_serve_json "BENCH_serve.json";
+          validate_serve "BENCH_serve.json"
+        end
         else begin
           if not micro_only then
             Acq_workload.Registry.run_selected
@@ -1678,5 +1896,6 @@ let () =
           write_prob_json "BENCH_prob.json";
           write_exec_json "BENCH_exec.json";
           write_audit_json "BENCH_audit.json";
+          write_serve_json "BENCH_serve.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

@@ -34,16 +34,38 @@ let dataset_conv =
   in
   Arg.conv (parse, print)
 
+(* Dataset materialization lives in Acq_serve.Source so the daemon
+   serves byte-identical data for the same (kind, rows, seed) spec. *)
+let source_kind = function
+  | Lab -> Acq_serve.Source.Lab
+  | Garden5 -> Acq_serve.Source.Garden5
+  | Garden11 -> Acq_serve.Source.Garden11
+  | Synthetic -> Acq_serve.Source.Synthetic
+
 let make_dataset kind ~rows ~seed =
-  let rng = Acq_util.Rng.create seed in
-  match kind with
-  | Lab -> Acq_data.Lab_gen.generate rng ~rows
-  | Garden5 -> Acq_data.Garden_gen.generate rng ~n_motes:5 ~rows
-  | Garden11 -> Acq_data.Garden_gen.generate rng ~n_motes:11 ~rows
-  | Synthetic ->
-      Acq_data.Synthetic_gen.generate rng
-        { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
-        ~rows
+  Acq_serve.Source.make { Acq_serve.Source.kind = source_kind kind; rows; seed }
+
+(* Flush-on-signal: subcommands register the closures that write their
+   --metrics-out/--trace-out/--audit-out artifacts; SIGINT/SIGTERM run
+   them before exiting, so an interrupted run still leaves its
+   observability files behind. *)
+let signal_flushers : (unit -> unit) list ref = ref []
+
+let register_flush f = signal_flushers := f :: !signal_flushers
+
+let install_signal_flush () =
+  List.iter
+    (fun signum ->
+      try
+        Sys.set_signal signum
+          (Sys.Signal_handle
+             (fun _ ->
+               List.iter
+                 (fun f -> try f () with _ -> ())
+                 !signal_flushers;
+               exit (128 + (if signum = Sys.sigint then 2 else 15))))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 let algo_conv =
   let parse = function
@@ -198,19 +220,24 @@ let with_telemetry ~metrics_out ~trace_out f =
     | None -> None
   in
   let obs = Acq_obs.Telemetry.create ?metrics ?tracer () in
-  f obs;
   let dump path contents what =
     let oc = open_out path in
     output_string oc contents;
     close_out oc;
     Printf.printf "%s written to %s\n" what path
   in
-  (match (metrics_out, metrics) with
-  | Some path, Some m -> dump path (Acq_obs.Metrics.to_prometheus m) "metrics"
-  | _ -> ());
-  match (trace_out, tracer) with
-  | Some path, Some tr -> dump path (Acq_obs.Tracer.to_chrome tr) "trace"
-  | _ -> ()
+  let flush () =
+    (match (metrics_out, metrics) with
+    | Some path, Some m ->
+        dump path (Acq_obs.Metrics.to_prometheus m) "metrics"
+    | _ -> ());
+    match (trace_out, tracer) with
+    | Some path, Some tr -> dump path (Acq_obs.Tracer.to_chrome tr) "trace"
+    | _ -> ()
+  in
+  register_flush flush;
+  f obs;
+  flush ()
 
 (* Audit plumbing shared by `run --audit` and the `audit` subcommand:
    build the pipeline, print the calibration / regret / flight
@@ -318,12 +345,7 @@ let finish_audit ~audit_out ~flight_out a =
       write_json path (Acq_audit.Audit.chrome_events a) "flight trace"
   | None -> ()
 
-let default_sql = function
-  | Lab -> "SELECT * WHERE light >= 300 AND temp <= 19 AND humidity <= 45"
-  | Garden5 | Garden11 ->
-      "SELECT * WHERE temp0 BETWEEN 8 AND 20 AND humid0 BETWEEN 60 AND 90 \
-       AND temp1 BETWEEN 8 AND 20 AND humid1 BETWEEN 60 AND 90"
-  | Synthetic -> "SELECT * WHERE g0_x1 = 1 AND g1_x1 = 1 AND g2_x1 = 1"
+let default_sql kind = Acq_serve.Source.default_sql (source_kind kind)
 
 let compile_query kind schema sql =
   let text = match sql with Some s -> s | None -> default_sql kind in
@@ -581,12 +603,16 @@ let run_cmd =
       | Some a -> finish_audit ~audit_out ~flight_out a
       | None -> ()
     in
+    (match audit with Some _ -> register_flush flush_audit | None -> ());
     if not adaptive then begin
       let report =
         Acq_sensor.Runtime.run ~options ~exec ~telemetry:obs ?audit
           ~algorithm:algo ~history ~live q
       in
-      Format.printf "%a@." Acq_sensor.Runtime.pp_report report;
+      (* The shared serving renderer (planner wall-clock scrubbed), so
+         this output is byte-identical to the daemon's RUN response on
+         the same spec/query/options. *)
+      print_string (Acq_serve.Oneshot.report_to_string report);
       flush_audit ()
     end
     else begin
@@ -908,4 +934,6 @@ let main_cmd =
     [ gen_cmd; plan_cmd; run_cmd; audit_cmd; stats_cmd; bench_cmd;
       experiment_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  install_signal_flush ();
+  exit (Cmd.eval main_cmd)

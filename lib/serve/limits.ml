@@ -1,0 +1,38 @@
+type t = {
+  max_connections : int;
+  max_sessions_per_tenant : int;
+  plan_quota_per_tenant : int;
+  replan_budget : int;
+  max_line_bytes : int;
+  write_soft_limit : int;
+  write_hard_limit : int;
+}
+
+let default =
+  {
+    max_connections = 960;
+    max_sessions_per_tenant = 256;
+    plan_quota_per_tenant = 2_000_000;
+    replan_budget = 500_000;
+    max_line_bytes = 65_536;
+    write_soft_limit = 256 * 1024;
+    write_hard_limit = 4 * 1024 * 1024;
+  }
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if t.max_connections <= 0 then fail "max_connections must be positive"
+  else if t.max_connections > 1000 then
+    (* Unix.select caps fd numbers at FD_SETSIZE (1024); keep headroom
+       for the listeners, stdio, and signal plumbing. *)
+    fail "max_connections must stay <= 1000 (select FD_SETSIZE)"
+  else if t.max_sessions_per_tenant <= 0 then
+    fail "max_sessions_per_tenant must be positive"
+  else if t.plan_quota_per_tenant <= 0 then
+    fail "plan_quota_per_tenant must be positive"
+  else if t.replan_budget < 0 then fail "replan_budget must be >= 0"
+  else if t.max_line_bytes < 1024 then fail "max_line_bytes must be >= 1024"
+  else if t.write_soft_limit <= 0 then fail "write_soft_limit must be positive"
+  else if t.write_hard_limit < t.write_soft_limit then
+    fail "write_hard_limit must be >= write_soft_limit"
+  else Ok t

@@ -1,0 +1,345 @@
+(* The load generator: many concurrent client connections driven by
+   one select loop — the mirror image of the server, so a single
+   process can drive a thousand continuous sessions plus a stream of
+   one-shot requests, and the test/bench harness can co-drive client
+   and server from the same thread via {!step}. *)
+
+type config = {
+  connections : int;
+  subscriptions_per_conn : int;
+  pings_per_conn : int;  (** cheap request/response round-trips *)
+  runs_per_conn : int;  (** one-shot RUN requests *)
+  tenants : int;  (** conns are spread round-robin over this many *)
+  malformed : int;  (** conns that send garbage before behaving *)
+  slow : int;  (** conns that subscribe, then stop reading *)
+  events_target : int;  (** EVENT frames to soak up before QUIT *)
+  sql : string;
+}
+
+let default_config =
+  {
+    connections = 16;
+    subscriptions_per_conn = 4;
+    pings_per_conn = 20;
+    runs_per_conn = 0;
+    tenants = 4;
+    malformed = 0;
+    slow = 0;
+    events_target = 0;
+    sql = Source.default_sql Source.Lab;
+  }
+
+type phase =
+  | Greeting  (** HELLO sent, awaiting ack *)
+  | Garbage of int  (** malformed lines outstanding *)
+  | Subscribing of int  (** SUBSCRIBE acks outstanding *)
+  | Pinging of int
+  | Running of int
+  | Soaking  (** waiting for events_target EVENT frames *)
+  | Quitting  (** QUIT sent, awaiting BYE *)
+  | Done
+
+type client = {
+  fd : Unix.file_descr;
+  idx : int;
+  reader : Protocol.Reader.t;
+  mutable phase : phase;
+  mutable outbuf : string;
+  mutable out_off : int;
+  mutable inflight : float list;  (** send times, oldest first *)
+  mutable events_seen : int;
+  slow_consumer : bool;
+  mutable alive : bool;
+}
+
+type report = {
+  wall_s : float;
+  requests : int;
+  ok : int;
+  errors : int;  (** ERR frames — expected ones included *)
+  events : int;
+  overloads : int;
+  disconnects : int;  (** clients dropped before their script finished *)
+  rps : float;  (** completed request/response round-trips per second *)
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+type t = {
+  config : config;
+  clients : client list;
+  mutable requests : int;
+  mutable ok : int;
+  mutable errors : int;
+  mutable events : int;
+  mutable overloads : int;
+  mutable latencies : float list;
+  started : float;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let send_line t c line =
+  c.outbuf <- c.outbuf ^ line ^ "\n";
+  c.inflight <- c.inflight @ [ Unix.gettimeofday () ];
+  t.requests <- t.requests + 1
+
+(* Garbage that must each produce a structured ERR, never a hangup:
+   an unknown verb, a truncated SELECT, byte noise, and an option
+   typo. *)
+let garbage_lines =
+  [
+    "FROBNICATE the server";
+    "RUN SELECT * WHERE";
+    "\x01\x02\x03 binary junk \xff";
+    "PLAN algo=quantum SELECT * WHERE light >= 300";
+  ]
+
+let advance t c =
+  match c.phase with
+  | Greeting | Done -> ()
+  | Garbage n when n > 0 ->
+      send_line t c (List.nth garbage_lines ((n - 1) mod List.length garbage_lines));
+      c.phase <- Garbage (n - 1)
+  | Garbage _ -> c.phase <- Subscribing t.config.subscriptions_per_conn
+  | Subscribing n when n > 0 ->
+      send_line t c ("SUBSCRIBE " ^ t.config.sql);
+      c.phase <- Subscribing (n - 1)
+  | Subscribing _ -> c.phase <- Pinging t.config.pings_per_conn
+  | Pinging n when n > 0 ->
+      send_line t c "PING";
+      c.phase <- Pinging (n - 1)
+  | Pinging _ -> c.phase <- Running t.config.runs_per_conn
+  | Running n when n > 0 ->
+      send_line t c ("RUN " ^ t.config.sql);
+      c.phase <- Running (n - 1)
+  | Running _ ->
+      if c.slow_consumer then c.phase <- Soaking
+        (* slow consumers never QUIT; the server sheds or drops them *)
+      else if
+        t.config.events_target > 0
+        && c.events_seen < t.config.events_target
+        && t.config.subscriptions_per_conn > 0
+      then c.phase <- Soaking
+      else begin
+        send_line t c "QUIT";
+        c.phase <- Quitting
+      end
+  | Soaking ->
+      if
+        (not c.slow_consumer)
+        && (c.events_seen >= t.config.events_target
+           || t.config.subscriptions_per_conn = 0)
+      then begin
+        send_line t c "QUIT";
+        c.phase <- Quitting
+      end
+  | Quitting -> ()
+
+let record_reply t c ok =
+  (match c.inflight with
+  | sent :: rest ->
+      c.inflight <- rest;
+      t.latencies <- ((Unix.gettimeofday () -. sent) *. 1000.0) :: t.latencies
+  | [] -> ());
+  if ok then t.ok <- t.ok + 1 else t.errors <- t.errors + 1
+
+let handle_frame t c = function
+  | Protocol.Reply _ ->
+      record_reply t c true;
+      if c.phase = Greeting then
+        c.phase <-
+          (if c.idx < t.config.malformed then
+             Garbage (List.length garbage_lines)
+           else Subscribing t.config.subscriptions_per_conn)
+  | Protocol.Failure (_, _) -> record_reply t c false
+  | Protocol.Event (_, _) ->
+      c.events_seen <- c.events_seen + 1;
+      t.events <- t.events + 1
+  | Protocol.Overload _ -> t.overloads <- t.overloads + 1
+  | Protocol.Bye _ ->
+      c.phase <- Done;
+      c.alive <- false;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let create ?(config = default_config) connect =
+  let t =
+    {
+      config;
+      clients = [];
+      requests = 0;
+      ok = 0;
+      errors = 0;
+      events = 0;
+      overloads = 0;
+      latencies = [];
+      started = Unix.gettimeofday ();
+    }
+  in
+  let clients =
+    List.init config.connections (fun idx ->
+        let fd = connect () in
+        Unix.set_nonblock fd;
+        let c =
+          {
+            fd;
+            idx;
+            reader = Protocol.Reader.create ();
+            phase = Greeting;
+            outbuf = "";
+            out_off = 0;
+            inflight = [];
+            events_seen = 0;
+            (* slow consumers are taken from the tail of the range so
+               they never overlap the malformed ones at the head *)
+            slow_consumer = idx >= config.connections - config.slow;
+            alive = true;
+          }
+        in
+        send_line t c (Printf.sprintf "HELLO t%d" (idx mod config.tenants));
+        c)
+  in
+  { t with clients }
+
+let live t = List.filter (fun c -> c.alive) t.clients
+
+let flush_client c =
+  let continue = ref true in
+  while !continue && c.alive && c.out_off < String.length c.outbuf do
+    let len = String.length c.outbuf - c.out_off in
+    match Unix.single_write_substring c.fd c.outbuf c.out_off len with
+    | n ->
+        c.out_off <- c.out_off + n;
+        if n < len then continue := false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        c.alive <- false;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ())
+  done;
+  if c.out_off >= String.length c.outbuf then begin
+    c.outbuf <- "";
+    c.out_off <- 0
+  end
+
+let read_client t c =
+  let buf = Bytes.create 8192 in
+  let continue = ref true in
+  while !continue && c.alive do
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 ->
+        c.alive <- false;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        continue := false
+    | n ->
+        Protocol.Reader.feed c.reader buf 0 n;
+        if n < Bytes.length buf then continue := false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        c.alive <- false;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        continue := false
+  done;
+  let drain = ref true in
+  while !drain && c.alive do
+    match Protocol.Reader.next_frame c.reader with
+    | `Frame f ->
+        handle_frame t c f;
+        advance t c
+    | `More -> drain := false
+    | `Bad _ ->
+        c.alive <- false;
+        (try Unix.close c.fd with Unix.Unix_error _ -> ());
+        drain := false
+  done
+
+let finished t =
+  List.for_all
+    (fun c -> (not c.alive) || (c.slow_consumer && c.phase = Soaking))
+    t.clients
+
+(* One select iteration over every live client. Slow consumers in
+   Soaking never select for read — that is the point. *)
+let step ?(timeout_ms = 10) t =
+  let live = live t in
+  List.iter (fun c -> advance t c) live;
+  let readers =
+    List.filter (fun c -> not (c.slow_consumer && c.phase = Soaking)) live
+  in
+  let writers = List.filter (fun c -> c.outbuf <> "") live in
+  (match
+     Unix.select
+       (List.map (fun c -> c.fd) readers)
+       (List.map (fun c -> c.fd) writers)
+       []
+       (float_of_int timeout_ms /. 1000.0)
+   with
+  | readable, writable, _ ->
+      List.iter
+        (fun c -> if List.memq c.fd writable then flush_client c)
+        writers;
+      List.iter
+        (fun c -> if List.memq c.fd readable then read_client t c)
+        readers
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+  (* Opportunistic write for freshly queued lines. *)
+  List.iter (fun c -> if c.outbuf <> "" then flush_client c) (live);
+  not (finished t)
+
+let close_all t =
+  List.iter
+    (fun c ->
+      if c.alive then begin
+        c.alive <- false;
+        try Unix.close c.fd with Unix.Unix_error _ -> ()
+      end)
+    t.clients
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.0
+  | n ->
+      let i = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) i))
+
+let report t =
+  let wall_s = Unix.gettimeofday () -. t.started in
+  let lat = Array.of_list t.latencies in
+  Array.sort compare lat;
+  let completed = t.ok + t.errors in
+  {
+    wall_s;
+    requests = t.requests;
+    ok = t.ok;
+    errors = t.errors;
+    events = t.events;
+    overloads = t.overloads;
+    disconnects =
+      List.length
+        (List.filter
+           (fun c -> (not c.alive) && c.phase <> Done)
+           t.clients);
+    rps = (if wall_s > 0.0 then float_of_int completed /. wall_s else 0.0);
+    p50_ms = percentile lat 50.0;
+    p95_ms = percentile lat 95.0;
+    p99_ms = percentile lat 99.0;
+  }
+
+let run ?(max_steps = max_int) t =
+  let steps = ref 0 in
+  while (not (finished t)) && !steps < max_steps do
+    ignore (step t : bool);
+    incr steps
+  done;
+  report t
+
+let pp_report fmt (r : report) =
+  Format.fprintf fmt
+    "wall_s=%.2f requests=%d ok=%d errors=%d events=%d overloads=%d \
+     disconnects=%d rps=%.0f p50_ms=%.2f p95_ms=%.2f p99_ms=%.2f"
+    r.wall_s r.requests r.ok r.errors r.events r.overloads r.disconnects r.rps
+    r.p50_ms r.p95_ms r.p99_ms

@@ -1,0 +1,61 @@
+(** The acqpd load generator: one select loop driving many concurrent
+    client connections through a scripted mix of traffic — HELLO, a
+    burst of SUBSCRIBEs (continuous sessions), PINGs and one-shot RUNs
+    (request/response), optional malformed-garbage and slow-consumer
+    roles — while measuring round-trip latency percentiles and
+    completed-request throughput.
+
+    Single-threaded by construction, so a test can co-drive the
+    generator and a {!Server} from one thread: alternate
+    [Server.poll] and {!step} until {!finished}. *)
+
+type config = {
+  connections : int;
+  subscriptions_per_conn : int;
+  pings_per_conn : int;
+  runs_per_conn : int;
+  tenants : int;  (** conns spread round-robin over [t0..t<n-1>] *)
+  malformed : int;  (** leading conns that send garbage lines first *)
+  slow : int;  (** trailing conns that subscribe then stop reading *)
+  events_target : int;  (** EVENT frames to soak before QUIT; 0 = none *)
+  sql : string;
+}
+
+val default_config : config
+
+type report = {
+  wall_s : float;
+  requests : int;
+  ok : int;
+  errors : int;
+  events : int;
+  overloads : int;
+  disconnects : int;
+  rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+type t
+
+val create : ?config:config -> (unit -> Unix.file_descr) -> t
+(** [create connect] opens [config.connections] connections via
+    [connect] (one call each) and queues every HELLO. *)
+
+val step : ?timeout_ms:int -> t -> bool
+(** One select iteration: flush queued lines, read frames, advance
+    each client's script. Returns [false] once {!finished}. Slow
+    consumers in their soak phase are never selected for read. *)
+
+val finished : t -> bool
+(** Every client is done (or is a slow consumer parked in soak —
+    those only terminate when the server sheds them or the caller
+    {!close_all}s). *)
+
+val run : ?max_steps:int -> t -> report
+(** {!step} until {!finished} (or [max_steps]), then {!report}. *)
+
+val close_all : t -> unit
+val report : t -> report
+val pp_report : Format.formatter -> report -> unit

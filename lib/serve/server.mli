@@ -1,0 +1,64 @@
+(** The acqpd event loop: a single-process, hand-rolled [Unix.select]
+    server multiplexing every client connection, with bounded write
+    queues and graceful drain. No threads, no external I/O deps — the
+    whole daemon is one loop calling into {!Engine}.
+
+    Backpressure per {!Limits}: request replies always queue (crossing
+    the hard cap disconnects the slow consumer); subscription events
+    shed past the soft cap, announced by one [OVERLOAD] frame per gap.
+
+    Drain ({!request_shutdown}, the SIGTERM path): listeners close
+    immediately, new work is refused with 503, every client gets a
+    [BYE] frame, queues flush, and connections close — consumers that
+    refuse to read are cut off after a grace period so shutdown always
+    terminates. *)
+
+type t
+
+val listen_unix : string -> Unix.file_descr
+(** Bind + listen on a Unix socket path (any stale file is replaced);
+    nonblocking. *)
+
+val listen_tcp : string -> int -> Unix.file_descr
+(** Bind + listen on [host:port]; port [0] picks a free port — read it
+    back with {!bound_port}. *)
+
+val bound_port : Unix.file_descr -> int option
+
+val create :
+  ?ticks_per_poll:int ->
+  ?unix_path:string ->
+  listeners:Unix.file_descr list ->
+  Engine.t ->
+  Limits.t ->
+  t
+(** [ticks_per_poll] (default 4) is how many live-trace tuples the
+    engine serves to subscriptions per loop iteration. [unix_path] is
+    unlinked on shutdown. *)
+
+val poll : ?timeout_ms:int -> t -> unit
+(** One loop iteration: select, accept, read + dispatch complete
+    request lines, tick subscriptions, flush writes. [timeout_ms]
+    (default 50) only applies when fully idle — with subscriptions or
+    pending I/O the select is non-blocking. Exposed so tests and the
+    in-process bench can interleave server and client determinism-
+    friendly, single-threaded. *)
+
+val request_shutdown : t -> unit
+(** Begin the graceful drain; idempotent. *)
+
+val drain_step : ?grace_s:float -> t -> unit
+(** Close drained connections; after [grace_s] (default 2.0s) since
+    the drain began, cut off the rest. Called by {!run} each
+    iteration. *)
+
+val run : ?should_drain:(unit -> bool) -> ?timeout_ms:int -> t -> unit
+(** Loop until {!finished}. [should_drain] is polled every iteration —
+    the hook a signal handler flag plugs into. *)
+
+val stop : t -> unit
+(** Immediate shutdown: drain plus force-close everything. *)
+
+val connections : t -> int
+val draining : t -> bool
+val finished : t -> bool

@@ -1,0 +1,52 @@
+type kind = Lab | Garden5 | Garden11 | Synthetic
+
+type spec = { kind : kind; rows : int; seed : int }
+
+let kind_to_string = function
+  | Lab -> "lab"
+  | Garden5 -> "garden5"
+  | Garden11 -> "garden11"
+  | Synthetic -> "synthetic"
+
+let kind_of_string = function
+  | "lab" -> Ok Lab
+  | "garden5" -> Ok Garden5
+  | "garden11" -> Ok Garden11
+  | "synthetic" -> Ok Synthetic
+  | s -> Error ("unknown dataset: " ^ s)
+
+let spec_to_string s =
+  Printf.sprintf "%s rows=%d seed=%d" (kind_to_string s.kind) s.rows s.seed
+
+let default_spec = { kind = Lab; rows = 20_000; seed = 42 }
+
+let make { kind; rows; seed } =
+  let rng = Acq_util.Rng.create seed in
+  match kind with
+  | Lab -> Acq_data.Lab_gen.generate rng ~rows
+  | Garden5 -> Acq_data.Garden_gen.generate rng ~n_motes:5 ~rows
+  | Garden11 -> Acq_data.Garden_gen.generate rng ~n_motes:11 ~rows
+  | Synthetic ->
+      Acq_data.Synthetic_gen.generate rng
+        { Acq_data.Synthetic_gen.n = 10; gamma = 1; sel = 0.5 }
+        ~rows
+
+let history_live spec =
+  Acq_data.Dataset.split_by_time (make spec) ~train_fraction:0.5
+
+let default_sql = function
+  | Lab -> "SELECT * WHERE light >= 300 AND temp <= 19 AND humidity <= 45"
+  | Garden5 | Garden11 ->
+      "SELECT * WHERE temp0 BETWEEN 8 AND 20 AND humid0 BETWEEN 60 AND 90 \
+       AND temp1 BETWEEN 8 AND 20 AND humid1 BETWEEN 60 AND 90"
+  | Synthetic -> "SELECT * WHERE g0_x1 = 1 AND g1_x1 = 1 AND g2_x1 = 1"
+
+(* A predicate that matches nearly every live tuple, so subscriptions
+   generate a steady stream of EVENT frames. The lab trace starts at
+   midnight — at small row counts the live half never sees daylight,
+   so anything on [light] matches nothing; night humidity sits near
+   56, making [humidity >= 40] reliable at any row count. *)
+let chatty_sql = function
+  | Lab -> "SELECT * WHERE humidity >= 40"
+  | Garden5 | Garden11 -> "SELECT * WHERE humid0 >= 40"
+  | Synthetic -> "SELECT * WHERE g0_x1 >= 0"

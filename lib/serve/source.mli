@@ -1,0 +1,32 @@
+(** Dataset sources shared by the one-shot CLI ([acqp]) and the
+    serving daemon ([acqpd]): a {!spec} names a generated dataset —
+    kind, row count, PRNG seed — and both processes materialize {e
+    exactly} the same tuples from it. That determinism is what makes
+    the daemon's [RUN] responses byte-comparable to one-shot [acqp
+    run] output on the same spec. *)
+
+type kind = Lab | Garden5 | Garden11 | Synthetic
+
+type spec = { kind : kind; rows : int; seed : int }
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> (kind, string) result
+val spec_to_string : spec -> string
+
+val default_spec : spec
+(** [lab], 20k rows, seed 42 — the CLI defaults. *)
+
+val make : spec -> Acq_data.Dataset.t
+
+val history_live : spec -> Acq_data.Dataset.t * Acq_data.Dataset.t
+(** {!make}, then the positional 50/50 history/live split every
+    one-shot serving path uses. *)
+
+val default_sql : kind -> string
+(** The dataset-appropriate example query the CLI defaults to. *)
+
+val chatty_sql : kind -> string
+(** A predicate matching nearly every live tuple — the choice for
+    event-soak tests and load generation that needs EVENT traffic.
+    (The lab trace starts at midnight, so at small row counts
+    predicates on [light] match nothing; this avoids that trap.) *)

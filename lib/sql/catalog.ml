@@ -82,3 +82,10 @@ let bind schema (stmt : Ast.statement) =
   { query; select }
 
 let compile schema input = bind schema (Parser.parse input)
+
+let compile_result schema input =
+  match compile schema input with
+  | c -> Ok c
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | exception Stack_overflow -> Error "Parser: query too deeply nested"

@@ -19,3 +19,9 @@ val bind : Acq_data.Schema.t -> Ast.statement -> compiled
 
 val compile : Acq_data.Schema.t -> string -> compiled
 (** [bind] of {!Parser.parse}. *)
+
+val compile_result :
+  Acq_data.Schema.t -> string -> (compiled, string) result
+(** Total version of {!compile}: lexing, parsing, and binding failures
+    all come back as [Error msg], never as an exception. The daemon's
+    parse path goes through this. *)

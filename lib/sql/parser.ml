@@ -45,12 +45,22 @@ let comparison st =
       Some Ast.Eq
   | _ -> None
 
-let rec condition st =
+(* Negation is the only recursive production, so the recursion depth
+   equals the NOT-nesting depth. A hostile query of the form
+   "NOT (NOT (NOT (..." would otherwise translate byte count into
+   stack depth; the daemon's parse path needs a structured error
+   instead of a Stack_overflow. *)
+let max_not_depth = 128
+
+let rec condition ?(depth = 0) st =
   match peek st with
   | Lexer.NOT ->
+      if depth >= max_not_depth then
+        failwith
+          (Printf.sprintf "Parser: NOT nested deeper than %d" max_not_depth);
       advance st;
       expect st Lexer.LPAREN;
-      let c = condition st in
+      let c = condition ~depth:(depth + 1) st in
       expect st Lexer.RPAREN;
       Ast.Not c
   | Lexer.NUMBER lo ->
@@ -127,3 +137,9 @@ let parse input =
   let where = conjunction st in
   expect st Lexer.EOF;
   { Ast.select; where }
+
+let parse_result input =
+  match parse input with
+  | stmt -> Ok stmt
+  | exception Failure msg -> Error msg
+  | exception Stack_overflow -> Error "Parser: query too deeply nested"

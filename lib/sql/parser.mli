@@ -13,4 +13,12 @@
     v} *)
 
 val parse : string -> Ast.statement
-(** @raise Failure with a readable message on syntax errors. *)
+(** @raise Failure with a readable message on syntax errors. NOT
+    nesting is capped (128 levels) so adversarial input cannot turn
+    query bytes into parser stack depth. *)
+
+val parse_result : string -> (Ast.statement, string) result
+(** Total version of {!parse}: every lexer/parser failure — including
+    pathological nesting — comes back as [Error msg]. No exception
+    escapes; this is the entry point network-facing callers (the
+    [acqpd] daemon) must use. *)

@@ -485,6 +485,74 @@ let test_supervisor_budget_drains () =
   Alcotest.(check int) "charge equals the session's planning nodes" spent
     (List.fold_left (fun a s -> a + Sess.planning_nodes s) 0 (Sup.sessions sup))
 
+let test_supervisor_register_drift_unregister () =
+  (* The daemon lifecycle: dynamic registration, a drift that parks on
+     an exhausted budget, then unregistration that releases the park
+     and leaves no leaked sessions or dangling budget claims. *)
+  let _, q, history = fixture () in
+  let policy = Pol.drift_triggered ~check_every:10 ~cooldown:0 0.3 in
+  let mk () = Sess.create ~algorithm:P.Corr_seq ~policy ~window:40 ~history q in
+  let sup = Sup.create_empty ~planning_budget:0 () in
+  Alcotest.(check int) "starts empty" 0 (List.length (Sup.sessions sup));
+  Alcotest.(check (array int)) "empty step" [||]
+    (Array.map (fun _ -> 0) (Sup.step sup (phase_b_row 0)));
+  let id_a = Sup.register sup (mk ()) in
+  let id_b = Sup.register sup (mk ()) in
+  Alcotest.(check bool) "distinct ids" true (id_a <> id_b);
+  for i = 0 to 59 do
+    let outcomes = Sup.step sup (phase_b_row i) in
+    Alcotest.(check int) "one outcome per live session" 2
+      (Array.length outcomes)
+  done;
+  (* Budget 0: both sessions confirmed their drift trigger and parked. *)
+  Alcotest.(check int) "both parked" 2 (Sup.parked_sessions sup);
+  Alcotest.(check bool) "replans deferred" true (Sup.deferred_replans sup > 0);
+  Alcotest.(check bool) "released a parked replan" true
+    (Sup.unregister sup id_a);
+  Alcotest.(check int) "one park released" 1 (Sup.released_parked sup);
+  Alcotest.(check int) "one session left" 1 (List.length (Sup.sessions sup));
+  Alcotest.(check int) "one park left" 1 (Sup.parked_sessions sup);
+  Alcotest.(check bool) "double unregister is false" false
+    (Sup.unregister sup id_a);
+  Alcotest.(check bool) "lookup removed id" true (Sup.session sup id_a = None);
+  (* The survivor still serves alone. *)
+  let outcomes = Sup.step sup (phase_b_row 60) in
+  Alcotest.(check int) "survivor outcome" 1 (Array.length outcomes);
+  Alcotest.(check bool) "second release" true (Sup.unregister sup id_b);
+  Alcotest.(check int) "no sessions leaked" 0 (List.length (Sup.sessions sup));
+  Alcotest.(check int) "no parks leaked" 0 (Sup.parked_sessions sup);
+  Alcotest.(check int) "no live budget charges" 0 (Sup.charged_nodes sup);
+  Alcotest.(check int) "unregistrations counted" 2 (Sup.unregistered sup);
+  Alcotest.(check (array int)) "empty again" [||]
+    (Array.map (fun _ -> 0) (Sup.step sup (phase_b_row 61)))
+
+let test_supervisor_register_charges_budget () =
+  (* A dynamically registered session replans out of the shared budget
+     and its charge is settled (dropped from charged_nodes) when it
+     leaves. *)
+  let _, q, history = fixture () in
+  let policy = Pol.drift_triggered ~check_every:10 ~cooldown:0 0.3 in
+  let budget = 1_000_000 in
+  let sup = Sup.create_empty ~planning_budget:budget () in
+  let id =
+    Sup.register sup
+      (Sess.create ~algorithm:P.Corr_seq ~policy ~window:40 ~history q)
+  in
+  for i = 0 to 59 do
+    ignore (Sup.step sup (phase_b_row i))
+  done;
+  let spent = budget - Sup.budget_remaining sup in
+  Alcotest.(check bool) "replan charged" true (spent > 0);
+  Alcotest.(check int) "ledger matches" spent (Sup.charged_nodes sup);
+  Alcotest.(check bool) "switched" true (List.length (Sup.switches sup) > 0);
+  Alcotest.(check (list int)) "switches tagged with id" [ id ]
+    (List.sort_uniq compare (List.map fst (Sup.switches sup)));
+  ignore (Sup.unregister sup id : bool);
+  Alcotest.(check int) "charge settled on departure" 0
+    (Sup.charged_nodes sup);
+  Alcotest.(check int) "spent nodes stay spent" (budget - spent)
+    (Sup.budget_remaining sup)
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry *)
 
@@ -671,6 +739,10 @@ let () =
             test_supervisor_shared_budget;
           Alcotest.test_case "budget drains" `Quick
             test_supervisor_budget_drains;
+          Alcotest.test_case "register/drift/unregister" `Quick
+            test_supervisor_register_drift_unregister;
+          Alcotest.test_case "dynamic budget settlement" `Quick
+            test_supervisor_register_charges_budget;
         ] );
       ( "telemetry",
         [ Alcotest.test_case "adapt series" `Quick test_adapt_telemetry ] );

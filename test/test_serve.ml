@@ -1,0 +1,559 @@
+(* The serving daemon, end to end: wire-protocol parsing and framing,
+   the socket-free engine (admission, quotas, subscriptions, ticks),
+   and the real select-loop server co-driven in-process with the load
+   generator over a Unix socket — including the thousand-session scale
+   scenario, RUN byte-identity against the one-shot path, slow-consumer
+   shedding, malformed-client resilience, and graceful drain. *)
+
+module Serve = Acq_serve
+module Protocol = Serve.Protocol
+module Engine = Serve.Engine
+module Server = Serve.Server
+module Loadgen = Serve.Loadgen
+module Limits = Serve.Limits
+module Source = Serve.Source
+module P = Acq_core.Planner
+
+let small_spec = { Source.kind = Source.Lab; rows = 400; seed = 7 }
+let chatty = Source.chatty_sql Source.Lab
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: request parsing *)
+
+let check_parse line expected =
+  match (Protocol.parse_request line, expected) with
+  | Ok got, Ok want ->
+      if got <> want then Alcotest.failf "parse %S: wrong request" line
+  | Error (code, _), Error want_code ->
+      Alcotest.(check int) (Printf.sprintf "parse %S code" line) want_code code
+  | Ok _, Error code ->
+      Alcotest.failf "parse %S: expected ERR %d, got a request" line code
+  | Error (code, msg), Ok _ ->
+      Alcotest.failf "parse %S: unexpected ERR %d %s" line code msg
+
+let test_parse_basics () =
+  check_parse "PING" (Ok Protocol.Ping);
+  check_parse "QUIT" (Ok Protocol.Quit);
+  check_parse "STATS" (Ok Protocol.Stats);
+  check_parse "METRICS" (Ok Protocol.Metrics);
+  check_parse "HELLO acme" (Ok (Protocol.Hello "acme"));
+  check_parse "UNSUBSCRIBE 3" (Ok (Protocol.Unsubscribe 3))
+
+let test_parse_opts_and_sql () =
+  let sql = "SELECT * WHERE light >= 100" in
+  check_parse ("RUN algo=naive exec=tree " ^ sql)
+    (Ok
+       (Protocol.Run
+          ( {
+              Protocol.planner = Some (Protocol.Fixed P.Naive);
+              model = None;
+              exec = Some Acq_exec.Mode.Tree;
+            },
+            sql )));
+  (* Everything after the first (case-insensitive) SELECT is raw SQL —
+     spacing and case preserved byte for byte. *)
+  let weird = "select *  WHERE  humidity >= 40" in
+  (match Protocol.parse_request ("SUBSCRIBE " ^ weird) with
+  | Ok (Protocol.Subscribe (o, got)) ->
+      Alcotest.(check string) "raw sql tail" weird got;
+      Alcotest.(check bool) "no opts" true (o = Protocol.no_opts)
+  | _ -> Alcotest.fail "SUBSCRIBE with raw tail did not parse");
+  check_parse ("PLAN algo=portfolio " ^ sql)
+    (Ok
+       (Protocol.Plan
+          ( { Protocol.planner = Some Protocol.Portfolio; model = None; exec = None },
+            sql )))
+
+let test_parse_errors () =
+  check_parse "" (Error 400);
+  check_parse "FROBNICATE the server" (Error 400);
+  check_parse "\x01\x02\x03 binary junk \xff" (Error 400);
+  check_parse "RUN algo=quantum SELECT * WHERE light >= 300" (Error 400);
+  check_parse "RUN" (Error 422);
+  check_parse "RUN algo=naive" (Error 422);
+  (* "RUN SELECT" parses (the SELECT token is present); the empty
+     predicate is the engine's 422, exercised in the engine tests. *)
+  check_parse "UNSUBSCRIBE many" (Error 400);
+  check_parse "HELLO" (Error 400)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol: framing *)
+
+let frames_equal a b =
+  match (a, b) with
+  | Protocol.Reply x, Protocol.Reply y -> x = y
+  | Protocol.Failure (c, x), Protocol.Failure (d, y) -> c = d && x = y
+  | Protocol.Event (i, x), Protocol.Event (j, y) -> i = j && x = y
+  | Protocol.Overload x, Protocol.Overload y -> x = y
+  | Protocol.Bye x, Protocol.Bye y -> x = y
+  | _ -> false
+
+let test_frame_roundtrip () =
+  let cases =
+    [
+      Protocol.Reply "hello\n";
+      (* payloads may contain newlines and header-looking text *)
+      Protocol.Reply "OK 3\nnot a frame header\n";
+      Protocol.Failure (429, "quota exhausted\n");
+      Protocol.Event (17, "match cost=42.00 light=3\n");
+      Protocol.Overload "2 events dropped\n";
+      Protocol.Bye "closing\n";
+    ]
+  in
+  let reader = Protocol.Reader.create () in
+  (* Feed the whole stream one byte at a time: the decoder must
+     resynchronize on every fragmentation boundary. *)
+  let stream = String.concat "" (List.map Protocol.render cases) in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Protocol.Reader.feed_string reader (String.make 1 ch);
+      let rec drain () =
+        match Protocol.Reader.next_frame reader with
+        | `Frame f ->
+            got := f :: !got;
+            drain ()
+        | `More -> ()
+        | `Bad msg -> Alcotest.failf "bad frame: %s" msg
+      in
+      drain ())
+    stream;
+  let got = List.rev !got in
+  Alcotest.(check int) "frame count" (List.length cases) (List.length got);
+  List.iter2
+    (fun want have ->
+      if not (frames_equal want have) then
+        Alcotest.failf "frame mismatch: want %s" (Protocol.render want))
+    cases got
+
+let test_reader_lines () =
+  let r = Protocol.Reader.create () in
+  Protocol.Reader.feed_string r "PING\r\nSTATS\nHEL";
+  (match Protocol.Reader.next_line r with
+  | `Line l -> Alcotest.(check string) "crlf stripped" "PING" l
+  | _ -> Alcotest.fail "expected first line");
+  (match Protocol.Reader.next_line r with
+  | `Line l -> Alcotest.(check string) "lf stripped" "STATS" l
+  | _ -> Alcotest.fail "expected second line");
+  (match Protocol.Reader.next_line r with
+  | `More -> ()
+  | _ -> Alcotest.fail "partial line must wait");
+  Protocol.Reader.feed_string r "LO world\n";
+  (match Protocol.Reader.next_line r with
+  | `Line l -> Alcotest.(check string) "reassembled" "HELLO world" l
+  | _ -> Alcotest.fail "expected reassembled line");
+  (* Oversized line: flagged, then discardable once its newline shows. *)
+  Protocol.Reader.feed_string r (String.make 64 'x');
+  (match Protocol.Reader.next_line ~max:16 r with
+  | `Too_long -> ()
+  | _ -> Alcotest.fail "expected Too_long");
+  Alcotest.(check bool) "no newline yet" false (Protocol.Reader.discard_line r);
+  Protocol.Reader.feed_string r "tail\nPING\n";
+  Alcotest.(check bool) "discards through newline" true
+    (Protocol.Reader.discard_line r);
+  match Protocol.Reader.next_line ~max:16 r with
+  | `Line l -> Alcotest.(check string) "resynced" "PING" l
+  | _ -> Alcotest.fail "expected PING after discard"
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+(* What `acqp run` prints for [sql] on [spec] with CLI defaults —
+   computed independently of the engine, through the same shared
+   one-shot renderer the CLI uses. *)
+let expected_run_output spec sql =
+  let history, live = Source.history_live spec in
+  let schema = Acq_data.Dataset.schema history in
+  match Acq_sql.Catalog.compile_result schema sql with
+  | Error e -> Alcotest.failf "compile %S: %s" sql e
+  | Ok c ->
+      let text, _ =
+        Serve.Oneshot.run_to_string ~algorithm:P.Heuristic ~history ~live
+          c.Acq_sql.Catalog.query
+      in
+      text
+
+let test_engine_run_byte_identity () =
+  let engine = Engine.create small_spec in
+  let sql = chatty in
+  match Engine.run engine ~tenant:"t0" Protocol.no_opts sql with
+  | Error (code, msg) -> Alcotest.failf "RUN failed: %d %s" code msg
+  | Ok text ->
+      Alcotest.(check string) "daemon RUN == one-shot CLI rendering"
+        (expected_run_output small_spec sql)
+        text;
+      (* Deterministic across repeats (wall-clock is scrubbed). *)
+      (match Engine.run engine ~tenant:"t0" Protocol.no_opts sql with
+      | Ok again -> Alcotest.(check string) "repeatable" text again
+      | Error (c, m) -> Alcotest.failf "second RUN failed: %d %s" c m)
+
+let test_engine_admission () =
+  (* Session cap. *)
+  let limits = { Limits.default with Limits.max_sessions_per_tenant = 2 } in
+  let engine = Engine.create ~limits small_spec in
+  let sub owner =
+    Engine.subscribe engine ~tenant:"t0" ~owner Protocol.no_opts chatty
+  in
+  (match sub 1 with Ok _ -> () | Error (c, m) -> Alcotest.failf "sub1: %d %s" c m);
+  (match sub 1 with Ok _ -> () | Error (c, m) -> Alcotest.failf "sub2: %d %s" c m);
+  (match sub 1 with
+  | Error (429, _) -> ()
+  | Ok _ -> Alcotest.fail "third subscription must hit the session cap"
+  | Error (c, m) -> Alcotest.failf "expected 429, got %d %s" c m);
+  (* Planning quota. First measure what one RUN costs in search nodes,
+     then pin the quota so exactly one fits: the first request lands,
+     the depleted remainder caps the second run's search budget below
+     what it needs, and it is refused. *)
+  let engine = Engine.create small_spec in
+  (match Engine.run engine ~tenant:"t0" Protocol.no_opts chatty with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "measuring run: %d %s" c m);
+  let cost =
+    Limits.default.Limits.plan_quota_per_tenant
+    - Engine.tenant_quota_left (Engine.tenant engine "t0")
+  in
+  Alcotest.(check bool) "planning work was charged" true (cost > 0);
+  let limits =
+    { Limits.default with Limits.plan_quota_per_tenant = cost + (cost / 2) }
+  in
+  let engine = Engine.create ~limits small_spec in
+  (match Engine.run engine ~tenant:"t0" Protocol.no_opts chatty with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "first run under pinned quota: %d %s" c m);
+  (match Engine.run engine ~tenant:"t0" Protocol.no_opts chatty with
+  | Error (429, _) -> ()
+  | Ok _ -> Alcotest.fail "exhausted quota must 429"
+  | Error (c, m) -> Alcotest.failf "expected 429, got %d %s" c m);
+  (* Other tenants keep their own quota. *)
+  (match Engine.run engine ~tenant:"t1" Protocol.no_opts chatty with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "tenant isolation: %d %s" c m);
+  (* Drain refuses new work with 503. *)
+  let engine = Engine.create small_spec in
+  Engine.drain engine;
+  (match Engine.run engine ~tenant:"t0" Protocol.no_opts chatty with
+  | Error (503, _) -> ()
+  | Ok _ -> Alcotest.fail "draining engine must 503"
+  | Error (c, m) -> Alcotest.failf "expected 503, got %d %s" c m);
+  match Engine.subscribe engine ~tenant:"t0" ~owner:1 Protocol.no_opts chatty with
+  | Error (503, _) -> ()
+  | Ok _ -> Alcotest.fail "draining engine must refuse SUBSCRIBE"
+  | Error (c, m) -> Alcotest.failf "expected 503, got %d %s" c m
+
+let test_engine_subscribe_tick () =
+  let engine = Engine.create small_spec in
+  let sub_id =
+    match Engine.subscribe engine ~tenant:"t0" ~owner:7 Protocol.no_opts chatty with
+    | Ok (id, _) -> id
+    | Error (c, m) -> Alcotest.failf "subscribe: %d %s" c m
+  in
+  Alcotest.(check int) "live" 1 (Engine.live_subscriptions engine);
+  (* The chatty predicate matches every night tuple, so the very first
+     ticks must produce events routed to the owning connection. *)
+  let events = ref 0 in
+  for _ = 1 to 10 do
+    List.iter
+      (fun (owner, id, payload) ->
+        incr events;
+        Alcotest.(check int) "event owner" 7 owner;
+        Alcotest.(check int) "event sub id" sub_id id;
+        Alcotest.(check bool) "payload nonempty" true (String.length payload > 0))
+      (Engine.tick engine)
+  done;
+  Alcotest.(check bool) "events flowed" true (!events > 0);
+  (* Only the owning connection may unsubscribe. *)
+  (match Engine.unsubscribe engine ~tenant:"t0" ~owner:99 sub_id with
+  | Error (404, _) -> ()
+  | Ok _ -> Alcotest.fail "foreign owner must not unsubscribe"
+  | Error (c, m) -> Alcotest.failf "expected 404, got %d %s" c m);
+  (match Engine.unsubscribe engine ~tenant:"t0" ~owner:7 sub_id with
+  | Ok _ -> ()
+  | Error (c, m) -> Alcotest.failf "unsubscribe: %d %s" c m);
+  Alcotest.(check int) "released" 0 (Engine.live_subscriptions engine);
+  Alcotest.(check (list (triple int int string))) "no subs, no events" []
+    (Engine.tick engine);
+  (* drop_owner releases everything a disconnecting connection held. *)
+  ignore (Engine.subscribe engine ~tenant:"t0" ~owner:3 Protocol.no_opts chatty);
+  ignore (Engine.subscribe engine ~tenant:"t0" ~owner:3 Protocol.no_opts chatty);
+  Alcotest.(check int) "dropped" 2 (Engine.drop_owner engine 3);
+  Alcotest.(check int) "all released" 0 (Engine.live_subscriptions engine)
+
+(* ------------------------------------------------------------------ *)
+(* Server + Loadgen, in-process over a real Unix socket *)
+
+let temp_socket_path name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  path
+
+let with_server ?(limits = Limits.default) ?spec name f =
+  let spec = match spec with Some s -> s | None -> small_spec in
+  let path = temp_socket_path name in
+  let engine = Engine.create ~limits spec in
+  let listener = Server.listen_unix path in
+  let server = Server.create ~unix_path:path ~listeners:[ listener ] engine limits in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () -> f path engine server)
+
+let connect_unix path () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+(* A hand-driven client for the tests that need finer control than the
+   load generator gives (reading specific frames, going silent). *)
+type cli = {
+  cfd : Unix.file_descr;
+  crd : Protocol.Reader.t;
+  mutable cframes : Protocol.frame list;  (** newest first *)
+}
+
+let cli_connect path =
+  let fd = connect_unix path () in
+  Unix.set_nonblock fd;
+  { cfd = fd; crd = Protocol.Reader.create (); cframes = [] }
+
+let cli_send c line =
+  let data = line ^ "\n" in
+  let off = ref 0 in
+  while !off < String.length data do
+    match
+      Unix.single_write_substring c.cfd data !off (String.length data - !off)
+    with
+    | n -> off := !off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Unix.select [] [ c.cfd ] [] 0.05)
+  done
+
+let cli_pump c =
+  let buf = Bytes.create 8192 in
+  let continue = ref true in
+  while !continue do
+    match Unix.read c.cfd buf 0 (Bytes.length buf) with
+    | 0 -> continue := false
+    | n ->
+        Protocol.Reader.feed c.crd buf 0 n;
+        if n < Bytes.length buf then continue := false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        continue := false
+  done;
+  let drain = ref true in
+  while !drain do
+    match Protocol.Reader.next_frame c.crd with
+    | `Frame f -> c.cframes <- f :: c.cframes
+    | `More -> drain := false
+    | `Bad msg -> Alcotest.failf "client got bad frame: %s" msg
+  done
+
+let cli_close c = try Unix.close c.cfd with Unix.Unix_error _ -> ()
+
+(* Poll the server until the client has accumulated [n] frames. *)
+let pump_until server c ~frames:n =
+  let steps = ref 0 in
+  while List.length c.cframes < n && !steps < 5_000 do
+    Server.poll ~timeout_ms:0 server;
+    cli_pump c;
+    incr steps
+  done;
+  if List.length c.cframes < n then
+    Alcotest.failf "expected %d frames, got %d after %d polls" n
+      (List.length c.cframes) !steps
+
+let test_server_run_identity_over_socket () =
+  with_server "acqpd_test_identity.sock" @@ fun path engine server ->
+  ignore engine;
+  let c = cli_connect path in
+  Fun.protect ~finally:(fun () -> cli_close c) @@ fun () ->
+  cli_send c "HELLO t0";
+  cli_send c ("RUN " ^ chatty);
+  pump_until server c ~frames:2;
+  match List.rev c.cframes with
+  | [ Protocol.Reply _hello; Protocol.Reply run ] ->
+      Alcotest.(check string) "socket RUN == one-shot CLI rendering"
+        (expected_run_output small_spec chatty)
+        run
+  | frames ->
+      Alcotest.failf "unexpected frames: %s"
+        (String.concat " | " (List.map Protocol.frame_kind frames))
+
+let test_server_malformed_never_disconnects () =
+  with_server "acqpd_test_malformed.sock" @@ fun path _engine server ->
+  let c = cli_connect path in
+  Fun.protect ~finally:(fun () -> cli_close c) @@ fun () ->
+  cli_send c "HELLO t0";
+  cli_send c "FROBNICATE the server";
+  cli_send c "RUN SELECT * WHERE";
+  cli_send c "\x01\x02\x03 binary junk \xff";
+  cli_send c "PING";
+  pump_until server c ~frames:5;
+  match List.rev c.cframes with
+  | [ Protocol.Reply _; Protocol.Failure _; Protocol.Failure _;
+      Protocol.Failure _; Protocol.Reply _ ] ->
+      ()
+  | frames ->
+      Alcotest.failf
+        "want OK ERR ERR ERR OK (connection alive throughout), got: %s"
+        (String.concat " | " (List.map Protocol.frame_kind frames))
+
+let test_server_slow_consumer_sheds () =
+  (* Tiny write limits so a consumer that stops reading crosses the
+     soft cap within a few ticks of chatty-subscription traffic. *)
+  let limits =
+    {
+      Limits.default with
+      Limits.write_soft_limit = 2_048;
+      write_hard_limit = 64 * 1024;
+    }
+  in
+  with_server ~limits "acqpd_test_slow.sock" @@ fun path engine server ->
+  let c = cli_connect path in
+  Fun.protect ~finally:(fun () -> cli_close c) @@ fun () ->
+  cli_send c "HELLO t0";
+  (* Many subscriptions on one connection multiply per-tick event
+     volume, overwhelming both the kernel socket buffer and the
+     server-side queue without needing thousands of ticks. *)
+  let subs = 50 in
+  for _ = 1 to subs do
+    cli_send c ("SUBSCRIBE algo=heuristic " ^ chatty)
+  done;
+  pump_until server c ~frames:(1 + subs);
+  (* Go silent: stop reading while the server keeps ticking. *)
+  for _ = 1 to 400 do
+    Server.poll ~timeout_ms:0 server
+  done;
+  let prom = Engine.prometheus engine in
+  let shed_nonzero =
+    String.split_on_char '\n' prom
+    |> List.exists (fun l ->
+           String.length l > 0
+           && String.starts_with ~prefix:"acqpd_shed_events_total" l
+           && not (String.ends_with ~suffix:" 0" l))
+  in
+  Alcotest.(check bool) "server shed events for the slow consumer" true
+    shed_nonzero;
+  (* The connection survived shedding (drop-with-notice, not a drop of
+     the client): a PING still round-trips, and the backlog we finally
+     read contains at least one OVERLOAD notice. *)
+  cli_send c "PING";
+  let saw_overload () =
+    List.exists (function Protocol.Overload _ -> true | _ -> false) c.cframes
+  in
+  let steps = ref 0 in
+  while (not (saw_overload ())) && !steps < 5_000 do
+    Server.poll ~timeout_ms:0 server;
+    cli_pump c;
+    incr steps
+  done;
+  Alcotest.(check bool) "OVERLOAD notice delivered in-stream" true
+    (saw_overload ());
+  Alcotest.(check int) "connection still open" 1 (Server.connections server)
+
+(* The headline scenario: >= 1000 concurrent continuous sessions from
+   one load generator, malformed clients sprinkled in, then a graceful
+   drain that BYEs everyone. *)
+let test_server_thousand_sessions_and_drain () =
+  let limits =
+    { Limits.default with Limits.max_sessions_per_tenant = 1_100 }
+  in
+  with_server ~limits "acqpd_test_scale.sock" @@ fun path engine server ->
+  let config =
+    {
+      Loadgen.connections = 50;
+      subscriptions_per_conn = 21;
+      pings_per_conn = 2;
+      runs_per_conn = 0;
+      tenants = 5;
+      malformed = 3;
+      slow = 0;
+      (* Park every client in its event-soak phase so all 1050
+         sessions are provably concurrent; the drain releases them. *)
+      events_target = max_int;
+      sql = "algo=heuristic " ^ chatty;
+    }
+  in
+  let gen = Loadgen.create ~config (connect_unix path) in
+  Fun.protect ~finally:(fun () -> Loadgen.close_all gen) @@ fun () ->
+  let max_live = ref 0 in
+  let steps = ref 0 in
+  let target = config.Loadgen.connections * config.Loadgen.subscriptions_per_conn in
+  while !max_live < target && !steps < 20_000 do
+    Server.poll ~timeout_ms:0 server;
+    ignore (Loadgen.step ~timeout_ms:1 gen : bool);
+    max_live := max !max_live (Engine.live_subscriptions engine);
+    incr steps
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "concurrent sessions (saw %d)" !max_live)
+    true
+    (!max_live >= 1_000);
+  (* Let event traffic flow to the parked clients before draining. *)
+  let report = Loadgen.report gen in
+  Alcotest.(check bool) "events delivered" true (report.Loadgen.events > 0);
+  (* Graceful drain: every client gets a BYE and finishes cleanly. *)
+  Server.request_shutdown server;
+  let steps = ref 0 in
+  while
+    (not (Server.finished server && Loadgen.finished gen)) && !steps < 20_000
+  do
+    Server.poll ~timeout_ms:0 server;
+    Server.drain_step ~grace_s:2.0 server;
+    ignore (Loadgen.step ~timeout_ms:1 gen : bool);
+    incr steps
+  done;
+  Alcotest.(check bool) "server drained" true (Server.finished server);
+  Alcotest.(check bool) "all clients done" true (Loadgen.finished gen);
+  let report = Loadgen.report gen in
+  (* 3 malformed clients x 4 garbage lines, each a structured ERR —
+     and nothing else fails. *)
+  Alcotest.(check int) "structured errors from garbage" 12
+    report.Loadgen.errors;
+  Alcotest.(check int) "no client dropped mid-script" 0
+    report.Loadgen.disconnects;
+  let expected_ok =
+    (* hello + subscribe acks + pings per connection *)
+    config.Loadgen.connections
+    * (1 + config.Loadgen.subscriptions_per_conn + config.Loadgen.pings_per_conn)
+  in
+  Alcotest.(check int) "every request answered OK" expected_ok
+    report.Loadgen.ok
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse basics" `Quick test_parse_basics;
+          Alcotest.test_case "parse opts and raw sql" `Quick
+            test_parse_opts_and_sql;
+          Alcotest.test_case "parse errors are structured" `Quick
+            test_parse_errors;
+          Alcotest.test_case "frame roundtrip, byte-at-a-time" `Quick
+            test_frame_roundtrip;
+          Alcotest.test_case "reader lines" `Quick test_reader_lines;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "RUN byte-identity with one-shot CLI" `Quick
+            test_engine_run_byte_identity;
+          Alcotest.test_case "admission: caps, quotas, drain" `Quick
+            test_engine_admission;
+          Alcotest.test_case "subscribe, tick, unsubscribe" `Quick
+            test_engine_subscribe_tick;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "RUN byte-identity over the socket" `Quick
+            test_server_run_identity_over_socket;
+          Alcotest.test_case "malformed input never disconnects" `Quick
+            test_server_malformed_never_disconnects;
+          Alcotest.test_case "slow consumer sheds with OVERLOAD" `Quick
+            test_server_slow_consumer_sheds;
+          Alcotest.test_case "1000+ sessions, then graceful drain" `Slow
+            test_server_thousand_sessions_and_drain;
+        ] );
+    ]

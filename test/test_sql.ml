@@ -189,6 +189,86 @@ let test_catalog_query_semantics () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Hostile input: the daemon's parse path feeds untrusted bytes
+   straight into Lexer/Parser/Catalog, so every malformed input must
+   come back as a structured [Error _] — no exception may escape
+   [parse_result]/[compile_result], and parsing must terminate. *)
+
+let no_escape input =
+  (match Parser.parse_result input with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+      Alcotest.failf "parse_result raised %s on %S" (Printexc.to_string e)
+        (String.sub input 0 (min 64 (String.length input))));
+  match Catalog.compile_result (test_schema ()) input with
+  | Ok _ | Error _ -> true
+  | exception e ->
+      Alcotest.failf "compile_result raised %s on %S" (Printexc.to_string e)
+        (String.sub input 0 (min 64 (String.length input)))
+
+let fuzz_bytes =
+  QCheck.Test.make ~count:500 ~name:"byte garbage yields structured errors"
+    QCheck.(string_of_size Gen.(0 -- 200))
+    no_escape
+
+let valid_seed_queries =
+  [|
+    "SELECT * WHERE 100 <= light <= 300 AND hour <= 6";
+    "SELECT hour, temp WHERE temp BETWEEN 15 AND 25";
+    "SELECT * WHERE NOT (hour = 3) AND light >= 500";
+    "SELECT * WHERE NOT (100 <= light <= 300)";
+  |]
+
+let fuzz_truncated =
+  (* Every prefix of a valid query either parses or errors cleanly. *)
+  QCheck.Test.make ~count:300 ~name:"truncated queries yield structured errors"
+    QCheck.(pair (int_bound (Array.length valid_seed_queries - 1)) (int_bound 60))
+    (fun (qi, len) ->
+      let q = valid_seed_queries.(qi) in
+      no_escape (String.sub q 0 (min len (String.length q))))
+
+let fuzz_mutated =
+  (* Flip one byte of a valid query to an arbitrary character. *)
+  QCheck.Test.make ~count:500 ~name:"byte-flipped queries yield structured errors"
+    QCheck.(triple (int_bound (Array.length valid_seed_queries - 1)) small_nat printable_char)
+    (fun (qi, pos, c) ->
+      let q = Bytes.of_string valid_seed_queries.(qi) in
+      Bytes.set q (pos mod Bytes.length q) c;
+      no_escape (Bytes.to_string q))
+
+let test_hostile_overlong () =
+  (* Over-long inputs: a 1 MB identifier, a 100k-predicate
+     conjunction, and a megabyte of garbage all terminate with a
+     structured result. *)
+  ignore (no_escape ("SELECT * WHERE " ^ String.make 1_000_000 'x' ^ " = 1"));
+  let preds = List.init 5_000 (fun i -> Printf.sprintf "hour >= %d" (i mod 24)) in
+  ignore (no_escape ("SELECT * WHERE " ^ String.concat " AND " preds));
+  ignore (no_escape (String.make 1_000_000 '('))
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_hostile_deep_nesting () =
+  (* NOT-nesting is capped: depth beyond the cap is a structured
+     error, not a Stack_overflow crash. *)
+  let deep n =
+    "SELECT * WHERE "
+    ^ String.concat "" (List.init n (fun _ -> "NOT ("))
+    ^ "hour = 3"
+    ^ String.make n ')'
+  in
+  (match Parser.parse_result (deep 10) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "depth 10 should parse: %s" e);
+  match Parser.parse_result (deep 100_000) with
+  | Ok _ -> Alcotest.fail "expected a depth error"
+  | Error e ->
+      Alcotest.(check bool) "names the nesting cap" true
+        (contains_sub e "nested")
+
 let () =
   Alcotest.run "sql"
     [
@@ -218,5 +298,13 @@ let () =
           Alcotest.test_case "select list" `Quick test_catalog_select_list;
           Alcotest.test_case "errors" `Quick test_catalog_errors;
           Alcotest.test_case "query semantics" `Quick test_catalog_query_semantics;
+        ] );
+      ( "hostile",
+        [
+          QCheck_alcotest.to_alcotest fuzz_bytes;
+          QCheck_alcotest.to_alcotest fuzz_truncated;
+          QCheck_alcotest.to_alcotest fuzz_mutated;
+          Alcotest.test_case "over-long input" `Quick test_hostile_overlong;
+          Alcotest.test_case "deep NOT nesting" `Quick test_hostile_deep_nesting;
         ] );
     ]
