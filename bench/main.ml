@@ -1742,6 +1742,261 @@ let serve_schema_path () =
 let validate_serve path =
   validate_against ~schema_path:(serve_schema_path ()) path
 
+(* ------------------------------------------------------------------ *)
+(* Sampling bench: the statistical guarantees of the sampled backend
+   and the PAC planner arm, measured at bench scale and pinned by the
+   checked-in schema (bench/BENCH_sample.schema.json). Four kernels:
+
+   1. Coverage: 200 seeded resamples of a correlated window; the
+      Hoeffding interval on a root and on a conditioned estimate must
+      cover the exact full-window probability at >= 1 - delta.
+   2. Certificate: 200 seeded instances; the PAC plan's (epsilon,
+      delta) certificate must hold against the brute-force oracle —
+      cost_bound >= true plan cost and cost_bound <= (1 + epsilon) *
+      optimum — at >= 0.95 (the schema floor).
+   3. Cold data: the expensive-predicate (UDF) workload; the Pac arm
+      planning on sampled(1024, 0.001) must match the exact CorrSeq
+      plan's live cost on a drifted cold trace within 10% while
+      certifying from a strict subsample (samples-drawn ceiling).
+   4. Identity: a daemon RUN with model=sampled(...) must be
+      byte-identical to the one-shot CLI rendering — the serving-path
+      contract extended to the sampled backend. *)
+
+let sample_dataset seed domains rows =
+  let n = Array.length domains in
+  let rng = Acq_util.Rng.create seed in
+  let schema =
+    Acq_data.Schema.create
+      (List.init n (fun k ->
+           Acq_data.Attribute.discrete
+             ~name:(Printf.sprintf "a%d" k)
+             ~cost:(float_of_int ((k * 3) + 2))
+             ~domain:domains.(k)))
+  in
+  let data =
+    Array.init rows (fun _ ->
+        let regime = Acq_util.Rng.float rng 1.0 in
+        Array.init n (fun k ->
+            if Acq_util.Rng.bernoulli rng 0.7 then
+              min
+                (domains.(k) - 1)
+                (int_of_float (regime *. float_of_int domains.(k)))
+            else Acq_util.Rng.int rng domains.(k)))
+  in
+  Acq_data.Dataset.create schema data
+
+let sample_brute_force q ~costs est =
+  let module EC = Acq_core.Expected_cost in
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun rest -> x :: rest)
+              (perms (List.filter (fun y -> y <> x) l)))
+          l
+  in
+  let m = Acq_plan.Query.n_predicates q in
+  List.fold_left
+    (fun best order -> Float.min best (EC.of_order q ~costs est order))
+    infinity
+    (perms (List.init m Fun.id))
+
+let write_sample_json path =
+  let module B = Acq_prob.Backend in
+  let module P = Acq_core.Planner in
+  let module Pred = Acq_plan.Predicate in
+  let module DS = Acq_data.Dataset in
+  let module Search = Acq_core.Search in
+  (* -- 1. interval coverage over seeded resamples ------------------- *)
+  let coverage_trials = 200 in
+  let cov_delta = 0.1 in
+  let cov_ds = sample_dataset 7 [| 4; 3; 2 |] 4_000 in
+  let exact = B.empirical cov_ds in
+  let p_root = Pred.inside ~attr:0 ~lo:2 ~hi:3 in
+  let p_cond = Pred.inside ~attr:1 ~lo:0 ~hi:1 in
+  let truth_root = B.pred_prob exact p_root in
+  let truth_cond = B.pred_prob (B.restrict_pred exact p_root true) p_cond in
+  let covered = ref 0 and cov_total = ref 0 in
+  let check_cover truth (lo, hi) =
+    incr cov_total;
+    if lo <= truth +. 1e-12 && truth <= hi +. 1e-12 then incr covered
+  in
+  for seed = 1 to coverage_trials do
+    let b = B.sampled ~seed ~n:256 ~delta:cov_delta cov_ds in
+    check_cover truth_root (B.pred_prob_ci b p_root);
+    check_cover truth_cond
+      (B.pred_prob_ci (B.restrict_pred b p_root true) p_cond)
+  done;
+  let coverage_rate = float_of_int !covered /. float_of_int !cov_total in
+  (* -- 2. PAC certificate vs the brute-force oracle ----------------- *)
+  let certificate_trials = 200 in
+  let holds = ref 0 and partial = ref 0 and max_delta = ref 0.0 in
+  for seed = 1 to certificate_trials do
+    let domains = [| 3; 2; 2 |] in
+    let ds = sample_dataset (100 + seed) domains 400 in
+    let schema = DS.schema ds in
+    let costs = Acq_data.Schema.costs schema in
+    let rng = Acq_util.Rng.create (500 + seed) in
+    let preds =
+      List.init 3 (fun attr ->
+          let d = domains.(attr) in
+          let lo = Acq_util.Rng.int rng d in
+          let hi = lo + Acq_util.Rng.int rng (d - lo) in
+          Pred.inside ~attr ~lo ~hi)
+    in
+    let q = Acq_plan.Query.create schema preds in
+    let plan, _cost, cert =
+      Acq_core.Pac.plan ~epsilon_target:0.3 q ~costs
+        (B.sampled ~seed ~n:32 ~delta:0.002 ds)
+    in
+    let exact = B.empirical ds in
+    let true_cost = Acq_core.Expected_cost.of_plan q ~costs exact plan in
+    let oracle = sample_brute_force q ~costs exact in
+    max_delta := Float.max !max_delta cert.Search.delta;
+    if cert.Search.samples < DS.nrows ds then incr partial;
+    if
+      cert.Search.cost_bound >= true_cost -. 1e-9
+      && cert.Search.cost_bound
+         <= ((1.0 +. cert.Search.epsilon) *. oracle) +. 1e-9
+    then incr holds
+  done;
+  let holds_rate = float_of_int !holds /. float_of_int certificate_trials in
+  (* -- 3. cold-data cost on the expensive-predicate workload -------- *)
+  let module U = Acq_workload.Udf_gen in
+  let p = U.default in
+  let udf_rows = 6_000 in
+  let train = U.generate (Acq_util.Rng.create 91) p ~rows:udf_rows in
+  let cold = U.generate_drifted (Acq_util.Rng.create 92) p ~rows:udf_rows in
+  let model = U.cost_model (Acq_util.Rng.create 93) p in
+  let q = U.query p in
+  let costs = Acq_data.Schema.costs (DS.schema train) in
+  let live_cost plan =
+    Acq_exec.Runner.average_cost ~model ~mode:Acq_exec.Mode.Compiled q ~costs
+      plan cold
+  in
+  let spec_of name =
+    match B.spec_of_string name with
+    | Ok sp -> sp
+    | Error e -> failwith (B.spec_error_to_string e)
+  in
+  let udf_options spec =
+    {
+      P.default_options with
+      P.prob_model = spec;
+      cost_model = Some model;
+      (* Near-tied orders make a 5% certified gap cost the whole
+         window; 50% demonstrates early stopping (the ceiling). *)
+      pac_epsilon = 0.5;
+    }
+  in
+  let exact_r =
+    P.plan ~options:(udf_options (spec_of "empirical")) P.Corr_seq q ~train
+  in
+  let pac_r =
+    P.plan
+      ~options:(udf_options (spec_of "sampled(1024,0.001)"))
+      P.Pac q ~train
+  in
+  let exact_cost = live_cost exact_r.P.plan in
+  let pac_cost = live_cost pac_r.P.plan in
+  let cost_ratio = pac_cost /. Float.max exact_cost 1e-9 in
+  let samples_drawn, pac_cert =
+    match pac_r.P.stats.Search.certificate with
+    | Some c -> (c.Search.samples, Search.certificate_to_string c)
+    | None -> (udf_rows, "-")
+  in
+  (* -- 4. RUN byte-identity under model=sampled --------------------- *)
+  let module Sv = Acq_serve in
+  let spec = serve_spec in
+  let chatty = Sv.Source.chatty_sql spec.Sv.Source.kind in
+  let sampled_spec = spec_of "sampled(512,0.01)" in
+  let expected =
+    let history, live = Sv.Source.history_live spec in
+    let schema = Acq_data.Dataset.schema history in
+    match Acq_sql.Catalog.compile_result schema chatty with
+    | Error e -> failwith ("sample bench query failed to compile: " ^ e)
+    | Ok c ->
+        fst
+          (Sv.Oneshot.run_to_string
+             ~options:{ P.default_options with P.prob_model = sampled_spec }
+             ~algorithm:P.Pac ~history ~live c.Acq_sql.Catalog.query)
+  in
+  let daemon_opts =
+    {
+      Sv.Protocol.planner = Some (Sv.Protocol.Fixed P.Pac);
+      model = Some sampled_spec;
+      exec = None;
+    }
+  in
+  let run_identity =
+    match
+      Sv.Engine.run (Sv.Engine.create spec) ~tenant:"bench" daemon_opts chatty
+    with
+    | Ok text -> String.equal text expected
+    | Error _ -> false
+  in
+  let doc =
+    J.Obj
+      [
+        ("version", J.Num 1.0);
+        ( "coverage",
+          J.Obj
+            [
+              ("trials", J.Num (float_of_int !cov_total));
+              ("covered", J.Num (float_of_int !covered));
+              ("rate", J.Num coverage_rate);
+              ("delta", J.Num cov_delta);
+            ] );
+        ( "certificate",
+          J.Obj
+            [
+              ("trials", J.Num (float_of_int certificate_trials));
+              ("holds", J.Num (float_of_int !holds));
+              ("rate", J.Num holds_rate);
+              ("max_delta", J.Num !max_delta);
+              ("partial_trials", J.Num (float_of_int !partial));
+            ] );
+        ( "cold_data",
+          J.Obj
+            [
+              ("rows", J.Num (float_of_int udf_rows));
+              ("empirical_live_cost", J.Num exact_cost);
+              ("sampled_live_cost", J.Num pac_cost);
+              ("cost_ratio", J.Num cost_ratio);
+              ("samples_drawn", J.Num (float_of_int samples_drawn));
+              ("certificate", J.Str pac_cert);
+            ] );
+        ("identity", J.Obj [ ("run_identity", J.Bool run_identity) ]);
+        ( "summary",
+          J.Obj
+            [
+              ("coverage_rate", J.Num coverage_rate);
+              ("certificate_holds_rate", J.Num holds_rate);
+              ("cold_cost_ratio", J.Num cost_ratio);
+              ("samples_drawn", J.Num (float_of_int samples_drawn));
+              ("run_identity", J.Bool run_identity);
+            ] );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "wrote sampling results to %s (coverage %.3f, certificate holds %.3f, \
+     cold ratio %.3f, %d samples drawn, identity=%b)\n"
+    path coverage_rate holds_rate cost_ratio samples_drawn run_identity
+
+let sample_schema_path () =
+  if Sys.file_exists "bench/BENCH_sample.schema.json" then
+    "bench/BENCH_sample.schema.json"
+  else "BENCH_sample.schema.json"
+
+let validate_sample path =
+  validate_against ~schema_path:(sample_schema_path ()) path
+
 let run_micro () =
   print_endline "\n== Bechamel micro-benchmarks (one kernel per experiment) ==";
   let cfg =
@@ -1793,6 +2048,7 @@ let () =
   let exec_smoke = List.mem "--exec-smoke" args in
   let audit_smoke = List.mem "--audit-smoke" args in
   let serve_smoke = List.mem "--serve-smoke" args in
+  let sample_smoke = List.mem "--sample-smoke" args in
   let find_target flag =
     let rec find = function
       | f :: path :: _ when f = flag -> Some path
@@ -1808,11 +2064,12 @@ let () =
   let validate_exec_target = find_target "--validate-exec" in
   let validate_audit_target = find_target "--validate-audit" in
   let validate_serve_target = find_target "--validate-serve" in
+  let validate_sample_target = find_target "--validate-sample" in
   let ids =
     let rec keep = function
       | ( "--validate-obs" | "--validate-adapt" | "--validate-par"
         | "--validate-prob" | "--validate-exec" | "--validate-audit"
-        | "--validate-serve" )
+        | "--validate-serve" | "--validate-sample" )
         :: _ :: rest ->
           keep rest
       | a :: rest ->
@@ -1833,10 +2090,10 @@ let () =
        --adapt-smoke --validate-adapt FILE --par-smoke --validate-par FILE \
        --prob-smoke --validate-prob FILE --exec-smoke --validate-exec FILE \
        --audit-smoke --validate-audit FILE --serve-smoke --validate-serve \
-       FILE --list (every non-list run also writes \
-       BENCH_planner_stats.json, BENCH_obs.json, BENCH_adapt.json, \
-       BENCH_par.json, BENCH_prob.json, BENCH_exec.json, BENCH_audit.json, \
-       and BENCH_serve.json)"
+       FILE --sample-smoke --validate-sample FILE --list (every non-list \
+       run also writes BENCH_planner_stats.json, BENCH_obs.json, \
+       BENCH_adapt.json, BENCH_par.json, BENCH_prob.json, BENCH_exec.json, \
+       BENCH_audit.json, BENCH_serve.json, and BENCH_sample.json)"
   end
   else
     match
@@ -1846,16 +2103,19 @@ let () =
         validate_prob_target,
         validate_exec_target,
         validate_audit_target,
-        validate_serve_target )
+        validate_serve_target,
+        validate_sample_target )
     with
-    | Some path, _, _, _, _, _, _ -> validate_obs path
-    | None, Some path, _, _, _, _, _ -> validate_adapt path
-    | None, None, Some path, _, _, _, _ -> validate_par path
-    | None, None, None, Some path, _, _, _ -> validate_prob path
-    | None, None, None, None, Some path, _, _ -> validate_exec path
-    | None, None, None, None, None, Some path, _ -> validate_audit path
-    | None, None, None, None, None, None, Some path -> validate_serve path
-    | None, None, None, None, None, None, None ->
+    | Some path, _, _, _, _, _, _, _ -> validate_obs path
+    | None, Some path, _, _, _, _, _, _ -> validate_adapt path
+    | None, None, Some path, _, _, _, _, _ -> validate_par path
+    | None, None, None, Some path, _, _, _, _ -> validate_prob path
+    | None, None, None, None, Some path, _, _, _ -> validate_exec path
+    | None, None, None, None, None, Some path, _, _ -> validate_audit path
+    | None, None, None, None, None, None, Some path, _ -> validate_serve path
+    | None, None, None, None, None, None, None, Some path ->
+        validate_sample path
+    | None, None, None, None, None, None, None, None ->
         if obs_smoke then begin
           write_obs_json "BENCH_obs.json";
           validate_obs "BENCH_obs.json"
@@ -1884,6 +2144,10 @@ let () =
           write_serve_json "BENCH_serve.json";
           validate_serve "BENCH_serve.json"
         end
+        else if sample_smoke then begin
+          write_sample_json "BENCH_sample.json";
+          validate_sample "BENCH_sample.json"
+        end
         else begin
           if not micro_only then
             Acq_workload.Registry.run_selected
@@ -1897,5 +2161,6 @@ let () =
           write_exec_json "BENCH_exec.json";
           write_audit_json "BENCH_audit.json";
           write_serve_json "BENCH_serve.json";
+          write_sample_json "BENCH_sample.json";
           if micro_only || (ids = [] && not no_micro) then run_micro ()
         end

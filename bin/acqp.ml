@@ -73,6 +73,7 @@ let algo_conv =
     | "corrseq" -> Ok Acq_core.Planner.Corr_seq
     | "heuristic" -> Ok Acq_core.Planner.Heuristic
     | "exhaustive" -> Ok Acq_core.Planner.Exhaustive
+    | "pac" -> Ok Acq_core.Planner.Pac
     | s -> Error (`Msg ("unknown algorithm: " ^ s))
   in
   let print fmt a =
@@ -124,13 +125,13 @@ let algo_arg =
     value
     & opt algo_conv Acq_core.Planner.Heuristic
     & info [ "algo"; "a" ] ~docv:"ALGO"
-        ~doc:"Planner: naive, corrseq, heuristic, or exhaustive.")
+        ~doc:"Planner: naive, corrseq, heuristic, exhaustive, or pac.")
 
 let model_conv =
   let parse s =
     match Acq_prob.Backend.spec_of_string s with
     | Ok spec -> Ok spec
-    | Error msg -> Error (`Msg msg)
+    | Error e -> Error (`Msg (Acq_prob.Backend.spec_error_to_string e))
   in
   let print fmt spec =
     Format.pp_print_string fmt (Acq_prob.Backend.spec_to_string spec)
@@ -390,7 +391,7 @@ let portfolio_flag =
     value & flag
     & info [ "portfolio" ]
         ~doc:
-          "Race Exhaustive, Heuristic, and CorrSeq in parallel domains \
+          "Race Exhaustive, Heuristic, CorrSeq, and Pac in parallel domains \
            under one shared deadline and keep the cheapest finished plan \
            (deterministic: ties go to the earlier arm, never to the \
            faster one). Overrides --algo.")
@@ -445,7 +446,7 @@ let plan_cmd =
     in
     Printf.printf "query: %s\nalgorithm: %s\nmodel: %s\n\n"
       (Acq_plan.Query.describe q)
-      (if portfolio then "portfolio (exhaustive / heuristic / corrseq)"
+      (if portfolio then "portfolio (exhaustive / heuristic / corrseq / pac)"
        else Acq_core.Planner.algorithm_name algo)
       (Acq_prob.Backend.spec_to_string model);
     or_model_error @@ fun () ->

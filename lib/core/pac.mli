@@ -1,0 +1,46 @@
+(** Sampling-based PAC sequential planner ("Probably Approximately
+    Optimal Query Optimization", Trummer & Koch, adapted to
+    acquisitional predicate ordering).
+
+    Instead of trusting point selectivity estimates, the planner costs
+    every candidate order with {e confidence intervals} from the
+    backend ({!Acq_prob.Backend.pred_prob_ci}) and picks the order
+    with the smallest upper-confidence cost. When the intervals are
+    too wide to separate candidates — the relative gap between the
+    chosen order's upper bound and the cheapest lower bound exceeds
+    the epsilon target — it asks the backend to {e refine} (double its
+    sample, {!Acq_prob.Backend.refine}) and re-scores, so sampling
+    effort concentrates exactly where plan-order decisions are still
+    ambiguous.
+
+    The emitted {!Search.certificate} states: with probability at
+    least [1 - delta] (a union bound over every distinct interval the
+    final decision consulted), the plan's true expected cost is at
+    most [cost_bound], and within a factor [1 + epsilon] of the best
+    candidate's lower-confidence cost — hence of the optimal
+    sequential order's true cost.
+
+    Against a deterministic backend (degenerate intervals, no
+    {!Acq_prob.Backend.refine}) the planner reduces to exact argmin
+    and certifies [epsilon = 0, delta = 0]. *)
+
+val default_epsilon_target : float
+(** 0.05 — refine until the certified gap is below 5%. *)
+
+val exhaustive_limit : int
+(** Queries up to this many predicates score every permutation;
+    wider ones use a greedy-rank candidate pool. *)
+
+val plan :
+  ?search:_ Search.t ->
+  ?model:Acq_plan.Cost_model.t ->
+  ?epsilon_target:float ->
+  Acq_plan.Query.t ->
+  costs:float array ->
+  Acq_prob.Backend.t ->
+  Acq_plan.Plan.t * float * Search.certificate
+(** [plan q ~costs est] returns the chosen sequential plan, its point
+    expected cost under [est]'s current sample, and the (epsilon,
+    delta) certificate. [search] is ticked once per candidate per
+    scoring round, so budgets and deadlines abort the PAC loop the
+    same way they abort every other planner. *)

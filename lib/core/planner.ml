@@ -1,10 +1,11 @@
-type algorithm = Naive | Corr_seq | Heuristic | Exhaustive
+type algorithm = Naive | Corr_seq | Heuristic | Exhaustive | Pac
 
 let algorithm_name = function
   | Naive -> "Naive"
   | Corr_seq -> "CorrSeq"
   | Heuristic -> "Heuristic"
   | Exhaustive -> "Exhaustive"
+  | Pac -> "Pac"
 
 type options = {
   split_points_per_attr : int;
@@ -17,6 +18,7 @@ type options = {
   size_alpha : float;
   cost_model : Acq_plan.Cost_model.t option;
   prob_model : Acq_prob.Backend.spec;
+  pac_epsilon : float;
 }
 
 let default_options =
@@ -31,6 +33,7 @@ let default_options =
     size_alpha = 0.0;
     cost_model = None;
     prob_model = Acq_prob.Backend.default_spec;
+    pac_epsilon = Pac.default_epsilon_target;
   }
 
 type result = {
@@ -49,9 +52,10 @@ let plan_with_backend ?(options = default_options)
   let algo_labels = [ ("algorithm", algorithm_name algorithm) ] in
   (* One fresh context per call: the planners share its counters,
      memo table, and limits, and nothing outlives the call. *)
-  let finish search (plan, est_cost) =
+  let finish ?certificate search (plan, est_cost) =
     let stats =
-      Search.stats ~plan_size:(Acq_plan.Serialize.size plan) search
+      Search.stats ~plan_size:(Acq_plan.Serialize.size plan) ?certificate
+        search
     in
     let module T = Acq_obs.Telemetry in
     if T.enabled telemetry then begin
@@ -106,6 +110,14 @@ let plan_with_backend ?(options = default_options)
       let search = context ~default_budget:options.exhaustive_budget () in
       let est = Search.wrap_backend search est in
       finish search (Exhaustive.plan ~search ?model q ~costs ~grid est)
+  | Pac ->
+      let search = context () in
+      let est = Search.wrap_backend search est in
+      let plan, est_cost, certificate =
+        Pac.plan ~search ?model ~epsilon_target:options.pac_epsilon q ~costs
+          est
+      in
+      finish ~certificate search (plan, est_cost)
 
 let plan_with_estimator ?options ?telemetry algorithm q ~costs est =
   plan_with_backend ?options ?telemetry algorithm q ~costs
@@ -114,7 +126,19 @@ let plan_with_estimator ?options ?telemetry algorithm q ~costs est =
 let plan ?(options = default_options) ?(telemetry = Acq_obs.Telemetry.noop)
     algorithm q ~train =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
-  let est =
-    Acq_prob.Backend.of_dataset ~telemetry ~spec:options.prob_model train
+  let spec =
+    (* Pac plans against confidence intervals; every backend except
+       the sampled one degenerates them to points, turning the arm
+       into a slow Exhaustive. Substitute the default sampled kind
+       (keeping the caller's memoize choice) unless the caller already
+       picked sampling parameters. *)
+    match (algorithm, options.prob_model.Acq_prob.Backend.kind) with
+    | Pac, Acq_prob.Backend.Sampled _ -> options.prob_model
+    | Pac, _ ->
+        { options.prob_model with
+          Acq_prob.Backend.kind = Acq_prob.Backend.default_sampled_kind
+        }
+    | _ -> options.prob_model
   in
+  let est = Acq_prob.Backend.of_dataset ~telemetry ~spec train in
   plan_with_backend ~options ~telemetry algorithm q ~costs est

@@ -14,6 +14,14 @@ type algorithm =
   | Corr_seq  (** best sequential plan (OptSeq or GreedySeq) *)
   | Heuristic  (** greedy conditional planner, Figure 7 *)
   | Exhaustive  (** optimal conditional planner, Figure 5 *)
+  | Pac
+      (** sampling-based PAC sequential planner ({!Pac}): plans
+          against confidence intervals, refines samples only where
+          order decisions are ambiguous, and attaches an
+          (epsilon, delta) {!Search.certificate} to its stats. {!plan}
+          builds it over the sampled backend
+          ({!Acq_prob.Backend.default_sampled_kind}) unless
+          [prob_model] already selects sampling parameters. *)
 
 val algorithm_name : algorithm -> string
 
@@ -55,12 +63,18 @@ type options = {
           data (and whether to wrap it in the memo combinator); the
           [acqp --model] knob. Entry points that receive an already
           built estimator/backend ignore it. *)
+  pac_epsilon : float;
+      (** {!Pac}'s certified-gap target: the PAC arm refines its
+          sample until the chosen order's upper-confidence cost is
+          within [1 + pac_epsilon] of the best candidate's
+          lower-confidence cost (or the sample is exhausted). Other
+          algorithms ignore it. *)
 }
 
 val default_options : options
 (** 8 split points, 5 splits, OptSeq up to 12 predicates, all
     attributes, 2M search nodes, no deadline, no size penalty, the
-    empirical backend without memoization. *)
+    empirical backend without memoization, a 5% PAC gap target. *)
 
 type result = {
   plan : Acq_plan.Plan.t;

@@ -15,12 +15,21 @@ type 'memo t = {
   obs : Telemetry.t;
 }
 
+type certificate = {
+  epsilon : float;
+  delta : float;
+  samples : int;
+  refinements : int;
+  cost_bound : float;
+}
+
 type stats = {
   nodes_solved : int;
   memo_hits : int;
   estimator_calls : int;
   plan_size : int;
   wall_ms : float;
+  certificate : certificate option;
 }
 
 let create ?(budget = max_int) ?deadline_ms ?(telemetry = Telemetry.noop)
@@ -100,13 +109,14 @@ let wrap_backend (t : _ t) b =
     ~tick:(fun () -> t.estimator_calls <- t.estimator_calls + 1)
     b
 
-let stats ?(plan_size = 0) (t : _ t) =
+let stats ?(plan_size = 0) ?certificate (t : _ t) =
   {
     nodes_solved = t.nodes_solved;
     memo_hits = t.memo_hits;
     estimator_calls = t.estimator_calls;
     plan_size;
     wall_ms = elapsed_ms t;
+    certificate;
   }
 
 let zero_stats =
@@ -116,7 +126,24 @@ let zero_stats =
     estimator_calls = 0;
     plan_size = 0;
     wall_ms = 0.0;
+    certificate = None;
   }
+
+(* Aggregating two certificates keeps the weaker guarantee on each
+   axis (largest epsilon/delta/bound still covers both plans) and sums
+   the effort fields. *)
+let add_certificates a b =
+  match (a, b) with
+  | None, c | c, None -> c
+  | Some a, Some b ->
+      Some
+        {
+          epsilon = Float.max a.epsilon b.epsilon;
+          delta = Float.max a.delta b.delta;
+          samples = a.samples + b.samples;
+          refinements = a.refinements + b.refinements;
+          cost_bound = Float.max a.cost_bound b.cost_bound;
+        }
 
 let add_stats a b =
   {
@@ -125,11 +152,21 @@ let add_stats a b =
     estimator_calls = a.estimator_calls + b.estimator_calls;
     plan_size = a.plan_size + b.plan_size;
     wall_ms = a.wall_ms +. b.wall_ms;
+    certificate = add_certificates a.certificate b.certificate;
   }
 
+let certificate_to_string c =
+  Printf.sprintf "epsilon=%.6g delta=%.6g samples=%d refinements=%d cost_bound=%.6g"
+    c.epsilon c.delta c.samples c.refinements c.cost_bound
+
 let stats_to_string s =
-  Printf.sprintf
-    "nodes_solved=%d memo_hits=%d estimator_calls=%d plan_size=%d wall_ms=%.2f"
-    s.nodes_solved s.memo_hits s.estimator_calls s.plan_size s.wall_ms
+  let base =
+    Printf.sprintf
+      "nodes_solved=%d memo_hits=%d estimator_calls=%d plan_size=%d wall_ms=%.2f"
+      s.nodes_solved s.memo_hits s.estimator_calls s.plan_size s.wall_ms
+  in
+  match s.certificate with
+  | None -> base
+  | Some c -> base ^ " " ^ certificate_to_string c
 
 let pp_stats fmt s = Format.pp_print_string fmt (stats_to_string s)

@@ -22,6 +22,27 @@ exception Deadline_exceeded
 
 type 'memo t
 
+type certificate = {
+  epsilon : float;
+      (** relative optimality gap: the emitted plan's upper-confidence
+          cost is within [(1 + epsilon)] of the best candidate's
+          lower-confidence cost *)
+  delta : float;
+      (** probability the certificate's claims fail (union bound over
+          every interval consulted) *)
+  samples : int;  (** root sample size behind the final estimates *)
+  refinements : int;  (** sample-doubling rounds the planner spent *)
+  cost_bound : float;
+      (** upper-confidence expected cost of the emitted plan; with
+          probability at least [1 - delta] the plan's true expected
+          cost (and a fortiori the optimal plan's) lies at or below
+          it *)
+}
+(** The PAC planner's (epsilon, delta) optimality certificate —
+    attached to {!stats} when the plan was built from sampled
+    estimates ("Probably Approximately Optimal Query Optimization",
+    Trummer & Koch). Deterministic planners leave it [None]. *)
+
 type stats = {
   nodes_solved : int;
       (** search nodes expanded: Exhaustive subproblems, sequential-DP
@@ -32,6 +53,8 @@ type stats = {
           {!wrap_estimator} *)
   plan_size : int;  (** encoded plan bytes, ζ(P); 0 until known *)
   wall_ms : float;  (** wall-clock time since {!create} *)
+  certificate : certificate option;
+      (** the PAC certificate, when the planner produced one *)
 }
 
 val create :
@@ -96,14 +119,20 @@ val wrap_backend : _ t -> Acq_prob.Backend.t -> Acq_prob.Backend.t
 (** Same accounting over a packed backend: one tick per query and per
     restriction, recursively ({!Acq_prob.Backend.counting}). *)
 
-val stats : ?plan_size:int -> _ t -> stats
+val stats : ?plan_size:int -> ?certificate:certificate -> _ t -> stats
 (** Snapshot the counters; [plan_size] defaults to 0 when the caller
-    has no plan yet. *)
+    has no plan yet, [certificate] to [None] for deterministic
+    planners. *)
 
 val zero_stats : stats
 
 val add_stats : stats -> stats -> stats
-(** Field-wise sum — for aggregating search effort over a workload. *)
+(** Field-wise sum — for aggregating search effort over a workload.
+    Certificates combine by keeping the weakest guarantee on each
+    axis (max epsilon/delta/cost bound) and summing the effort
+    fields. *)
+
+val certificate_to_string : certificate -> string
 
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -14,7 +14,7 @@ type outcome = {
   arms : arm list;
 }
 
-let default_algorithms = [ P.Exhaustive; P.Heuristic; P.Corr_seq ]
+let default_algorithms = [ P.Exhaustive; P.Heuristic; P.Corr_seq; P.Pac ]
 
 let status_name = function
   | Finished -> "finished"

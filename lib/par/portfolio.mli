@@ -38,8 +38,10 @@ type outcome = {
 }
 
 val default_algorithms : Acq_core.Planner.algorithm list
-(** [Exhaustive; Heuristic; Corr_seq] — the optimal planner, the
-    greedy conditional planner, and the sequential fallback. *)
+(** [Exhaustive; Heuristic; Corr_seq; Pac] — the optimal planner, the
+    greedy conditional planner, the sequential fallback, and the
+    sampling-based PAC arm (which plans over the sampled backend and
+    carries an (epsilon, delta) certificate in its stats). *)
 
 val status_name : status -> string
 (** ["finished"], ["deadline"], ["budget"], or ["failed"]. *)

@@ -1,8 +1,37 @@
 type t =
   | Uniform of float array
   | Boards of { board : int array; wakeup : float array; read : float array }
+  | Udf of {
+      latency : float array;
+      dollars : float array;
+      dollar_weight : float;
+      combined : float array;
+    }
 
 let uniform costs = Uniform (Array.copy costs)
+
+let default_dollar_weight = 10_000.0
+
+let udf ?(dollar_weight = default_dollar_weight) ~latency ~dollars () =
+  let n = Array.length latency in
+  if Array.length dollars <> n then
+    invalid_arg "Cost_model.udf: latency/dollars length mismatch";
+  if dollar_weight < 0.0 then
+    invalid_arg "Cost_model.udf: negative dollar weight";
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Cost_model.udf: negative latency")
+    latency;
+  Array.iter
+    (fun c -> if c < 0.0 then invalid_arg "Cost_model.udf: negative price")
+    dollars;
+  Udf
+    {
+      latency = Array.copy latency;
+      dollars = Array.copy dollars;
+      dollar_weight;
+      combined =
+        Array.init n (fun i -> latency.(i) +. (dollar_weight *. dollars.(i)));
+    }
 
 let boards ~board ~wakeup ~read =
   let n = Array.length board in
@@ -29,6 +58,7 @@ let boards ~board ~wakeup ~read =
 let n_attrs = function
   | Uniform costs -> Array.length costs
   | Boards { board; _ } -> Array.length board
+  | Udf { combined; _ } -> Array.length combined
 
 let atomic t i ~acquired =
   if acquired i then 0.0
@@ -42,6 +72,7 @@ let atomic t i ~acquired =
           (fun j bj -> if bj = b && j <> i && acquired j then powered := true)
           board;
         if !powered then read.(i) else wakeup.(b) +. read.(i)
+    | Udf { combined; _ } -> combined.(i)
 
 type pricing =
   | Uniform_costs of float array
@@ -56,12 +87,22 @@ let pricing = function
           wakeup = Array.copy wakeup;
           read = Array.copy read;
         }
+  (* History-independent, so the compiled executor prices UDF calls
+     exactly like uniform per-attribute costs. *)
+  | Udf { combined; _ } -> Uniform_costs (Array.copy combined)
 
 let worst_case = function
   | Uniform costs -> Array.copy costs
   | Boards { board; wakeup; read } ->
       Array.mapi (fun i b -> wakeup.(b) +. read.(i)) board
+  | Udf { combined; _ } -> Array.copy combined
 
 let best_case = function
   | Uniform costs -> Array.copy costs
   | Boards { read; _ } -> Array.copy read
+  | Udf { combined; _ } -> Array.copy combined
+
+let udf_breakdown = function
+  | Uniform _ | Boards _ -> None
+  | Udf { latency; dollars; dollar_weight; _ } ->
+      Some (Array.copy latency, Array.copy dollars, dollar_weight)

@@ -24,6 +24,26 @@ val boards :
     @raise Invalid_argument on negative costs or a board id out of
     [wakeup]'s range. *)
 
+val default_dollar_weight : float
+(** 10,000 — converts a metered per-call price into latency-equivalent
+    units (1 cent ≈ 100 ms), so log-uniform prices in
+    [1e-4, 1e-2] dollars land in the same decade as 5–500 ms UDF
+    latencies. *)
+
+val udf :
+  ?dollar_weight:float ->
+  latency:float array ->
+  dollars:float array ->
+  unit ->
+  t
+(** Expensive-predicate pricing: attribute [i] is produced by a
+    user-defined function (a remote model call, a paid API lookup)
+    costing [latency.(i) + dollar_weight * dollars.(i)]. The cost is
+    history-independent like {!uniform} — what makes the workload hard
+    is the magnitude and spread of the costs, not board coupling — so
+    every executor path prices it with plain array reads.
+    @raise Invalid_argument on a length mismatch or negative inputs. *)
+
 val n_attrs : t -> int
 
 val atomic : t -> int -> acquired:(int -> bool) -> float
@@ -52,3 +72,8 @@ val worst_case : t -> float array
 
 val best_case : t -> float array
 (** Per-attribute lower bound (warm-board cost). *)
+
+val udf_breakdown : t -> (float array * float array * float) option
+(** [(latency, dollars, dollar_weight)] for a {!udf} model (fresh
+    copies), [None] otherwise — lets reports split a plan's combined
+    cost back into time and money. *)

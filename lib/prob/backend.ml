@@ -4,6 +4,8 @@
    through the dispatch functions, so a backend change never touches
    planner code. *)
 
+type sampling = { samples : int; delta : float }
+
 module type S = sig
   type state
 
@@ -13,8 +15,12 @@ module type S = sig
   val value_probs : state -> int -> float array
   val pred_prob : state -> Acq_plan.Predicate.t -> float
   val pattern_probs : state -> Acq_plan.Predicate.t array -> float array
+  val range_prob_ci : state -> int -> Acq_plan.Range.t -> float * float
+  val pred_prob_ci : state -> Acq_plan.Predicate.t -> float * float
   val restrict_range : state -> int -> Acq_plan.Range.t -> state
   val restrict_pred : state -> Acq_plan.Predicate.t -> bool -> state
+  val refine : state -> state option
+  val sampling : state -> sampling option
   val max_pattern_preds : state -> int option
   val cond_signature : state -> string
 end
@@ -28,6 +34,8 @@ let range_prob (B ((module M), s)) attr r = M.range_prob s attr r
 let value_probs (B ((module M), s)) attr = M.value_probs s attr
 let pred_prob (B ((module M), s)) p = M.pred_prob s p
 let pattern_probs (B ((module M), s)) preds = M.pattern_probs s preds
+let range_prob_ci (B ((module M), s)) attr r = M.range_prob_ci s attr r
+let pred_prob_ci (B ((module M), s)) p = M.pred_prob_ci s p
 
 let restrict_range (B ((module M), s)) attr r =
   B ((module M), M.restrict_range s attr r)
@@ -35,45 +43,37 @@ let restrict_range (B ((module M), s)) attr r =
 let restrict_pred (B ((module M), s)) p truth =
   B ((module M), M.restrict_pred s p truth)
 
+let refine (B ((module M), s)) =
+  match M.refine s with None -> None | Some s' -> Some (B ((module M), s'))
+
+let sampling (B ((module M), s)) = M.sampling s
 let max_pattern_preds (B ((module M), s)) = M.max_pattern_preds s
 let cond_signature (B ((module M), s)) = M.cond_signature s
 
-(* Canonical conditioning: per-attribute allowed-value masks. Every
-   packed backend reduces its conditioning to this shape, so two
-   restriction chains that narrow to the same value sets — in any
-   order — produce the same signature. The memo combinator keys its
-   cache on it. *)
-module Cond = struct
-  type t = bool array array
+(* Deterministic backends answer exactly: the interval collapses onto
+   the point estimate, there is nothing to refine, and no sampling
+   parameters to report. [Exact] provides that default surface. *)
+module Exact (M : sig
+  type state
 
-  let full domains = Array.map (fun k -> Array.make k true) domains
+  val range_prob : state -> int -> Acq_plan.Range.t -> float
+  val pred_prob : state -> Acq_plan.Predicate.t -> float
+end) =
+struct
+  let range_prob_ci st attr r =
+    let p = M.range_prob st attr r in
+    (p, p)
 
-  let narrow masks attr keep =
-    let masks = Array.copy masks in
-    masks.(attr) <-
-      Array.mapi (fun v b -> b && keep v) masks.(attr);
-    masks
+  let pred_prob_ci st p =
+    let x = M.pred_prob st p in
+    (x, x)
 
-  let narrow_range masks attr (r : Acq_plan.Range.t) =
-    narrow masks attr (Acq_plan.Range.contains r)
-
-  let narrow_pred masks (p : Acq_plan.Predicate.t) truth =
-    narrow masks p.attr (fun v -> Acq_plan.Predicate.eval p v = truth)
-
-  let signature masks =
-    let buf = Buffer.create 32 in
-    Array.iteri
-      (fun a mask ->
-        if not (Array.for_all Fun.id mask) then begin
-          Buffer.add_char buf 'a';
-          Buffer.add_string buf (string_of_int a);
-          Buffer.add_char buf ':';
-          Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) mask;
-          Buffer.add_char buf ';'
-        end)
-      masks;
-    Buffer.contents buf
+  let refine _ = None
+  let sampling _ = None
 end
+
+(* Canonical conditioning lives in {!Cond} (its own compilation unit,
+   shared with the sampled backend's replay machinery). *)
 
 (* ------------------------------------------------------------------ *)
 (* Empirical: view counting. Restriction narrows the view's row-id
@@ -115,6 +115,13 @@ module Empirical_impl = struct
       view = View.restrict_pred st.view p truth;
       cond = Cond.narrow_pred st.cond p truth;
     }
+
+  include Exact (struct
+    type nonrec state = state
+
+    let range_prob = range_prob
+    let pred_prob = pred_prob
+  end)
 
   let max_pattern_preds _ = None
   let cond_signature st = Cond.signature st.cond
@@ -237,6 +244,14 @@ module Dense_impl = struct
     with_masks st (Cond.narrow_range st.masks attr r)
 
   let restrict_pred st p truth = with_masks st (Cond.narrow_pred st.masks p truth)
+
+  include Exact (struct
+    type nonrec state = state
+
+    let range_prob = range_prob
+    let pred_prob = pred_prob
+  end)
+
   let max_pattern_preds _ = None
   let cond_signature st = Cond.signature st.masks
 end
@@ -420,6 +435,14 @@ module Indep_impl = struct
 
   let restrict_range st attr r = narrowed st (Cond.narrow_range st.masks attr r)
   let restrict_pred st p truth = narrowed st (Cond.narrow_pred st.masks p truth)
+
+  include Exact (struct
+    type nonrec state = state
+
+    let range_prob = range_prob
+    let pred_prob = pred_prob
+  end)
+
   let max_pattern_preds _ = None
   let cond_signature st = Cond.signature st.masks
 end
@@ -490,6 +513,13 @@ module Chow_liu_impl = struct
   let restrict_pred st p truth =
     with_evidence st (Chow_liu.and_pred st.model st.evidence p truth)
 
+  include Exact (struct
+    type nonrec state = state
+
+    let range_prob = range_prob
+    let pred_prob = pred_prob
+  end)
+
   let max_pattern_preds _ = Some chow_liu_max_pattern_preds
   let cond_signature st = Cond.signature st.evidence
 end
@@ -544,11 +574,53 @@ module Closure_impl = struct
           (if truth then 't' else 'f');
     }
 
+  include Exact (struct
+    type nonrec state = state
+
+    let range_prob = range_prob
+    let pred_prob = pred_prob
+  end)
+
   let max_pattern_preds _ = None
   let cond_signature st = st.trail
 end
 
 let of_closure c = B ((module Closure_impl), { est = c; trail = "" })
+
+(* ------------------------------------------------------------------ *)
+(* Sampled: tuple-sample counting with Hoeffding confidence intervals
+   ({!Sampled} holds the implementation; this wrapper packs it). The
+   only backend whose [refine] and [sampling] are live — the PAC
+   planner's certificate math keys off them. *)
+
+module Sampled_impl = struct
+  type state = Sampled.t
+
+  let name = Sampled.name
+  let weight = Sampled.weight
+  let range_prob = Sampled.range_prob
+  let value_probs = Sampled.value_probs
+  let pred_prob = Sampled.pred_prob
+  let pattern_probs = Sampled.pattern_probs
+  let range_prob_ci = Sampled.range_prob_ci
+  let pred_prob_ci = Sampled.pred_prob_ci
+  let restrict_range = Sampled.restrict_range
+  let restrict_pred = Sampled.restrict_pred
+  let refine = Sampled.refine
+
+  let sampling st =
+    let samples, delta = Sampled.info st in
+    Some { samples; delta }
+
+  let max_pattern_preds = Sampled.max_pattern_preds
+  let cond_signature = Sampled.cond_signature
+end
+
+let sampled ?seed ~n ~delta ds =
+  B ((module Sampled_impl), Sampled.create ?seed ~n ~delta ds)
+
+let sampled_of_view ?seed ~n ~delta view =
+  B ((module Sampled_impl), Sampled.of_view ?seed ~n ~delta view)
 
 (* ------------------------------------------------------------------ *)
 (* Counting combinator: tick once per query and per restriction,
@@ -580,6 +652,14 @@ module Counting_impl = struct
     st.tick ();
     pattern_probs st.inner preds
 
+  let range_prob_ci st attr r =
+    st.tick ();
+    range_prob_ci st.inner attr r
+
+  let pred_prob_ci st p =
+    st.tick ();
+    pred_prob_ci st.inner p
+
   let restrict_range st attr r =
     st.tick ();
     { st with inner = restrict_range st.inner attr r }
@@ -588,6 +668,14 @@ module Counting_impl = struct
     st.tick ();
     { st with inner = restrict_pred st.inner p truth }
 
+  let refine st =
+    match refine st.inner with
+    | None -> None
+    | Some inner ->
+        st.tick ();
+        Some { st with inner }
+
+  let sampling st = sampling st.inner
   let max_pattern_preds st = max_pattern_preds st.inner
   let cond_signature st = cond_signature st.inner
 end
@@ -603,6 +691,7 @@ let counting ~tick b = B ((module Counting_impl), { inner = b; tick })
 
 type memo_entry =
   | F of float
+  | I of float * float  (* confidence interval *)
   | V of float array  (* shared, treated as read-only by callers *)
   | Sub of t * string  (* restricted inner backend + its signature *)
 
@@ -646,12 +735,21 @@ module Memo_impl = struct
   let scalar st key compute =
     match lookup st key (fun () -> F (compute ())) with
     | F x -> x
-    | V _ | Sub _ -> assert false
+    | I _ | V _ | Sub _ -> assert false
+
+  let interval st key compute =
+    match
+      lookup st key (fun () ->
+          let lo, hi = compute () in
+          I (lo, hi))
+    with
+    | I (lo, hi) -> (lo, hi)
+    | F _ | V _ | Sub _ -> assert false
 
   let vector st key compute =
     match lookup st key (fun () -> V (compute ())) with
     | V x -> x
-    | F _ | Sub _ -> assert false
+    | F _ | I _ | Sub _ -> assert false
 
   let pred_key (p : Acq_plan.Predicate.t) =
     Printf.sprintf "%d:%d:%d:%c" p.attr p.lo p.hi
@@ -685,6 +783,16 @@ module Memo_impl = struct
       preds;
     vector st (Buffer.contents buf) (fun () -> pattern_probs st.m_inner preds)
 
+  let range_prob_ci st attr (r : Acq_plan.Range.t) =
+    interval st
+      (Printf.sprintf "%s|ir%d:%d:%d" st.sig_ attr r.lo r.hi)
+      (fun () -> range_prob_ci st.m_inner attr r)
+
+  let pred_prob_ci st p =
+    interval st
+      (Printf.sprintf "%s|ip%s" st.sig_ (pred_key p))
+      (fun () -> pred_prob_ci st.m_inner p)
+
   let restricted st key narrow =
     match
       lookup st key (fun () ->
@@ -692,7 +800,7 @@ module Memo_impl = struct
           Sub (inner', cond_signature inner'))
     with
     | Sub (inner', sig') -> { st with m_inner = inner'; sig_ = sig' }
-    | F _ | V _ -> assert false
+    | F _ | I _ | V _ -> assert false
 
   let restrict_range st attr (r : Acq_plan.Range.t) =
     restricted st
@@ -705,6 +813,25 @@ module Memo_impl = struct
          (if truth then 't' else 'f'))
       (fun () -> restrict_pred st.m_inner p truth)
 
+  (* A refinement redraws the underlying sample, so every cached
+     estimate is stale: the refined state starts a fresh shared table
+     (same telemetry hooks) instead of poisoning its siblings'. *)
+  let refine st =
+    match refine st.m_inner with
+    | None -> None
+    | Some inner' ->
+        let shared =
+          {
+            table = Hashtbl.create 4096;
+            hits = 0;
+            misses = 0;
+            on_hit = st.shared.on_hit;
+            on_miss = st.shared.on_miss;
+          }
+        in
+        Some { m_inner = inner'; shared; sig_ = cond_signature inner' }
+
+  let sampling st = sampling st.m_inner
   let max_pattern_preds st = max_pattern_preds st.m_inner
   let cond_signature st = st.sig_
 end
@@ -736,51 +863,94 @@ let memo ?telemetry b = fst (memo_with_handle ?telemetry b)
 (* Backend selection: the [--model] surface threaded through planner
    options, adaptive sessions, experiments, and the CLI. *)
 
-type kind = Empirical | Dense | Chow_liu | Independence
+type kind =
+  | Empirical
+  | Dense
+  | Chow_liu
+  | Independence
+  | Sampled of { n : int; delta : float }
 
 type spec = { kind : kind; memoize : bool }
 
 let default_spec = { kind = Empirical; memoize = false }
+
+let default_sample_size = 256
+let default_sample_delta = 0.05
+let default_sampled_kind = Sampled { n = default_sample_size; delta = default_sample_delta }
+
+(* Shortest decimal rendering that parses back to the same float, so
+   [spec_of_string (spec_to_string s) = Ok s] holds for every delta. *)
+let float_to_string f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let kind_to_string = function
   | Empirical -> "empirical"
   | Dense -> "dense"
   | Chow_liu -> "chow-liu"
   | Independence -> "independence"
+  | Sampled { n; delta } ->
+      Printf.sprintf "sampled(%d,%s)" n (float_to_string delta)
 
 let spec_to_string s =
   kind_to_string s.kind ^ if s.memoize then ",memo" else ""
 
+type spec_error = { input : string; reason : string }
+
+let spec_error_to_string e =
+  Printf.sprintf "unknown model %S: %s" e.input e.reason
+
+let spec_grammar =
+  "expected empirical|dense|chow-liu|independence|sampled[(n,delta)], \
+   optionally followed by \",memo\""
+
+let parse_sampled_args body =
+  (* [body] is the text between the parentheses of [sampled(...)]. *)
+  match String.split_on_char ',' body with
+  | [ ns; ds ] -> (
+      match int_of_string_opt (String.trim ns) with
+      | Some n when n >= 1 -> (
+          match float_of_string_opt (String.trim ds) with
+          | Some d when d > 0.0 && d < 1.0 -> Ok (Sampled { n; delta = d })
+          | Some _ | None -> Error "delta must be a float in (0, 1)")
+      | Some _ | None -> Error "sample count must be a positive integer")
+  | _ -> Error "expected sampled(n,delta)"
+
 let spec_of_string str =
-  let err () =
-    Error
-      (Printf.sprintf
-         "unknown model %S (expected empirical|dense|chow-liu|independence, \
-          optionally \",memo\")"
-       str)
-  in
+  let err reason = Error { input = str; reason } in
   let kind_of = function
     | "empirical" -> Some Empirical
     | "dense" -> Some Dense
     | "chow-liu" | "chow_liu" | "chowliu" -> Some Chow_liu
     | "independence" | "indep" -> Some Independence
+    | "sampled" -> Some default_sampled_kind
     | _ -> None
   in
-  let parts =
-    List.map
-      (fun s -> String.trim (String.lowercase_ascii s))
-      (String.split_on_char ',' str)
+  let s = String.trim (String.lowercase_ascii str) in
+  (* Split a trailing ",memo" off first: [sampled(n,delta)] carries a
+     comma of its own, so a blind split on ',' would cut the spec in
+     half. *)
+  let base, memoize =
+    match String.rindex_opt s ',' with
+    | Some i
+      when String.trim (String.sub s (i + 1) (String.length s - i - 1))
+           = "memo" ->
+        (String.trim (String.sub s 0 i), true)
+    | _ -> (s, false)
   in
-  match parts with
-  | [ base ] -> (
-      match kind_of base with
-      | Some kind -> Ok { kind; memoize = false }
-      | None -> err ())
-  | [ base; "memo" ] -> (
-      match kind_of base with
-      | Some kind -> Ok { kind; memoize = true }
-      | None -> err ())
-  | _ -> err ()
+  let parenthesized =
+    String.length base > 8
+    && String.sub base 0 8 = "sampled("
+    && base.[String.length base - 1] = ')'
+  in
+  if parenthesized then
+    match parse_sampled_args (String.sub base 8 (String.length base - 9)) with
+    | Ok kind -> Ok { kind; memoize }
+    | Error reason -> err reason
+  else
+    match kind_of base with
+    | Some kind -> Ok { kind; memoize }
+    | None -> err spec_grammar
 
 let of_dataset ?telemetry ?(spec = default_spec) ds =
   let base =
@@ -791,6 +961,7 @@ let of_dataset ?telemetry ?(spec = default_spec) ds =
         chow_liu (Chow_liu.learn ds)
           ~weight:(float_of_int (Acq_data.Dataset.nrows ds))
     | Independence -> independence ds
+    | Sampled { n; delta } -> sampled ~n ~delta ds
   in
   if spec.memoize then memo ?telemetry base else base
 

@@ -18,6 +18,11 @@
     bridge: {!of_closure} adapts any record of closures into a
     backend, and {!to_closure} projects a backend back out. *)
 
+type sampling = { samples : int; delta : float }
+(** Sampling parameters a statistical backend reports: [samples] rows
+    drawn from the window, each interval individually valid at
+    confidence [1 - delta]. Deterministic backends report [None]. *)
+
 module type S = sig
   type state
 
@@ -41,8 +46,29 @@ module type S = sig
   (** Joint over predicate truth bits; length [2^m], bit [j] set when
       predicate [j] holds. Read-only, like {!value_probs}. *)
 
+  val range_prob_ci : state -> int -> Acq_plan.Range.t -> float * float
+  (** Two-sided confidence interval around {!range_prob}, clamped to
+      [0, 1]. Deterministic backends collapse it onto the point
+      estimate; the sampled backend reports a Hoeffding interval at
+      confidence [1 - delta] over its restricted sample. *)
+
+  val pred_prob_ci : state -> Acq_plan.Predicate.t -> float * float
+  (** Same for {!pred_prob}. *)
+
   val restrict_range : state -> int -> Acq_plan.Range.t -> state
   val restrict_pred : state -> Acq_plan.Predicate.t -> bool -> state
+
+  val refine : state -> state option
+  (** Tighten the estimates by spending more effort — for the sampled
+      backend, double the sample and replay this state's restriction
+      trail. [None] when the estimates cannot improve (deterministic
+      backends always; sampled ones once the window is exhausted).
+      The PAC planner calls it only where an interval straddles a
+      plan-order decision. *)
+
+  val sampling : state -> sampling option
+  (** The statistical parameters behind the intervals ([None] for
+      exact backends) — inputs to the planner's union bound. *)
 
   val max_pattern_preds : state -> int option
   (** Capability: the widest [pattern_probs] this backend answers in
@@ -72,8 +98,16 @@ val range_prob : t -> int -> Acq_plan.Range.t -> float
 val value_probs : t -> int -> float array
 val pred_prob : t -> Acq_plan.Predicate.t -> float
 val pattern_probs : t -> Acq_plan.Predicate.t array -> float array
+val range_prob_ci : t -> int -> Acq_plan.Range.t -> float * float
+val pred_prob_ci : t -> Acq_plan.Predicate.t -> float * float
 val restrict_range : t -> int -> Acq_plan.Range.t -> t
 val restrict_pred : t -> Acq_plan.Predicate.t -> bool -> t
+
+val refine : t -> t option
+(** Packed {!S.refine}: a refined copy of the whole backend, or [None]
+    when estimates are already as tight as they get. *)
+
+val sampling : t -> sampling option
 val max_pattern_preds : t -> int option
 val cond_signature : t -> string
 
@@ -108,6 +142,21 @@ val chow_liu : Chow_liu.t -> weight:float -> t
     raises [Invalid_argument], but the sequential-planner router
     checks the capability first and falls back to GreedySeq. *)
 
+val sampled :
+  ?seed:int -> n:int -> delta:float -> Acq_data.Dataset.t -> t
+(** Tuple-sample counting with live confidence intervals
+    ({!Sampled}): draw [min n rows] tuples via pre-split
+    deterministic streams (default seed {!Sampled.default_seed}),
+    answer queries by counting over the sample, attach Hoeffding
+    intervals at confidence [1 - delta], and support {!refine}
+    (sample doubling with restriction replay). With [n >= nrows] the
+    estimates equal {!empirical}'s exactly.
+    @raise Invalid_argument unless [n >= 1] and [delta] in (0,1). *)
+
+val sampled_of_view :
+  ?seed:int -> n:int -> delta:float -> View.t -> t
+(** Same over an existing view (e.g. a sliding window's rows). *)
+
 (** {1 Combinators} *)
 
 val counting : tick:(unit -> unit) -> t -> t
@@ -136,17 +185,45 @@ val memo_with_handle : ?telemetry:Acq_obs.Telemetry.t -> t -> t * memo_handle
 
 (** {1 Selection} *)
 
-type kind = Empirical | Dense | Chow_liu | Independence
+type kind =
+  | Empirical
+  | Dense
+  | Chow_liu
+  | Independence
+  | Sampled of { n : int; delta : float }
+
 type spec = { kind : kind; memoize : bool }
 
 val default_spec : spec
 (** Empirical, no memoization — the seed behavior. *)
 
-val kind_to_string : kind -> string
-val spec_to_string : spec -> string
+val default_sample_size : int
+(** 256 — the [n] a bare ["sampled"] spec gets. *)
 
-val spec_of_string : string -> (spec, string) result
-(** Parse [empirical|dense|chow-liu|independence], optionally
+val default_sample_delta : float
+(** 0.05 — the [delta] a bare ["sampled"] spec gets. *)
+
+val default_sampled_kind : kind
+(** [Sampled] with the two defaults above — what the PAC planner
+    substitutes when asked to plan with a deterministic model. *)
+
+val kind_to_string : kind -> string
+
+val spec_to_string : spec -> string
+(** Renders [sampled] parameters as [sampled(n,delta)] with the
+    shortest decimal [delta] that parses back to the same float, so
+    [spec_of_string (spec_to_string s) = Ok s] for every spec. *)
+
+type spec_error = { input : string; reason : string }
+(** Structured parse failure: the offending input plus what the
+    grammar wanted. *)
+
+val spec_error_to_string : spec_error -> string
+
+val spec_of_string : string -> (spec, spec_error) result
+(** Parse [empirical|dense|chow-liu|independence|sampled], optionally
+    parameterized as [sampled(n,delta)] (a bare [sampled] gets the
+    defaults above; [n >= 1], [delta] in (0,1)) and optionally
     followed by [,memo] — the [acqp --model] syntax. *)
 
 val of_dataset : ?telemetry:Acq_obs.Telemetry.t -> ?spec:spec ->

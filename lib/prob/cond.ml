@@ -1,0 +1,35 @@
+(* Canonical conditioning: per-attribute allowed-value masks. Every
+   mask-based backend reduces its conditioning to this shape, so two
+   restriction chains that narrow to the same value sets — in any
+   order — produce the same signature. The memo combinator keys its
+   cache on it, and the sampled backend replays its restriction trail
+   against it when a refinement redraws the sample. *)
+
+type t = bool array array
+
+let full domains = Array.map (fun k -> Array.make k true) domains
+
+let narrow masks attr keep =
+  let masks = Array.copy masks in
+  masks.(attr) <- Array.mapi (fun v b -> b && keep v) masks.(attr);
+  masks
+
+let narrow_range masks attr (r : Acq_plan.Range.t) =
+  narrow masks attr (Acq_plan.Range.contains r)
+
+let narrow_pred masks (p : Acq_plan.Predicate.t) truth =
+  narrow masks p.attr (fun v -> Acq_plan.Predicate.eval p v = truth)
+
+let signature masks =
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun a mask ->
+      if not (Array.for_all Fun.id mask) then begin
+        Buffer.add_char buf 'a';
+        Buffer.add_string buf (string_of_int a);
+        Buffer.add_char buf ':';
+        Array.iter (fun b -> Buffer.add_char buf (if b then '1' else '0')) mask;
+        Buffer.add_char buf ';'
+      end)
+    masks;
+  Buffer.contents buf

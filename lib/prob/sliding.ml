@@ -110,6 +110,13 @@ let backend ?telemetry ?(spec = Backend.default_spec) t =
          buffer and the cached identity id array. *)
       let b = Backend.of_view (View.of_rows ds (identity_ids t)) in
       if spec.Backend.memoize then Backend.memo ?telemetry b else b
+  | Backend.Sampled { n; delta } ->
+      (* Zero-copy as well: the sampled backend draws from a view over
+         the window's packed buffer and maps positions to row ids. *)
+      let b =
+        Backend.sampled_of_view ~n ~delta (View.of_rows ds (identity_ids t))
+      in
+      if spec.Backend.memoize then Backend.memo ?telemetry b else b
   | Backend.Dense | Backend.Chow_liu | Backend.Independence ->
       Backend.of_dataset ?telemetry ~spec ds
 

@@ -7,6 +7,8 @@ let of_rows data rows = { data; rows }
 
 let dataset t = t.data
 
+let row_id t i = t.rows.(i)
+
 let size t = Array.length t.rows
 
 let is_empty t = Array.length t.rows = 0

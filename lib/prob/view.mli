@@ -11,6 +11,12 @@ val of_rows : Acq_data.Dataset.t -> int array -> t
 (** Explicit row-id set (ascending ids expected). *)
 
 val dataset : t -> Acq_data.Dataset.t
+
+val row_id : t -> int -> int
+(** [row_id v i] is the dataset row id at position [i] of the view
+    (positions run [0 .. size v - 1] in view order). The sampled
+    backend uses it to map sampled view positions back to row ids. *)
+
 val size : t -> int
 val is_empty : t -> bool
 

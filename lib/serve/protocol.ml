@@ -58,6 +58,7 @@ let parse_planner = function
   | "corrseq" -> Ok (Fixed P.Corr_seq)
   | "heuristic" -> Ok (Fixed P.Heuristic)
   | "exhaustive" -> Ok (Fixed P.Exhaustive)
+  | "pac" -> Ok (Fixed P.Pac)
   | s -> Error ("unknown algo: " ^ s)
 
 let parse_opt opts (k, v) =
@@ -69,7 +70,7 @@ let parse_opt opts (k, v) =
   | "model" -> (
       match Acq_prob.Backend.spec_of_string v with
       | Ok m -> Ok { opts with model = Some m }
-      | Error e -> Error e)
+      | Error e -> Error (Acq_prob.Backend.spec_error_to_string e))
   | "exec" -> (
       match Acq_exec.Mode.of_string v with
       | Ok m -> Ok { opts with exec = Some m }

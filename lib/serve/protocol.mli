@@ -9,7 +9,7 @@
     UNSUBSCRIBE <id>
     STATS | METRICS | PING | QUIT
     v}
-    Options are [algo=naive|corrseq|heuristic|exhaustive|portfolio],
+    Options are [algo=naive|corrseq|heuristic|exhaustive|pac|portfolio],
     [model=<backend spec>], [exec=tree|compiled]; anything after the
     first (case-insensitive) [SELECT] token is the SQL.
 

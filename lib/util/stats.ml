@@ -75,6 +75,69 @@ let cumulative_curve xs k =
       points
   end
 
+let hoeffding_radius ~n ~delta =
+  if n <= 0 then invalid_arg "Stats.hoeffding_radius: n must be positive";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Stats.hoeffding_radius: delta must be in (0, 1)";
+  sqrt (log (2.0 /. delta) /. (2.0 *. float_of_int n))
+
+(* Inverse standard-normal CDF (Acklam's rational approximation,
+   |relative error| < 1.15e-9 — far below the sampling noise the
+   Wilson interval is built to describe). *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Stats.normal_quantile: p must be in (0, 1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let rational num den x =
+    let top = Array.fold_left (fun acc k -> (acc *. x) +. k) 0.0 num in
+    let bot = Array.fold_left (fun acc k -> (acc *. x) +. k) 0.0 den in
+    top /. ((bot *. x) +. 1.0)
+  in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    Array.fold_left (fun acc k -> (acc *. q) +. k) 0.0 c
+    /. ((Array.fold_left (fun acc k -> (acc *. q) +. k) 0.0 d *. q) +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    rational a b r *. q
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.(Array.fold_left (fun acc k -> (acc *. q) +. k) 0.0 c
+       /. ((Array.fold_left (fun acc k -> (acc *. q) +. k) 0.0 d *. q) +. 1.0))
+  end
+
+let wilson_ci ~pos ~n ~delta =
+  if n <= 0 then invalid_arg "Stats.wilson_ci: n must be positive";
+  if pos < 0 || pos > n then invalid_arg "Stats.wilson_ci: pos out of range";
+  if delta <= 0.0 || delta >= 1.0 then
+    invalid_arg "Stats.wilson_ci: delta must be in (0, 1)";
+  let z = normal_quantile (1.0 -. (delta /. 2.0)) in
+  let nf = float_of_int n in
+  let p = float_of_int pos /. nf in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. nf) in
+  let center = (p +. (z2 /. (2.0 *. nf))) /. denom in
+  let radius =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. nf) +. (z2 /. (4.0 *. nf *. nf)))
+  in
+  (Float.max 0.0 (center -. radius), Float.min 1.0 (center +. radius))
+
 let pearson xs ys =
   let n = Array.length xs in
   if n <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";

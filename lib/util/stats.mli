@@ -31,6 +31,29 @@ val cumulative_curve : float array -> int -> (float * float) list
     Figure 8(c)). The points sweep x from the minimum to the maximum of
     [xs]. *)
 
+val hoeffding_radius : n:int -> delta:float -> float
+(** [hoeffding_radius ~n ~delta] = [sqrt (ln (2/delta) / (2n))]: the
+    two-sided Hoeffding deviation bound for the mean of [n] draws of a
+    [0,1]-bounded variable — an estimated proportion lies within this
+    radius of the truth with probability at least [1 - delta], with no
+    distributional assumptions. The sampled probability backend's
+    confidence intervals are built on it.
+    @raise Invalid_argument unless [n >= 1] and [delta] is in (0,1). *)
+
+val normal_quantile : float -> float
+(** Inverse standard-normal CDF (Acklam's rational approximation,
+    relative error below 1.2e-9). Argument must lie in (0, 1). *)
+
+val wilson_ci : pos:int -> n:int -> delta:float -> float * float
+(** [wilson_ci ~pos ~n ~delta]: the Wilson score interval for a
+    binomial proportion with [pos] successes out of [n] trials at
+    confidence [1 - delta]. Tighter than Hoeffding away from p = 1/2
+    (its coverage is asymptotic rather than guaranteed, which is why
+    the sampled backend reports Hoeffding intervals and offers Wilson
+    as the diagnostic view).
+    @raise Invalid_argument on [n < 1], [pos] outside [0, n], or
+    [delta] outside (0, 1). *)
+
 val pearson : float array -> float array -> float
 (** Pearson correlation coefficient of two equal-length samples.
     Returns [0.] if either side has zero variance. *)

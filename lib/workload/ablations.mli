@@ -25,6 +25,12 @@ val ablate_prob : Figures.scale -> unit
 val ablate_spsf : Figures.scale -> unit
 (** Heuristic plan quality vs split-point budget. *)
 
+val ablate_sample : Figures.scale -> unit
+(** Sampling ablation on the expensive-predicate (UDF) workload:
+    exact CorrSeq planning vs the PAC arm over sampled backends of
+    increasing budget — planning time, live (drifted) cost under the
+    UDF pricing, and each PAC run's (epsilon, delta) certificate. *)
+
 val ext_exists : Figures.scale -> unit
 (** Section 7's existential-query generalization: naive vs correlated
     vs conditional group orderings on a network-wide exists query. *)

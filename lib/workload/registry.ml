@@ -21,6 +21,7 @@ let all =
     { id = "ablate-model"; title = "Empirical vs Chow-Liu estimator"; run = Ablations.ablate_model };
     { id = "ablate-prob"; title = "Probability backend comparison"; run = Ablations.ablate_prob };
     { id = "ablate-spsf"; title = "Split-point budget"; run = Ablations.ablate_spsf };
+    { id = "ablate-sample"; title = "PAC sampling vs exact counting"; run = Ablations.ablate_sample };
     { id = "ablate-adapt"; title = "Adaptive replanning policies"; run = Ablations.ablate_adapt };
     { id = "ext-exists"; title = "Existential queries"; run = Ablations.ext_exists };
     { id = "ext-boards"; title = "Sensor-board cost model"; run = Ablations.ext_boards };

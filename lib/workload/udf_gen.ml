@@ -1,0 +1,100 @@
+module Rng = Acq_util.Rng
+
+type params = { n_udfs : int; n_regimes : int; noise : float }
+
+let default = { n_udfs = 4; n_regimes = 4; noise = 0.1 }
+
+let check p =
+  if p.n_udfs < 1 then invalid_arg "Udf_gen: need at least one UDF";
+  if p.n_regimes < 2 then invalid_arg "Udf_gen: need at least two regimes";
+  if p.noise < 0.0 || p.noise > 0.5 then
+    invalid_arg "Udf_gen: noise must be in [0, 0.5]"
+
+let regime_bits p =
+  let rec go b = if 1 lsl b >= p.n_regimes then b else go (b + 1) in
+  go 1
+
+let schema p =
+  check p;
+  let context =
+    Acq_data.Attribute.discrete ~name:"source" ~cost:1.0 ~domain:p.n_regimes
+  in
+  let udfs =
+    List.init p.n_udfs (fun j ->
+        Acq_data.Attribute.discrete
+          ~name:(Printf.sprintf "udf%d" j)
+          ~cost:100.0 ~domain:2)
+  in
+  Acq_data.Schema.create (context :: udfs)
+
+let udf_indices p = List.init p.n_udfs (fun j -> j + 1)
+
+(* UDF [j]'s noiseless verdict in a regime is a fixed bit of the
+   regime index, so verdicts are deterministic given the cheap context
+   attribute and strongly correlated with each other — the structure a
+   correlation-aware planner exploits by reading [source] first. *)
+let verdict p ~regime j = (regime lsr (j mod regime_bits p)) land 1
+
+let row_of p rng ~regime ~noise =
+  let r = Array.make (p.n_udfs + 1) 0 in
+  r.(0) <- regime;
+  List.iteri
+    (fun i j ->
+      let v = verdict p ~regime j in
+      r.(i + 1) <- (if Rng.float rng 1.0 < noise then 1 - v else v))
+    (udf_indices p);
+  r
+
+let generate rng p ~rows =
+  let schema = schema p in
+  Acq_data.Dataset.create schema
+    (Array.init rows (fun _ ->
+         row_of p rng ~regime:(Rng.int rng p.n_regimes) ~noise:p.noise))
+
+let generate_drifted rng p ~rows =
+  let schema = schema p in
+  (* Live-phase drift: the regime mixture collapses onto the two
+     highest regimes (3x weight) and the UDF noise doubles, so plans
+     tuned on the training phase pay for their assumptions. *)
+  let weights =
+    Array.init p.n_regimes (fun r ->
+        if r >= p.n_regimes - 2 then 3 else 1)
+  in
+  let total = Array.fold_left ( + ) 0 weights in
+  let draw_regime () =
+    let x = ref (Rng.int rng total) in
+    let r = ref 0 in
+    while !x >= weights.(!r) do
+      x := !x - weights.(!r);
+      incr r
+    done;
+    !r
+  in
+  let noise = Float.min 0.5 (2.0 *. p.noise) in
+  Acq_data.Dataset.create schema
+    (Array.init rows (fun _ -> row_of p rng ~regime:(draw_regime ()) ~noise))
+
+let log_uniform rng ~lo ~hi =
+  exp (log lo +. (Rng.float rng 1.0 *. (log hi -. log lo)))
+
+let cost_model rng p =
+  check p;
+  let n = p.n_udfs + 1 in
+  let latency = Array.make n 0.0 in
+  let dollars = Array.make n 0.0 in
+  (* The cheap context attribute is a local column read; each UDF is a
+     slow metered call with latency and price spread over two decades,
+     so ordering mistakes are expensive in both currencies. *)
+  latency.(0) <- 0.5;
+  for i = 1 to n - 1 do
+    latency.(i) <- log_uniform rng ~lo:5.0 ~hi:500.0;
+    dollars.(i) <- log_uniform rng ~lo:1e-4 ~hi:1e-2
+  done;
+  Acq_plan.Cost_model.udf ~latency ~dollars ()
+
+let query p =
+  let schema = schema p in
+  Acq_plan.Query.create schema
+    (List.map
+       (fun attr -> Acq_plan.Predicate.inside ~attr ~lo:1 ~hi:1)
+       (udf_indices p))

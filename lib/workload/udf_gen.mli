@@ -1,0 +1,45 @@
+(** Expensive-predicate workloads: user-defined-function predicates
+    (remote model calls, paid API lookups) whose verdicts correlate
+    with a cheap context attribute.
+
+    The paper's acquisitional setting prices predicates in sensing
+    energy; the same planning problem reappears server-side when each
+    predicate is a slow, metered UDF call. Rows carry one cheap
+    [source] attribute (the latent regime) and [n_udfs] binary UDF
+    verdicts; within a regime every verdict is a fixed bit of the
+    regime index flipped with probability [noise], so verdicts are
+    strongly correlated through [source] and a correlation-aware
+    planner can condition on the cheap read before paying for any UDF.
+
+    Costs come from {!Acq_plan.Cost_model.udf}: per-UDF latency
+    log-uniform in [5, 500] ms and per-call price log-uniform in
+    [1e-4, 1e-2] dollars, combined with
+    {!Acq_plan.Cost_model.default_dollar_weight}. *)
+
+type params = { n_udfs : int; n_regimes : int; noise : float }
+
+val default : params
+(** 4 UDFs over 4 regimes with 10% verdict noise. *)
+
+val schema : params -> Acq_data.Schema.t
+(** [source] (cost 1, domain [n_regimes]) followed by [udf0..] (cost
+    100, binary). @raise Invalid_argument on degenerate params. *)
+
+val udf_indices : params -> int list
+(** Schema indices of the UDF verdict attributes, in order. *)
+
+val generate : Acq_util.Rng.t -> params -> rows:int -> Acq_data.Dataset.t
+(** Training-phase trace: regimes uniform, noise as configured. *)
+
+val generate_drifted :
+  Acq_util.Rng.t -> params -> rows:int -> Acq_data.Dataset.t
+(** Live-phase trace: the regime mixture shifts onto the two highest
+    regimes (3x weight) and the noise doubles — held-out data that
+    punishes overfit plans. *)
+
+val cost_model : Acq_util.Rng.t -> params -> Acq_plan.Cost_model.t
+(** Draw per-UDF latencies and prices (log-uniform as above) into a
+    {!Acq_plan.Cost_model.udf} model over the full schema. *)
+
+val query : params -> Acq_plan.Query.t
+(** The conjunction "every UDF verdict = 1". *)

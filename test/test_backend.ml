@@ -61,6 +61,9 @@ let contenders ds =
       ( "chow-liu",
         B.chow_liu (CL.learn ds) ~weight:(float_of_int (DS.nrows ds)) );
       ("dense", B.dense ds);
+      (* Budget >= window: the sample is the window itself, so the
+         sampling backend must agree with empirical to the bit. *)
+      ("sampled", B.sampled ~n:(DS.nrows ds) ~delta:0.05 ds);
     ]
   in
   base @ List.map (fun (name, b) -> (name ^ ",memo", B.memo b)) base
@@ -426,11 +429,82 @@ let test_capability_routing () =
 (* ------------------------------------------------------------------ *)
 (* Selection syntax and guards *)
 
+(* Property: printing any well-formed spec and parsing it back yields
+   the same spec — including sampled(n,delta), whose delta must
+   round-trip exactly through the shortest-faithful float printer. *)
+let spec_gen =
+  QCheck2.Gen.(
+    let* kind =
+      oneof
+        [
+          oneofl [ B.Empirical; B.Dense; B.Chow_liu; B.Independence ];
+          (let* n = int_range 1 100_000 in
+           let* delta = float_range 1e-9 0.999 in
+           return (B.Sampled { n; delta }));
+        ]
+    in
+    let* memoize = bool in
+    return { B.kind; memoize })
+
+let spec_print sp = Printf.sprintf "%S" (B.spec_to_string sp)
+
+let prop_spec_round_trip =
+  QCheck2.Test.make ~count:200 ~print:spec_print
+    ~name:"spec_to_string / spec_of_string round-trip" spec_gen (fun sp ->
+      match B.spec_of_string (B.spec_to_string sp) with
+      | Ok sp' ->
+          if sp' <> sp then
+            QCheck2.Test.fail_reportf "parsed %S as %S"
+              (B.spec_to_string sp) (B.spec_to_string sp');
+          true
+      | Error e ->
+          QCheck2.Test.fail_reportf "rejected own rendering %S: %s"
+            (B.spec_to_string sp)
+            (B.spec_error_to_string e))
+
+let test_spec_errors () =
+  List.iter
+    (fun input ->
+      match B.spec_of_string input with
+      | Ok sp ->
+          Alcotest.failf "accepted %S as %s" input (B.spec_to_string sp)
+      | Error e ->
+          (* Structured errors carry the offending input verbatim and a
+             human reason; the rendering embeds both. *)
+          Alcotest.(check string)
+            (Printf.sprintf "error echoes input %S" input)
+            input e.B.input;
+          Alcotest.(check bool)
+            (Printf.sprintf "reason non-empty for %S" input)
+            true
+            (String.length e.B.reason > 0);
+          let rendered = B.spec_error_to_string e in
+          Alcotest.(check bool)
+            (Printf.sprintf "rendering mentions reason for %S" input)
+            true
+            (String.length rendered >= String.length e.B.reason))
+    [
+      "";
+      "bogus";
+      "dense,turbo";
+      "sampled(";
+      "sampled()";
+      "sampled(10)";
+      "sampled(0,0.5)";
+      "sampled(-3,0.5)";
+      "sampled(10,0)";
+      "sampled(10,1.0)";
+      "sampled(10,1.5)";
+      "sampled(10,nope)";
+      "sampled(10,0.5,extra)";
+      "sampled(10,0.5)x";
+    ]
+
 let test_spec_parsing () =
   let ok s =
     match B.spec_of_string s with
     | Ok sp -> sp
-    | Error e -> Alcotest.failf "%s rejected: %s" s e
+    | Error e -> Alcotest.failf "%s rejected: %s" s (B.spec_error_to_string e)
   in
   List.iter
     (fun s ->
@@ -444,11 +518,19 @@ let test_spec_parsing () =
       "dense,memo";
       "chow-liu,memo";
       "independence,memo";
+      "sampled(4,0.1)";
+      "sampled(4,0.1),memo";
+      "sampled(256,0.05)";
     ];
   Alcotest.(check bool) "memo flag parsed" true (ok "dense,memo").B.memoize;
   Alcotest.(check bool) "kind parsed" true ((ok "dense,memo").B.kind = B.Dense);
   Alcotest.(check string) "default spec is the seed behavior" "empirical"
     (B.spec_to_string B.default_spec);
+  Alcotest.(check bool) "bare sampled takes the defaults" true
+    ((ok "sampled").B.kind
+    = B.Sampled { n = B.default_sample_size; delta = B.default_sample_delta });
+  Alcotest.(check bool) "sampled args parsed" true
+    ((ok "sampled(4,0.1)").B.kind = B.Sampled { n = 4; delta = 0.1 });
   (match B.spec_of_string "bogus" with
   | Ok _ -> Alcotest.fail "accepted bogus model"
   | Error _ -> ());
@@ -469,7 +551,9 @@ let test_of_dataset_spec () =
   List.iter
     (fun (s, expected_name) ->
       let spec =
-        match B.spec_of_string s with Ok sp -> sp | Error e -> Alcotest.fail e
+        match B.spec_of_string s with
+        | Ok sp -> sp
+        | Error e -> Alcotest.fail (B.spec_error_to_string e)
       in
       Alcotest.(check string)
         (s ^ " builds the right backend")
@@ -480,8 +564,10 @@ let test_of_dataset_spec () =
       ("dense", "dense");
       ("chow-liu", "chow-liu");
       ("independence", "independence");
+      ("sampled(8,0.2)", "sampled");
       ("empirical,memo", "memo");
       ("dense,memo", "memo");
+      ("sampled(8,0.2),memo", "memo");
     ]
 
 let () =
@@ -513,6 +599,8 @@ let () =
       ( "selection",
         [
           Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          QCheck_alcotest.to_alcotest prop_spec_round_trip;
+          Alcotest.test_case "spec structured errors" `Quick test_spec_errors;
           Alcotest.test_case "dense capacity guard" `Quick
             test_dense_capacity_guard;
           Alcotest.test_case "of_dataset honors spec" `Quick test_of_dataset_spec;

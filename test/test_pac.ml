@@ -1,0 +1,316 @@
+(* Statistical-guarantee harness for the sampling stack: Hoeffding /
+   Wilson interval kernels, confidence-interval coverage of the
+   sampled backend over many fixed-seed resamples, the PAC planner's
+   (epsilon, delta) certificate against a brute-force oracle, and the
+   arm's determinism. Every trial is seeded, so the empirical rates
+   below are exact reproducible numbers, not flaky estimates. *)
+
+module Rng = Acq_util.Rng
+module Stats = Acq_util.Stats
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Pred = Acq_plan.Predicate
+module Q = Acq_plan.Query
+module Ser = Acq_plan.Serialize
+module B = Acq_prob.Backend
+module EC = Acq_core.Expected_cost
+module P = Acq_core.Planner
+module Search = Acq_core.Search
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Interval kernels *)
+
+let test_hoeffding_radius () =
+  Alcotest.(check (float 1e-6))
+    "n=100 delta=0.05"
+    (sqrt (log 40.0 /. 200.0))
+    (Stats.hoeffding_radius ~n:100 ~delta:0.05);
+  Alcotest.(check bool)
+    "radius shrinks with n" true
+    (Stats.hoeffding_radius ~n:400 ~delta:0.05
+    < Stats.hoeffding_radius ~n:100 ~delta:0.05);
+  Alcotest.(check bool)
+    "radius grows as delta tightens" true
+    (Stats.hoeffding_radius ~n:100 ~delta:0.01
+    > Stats.hoeffding_radius ~n:100 ~delta:0.05);
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Stats.hoeffding_radius: n must be positive") (fun () ->
+      ignore (Stats.hoeffding_radius ~n:0 ~delta:0.05))
+
+let test_normal_quantile () =
+  Alcotest.(check (float 1e-6)) "median" 0.0 (Stats.normal_quantile 0.5);
+  Alcotest.(check (float 1e-4))
+    "97.5th percentile" 1.959964 (Stats.normal_quantile 0.975);
+  Alcotest.(check (float 1e-4))
+    "2.5th percentile" (-1.959964) (Stats.normal_quantile 0.025);
+  Alcotest.(check (float 1e-4))
+    "99.5th percentile" 2.575829 (Stats.normal_quantile 0.995)
+
+let test_wilson_ci () =
+  let lo, hi = Stats.wilson_ci ~pos:50 ~n:100 ~delta:0.05 in
+  Alcotest.(check (float 1e-3)) "balanced center lo" 0.4038 lo;
+  Alcotest.(check (float 1e-3)) "balanced center hi" 0.5962 hi;
+  (* Wilson never leaves [0,1] even at the boundaries, where the
+     naive normal interval would. *)
+  let lo0, _ = Stats.wilson_ci ~pos:0 ~n:20 ~delta:0.05 in
+  let _, hi1 = Stats.wilson_ci ~pos:20 ~n:20 ~delta:0.05 in
+  check_float "pos=0 floor" 0.0 lo0;
+  check_float "pos=n ceiling" 1.0 hi1;
+  (* Tighter than Hoeffding away from p = 1/2. *)
+  let wlo, whi = Stats.wilson_ci ~pos:2 ~n:100 ~delta:0.05 in
+  let eps = Stats.hoeffding_radius ~n:100 ~delta:0.05 in
+  Alcotest.(check bool)
+    "wilson beats hoeffding at skewed p" true
+    (whi -. wlo < 2.0 *. eps)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: a correlated 3-attribute window. *)
+
+let named_schema domains =
+  S.create
+    (List.init (Array.length domains) (fun k ->
+         A.discrete
+           ~name:(Printf.sprintf "a%d" k)
+           ~cost:(float_of_int ((k * 3) + 2))
+           ~domain:domains.(k)))
+
+let correlated_dataset seed domains rows =
+  let n = Array.length domains in
+  let rng = Rng.create seed in
+  let data =
+    Array.init rows (fun _ ->
+        let regime = Rng.float rng 1.0 in
+        Array.init n (fun k ->
+            if Rng.bernoulli rng 0.7 then
+              min
+                (domains.(k) - 1)
+                (int_of_float (regime *. float_of_int domains.(k)))
+            else Rng.int rng domains.(k)))
+  in
+  DS.create (named_schema domains) data
+
+(* ------------------------------------------------------------------ *)
+(* Coverage: across 200 seeded resamples, the Hoeffding interval on a
+   root and on a conditioned estimate must cover the exact (full
+   window) probability at well above its nominal 1 - delta rate. *)
+
+let n_coverage_trials = 200
+
+let test_ci_coverage () =
+  let delta = 0.1 in
+  let domains = [| 4; 3; 2 |] in
+  let ds = correlated_dataset 7 domains 4_000 in
+  let exact = B.empirical ds in
+  let p_root = Pred.inside ~attr:0 ~lo:2 ~hi:3 in
+  let p_cond = Pred.inside ~attr:1 ~lo:0 ~hi:1 in
+  let truth_root = B.pred_prob exact p_root in
+  let truth_cond = B.pred_prob (B.restrict_pred exact p_root true) p_cond in
+  let covered = ref 0 and total = ref 0 in
+  let check_cover truth (lo, hi) =
+    incr total;
+    if lo <= truth +. 1e-12 && truth <= hi +. 1e-12 then incr covered
+  in
+  for seed = 1 to n_coverage_trials do
+    let b = B.sampled ~seed ~n:256 ~delta ds in
+    check_cover truth_root (B.pred_prob_ci b p_root);
+    check_cover truth_cond
+      (B.pred_prob_ci (B.restrict_pred b p_root true) p_cond)
+  done;
+  let rate = float_of_int !covered /. float_of_int !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %.4f >= 1 - delta (%g)" rate (1.0 -. delta))
+    true
+    (rate >= 1.0 -. delta);
+  (* Sanity on the other side: intervals are not vacuous — a root
+     interval at n=256 is strictly narrower than [0,1]. *)
+  let lo, hi = B.pred_prob_ci (B.sampled ~seed:1 ~n:256 ~delta ds) p_root in
+  Alcotest.(check bool) "interval informative" true (hi -. lo < 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Certificate: over 200 seeded instances, the PAC plan's certificate
+   must satisfy both of its claims against the brute-force oracle
+   computed on the full window —
+     cost_bound >= true expected cost of the emitted plan, and
+     cost_bound <= (1 + epsilon) * (true optimal sequential cost)
+   — at a rate of at least 1 - max certificate delta (and 0.95). *)
+
+let brute_force_best q ~costs est =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map
+              (fun rest -> x :: rest)
+              (perms (List.filter (fun y -> y <> x) l)))
+          l
+  in
+  let m = Q.n_predicates q in
+  List.fold_left
+    (fun best order -> Float.min best (EC.of_order q ~costs est order))
+    infinity
+    (perms (List.init m Fun.id))
+
+let n_certificate_trials = 200
+
+let test_certificate_holds () =
+  let holds = ref 0 in
+  let max_delta = ref 0.0 in
+  let partial = ref 0 in
+  for seed = 1 to n_certificate_trials do
+    let domains = [| 3; 2; 2 |] in
+    let ds = correlated_dataset (100 + seed) domains 400 in
+    let schema = DS.schema ds in
+    let costs = S.costs schema in
+    let rng = Rng.create (500 + seed) in
+    let preds =
+      List.init 3 (fun attr ->
+          let d = domains.(attr) in
+          let lo = Rng.int rng d in
+          let hi = lo + Rng.int rng (d - lo) in
+          Pred.inside ~attr ~lo ~hi)
+    in
+    let q = Q.create schema preds in
+    let sampled = B.sampled ~seed ~n:32 ~delta:0.002 ds in
+    let plan, _est_cost, cert =
+      Acq_core.Pac.plan ~epsilon_target:0.3 q ~costs sampled
+    in
+    let exact = B.empirical ds in
+    let true_cost = EC.of_plan q ~costs exact plan in
+    let oracle = brute_force_best q ~costs exact in
+    max_delta := Float.max !max_delta cert.Search.delta;
+    if cert.Search.samples < DS.nrows ds then incr partial;
+    let upper_ok = cert.Search.cost_bound >= true_cost -. 1e-9 in
+    let gap_ok =
+      cert.Search.cost_bound
+      <= ((1.0 +. cert.Search.epsilon) *. oracle) +. 1e-9
+    in
+    if upper_ok && gap_ok then incr holds
+  done;
+  let rate = float_of_int !holds /. float_of_int n_certificate_trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "certificate holds at %.4f >= 0.95" rate)
+    true (rate >= 0.95);
+  Alcotest.(check bool)
+    (Printf.sprintf "certificate holds at %.4f >= 1 - max delta %.4f" rate
+       !max_delta)
+    true
+    (rate >= 1.0 -. !max_delta);
+  (* The harness only means something if refinement actually stops
+     early somewhere: some trials must certify from a strict subsample. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d trials certified from a partial sample" !partial
+       n_certificate_trials)
+    true (!partial > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and degenerate backends. *)
+
+let test_pac_deterministic () =
+  let domains = [| 3; 2; 2 |] in
+  let ds = correlated_dataset 42 domains 600 in
+  let schema = DS.schema ds in
+  let costs = S.costs schema in
+  let q =
+    Q.create schema
+      [
+        Pred.inside ~attr:0 ~lo:1 ~hi:2;
+        Pred.inside ~attr:1 ~lo:1 ~hi:1;
+        Pred.inside ~attr:2 ~lo:0 ~hi:0;
+      ]
+  in
+  let run () =
+    Acq_core.Pac.plan ~epsilon_target:0.3 q ~costs
+      (B.sampled ~seed:5 ~n:64 ~delta:0.01 ds)
+  in
+  let p1, c1, cert1 = run () in
+  let p2, c2, cert2 = run () in
+  Alcotest.(check bool)
+    "plan byte-identical" true
+    (Bytes.equal (Ser.encode p1) (Ser.encode p2));
+  check_float "cost identical" c1 c2;
+  Alcotest.(check string)
+    "certificate identical"
+    (Search.certificate_to_string cert1)
+    (Search.certificate_to_string cert2);
+  (* Same through the Planner facade, which swaps the spec to sampled
+     for the Pac algorithm. *)
+  let r1 = P.plan P.Pac q ~train:ds in
+  let r2 = P.plan P.Pac q ~train:ds in
+  Alcotest.(check bool)
+    "facade deterministic" true
+    (Bytes.equal (Ser.encode r1.P.plan) (Ser.encode r2.P.plan));
+  Alcotest.(check bool)
+    "facade attaches a certificate" true
+    (r1.P.stats.Search.certificate <> None)
+
+let test_pac_exact_backend () =
+  (* Against a deterministic backend every interval is a point: the
+     PAC planner reduces to exact argmin over all orders and certifies
+     a zero gap with zero failure probability. *)
+  let domains = [| 3; 2; 2 |] in
+  let ds = correlated_dataset 43 domains 600 in
+  let schema = DS.schema ds in
+  let costs = S.costs schema in
+  let q =
+    Q.create schema
+      [
+        Pred.inside ~attr:0 ~lo:0 ~hi:1;
+        Pred.inside ~attr:1 ~lo:1 ~hi:1;
+        Pred.inside ~attr:2 ~lo:1 ~hi:1;
+      ]
+  in
+  let exact = B.empirical ds in
+  let _plan, cost, cert = Acq_core.Pac.plan q ~costs exact in
+  check_float "epsilon 0" 0.0 cert.Search.epsilon;
+  check_float "delta 0" 0.0 cert.Search.delta;
+  Alcotest.(check int) "no samples reported" 0 cert.Search.samples;
+  Alcotest.(check int) "no refinements" 0 cert.Search.refinements;
+  check_float "cost equals brute-force optimum"
+    (brute_force_best q ~costs exact)
+    cost;
+  check_float "cost_bound equals the cost" cost cert.Search.cost_bound
+
+let test_pac_respects_deadline () =
+  let domains = [| 3; 2; 2 |] in
+  let ds = correlated_dataset 44 domains 400 in
+  let schema = DS.schema ds in
+  let q = Q.create schema [ Pred.inside ~attr:0 ~lo:1 ~hi:2 ] in
+  let search = Search.create ~deadline_ms:0.0 () in
+  Alcotest.check_raises "dead on arrival" Search.Deadline_exceeded (fun () ->
+      ignore
+        (Acq_core.Pac.plan ~search q ~costs:(S.costs schema)
+           (B.sampled ~seed:1 ~n:16 ~delta:0.05 ds)))
+
+let () =
+  Alcotest.run "pac"
+    [
+      ( "kernels",
+        [
+          Alcotest.test_case "hoeffding radius" `Quick test_hoeffding_radius;
+          Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+          Alcotest.test_case "wilson interval" `Quick test_wilson_ci;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "interval coverage, 200 resamples" `Quick
+            test_ci_coverage;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "PAC bound vs brute force, 200 instances" `Quick
+            test_certificate_holds;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "deterministic replay" `Quick
+            test_pac_deterministic;
+          Alcotest.test_case "exact backend degenerates" `Quick
+            test_pac_exact_backend;
+          Alcotest.test_case "deadline enforced" `Quick
+            test_pac_respects_deadline;
+        ] );
+    ]

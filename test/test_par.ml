@@ -1,13 +1,16 @@
 (* Differential determinism suite for Acq_par.
 
    The claim under test: parallelism changes wall time, never results.
-   Every planner run through the domain pool, every portfolio race, and
-   every workload fan-out must be structurally identical — plan tree,
-   estimated cost, plan size, byte-for-byte canonical report — to its
-   sequential counterpart. Plus cancellation and robustness: arms that
-   blow their budget or deadline lose the race without leaking tasks,
-   task exceptions don't kill workers, and shutdown never hangs (a
-   watchdog alarm turns a hang into a loud failure).
+   Every planner run through the domain pool, every portfolio race
+   (four arms: Exhaustive, Heuristic, CorrSeq, and the sampling-based
+   Pac arm), and every workload fan-out must be structurally identical
+   — plan tree, estimated cost, plan size, byte-for-byte canonical
+   report — to its sequential counterpart. Plus cancellation and
+   robustness: arms that blow their budget or deadline (including the
+   sampled Pac arm, whose refinement loop ticks the same search
+   context) lose the race without leaking tasks, task exceptions don't
+   kill workers, and shutdown never hangs (a watchdog alarm turns a
+   hang into a loud failure).
 
    Worker count comes from ACQP_TEST_DOMAINS (default 4); CI pins 4. *)
 
@@ -263,6 +266,42 @@ let test_portfolio_budget_arm () =
   let s = Dp.stats pool in
   Alcotest.(check int) "no leaked tasks" s.Dp.submitted s.Dp.completed
 
+(* The sampled Pac arm's refinement loop re-scores every candidate per
+   round, so it spends strictly more search ticks than a single
+   sequential sweep. A budget calibrated to CorrSeq's exact effort
+   starves Pac alone: it must lose with status "budget" while CorrSeq
+   wins, and the pool must drain every task. *)
+let test_portfolio_sampled_arm_starved () =
+  with_alarm 5 @@ fun () ->
+  let ds, q = make_instance 202 in
+  let corr = P.plan ~options P.Corr_seq q ~train:ds in
+  let pac = P.plan ~options P.Pac q ~train:ds in
+  let corr_nodes = corr.P.stats.Acq_core.Search.nodes_solved in
+  let pac_nodes = pac.P.stats.Acq_core.Search.nodes_solved in
+  Alcotest.(check bool)
+    (Printf.sprintf "pac outspends corrseq (%d > %d)" pac_nodes corr_nodes)
+    true (pac_nodes > corr_nodes);
+  let opts = { options with search_budget = Some corr_nodes } in
+  Dp.with_pool ~domains:2 @@ fun pool ->
+  let o =
+    Pf.race ~options:opts ~algorithms:[ P.Corr_seq; P.Pac ] ~pool q ~train:ds
+  in
+  let arm a = List.find (fun (x : Pf.arm) -> x.Pf.algorithm = a) o.Pf.arms in
+  Alcotest.(check string)
+    "pac arm lost on budget" "budget"
+    (Pf.status_name (arm P.Pac).Pf.status);
+  Alcotest.(check string)
+    "corrseq arm finished" "finished"
+    (Pf.status_name (arm P.Corr_seq).Pf.status);
+  (match o.Pf.winner with
+  | Some (a, r) ->
+      Alcotest.(check string)
+        "corrseq wins" "CorrSeq" (P.algorithm_name a);
+      Alcotest.(check (float 0.0)) "winning cost" corr.P.est_cost r.P.est_cost
+  | None -> Alcotest.fail "the surviving arm should win");
+  let s = Dp.stats pool in
+  Alcotest.(check int) "no leaked tasks" s.Dp.submitted s.Dp.completed
+
 let test_portfolio_deadline_all_arms () =
   with_alarm 5 @@ fun () ->
   let ds, q = make_instance 201 in
@@ -398,6 +437,8 @@ let () =
         [
           Alcotest.test_case "budget-starved arm loses cleanly" `Quick
             test_portfolio_budget_arm;
+          Alcotest.test_case "starved sampled arm loses cleanly" `Quick
+            test_portfolio_sampled_arm_starved;
           Alcotest.test_case "expired deadline fails every arm" `Quick
             test_portfolio_deadline_all_arms;
         ] );
