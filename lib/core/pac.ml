@@ -4,6 +4,41 @@ module B = Acq_prob.Backend
 let default_epsilon_target = 0.05
 let exhaustive_limit = 6
 
+type interval = Hoeffding | Wilson
+
+let interval_name = function Hoeffding -> "hoeffding" | Wilson -> "wilson"
+
+(* Wilson score interval computed generically from any backend's
+   point estimate and sampling parameters: the restricted sample size
+   is the backend's weight, the success count is recovered from the
+   point estimate (both exact for counting backends), and delta is
+   the per-interval failure probability the backend reports. An
+   exhaustive or deterministic backend reports delta 0 (or no
+   sampling at all) and degenerates to the point — exactly like the
+   Hoeffding path. Mirrors {!Acq_prob.Sampled.pred_prob_wilson}. *)
+let wilson_ci est p =
+  match B.sampling est with
+  | None ->
+      let x = B.pred_prob est p in
+      (x, x)
+  | Some s ->
+      if s.B.delta <= 0.0 then begin
+        let x = B.pred_prob est p in
+        (x, x)
+      end
+      else begin
+        let m = int_of_float (B.weight est) in
+        if m = 0 then (0.0, 1.0)
+        else begin
+          let pos =
+            int_of_float (Float.round (B.pred_prob est p *. float_of_int m))
+          in
+          Acq_util.Stats.wilson_ci ~pos ~n:m ~delta:s.B.delta
+        end
+      end
+
+let ci_of = function Hoeffding -> B.pred_prob_ci | Wilson -> wilson_ci
+
 (* [interval_cost] is Expected_cost.seq_cost with every point
    probability replaced by its confidence interval. The recursion is
    monotone in each probability (costs are nonnegative), so the
@@ -15,7 +50,8 @@ let exhaustive_limit = 6
    immaterial to the event) plus the queried predicate — so the
    caller's union bound counts each interval once even though many
    candidate orders share prefixes. *)
-let interval_cost ~model ~consulted q est order =
+let interval_cost ?(interval = Hoeffding) ~model ~consulted q est order =
+  let ci = ci_of interval in
   let rec go est acquired prefix = function
     | [] -> (0.0, 0.0)
     | j :: rest ->
@@ -30,7 +66,7 @@ let interval_cost ~model ~consulted q est order =
           ^ "|" ^ string_of_int j
         in
         Hashtbl.replace consulted key ();
-        let lo, hi = B.pred_prob_ci est p in
+        let lo, hi = ci est p in
         let acquired = IntSet.add p.Acq_plan.Predicate.attr acquired in
         if hi <= 0.0 then (atomic, atomic)
         else
@@ -101,8 +137,8 @@ let candidates q ~model est =
       (point :: optimistic :: pessimistic :: swaps)
   end
 
-let plan ?search ?model ?(epsilon_target = default_epsilon_target) q ~costs
-    est =
+let plan ?search ?model ?(epsilon_target = default_epsilon_target)
+    ?(interval = Hoeffding) q ~costs est =
   let model =
     match model with
     | Some m -> m
@@ -146,7 +182,7 @@ let plan ?search ?model ?(epsilon_target = default_epsilon_target) q ~costs
       List.map
         (fun ord ->
           tick ();
-          (ord, interval_cost ~model ~consulted q est ord))
+          (ord, interval_cost ~interval ~model ~consulted q est ord))
         (candidates q ~model est)
     in
     match scored with

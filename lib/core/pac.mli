@@ -27,6 +27,24 @@
 val default_epsilon_target : float
 (** 0.05 — refine until the certified gap is below 5%. *)
 
+type interval =
+  | Hoeffding
+      (** the backend's own distribution-free interval
+          ({!Acq_prob.Backend.pred_prob_ci}); coverage guaranteed at
+          [1 - delta] per interval — the default, and the one the
+          certificate's union bound is stated for *)
+  | Wilson
+      (** Wilson score interval recovered from the backend's point
+          estimate, restricted sample size, and reported delta —
+          tighter than Hoeffding away from p = 1/2 (often by 2x or
+          more at skewed selectivities), with asymptotic rather than
+          finite-sample coverage. Degenerates to the point on
+          deterministic or exhausted backends, exactly like
+          Hoeffding. *)
+
+val interval_name : interval -> string
+(** ["hoeffding"] / ["wilson"]. *)
+
 val exhaustive_limit : int
 (** Queries up to this many predicates score every permutation;
     wider ones use a greedy-rank candidate pool. *)
@@ -35,6 +53,7 @@ val plan :
   ?search:_ Search.t ->
   ?model:Acq_plan.Cost_model.t ->
   ?epsilon_target:float ->
+  ?interval:interval ->
   Acq_plan.Query.t ->
   costs:float array ->
   Acq_prob.Backend.t ->
@@ -43,4 +62,8 @@ val plan :
     expected cost under [est]'s current sample, and the (epsilon,
     delta) certificate. [search] is ticked once per candidate per
     scoring round, so budgets and deadlines abort the PAC loop the
-    same way they abort every other planner. *)
+    same way they abort every other planner. [interval] (default
+    {!Hoeffding}) selects which interval the cost walk consults;
+    {!Wilson}'s tighter intervals typically separate candidate orders
+    with fewer refinement rounds, at the price of asymptotic rather
+    than guaranteed coverage behind the certificate. *)

@@ -19,6 +19,7 @@ type options = {
   cost_model : Acq_plan.Cost_model.t option;
   prob_model : Acq_prob.Backend.spec;
   pac_epsilon : float;
+  pac_interval : Pac.interval;
 }
 
 let default_options =
@@ -34,6 +35,7 @@ let default_options =
     cost_model = None;
     prob_model = Acq_prob.Backend.default_spec;
     pac_epsilon = Pac.default_epsilon_target;
+    pac_interval = Pac.Hoeffding;
   }
 
 type result = {
@@ -43,7 +45,7 @@ type result = {
 }
 
 let plan_with_backend ?(options = default_options)
-    ?(telemetry = Acq_obs.Telemetry.noop) algorithm q ~costs est =
+    ?(telemetry = Acq_obs.Telemetry.noop) ?fanout algorithm q ~costs est =
   let domains = Acq_data.Schema.domains (Acq_plan.Query.schema q) in
   let grid =
     Spsf.for_query ~domains ~points_per_attr:options.split_points_per_attr q
@@ -108,23 +110,24 @@ let plan_with_backend ?(options = default_options)
            ~max_splits:options.max_splits est)
   | Exhaustive ->
       let search = context ~default_budget:options.exhaustive_budget () in
-      let est = Search.wrap_backend search est in
-      finish search (Exhaustive.plan ~search ?model q ~costs ~grid est)
+      (* Exhaustive wraps the backend itself (per forked branch when a
+         fanout is supplied), so the raw backend passes through. *)
+      finish search (Exhaustive.plan ~search ?fanout ?model q ~costs ~grid est)
   | Pac ->
       let search = context () in
       let est = Search.wrap_backend search est in
       let plan, est_cost, certificate =
-        Pac.plan ~search ?model ~epsilon_target:options.pac_epsilon q ~costs
-          est
+        Pac.plan ~search ?model ~epsilon_target:options.pac_epsilon
+          ~interval:options.pac_interval q ~costs est
       in
       finish ~certificate search (plan, est_cost)
 
-let plan_with_estimator ?options ?telemetry algorithm q ~costs est =
-  plan_with_backend ?options ?telemetry algorithm q ~costs
+let plan_with_estimator ?options ?telemetry ?fanout algorithm q ~costs est =
+  plan_with_backend ?options ?telemetry ?fanout algorithm q ~costs
     (Acq_prob.Estimator.to_backend est)
 
 let plan ?(options = default_options) ?(telemetry = Acq_obs.Telemetry.noop)
-    algorithm q ~train =
+    ?fanout algorithm q ~train =
   let costs = Acq_data.Schema.costs (Acq_plan.Query.schema q) in
   let spec =
     (* Pac plans against confidence intervals; every backend except
@@ -141,4 +144,4 @@ let plan ?(options = default_options) ?(telemetry = Acq_obs.Telemetry.noop)
     | _ -> options.prob_model
   in
   let est = Acq_prob.Backend.of_dataset ~telemetry ~spec train in
-  plan_with_backend ~options ~telemetry algorithm q ~costs est
+  plan_with_backend ~options ~telemetry ?fanout algorithm q ~costs est

@@ -69,12 +69,18 @@ type options = {
           within [1 + pac_epsilon] of the best candidate's
           lower-confidence cost (or the sample is exhausted). Other
           algorithms ignore it. *)
+  pac_interval : Pac.interval;
+      (** which confidence interval {!Pac}'s cost walk consults:
+          {!Pac.Hoeffding} (default — guaranteed coverage) or
+          {!Pac.Wilson} (tighter at skewed selectivities, asymptotic
+          coverage). Other algorithms ignore it. *)
 }
 
 val default_options : options
 (** 8 split points, 5 splits, OptSeq up to 12 predicates, all
     attributes, 2M search nodes, no deadline, no size penalty, the
-    empirical backend without memoization, a 5% PAC gap target. *)
+    empirical backend without memoization, a 5% PAC gap target with
+    Hoeffding intervals. *)
 
 type result = {
   plan : Acq_plan.Plan.t;
@@ -88,12 +94,20 @@ type result = {
 val plan :
   ?options:options ->
   ?telemetry:Acq_obs.Telemetry.t ->
+  ?fanout:Acq_util.Fanout.t ->
   algorithm ->
   Acq_plan.Query.t ->
   train:Acq_data.Dataset.t ->
   result
 (** Plan with the backend [options.prob_model] selects, built over
     [train] (default: the empirical backend — the seed behavior).
+
+    [fanout] (default: none) lets {!Exhaustive} fan its root DP tier
+    across a worker pool ({!Acq_par.Domain_pool.fanout}); plans and
+    costs stay bit-for-bit identical to the sequential search (see
+    {!Exhaustive.plan}). Other algorithms, and Exhaustive over a
+    memoized backend (whose shared cache is not domain-safe), ignore
+    it.
 
     [telemetry] (default noop) observes the whole call: a
     ["planner.plan"] span (attributes: algorithm, predicate count),
@@ -106,19 +120,22 @@ val plan :
 val plan_with_backend :
   ?options:options ->
   ?telemetry:Acq_obs.Telemetry.t ->
+  ?fanout:Acq_util.Fanout.t ->
   algorithm ->
   Acq_plan.Query.t ->
   costs:float array ->
   Acq_prob.Backend.t ->
   result
 (** Same, against an arbitrary packed backend. The backend is wrapped
-    by {!Search.wrap_backend} for the duration of the call — the
+    by {!Search.wrap_backend} for the duration of the call (per
+    forked branch context under an {!Exhaustive} fanout) — the
     caller's backend is untouched and reusable. [options.prob_model]
     is ignored (the backend is already built). *)
 
 val plan_with_estimator :
   ?options:options ->
   ?telemetry:Acq_obs.Telemetry.t ->
+  ?fanout:Acq_util.Fanout.t ->
   algorithm ->
   Acq_plan.Query.t ->
   costs:float array ->

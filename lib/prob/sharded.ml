@@ -1,0 +1,197 @@
+module Fanout = Acq_util.Fanout
+
+type t = {
+  schema : Acq_data.Schema.t;
+  capacity : int;
+  k : int;
+  domains : int array;
+  shards : Sliding.t array;  (* shard s owns every row with index ≡ s (mod k) *)
+  mutable pushed : int;  (* rows ever pushed, = the next row's global index *)
+  mutable cached : Acq_data.Dataset.t option;
+  bufs : int array array;  (* two rotating merge buffers, as in Sliding *)
+  mutable turn : int;
+  mutable ids : int array;
+}
+
+let create schema ~capacity ~shards =
+  if capacity < 1 then invalid_arg "Sharded.create: capacity < 1";
+  if shards < 1 then invalid_arg "Sharded.create: shards < 1";
+  if capacity mod shards <> 0 then
+    (* Round-robin keeps exactly the last [capacity] rows only when
+       every residue class owns the same number of slots. *)
+    invalid_arg "Sharded.create: capacity must be a multiple of shards";
+  {
+    schema;
+    capacity;
+    k = shards;
+    domains = Acq_data.Schema.domains schema;
+    shards =
+      Array.init shards (fun _ ->
+          Sliding.create schema ~capacity:(capacity / shards));
+    pushed = 0;
+    cached = None;
+    bufs = [| [||]; [||] |];
+    turn = 0;
+    ids = [||];
+  }
+
+let capacity t = t.capacity
+let shards t = t.k
+let size t = min t.pushed t.capacity
+let is_full t = t.pushed >= t.capacity
+
+let push t row =
+  Sliding.push t.shards.(t.pushed mod t.k) row;
+  t.pushed <- t.pushed + 1;
+  t.cached <- None
+
+let push_dataset t ds =
+  Acq_data.Dataset.iter_rows ds (fun r -> push t (Acq_data.Dataset.row ds r))
+
+let validate t row =
+  let n = Array.length t.domains in
+  if Array.length row <> n then invalid_arg "Sharded.ingest: arity mismatch";
+  Array.iteri
+    (fun a v ->
+      if v < 0 || v >= t.domains.(a) then
+        invalid_arg "Sharded.ingest: value out of domain")
+    row
+
+let ingest ?(fanout = Fanout.sequential) t rows =
+  (* Validate the whole batch before touching any shard: a bad row
+     must leave the window exactly as a sequential push loop stopped
+     at that row would NOT — it must leave it untouched, which is the
+     only state every shard can agree on without ordering. *)
+  Array.iter (validate t) rows;
+  let base = t.pushed in
+  (* Partition by destination shard, preserving batch order within
+     each shard: row [i] of the batch has global index [base + i]. *)
+  let mine = Array.make t.k [] in
+  for i = Array.length rows - 1 downto 0 do
+    let s = (base + i) mod t.k in
+    mine.(s) <- rows.(i) :: mine.(s)
+  done;
+  ignore
+    (Fanout.map fanout
+       (fun s -> List.iter (Sliding.push t.shards.(s)) mine.(s))
+       (Array.init t.k Fun.id)
+      : unit array);
+  t.pushed <- base + Array.length rows;
+  t.cached <- None
+
+let clear t =
+  Array.iter Sliding.clear t.shards;
+  t.pushed <- 0;
+  t.cached <- None
+
+let marginals t =
+  let m = Array.map (fun k -> Array.make k 0) t.domains in
+  Array.iter
+    (fun shard ->
+      let sm = Sliding.marginals shard in
+      Array.iteri
+        (fun a h -> Array.iteri (fun v c -> m.(a).(v) <- m.(a).(v) + c) h)
+        sm)
+    t.shards;
+  m
+
+let histogram t attr =
+  Array.fold_left
+    (fun acc shard ->
+      Array.iteri (fun v c -> acc.(v) <- acc.(v) + c) (Sliding.histogram shard attr);
+      acc)
+    (Array.make t.domains.(attr) 0)
+    t.shards
+
+(* Global index of the newest row shard [s] could hold, i.e. the
+   largest g < pushed with g ≡ s (mod k). Meaningful only when the
+   shard is nonempty. *)
+let last_global t s = t.pushed - 1 - ((t.pushed - 1 - s + t.k) mod t.k)
+
+let to_dataset ?(fanout = Fanout.sequential) t =
+  let sz = size t in
+  if sz = 0 then invalid_arg "Sharded.to_dataset: empty window";
+  match t.cached with
+  | Some ds -> ds
+  | None ->
+      let n = Array.length t.domains in
+      let need = sz * n in
+      let buf =
+        let b = t.bufs.(t.turn) in
+        if Array.length b = need then b
+        else begin
+          let b = Array.make need 0 in
+          t.bufs.(t.turn) <- b;
+          b
+        end
+      in
+      t.turn <- 1 - t.turn;
+      let g0 = t.pushed - sz in
+      (* Each shard writes its rows at their global positions — a
+         disjoint stride per shard, so the fan is race-free and the
+         merged buffer is byte-identical to an unsharded window's. *)
+      ignore
+        (Fanout.map fanout
+           (fun s ->
+             let shard = t.shards.(s) in
+             let ssz = Sliding.size shard in
+             if ssz > 0 then begin
+               let first = last_global t s - ((ssz - 1) * t.k) in
+               for j = 0 to ssz - 1 do
+                 Sliding.blit_row shard j buf ((first + (j * t.k) - g0) * n)
+               done
+             end)
+           (Array.init t.k Fun.id)
+          : unit array);
+      let ds = Acq_data.Dataset.of_raw t.schema sz buf in
+      t.cached <- Some ds;
+      ds
+
+let identity_ids t =
+  let sz = size t in
+  if Array.length t.ids <> sz then t.ids <- Array.init sz (fun i -> i);
+  t.ids
+
+let backend ?telemetry ?(spec = Backend.default_spec) ?fanout t =
+  let fo = match fanout with Some f -> f | None -> Fanout.sequential in
+  match spec.Backend.kind with
+  | Backend.Empirical ->
+      let ds = to_dataset ~fanout:fo t in
+      let b = Backend.of_view (View.of_rows ds (identity_ids t)) in
+      if spec.Backend.memoize then Backend.memo ?telemetry b else b
+  | Backend.Sampled { n; delta } ->
+      let ds = to_dataset ~fanout:fo t in
+      let b =
+        Backend.sampled_of_view ~n ~delta (View.of_rows ds (identity_ids t))
+      in
+      if spec.Backend.memoize then Backend.memo ?telemetry b else b
+  | Backend.Dense ->
+      (* Scan shards into partial joint tables concurrently; the
+         shard-order merge is exact integer arithmetic, so the result
+         is bit-for-bit [Backend.dense] over the merged window. Each
+         task materializes (and so mutates) only its own shard. *)
+      let partials =
+        Fanout.map fo
+          (fun shard ->
+            if Sliding.size shard = 0 then None
+            else Some (Backend.dense_partial (Sliding.to_dataset shard)))
+          t.shards
+      in
+      let partials =
+        Array.of_list (List.filter_map Fun.id (Array.to_list partials))
+      in
+      let b = Backend.dense_of_partials t.schema partials in
+      if spec.Backend.memoize then Backend.memo ?telemetry b else b
+  | Backend.Chow_liu | Backend.Independence ->
+      Backend.of_dataset ?telemetry ~spec (to_dataset ~fanout:fo t)
+
+let drift_marginals t ~reference ~rows =
+  Sliding.drift_of_counts ~counts:(marginals t) ~size:(size t) ~reference
+    ~rows
+
+let drift t ~reference =
+  if Acq_data.Dataset.nrows reference = 0 || size t = 0 then 0.0
+  else
+    drift_marginals t
+      ~reference:(Sliding.marginals_of reference)
+      ~rows:(Acq_data.Dataset.nrows reference)

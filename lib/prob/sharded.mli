@@ -1,0 +1,98 @@
+(** Domain-sharded sliding window: the statistics state of {!Sliding}
+    partitioned into [K] per-domain shards with a deterministic
+    merge-on-read.
+
+    Rows are assigned round-robin by global arrival index (row [g]
+    lives in shard [g mod K]), and each shard is an ordinary
+    {!Sliding.t} of capacity [capacity / K]. Because every residue
+    class owns the same number of slots, the union of the shards'
+    windows is {e exactly} the last [capacity] rows — the same set an
+    unsharded window of the same capacity holds — and the merge
+    formula reconstructs the oldest-first global order into one packed
+    buffer with a disjoint write stride per shard. Marginals merge by
+    integer sums, dense joint tables by exact integer-float sums
+    ({!Backend.dense_of_partials}), so every read-side artifact is
+    byte-identical to the unsharded window's (the QCheck
+    differentials in [test_shard.ml] pin this to bit equality).
+
+    Parallelism: {!ingest}, {!to_dataset}, and {!backend} take a
+    {!Acq_util.Fanout.t}; with a pool-backed fanout
+    ({!Acq_par.Domain_pool.fanout}) batch ingest, the merge blit, and
+    the dense per-shard table scans run one task per shard, each task
+    touching only shard-local state (plus its private slice of the
+    merge buffer). The default is {!Acq_util.Fanout.sequential}, under
+    which every operation is observationally identical to an
+    unsharded {!Sliding.t}. The window itself is not thread-safe:
+    fanned sections own their shards exclusively for the duration of
+    one call. *)
+
+type t
+
+val create : Acq_data.Schema.t -> capacity:int -> shards:int -> t
+(** @raise Invalid_argument when [capacity < 1], [shards < 1], or
+    [capacity] is not a multiple of [shards]. *)
+
+val capacity : t -> int
+
+val shards : t -> int
+(** The shard count [K]. *)
+
+val size : t -> int
+(** Tuples currently held, summed over shards ([<= capacity]). *)
+
+val is_full : t -> bool
+
+val push : t -> int array -> unit
+(** Append one tuple to its round-robin shard.
+    @raise Invalid_argument on arity or domain mismatch. *)
+
+val push_dataset : t -> Acq_data.Dataset.t -> unit
+(** Push every row in order. *)
+
+val ingest : ?fanout:Acq_util.Fanout.t -> t -> int array array -> unit
+(** Batch push: partition the rows among shards by their global
+    indices and push each shard's slice in order — one fanned task
+    per shard. The post-state equals pushing the rows one by one.
+    The whole batch is validated before any row lands, so a bad row
+    leaves the window untouched.
+    @raise Invalid_argument on arity or domain mismatch. *)
+
+val clear : t -> unit
+
+val histogram : t -> int -> int array
+(** Merged per-attribute counts (sum of shard histograms). *)
+
+val marginals : t -> int array array
+(** Merged marginal snapshot — equal to {!Sliding.marginals} of an
+    unsharded window holding the same rows. *)
+
+val to_dataset : ?fanout:Acq_util.Fanout.t -> t -> Acq_data.Dataset.t
+(** Materialize the merged window, oldest first, into one of two
+    rotating packed buffers (same lifetime contract as
+    {!Sliding.to_dataset}: valid through the next materialization).
+    Each shard blits its rows at their global positions — a disjoint
+    stride per shard, fanned across domains when [fanout] is
+    concurrent. Cached until the next push.
+    @raise Invalid_argument on an empty window. *)
+
+val backend :
+  ?telemetry:Acq_obs.Telemetry.t ->
+  ?spec:Backend.spec ->
+  ?fanout:Acq_util.Fanout.t ->
+  t ->
+  Backend.t
+(** Probability backend over the merged window, byte-identical to
+    {!Sliding.backend} on the same rows. Empirical/sampled specs are
+    zero-copy views over the merged buffer (the fanned merge is the
+    parallel part); the dense spec scans each shard into a partial
+    joint table concurrently and merges exactly
+    ({!Backend.dense_of_partials}); chow-liu/independence build from
+    the merged dataset. *)
+
+val drift_marginals : t -> reference:int array array -> rows:int -> float
+(** Drift score over the merged marginals — same formula and result
+    as {!Sliding.drift_marginals}.
+    @raise Invalid_argument on an arity mismatch. *)
+
+val drift : t -> reference:Acq_data.Dataset.t -> float
+(** As {!Sliding.drift}, over the merged marginals. *)

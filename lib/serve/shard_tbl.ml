@@ -1,0 +1,27 @@
+type ('k, 'v) t = {
+  shards : ('k, 'v) Hashtbl.t array;
+  k : int;
+}
+
+let create ?(shards = 1) size =
+  if shards < 1 then invalid_arg "Shard_tbl.create: shards must be >= 1";
+  {
+    shards = Array.init shards (fun _ -> Hashtbl.create (max 1 (size / shards)));
+    k = shards;
+  }
+
+let shards t = t.k
+let shard_of t key = Hashtbl.hash key mod t.k
+let shard t key = t.shards.(shard_of t key)
+let find_opt t key = Hashtbl.find_opt (shard t key) key
+let mem t key = Hashtbl.mem (shard t key) key
+let replace t key v = Hashtbl.replace (shard t key) key v
+let remove t key = Hashtbl.remove (shard t key) key
+
+let length t =
+  Array.fold_left (fun n h -> n + Hashtbl.length h) 0 t.shards
+
+let fold f t init =
+  Array.fold_left (fun acc h -> Hashtbl.fold f h acc) init t.shards
+
+let iter f t = Array.iter (Hashtbl.iter f) t.shards

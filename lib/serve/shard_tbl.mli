@@ -1,0 +1,43 @@
+(** A hash table split into [K] independent shards, each a private
+    [Hashtbl] owning a disjoint key slice ([Hashtbl.hash key mod K]).
+
+    The point is domain affinity, not lock striping: the engine routes
+    each key to exactly one shard, so a fanned-out phase in which
+    every task touches only its own shard's keys mutates disjoint
+    tables and needs no synchronization. Cross-shard reads
+    ({!length}, {!fold}, {!iter}) walk the shards in index order — a
+    deterministic merge point that callers run only from the
+    single-threaded control path.
+
+    No operation here takes a lock; concurrent mutation of the {e
+    same} shard from two domains is as unsafe as sharing one
+    [Hashtbl]. With [shards = 1] (the default) the structure is
+    exactly a plain [Hashtbl]. *)
+
+type ('k, 'v) t
+
+val create : ?shards:int -> int -> ('k, 'v) t
+(** [create ~shards size]: [shards] (default 1) independent tables of
+    roughly [size / shards] initial capacity each.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shards : _ t -> int
+(** The shard count [K]. *)
+
+val shard_of : ('k, 'v) t -> 'k -> int
+(** Which shard owns a key — stable for the table's lifetime; the
+    routing function a fanned-out phase partitions its work by. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+val mem : ('k, 'v) t -> 'k -> bool
+val replace : ('k, 'v) t -> 'k -> 'v -> unit
+val remove : ('k, 'v) t -> 'k -> unit
+
+val length : ('k, 'v) t -> int
+(** Summed over shards. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+(** Shards in index order; within a shard, [Hashtbl.fold] order. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Shards in index order. *)

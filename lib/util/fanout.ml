@@ -1,0 +1,33 @@
+(* The capability record lives in acq_util because every layer that
+   fans work out (prob window merges, core DP tiers, adapt supervisor
+   ticks) sits *below* acq_par in the dependency order — the pool
+   plugs in from above via [Acq_par.Domain_pool.fanout]. *)
+
+type t = {
+  concurrent : bool;
+  map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+}
+
+let sequential =
+  {
+    concurrent = false;
+    map =
+      (fun f a ->
+        (* Explicit left-to-right order: consumers rely on the
+           sequential fanout being indistinguishable from a plain
+           loop, including effect order. *)
+        let n = Array.length a in
+        if n = 0 then [||]
+        else begin
+          let out = Array.make n (f a.(0)) in
+          for i = 1 to n - 1 do
+            out.(i) <- f a.(i)
+          done;
+          out
+        end);
+  }
+
+let map t f a = t.map f a
+
+let iteri t f a =
+  ignore (t.map (fun (i, x) -> f i x) (Array.mapi (fun i x -> (i, x)) a) : unit array)

@@ -1,0 +1,34 @@
+(** A first-class parallel-map capability.
+
+    Layers below {!Acq_par} (statistics shards, the Exhaustive DP,
+    the adaptive supervisor) take a [Fanout.t] where they can fan
+    independent work items out; {!Acq_par.Domain_pool.fanout} builds
+    one backed by a worker pool, and {!sequential} — the universal
+    default — degenerates to a plain in-order [Array.map], so every
+    fanout-taking API behaves exactly as before unless a pool is
+    handed in.
+
+    Contract for [map f a]: [f] is applied to every element exactly
+    once and results are returned in input order. When [concurrent]
+    is true the applications may run on different domains at the same
+    time, so [f] must only touch element-local state (and any shared
+    state must be read-only); callers use [concurrent] to decide
+    whether to route side effects (e.g. telemetry registries that are
+    not domain-safe) away from the fanned section. If any application
+    raises, the exception of the lowest-index failing element is
+    re-raised after all applications finished. *)
+
+type t = {
+  concurrent : bool;
+      (** whether [map] may overlap applications across domains *)
+  map : 'a 'b. ('a -> 'b) -> 'a array -> 'b array;
+}
+
+val sequential : t
+(** In-order [Array.map]; [concurrent = false]. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val iteri : t -> (int -> 'a -> unit) -> 'a array -> unit
+(** Fan an indexed effectful pass ([f i a.(i)] per element). Under
+    {!sequential} this is exactly [Array.iteri]. *)

@@ -274,6 +274,122 @@ let test_pac_exact_backend () =
     cost;
   check_float "cost_bound equals the cost" cost cert.Search.cost_bound
 
+(* ------------------------------------------------------------------ *)
+(* Wilson option: on the same 200-resample harness as the Hoeffding
+   coverage test, the Wilson interval (recovered exactly as Pac's
+   generic walk recovers it — success count from the point estimate,
+   n from the restricted sample weight, the backend's delta) must hold
+   its nominal coverage while being strictly tighter in aggregate at
+   the skewed selectivities acquisitional predicates actually have. *)
+
+let wilson_of_backend b p =
+  match B.sampling b with
+  | None ->
+      let x = B.pred_prob b p in
+      (x, x)
+  | Some s ->
+      let m = int_of_float (B.weight b) in
+      if m = 0 then (0.0, 1.0)
+      else
+        let pos =
+          int_of_float (Float.round (B.pred_prob b p *. float_of_int m))
+        in
+        Stats.wilson_ci ~pos ~n:m ~delta:s.B.delta
+
+let test_wilson_tighter_at_equal_coverage () =
+  let delta = 0.1 in
+  let domains = [| 4; 3; 2 |] in
+  let ds = correlated_dataset 7 domains 4_000 in
+  let exact = B.empirical ds in
+  (* A skewed predicate (truth well away from 1/2), where Wilson's
+     variance-adaptive radius beats the distribution-free Hoeffding
+     radius by the widest margin. *)
+  let p_skew = Pred.inside ~attr:0 ~lo:3 ~hi:3 in
+  let truth = B.pred_prob exact p_skew in
+  let cov_w = ref 0 and cov_h = ref 0 in
+  let width_w = ref 0.0 and width_h = ref 0.0 in
+  for seed = 1 to n_coverage_trials do
+    let b = B.sampled ~seed ~n:256 ~delta ds in
+    let lo_w, hi_w = wilson_of_backend b p_skew in
+    let lo_h, hi_h = B.pred_prob_ci b p_skew in
+    if lo_w <= truth +. 1e-12 && truth <= hi_w +. 1e-12 then incr cov_w;
+    if lo_h <= truth +. 1e-12 && truth <= hi_h +. 1e-12 then incr cov_h;
+    width_w := !width_w +. (hi_w -. lo_w);
+    width_h := !width_h +. (hi_h -. lo_h)
+  done;
+  let rate r = float_of_int !r /. float_of_int n_coverage_trials in
+  Alcotest.(check bool)
+    (Printf.sprintf "wilson coverage %.4f >= 1 - delta (%g)" (rate cov_w)
+       (1.0 -. delta))
+    true
+    (rate cov_w >= 1.0 -. delta);
+  Alcotest.(check bool)
+    (Printf.sprintf "hoeffding coverage %.4f >= 1 - delta" (rate cov_h))
+    true
+    (rate cov_h >= 1.0 -. delta);
+  Alcotest.(check bool)
+    (Printf.sprintf "wilson strictly tighter: mean width %.4f vs %.4f"
+       (!width_w /. float_of_int n_coverage_trials)
+       (!width_h /. float_of_int n_coverage_trials))
+    true
+    (!width_w < 0.8 *. !width_h)
+
+let test_wilson_planner_flag () =
+  let domains = [| 3; 2; 2 |] in
+  let ds = correlated_dataset 42 domains 600 in
+  let schema = DS.schema ds in
+  let costs = S.costs schema in
+  let q =
+    Q.create schema
+      [
+        Pred.inside ~attr:0 ~lo:1 ~hi:2;
+        Pred.inside ~attr:1 ~lo:1 ~hi:1;
+        Pred.inside ~attr:2 ~lo:0 ~hi:0;
+      ]
+  in
+  (* Against an exact backend Wilson degenerates to the point exactly
+     like Hoeffding: identical plan, cost, and zero-gap certificate. *)
+  let exact = B.empirical ds in
+  let p_h, c_h, cert_h = Acq_core.Pac.plan q ~costs exact in
+  let p_w, c_w, cert_w =
+    Acq_core.Pac.plan ~interval:Acq_core.Pac.Wilson q ~costs exact
+  in
+  Alcotest.(check bool)
+    "degenerate: identical plan" true
+    (Bytes.equal (Ser.encode p_h) (Ser.encode p_w));
+  check_float "degenerate: identical cost" c_h c_w;
+  check_float "degenerate: epsilon 0" cert_h.Search.epsilon
+    cert_w.Search.epsilon;
+  (* On a sampled backend the Wilson walk is deterministic and never
+     needs more refinement rounds than Hoeffding on the same instance
+     (its intervals are nested tighter at every round here). *)
+  let run interval =
+    Acq_core.Pac.plan ~interval ~epsilon_target:0.3 q ~costs
+      (B.sampled ~seed:5 ~n:64 ~delta:0.01 ds)
+  in
+  let _, cw1, certw1 = run Acq_core.Pac.Wilson in
+  let _, cw2, certw2 = run Acq_core.Pac.Wilson in
+  check_float "sampled wilson deterministic (cost)" cw1 cw2;
+  Alcotest.(check string)
+    "sampled wilson deterministic (certificate)"
+    (Search.certificate_to_string certw1)
+    (Search.certificate_to_string certw2);
+  let _, _, cert_hs = run Acq_core.Pac.Hoeffding in
+  Alcotest.(check bool)
+    (Printf.sprintf "wilson refinements %d <= hoeffding %d"
+       certw1.Search.refinements cert_hs.Search.refinements)
+    true
+    (certw1.Search.refinements <= cert_hs.Search.refinements);
+  (* The Planner facade threads options.pac_interval through. *)
+  let wopts = { P.default_options with P.pac_interval = Acq_core.Pac.Wilson } in
+  let r = P.plan ~options:wopts P.Pac q ~train:ds in
+  Alcotest.(check bool)
+    "facade with wilson attaches a certificate" true
+    (r.P.stats.Search.certificate <> None);
+  Alcotest.(check string)
+    "interval names" "wilson"
+    (Acq_core.Pac.interval_name Acq_core.Pac.Wilson)
+
 let test_pac_respects_deadline () =
   let domains = [| 3; 2; 2 |] in
   let ds = correlated_dataset 44 domains 400 in
@@ -298,6 +414,8 @@ let () =
         [
           Alcotest.test_case "interval coverage, 200 resamples" `Quick
             test_ci_coverage;
+          Alcotest.test_case "wilson tighter at equal coverage, 200 resamples"
+            `Quick test_wilson_tighter_at_equal_coverage;
         ] );
       ( "certificate",
         [
@@ -310,6 +428,8 @@ let () =
             test_pac_deterministic;
           Alcotest.test_case "exact backend degenerates" `Quick
             test_pac_exact_backend;
+          Alcotest.test_case "wilson interval option" `Quick
+            test_wilson_planner_flag;
           Alcotest.test_case "deadline enforced" `Quick
             test_pac_respects_deadline;
         ] );

@@ -120,6 +120,60 @@ let test_planner_differential () =
       algos
   done
 
+(* Tier-parallel Exhaustive: fanning the root DP tier across the pool
+   (one branch attribute per forked search context, deterministic
+   memo/counter merge) returns the bit-identical plan and cost, and
+   two independent fanned runs agree with each other — including on
+   the merged effort counters, which may exceed the sequential ones
+   (parallel branches forgo cross-branch bound tightening) but must be
+   the same number every run. *)
+let test_exhaustive_tier_fanout () =
+  Dp.with_pool ~domains:(test_domains ()) @@ fun pool ->
+  let fanout = Dp.fanout pool in
+  for seed = 0 to 49 do
+    let ds, q = make_instance seed in
+    let here = Printf.sprintf "seed%d" seed in
+    let seq = P.plan ~options P.Exhaustive q ~train:ds in
+    let par = P.plan ~options ~fanout P.Exhaustive q ~train:ds in
+    let par' = P.plan ~options ~fanout P.Exhaustive q ~train:ds in
+    Alcotest.(check bool)
+      (here ^ " plan tree") true
+      (Plan.equal seq.P.plan par.P.plan);
+    Alcotest.(check (float 0.0)) (here ^ " est cost") seq.P.est_cost par.P.est_cost;
+    Alcotest.(check int) (here ^ " plan size") (plan_size seq) (plan_size par);
+    Alcotest.(check bool)
+      (here ^ " rerun plan tree") true
+      (Plan.equal par.P.plan par'.P.plan);
+    Alcotest.(check int)
+      (here ^ " counters deterministic across fanned runs")
+      par.P.stats.Acq_core.Search.nodes_solved
+      par'.P.stats.Acq_core.Search.nodes_solved
+  done
+
+(* Over a memoized backend the fanout must be refused (the memo
+   combinator's shared cache mutates on read), silently falling back
+   to the sequential sweep. *)
+let test_exhaustive_fanout_memo_guard () =
+  Dp.with_pool ~domains:(test_domains ()) @@ fun pool ->
+  let fanout = Dp.fanout pool in
+  let memo_opts =
+    {
+      options with
+      P.prob_model =
+        { Acq_prob.Backend.default_spec with Acq_prob.Backend.memoize = true };
+    }
+  in
+  for seed = 0 to 9 do
+    let ds, q = make_instance seed in
+    let here = Printf.sprintf "memo/seed%d" seed in
+    let seq = P.plan ~options:memo_opts P.Exhaustive q ~train:ds in
+    let par = P.plan ~options:memo_opts ~fanout P.Exhaustive q ~train:ds in
+    Alcotest.(check bool)
+      (here ^ " plan tree") true
+      (Plan.equal seq.P.plan par.P.plan);
+    Alcotest.(check (float 0.0)) (here ^ " est cost") seq.P.est_cost par.P.est_cost
+  done
+
 (* Portfolio: racing in parallel picks exactly the plan a sequential
    sweep would — cheapest est cost, ties to the earlier arm. *)
 let test_portfolio_matches_sequential () =
@@ -426,6 +480,10 @@ let () =
         [
           Alcotest.test_case "every planner, pool = sequential, 50 seeds"
             `Quick test_planner_differential;
+          Alcotest.test_case "exhaustive tier fanout = sequential, 50 seeds"
+            `Quick test_exhaustive_tier_fanout;
+          Alcotest.test_case "fanout refused over memoized backend" `Quick
+            test_exhaustive_fanout_memo_guard;
           Alcotest.test_case "portfolio = sequential argmin, 50 seeds" `Quick
             test_portfolio_matches_sequential;
           Alcotest.test_case "fan-out reports byte-identical" `Quick

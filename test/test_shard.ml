@@ -1,0 +1,284 @@
+(* Differential suite for Acq_prob.Sharded: the domain-sharded window
+   must be observationally identical to the unsharded Sliding window —
+   same retained rows in the same oldest-first order, same marginals,
+   same backends, same drift scores — across shard counts 1/2/4, under
+   rotation, and whether the shard-local phases run sequentially or
+   fanned across a real domain pool. Two independent pool runs must
+   also agree with each other (determinism, not just seq ≡ par).
+
+   Worker count for the pool tests comes from ACQP_TEST_DOMAINS
+   (default 4); CI runs the suite under both 1 and 4. *)
+
+module Rng = Acq_util.Rng
+module DS = Acq_data.Dataset
+module S = Acq_data.Schema
+module A = Acq_data.Attribute
+module Sl = Acq_prob.Sliding
+module Sh = Acq_prob.Sharded
+module B = Acq_prob.Backend
+module R = Acq_plan.Range
+module Pred = Acq_plan.Predicate
+module Dp = Acq_par.Domain_pool
+
+let test_domains () =
+  match Sys.getenv_opt "ACQP_TEST_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 4)
+  | None -> 4
+
+(* ------------------------------------------------------------------ *)
+(* Random window instances: correlated columns (a latent regime drives
+   every attribute), a capacity divisible by every tested shard count,
+   and a row count that exercises fill, exactly-full, and rotation. *)
+
+type instance = {
+  seed : int;
+  domains : int array;
+  capacity : int;  (** multiple of 4 *)
+  rows : int;
+}
+
+let instance_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 1_000_000 in
+    let* n_attrs = int_range 2 4 in
+    let* domains = array_repeat n_attrs (int_range 2 5) in
+    let* cap4 = int_range 1 16 in
+    let* rows = int_range 0 (12 * cap4) in
+    return { seed; domains; capacity = 4 * cap4; rows })
+
+let instance_print i =
+  Printf.sprintf "{seed=%d; domains=[%s]; capacity=%d; rows=%d}" i.seed
+    (String.concat ";" (Array.to_list (Array.map string_of_int i.domains)))
+    i.capacity i.rows
+
+let build i =
+  let schema =
+    S.create
+      (Array.to_list
+         (Array.mapi
+            (fun k d ->
+              A.discrete
+                ~name:(Printf.sprintf "x%d" k)
+                ~cost:(float_of_int (1 + k))
+                ~domain:d)
+            i.domains))
+  in
+  let rng = Rng.create i.seed in
+  let rows =
+    Array.init i.rows (fun _ ->
+        let regime = Rng.int rng 2 in
+        Array.map
+          (fun d ->
+            if regime = 0 then Rng.int rng d
+            else if Rng.int rng 4 = 0 then Rng.int rng d
+            else d - 1)
+          i.domains)
+  in
+  (schema, rows)
+
+let ds_rows ds =
+  List.init (DS.nrows ds) (fun r -> Array.to_list (DS.row ds r))
+
+let shard_counts = [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck differentials, sequential fanout *)
+
+let prop_merge_equals_unsharded =
+  QCheck2.Test.make ~count:120 ~print:instance_print
+    ~name:"sharded merge = unsharded window (rows, marginals, histograms)"
+    instance_gen
+    (fun i ->
+      let schema, rows = build i in
+      let sl = Sl.create schema ~capacity:i.capacity in
+      Array.iter (Sl.push sl) rows;
+      List.for_all
+        (fun k ->
+          let sh = Sh.create schema ~capacity:i.capacity ~shards:k in
+          Sh.ingest sh rows;
+          Sh.size sh = Sl.size sl
+          && Sh.marginals sh = Sl.marginals sl
+          && List.for_all
+               (fun a -> Sh.histogram sh a = Sl.histogram sl a)
+               (List.init (Array.length i.domains) Fun.id)
+          && (Sl.size sl = 0
+             || ds_rows (Sh.to_dataset sh) = ds_rows (Sl.to_dataset sl)))
+        shard_counts)
+
+let prop_ingest_equals_push =
+  QCheck2.Test.make ~count:80 ~print:instance_print
+    ~name:"batch ingest = one-by-one push" instance_gen (fun i ->
+      let schema, rows = build i in
+      List.for_all
+        (fun k ->
+          let a = Sh.create schema ~capacity:i.capacity ~shards:k in
+          let b = Sh.create schema ~capacity:i.capacity ~shards:k in
+          Sh.ingest a rows;
+          Array.iter (Sh.push b) rows;
+          Sh.size a = Sh.size b
+          && Sh.marginals a = Sh.marginals b
+          && (Sh.size a = 0
+             || ds_rows (Sh.to_dataset a) = ds_rows (Sh.to_dataset b)))
+        shard_counts)
+
+(* Backends built over the sharded window agree with the unsharded
+   window's to 1e-9 on every unconditioned value probability and on a
+   conditioned one (restrict on the first attribute's top value). The
+   dense spec exercises the per-shard partial-table merge; empirical
+   the fanned row merge; independence the merged-marginal product. *)
+let backend_specs = [ "empirical"; "dense"; "independence" ]
+
+let probe schema est =
+  let domains = S.domains schema in
+  let probs = ref [] in
+  Array.iteri
+    (fun a d ->
+      for v = 0 to d - 1 do
+        probs := B.range_prob est a (R.make v v) :: !probs
+      done)
+    domains;
+  let d0 = domains.(0) in
+  let cond =
+    B.restrict_pred est (Pred.inside ~attr:0 ~lo:(d0 - 1) ~hi:(d0 - 1)) true
+  in
+  Array.iteri
+    (fun a _ -> if a > 0 then probs := B.range_prob cond a (R.make 0 0) :: !probs)
+    domains;
+  List.rev !probs
+
+let close xs ys =
+  List.length xs = List.length ys
+  && List.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-9) xs ys
+
+let prop_backend_equals_unsharded =
+  QCheck2.Test.make ~count:60 ~print:instance_print
+    ~name:"sharded backend = unsharded backend (1e-9, all specs)"
+    instance_gen
+    (fun i ->
+      let schema, rows = build i in
+      if Array.length rows = 0 then true
+      else begin
+        let sl = Sl.create schema ~capacity:i.capacity in
+        Array.iter (Sl.push sl) rows;
+        List.for_all
+          (fun spec_s ->
+            let spec =
+              match B.spec_of_string spec_s with
+              | Ok sp -> sp
+              | Error e -> Alcotest.fail (B.spec_error_to_string e)
+            in
+            let reference = probe schema (Sl.backend ~spec sl) in
+            List.for_all
+              (fun k ->
+                let sh = Sh.create schema ~capacity:i.capacity ~shards:k in
+                Sh.ingest sh rows;
+                close reference (probe schema (Sh.backend ~spec sh)))
+              shard_counts)
+          backend_specs
+      end)
+
+let prop_drift_equals_unsharded =
+  QCheck2.Test.make ~count:60 ~print:instance_print
+    ~name:"sharded drift = unsharded drift" instance_gen (fun i ->
+      let schema, rows = build i in
+      if Array.length rows = 0 then true
+      else begin
+        let reference = DS.create schema rows in
+        let sl = Sl.create schema ~capacity:i.capacity in
+        Array.iter (Sl.push sl) rows;
+        let expect = Sl.drift sl ~reference in
+        List.for_all
+          (fun k ->
+            let sh = Sh.create schema ~capacity:i.capacity ~shards:k in
+            Sh.ingest sh rows;
+            Float.abs (Sh.drift sh ~reference -. expect) <= 1e-9)
+          shard_counts
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Pool-backed fanout: parallel ingest/merge/build are identical to
+   sequential, and two independent pool runs are identical to each
+   other. *)
+
+let fixed_instance =
+  { seed = 4242; domains = [| 4; 3; 2; 5 |]; capacity = 48; rows = 131 }
+
+let artifacts ?fanout schema rows =
+  let sh =
+    Sh.create schema ~capacity:fixed_instance.capacity
+      ~shards:(max 2 (min 4 (test_domains ())))
+  in
+  (match fanout with
+  | Some f -> Sh.ingest ~fanout:f sh rows
+  | None -> Sh.ingest sh rows);
+  let dense =
+    match B.spec_of_string "dense" with
+    | Ok sp -> sp
+    | Error _ -> assert false
+  in
+  ( Sh.marginals sh,
+    ds_rows (Sh.to_dataset ?fanout sh),
+    probe schema (Sh.backend ~spec:dense ?fanout sh) )
+
+let test_pool_fanout_identical () =
+  let schema, rows = build fixed_instance in
+  let seq = artifacts schema rows in
+  let run () =
+    Dp.with_pool ~domains:(test_domains ()) (fun pool ->
+        artifacts ~fanout:(Dp.fanout pool) schema rows)
+  in
+  let par = run () in
+  let par' = run () in
+  Alcotest.(check bool) "pool run = sequential" true (seq = par);
+  Alcotest.(check bool) "two pool runs agree" true (par = par')
+
+let test_ingest_atomicity () =
+  let schema, rows = build fixed_instance in
+  let sh = Sh.create schema ~capacity:48 ~shards:4 in
+  Sh.ingest sh rows;
+  let before = (Sh.size sh, Sh.marginals sh) in
+  let bad = Array.copy rows in
+  bad.(Array.length bad / 2) <- [| 99; 0; 0; 0 |];
+  (try
+     Sh.ingest sh bad;
+     Alcotest.fail "expected domain failure"
+   with Invalid_argument _ -> ());
+  Alcotest.(check bool)
+    "failed batch left the window untouched" true
+    (before = (Sh.size sh, Sh.marginals sh))
+
+let test_create_validation () =
+  let schema, _ = build fixed_instance in
+  List.iter
+    (fun (cap, k) ->
+      try
+        ignore (Sh.create schema ~capacity:cap ~shards:k : Sh.t);
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+    [ (0, 1); (8, 0); (10, 4) ]
+
+let () =
+  let to_alcotest = QCheck_alcotest.to_alcotest in
+  Alcotest.run "shard"
+    [
+      ( "differentials",
+        List.map to_alcotest
+          [
+            prop_merge_equals_unsharded;
+            prop_ingest_equals_push;
+            prop_backend_equals_unsharded;
+            prop_drift_equals_unsharded;
+          ] );
+      ( "pool",
+        [
+          Alcotest.test_case "fanned ingest/merge/build deterministic" `Quick
+            test_pool_fanout_identical;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "batch ingest is atomic on bad input" `Quick
+            test_ingest_atomicity;
+          Alcotest.test_case "create validates capacity/shards" `Quick
+            test_create_validation;
+        ] );
+    ]
